@@ -1,0 +1,135 @@
+//! Ablation benches for the design choices recorded in DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_bench::{complete_instance, regular_instance};
+use ld_core::mechanisms::{ApprovalThreshold, Mechanism, SampledThreshold};
+use ld_core::tally::{exact_correct_probability, sample_decision, TieBreak};
+use ld_sim::engine::Engine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Exact weighted-DP tally vs naive outcome sampling: the DP pays `O(n·W)`
+/// once, sampling pays `O(n)` per sample but needs thousands of samples
+/// for comparable accuracy. This bench quantifies the per-call costs that
+/// justify the exact-DP default.
+fn bench_tally_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tally");
+    for n in [128usize, 1024] {
+        let inst = complete_instance(n);
+        let mech = ApprovalThreshold::new(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dg = mech.run(&inst, &mut rng);
+        let res = dg.resolve().unwrap();
+        group.bench_with_input(BenchmarkId::new("exact_dp", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sampled_1000", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let mut correct = 0u32;
+                for _ in 0..1000 {
+                    correct += sample_decision(&inst, &dg, TieBreak::Incorrect, &mut rng)
+                        .unwrap() as u32;
+                }
+                black_box(correct)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm 2's two sampling semantics at equal parameters.
+fn bench_sampling_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sampling_semantics");
+    let n = 1024;
+    let inst = regular_instance(n, 16, 7);
+    for (label, mech) in [
+        ("graph", SampledThreshold::from_graph(16, 4)),
+        ("fresh", SampledThreshold::fresh(16, 4)),
+    ] {
+        group.bench_function(label, |b| {
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| black_box(mech.run(&inst, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+/// Engine worker scaling on a fixed workload.
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_engine_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let inst = complete_instance(512);
+    let mech = ApprovalThreshold::new(1);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let engine = Engine::new(3).with_workers(w);
+            b.iter(|| black_box(engine.estimate_gain(&inst, &mech, 64).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Tie-break rules cost the same; this guards the claim that the rule is a
+/// semantics choice, not a performance one.
+fn bench_tie_break(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tie_break");
+    let inst = complete_instance(256);
+    let mech = ApprovalThreshold::new(1);
+    let mut rng = StdRng::seed_from_u64(9);
+    let res = mech.run(&inst, &mut rng).resolve().unwrap();
+    for (label, tie) in [
+        ("incorrect", TieBreak::Incorrect),
+        ("coin_flip", TieBreak::CoinFlip),
+        ("correct", TieBreak::Correct),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(exact_correct_probability(&inst, &res, tie).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Two routes to `P^M(G)` for Algorithm 1 on `K_n`: (a) run the mechanism,
+/// resolve, exact DP per draw; (b) realize the isomorphic recycle-sampling
+/// graph (Lemma 7's translation) and count majorities. Route (b) avoids
+/// resolution and the `O(n·W)` DP but pays per-realization variance.
+fn bench_pm_estimation_routes(c: &mut Criterion) {
+    use ld_core::mechanisms::ThresholdRule;
+    use ld_core::recycle_bridge::to_recycle_graph;
+    let mut group = c.benchmark_group("ablation_pm_estimation");
+    let n = 512;
+    let inst = complete_instance(n);
+    let rule = ThresholdRule::Constant(3);
+    let mech = ApprovalThreshold::with_rule(rule);
+    let rg = to_recycle_graph(&inst, rule).unwrap();
+    group.bench_function("mechanism_plus_exact_dp", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| {
+            let res = mech.run(&inst, &mut rng).resolve().unwrap();
+            black_box(
+                exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap(),
+            )
+        })
+    });
+    group.bench_function("recycle_realization", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| black_box(rg.realize(&mut rng).sum() * 2 > n))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tally_ablation,
+    bench_sampling_semantics,
+    bench_engine_scaling,
+    bench_tie_break,
+    bench_pm_estimation_routes
+);
+criterion_main!(benches);

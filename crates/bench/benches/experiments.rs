@@ -1,0 +1,33 @@
+//! One Criterion group per paper artifact: benchmarks the regeneration
+//! kernel of every figure, lemma and theorem at quick scale.
+//!
+//! These are the "per table AND figure" benches: running
+//! `cargo bench -p ld-bench --bench experiments` re-executes each
+//! experiment kernel and reports its cost; the full-scale tables live in
+//! `results/` (produced by the `repro` binary) and `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ld_sim::experiments::{self, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for info in experiments::all() {
+        // Distinct seeds per experiment; quick scale keeps each iteration
+        // in the tens-of-milliseconds range.
+        let cfg = ExperimentConfig { workers: 2, ..ExperimentConfig::quick(99) };
+        group.bench_function(info.id, |b| {
+            b.iter(|| {
+                let tables = (info.run)(black_box(&cfg)).expect("experiment runs");
+                black_box(tables)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

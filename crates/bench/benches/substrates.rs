@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the substrates underneath the reproduction:
+//! graph generation, exact tallies, recycle sampling, resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_bench::complete_instance;
+use ld_core::mechanisms::{ApprovalThreshold, Mechanism};
+use ld_graph::generators;
+use ld_prob::poisson_binomial::{PoissonBinomial, WeightedBernoulliSum};
+use ld_prob::recycle::RecycleGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("complete", n), &n, |b, &n| {
+            b.iter(|| black_box(generators::complete(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("random_regular_d16", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(generators::random_regular(n, 16, &mut rng).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_albert_m3", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(generators::barabasi_albert(n, 3, &mut rng).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_p0.01", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(generators::erdos_renyi_gnp(n, 0.01, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tallies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tallies");
+    for n in [128usize, 512, 2048] {
+        let ps: Vec<f64> = (0..n).map(|i| 0.3 + 0.4 * i as f64 / n as f64).collect();
+        group.bench_with_input(BenchmarkId::new("poisson_binomial_dp", n), &n, |b, _| {
+            b.iter(|| black_box(PoissonBinomial::new(&ps).unwrap().strict_majority()))
+        });
+        // Weighted: n/8 sinks of weight 8.
+        let terms: Vec<(usize, f64)> = ps.iter().step_by(8).map(|&p| (8usize, p)).collect();
+        group.bench_with_input(BenchmarkId::new("weighted_sum_dp", n), &n, |b, _| {
+            b.iter(|| black_box(WeightedBernoulliSum::new(&terms).unwrap().strict_majority(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recycle_sampling");
+    for n in [512usize, 4096] {
+        let ps: Vec<f64> = (0..n).map(|i| 0.4 + 0.2 * i as f64 / n as f64).collect();
+        let g = RecycleGraph::delegation_shaped(&ps, n / 8, 0.2).unwrap();
+        group.bench_with_input(BenchmarkId::new("realize", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(g.realize(&mut rng).sum()))
+        });
+        group.bench_with_input(BenchmarkId::new("construct", n), &n, |b, _| {
+            b.iter(|| black_box(RecycleGraph::delegation_shaped(&ps, n / 8, 0.2).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_variance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recycle_exact_variance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [256usize, 1024] {
+        let ps: Vec<f64> = (0..n).map(|i| 0.4 + 0.2 * i as f64 / n as f64).collect();
+        let g = RecycleGraph::delegation_shaped(&ps, n / 8, 0.2).unwrap();
+        group.bench_with_input(BenchmarkId::new("exact_variance_dp", n), &n, |b, _| {
+            b.iter(|| black_box(g.exact_variance().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_list_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_list_io");
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::erdos_renyi_gnp(2000, 0.01, &mut rng).unwrap();
+    let text = ld_graph::io::to_edge_list(&g);
+    group.bench_function("to_edge_list_2000", |b| {
+        b.iter(|| black_box(ld_graph::io::to_edge_list(&g)))
+    });
+    group.bench_function("parse_edge_list_2000", |b| {
+        b.iter(|| black_box(ld_graph::io::parse_edge_list(&text).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delegation_resolution");
+    for n in [256usize, 2048] {
+        let inst = complete_instance(n);
+        let mech = ApprovalThreshold::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let dg = mech.run(&inst, &mut rng);
+        group.bench_with_input(BenchmarkId::new("mechanism_run", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| black_box(mech.run(&inst, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("resolve", n), &n, |b, _| {
+            b.iter(|| black_box(dg.resolve().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_tallies,
+    bench_recycle,
+    bench_exact_variance,
+    bench_edge_list_io,
+    bench_resolution
+);
+criterion_main!(benches);

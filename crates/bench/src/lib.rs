@@ -1,0 +1,58 @@
+//! # `ld-bench` — shared fixtures for the Criterion benchmark harness.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `experiments.rs` — one Criterion group per paper figure/lemma/theorem
+//!   (the regeneration kernels, run at quick scale).
+//! * `substrates.rs` — micro-benchmarks of the substrates: graph
+//!   generators, the exact weighted Poisson-binomial DP, recycle-sampling
+//!   realization, delegation-graph resolution.
+//! * `ablations.rs` — the design-choice ablations called out in
+//!   DESIGN.md §6: exact DP tally vs sampled tally, graph-based vs fresh
+//!   sampling in Algorithm 2, engine worker scaling, tie-break rules.
+
+#![forbid(unsafe_code)]
+
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::generators;
+
+/// A standard benchmark instance: `K_n` with a linear profile.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (benchmark fixtures are static).
+pub fn complete_instance(n: usize) -> ProblemInstance {
+    ProblemInstance::new(
+        generators::complete(n),
+        CompetencyProfile::linear(n, 0.3, 0.7).expect("valid profile"),
+        0.05,
+    )
+    .expect("valid instance")
+}
+
+/// A standard random-regular benchmark instance.
+///
+/// # Panics
+///
+/// Panics on invalid parameters.
+pub fn regular_instance(n: usize, d: usize, seed: u64) -> ProblemInstance {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    ProblemInstance::new(
+        generators::random_regular(n, d, &mut rng).expect("feasible parameters"),
+        CompetencyProfile::linear(n, 0.3, 0.7).expect("valid profile"),
+        0.05,
+    )
+    .expect("valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(complete_instance(16).n(), 16);
+        assert_eq!(regular_instance(32, 4, 1).graph().degree(0), 4);
+    }
+}

@@ -1,0 +1,320 @@
+//! Competencies and competency profiles.
+//!
+//! Every voter `v_i` has a competency `p_i ∈ [0, 1]`: the probability they
+//! vote for the (unknown) correct outcome. Following the paper's convention
+//! (§2.1), voters are ordered by competency, so a [`CompetencyProfile`] is a
+//! nondecreasing vector.
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A validated competency: a finite probability in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::Competency;
+/// let c = Competency::new(0.7)?;
+/// assert_eq!(c.get(), 0.7);
+/// assert!(Competency::new(1.3).is_err());
+/// # Ok::<(), ld_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Competency(f64);
+
+impl Competency {
+    /// Validates and wraps a competency value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCompetency`] if `p` is not a finite
+    /// value in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            Ok(Competency(p))
+        } else {
+            Err(CoreError::InvalidCompetency { value: p, index: None })
+        }
+    }
+
+    /// The underlying probability.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Competency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Competency {
+    type Error = CoreError;
+
+    fn try_from(p: f64) -> Result<Self> {
+        Competency::new(p)
+    }
+}
+
+impl From<Competency> for f64 {
+    fn from(c: Competency) -> f64 {
+        c.get()
+    }
+}
+
+/// The competency vector `p = [p_1, …, p_n]` of a problem instance,
+/// sorted nondecreasing (`p_i ≤ p_j` for `i < j`, the paper's w.l.o.g.
+/// ordering).
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::CompetencyProfile;
+///
+/// let profile = CompetencyProfile::new(vec![0.2, 0.5, 0.9])?;
+/// assert_eq!(profile.n(), 3);
+/// assert_eq!(profile.get(2), 0.9);
+/// assert!((profile.mean() - 1.6 / 3.0).abs() < 1e-12);
+/// # Ok::<(), ld_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompetencyProfile {
+    ps: Vec<f64>,
+}
+
+impl CompetencyProfile {
+    /// Wraps an already-sorted competency vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidCompetency`] if a value is outside `[0, 1]`.
+    /// * [`CoreError::UnsortedCompetencies`] if the vector is not
+    ///   nondecreasing. Use [`CompetencyProfile::from_unsorted`] to accept
+    ///   arbitrary order.
+    pub fn new(ps: Vec<f64>) -> Result<Self> {
+        for (i, &p) in ps.iter().enumerate() {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(CoreError::InvalidCompetency { value: p, index: Some(i) });
+            }
+        }
+        if let Some(i) = ps.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CoreError::UnsortedCompetencies { index: i + 1 });
+        }
+        Ok(CompetencyProfile { ps })
+    }
+
+    /// Sorts an arbitrary competency vector into a profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCompetency`] if a value is outside
+    /// `[0, 1]`.
+    pub fn from_unsorted(mut ps: Vec<f64>) -> Result<Self> {
+        for (i, &p) in ps.iter().enumerate() {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(CoreError::InvalidCompetency { value: p, index: Some(i) });
+            }
+        }
+        ps.sort_by(|a, b| a.partial_cmp(b).expect("validated values are comparable"));
+        Ok(CompetencyProfile { ps })
+    }
+
+    /// A profile where every voter has the same competency `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCompetency`] for `p` outside `[0, 1]`.
+    pub fn constant(n: usize, p: f64) -> Result<Self> {
+        Competency::new(p)?;
+        Ok(CompetencyProfile { ps: vec![p; n] })
+    }
+
+    /// A profile with competencies evenly spaced from `lo` to `hi`
+    /// inclusive. For `n == 1` the single voter gets `lo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCompetency`] for endpoints outside
+    /// `[0, 1]` or [`CoreError::UnsortedCompetencies`] if `lo > hi`.
+    pub fn linear(n: usize, lo: f64, hi: f64) -> Result<Self> {
+        Competency::new(lo)?;
+        Competency::new(hi)?;
+        if lo > hi {
+            return Err(CoreError::UnsortedCompetencies { index: 1 });
+        }
+        if n == 0 {
+            return Ok(CompetencyProfile { ps: Vec::new() });
+        }
+        if n == 1 {
+            return Ok(CompetencyProfile { ps: vec![lo] });
+        }
+        let step = (hi - lo) / (n - 1) as f64;
+        let ps = (0..n).map(|i| (lo + step * i as f64).clamp(0.0, 1.0)).collect();
+        Ok(CompetencyProfile { ps })
+    }
+
+    /// The two-point profile of Figure 1's star instance: `n_low` voters at
+    /// `p_low` followed by `n_high` voters at `p_high`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCompetency`] for probabilities outside
+    /// `[0, 1]`, or [`CoreError::UnsortedCompetencies`] if
+    /// `p_low > p_high`.
+    pub fn two_point(n_low: usize, p_low: f64, n_high: usize, p_high: f64) -> Result<Self> {
+        Competency::new(p_low)?;
+        Competency::new(p_high)?;
+        if p_low > p_high {
+            return Err(CoreError::UnsortedCompetencies { index: n_low });
+        }
+        let mut ps = vec![p_low; n_low];
+        ps.extend(std::iter::repeat_n(p_high, n_high));
+        Ok(CompetencyProfile { ps })
+    }
+
+    /// Number of voters.
+    pub fn n(&self) -> usize {
+        self.ps.len()
+    }
+
+    /// Competency of voter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.ps[i]
+    }
+
+    /// The competencies as a sorted slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.ps
+    }
+
+    /// Mean competency `(1/n) Σ p_i`; 0 for an empty profile.
+    pub fn mean(&self) -> f64 {
+        if self.ps.is_empty() {
+            0.0
+        } else {
+            self.ps.iter().sum::<f64>() / self.ps.len() as f64
+        }
+    }
+
+    /// Whether the profile satisfies *plausible changeability* `PC = a`
+    /// (§2.1): `1/2 ≥ mean ≥ 1/2 − a`, i.e. the electorate is close to —
+    /// but not above — the coin-flip line, so delegation has room to
+    /// change the outcome.
+    pub fn plausible_changeability(&self, a: f64) -> bool {
+        let mean = self.mean();
+        mean <= 0.5 && mean >= 0.5 - a
+    }
+
+    /// Whether all competencies lie strictly inside `(beta, 1 - beta)` —
+    /// the paper's *bounded competency* restriction `p ∈ (β, 1-β)`.
+    pub fn bounded_away(&self, beta: f64) -> bool {
+        self.ps.iter().all(|&p| p > beta && p < 1.0 - beta)
+    }
+
+    /// Minimum competency; `None` for an empty profile.
+    pub fn min(&self) -> Option<f64> {
+        self.ps.first().copied()
+    }
+
+    /// Maximum competency; `None` for an empty profile.
+    pub fn max(&self) -> Option<f64> {
+        self.ps.last().copied()
+    }
+}
+
+impl AsRef<[f64]> for CompetencyProfile {
+    fn as_ref(&self) -> &[f64] {
+        &self.ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn competency_validation() {
+        assert!(Competency::new(0.0).is_ok());
+        assert!(Competency::new(1.0).is_ok());
+        assert!(Competency::new(-0.01).is_err());
+        assert!(Competency::new(1.01).is_err());
+        assert!(Competency::new(f64::NAN).is_err());
+        assert_eq!(f64::from(Competency::try_from(0.5).unwrap()), 0.5);
+    }
+
+    #[test]
+    fn profile_requires_sorted_input() {
+        assert!(CompetencyProfile::new(vec![0.1, 0.5, 0.4]).is_err());
+        let p = CompetencyProfile::from_unsorted(vec![0.5, 0.1, 0.4]).unwrap();
+        assert_eq!(p.as_slice(), &[0.1, 0.4, 0.5]);
+    }
+
+    #[test]
+    fn profile_rejects_invalid_values() {
+        let err = CompetencyProfile::new(vec![0.1, 2.0]).unwrap_err();
+        assert_eq!(err, CoreError::InvalidCompetency { value: 2.0, index: Some(1) });
+        assert!(CompetencyProfile::from_unsorted(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn linear_profile_endpoints_and_monotonicity() {
+        let p = CompetencyProfile::linear(5, 0.2, 0.6).unwrap();
+        assert_eq!(p.n(), 5);
+        assert!((p.get(0) - 0.2).abs() < 1e-12);
+        assert!((p.get(4) - 0.6).abs() < 1e-12);
+        assert!(p.as_slice().windows(2).all(|w| w[0] <= w[1]));
+        assert!(CompetencyProfile::linear(5, 0.6, 0.2).is_err());
+    }
+
+    #[test]
+    fn linear_profile_degenerate_sizes() {
+        assert_eq!(CompetencyProfile::linear(0, 0.1, 0.9).unwrap().n(), 0);
+        assert_eq!(CompetencyProfile::linear(1, 0.1, 0.9).unwrap().as_slice(), &[0.1]);
+    }
+
+    #[test]
+    fn two_point_figure_one_profile() {
+        // Figure 1: leaves at 1/3, hub at 2/3, hub sorted last.
+        let p = CompetencyProfile::two_point(8, 1.0 / 3.0, 1, 2.0 / 3.0).unwrap();
+        assert_eq!(p.n(), 9);
+        assert!((p.get(8) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.get(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(CompetencyProfile::two_point(2, 0.9, 1, 0.1).is_err());
+    }
+
+    #[test]
+    fn mean_and_plausible_changeability() {
+        let p = CompetencyProfile::constant(10, 0.45).unwrap();
+        assert!((p.mean() - 0.45).abs() < 1e-12);
+        assert!(p.plausible_changeability(0.1));
+        assert!(!p.plausible_changeability(0.01));
+        // Mean above 1/2 violates PC regardless of a.
+        let q = CompetencyProfile::constant(10, 0.55).unwrap();
+        assert!(!q.plausible_changeability(0.5));
+    }
+
+    #[test]
+    fn bounded_away_checks_open_interval() {
+        let p = CompetencyProfile::new(vec![0.3, 0.5, 0.7]).unwrap();
+        assert!(p.bounded_away(0.2));
+        assert!(!p.bounded_away(0.3)); // 0.3 is not strictly above beta
+        let q = CompetencyProfile::new(vec![0.0, 0.5]).unwrap();
+        assert!(!q.bounded_away(0.1));
+    }
+
+    #[test]
+    fn min_max_and_empty_profile() {
+        let p = CompetencyProfile::new(vec![0.2, 0.8]).unwrap();
+        assert_eq!(p.min(), Some(0.2));
+        assert_eq!(p.max(), Some(0.8));
+        let e = CompetencyProfile::new(vec![]).unwrap();
+        assert_eq!(e.min(), None);
+        assert_eq!(e.mean(), 0.0);
+    }
+}

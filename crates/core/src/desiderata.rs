@@ -1,0 +1,263 @@
+//! Empirical verdicts for the paper's desiderata (§2.3): Do No Harm,
+//! Positive Gain, and Strong Positive Gain.
+//!
+//! The definitions are asymptotic; the empirical analogue measures gain on
+//! a family of instances at increasing sizes and checks the finite-size
+//! footprint of each property:
+//!
+//! * **DNH** (Definition 3): losses shrink with `n` and the largest sizes
+//!   lose at most `ε`.
+//! * **PG** (Definition 4): *some* instance of every large size gains at
+//!   least `γ`.
+//! * **SPG** (Definition 5): *every* sampled instance of every large size
+//!   (meeting the delegate restriction) gains at least `γ`.
+
+use crate::error::Result;
+use crate::gain::{estimate_gain, GainEstimate};
+use crate::instance::ProblemInstance;
+use crate::mechanisms::Mechanism;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A family of problem instances indexed by size — e.g. "complete graphs
+/// with linear competencies" or "random 8-regular graphs with
+/// `AroundHalf` profiles". Implemented by any closure
+/// `Fn(usize, &mut dyn RngCore) -> Result<ProblemInstance>`.
+pub trait InstanceFamily {
+    /// Generates an instance with `n` voters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures (infeasible generator parameters).
+    fn instance(&self, n: usize, rng: &mut dyn RngCore) -> Result<ProblemInstance>;
+}
+
+impl<F> InstanceFamily for F
+where
+    F: Fn(usize, &mut dyn RngCore) -> Result<ProblemInstance>,
+{
+    fn instance(&self, n: usize, rng: &mut dyn RngCore) -> Result<ProblemInstance> {
+        self(n, rng)
+    }
+}
+
+/// Gain measurements for one instance size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizePoint {
+    /// Number of voters.
+    pub n: usize,
+    /// Smallest gain among the sampled instances of this size.
+    pub min_gain: f64,
+    /// Largest gain among the sampled instances of this size.
+    pub max_gain: f64,
+    /// Mean gain across sampled instances.
+    pub mean_gain: f64,
+    /// Mean number of delegators (for delegate-restriction checks).
+    pub mean_delegators: f64,
+}
+
+/// The empirical desiderata assessment of a mechanism on a family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesiderataReport {
+    points: Vec<SizePoint>,
+}
+
+impl DesiderataReport {
+    /// Per-size measurements, in increasing size order.
+    pub fn points(&self) -> &[SizePoint] {
+        &self.points
+    }
+
+    /// The worst loss (most negative minimum gain) at the **largest**
+    /// measured size — the quantity DNH drives to zero.
+    pub fn terminal_worst_loss(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| (-p.min_gain).max(0.0))
+    }
+
+    /// Empirical **Do No Harm**: at the largest size every sampled
+    /// instance loses at most `epsilon`.
+    pub fn do_no_harm(&self, epsilon: f64) -> bool {
+        self.terminal_worst_loss() <= epsilon
+    }
+
+    /// Empirical **Positive Gain**: at every size (from the first size
+    /// where it holds onward) some instance gains at least `gamma`.
+    pub fn positive_gain(&self, gamma: f64) -> bool {
+        self.points.last().is_some_and(|p| p.max_gain >= gamma)
+    }
+
+    /// Empirical **Strong Positive Gain**: at the largest size **every**
+    /// sampled instance gains at least `gamma`.
+    pub fn strong_positive_gain(&self, gamma: f64) -> bool {
+        self.points.last().is_some_and(|p| p.min_gain >= gamma)
+    }
+
+    /// Whether losses are (weakly) shrinking across sizes — the trend DNH
+    /// asserts. Tolerates `slack` of non-monotonicity from sampling noise.
+    pub fn loss_is_shrinking(&self, slack: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| (-w[1].min_gain).max(0.0) <= (-w[0].min_gain).max(0.0) + slack)
+    }
+
+    /// Whether the *delegate restriction* `Delegate(n) ≥ f(n)`
+    /// (Definition 2) holds empirically: at every measured size the mean
+    /// number of delegating voters is at least `f(n)`.
+    ///
+    /// The paper's SPG statements are conditional on this restriction
+    /// (e.g. `Delegate(n) ≥ n/k` in Theorem 2, `≥ h ≥ √n` in Theorem 5);
+    /// checking it separates "the mechanism never fires" from "the
+    /// mechanism fires and gains".
+    pub fn delegate_restriction<F: Fn(usize) -> f64>(&self, f: F) -> bool {
+        self.points.iter().all(|p| p.mean_delegators >= f(p.n))
+    }
+}
+
+/// Assesses a mechanism on an instance family: for each size, samples
+/// `instances_per_size` instances and estimates the gain of each with
+/// `trials_per_instance` mechanism draws.
+///
+/// # Errors
+///
+/// Propagates instance-generation and tallying errors.
+pub fn assess(
+    family: &dyn InstanceFamily,
+    mechanism: &dyn Mechanism,
+    sizes: &[usize],
+    instances_per_size: usize,
+    trials_per_instance: u64,
+    rng: &mut dyn RngCore,
+) -> Result<DesiderataReport> {
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let mut min_gain = f64::INFINITY;
+        let mut max_gain = f64::NEG_INFINITY;
+        let mut sum_gain = 0.0;
+        let mut sum_delegators = 0.0;
+        for _ in 0..instances_per_size.max(1) {
+            let instance = family.instance(n, rng)?;
+            let est: GainEstimate =
+                estimate_gain(&instance, mechanism, trials_per_instance, rng)?;
+            let g = est.gain();
+            min_gain = min_gain.min(g);
+            max_gain = max_gain.max(g);
+            sum_gain += g;
+            sum_delegators += est.mean_delegators();
+        }
+        let k = instances_per_size.max(1) as f64;
+        points.push(SizePoint {
+            n,
+            min_gain,
+            max_gain,
+            mean_gain: sum_gain / k,
+            mean_delegators: sum_delegators / k,
+        });
+    }
+    Ok(DesiderataReport { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::competency::CompetencyProfile;
+    use crate::mechanisms::{ApprovalThreshold, DirectVoting, GreedyMax};
+    use ld_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn complete_family(n: usize, _rng: &mut dyn RngCore) -> Result<ProblemInstance> {
+        ProblemInstance::new(
+            generators::complete(n),
+            CompetencyProfile::linear(n, 0.35, 0.60)?,
+            0.05,
+        )
+    }
+
+    fn star_family(n: usize, _rng: &mut dyn RngCore) -> Result<ProblemInstance> {
+        // Figure 1: leaves slightly above 1/2 (direct voting → 1), hub at
+        // 2/3 (delegation → 2/3), so the loss converges to 1/3.
+        ProblemInstance::new(
+            generators::star(n),
+            CompetencyProfile::two_point(n - 1, 0.6, 1, 2.0 / 3.0)?,
+            0.01,
+        )
+    }
+
+    #[test]
+    fn direct_voting_trivially_satisfies_dnh_and_not_pg() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let report =
+            assess(&complete_family, &DirectVoting, &[8, 16, 32], 2, 4, &mut rng).unwrap();
+        assert!(report.do_no_harm(1e-9));
+        assert!(!report.positive_gain(0.01));
+        assert!(report.loss_is_shrinking(1e-9));
+    }
+
+    #[test]
+    fn algorithm1_on_complete_family_has_spg() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = assess(
+            &complete_family,
+            &ApprovalThreshold::new(2),
+            &[16, 32, 64],
+            3,
+            32,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(report.strong_positive_gain(0.02), "report: {report:?}");
+        assert!(report.positive_gain(0.02));
+        assert!(report.do_no_harm(0.01));
+    }
+
+    #[test]
+    fn greedy_on_star_family_violates_dnh() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let report =
+            assess(&star_family, &GreedyMax, &[21, 51, 101], 1, 4, &mut rng).unwrap();
+        // Loss converges to 1/3 — DNH fails at any ε < 1/3.
+        assert!(!report.do_no_harm(0.25));
+        assert!(report.terminal_worst_loss() > 0.25);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = assess(&complete_family, &DirectVoting, &[4, 8], 1, 2, &mut rng).unwrap();
+        assert_eq!(report.points().len(), 2);
+        assert_eq!(report.points()[0].n, 4);
+        assert_eq!(report.points()[1].n, 8);
+        assert_eq!(report.points()[0].mean_delegators, 0.0);
+    }
+
+    #[test]
+    fn delegate_restriction_checks_mean_delegators() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = assess(
+            &complete_family,
+            &ApprovalThreshold::new(1),
+            &[16, 32],
+            2,
+            8,
+            &mut rng,
+        )
+        .unwrap();
+        // On K_n with a low threshold most voters delegate.
+        assert!(report.delegate_restriction(|n| n as f64 / 4.0));
+        assert!(!report.delegate_restriction(|n| n as f64 + 1.0));
+        // Direct voting never satisfies a positive restriction.
+        let direct =
+            assess(&complete_family, &DirectVoting, &[16], 1, 2, &mut rng).unwrap();
+        assert!(!direct.delegate_restriction(|_| 1.0));
+        assert!(direct.delegate_restriction(|_| 0.0));
+    }
+
+    #[test]
+    fn empty_report_is_vacuous() {
+        let report = DesiderataReport { points: Vec::new() };
+        assert!(report.do_no_harm(0.0));
+        assert!(!report.positive_gain(0.0));
+        assert!(!report.strong_positive_gain(0.0));
+        assert_eq!(report.terminal_worst_loss(), 0.0);
+    }
+}

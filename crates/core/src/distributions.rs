@@ -1,0 +1,246 @@
+//! Competency distributions: samplers producing [`CompetencyProfile`]s.
+//!
+//! The paper fixes competencies adversarially/deterministically; Halpern
+//! et al. \[21\] instead sample them from a distribution, and the paper's §6
+//! proposes unifying the two views. These samplers provide the profiles
+//! the experiments need: `PC = a`-satisfying families for the SPG
+//! theorems, `(β, 1-β)`-bounded families for the DNH lemmas, and the
+//! two-point adversarial family of Figure 1.
+
+use crate::competency::CompetencyProfile;
+use crate::error::{CoreError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over voter competencies.
+///
+/// Sampling `n` voters yields a sorted [`CompetencyProfile`].
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::distributions::CompetencyDistribution;
+/// use rand::SeedableRng;
+///
+/// let dist = CompetencyDistribution::Uniform { lo: 0.3, hi: 0.7 };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let profile = dist.sample(100, &mut rng)?;
+/// assert_eq!(profile.n(), 100);
+/// assert!(profile.bounded_away(0.25));
+/// # Ok::<(), ld_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CompetencyDistribution {
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower endpoint.
+        lo: f64,
+        /// Upper endpoint.
+        hi: f64,
+    },
+    /// Two-point mixture: competency `high` with probability `frac_high`,
+    /// otherwise `low`. Figure 1's profile is
+    /// `TwoPoint { low: 1/3, high: 2/3, frac_high: 1/n }` in spirit.
+    TwoPoint {
+        /// The lower competency value.
+        low: f64,
+        /// The higher competency value.
+        high: f64,
+        /// Probability of drawing `high`.
+        frac_high: f64,
+    },
+    /// A `PC = a`-satisfying family: uniform on `[1/2 - 2a, 1/2]` plus a
+    /// spread of width `spread` applied symmetrically; the realized mean
+    /// concentrates in `[1/2 - a, 1/2]` (plausible changeability, §2.1).
+    AroundHalf {
+        /// The plausible-changeability slack `a`.
+        a: f64,
+        /// Extra symmetric spread around each sampled point.
+        spread: f64,
+    },
+    /// Normal with the given mean and standard deviation, rejection-sampled
+    /// into `[lo, hi]`.
+    TruncatedNormal {
+        /// Mean of the underlying normal.
+        mean: f64,
+        /// Standard deviation of the underlying normal.
+        sd: f64,
+        /// Lower truncation point.
+        lo: f64,
+        /// Upper truncation point.
+        hi: f64,
+    },
+}
+
+impl CompetencyDistribution {
+    /// Samples a sorted profile of `n` competencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the distribution's
+    /// parameters are malformed (endpoints out of `[0, 1]`, `lo > hi`,
+    /// nonpositive standard deviation, fraction outside `[0, 1]`).
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<CompetencyProfile> {
+        self.validate()?;
+        let ps: Vec<f64> = match *self {
+            CompetencyDistribution::Uniform { lo, hi } => {
+                (0..n).map(|_| if lo == hi { lo } else { rng.gen_range(lo..=hi) }).collect()
+            }
+            CompetencyDistribution::TwoPoint { low, high, frac_high } => (0..n)
+                .map(|_| if rng.gen_bool(frac_high) { high } else { low })
+                .collect(),
+            CompetencyDistribution::AroundHalf { a, spread } => (0..n)
+                .map(|_| {
+                    let base = rng.gen_range((0.5 - 2.0 * a).max(0.0)..=0.5);
+                    let jitter = if spread > 0.0 {
+                        rng.gen_range(-spread..=spread)
+                    } else {
+                        0.0
+                    };
+                    (base + jitter).clamp(0.0, 1.0)
+                })
+                .collect(),
+            CompetencyDistribution::TruncatedNormal { mean, sd, lo, hi } => (0..n)
+                .map(|_| {
+                    // Box–Muller with rejection into [lo, hi]; falls back to
+                    // uniform after a guard to guarantee termination.
+                    for _ in 0..1000 {
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        let z = (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let x = mean + sd * z;
+                        if (lo..=hi).contains(&x) {
+                            return x;
+                        }
+                    }
+                    rng.gen_range(lo..=hi)
+                })
+                .collect(),
+        };
+        CompetencyProfile::from_unsorted(ps)
+    }
+
+    /// Validates the distribution's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] describing the violation.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |reason: String| Err(CoreError::InvalidParameter { reason });
+        let unit = |x: f64| x.is_finite() && (0.0..=1.0).contains(&x);
+        match *self {
+            CompetencyDistribution::Uniform { lo, hi } => {
+                if !unit(lo) || !unit(hi) || lo > hi {
+                    return bad(format!("uniform range [{lo}, {hi}] invalid"));
+                }
+            }
+            CompetencyDistribution::TwoPoint { low, high, frac_high } => {
+                if !unit(low) || !unit(high) || low > high || !unit(frac_high) {
+                    return bad(format!(
+                        "two-point parameters low={low} high={high} frac={frac_high} invalid"
+                    ));
+                }
+            }
+            CompetencyDistribution::AroundHalf { a, spread } => {
+                if !(a.is_finite() && (0.0..=0.5).contains(&a)) {
+                    return bad(format!("around-half slack a = {a} must be in [0, 0.5]"));
+                }
+                if !(spread.is_finite() && (0.0..=0.5).contains(&spread)) {
+                    return bad(format!("spread {spread} must be in [0, 0.5]"));
+                }
+            }
+            CompetencyDistribution::TruncatedNormal { mean, sd, lo, hi } => {
+                if !unit(lo) || !unit(hi) || lo > hi {
+                    return bad(format!("truncation range [{lo}, {hi}] invalid"));
+                }
+                if !(sd.is_finite() && sd > 0.0 && mean.is_finite()) {
+                    return bad(format!("normal parameters mean={mean} sd={sd} invalid"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_range_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = CompetencyDistribution::Uniform { lo: 0.2, hi: 0.8 };
+        let p = d.sample(500, &mut rng).unwrap();
+        assert!(p.as_slice().iter().all(|&x| (0.2..=0.8).contains(&x)));
+        assert!(p.as_slice().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn uniform_point_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = CompetencyDistribution::Uniform { lo: 0.5, hi: 0.5 };
+        let p = d.sample(10, &mut rng).unwrap();
+        assert!(p.as_slice().iter().all(|&x| x == 0.5));
+    }
+
+    #[test]
+    fn two_point_only_produces_the_two_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = CompetencyDistribution::TwoPoint { low: 1.0 / 3.0, high: 2.0 / 3.0, frac_high: 0.2 };
+        let p = d.sample(300, &mut rng).unwrap();
+        for &x in p.as_slice() {
+            assert!((x - 1.0 / 3.0).abs() < 1e-12 || (x - 2.0 / 3.0).abs() < 1e-12);
+        }
+        let highs = p.as_slice().iter().filter(|&&x| x > 0.5).count();
+        assert!((30..=90).contains(&highs), "got {highs} high draws out of 300");
+    }
+
+    #[test]
+    fn around_half_satisfies_plausible_changeability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = 0.1;
+        let d = CompetencyDistribution::AroundHalf { a, spread: 0.0 };
+        let p = d.sample(2000, &mut rng).unwrap();
+        // Realized mean of Uniform[1/2 - 2a, 1/2] is 1/2 - a ± noise.
+        assert!(p.plausible_changeability(a + 0.02), "mean {}", p.mean());
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = CompetencyDistribution::TruncatedNormal { mean: 0.5, sd: 0.2, lo: 0.3, hi: 0.7 };
+        let p = d.sample(400, &mut rng).unwrap();
+        assert!(p.as_slice().iter().all(|&x| (0.3..=0.7).contains(&x)));
+        assert!((p.mean() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let bads = [
+            CompetencyDistribution::Uniform { lo: 0.8, hi: 0.2 },
+            CompetencyDistribution::Uniform { lo: -0.1, hi: 0.5 },
+            CompetencyDistribution::TwoPoint { low: 0.6, high: 0.4, frac_high: 0.5 },
+            CompetencyDistribution::TwoPoint { low: 0.2, high: 0.8, frac_high: 1.5 },
+            CompetencyDistribution::AroundHalf { a: 0.7, spread: 0.0 },
+            CompetencyDistribution::AroundHalf { a: 0.1, spread: 0.9 },
+            CompetencyDistribution::TruncatedNormal { mean: 0.5, sd: 0.0, lo: 0.1, hi: 0.9 },
+            CompetencyDistribution::TruncatedNormal { mean: 0.5, sd: 0.1, lo: 0.9, hi: 0.1 },
+        ];
+        for d in bads {
+            assert!(d.validate().is_err(), "{d:?} accepted");
+            let mut rng = StdRng::seed_from_u64(0);
+            assert!(d.sample(5, &mut rng).is_err(), "{d:?} sampled");
+        }
+    }
+
+    #[test]
+    fn zero_samples_give_empty_profile() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = CompetencyDistribution::Uniform { lo: 0.0, hi: 1.0 };
+        assert_eq!(d.sample(0, &mut rng).unwrap().n(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Error types for the liquid-democracy core model.
+
+use std::error::Error;
+use std::fmt;
+
+/// A specialized result type for core-model operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced when building or evaluating problem instances.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A competency value was outside `[0, 1]` or not finite.
+    InvalidCompetency {
+        /// The offending value.
+        value: f64,
+        /// Voter index where it occurred, if known.
+        index: Option<usize>,
+    },
+    /// Competencies were not sorted in nondecreasing order (the paper's
+    /// convention `p_i ≤ p_j` for `i < j`).
+    UnsortedCompetencies {
+        /// First index at which the order is violated.
+        index: usize,
+    },
+    /// The graph and the competency profile disagree on the number of
+    /// voters.
+    SizeMismatch {
+        /// Vertices in the graph.
+        graph_n: usize,
+        /// Entries in the competency profile.
+        profile_n: usize,
+    },
+    /// A mechanism or model parameter was invalid.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A delegation graph contained a directed cycle, which approval-based
+    /// mechanisms must never produce (the approval margin `α > 0` forbids
+    /// mutual approval).
+    CyclicDelegation,
+    /// An error propagated from the probability substrate.
+    Prob(ld_prob::ProbError),
+    /// An error propagated from the graph substrate.
+    Graph(ld_graph::GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidCompetency { value, index: Some(i) } => {
+                write!(f, "competency {value} at voter {i} not in [0, 1]")
+            }
+            CoreError::InvalidCompetency { value, index: None } => {
+                write!(f, "competency {value} not in [0, 1]")
+            }
+            CoreError::UnsortedCompetencies { index } => {
+                write!(f, "competencies not sorted at index {index} (expected p_i ≤ p_j for i < j)")
+            }
+            CoreError::SizeMismatch { graph_n, profile_n } => {
+                write!(f, "graph has {graph_n} vertices but profile has {profile_n} competencies")
+            }
+            CoreError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            CoreError::CyclicDelegation => {
+                write!(f, "delegation graph contains a directed cycle")
+            }
+            CoreError::Prob(e) => write!(f, "probability error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Prob(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ld_prob::ProbError> for CoreError {
+    fn from(e: ld_prob::ProbError) -> Self {
+        CoreError::Prob(e)
+    }
+}
+
+impl From<ld_graph::GraphError> for CoreError {
+    fn from(e: ld_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (CoreError::InvalidCompetency { value: 1.2, index: Some(3) }, "voter 3"),
+            (CoreError::InvalidCompetency { value: -0.5, index: None }, "-0.5"),
+            (CoreError::UnsortedCompetencies { index: 4 }, "index 4"),
+            (CoreError::SizeMismatch { graph_n: 5, profile_n: 6 }, "5 vertices"),
+            (CoreError::CyclicDelegation, "cycle"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn error_conversions_preserve_source() {
+        let prob_err = ld_prob::ProbError::InvalidParameter { reason: "x".into() };
+        let core: CoreError = prob_err.into();
+        assert!(core.source().is_some());
+        let graph_err = ld_graph::GraphError::SelfLoop { vertex: 1 };
+        let core: CoreError = graph_err.into();
+        assert!(core.source().is_some());
+        assert!(CoreError::CyclicDelegation.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<CoreError>();
+    }
+}

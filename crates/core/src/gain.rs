@@ -1,0 +1,350 @@
+//! Gain of a mechanism over direct voting (§2.2 of the paper).
+//!
+//! `gain(M, G) = P^M(G) − P^D(G)`. `P^D` is computed exactly; `P^M`
+//! averages the **exact** conditional correctness probability over draws
+//! of the mechanism's randomness (and falls back to outcome sampling for
+//! weighted-majority graphs, which admit no exact DP).
+
+use crate::delegation::DelegationGraph;
+use crate::error::Result;
+use crate::instance::ProblemInstance;
+use crate::mechanisms::Mechanism;
+use crate::tally::{direct_probability, exact_correct_probability, sample_decision, TieBreak};
+use ld_prob::stats::Welford;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A gain estimate plus the structural statistics the paper's lemmas are
+/// stated in terms of (delegations, sinks, max weight, chain length).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GainEstimate {
+    /// Exact probability of a correct decision under direct voting.
+    p_direct: f64,
+    /// Per-draw correctness probabilities of the mechanism.
+    p_mechanism: Welford,
+    /// Per-draw number of delegating voters (Definition 2's `Delegate(n)`).
+    delegators: Welford,
+    /// Per-draw number of sinks.
+    sinks: Welford,
+    /// Per-draw maximum sink weight (Lemma 5's `w`).
+    max_weight: Welford,
+    /// Per-draw longest delegation chain.
+    longest_chain: Welford,
+    /// Per-draw abstained votes.
+    abstained: Welford,
+    /// Per-draw Gini coefficient of voting power.
+    weight_gini: Welford,
+}
+
+impl GainEstimate {
+    /// Exact `P^D(G)`.
+    pub fn p_direct(&self) -> f64 {
+        self.p_direct
+    }
+
+    /// Estimated `P^M(G)` (mean over mechanism draws).
+    pub fn p_mechanism(&self) -> f64 {
+        self.p_mechanism.mean()
+    }
+
+    /// Estimated gain `P^M(G) − P^D(G)`.
+    pub fn gain(&self) -> f64 {
+        self.p_mechanism() - self.p_direct
+    }
+
+    /// Two-sided confidence interval for the gain at `z` standard errors.
+    pub fn gain_ci(&self, z: f64) -> (f64, f64) {
+        let (lo, hi) = self.p_mechanism.mean_ci(z);
+        (lo - self.p_direct, hi - self.p_direct)
+    }
+
+    /// Number of mechanism draws.
+    pub fn trials(&self) -> u64 {
+        self.p_mechanism.count()
+    }
+
+    /// Mean number of delegating voters per draw.
+    pub fn mean_delegators(&self) -> f64 {
+        self.delegators.mean()
+    }
+
+    /// Mean number of sinks per draw.
+    pub fn mean_sinks(&self) -> f64 {
+        self.sinks.mean()
+    }
+
+    /// Mean maximum sink weight per draw (Lemma 5's `w`).
+    pub fn mean_max_weight(&self) -> f64 {
+        self.max_weight.mean()
+    }
+
+    /// Mean longest delegation chain per draw.
+    pub fn mean_longest_chain(&self) -> f64 {
+        self.longest_chain.mean()
+    }
+
+    /// Mean number of abstained votes per draw.
+    pub fn mean_abstained(&self) -> f64 {
+        self.abstained.mean()
+    }
+
+    /// Mean Gini coefficient of voting power per draw (0 = direct voting,
+    /// → 1 = dictatorship) — the concentration diagnostic of the empirical
+    /// studies the paper cites [26, 32]. Only defined for single-target
+    /// draws; 0 if none were recorded.
+    pub fn mean_weight_gini(&self) -> f64 {
+        self.weight_gini.mean()
+    }
+
+    /// Merges another estimate of the **same** instance/mechanism pair
+    /// (e.g. from a parallel worker).
+    pub fn merge(&mut self, other: &GainEstimate) {
+        self.p_mechanism.merge(&other.p_mechanism);
+        self.delegators.merge(&other.delegators);
+        self.sinks.merge(&other.sinks);
+        self.max_weight.merge(&other.max_weight);
+        self.longest_chain.merge(&other.longest_chain);
+        self.abstained.merge(&other.abstained);
+        self.weight_gini.merge(&other.weight_gini);
+    }
+}
+
+/// Estimates `gain(M, G)` with `trials` draws of the mechanism's
+/// randomness, using the paper's strict-majority tie rule.
+///
+/// For single-target delegation graphs each draw contributes the **exact**
+/// conditional probability (weighted Poisson-binomial), so the only Monte
+/// Carlo noise is over the mechanism's own randomness. Weighted-majority
+/// graphs ([`crate::delegation::Action::DelegateMany`]) contribute one
+/// sampled outcome per draw instead.
+///
+/// # Errors
+///
+/// Propagates tallying errors (e.g. a cyclic delegation graph, which no
+/// approval-based mechanism can produce).
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::{CompetencyProfile, ProblemInstance};
+/// use ld_core::mechanisms::ApprovalThreshold;
+/// use ld_core::gain::estimate_gain;
+/// use ld_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let inst = ProblemInstance::new(
+///     generators::complete(32),
+///     CompetencyProfile::linear(32, 0.35, 0.62)?,
+///     0.05,
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let est = estimate_gain(&inst, &ApprovalThreshold::new(2), 64, &mut rng)?;
+/// assert!(est.gain() > 0.0, "delegation should help here");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn estimate_gain(
+    instance: &ProblemInstance,
+    mechanism: &dyn Mechanism,
+    trials: u64,
+    rng: &mut dyn RngCore,
+) -> Result<GainEstimate> {
+    estimate_gain_with(instance, mechanism, trials, TieBreak::Incorrect, rng)
+}
+
+/// [`estimate_gain`] with an explicit tie rule (for ablations).
+///
+/// # Errors
+///
+/// Propagates tallying errors.
+pub fn estimate_gain_with(
+    instance: &ProblemInstance,
+    mechanism: &dyn Mechanism,
+    trials: u64,
+    tie: TieBreak,
+    rng: &mut dyn RngCore,
+) -> Result<GainEstimate> {
+    let p_direct = direct_probability(instance, tie)?;
+    let mut est = GainEstimate {
+        p_direct,
+        p_mechanism: Welford::new(),
+        delegators: Welford::new(),
+        sinks: Welford::new(),
+        max_weight: Welford::new(),
+        longest_chain: Welford::new(),
+        abstained: Welford::new(),
+        weight_gini: Welford::new(),
+    };
+    for _ in 0..trials {
+        let dg = mechanism.run(instance, rng);
+        accumulate_draw(instance, &dg, tie, rng, &mut est)?;
+    }
+    Ok(est)
+}
+
+/// Records one mechanism draw into a [`GainEstimate`]. Exposed for the
+/// parallel engine in `ld-sim`.
+///
+/// # Errors
+///
+/// Propagates tallying errors.
+pub fn accumulate_draw(
+    instance: &ProblemInstance,
+    dg: &DelegationGraph,
+    tie: TieBreak,
+    rng: &mut dyn RngCore,
+    est: &mut GainEstimate,
+) -> Result<()> {
+    if dg.is_single_target() {
+        let res = dg.resolve()?;
+        let p = exact_correct_probability(instance, &res, tie)?;
+        est.p_mechanism.push(p);
+        est.delegators.push(res.delegators() as f64);
+        est.sinks.push(res.sink_count() as f64);
+        est.max_weight.push(res.max_weight() as f64);
+        est.longest_chain.push(res.longest_chain() as f64);
+        est.abstained.push(res.discarded() as f64);
+        est.weight_gini.push(res.weight_gini());
+    } else {
+        let correct = sample_decision(instance, dg, tie, rng)?;
+        est.p_mechanism.push(correct as u8 as f64);
+        est.delegators.push(dg.delegator_count() as f64);
+        let digraph = dg.digraph();
+        est.sinks.push(digraph.sinks().len() as f64);
+        // Max weight and chain length are not defined for weighted-majority
+        // graphs under the sink-weight model; record the chain from the
+        // digraph and skip weight.
+        if let Some(lp) = digraph.longest_path() {
+            est.longest_chain.push(lp as f64);
+        }
+        est.abstained.push(dg.abstainer_count() as f64);
+    }
+    Ok(())
+}
+
+/// Builds an empty [`GainEstimate`] for the given instance (used by the
+/// parallel engine to merge worker results).
+///
+/// # Errors
+///
+/// Propagates probability-layer validation errors.
+pub fn empty_estimate(instance: &ProblemInstance, tie: TieBreak) -> Result<GainEstimate> {
+    Ok(GainEstimate {
+        p_direct: direct_probability(instance, tie)?,
+        p_mechanism: Welford::new(),
+        delegators: Welford::new(),
+        sinks: Welford::new(),
+        max_weight: Welford::new(),
+        longest_chain: Welford::new(),
+        abstained: Welford::new(),
+        weight_gini: Welford::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::competency::CompetencyProfile;
+    use crate::mechanisms::{Abstaining, ApprovalThreshold, DirectVoting, GreedyMax};
+    use ld_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn complete_instance(n: usize, lo: f64, hi: f64) -> ProblemInstance {
+        ProblemInstance::new(
+            generators::complete(n),
+            CompetencyProfile::linear(n, lo, hi).unwrap(),
+            0.05,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn direct_voting_has_zero_gain() {
+        let inst = complete_instance(15, 0.3, 0.7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = estimate_gain(&inst, &DirectVoting, 10, &mut rng).unwrap();
+        assert!(est.gain().abs() < 1e-12);
+        assert_eq!(est.trials(), 10);
+        assert_eq!(est.mean_delegators(), 0.0);
+        assert_eq!(est.mean_max_weight(), 1.0);
+    }
+
+    #[test]
+    fn delegation_gains_on_complete_graph_below_half() {
+        // Mean competency below 1/2: direct voting fails with high
+        // probability at large n; delegation to better voters helps.
+        let inst = complete_instance(64, 0.35, 0.60);
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = estimate_gain(&inst, &ApprovalThreshold::new(2), 128, &mut rng).unwrap();
+        assert!(est.gain() > 0.05, "gain {} too small", est.gain());
+        let (lo, _) = est.gain_ci(2.0);
+        assert!(lo > 0.0, "gain CI should exclude zero");
+    }
+
+    #[test]
+    fn greedy_on_star_loses_about_one_third() {
+        // Figure 1: leaves slightly above 1/2 make direct voting → 1 for
+        // large n, while greedy delegation concentrates all power on the
+        // hub (p = 2/3), for an asymptotic loss of 1/3.
+        let n = 101;
+        let inst = ProblemInstance::new(
+            generators::star(n),
+            CompetencyProfile::two_point(n - 1, 0.6, 1, 2.0 / 3.0).unwrap(),
+            0.01,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = estimate_gain(&inst, &GreedyMax, 4, &mut rng).unwrap();
+        assert!(est.p_direct() > 0.97, "direct should be near 1, got {}", est.p_direct());
+        assert!((est.p_mechanism() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((est.gain() + 1.0 / 3.0).abs() < 0.03, "gain {} ≠ -1/3", est.gain());
+        assert_eq!(est.mean_max_weight(), n as f64);
+    }
+
+    #[test]
+    fn structural_statistics_are_recorded() {
+        let inst = complete_instance(32, 0.3, 0.7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = estimate_gain(&inst, &ApprovalThreshold::new(1), 32, &mut rng).unwrap();
+        assert!(est.mean_delegators() > 1.0);
+        assert!(est.mean_sinks() >= 1.0);
+        assert!(est.mean_max_weight() >= 1.0);
+        assert!(est.mean_longest_chain() >= 1.0);
+        assert_eq!(est.mean_abstained(), 0.0);
+    }
+
+    #[test]
+    fn abstaining_records_abstentions() {
+        let inst = complete_instance(32, 0.3, 0.7);
+        let mech = Abstaining::new(ApprovalThreshold::new(1), 0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = estimate_gain(&inst, &mech, 32, &mut rng).unwrap();
+        assert!(est.mean_abstained() > 0.0);
+    }
+
+    #[test]
+    fn merge_combines_trials() {
+        let inst = complete_instance(16, 0.3, 0.7);
+        let mech = ApprovalThreshold::new(1);
+        let mut r1 = StdRng::seed_from_u64(6);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let mut a = estimate_gain(&inst, &mech, 20, &mut r1).unwrap();
+        let b = estimate_gain(&inst, &mech, 30, &mut r2).unwrap();
+        a.merge(&b);
+        assert_eq!(a.trials(), 50);
+        assert!((0.0..=1.0).contains(&a.p_mechanism()));
+    }
+
+    #[test]
+    fn tie_break_variant_is_plumbed_through() {
+        // Even-sized electorate of fair coins: direct probability differs
+        // by tie rule.
+        let inst = complete_instance(2, 0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pess =
+            estimate_gain_with(&inst, &DirectVoting, 4, TieBreak::Incorrect, &mut rng).unwrap();
+        let coin =
+            estimate_gain_with(&inst, &DirectVoting, 4, TieBreak::CoinFlip, &mut rng).unwrap();
+        assert!(pess.p_direct() < coin.p_direct());
+    }
+}

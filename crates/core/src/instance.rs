@@ -1,0 +1,266 @@
+//! Problem instances: a voter graph plus a competency profile plus the
+//! approval margin `α`.
+
+use crate::competency::CompetencyProfile;
+use crate::error::{CoreError, Result};
+use ld_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A liquid-democracy problem instance `G = (V, E, p)` with approval
+/// parameter `α > 0` (§2.1 of the paper).
+///
+/// Voters are vertices `0..n`, ordered by competency (`p_i ≤ p_j` for
+/// `i < j`). The *approval set* `J(i)` of voter `i` is the set of
+/// neighbours `j` with `p_i + α ≤ p_j`: voters noticeably more competent
+/// than `i`. Voters do not know competencies — only which neighbours are
+/// approved — which is exactly the information this type exposes to
+/// mechanisms.
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::{CompetencyProfile, ProblemInstance};
+/// use ld_graph::generators;
+///
+/// let graph = generators::complete(4);
+/// let profile = CompetencyProfile::new(vec![0.2, 0.4, 0.6, 0.8])?;
+/// let inst = ProblemInstance::new(graph, profile, 0.1)?;
+/// assert_eq!(inst.approval_set(0), vec![1, 2, 3]);
+/// assert_eq!(inst.approval_set(3), Vec::<usize>::new());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProblemInstance {
+    graph: Graph,
+    profile: CompetencyProfile,
+    alpha: f64,
+}
+
+impl ProblemInstance {
+    /// Builds an instance, validating that the graph and profile agree on
+    /// the number of voters and that `α` is positive and finite.
+    ///
+    /// The paper requires `α > 0` — it is what makes every approval-based
+    /// delegation graph acyclic (a voter can never approve someone who
+    /// approves them back).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::SizeMismatch`] if `graph.n() != profile.n()`.
+    /// * [`CoreError::InvalidParameter`] if `α` is not strictly positive
+    ///   and finite.
+    pub fn new(graph: Graph, profile: CompetencyProfile, alpha: f64) -> Result<Self> {
+        if graph.n() != profile.n() {
+            return Err(CoreError::SizeMismatch { graph_n: graph.n(), profile_n: profile.n() });
+        }
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("approval margin alpha = {alpha} must be positive and finite"),
+            });
+        }
+        Ok(ProblemInstance { graph, profile, alpha })
+    }
+
+    /// Number of voters.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The social graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The competency profile.
+    pub fn profile(&self) -> &CompetencyProfile {
+        &self.profile
+    }
+
+    /// The approval margin `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Competency of voter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    pub fn competency(&self, i: usize) -> f64 {
+        self.profile.get(i)
+    }
+
+    /// Whether voter `i` approves of voter `j`: they are adjacent and
+    /// `p_i + α ≤ p_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn approves(&self, i: usize, j: usize) -> bool {
+        self.graph.has_edge(i, j) && self.profile.get(i) + self.alpha <= self.profile.get(j)
+    }
+
+    /// The approval set `J(i)`: the approved neighbours of voter `i`, in
+    /// increasing index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    pub fn approval_set(&self, i: usize) -> Vec<usize> {
+        let pi = self.profile.get(i);
+        self.graph
+            .neighbors(i)
+            .filter(|&j| pi + self.alpha <= self.profile.get(j))
+            .collect()
+    }
+
+    /// Fills `buf` with the approval set `J(i)`, reusing its allocation.
+    ///
+    /// Mechanisms call this once per voter per draw; on dense graphs the
+    /// allocation in [`ProblemInstance::approval_set`] dominates the run
+    /// cost, so the hot paths use this variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    pub fn approval_set_into(&self, i: usize, buf: &mut Vec<usize>) {
+        buf.clear();
+        let pi = self.profile.get(i);
+        buf.extend(
+            self.graph
+                .neighbors(i)
+                .filter(|&j| pi + self.alpha <= self.profile.get(j)),
+        );
+    }
+
+    /// Size of the approval set `|J(i)|` without materializing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    pub fn approval_count(&self, i: usize) -> usize {
+        let pi = self.profile.get(i);
+        self.graph
+            .neighbors(i)
+            .filter(|&j| pi + self.alpha <= self.profile.get(j))
+            .count()
+    }
+
+    /// The exact probability that **direct voting** decides correctly on
+    /// this instance: `P[Σ Bernoulli(p_i) > n/2]` (strict majority).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric validation errors from the probability layer
+    /// (cannot occur for a validated profile).
+    pub fn direct_voting_probability(&self) -> Result<f64> {
+        let pb = ld_prob::poisson_binomial::PoissonBinomial::new(self.profile.as_slice())?;
+        Ok(pb.strict_majority())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_graph::generators;
+
+    fn small_instance() -> ProblemInstance {
+        // Path 0 - 1 - 2 with competencies 0.2, 0.5, 0.8.
+        let graph = generators::path(3);
+        let profile = CompetencyProfile::new(vec![0.2, 0.5, 0.8]).unwrap();
+        ProblemInstance::new(graph, profile, 0.1).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_sizes_and_alpha() {
+        let graph = generators::complete(3);
+        let profile = CompetencyProfile::new(vec![0.5, 0.5]).unwrap();
+        assert!(matches!(
+            ProblemInstance::new(graph.clone(), profile, 0.1),
+            Err(CoreError::SizeMismatch { .. })
+        ));
+        let profile3 = CompetencyProfile::constant(3, 0.5).unwrap();
+        assert!(ProblemInstance::new(graph.clone(), profile3.clone(), 0.0).is_err());
+        assert!(ProblemInstance::new(graph.clone(), profile3.clone(), -1.0).is_err());
+        assert!(ProblemInstance::new(graph, profile3, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn approval_respects_both_adjacency_and_margin() {
+        let inst = small_instance();
+        // 0 approves 1 (adjacent, 0.2 + 0.1 ≤ 0.5) but not 2 (not adjacent).
+        assert!(inst.approves(0, 1));
+        assert!(!inst.approves(0, 2));
+        assert_eq!(inst.approval_set(0), vec![1]);
+        // 1 approves 2.
+        assert_eq!(inst.approval_set(1), vec![2]);
+        // 2 approves nobody (most competent).
+        assert_eq!(inst.approval_set(2), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn approval_margin_is_inclusive() {
+        // p_i + alpha == p_j counts as approved (p_i + α ≤ p_j).
+        let graph = generators::complete(2);
+        let profile = CompetencyProfile::new(vec![0.4, 0.5]).unwrap();
+        let inst = ProblemInstance::new(graph, profile, 0.1).unwrap();
+        assert!(inst.approves(0, 1));
+        assert!(!inst.approves(1, 0));
+    }
+
+    #[test]
+    fn approval_count_matches_set_length() {
+        let graph = generators::complete(6);
+        let profile = CompetencyProfile::linear(6, 0.1, 0.9).unwrap();
+        let inst = ProblemInstance::new(graph, profile, 0.15).unwrap();
+        for i in 0..6 {
+            assert_eq!(inst.approval_count(i), inst.approval_set(i).len(), "voter {i}");
+        }
+    }
+
+    #[test]
+    fn approval_is_antisymmetric_for_positive_alpha() {
+        let graph = generators::complete(5);
+        let profile = CompetencyProfile::linear(5, 0.2, 0.8).unwrap();
+        let inst = ProblemInstance::new(graph, profile, 0.05).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!(
+                    !(inst.approves(i, j) && inst.approves(j, i)),
+                    "mutual approval between {i} and {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_voting_probability_simple_cases() {
+        // Single voter: probability = competency.
+        let inst = ProblemInstance::new(
+            generators::complete(1),
+            CompetencyProfile::constant(1, 0.7).unwrap(),
+            0.1,
+        )
+        .unwrap();
+        assert!((inst.direct_voting_probability().unwrap() - 0.7).abs() < 1e-12);
+
+        // Three voters at 0.5: P[X ≥ 2] = 0.5.
+        let inst = ProblemInstance::new(
+            generators::complete(3),
+            CompetencyProfile::constant(3, 0.5).unwrap(),
+            0.1,
+        )
+        .unwrap();
+        assert!((inst.direct_voting_probability().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let inst = small_instance();
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.alpha(), 0.1);
+        assert_eq!(inst.competency(1), 0.5);
+        assert_eq!(inst.graph().m(), 2);
+        assert_eq!(inst.profile().n(), 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! # `ld-core` — the liquid-democracy model
+//!
+//! This crate implements the model of Chatterjee, Gilbert, Schmid, Svoboda
+//! and Yeo, *When is Liquid Democracy Possible? On the Manipulation of
+//! Variance* (PODC 2025):
+//!
+//! * [`CompetencyProfile`] — the sorted competency vector `p` (§2.1).
+//! * [`ProblemInstance`] — `G = (V, E, p)` with the approval margin `α` and
+//!   approval sets `J(i)` (§2.1).
+//! * [`Restriction`] — graph restrictions (Definition 1): `K_n`,
+//!   `Rand(n, d)`, `Δ ≤ k`, `δ ≥ k`, `PC = a`, `p ∈ (β, 1-β)`.
+//! * [`mechanisms`] — local delegation mechanisms (§2.2): direct voting,
+//!   Algorithm 1, Algorithm 2, the min-degree `1/4` rule, the
+//!   dictatorship-forming greedy rule of Figure 1, and the §6 extensions
+//!   (abstention, weighted majority, weight caps).
+//! * [`delegation`] — delegation graphs, their resolution into sinks and
+//!   weights, and the structural statistics of the paper's lemmas.
+//! * [`tally`] — strict-weighted-majority tallying, exact via the weighted
+//!   Poisson-binomial or sampled by outcome propagation.
+//! * [`gain`] — `gain(M, G) = P^M(G) − P^D(G)` estimation (§2.2).
+//! * [`desiderata`] — empirical Do No Harm / Positive Gain / Strong
+//!   Positive Gain verdicts (§2.3, Definitions 3–5).
+//! * [`distributions`] — competency samplers for the experiment families.
+//!
+//! # Examples
+//!
+//! Reproduce Figure 1's negative example (the star dictatorship):
+//!
+//! ```
+//! use ld_core::{CompetencyProfile, ProblemInstance};
+//! use ld_core::mechanisms::GreedyMax;
+//! use ld_core::gain::estimate_gain;
+//! use ld_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let n = 101;
+//! let inst = ProblemInstance::new(
+//!     generators::star(n),
+//!     CompetencyProfile::two_point(n - 1, 0.6, 1, 2.0 / 3.0)?,
+//!     0.01,
+//! )?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let est = estimate_gain(&inst, &GreedyMax, 8, &mut rng)?;
+//! // Direct voting is near-perfect; delegation collapses to p = 2/3.
+//! assert!(est.p_direct() > 0.97);
+//! assert!((est.p_mechanism() - 2.0 / 3.0).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod competency;
+mod error;
+mod instance;
+mod restriction;
+
+pub mod delegation;
+pub mod desiderata;
+pub mod distributions;
+pub mod gain;
+pub mod mechanisms;
+pub mod probabilistic;
+pub mod recycle_bridge;
+pub mod tally;
+
+pub use competency::{Competency, CompetencyProfile};
+pub use error::{CoreError, Result};
+pub use instance::ProblemInstance;
+pub use restriction::Restriction;

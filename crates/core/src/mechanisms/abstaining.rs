@@ -1,0 +1,158 @@
+//! The vote-abstaining extension (§6 of the paper).
+
+use crate::delegation::Action;
+use crate::instance::ProblemInstance;
+use crate::mechanisms::Mechanism;
+use rand::{Rng, RngCore};
+
+/// Wraps another mechanism so that voters **who would delegate** abstain
+/// with probability `abstain_prob` instead.
+///
+/// This implements the paper's abstinence model (§6): "a voter can abstain
+/// from voting only if they can delegate their vote to someone else" —
+/// decision-agnostic voters stay out of the tally rather than entrusting a
+/// ballot. Restricting abstention to would-be delegators is what preserves
+/// DNH; allowing arbitrary abstention could leave a single opinionated
+/// sink (footnote 4 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::mechanisms::{Abstaining, ApprovalThreshold, Mechanism};
+/// use ld_core::{CompetencyProfile, ProblemInstance};
+/// use ld_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let inst = ProblemInstance::new(
+///     generators::complete(20),
+///     CompetencyProfile::linear(20, 0.3, 0.7)?,
+///     0.02,
+/// )?;
+/// let mech = Abstaining::new(ApprovalThreshold::new(1), 0.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let dg = mech.run(&inst, &mut rng);
+/// assert!(dg.abstainer_count() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Abstaining<M> {
+    inner: M,
+    abstain_prob: f64,
+}
+
+impl<M: Mechanism> Abstaining<M> {
+    /// Wraps `inner`; each delegation decision becomes an abstention with
+    /// probability `abstain_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `abstain_prob` is not a finite probability in `[0, 1]`.
+    pub fn new(inner: M, abstain_prob: f64) -> Self {
+        assert!(
+            abstain_prob.is_finite() && (0.0..=1.0).contains(&abstain_prob),
+            "abstain probability {abstain_prob} must be in [0, 1]"
+        );
+        Abstaining { inner, abstain_prob }
+    }
+
+    /// The wrapped mechanism.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The abstention probability.
+    pub fn abstain_prob(&self) -> f64 {
+        self.abstain_prob
+    }
+}
+
+impl<M: Mechanism> Mechanism for Abstaining<M> {
+    fn act(&self, instance: &ProblemInstance, voter: usize, rng: &mut dyn RngCore) -> Action {
+        let action = self.inner.act(instance, voter, rng);
+        if action.is_delegation() && rng.gen_bool(self.abstain_prob) {
+            Action::Abstain
+        } else {
+            action
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("abstaining(q={}, {})", self.abstain_prob, self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::competency::CompetencyProfile;
+    use crate::mechanisms::{ApprovalThreshold, DirectVoting};
+    use ld_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inst(n: usize) -> ProblemInstance {
+        ProblemInstance::new(
+            generators::complete(n),
+            CompetencyProfile::linear(n, 0.2, 0.8).unwrap(),
+            0.02,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn only_would_be_delegators_abstain() {
+        let inst = inst(30);
+        let mech = Abstaining::new(ApprovalThreshold::new(1), 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dg = mech.run(&inst, &mut rng);
+        // With q = 1 every delegation becomes an abstention.
+        assert_eq!(dg.delegator_count(), 0);
+        assert!(dg.abstainer_count() > 0);
+        // Direct voters (the top voter at least) still vote.
+        assert_eq!(*dg.action(29), Action::Vote);
+    }
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let inst = inst(20);
+        let mech = Abstaining::new(ApprovalThreshold::new(1), 0.0);
+        let mut a = StdRng::seed_from_u64(7);
+        let dg = mech.run(&inst, &mut a);
+        assert_eq!(dg.abstainer_count(), 0);
+    }
+
+    #[test]
+    fn wrapping_direct_voting_never_abstains() {
+        // Direct voting never delegates, so the wrapper never abstains.
+        let inst = inst(10);
+        let mech = Abstaining::new(DirectVoting, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let dg = mech.run(&inst, &mut rng);
+        assert_eq!(dg.abstainer_count(), 0);
+        assert_eq!(dg.delegator_count(), 0);
+    }
+
+    #[test]
+    fn intermediate_probability_splits_delegators() {
+        let inst = inst(100);
+        let mech = Abstaining::new(ApprovalThreshold::new(1), 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let dg = mech.run(&inst, &mut rng);
+        assert!(dg.abstainer_count() > 10);
+        assert!(dg.delegator_count() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = Abstaining::new(DirectVoting, 1.5);
+    }
+
+    #[test]
+    fn name_includes_inner() {
+        let mech = Abstaining::new(DirectVoting, 0.25);
+        assert_eq!(mech.name(), "abstaining(q=0.25, direct)");
+        assert_eq!(mech.abstain_prob(), 0.25);
+        assert_eq!(mech.inner().name(), "direct");
+    }
+}

@@ -1,0 +1,73 @@
+//! Direct voting (Example 2 of the paper).
+
+use crate::delegation::Action;
+use crate::instance::ProblemInstance;
+use crate::mechanisms::Mechanism;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The mechanism `D` that never delegates: every voter casts their own
+/// ballot (Example 2). Direct voting is the baseline every gain is
+/// measured against, and is itself a (trivially) local mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::mechanisms::{DirectVoting, Mechanism};
+/// use ld_core::delegation::Action;
+/// use ld_core::{CompetencyProfile, ProblemInstance};
+/// use ld_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let inst = ProblemInstance::new(
+///     generators::complete(3),
+///     CompetencyProfile::constant(3, 0.6)?,
+///     0.1,
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let dg = DirectVoting.run(&inst, &mut rng);
+/// assert!(dg.actions().iter().all(|a| *a == Action::Vote));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectVoting;
+
+impl Mechanism for DirectVoting {
+    fn act(&self, _instance: &ProblemInstance, _voter: usize, _rng: &mut dyn RngCore) -> Action {
+        Action::Vote
+    }
+
+    fn name(&self) -> String {
+        "direct".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::competency::CompetencyProfile;
+    use ld_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_delegates() {
+        let inst = ProblemInstance::new(
+            generators::star(10),
+            CompetencyProfile::linear(10, 0.1, 0.9).unwrap(),
+            0.01,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let dg = DirectVoting.run(&inst, &mut rng);
+        assert_eq!(dg.delegator_count(), 0);
+        let res = dg.resolve().unwrap();
+        assert_eq!(res.sink_count(), 10);
+        assert_eq!(res.max_weight(), 1);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(DirectVoting.name(), "direct");
+    }
+}

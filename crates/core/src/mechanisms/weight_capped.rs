@@ -1,0 +1,222 @@
+//! A resolver-level cap on sink weights (the Lemma 5 regime).
+
+use crate::delegation::{Action, DelegationGraph};
+use crate::instance::ProblemInstance;
+use crate::mechanisms::Mechanism;
+use rand::RngCore;
+
+/// Wraps a single-target mechanism and post-processes its delegation graph
+/// so that **no sink carries more than `cap` votes**.
+///
+/// Lemma 5 of the paper shows that bounding the maximum weight of any
+/// voter by `w` keeps the voting outcome within `√(n^{1+ε} w)/c` of its
+/// mean — the second sufficient condition for Do No Harm. In practice a
+/// system must *enforce* that bound; this wrapper does so in the spirit of
+/// Gölz et al. \[18\] ("The Fluid Mechanics of Liquid Democracy"), by
+/// peeling direct delegators off overweight sinks (turning them back into
+/// direct voters) until every sink's weight is at most `cap`.
+///
+/// Peeling a delegator can only *increase* the number of sinks and
+/// *decrease* the maximum weight, so the loop terminates in at most `n`
+/// peels. Note the cap makes the mechanism non-local (it inspects the
+/// global delegation graph) — exactly the trade-off the paper's
+/// discussion of \[18\] and of non-local mechanisms \[25\] points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightCapped<M> {
+    inner: M,
+    cap: usize,
+}
+
+impl<M: Mechanism> WeightCapped<M> {
+    /// Wraps `inner`, enforcing a maximum sink weight of `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` (a sink always carries at least its own vote).
+    pub fn new(inner: M, cap: usize) -> Self {
+        assert!(cap > 0, "weight cap must be positive");
+        WeightCapped { inner, cap }
+    }
+
+    /// The wrapped mechanism.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The weight cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Enforces the cap on an existing single-target delegation graph.
+    ///
+    /// Exposed for testing and for applying caps to externally produced
+    /// graphs. Graphs containing [`Action::DelegateMany`] are returned
+    /// unchanged (the sink-weight notion does not apply).
+    pub fn enforce(&self, mut dg: DelegationGraph) -> DelegationGraph {
+        if !dg.is_single_target() {
+            return dg;
+        }
+        loop {
+            let Ok(res) = dg.resolve() else { return dg };
+            // Find an overweight sink.
+            let Some((sink, _)) = res.sink_weights().find(|&(_, w)| w > self.cap) else {
+                return dg;
+            };
+            // Peel its direct delegators (largest index first, i.e. most
+            // competent first, so the peeled voter is the best fallback
+            // direct voter) until the subtree would fit.
+            let mut actions = dg.actions().to_vec();
+            let over = res.weight_of(sink) - self.cap;
+            let mut peeled = 0usize;
+            for i in (0..actions.len()).rev() {
+                if peeled >= over {
+                    break;
+                }
+                if actions[i] == Action::Delegate(sink) {
+                    actions[i] = Action::Vote;
+                    peeled += 1;
+                }
+            }
+            if peeled == 0 {
+                // No direct delegator to peel (weight flows through longer
+                // chains only) — peel any voter whose chain passes through
+                // the sink.
+                let mut changed = false;
+                for i in (0..actions.len()).rev() {
+                    if res.sink_of(i) == Some(sink) && i != sink && actions[i].is_delegation() {
+                        actions[i] = Action::Vote;
+                        changed = true;
+                        break;
+                    }
+                }
+                if !changed {
+                    return dg; // cap == weight of the sink's own vote
+                }
+            }
+            dg = DelegationGraph::new(actions);
+        }
+    }
+}
+
+impl<M: Mechanism> Mechanism for WeightCapped<M> {
+    fn act(&self, instance: &ProblemInstance, voter: usize, rng: &mut dyn RngCore) -> Action {
+        // Per-voter behaviour is the inner mechanism's; the cap is applied
+        // in `run`.
+        self.inner.act(instance, voter, rng)
+    }
+
+    fn run(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> DelegationGraph {
+        self.enforce(self.inner.run(instance, rng))
+    }
+
+    fn name(&self) -> String {
+        format!("weight-capped(w={}, {})", self.cap, self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::competency::CompetencyProfile;
+    use crate::mechanisms::{ApprovalThreshold, GreedyMax};
+    use ld_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_instance(n: usize) -> ProblemInstance {
+        ProblemInstance::new(
+            generators::star(n),
+            CompetencyProfile::two_point(n - 1, 1.0 / 3.0, 1, 2.0 / 3.0).unwrap(),
+            0.01,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cap_tames_the_star_dictatorship() {
+        let inst = star_instance(20);
+        let mech = WeightCapped::new(GreedyMax, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dg = mech.run(&inst, &mut rng);
+        let res = dg.resolve().unwrap();
+        assert!(res.max_weight() <= 5, "max weight {} exceeds cap", res.max_weight());
+        // Votes are conserved: peeled voters vote themselves.
+        assert_eq!(res.tallied(), 20);
+    }
+
+    #[test]
+    fn cap_of_n_changes_nothing() {
+        let inst = star_instance(12);
+        let mut rng = StdRng::seed_from_u64(2);
+        let plain = GreedyMax.run(&inst, &mut rng);
+        let capped = WeightCapped::new(GreedyMax, 12).enforce(plain.clone());
+        assert_eq!(plain, capped);
+    }
+
+    #[test]
+    fn cap_one_forces_direct_voting_weights() {
+        let inst = star_instance(10);
+        let mech = WeightCapped::new(GreedyMax, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = mech.run(&inst, &mut rng).resolve().unwrap();
+        assert_eq!(res.max_weight(), 1);
+        assert_eq!(res.sink_count(), 10);
+    }
+
+    #[test]
+    fn cap_respected_on_complete_graph_mechanism() {
+        let inst = ProblemInstance::new(
+            generators::complete(40),
+            CompetencyProfile::linear(40, 0.3, 0.7).unwrap(),
+            0.02,
+        )
+        .unwrap();
+        let mech = WeightCapped::new(ApprovalThreshold::new(1), 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let res = mech.run(&inst, &mut rng).resolve().unwrap();
+            assert!(res.max_weight() <= 3);
+            assert_eq!(res.tallied(), 40);
+        }
+    }
+
+    #[test]
+    fn chains_through_sinks_are_peeled() {
+        // 0 -> 1 -> 2 (sink): weight(2) = 3; cap 2 must break the chain.
+        let dg = DelegationGraph::new(vec![
+            Action::Delegate(1),
+            Action::Delegate(2),
+            Action::Vote,
+        ]);
+        let capped = WeightCapped::new(GreedyMax, 2).enforce(dg);
+        let res = capped.resolve().unwrap();
+        assert!(res.max_weight() <= 2);
+        assert_eq!(res.tallied(), 3);
+    }
+
+    #[test]
+    fn delegate_many_graphs_pass_through() {
+        let dg = DelegationGraph::new(vec![
+            Action::DelegateMany(vec![1, 2]),
+            Action::Vote,
+            Action::Vote,
+        ]);
+        let out = WeightCapped::new(GreedyMax, 1).enforce(dg.clone());
+        assert_eq!(out, dg);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_cap() {
+        let _ = WeightCapped::new(GreedyMax, 0);
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let m = WeightCapped::new(GreedyMax, 7);
+        assert_eq!(m.cap(), 7);
+        assert_eq!(m.inner().name(), "greedy-max");
+        assert!(m.name().contains("w=7"));
+    }
+}

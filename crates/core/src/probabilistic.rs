@@ -1,0 +1,222 @@
+//! Probabilistic competencies: the Halpern et al. setting the paper's §6
+//! proposes unifying with.
+//!
+//! In the paper, the competency vector `p` is fixed per instance. Halpern
+//! et al. \[21\] instead sample competencies from a distribution `D` and ask
+//! for **probabilistic** variants of the desiderata:
+//!
+//! * *probabilistic positive gain* — over the randomness of `D` (and the
+//!   mechanism), the gain is positive with probability bounded away from 0;
+//! * *probabilistic do no harm* — the probability of losing more than `ε`
+//!   vanishes.
+//!
+//! This module evaluates a mechanism on a **fixed graph** with competencies
+//! re-sampled per draw, producing those verdicts — the "coherent set of
+//! properties of both competency distributions and graph topologies" the
+//! paper's discussion asks for.
+
+use crate::distributions::CompetencyDistribution;
+use crate::error::Result;
+use crate::gain::estimate_gain;
+use crate::instance::ProblemInstance;
+use crate::mechanisms::Mechanism;
+use ld_graph::Graph;
+use ld_prob::stats::{Proportion, Welford};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Gain statistics over the joint randomness of a competency distribution
+/// and a mechanism, on a fixed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilisticGain {
+    gains: Welford,
+    p_direct: Welford,
+    p_mechanism: Welford,
+    positive: Proportion,
+    harmed: Proportion,
+    harm_epsilon: f64,
+}
+
+impl ProbabilisticGain {
+    /// Mean gain over profile draws.
+    pub fn mean_gain(&self) -> f64 {
+        self.gains.mean()
+    }
+
+    /// Standard deviation of the per-profile gain.
+    pub fn gain_std_dev(&self) -> f64 {
+        self.gains.sample_std_dev()
+    }
+
+    /// Mean direct-voting probability over profile draws.
+    pub fn mean_p_direct(&self) -> f64 {
+        self.p_direct.mean()
+    }
+
+    /// Mean mechanism probability over profile draws.
+    pub fn mean_p_mechanism(&self) -> f64 {
+        self.p_mechanism.mean()
+    }
+
+    /// Fraction of profiles with strictly positive gain — the empirical
+    /// footprint of \[21\]'s probabilistic positive gain.
+    pub fn prob_positive(&self) -> f64 {
+        self.positive.estimate()
+    }
+
+    /// Fraction of profiles losing more than the harm threshold `ε` — the
+    /// complement of probabilistic do no harm.
+    pub fn prob_harmed(&self) -> f64 {
+        self.harmed.estimate()
+    }
+
+    /// The harm threshold `ε` used by [`ProbabilisticGain::prob_harmed`].
+    pub fn harm_epsilon(&self) -> f64 {
+        self.harm_epsilon
+    }
+
+    /// Number of profile draws.
+    pub fn draws(&self) -> u64 {
+        self.gains.count()
+    }
+}
+
+/// Evaluates a mechanism on `graph` with competencies re-sampled from
+/// `distribution` for each of `profile_draws` draws; each draw estimates
+/// the gain with `trials_per_profile` mechanism runs (exact per-run
+/// tallies). A profile counts as *harmed* when its gain is below
+/// `-harm_epsilon`.
+///
+/// # Errors
+///
+/// Propagates sampling and tallying errors.
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::probabilistic::assess_probabilistic;
+/// use ld_core::distributions::CompetencyDistribution;
+/// use ld_core::mechanisms::ApprovalThreshold;
+/// use ld_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let graph = generators::complete(40);
+/// let dist = CompetencyDistribution::Uniform { lo: 0.35, hi: 0.6 };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let verdict = assess_probabilistic(
+///     &graph, &dist, 0.05, &ApprovalThreshold::new(1), 8, 16, 0.01, &mut rng,
+/// )?;
+/// assert!(verdict.prob_positive() > 0.9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn assess_probabilistic(
+    graph: &Graph,
+    distribution: &CompetencyDistribution,
+    alpha: f64,
+    mechanism: &dyn Mechanism,
+    profile_draws: u64,
+    trials_per_profile: u64,
+    harm_epsilon: f64,
+    rng: &mut dyn RngCore,
+) -> Result<ProbabilisticGain> {
+    let mut out = ProbabilisticGain {
+        gains: Welford::new(),
+        p_direct: Welford::new(),
+        p_mechanism: Welford::new(),
+        positive: Proportion::new(),
+        harmed: Proportion::new(),
+        harm_epsilon,
+    };
+    for _ in 0..profile_draws {
+        let profile = distribution.sample(graph.n(), rng)?;
+        let instance = ProblemInstance::new(graph.clone(), profile, alpha)?;
+        let est = estimate_gain(&instance, mechanism, trials_per_profile, rng)?;
+        let gain = est.gain();
+        out.gains.push(gain);
+        out.p_direct.push(est.p_direct());
+        out.p_mechanism.push(est.p_mechanism());
+        out.positive.push(gain > 0.0);
+        out.harmed.push(gain < -harm_epsilon);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::{ApprovalThreshold, DirectVoting, GreedyMax};
+    use ld_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn direct_voting_is_never_positive_never_harmed() {
+        let graph = generators::complete(20);
+        let dist = CompetencyDistribution::Uniform { lo: 0.3, hi: 0.7 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = assess_probabilistic(&graph, &dist, 0.05, &DirectVoting, 6, 2, 0.01, &mut rng)
+            .unwrap();
+        assert_eq!(v.prob_positive(), 0.0);
+        assert_eq!(v.prob_harmed(), 0.0);
+        assert!(v.mean_gain().abs() < 1e-12);
+        assert_eq!(v.draws(), 6);
+    }
+
+    #[test]
+    fn threshold_delegation_has_probabilistic_positive_gain_below_half() {
+        // Distribution leaning below 1/2: delegation should help on almost
+        // every draw (probabilistic PG) and never harm much.
+        let graph = generators::complete(48);
+        let dist = CompetencyDistribution::Uniform { lo: 0.35, hi: 0.58 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = assess_probabilistic(
+            &graph,
+            &dist,
+            0.05,
+            &ApprovalThreshold::new(1),
+            10,
+            24,
+            0.02,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(v.prob_positive() >= 0.9, "P[gain>0] = {}", v.prob_positive());
+        assert!(v.prob_harmed() <= 0.1, "P[harm] = {}", v.prob_harmed());
+        assert!(v.mean_gain() > 0.05);
+        assert!(v.mean_p_mechanism() > v.mean_p_direct());
+    }
+
+    #[test]
+    fn greedy_on_star_is_probabilistically_harmful() {
+        // The star with above-half competencies: the dictatorship hurts on
+        // a substantial fraction of profile draws.
+        let graph = generators::star(41);
+        let dist = CompetencyDistribution::Uniform { lo: 0.55, hi: 0.7 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = assess_probabilistic(&graph, &dist, 0.01, &GreedyMax, 10, 4, 0.05, &mut rng)
+            .unwrap();
+        assert!(v.prob_harmed() > 0.5, "P[harm] = {}", v.prob_harmed());
+        assert!(v.mean_gain() < -0.05);
+    }
+
+    #[test]
+    fn gain_std_dev_reflects_profile_randomness() {
+        let graph = generators::complete(24);
+        let dist = CompetencyDistribution::Uniform { lo: 0.3, hi: 0.7 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = assess_probabilistic(
+            &graph,
+            &dist,
+            0.05,
+            &ApprovalThreshold::new(1),
+            12,
+            16,
+            0.01,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(v.gain_std_dev() > 0.0);
+        assert_eq!(v.harm_epsilon(), 0.01);
+    }
+}

@@ -1,0 +1,166 @@
+//! Graph restrictions (Definition 1 of the paper).
+//!
+//! A *graph restriction* `G_n^P` is the set of instances satisfying a set
+//! of properties `P`. The paper's theorems are all of the form "mechanism
+//! M satisfies SPG/DNH for properties P"; [`Restriction`] makes those
+//! property sets first-class values so experiments can assert that the
+//! instances they generate really lie in the claimed class.
+
+use crate::instance::ProblemInstance;
+use ld_graph::properties;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single graph/profile property from Definition 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Restriction {
+    /// `K_n`: the graph is complete.
+    Complete,
+    /// `Rand(n, d)`: the graph is `d`-regular (regularity is the checkable
+    /// footprint of the random-regular model).
+    Regular {
+        /// The required degree.
+        d: usize,
+    },
+    /// `Δ ≤ k`: the largest degree is at most `k`.
+    MaxDegree {
+        /// The degree cap.
+        k: usize,
+    },
+    /// `δ ≥ k`: the smallest degree is at least `k`.
+    MinDegree {
+        /// The degree floor.
+        k: usize,
+    },
+    /// `PC = a` (*plausible changeability*): the mean competency lies in
+    /// `[1/2 - a, 1/2]` — close enough to the coin-flip line that
+    /// delegation can change the outcome.
+    PlausibleChangeability {
+        /// The slack `a`.
+        a: f64,
+    },
+    /// `p ∈ (β, 1-β)` (*bounded competency*): no voter is hopeless or
+    /// infallible.
+    BoundedCompetency {
+        /// The margin `β ∈ (0, 1/2)`.
+        beta: f64,
+    },
+}
+
+impl Restriction {
+    /// Whether the instance satisfies this property.
+    pub fn check(&self, instance: &ProblemInstance) -> bool {
+        let g = instance.graph();
+        match *self {
+            Restriction::Complete => properties::is_complete(g),
+            Restriction::Regular { d } => properties::regularity(g) == Some(d),
+            Restriction::MaxDegree { k } => properties::max_degree(g).unwrap_or(0) <= k,
+            Restriction::MinDegree { k } => properties::min_degree(g).unwrap_or(0) >= k,
+            Restriction::PlausibleChangeability { a } => {
+                instance.profile().plausible_changeability(a)
+            }
+            Restriction::BoundedCompetency { beta } => instance.profile().bounded_away(beta),
+        }
+    }
+
+    /// Whether an instance satisfies **all** properties in `set` — i.e.
+    /// membership in the graph restriction `G_n^P`.
+    pub fn check_all(set: &[Restriction], instance: &ProblemInstance) -> bool {
+        set.iter().all(|r| r.check(instance))
+    }
+}
+
+impl fmt::Display for Restriction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Restriction::Complete => write!(f, "K_n"),
+            Restriction::Regular { d } => write!(f, "Rand(n, {d})"),
+            Restriction::MaxDegree { k } => write!(f, "Δ ≤ {k}"),
+            Restriction::MinDegree { k } => write!(f, "δ ≥ {k}"),
+            Restriction::PlausibleChangeability { a } => write!(f, "PC = {a}"),
+            Restriction::BoundedCompetency { beta } => {
+                write!(f, "p ∈ ({beta}, {})", 1.0 - beta)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::competency::CompetencyProfile;
+    use ld_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(graph: ld_graph::Graph, ps: Vec<f64>) -> ProblemInstance {
+        let profile = CompetencyProfile::from_unsorted(ps).unwrap();
+        ProblemInstance::new(graph, profile, 0.05).unwrap()
+    }
+
+    #[test]
+    fn complete_restriction() {
+        let inst = instance(generators::complete(5), vec![0.4; 5]);
+        assert!(Restriction::Complete.check(&inst));
+        let inst2 = instance(generators::cycle(5), vec![0.4; 5]);
+        assert!(!Restriction::Complete.check(&inst2));
+    }
+
+    #[test]
+    fn regular_restriction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::random_regular(20, 4, &mut rng).unwrap();
+        let inst = instance(g, vec![0.4; 20]);
+        assert!(Restriction::Regular { d: 4 }.check(&inst));
+        assert!(!Restriction::Regular { d: 3 }.check(&inst));
+    }
+
+    #[test]
+    fn degree_restrictions() {
+        let inst = instance(generators::star(6), vec![0.4; 6]);
+        assert!(Restriction::MaxDegree { k: 5 }.check(&inst));
+        assert!(!Restriction::MaxDegree { k: 4 }.check(&inst));
+        assert!(Restriction::MinDegree { k: 1 }.check(&inst));
+        assert!(!Restriction::MinDegree { k: 2 }.check(&inst));
+    }
+
+    #[test]
+    fn plausible_changeability_restriction() {
+        let inst = instance(generators::complete(4), vec![0.40, 0.45, 0.50, 0.55]);
+        // mean = 0.475 ∈ [0.45, 0.5] for a = 0.05
+        assert!(Restriction::PlausibleChangeability { a: 0.05 }.check(&inst));
+        assert!(!Restriction::PlausibleChangeability { a: 0.01 }.check(&inst));
+    }
+
+    #[test]
+    fn bounded_competency_restriction() {
+        let inst = instance(generators::complete(3), vec![0.3, 0.5, 0.69]);
+        assert!(Restriction::BoundedCompetency { beta: 0.25 }.check(&inst));
+        assert!(!Restriction::BoundedCompetency { beta: 0.35 }.check(&inst));
+    }
+
+    #[test]
+    fn check_all_is_conjunction() {
+        let inst = instance(generators::complete(4), vec![0.45, 0.46, 0.47, 0.48]);
+        let set = [
+            Restriction::Complete,
+            Restriction::PlausibleChangeability { a: 0.1 },
+            Restriction::BoundedCompetency { beta: 0.3 },
+        ];
+        assert!(Restriction::check_all(&set, &inst));
+        let set_with_false = [Restriction::Complete, Restriction::MinDegree { k: 10 }];
+        assert!(!Restriction::check_all(&set_with_false, &inst));
+        assert!(Restriction::check_all(&[], &inst));
+    }
+
+    #[test]
+    fn display_names_match_paper_notation() {
+        assert_eq!(Restriction::Complete.to_string(), "K_n");
+        assert_eq!(Restriction::Regular { d: 3 }.to_string(), "Rand(n, 3)");
+        assert_eq!(Restriction::MaxDegree { k: 7 }.to_string(), "Δ ≤ 7");
+        assert_eq!(Restriction::MinDegree { k: 2 }.to_string(), "δ ≥ 2");
+        assert!(Restriction::PlausibleChangeability { a: 0.1 }.to_string().contains("PC"));
+        assert!(Restriction::BoundedCompetency { beta: 0.2 }.to_string().contains("0.2"));
+    }
+}

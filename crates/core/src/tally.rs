@@ -1,0 +1,299 @@
+//! Tallying: from a delegation graph to the probability (or a sample) of a
+//! correct decision.
+//!
+//! The paper's rule (§2.2): each sink `v_i` votes correctly with
+//! probability `p_i` carrying weight `w_i`; the correct option wins iff
+//! the correct weight **strictly** exceeds the incorrect weight. Given a
+//! resolved delegation graph the correct-weight distribution is an exact
+//! weighted Poisson-binomial, so `P^M(G)` conditional on the delegation
+//! draw is computed in closed form — no vote-level sampling noise.
+
+use crate::delegation::{Action, DelegationGraph, Resolution};
+use crate::error::{CoreError, Result};
+use crate::instance::ProblemInstance;
+use ld_prob::poisson_binomial::WeightedBernoulliSum;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// How an exact tie between correct and incorrect weight is scored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// A tie counts as an incorrect decision — the paper's strict-majority
+    /// rule ("the correct option will be chosen only if Σ_{S'} w >
+    /// Σ_{S\S'} w").
+    #[default]
+    Incorrect,
+    /// A tie is resolved by a fair coin.
+    CoinFlip,
+    /// A tie counts as correct (optimistic variant, for ablations).
+    Correct,
+}
+
+impl TieBreak {
+    /// The probability credit a tie receives.
+    pub fn credit(self) -> f64 {
+        match self {
+            TieBreak::Incorrect => 0.0,
+            TieBreak::CoinFlip => 0.5,
+            TieBreak::Correct => 1.0,
+        }
+    }
+}
+
+/// The exact probability that the delegated election decides correctly,
+/// conditional on a resolved (single-target) delegation graph.
+///
+/// Computes the weighted Poisson-binomial of `(w_s, p_s)` over sinks and
+/// evaluates the majority rule against the tallied vote count (abstained
+/// votes are excluded from both sides).
+///
+/// # Errors
+///
+/// Propagates probability-layer validation errors (cannot occur for a
+/// validated instance).
+pub fn exact_correct_probability(
+    instance: &ProblemInstance,
+    resolution: &Resolution,
+    tie: TieBreak,
+) -> Result<f64> {
+    let terms: Vec<(usize, f64)> =
+        resolution.sink_weights().map(|(s, w)| (w, instance.competency(s))).collect();
+    let sum = WeightedBernoulliSum::new(&terms)?;
+    Ok(sum.majority_with_ties(resolution.tallied(), tie.credit()))
+}
+
+/// The exact probability that **direct voting** decides correctly
+/// (convenience wrapper around the unweighted Poisson-binomial).
+///
+/// # Errors
+///
+/// Propagates probability-layer validation errors.
+pub fn direct_probability(instance: &ProblemInstance, tie: TieBreak) -> Result<f64> {
+    let terms: Vec<(usize, f64)> =
+        instance.profile().as_slice().iter().map(|&p| (1usize, p)).collect();
+    let sum = WeightedBernoulliSum::new(&terms)?;
+    Ok(sum.majority_with_ties(instance.n(), tie.credit()))
+}
+
+/// Samples one election outcome for an arbitrary delegation graph
+/// (including [`Action::DelegateMany`]), returning whether the decision
+/// was correct.
+///
+/// Outcomes propagate through the delegation DAG:
+///
+/// * a voting sink draws `Bernoulli(p_i)`;
+/// * a single delegator inherits its target's outcome;
+/// * a weighted-majority delegator takes the strict majority of its
+///   delegates' outcomes, breaking internal ties (and all-abstained
+///   delegate sets) with its **own** `Bernoulli(p_i)` draw;
+/// * an abstainer contributes nothing, and votes that resolve to an
+///   abstainer are discarded.
+///
+/// # Errors
+///
+/// Returns [`CoreError::CyclicDelegation`] if the graph is cyclic.
+pub fn sample_decision(
+    instance: &ProblemInstance,
+    dg: &DelegationGraph,
+    tie: TieBreak,
+    rng: &mut dyn RngCore,
+) -> Result<bool> {
+    let order = dg.digraph().topological_order().ok_or(CoreError::CyclicDelegation)?;
+    let n = dg.n();
+    // outcome[i]: Some(correct?) or None for abstained/discarded.
+    let mut outcome: Vec<Option<bool>> = vec![None; n];
+    // Topological order puts delegators before their targets (edges point
+    // delegator → target); evaluate targets first.
+    for &i in order.iter().rev() {
+        outcome[i] = match dg.action(i) {
+            Action::Vote => Some(rng.gen_bool(instance.competency(i))),
+            Action::Abstain => None,
+            Action::Delegate(t) => {
+                if *t == i {
+                    Some(rng.gen_bool(instance.competency(i)))
+                } else {
+                    outcome[*t]
+                }
+            }
+            Action::DelegateMany(ts) => {
+                let votes: Vec<bool> = ts.iter().filter_map(|&t| outcome[t]).collect();
+                let correct = votes.iter().filter(|&&v| v).count();
+                let incorrect = votes.len() - correct;
+                if correct > incorrect {
+                    Some(true)
+                } else if incorrect > correct {
+                    Some(false)
+                } else {
+                    Some(rng.gen_bool(instance.competency(i)))
+                }
+            }
+        };
+    }
+    let correct = outcome.iter().filter(|o| **o == Some(true)).count();
+    let tallied = outcome.iter().filter(|o| o.is_some()).count();
+    let incorrect = tallied - correct;
+    Ok(if correct > incorrect {
+        true
+    } else if incorrect > correct {
+        false
+    } else {
+        match tie {
+            TieBreak::Incorrect => false,
+            TieBreak::Correct => true,
+            TieBreak::CoinFlip => rng.gen_bool(0.5),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::competency::CompetencyProfile;
+    use ld_graph::generators;
+    use ld_prob::stats::Proportion;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inst(ps: Vec<f64>) -> ProblemInstance {
+        let n = ps.len();
+        ProblemInstance::new(
+            generators::complete(n),
+            CompetencyProfile::from_unsorted(ps).unwrap(),
+            0.01,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn direct_probability_matches_instance_method() {
+        let inst = inst(vec![0.3, 0.5, 0.6, 0.7, 0.8]);
+        let a = direct_probability(&inst, TieBreak::Incorrect).unwrap();
+        let b = inst.direct_voting_probability().unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dictatorship_probability_is_the_dictator_competency() {
+        let inst = inst(vec![1.0 / 3.0; 8].into_iter().chain([2.0 / 3.0]).collect());
+        let mut actions = vec![Action::Delegate(8); 8];
+        actions.push(Action::Vote);
+        let res = DelegationGraph::new(actions).resolve().unwrap();
+        let p = exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap();
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_vote_equals_direct() {
+        let inst = inst(vec![0.4, 0.5, 0.6, 0.7]);
+        let res = DelegationGraph::new(vec![Action::Vote; 4]).resolve().unwrap();
+        let p = exact_correct_probability(&inst, &res, TieBreak::CoinFlip).unwrap();
+        let d = direct_probability(&inst, TieBreak::CoinFlip).unwrap();
+        assert!((p - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_break_ordering() {
+        let inst = inst(vec![0.5, 0.5]);
+        let res = DelegationGraph::new(vec![Action::Vote; 2]).resolve().unwrap();
+        let pess = exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap();
+        let coin = exact_correct_probability(&inst, &res, TieBreak::CoinFlip).unwrap();
+        let opt = exact_correct_probability(&inst, &res, TieBreak::Correct).unwrap();
+        assert!(pess < coin && coin < opt);
+        assert!((pess - 0.25).abs() < 1e-12);
+        assert!((coin - 0.5).abs() < 1e-12);
+        assert!((opt - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abstention_excludes_votes_from_both_sides() {
+        // Voters: 0 abstains, 1 votes with p = 1. Tallied = 1, threshold
+        // strict majority of 1 → correct iff voter 1 correct.
+        let inst = inst(vec![0.2, 1.0]);
+        let res =
+            DelegationGraph::new(vec![Action::Abstain, Action::Vote]).resolve().unwrap();
+        let p = exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_decision_agrees_with_exact_on_single_target_graphs() {
+        let inst = inst(vec![0.3, 0.45, 0.55, 0.6, 0.75]);
+        let dg = DelegationGraph::new(vec![
+            Action::Delegate(4),
+            Action::Delegate(2),
+            Action::Vote,
+            Action::Vote,
+            Action::Vote,
+        ]);
+        let res = dg.resolve().unwrap();
+        let exact = exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut prop = Proportion::new();
+        for _ in 0..40_000 {
+            prop.push(sample_decision(&inst, &dg, TieBreak::Incorrect, &mut rng).unwrap());
+        }
+        let (lo, hi) = prop.wilson_ci(3.5);
+        assert!(
+            (lo..=hi).contains(&exact),
+            "exact {exact} outside sampled CI [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn sample_decision_rejects_cycles() {
+        let inst = inst(vec![0.4, 0.6]);
+        let dg = DelegationGraph::new(vec![Action::Delegate(1), Action::Delegate(0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            sample_decision(&inst, &dg, TieBreak::Incorrect, &mut rng).unwrap_err(),
+            CoreError::CyclicDelegation
+        );
+    }
+
+    #[test]
+    fn delegate_many_majority_improves_on_single_bad_delegate() {
+        // Voter 0 delegates to three delegates with competencies
+        // 0.9, 0.9, 0.1: majority of three beats a uniformly random single
+        // delegate on average.
+        let inst = inst(vec![0.1, 0.1, 0.9, 0.9]);
+        // indices sorted: p = [0.1, 0.1, 0.9, 0.9]; voter 0 delegates to
+        // {1, 2, 3}: majority of (0.1, 0.9, 0.9).
+        let dg_many = DelegationGraph::new(vec![
+            Action::DelegateMany(vec![1, 2, 3]),
+            Action::Vote,
+            Action::Vote,
+            Action::Vote,
+        ]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut many = Proportion::new();
+        for _ in 0..20_000 {
+            many.push(sample_decision(&inst, &dg_many, TieBreak::CoinFlip, &mut rng).unwrap());
+        }
+        // Exact via direct voting for comparison: the DelegateMany voter's
+        // effective competency is P[majority of {0.1, 0.9, 0.9}] ≈ 0.83 —
+        // well above its own 0.1.
+        let direct = direct_probability(&inst, TieBreak::CoinFlip).unwrap();
+        assert!(
+            many.estimate() > direct + 0.02,
+            "weighted majority {} not above direct {direct}",
+            many.estimate()
+        );
+    }
+
+    #[test]
+    fn all_abstain_is_always_incorrect_under_strict_rule() {
+        let inst = inst(vec![0.9, 0.9]);
+        let dg = DelegationGraph::new(vec![Action::Abstain, Action::Abstain]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!sample_decision(&inst, &dg, TieBreak::Incorrect, &mut rng).unwrap());
+        assert!(sample_decision(&inst, &dg, TieBreak::Correct, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn tie_credit_values() {
+        assert_eq!(TieBreak::Incorrect.credit(), 0.0);
+        assert_eq!(TieBreak::CoinFlip.credit(), 0.5);
+        assert_eq!(TieBreak::Correct.credit(), 1.0);
+        assert_eq!(TieBreak::default(), TieBreak::Incorrect);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for graph construction and generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// A specialized result type for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced when building or generating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint of an edge is not a valid vertex index.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied to a simple graph.
+    SelfLoop {
+        /// The vertex at which the self-loop occurred.
+        vertex: usize,
+    },
+    /// The same undirected edge was supplied more than once.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// Generator parameters are infeasible (e.g. `n * d` odd for a
+    /// `d`-regular graph, or `d >= n`).
+    InfeasibleParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A randomized generator exhausted its retry budget without producing a
+    /// valid graph (e.g. the pairing model kept producing multi-edges).
+    GenerationFailed {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph on {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge ({u}, {v}) not allowed in a simple graph")
+            }
+            GraphError::InfeasibleParameters { reason } => {
+                write!(f, "infeasible generator parameters: {reason}")
+            }
+            GraphError::GenerationFailed { attempts } => {
+                write!(f, "random generation failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::VertexOutOfRange { vertex: 9, n: 4 }, "vertex 9"),
+            (GraphError::SelfLoop { vertex: 3 }, "self-loop at vertex 3"),
+            (GraphError::DuplicateEdge { u: 1, v: 2 }, "duplicate edge (1, 2)"),
+            (
+                GraphError::InfeasibleParameters { reason: "d >= n".into() },
+                "d >= n",
+            ),
+            (GraphError::GenerationFailed { attempts: 5 }, "5 attempts"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "message {msg:?} missing {needle:?}");
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_error_trait() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<GraphError>();
+    }
+}

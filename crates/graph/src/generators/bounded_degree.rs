@@ -1,0 +1,119 @@
+//! Random graphs with bounded maximum degree `Δ ≤ k`.
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Samples a random graph with maximum degree at most `max_degree` and
+/// approximately `m` edges — the paper's restriction `Δ ≤ k` (§2.1),
+/// the graph class of Theorem 4.
+///
+/// Construction: repeatedly draw a uniform pair `(u, v)` and add the edge
+/// unless it would create a self-loop, a duplicate, or push an endpoint past
+/// `max_degree`. The sampler stops after `m` successes or when a stall
+/// budget is exhausted (the target may be unreachable, e.g. `m` close to
+/// `n·k/2` leaves few legal pairs), so the result can have fewer than `m`
+/// edges; the `Δ ≤ k` invariant always holds.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InfeasibleParameters`] if `m > n·max_degree/2`
+/// (the requested edge count is impossible under the degree cap).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let g = ld_graph::generators::random_bounded_degree(100, 5, 200, &mut rng)?;
+/// assert!(g.degrees().all(|d| d <= 5));
+/// # Ok::<(), ld_graph::GraphError>(())
+/// ```
+pub fn random_bounded_degree<R: Rng + ?Sized>(
+    n: usize,
+    max_degree: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph> {
+    if m > n.saturating_mul(max_degree) / 2 {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("m = {m} exceeds n·Δ/2 = {} for Δ ≤ {max_degree}", n * max_degree / 2),
+        });
+    }
+    if n < 2 || m == 0 || max_degree == 0 {
+        return Ok(Graph::empty(n));
+    }
+    let mut deg = vec![0usize; n];
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut added = 0usize;
+    let mut stalls = 0usize;
+    let stall_budget = 50 * m + 1000;
+    while added < m && stalls < stall_budget {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || deg[u] >= max_degree || deg[v] >= max_degree {
+            stalls += 1;
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if !seen.insert(key) {
+            stalls += 1;
+            continue;
+        }
+        b.add_edge(u, v).expect("sampled edges are valid");
+        deg[u] += 1;
+        deg[v] += 1;
+        added += 1;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degree_cap_is_respected() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for &(n, k, m) in &[(50usize, 3usize, 70usize), (100, 5, 240), (20, 2, 20)] {
+            let g = random_bounded_degree(n, k, m, &mut rng).unwrap();
+            assert!(g.degrees().all(|d| d <= k), "n={n} k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn usually_reaches_target_edge_count_when_loose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_bounded_degree(200, 10, 300, &mut rng).unwrap();
+        assert_eq!(g.m(), 300);
+    }
+
+    #[test]
+    fn rejects_impossible_edge_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(random_bounded_degree(10, 2, 11, &mut rng).is_err());
+    }
+
+    #[test]
+    fn tight_target_yields_near_perfect_packing_without_violating_cap() {
+        // m = n*k/2 exactly: a perfect k-regular packing may not be reached,
+        // but we must never exceed the cap and should get most edges.
+        let mut rng = StdRng::seed_from_u64(31);
+        let (n, k) = (100usize, 4usize);
+        let g = random_bounded_degree(n, k, n * k / 2, &mut rng).unwrap();
+        assert!(g.degrees().all(|d| d <= k));
+        assert!(g.m() >= n * k / 2 - n / 5, "m = {} too far below target", g.m());
+    }
+
+    #[test]
+    fn degenerate_inputs_give_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(random_bounded_degree(0, 3, 0, &mut rng).unwrap().n(), 0);
+        assert_eq!(random_bounded_degree(5, 0, 0, &mut rng).unwrap().m(), 0);
+        assert_eq!(random_bounded_degree(5, 3, 0, &mut rng).unwrap().m(), 0);
+        assert_eq!(random_bounded_degree(1, 3, 0, &mut rng).unwrap().m(), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Configuration-model graphs from an arbitrary degree sequence.
+
+use super::MAX_ATTEMPTS;
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples a simple graph whose vertex `v` has degree exactly `degrees[v]`,
+/// via the configuration model with per-pair rejection (Steger–Wormald
+/// style), restarting when stuck.
+///
+/// This generalizes [`super::random_regular`] and lets experiments build
+/// electorates with *arbitrary* degree heterogeneity — the structural
+/// asymmetry knob the paper's §6 identifies — e.g. two-tier
+/// "elite/crowd" sequences interpolating between regular graphs and the
+/// star.
+///
+/// # Errors
+///
+/// * [`GraphError::InfeasibleParameters`] if the degree sum is odd, some
+///   degree is `≥ n`, or the sequence fails the Erdős–Gallai condition
+///   grossly (we reject `max degree > remaining stubs`, catching the
+///   common infeasible cases; pathological sequences surface as
+///   [`GraphError::GenerationFailed`]).
+/// * [`GraphError::GenerationFailed`] if the retry budget is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let degs = vec![3, 3, 2, 2, 2, 2];
+/// let g = ld_graph::generators::from_degree_sequence(&degs, &mut rng)?;
+/// for (v, &d) in degs.iter().enumerate() {
+///     assert_eq!(g.degree(v), d);
+/// }
+/// # Ok::<(), ld_graph::GraphError>(())
+/// ```
+pub fn from_degree_sequence<R: Rng + ?Sized>(degrees: &[usize], rng: &mut R) -> Result<Graph> {
+    let n = degrees.len();
+    let total: usize = degrees.iter().sum();
+    if !total.is_multiple_of(2) {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("degree sum {total} is odd"),
+        });
+    }
+    if let Some((v, &d)) = degrees.iter().enumerate().find(|&(_, &d)| d >= n && d > 0) {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("degree {d} at vertex {v} is not < n = {n}"),
+        });
+    }
+    if total == 0 {
+        return Ok(Graph::empty(n));
+    }
+    let all_stubs: Vec<usize> = degrees
+        .iter()
+        .enumerate()
+        .flat_map(|(v, &d)| std::iter::repeat_n(v, d))
+        .collect();
+    'attempt: for _ in 0..MAX_ATTEMPTS {
+        let mut stubs = all_stubs.clone();
+        stubs.shuffle(rng);
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(total / 2);
+        let mut seen = std::collections::HashSet::with_capacity(total / 2);
+        let mut fails = 0usize;
+        while stubs.len() >= 2 {
+            let i = rng.gen_range(0..stubs.len());
+            let mut j = rng.gen_range(0..stubs.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (u, v) = (stubs[i], stubs[j]);
+            let key = (u.min(v), u.max(v));
+            if u == v || seen.contains(&key) {
+                fails += 1;
+                if fails <= 50 * stubs.len() + 100 {
+                    continue;
+                }
+                // Endgame repair: the remaining stubs admit no suitable
+                // pair directly; splice them into a random existing edge
+                // (a, b): remove (a, b), add (u, a) and (v, b). Preserves
+                // every degree and clears one stub pair. Skewed sequences
+                // (hubs of degree Θ(n)) hit this state almost surely, so
+                // repair rather than restart.
+                let mut repaired = false;
+                for _ in 0..500 {
+                    let idx = rng.gen_range(0..edges.len().max(1));
+                    let Some(&(a, bb)) = edges.get(idx) else { break };
+                    // Orient the spliced edge both ways at random.
+                    let (a, bb) = if rng.gen_bool(0.5) { (a, bb) } else { (bb, a) };
+                    let ua = (u.min(a), u.max(a));
+                    let vb = (v.min(bb), v.max(bb));
+                    if u == a || v == bb || ua == vb || seen.contains(&ua) || seen.contains(&vb)
+                    {
+                        continue;
+                    }
+                    seen.remove(&(a.min(bb), a.max(bb)));
+                    edges.swap_remove(idx);
+                    seen.insert(ua);
+                    edges.push((ua.0, ua.1));
+                    seen.insert(vb);
+                    edges.push((vb.0, vb.1));
+                    let (hi, lo) = (i.max(j), i.min(j));
+                    stubs.swap_remove(hi);
+                    stubs.swap_remove(lo);
+                    repaired = true;
+                    break;
+                }
+                if repaired {
+                    fails = 0;
+                    continue;
+                }
+                continue 'attempt;
+            }
+            fails = 0;
+            seen.insert(key);
+            edges.push(key);
+            let (hi, lo) = (i.max(j), i.min(j));
+            stubs.swap_remove(hi);
+            stubs.swap_remove(lo);
+        }
+        let mut b = GraphBuilder::with_capacity(n, total / 2);
+        for (u, v) in edges {
+            b.add_edge(u, v).expect("stub-matching edges are valid");
+        }
+        return Ok(b.build());
+    }
+    Err(GraphError::GenerationFailed { attempts: MAX_ATTEMPTS })
+}
+
+/// A deterministic *connected caveman* community graph: `communities`
+/// cliques of `clique_size` vertices arranged in a ring, with one edge of
+/// each clique rewired to the next clique to connect them.
+///
+/// Caveman graphs are a classic stylized model of tightly-knit social
+/// communities — low structural asymmetry *within* communities — useful
+/// as a realistic middle ground between the lattices and the scale-free
+/// graphs in the §6 network experiments.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InfeasibleParameters`] if `communities == 0` or
+/// `clique_size < 2`.
+pub fn connected_caveman(communities: usize, clique_size: usize) -> Result<Graph> {
+    if communities == 0 || clique_size < 2 {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!(
+                "need communities ≥ 1 and clique size ≥ 2, got {communities} and {clique_size}"
+            ),
+        });
+    }
+    let n = communities * clique_size;
+    let mut b = GraphBuilder::with_capacity(n, communities * clique_size * clique_size / 2);
+    for c in 0..communities {
+        let base = c * clique_size;
+        for a in 0..clique_size {
+            for z in (a + 1)..clique_size {
+                // Rewire the (0, 1) edge of each clique to bridge to the
+                // next clique (if there is more than one community).
+                if communities > 1 && a == 0 && z == 1 {
+                    continue;
+                }
+                b.add_edge(base + a, base + z).expect("clique edges are valid");
+            }
+        }
+        if communities > 1 {
+            let next_base = (c + 1) % communities * clique_size;
+            b.add_edge(base, next_base + 1).expect("bridge edges are valid");
+        }
+    }
+    b.try_build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arbitrary_sequence_is_realized_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let degs = vec![5, 4, 4, 3, 2, 2, 2, 2, 1, 1];
+        let g = from_degree_sequence(&degs, &mut rng).unwrap();
+        for (v, &d) in degs.iter().enumerate() {
+            assert_eq!(g.degree(v), d, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn star_degree_sequence_reproduces_a_star() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut degs = vec![1usize; 8];
+        degs.push(8);
+        let g = from_degree_sequence(&degs, &mut rng).unwrap();
+        assert_eq!(g.degree(8), 8);
+        assert!(g.degrees().take(8).all(|d| d == 1));
+    }
+
+    #[test]
+    fn rejects_infeasible_sequences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(from_degree_sequence(&[1, 1, 1], &mut rng).is_err()); // odd sum
+        assert!(from_degree_sequence(&[3, 1, 1, 1], &mut rng).is_ok()); // star K_{1,3}
+        assert!(from_degree_sequence(&[4, 2, 1, 1], &mut rng).is_err()); // degree ≥ n
+    }
+
+    #[test]
+    fn empty_sequence_and_zero_degrees() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(from_degree_sequence(&[], &mut rng).unwrap().n(), 0);
+        let g = from_degree_sequence(&[0, 0, 0], &mut rng).unwrap();
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn caveman_structure() {
+        let g = connected_caveman(4, 5).unwrap();
+        assert_eq!(g.n(), 20);
+        assert!(is_connected(&g));
+        // Each clique: C(5,2) - 1 internal edges + 1 bridge.
+        assert_eq!(g.m(), 4 * (10 - 1) + 4);
+    }
+
+    #[test]
+    fn single_community_is_a_clique() {
+        let g = connected_caveman(1, 4).unwrap();
+        assert_eq!(g.m(), 6);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn caveman_rejects_bad_parameters() {
+        assert!(connected_caveman(0, 5).is_err());
+        assert!(connected_caveman(3, 1).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Erdős–Rényi random graphs `G(n, p)` and `G(n, m)`.
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples `G(n, p)`: each of the `n(n-1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// Used as an unstructured baseline topology; the paper's positive results
+/// are about *structured* families, so comparing against `G(n, p)` shows the
+/// structure is doing work.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InfeasibleParameters`] if `p` is not in `[0, 1]`
+/// or is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = ld_graph::generators::erdos_renyi_gnp(50, 0.1, &mut rng)?;
+/// assert_eq!(g.n(), 50);
+/// # Ok::<(), ld_graph::GraphError>(())
+/// ```
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("edge probability {p} not in [0, 1]"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 {
+        return Ok(b.build());
+    }
+    if p == 1.0 {
+        return Ok(super::complete(n));
+    }
+    // Geometric skipping: iterate over the edge list implicitly, jumping
+    // log(1-u)/log(1-p) slots between successive present edges. This is
+    // O(m) rather than O(n^2).
+    let total = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let log_q = (1.0 - p).ln();
+    let mut slot: i64 = -1;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log_q).floor() as i64;
+        slot += 1 + skip;
+        if slot as usize >= total {
+            break;
+        }
+        let (x, y) = edge_from_index(n, slot as usize);
+        b.add_edge(x, y).expect("enumerated edges are valid");
+    }
+    Ok(b.build())
+}
+
+/// Samples `G(n, m)`: a graph chosen uniformly among all graphs with exactly
+/// `m` edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InfeasibleParameters`] if `m > n(n-1)/2`.
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
+    let total = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > total {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("m = {m} exceeds the {total} possible edges on {n} vertices"),
+        });
+    }
+    // Partial Fisher–Yates over edge indices: pick m distinct indices.
+    // For m close to total this is still O(m) expected with a HashSet-free
+    // approach: we use Floyd's algorithm.
+    let mut chosen = Vec::with_capacity(m);
+    if m * 2 >= total {
+        // Dense: shuffle the full index range.
+        let mut all: Vec<usize> = (0..total).collect();
+        all.shuffle(rng);
+        chosen.extend_from_slice(&all[..m]);
+    } else {
+        // Sparse: Floyd's sampling.
+        let mut set = std::collections::HashSet::with_capacity(m);
+        for j in (total - m)..total {
+            let t = rng.gen_range(0..=j);
+            let pick = if set.insert(t) { t } else { set.insert(j); j };
+            chosen.push(pick);
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for idx in chosen {
+        let (x, y) = edge_from_index(n, idx);
+        b.add_edge(x, y).expect("enumerated edges are valid");
+    }
+    Ok(b.build())
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the corresponding pair `(u, v)`
+/// with `u < v`, enumerating row by row: (0,1), (0,2), …, (0,n-1), (1,2), …
+fn edge_from_index(n: usize, mut idx: usize) -> (usize, usize) {
+    let mut u = 0usize;
+    let mut row = n - 1; // edges in row u
+    while idx >= row {
+        idx -= row;
+        u += 1;
+        row -= 1;
+    }
+    (u, u + 1 + idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_index_enumeration_is_bijective() {
+        let n = 7;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..total {
+            let (u, v) = edge_from_index(n, idx);
+            assert!(u < v && v < n, "bad edge ({u},{v})");
+            assert!(seen.insert((u, v)), "index {idx} repeated edge ({u},{v})");
+        }
+        assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(erdos_renyi_gnp(10, 0.0, &mut rng).unwrap().m(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, &mut rng).unwrap().m(), 45);
+    }
+
+    #[test]
+    fn gnp_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(erdos_renyi_gnp(10, -0.1, &mut rng).is_err());
+        assert!(erdos_renyi_gnp(10, 1.5, &mut rng).is_err());
+        assert!(erdos_renyi_gnp(10, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnp_edge_count_close_to_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200;
+        let p = 0.05;
+        let trials = 30;
+        let mean_m: f64 = (0..trials)
+            .map(|_| erdos_renyi_gnp(n, p, &mut rng).unwrap().m() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let expected = p * (n * (n - 1) / 2) as f64;
+        assert!(
+            (mean_m - expected).abs() < 0.1 * expected,
+            "mean edges {mean_m} far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &m in &[0usize, 1, 10, 45] {
+            let g = erdos_renyi_gnm(10, m, &mut rng).unwrap();
+            assert_eq!(g.m(), m);
+        }
+    }
+
+    #[test]
+    fn gnm_rejects_too_many_edges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(erdos_renyi_gnm(4, 7, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnm_dense_path_uses_shuffle() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = erdos_renyi_gnm(10, 40, &mut rng).unwrap();
+        assert_eq!(g.m(), 40);
+    }
+}

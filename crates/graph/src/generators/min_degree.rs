@@ -1,0 +1,125 @@
+//! Random graphs with bounded minimum degree `δ ≥ k` (the k-out model).
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Samples a random graph with minimum degree at least `min_degree` using
+/// the *k-out* model — the paper's restriction `δ ≥ k` (§2.1), the graph
+/// class of Theorem 5.
+///
+/// Construction: every vertex selects `min_degree` **distinct** random
+/// partners (uniform without replacement, excluding itself); the graph is
+/// the union of all selected pairs. Each vertex is incident to all of its
+/// own distinct picks, so its degree is at least `min_degree`; typical
+/// degrees are around `2·min_degree` (own picks plus incoming picks).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InfeasibleParameters`] if `min_degree >= n`
+/// (unless both are zero).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let g = ld_graph::generators::random_min_degree(100, 4, &mut rng)?;
+/// assert!(g.degrees().all(|d| d >= 4));
+/// # Ok::<(), ld_graph::GraphError>(())
+/// ```
+pub fn random_min_degree<R: Rng + ?Sized>(
+    n: usize,
+    min_degree: usize,
+    rng: &mut R,
+) -> Result<Graph> {
+    if min_degree >= n && !(n == 0 && min_degree == 0) {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("min degree {min_degree} must be < n = {n}"),
+        });
+    }
+    let mut edges = std::collections::HashSet::new();
+    let mut picks = std::collections::HashSet::new();
+    let mut b = GraphBuilder::with_capacity(n, n * min_degree);
+    for u in 0..n {
+        picks.clear();
+        while picks.len() < min_degree {
+            let v = rng.gen_range(0..n);
+            if v == u || !picks.insert(v) {
+                continue; // self or repeated pick: redraw
+            }
+            let key = (u.min(v), u.max(v));
+            if edges.insert(key) {
+                b.add_edge(u, v).expect("sampled edges are valid");
+            }
+            // If the edge already existed (v picked u earlier), it is
+            // incident to u and still counts toward u's degree quota.
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn minimum_degree_is_met() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for &(n, k) in &[(20usize, 2usize), (100, 4), (50, 7), (10, 9)] {
+            let g = random_min_degree(n, k, &mut rng).unwrap();
+            let dmin = g.degrees().min().unwrap();
+            assert!(dmin >= k, "n={n} k={k}: min degree {dmin}");
+        }
+    }
+
+    #[test]
+    fn average_degree_is_moderate() {
+        // Expected degree ≈ 2k (own picks + incoming picks); should be well
+        // under 3k for n >> k.
+        let mut rng = StdRng::seed_from_u64(62);
+        let (n, k) = (500usize, 5usize);
+        let g = random_min_degree(n, k, &mut rng).unwrap();
+        let avg = 2.0 * g.m() as f64 / n as f64;
+        assert!(avg >= k as f64 && avg <= 3.0 * k as f64, "avg degree {avg}");
+    }
+
+    #[test]
+    fn k_out_graphs_are_connected_for_k_ge_2() {
+        for seed in 0..10u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let g = random_min_degree(80, 2, &mut r).unwrap();
+            assert!(is_connected(&g), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn rejects_k_ge_n() {
+        let mut rng = StdRng::seed_from_u64(64);
+        assert!(random_min_degree(5, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_min_degree_gives_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let g = random_min_degree(10, 0, &mut rng).unwrap();
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn n_minus_one_min_degree_gives_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let g = random_min_degree(6, 5, &mut rng).unwrap();
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let g1 = random_min_degree(40, 3, &mut StdRng::seed_from_u64(9)).unwrap();
+        let g2 = random_min_degree(40, 3, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Graph generators, one per graph family studied in the paper.
+//!
+//! | paper artifact | generator |
+//! |---|---|
+//! | restriction `K_n` (§2.1) | [`complete`] |
+//! | restriction `Rand(n, d)` (§2.1, §4.2) | [`random_regular`] |
+//! | restriction `Δ ≤ k` (§2.1, §5.1) | [`random_bounded_degree`] |
+//! | restriction `δ ≥ k` (§2.1, §5.2) | [`random_min_degree`] |
+//! | Figure 1 counterexample | [`star`] |
+//! | §6 social-network check | [`barabasi_albert`], [`watts_strogatz`] |
+//! | baselines | [`erdos_renyi_gnp`], [`erdos_renyi_gnm`], [`cycle`], [`path`], [`grid`], [`circulant`] |
+//!
+//! All randomized generators take an explicit `&mut impl Rng` so callers own
+//! determinism, and return [`Result`] because parameters can be infeasible
+//! (e.g. `n·d` odd for a `d`-regular graph).
+
+mod barabasi_albert;
+mod bounded_degree;
+mod degree_sequence;
+mod deterministic;
+mod erdos_renyi;
+mod min_degree;
+mod regular;
+mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use bounded_degree::random_bounded_degree;
+pub use degree_sequence::{connected_caveman, from_degree_sequence};
+pub use deterministic::{circulant, complete, cycle, grid, path, star};
+pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use min_degree::random_min_degree;
+pub use regular::random_regular;
+pub use watts_strogatz::watts_strogatz;
+
+/// Retry budget shared by rejection-sampling generators.
+pub(crate) const MAX_ATTEMPTS: usize = 1000;

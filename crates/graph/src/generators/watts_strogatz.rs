@@ -1,0 +1,144 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Samples a Watts–Strogatz small-world graph: a ring lattice where each
+/// vertex is joined to its `k` nearest neighbours (`k/2` on each side),
+/// with every edge independently *rewired* to a uniform random endpoint
+/// with probability `beta`.
+///
+/// At `beta = 0` the graph is the deterministic circulant lattice (a
+/// low-asymmetry topology where the paper predicts delegation behaves
+/// well); at `beta = 1` it approaches an Erdős–Rényi-like graph. This
+/// interpolation is used by experiment `X3` (DESIGN.md) as a second
+/// social-network stand-in alongside Barabási–Albert.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InfeasibleParameters`] if `k` is odd, `k ≥ n`, or
+/// `beta` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let g = ld_graph::generators::watts_strogatz(100, 6, 0.1, &mut rng)?;
+/// assert_eq!(g.n(), 100);
+/// assert_eq!(g.m(), 300);
+/// # Ok::<(), ld_graph::GraphError>(())
+/// ```
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Graph> {
+    if !k.is_multiple_of(2) {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("lattice degree k = {k} must be even"),
+        });
+    }
+    if k >= n {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("lattice degree k = {k} must be < n = {n}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) || !beta.is_finite() {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("rewiring probability {beta} not in [0, 1]"),
+        });
+    }
+    let mut edges = std::collections::HashSet::with_capacity(n * k / 2);
+    for u in 0..n {
+        for off in 1..=(k / 2) {
+            let v = (u + off) % n;
+            edges.insert((u.min(v), u.max(v)));
+        }
+    }
+    // Rewire: iterate over a snapshot of the lattice edges.
+    let lattice: Vec<(usize, usize)> = {
+        let mut v: Vec<_> = edges.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    for (u, v) in lattice {
+        if rng.gen_bool(beta) {
+            // Rewire the (u, v) edge to (u, w) for a fresh random w.
+            let mut guard = 0;
+            loop {
+                let w = rng.gen_range(0..n);
+                guard += 1;
+                if guard > 100 * n {
+                    break; // keep the original edge; graph nearly complete
+                }
+                if w == u {
+                    continue;
+                }
+                let key = (u.min(w), u.max(w));
+                if edges.contains(&key) {
+                    continue;
+                }
+                edges.remove(&(u.min(v), u.max(v)));
+                edges.insert(key);
+                break;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v).expect("rewired edges are valid");
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_beta_is_the_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng).unwrap();
+        assert!(g.degrees().all(|d| d == 4));
+        assert_eq!(g.m(), 40);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for &beta in &[0.1, 0.5, 1.0] {
+            let g = watts_strogatz(60, 6, beta, &mut rng).unwrap();
+            assert_eq!(g.m(), 180, "beta = {beta}");
+        }
+    }
+
+    #[test]
+    fn rewiring_changes_the_graph() {
+        let lattice = watts_strogatz(50, 4, 0.0, &mut StdRng::seed_from_u64(1)).unwrap();
+        let rewired = watts_strogatz(50, 4, 0.5, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_ne!(lattice, rewired);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(watts_strogatz(10, 3, 0.1, &mut rng).is_err()); // odd k
+        assert!(watts_strogatz(10, 10, 0.1, &mut rng).is_err()); // k >= n
+        assert!(watts_strogatz(10, 4, 1.5, &mut rng).is_err()); // bad beta
+        assert!(watts_strogatz(10, 4, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = watts_strogatz(40, 4, 0.3, &mut StdRng::seed_from_u64(8)).unwrap();
+        let b = watts_strogatz(40, 4, 0.3, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,218 @@
+//! Plain-text edge-list serialization.
+//!
+//! The paper's §6 proposes checking its graph conditions "in various
+//! real-world networks"; this module reads and writes the de-facto
+//! standard edge-list format used by SNAP, KONECT and networkx exports, so
+//! real datasets can be loaded into [`Graph`] and fed to the experiment
+//! pipeline.
+//!
+//! Format: an optional header line `n m`, then one `u v` pair per line.
+//! Lines starting with `#` or `%` are comments; blank lines are ignored.
+//! Without a header the vertex count is inferred as `max index + 1`.
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder};
+use std::fmt::Write as _;
+
+/// Renders a graph as an edge list with an `n m` header.
+///
+/// # Examples
+///
+/// ```
+/// use ld_graph::{generators, io};
+/// let g = generators::path(3);
+/// let text = io::to_edge_list(&g);
+/// assert_eq!(text, "3 2\n0 1\n1 2\n");
+/// ```
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + 8 * g.m());
+    let _ = writeln!(out, "{} {}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses an edge list into a [`Graph`].
+///
+/// Accepts an optional `n m` header (detected when the first data line has
+/// two fields and a later line would otherwise exceed the declared edge
+/// count — in practice: if the first line's first field is ≥ every vertex
+/// index that follows it is treated as the header; pass
+/// [`parse_edge_list_with_n`] to be explicit). Duplicate edges and
+/// self-loops are rejected.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InfeasibleParameters`] for malformed lines, and
+/// propagates duplicate/self-loop/range errors from graph construction.
+///
+/// # Examples
+///
+/// ```
+/// use ld_graph::io;
+/// let g = io::parse_edge_list("# a triangle\n0 1\n1 2\n0 2\n")?;
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 3);
+/// # Ok::<(), ld_graph::GraphError>(())
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph> {
+    let mut pairs = Vec::new();
+    let mut header: Option<(usize, usize)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let a = parse_field(fields.next(), lineno)?;
+        let b = parse_field(fields.next(), lineno)?;
+        if fields.next().is_some() {
+            return Err(GraphError::InfeasibleParameters {
+                reason: format!("line {}: expected two fields, got more", lineno + 1),
+            });
+        }
+        if header.is_none() && pairs.is_empty() {
+            // Treat the first data line as a header candidate; it is
+            // confirmed as a header if its second field matches the number
+            // of remaining data lines (checked at the end).
+            header = Some((a, b));
+            continue;
+        }
+        pairs.push((a, b));
+    }
+    match header {
+        Some((n, m)) if m == pairs.len() => {
+            let mut b = GraphBuilder::with_capacity(n, m);
+            for (u, v) in pairs {
+                b.add_edge(u, v)?;
+            }
+            b.try_build()
+        }
+        Some(first_pair) => {
+            // Not a header after all: the first line was an edge.
+            let mut all = vec![first_pair];
+            all.extend(pairs);
+            let n = all.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
+            Graph::from_edges(n, all)
+        }
+        None => Ok(Graph::empty(0)),
+    }
+}
+
+/// Parses an edge list with an explicit vertex count (no header
+/// detection).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InfeasibleParameters`] for malformed lines, and
+/// propagates construction errors.
+pub fn parse_edge_list_with_n(text: &str, n: usize) -> Result<Graph> {
+    let mut b = GraphBuilder::new(n);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let u = parse_field(fields.next(), lineno)?;
+        let v = parse_field(fields.next(), lineno)?;
+        b.add_edge(u, v)?;
+    }
+    b.try_build()
+}
+
+fn parse_field(field: Option<&str>, lineno: usize) -> Result<usize> {
+    field
+        .ok_or_else(|| GraphError::InfeasibleParameters {
+            reason: format!("line {}: missing vertex field", lineno + 1),
+        })?
+        .parse()
+        .map_err(|_| GraphError::InfeasibleParameters {
+            reason: format!("line {}: vertex index is not a nonnegative integer", lineno + 1),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_with_header() {
+        let g = generators::complete(6);
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn round_trip_random_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let g = generators::erdos_renyi_gnp(40, 0.2, &mut rng).unwrap();
+        assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn headerless_lists_infer_n() {
+        // Three lines, first is (0,1): header candidate (0,1) has m = 1
+        // but 2 lines follow, so it is re-read as an edge.
+        let g = parse_edge_list("0 1\n1 2\n2 3\n").unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# comment\n% other comment\n\n3 2\n0 1\n\n1 2\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = parse_edge_list("0 1\nx y\n9 9 9\n").unwrap_err();
+        assert!(matches!(err, GraphError::InfeasibleParameters { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "got {msg}");
+    }
+
+    #[test]
+    fn too_many_fields_rejected() {
+        assert!(parse_edge_list("0 1\n1 2 3\n").is_err());
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_rejected() {
+        assert!(parse_edge_list("3 2\n0 1\n1 0\n").is_err());
+        assert!(parse_edge_list("3 2\n0 1\n2 2\n").is_err());
+    }
+
+    #[test]
+    fn explicit_n_variant() {
+        let g = parse_edge_list_with_n("0 1\n1 2\n", 10).unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 2);
+        assert!(parse_edge_list_with_n("0 99\n", 10).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.n(), 0);
+        let g = parse_edge_list("# only comments\n").unwrap();
+        assert_eq!(g.n(), 0);
+    }
+
+    #[test]
+    fn single_edge_file_is_ambiguous_but_sane() {
+        // "5 7" alone: header candidate with m = 7 ≠ 0 lines → re-read as
+        // the single edge (5, 7).
+        let g = parse_edge_list("5 7\n").unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 1);
+        assert!(g.has_edge(5, 7));
+    }
+}

@@ -1,0 +1,139 @@
+//! Breadth-first / depth-first traversal and connected components.
+
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// Vertices reachable from `start` in BFS order (including `start`).
+///
+/// # Panics
+///
+/// Panics if `start >= g.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use ld_graph::{traversal, Graph};
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)])?;
+/// assert_eq!(traversal::bfs_order(&g, 0), vec![0, 1, 2]);
+/// # Ok::<(), ld_graph::GraphError>(())
+/// ```
+pub fn bfs_order(g: &Graph, start: usize) -> Vec<usize> {
+    assert!(start < g.n(), "start vertex {start} out of range");
+    let mut seen = vec![false; g.n()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Distances (in hops) from `start` to every vertex; `None` for unreachable
+/// vertices.
+///
+/// # Panics
+///
+/// Panics if `start >= g.n()`.
+pub fn bfs_distances(g: &Graph, start: usize) -> Vec<Option<usize>> {
+    assert!(start < g.n(), "start vertex {start} out of range");
+    let mut dist = vec![None; g.n()];
+    let mut queue = VecDeque::new();
+    dist[start] = Some(0);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued vertex has a distance");
+        for v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component label for every vertex; labels are `0..k` assigned in
+/// order of the smallest vertex of each component.
+pub fn components(g: &Graph) -> Vec<usize> {
+    let mut label = vec![usize::MAX; g.n()];
+    let mut next = 0;
+    for v in 0..g.n() {
+        if label[v] == usize::MAX {
+            for u in bfs_order(g, v) {
+                label[u] = next;
+            }
+            next += 1;
+        }
+    }
+    label
+}
+
+/// Number of connected components. An empty graph has zero components.
+pub fn component_count(g: &Graph) -> usize {
+    components(g).into_iter().max().map_or(0, |max| max + 1)
+}
+
+/// Whether the graph is connected. Graphs with fewer than two vertices are
+/// connected by convention.
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() <= 1 || component_count(g) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_order_visits_reachable_only() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2]);
+        assert_eq!(bfs_order(&g, 3), vec![3, 4]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(4);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_distances_marks_unreachable() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(bfs_distances(&g, 0)[2], None);
+    }
+
+    #[test]
+    fn components_labels_and_count() {
+        let g = Graph::from_edges(6, [(0, 1), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(components(&g), vec![0, 0, 1, 1, 1, 2]);
+        assert_eq!(component_count(&g), 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn complete_graph_is_connected() {
+        assert!(is_connected(&generators::complete(8)));
+    }
+
+    #[test]
+    fn trivial_graphs_are_connected() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn empty_graph_has_zero_components() {
+        assert_eq!(component_count(&Graph::empty(0)), 0);
+    }
+}

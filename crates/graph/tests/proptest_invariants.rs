@@ -1,0 +1,211 @@
+//! Property-based invariants for the graph substrate.
+
+use ld_graph::{generators, properties, traversal, DiGraph, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Handshake lemma: the degree sum equals twice the edge count, for
+    /// every generator at arbitrary feasible parameters.
+    #[test]
+    fn handshake_lemma_all_generators(n in 2usize..120, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = 2 + (seed as usize % 4) * 2; // even, 2..=8
+        let graphs: Vec<Graph> = vec![
+            generators::complete(n),
+            generators::star(n),
+            generators::cycle(n),
+            generators::erdos_renyi_gnp(n, 0.3, &mut rng).unwrap(),
+            generators::erdos_renyi_gnm(n, n.min(n * (n - 1) / 2), &mut rng).unwrap(),
+        ];
+        for g in graphs {
+            prop_assert_eq!(g.degrees().sum::<usize>(), 2 * g.m());
+        }
+        if d < n && (n * d).is_multiple_of(2) {
+            let g = generators::random_regular(n, d, &mut rng).unwrap();
+            prop_assert_eq!(g.degrees().sum::<usize>(), 2 * g.m());
+        }
+    }
+
+    /// Sorted-adjacency invariant: neighbour lists are strictly increasing
+    /// and symmetric.
+    #[test]
+    fn adjacency_sorted_and_symmetric(n in 2usize..60, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_gnp(n, 0.4, &mut rng).unwrap();
+        for v in 0..n {
+            let nb = g.neighbor_slice(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted at {}", v);
+            for &u in nb {
+                prop_assert!(g.has_edge(u, v), "asymmetric edge ({}, {})", u, v);
+            }
+        }
+    }
+
+    /// `random_regular` always returns an exactly d-regular simple graph.
+    #[test]
+    fn regular_generator_is_regular(n in 6usize..80, dd in 1usize..5) {
+        let d = dd * 2; // even degree is always feasible
+        prop_assume!(d < n);
+        let mut rng = StdRng::seed_from_u64((n * 31 + d) as u64);
+        let g = generators::random_regular(n, d, &mut rng).unwrap();
+        prop_assert_eq!(properties::regularity(&g), Some(d));
+        // Simplicity: no self-loops possible by type; no duplicate edges
+        // because GraphBuilder::build would have panicked.
+        prop_assert_eq!(g.m(), n * d / 2);
+    }
+
+    /// `random_bounded_degree` respects the cap for arbitrary parameters.
+    #[test]
+    fn bounded_degree_cap(n in 2usize..100, k in 1usize..8, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = n * k / 3;
+        let g = generators::random_bounded_degree(n, k, m, &mut rng).unwrap();
+        prop_assert!(properties::max_degree(&g).unwrap_or(0) <= k);
+    }
+
+    /// `random_min_degree` meets the floor for arbitrary parameters.
+    #[test]
+    fn min_degree_floor(n in 4usize..100, seed in 0u64..100) {
+        let k = 1 + (seed as usize) % (n / 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_min_degree(n, k, &mut rng).unwrap();
+        prop_assert!(properties::min_degree(&g).unwrap() >= k);
+    }
+
+    /// `from_degree_sequence` realizes any graphical sequence exactly.
+    /// (Sequences are guaranteed graphical by reading them off a sampled
+    /// graph first.)
+    #[test]
+    fn degree_sequence_round_trip(n in 4usize..60, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let template = generators::erdos_renyi_gnp(n, 0.3, &mut rng).unwrap();
+        let degs: Vec<usize> = template.degrees().collect();
+        let g = generators::from_degree_sequence(&degs, &mut rng).unwrap();
+        for (v, &d) in degs.iter().enumerate() {
+            prop_assert_eq!(g.degree(v), d, "vertex {}", v);
+        }
+        prop_assert_eq!(g.m(), template.m());
+    }
+
+    /// Edge-list round trips are the identity for every generated graph.
+    #[test]
+    fn edge_list_round_trip(n in 1usize..60, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_gnp(n, 0.3, &mut rng).unwrap();
+        let text = ld_graph::io::to_edge_list(&g);
+        let back = ld_graph::io::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// The parser never panics on arbitrary input — it either produces a
+    /// valid graph or a structured error.
+    #[test]
+    fn edge_list_parser_is_total(input in "[ 0-9a-z#%\\n]{0,200}") {
+        match ld_graph::io::parse_edge_list(&input) {
+            Ok(g) => prop_assert!(g.degrees().sum::<usize>() == 2 * g.m()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Induced subgraphs preserve adjacency among selected vertices.
+    #[test]
+    fn induced_subgraph_preserves_adjacency(n in 2usize..40, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_gnp(n, 0.4, &mut rng).unwrap();
+        use rand::Rng;
+        let selected: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.5)).collect();
+        let sub = g.induced_subgraph(&selected).unwrap();
+        prop_assert_eq!(sub.n(), selected.len());
+        for (i, &u) in selected.iter().enumerate() {
+            for (j, &v) in selected.iter().enumerate() {
+                if i < j {
+                    prop_assert_eq!(sub.has_edge(i, j), g.has_edge(u, v),
+                        "pair ({}, {})", u, v);
+                }
+            }
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges: distances of
+    /// adjacent vertices differ by at most 1.
+    #[test]
+    fn bfs_distance_lipschitz(n in 2usize..60, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_gnp(n, 0.2, &mut rng).unwrap();
+        let dist = traversal::bfs_distances(&g, 0);
+        for (u, v) in g.edges() {
+            match (dist[u], dist[v]) {
+                (Some(a), Some(b)) => {
+                    let diff = a.abs_diff(b);
+                    prop_assert!(diff <= 1, "edge ({u},{v}) distances {a},{b}");
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "edge ({u},{v}) crosses component boundary"),
+            }
+        }
+    }
+
+    /// Components partition the vertex set and edges never cross components.
+    #[test]
+    fn components_are_a_partition(n in 1usize..80, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = (1.5 / n as f64).min(1.0);
+        let g = generators::erdos_renyi_gnp(n, p, &mut rng).unwrap();
+        let label = traversal::components(&g);
+        prop_assert_eq!(label.len(), n);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(label[u], label[v]);
+        }
+        let k = traversal::component_count(&g);
+        prop_assert!(label.iter().all(|&l| l < k));
+    }
+
+    /// A DAG built from forward edges is acyclic, and its topological order
+    /// is consistent; adding a back edge makes it cyclic.
+    #[test]
+    fn digraph_acyclicity(n in 2usize..50, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DiGraph::new(n);
+        use rand::Rng;
+        for u in 0..n - 1 {
+            if rng.gen_bool(0.7) {
+                let v = rng.gen_range(u + 1..n);
+                g.add_edge(u, v);
+            }
+        }
+        prop_assert!(g.is_acyclic());
+        let lp = g.longest_path_len();
+        prop_assert!(lp < n);
+        // close a cycle if any edge exists
+        if g.m() > 0 {
+            let u = (0..n).find(|&u| g.out_degree(u) > 0).unwrap();
+            let v = g.successors(u)[0];
+            let mut h = g.clone();
+            h.add_edge(v, u);
+            prop_assert!(!h.is_acyclic());
+        }
+    }
+
+    /// Resolving every vertex of a single-out-degree DAG reaches a sink, and
+    /// sink resolution is idempotent.
+    #[test]
+    fn resolve_to_sink_total_on_functional_dags(n in 2usize..50, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            // delegate forward only => acyclic
+            if u + 1 < n && rng.gen_bool(0.6) {
+                g.add_edge(u, rng.gen_range(u + 1..n));
+            }
+        }
+        let sinks = g.sinks();
+        for u in 0..n {
+            let s = g.resolve_to_sink(u).expect("acyclic resolution succeeds");
+            prop_assert!(sinks.contains(&s));
+            prop_assert_eq!(g.resolve_to_sink(s), Some(s));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the probability substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// A specialized result type for probability operations.
+pub type Result<T> = std::result::Result<T, ProbError>;
+
+/// Errors produced by probability constructions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProbError {
+    /// A probability parameter was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Where it was supplied.
+        context: &'static str,
+    },
+    /// A structural parameter (weight, index, ordering) was invalid.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::InvalidProbability { value, context } => {
+                write!(f, "probability {value} not in [0, 1] ({context})")
+            }
+            ProbError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ProbError {}
+
+/// Validates that `p` is a finite probability in `[0, 1]`.
+pub(crate) fn check_probability(p: f64, context: &'static str) -> Result<f64> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(ProbError::InvalidProbability { value: p, context })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_probability_accepts_bounds() {
+        assert_eq!(check_probability(0.0, "t").unwrap(), 0.0);
+        assert_eq!(check_probability(1.0, "t").unwrap(), 1.0);
+        assert_eq!(check_probability(0.5, "t").unwrap(), 0.5);
+    }
+
+    #[test]
+    fn check_probability_rejects_bad_values() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(check_probability(bad, "t").is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProbError::InvalidProbability { value: 1.5, context: "weight" };
+        assert!(e.to_string().contains("1.5"));
+        let e = ProbError::InvalidParameter { reason: "weights must be positive".into() };
+        assert!(e.to_string().contains("positive"));
+    }
+}

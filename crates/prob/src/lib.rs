@@ -1,0 +1,52 @@
+//! # `ld-prob` — probability substrate for liquid democracy
+//!
+//! The analysis in *When is Liquid Democracy Possible?* (PODC 2025) rests on
+//! a small toolbox of probabilistic machinery, all of which this crate
+//! implements from scratch:
+//!
+//! * [`normal`] — `erf`, the standard normal CDF, and the normal
+//!   approximation of Bernoulli sums (Lemma 4 in the paper, quoting Kahng
+//!   et al.), used by Lemma 3's anti-concentration argument.
+//! * [`poisson_binomial`] — the exact distribution of a sum of independent,
+//!   non-identical Bernoulli variables, including the **weighted** variant
+//!   needed to evaluate weighted-majority outcomes exactly. This is the
+//!   engine behind exact computation of the probability of a correct
+//!   decision `P^M(G)` given a delegation graph.
+//! * [`bounds`] — Chernoff and Hoeffding (the paper's Theorem 1) tail
+//!   bounds, Lemma 3's erf-based outcome-flip bound, and Lemma 5/6's
+//!   `√(n^{1+ε}·w)` concentration radius.
+//! * [`recycle`] — **recycle sampling** (Definition 6): the paper's novel
+//!   model of positively-correlated Bernoulli variables that captures vote
+//!   delegation, with realization sampling and the deviation measurements
+//!   behind Lemmas 1 and 2.
+//! * [`stats`] — Welford streaming moments, binomial confidence intervals,
+//!   empirical tail frequencies, and log–log regression for extracting
+//!   convergence rates from finite-size sweeps.
+//! * [`rng`] — deterministic seed-splitting so that parallel Monte Carlo
+//!   runs are exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use ld_prob::poisson_binomial::PoissonBinomial;
+//!
+//! // Three voters with competencies 0.9, 0.6, 0.55: majority-correct probability.
+//! let pb = PoissonBinomial::new(&[0.9, 0.6, 0.55])?;
+//! let p_majority = pb.tail_ge(2);
+//! assert!(p_majority > 0.7 && p_majority < 0.95);
+//! # Ok::<(), ld_prob::ProbError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod bounds;
+pub mod normal;
+pub mod poisson_binomial;
+pub mod recycle;
+pub mod rng;
+pub mod stats;
+
+pub use error::{ProbError, Result};

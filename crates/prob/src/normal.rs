@@ -1,0 +1,220 @@
+//! The error function, the standard normal distribution, and the normal
+//! approximation of Bernoulli sums (the paper's Lemma 4).
+//!
+//! The standard library provides no special functions and no special-function
+//! crate is in the approved offline set, so `erf` is implemented here with
+//! the Abramowitz–Stegun rational approximation 7.1.26 (max absolute error
+//! `1.5e-7`, ample for the paper's asymptotic arguments).
+
+/// The error function `erf(x) = (2/√π) ∫₀ˣ e^{-t²} dt`.
+///
+/// Implemented with Abramowitz & Stegun formula 7.1.26; absolute error is
+/// below `1.5e-7` everywhere. Lemma 3 of the paper bounds the probability
+/// that delegation flips the voting outcome by `erf(n^{-ε}/√2)`, which this
+/// function evaluates.
+///
+/// # Examples
+///
+/// ```
+/// use ld_prob::normal::erf;
+/// assert!((erf(0.0)).abs() < 1e-6);
+/// assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+/// assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    // erf is odd; work on |x| and restore the sign.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let poly = ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t;
+    let y = 1.0 - poly * (-x * x).exp();
+    sign * y
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// The standard normal cumulative distribution function `Φ(z)`.
+///
+/// # Examples
+///
+/// ```
+/// use ld_prob::normal::std_normal_cdf;
+/// assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+/// assert!(std_normal_cdf(3.0) > 0.998);
+/// ```
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// The standard normal density `φ(z)`.
+pub fn std_normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// A normal distribution `N(mean, variance)` summarizing a Bernoulli sum.
+///
+/// Lemma 4 of the paper (quoted from Kahng et al.) states that a sum of
+/// independent Bernoulli variables with parameters bounded in `[β, 1-β]`
+/// converges to `N(Σ E[Y_k], Σ Var[Y_k])`. [`NormalApprox::of_bernoulli_sum`]
+/// builds exactly that approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalApprox {
+    /// Mean of the approximating normal.
+    pub mean: f64,
+    /// Variance of the approximating normal (must be ≥ 0).
+    pub variance: f64,
+}
+
+impl NormalApprox {
+    /// Creates the normal approximation of `Σ Bernoulli(p_i)` per Lemma 4:
+    /// mean `Σ p_i`, variance `Σ p_i (1 - p_i)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ld_prob::normal::NormalApprox;
+    /// let approx = NormalApprox::of_bernoulli_sum(&[0.5, 0.5, 0.5, 0.5]);
+    /// assert_eq!(approx.mean, 2.0);
+    /// assert_eq!(approx.variance, 1.0);
+    /// ```
+    pub fn of_bernoulli_sum(ps: &[f64]) -> Self {
+        let mean = ps.iter().sum();
+        let variance = ps.iter().map(|p| p * (1.0 - p)).sum();
+        NormalApprox { mean, variance }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// `P[X ≤ x]` under the approximation. For zero variance this is a step
+    /// function at the mean.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.variance <= 0.0 {
+            return if x >= self.mean { 1.0 } else { 0.0 };
+        }
+        std_normal_cdf((x - self.mean) / self.std_dev())
+    }
+
+    /// `P[a ≤ X ≤ b]` under the approximation.
+    pub fn prob_in(&self, a: f64, b: f64) -> f64 {
+        if b < a {
+            return 0.0;
+        }
+        (self.cdf(b) - self.cdf(a)).max(0.0)
+    }
+
+    /// `P[X > x]` under the approximation.
+    pub fn tail_above(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // (x, erf(x)) reference pairs, tolerance 1.5e-7 per A&S 7.1.26.
+        let cases = [
+            (0.0, 0.0),
+            (0.1, 0.1124629160),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (1.5, 0.9661051465),
+            (2.0, 0.9953222650),
+            (3.0, 0.9999779095),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {} want {want}", erf(x));
+            assert!((erf(-x) + want).abs() < 2e-7, "erf(-{x}) asymmetric");
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_monotone() {
+        let xs: Vec<f64> = (-40..=40).map(|i| i as f64 / 10.0).collect();
+        for w in xs.windows(2) {
+            assert!(erf(w[0]) <= erf(w[1]), "erf not monotone at {}", w[0]);
+        }
+        for &x in &xs {
+            // Exact sign symmetry away from 0; at x = 0 the rational
+            // approximation leaves a residual of ~1e-9 on each side.
+            assert!((erf(x) + erf(-x)).abs() < 1e-6, "erf not odd at {x}");
+        }
+    }
+
+    #[test]
+    fn erf_limits() {
+        assert!((erf(6.0) - 1.0).abs() < 1e-9);
+        assert!((erf(-6.0) + 1.0).abs() < 1e-9);
+        assert!((erfc(6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for z in [0.1, 0.7, 1.3, 2.9] {
+            let s = std_normal_cdf(z) + std_normal_cdf(-z);
+            assert!((s - 1.0).abs() < 1e-9, "cdf symmetry broken at {z}");
+        }
+    }
+
+    #[test]
+    fn normal_pdf_integrates_to_one() {
+        // Trapezoid rule over [-8, 8].
+        let steps = 10_000;
+        let h = 16.0 / steps as f64;
+        let integral: f64 = (0..=steps)
+            .map(|i| {
+                let z = -8.0 + i as f64 * h;
+                let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+                w * std_normal_pdf(z)
+            })
+            .sum::<f64>()
+            * h;
+        assert!((integral - 1.0).abs() < 1e-6, "integral {integral}");
+    }
+
+    #[test]
+    fn bernoulli_sum_approx_moments() {
+        let ps = [0.2, 0.8, 0.5];
+        let a = NormalApprox::of_bernoulli_sum(&ps);
+        assert!((a.mean - 1.5).abs() < 1e-12);
+        assert!((a.variance - (0.16 + 0.16 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_cdf_is_step() {
+        let a = NormalApprox { mean: 2.0, variance: 0.0 };
+        assert_eq!(a.cdf(1.9), 0.0);
+        assert_eq!(a.cdf(2.0), 1.0);
+        assert_eq!(a.prob_in(0.0, 1.0), 0.0);
+        assert_eq!(a.prob_in(0.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn prob_in_empty_interval_is_zero() {
+        let a = NormalApprox { mean: 0.0, variance: 1.0 };
+        assert_eq!(a.prob_in(1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn direct_vote_majority_approximation_matches_intuition() {
+        // 101 voters at p = 0.6: majority correct with probability ≈ 0.98.
+        let ps = vec![0.6; 101];
+        let a = NormalApprox::of_bernoulli_sum(&ps);
+        let p_majority = a.tail_above(50.5);
+        assert!(p_majority > 0.95 && p_majority < 1.0, "p = {p_majority}");
+    }
+}

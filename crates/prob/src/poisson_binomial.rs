@@ -1,0 +1,399 @@
+//! Exact distributions of (weighted) sums of independent Bernoulli
+//! variables.
+//!
+//! Direct voting is a sum of independent `Bernoulli(p_i)`; a resolved
+//! delegation graph is a **weighted** sum `Σ w_i · Bernoulli(p_i)` over its
+//! sinks. Both distributions are computed exactly here by dynamic
+//! programming, which lets the simulator evaluate the probability of a
+//! correct decision `P^M(G)` without vote-level sampling noise.
+
+use crate::error::{check_probability, ProbError, Result};
+
+/// The exact distribution of `Σ Bernoulli(p_i)` (the Poisson-binomial
+/// distribution).
+///
+/// # Examples
+///
+/// ```
+/// use ld_prob::poisson_binomial::PoissonBinomial;
+///
+/// let pb = PoissonBinomial::new(&[0.5, 0.5])?;
+/// assert!((pb.pmf(1) - 0.5).abs() < 1e-12);
+/// assert!((pb.mean() - 1.0).abs() < 1e-12);
+/// # Ok::<(), ld_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonBinomial {
+    /// `pmf[k] = P[X = k]`, length `n + 1`.
+    pmf: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl PoissonBinomial {
+    /// Computes the exact distribution by convolution DP in `O(n²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidProbability`] if any `p_i` is outside
+    /// `[0, 1]` or not finite.
+    pub fn new(ps: &[f64]) -> Result<Self> {
+        for &p in ps {
+            check_probability(p, "Poisson-binomial parameter")?;
+        }
+        let mut pmf = vec![0.0f64; ps.len() + 1];
+        pmf[0] = 1.0;
+        for (i, &p) in ps.iter().enumerate() {
+            // In-place backward update: after processing i+1 variables the
+            // support is 0..=i+1.
+            for k in (0..=i + 1).rev() {
+                let stay = pmf[k] * (1.0 - p);
+                let up = if k > 0 { pmf[k - 1] * p } else { 0.0 };
+                pmf[k] = stay + up;
+            }
+        }
+        let mean = ps.iter().sum();
+        let variance = ps.iter().map(|p| p * (1.0 - p)).sum();
+        Ok(PoissonBinomial { pmf, mean, variance })
+    }
+
+    /// Number of summands `n`.
+    pub fn n(&self) -> usize {
+        self.pmf.len() - 1
+    }
+
+    /// `P[X = k]`; zero for `k > n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        self.pmf.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// The full probability mass function as a slice of length `n + 1`.
+    pub fn pmf_slice(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// `P[X ≥ k]`.
+    pub fn tail_ge(&self, k: usize) -> f64 {
+        self.pmf.iter().skip(k).sum()
+    }
+
+    /// `P[X ≤ k]`.
+    pub fn cdf(&self, k: usize) -> f64 {
+        self.pmf.iter().take(k.saturating_add(1)).sum()
+    }
+
+    /// Exact mean `Σ p_i`.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Exact variance `Σ p_i (1 - p_i)`.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Probability that a strict majority of the `n` variables is 1, i.e.
+    /// `P[X > n/2]` — the probability that direct voting decides correctly
+    /// under the paper's strict-majority rule.
+    pub fn strict_majority(&self) -> f64 {
+        let n = self.n();
+        // strict majority: X > n/2  ⇔  2X > n  ⇔  X ≥ floor(n/2) + 1
+        self.tail_ge(n / 2 + 1)
+    }
+}
+
+/// The exact distribution of a **weighted** Bernoulli sum
+/// `Σ w_i · Bernoulli(p_i)` with nonnegative integer weights.
+///
+/// For a delegation graph with sinks `s_1, …, s_k` carrying weights
+/// `w_1, …, w_k` (Σ w_i = n), the number of correct votes is exactly this
+/// distribution; [`WeightedBernoulliSum::strict_majority`] with total `n`
+/// is the probability the delegated election is decided correctly.
+///
+/// # Examples
+///
+/// ```
+/// use ld_prob::poisson_binomial::WeightedBernoulliSum;
+///
+/// // One dictator holding all 9 votes with competency 2/3 (Figure 1).
+/// let w = WeightedBernoulliSum::new(&[(9, 2.0 / 3.0)])?;
+/// assert!((w.strict_majority(9) - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), ld_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedBernoulliSum {
+    /// `pmf[t] = P[Σ w_i x_i = t]`, length `W + 1` where `W = Σ w_i`.
+    pmf: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl WeightedBernoulliSum {
+    /// Computes the exact distribution by DP over total weight in
+    /// `O(k · W)` where `k` is the number of terms and `W = Σ w_i`.
+    ///
+    /// Terms with zero weight are permitted and contribute nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidProbability`] for a parameter outside
+    /// `[0, 1]`.
+    pub fn new(terms: &[(usize, f64)]) -> Result<Self> {
+        for &(_, p) in terms {
+            check_probability(p, "weighted Bernoulli parameter")?;
+        }
+        let total: usize = terms.iter().map(|&(w, _)| w).sum();
+        let mut pmf = vec![0.0f64; total + 1];
+        pmf[0] = 1.0;
+        let mut reached = 0usize;
+        for &(w, p) in terms {
+            if w == 0 {
+                continue;
+            }
+            for t in (0..=reached).rev() {
+                let mass = pmf[t];
+                if mass == 0.0 {
+                    continue;
+                }
+                pmf[t] = mass * (1.0 - p);
+                pmf[t + w] += mass * p;
+            }
+            reached += w;
+        }
+        let mean = terms.iter().map(|&(w, p)| w as f64 * p).sum();
+        let variance = terms.iter().map(|&(w, p)| (w as f64).powi(2) * p * (1.0 - p)).sum();
+        Ok(WeightedBernoulliSum { pmf, mean, variance })
+    }
+
+    /// Total weight `W = Σ w_i`.
+    pub fn total_weight(&self) -> usize {
+        self.pmf.len() - 1
+    }
+
+    /// `P[Σ w_i x_i = t]`; zero for `t > W`.
+    pub fn pmf(&self, t: usize) -> f64 {
+        self.pmf.get(t).copied().unwrap_or(0.0)
+    }
+
+    /// `P[Σ w_i x_i ≥ t]`.
+    pub fn tail_ge(&self, t: usize) -> f64 {
+        self.pmf.iter().skip(t).sum()
+    }
+
+    /// Exact mean `Σ w_i p_i`.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Exact variance `Σ w_i² p_i (1 - p_i)`.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Probability that the correct side holds a **strict** majority of
+    /// `total_votes`: `P[Σ w_i x_i > total_votes / 2]`.
+    ///
+    /// `total_votes` is passed explicitly because abstention (§6 of the
+    /// paper) can make the tallied weight smaller than the electorate; the
+    /// paper's rule compares correct weight against incorrect weight, i.e.
+    /// against `W - X` where `W` is the tallied weight.
+    ///
+    /// With `total_votes = W` this is `P[X > W - X]`.
+    pub fn strict_majority(&self, total_votes: usize) -> f64 {
+        // X > total/2  ⇔  2X > total  ⇔  X ≥ total/2 + 1 (integer X)
+        self.tail_ge(total_votes / 2 + 1)
+    }
+
+    /// Probability of a correct decision under a tie-handling policy:
+    /// strict majority wins outright; an exact tie is correct with
+    /// probability `tie_credit` (0 for the paper's pessimistic rule, 0.5
+    /// for a fair coin flip).
+    pub fn majority_with_ties(&self, total_votes: usize, tie_credit: f64) -> f64 {
+        let strict = self.strict_majority(total_votes);
+        if total_votes.is_multiple_of(2) {
+            strict + tie_credit * self.pmf(total_votes / 2)
+        } else {
+            strict
+        }
+    }
+}
+
+/// Brute-force reference: exact majority probability by enumerating all
+/// `2^k` outcomes. Exponential; intended for testing the DPs (`k ≤ ~20`).
+pub fn brute_force_majority(terms: &[(usize, f64)], total_votes: usize) -> Result<f64> {
+    for &(_, p) in terms {
+        check_probability(p, "brute-force parameter")?;
+    }
+    if terms.len() > 25 {
+        return Err(ProbError::InvalidParameter {
+            reason: format!("brute force limited to 25 terms, got {}", terms.len()),
+        });
+    }
+    let k = terms.len();
+    let mut acc = 0.0;
+    for mask in 0u32..(1u32 << k) {
+        let mut prob = 1.0;
+        let mut weight = 0usize;
+        for (i, &(w, p)) in terms.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                prob *= p;
+                weight += w;
+            } else {
+                prob *= 1.0 - p;
+            }
+        }
+        if 2 * weight > total_votes {
+            acc += prob;
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_special_case() {
+        // 4 fair coins: pmf = (1, 4, 6, 4, 1) / 16.
+        let pb = PoissonBinomial::new(&[0.5; 4]).unwrap();
+        let want = [1.0, 4.0, 6.0, 4.0, 1.0].map(|x| x / 16.0);
+        for (k, w) in want.iter().enumerate() {
+            assert!((pb.pmf(k) - w).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn empty_sum_is_deterministic_zero() {
+        let pb = PoissonBinomial::new(&[]).unwrap();
+        assert_eq!(pb.n(), 0);
+        assert_eq!(pb.pmf(0), 1.0);
+        assert_eq!(pb.mean(), 0.0);
+        // 0 > 0/2 is false: strict majority of zero voters is impossible.
+        assert_eq!(pb.strict_majority(), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_moments_match() {
+        let ps = [0.1, 0.9, 0.33, 0.77, 0.5];
+        let pb = PoissonBinomial::new(&ps).unwrap();
+        let total: f64 = pb.pmf_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let mean_from_pmf: f64 =
+            pb.pmf_slice().iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        assert!((mean_from_pmf - pb.mean()).abs() < 1e-9);
+        let var_from_pmf: f64 = pb
+            .pmf_slice()
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (k as f64 - pb.mean()).powi(2) * p)
+            .sum();
+        assert!((var_from_pmf - pb.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_parameters() {
+        let pb = PoissonBinomial::new(&[1.0, 1.0, 0.0]).unwrap();
+        assert_eq!(pb.pmf(2), 1.0);
+        assert_eq!(pb.strict_majority(), 1.0); // 2 > 1.5
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(PoissonBinomial::new(&[0.5, 1.2]).is_err());
+        assert!(PoissonBinomial::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn strict_majority_condorcet_grows_with_n() {
+        // Condorcet jury theorem: p = 0.6, probability of a correct
+        // majority increases with n (odd sizes).
+        let mut last = 0.0;
+        for n in [1usize, 11, 31, 101] {
+            let pb = PoissonBinomial::new(&vec![0.6; n]).unwrap();
+            let p = pb.strict_majority();
+            assert!(p > last, "n = {n}: {p} not above {last}");
+            last = p;
+        }
+        assert!(last > 0.97);
+    }
+
+    #[test]
+    fn tail_and_cdf_are_complementary() {
+        let pb = PoissonBinomial::new(&[0.3, 0.6, 0.2, 0.9]).unwrap();
+        for k in 0..=4usize {
+            let total = pb.cdf(k) + pb.tail_ge(k + 1);
+            assert!((total - 1.0).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_when_weights_are_one() {
+        let ps = [0.25, 0.5, 0.8, 0.66];
+        let pb = PoissonBinomial::new(&ps).unwrap();
+        let terms: Vec<(usize, f64)> = ps.iter().map(|&p| (1, p)).collect();
+        let wb = WeightedBernoulliSum::new(&terms).unwrap();
+        for t in 0..=4usize {
+            assert!((pb.pmf(t) - wb.pmf(t)).abs() < 1e-12, "t = {t}");
+        }
+        assert!((pb.strict_majority() - wb.strict_majority(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_dictator_is_figure_one() {
+        // Figure 1: all votes delegated to a single center with p = 2/3.
+        let wb = WeightedBernoulliSum::new(&[(9, 2.0 / 3.0)]).unwrap();
+        assert!((wb.strict_majority(9) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(wb.total_weight(), 9);
+    }
+
+    #[test]
+    fn weighted_zero_weight_terms_are_ignored() {
+        let a = WeightedBernoulliSum::new(&[(2, 0.7), (0, 0.9), (1, 0.4)]).unwrap();
+        let b = WeightedBernoulliSum::new(&[(2, 0.7), (1, 0.4)]).unwrap();
+        assert_eq!(a.pmf, b.pmf);
+    }
+
+    #[test]
+    fn weighted_moments() {
+        let wb = WeightedBernoulliSum::new(&[(3, 0.5), (2, 0.25)]).unwrap();
+        assert!((wb.mean() - (1.5 + 0.5)).abs() < 1e-12);
+        assert!((wb.variance() - (9.0 * 0.25 + 4.0 * 0.1875)).abs() < 1e-12);
+        let s: f64 = wb.pmf.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_agrees_with_brute_force() {
+        let terms = [(3usize, 0.8), (2, 0.3), (1, 0.5), (4, 0.65), (1, 0.1)];
+        let total: usize = terms.iter().map(|t| t.0).sum();
+        let wb = WeightedBernoulliSum::new(&terms).unwrap();
+        let brute = brute_force_majority(&terms, total).unwrap();
+        assert!((wb.strict_majority(total) - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_handling() {
+        // Two voters, one vote each, p = 0.5 each: P[X = 1] = 0.5 tie mass.
+        let wb = WeightedBernoulliSum::new(&[(1, 0.5), (1, 0.5)]).unwrap();
+        assert!((wb.majority_with_ties(2, 0.0) - 0.25).abs() < 1e-12);
+        assert!((wb.majority_with_ties(2, 0.5) - 0.5).abs() < 1e-12);
+        assert!((wb.majority_with_ties(2, 1.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abstention_smaller_total() {
+        // 3 voters but only 2 votes tallied (one abstained): strict
+        // majority needs ≥ 2 of the 2 tallied.
+        let wb = WeightedBernoulliSum::new(&[(1, 1.0), (1, 1.0)]).unwrap();
+        assert_eq!(wb.strict_majority(2), 1.0);
+        let wb2 = WeightedBernoulliSum::new(&[(1, 1.0), (1, 0.0)]).unwrap();
+        assert_eq!(wb2.strict_majority(2), 0.0); // 1 vote is not > 1
+    }
+
+    #[test]
+    fn brute_force_guard() {
+        let terms: Vec<(usize, f64)> = (0..26).map(|_| (1usize, 0.5)).collect();
+        assert!(brute_force_majority(&terms, 26).is_err());
+    }
+}

@@ -1,0 +1,641 @@
+//! **Recycle sampling** — the paper's novel model of dependent Bernoulli
+//! variables (Definition 6) and the measurement apparatus behind Lemmas 1–2.
+//!
+//! A `(j, c, n)`-recycle-sampling graph has ordered vertices `v_1 … v_n`;
+//! vertex `i` either draws a **fresh** `Bernoulli(p_i)` (with probability
+//! `z_i`) or **recycles** the realized value of a uniformly random vertex
+//! among a prefix `1..=t_i` of its predecessors (with probability
+//! `1 - z_i`). The first `j` vertices are always fresh, and the longest
+//! chain of potential recycling steps — the *partition complexity* — is at
+//! most `c`.
+//!
+//! This captures delegation exactly: a voter who delegates "recycles" the
+//! voting outcome of a random more-competent voter, which positively
+//! correlates voting outcomes — the opposite regime from the negative
+//! dependence handled by classical Chernoff extensions.
+//!
+//! Lemma 2 asserts that despite the dependence, the realized sum `X_n`
+//! stays above `μ(X_n) − c·ε·n / j^{1/3}` with probability
+//! `1 − e^{-Ω(j^{1/3})}`. [`RecycleGraph::deviation_statistic`] measures the
+//! quantity that statement bounds.
+
+use crate::error::{check_probability, ProbError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One vertex of a recycle-sampling graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecycleNode {
+    /// Probability of drawing a fresh Bernoulli rather than recycling.
+    pub fresh_prob: f64,
+    /// Bernoulli parameter used when fresh.
+    pub success_prob: f64,
+    /// Recycle prefix length `t`: when recycling, the node copies the value
+    /// of a uniform vertex among indices `0..t` (zero-based). `t = 0`
+    /// forces the node to be fresh regardless of `fresh_prob`.
+    pub prefix: usize,
+}
+
+impl RecycleNode {
+    /// A node that always draws a fresh `Bernoulli(p)`.
+    pub fn fresh(p: f64) -> Self {
+        RecycleNode { fresh_prob: 1.0, success_prob: p, prefix: 0 }
+    }
+
+    /// A node that recycles from `0..prefix` with probability
+    /// `1 - fresh_prob` and otherwise draws `Bernoulli(p)`.
+    pub fn recycling(fresh_prob: f64, p: f64, prefix: usize) -> Self {
+        RecycleNode { fresh_prob, success_prob: p, prefix }
+    }
+}
+
+/// A `(j, c, n)`-recycle-sampling graph (Definition 6 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use ld_prob::recycle::{RecycleGraph, RecycleNode};
+/// use rand::SeedableRng;
+///
+/// // 3 fresh voters at p = 0.6, then 7 voters who always recycle from them.
+/// let mut nodes = vec![RecycleNode::fresh(0.6); 3];
+/// nodes.extend(std::iter::repeat(RecycleNode::recycling(0.0, 0.0, 3)).take(7));
+/// let g = RecycleGraph::new(nodes)?;
+/// assert_eq!(g.j(), 3);
+/// assert_eq!(g.partition_complexity(), 1);
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = g.realize(&mut rng);
+/// assert_eq!(x.values().len(), 10);
+/// # Ok::<(), ld_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecycleGraph {
+    nodes: Vec<RecycleNode>,
+    /// Index of the first node that can recycle (`j` in the paper).
+    j: usize,
+    /// Longest chain of potential recycling steps (`c` in the paper).
+    complexity: usize,
+    /// Exact expectations `E[x_i]`, computed once at construction.
+    expectations: Vec<f64>,
+}
+
+impl RecycleGraph {
+    /// Validates and analyses a node sequence.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProbError::InvalidProbability`] if any `fresh_prob` or
+    ///   `success_prob` is outside `[0, 1]`.
+    /// * [`ProbError::InvalidParameter`] if some node's recycle prefix is
+    ///   not strictly shorter than its own index (recycling must reference
+    ///   predecessors only).
+    pub fn new(nodes: Vec<RecycleNode>) -> Result<Self> {
+        for (i, node) in nodes.iter().enumerate() {
+            check_probability(node.fresh_prob, "recycle fresh probability")?;
+            check_probability(node.success_prob, "recycle success probability")?;
+            if node.prefix > i {
+                return Err(ProbError::InvalidParameter {
+                    reason: format!(
+                        "node {i} recycles from prefix of length {} > {i}",
+                        node.prefix
+                    ),
+                });
+            }
+        }
+        let j = nodes
+            .iter()
+            .position(|node| node.prefix > 0 && node.fresh_prob < 1.0)
+            .unwrap_or(nodes.len());
+        // Longest potential recycling chain: depth[i] = 1 + max depth over
+        // the prefix, when the node can recycle. Prefix maxima make this
+        // O(n).
+        let mut complexity = 0usize;
+        let mut depth = vec![0usize; nodes.len()];
+        let mut prefix_max = Vec::with_capacity(nodes.len() + 1);
+        prefix_max.push(0usize);
+        for (i, node) in nodes.iter().enumerate() {
+            depth[i] = if node.prefix > 0 && node.fresh_prob < 1.0 {
+                1 + prefix_max[node.prefix]
+            } else {
+                0
+            };
+            complexity = complexity.max(depth[i]);
+            prefix_max.push(prefix_max[i].max(depth[i]));
+        }
+        // Exact expectations by forward DP over prefix averages:
+        // E[x_i] = z_i p_i + (1 - z_i) · avg_{k < t_i} E[x_k].
+        let mut expectations = Vec::with_capacity(nodes.len());
+        let mut running_sum = 0.0f64;
+        let mut prefix_sums = Vec::with_capacity(nodes.len() + 1);
+        prefix_sums.push(0.0);
+        for node in &nodes {
+            let e = if node.prefix == 0 {
+                node.success_prob
+            } else {
+                let prefix_avg = prefix_sums[node.prefix] / node.prefix as f64;
+                node.fresh_prob * node.success_prob + (1.0 - node.fresh_prob) * prefix_avg
+            };
+            expectations.push(e);
+            running_sum += e;
+            prefix_sums.push(running_sum);
+        }
+        Ok(RecycleGraph { nodes, j, complexity, expectations })
+    }
+
+    /// Builds the canonical delegation-shaped instance used by the Lemma 2
+    /// experiments: `j` fresh voters with competencies `ps[0..j]`, then
+    /// `n - j` voters that recycle from the full preceding prefix with
+    /// probability `1 - fresh_prob` (and are otherwise fresh at their own
+    /// competency).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`RecycleGraph::new`], and rejects
+    /// `j == 0` or `j > ps.len()`.
+    pub fn delegation_shaped(ps: &[f64], j: usize, fresh_prob: f64) -> Result<Self> {
+        if j == 0 || j > ps.len() {
+            return Err(ProbError::InvalidParameter {
+                reason: format!("need 1 ≤ j ≤ n, got j = {j}, n = {}", ps.len()),
+            });
+        }
+        let nodes = ps
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if i < j {
+                    RecycleNode::fresh(p)
+                } else {
+                    RecycleNode::recycling(fresh_prob, p, i)
+                }
+            })
+            .collect();
+        RecycleGraph::new(nodes)
+    }
+
+    /// Builds a **block-structured** recycle graph with bounded partition
+    /// complexity — the shape delegation actually induces when voters can
+    /// only recycle from voters at least `α` more competent.
+    ///
+    /// Competencies in `[0, 1]` split into `1/α` blocks; a voter in block
+    /// `b` can only delegate into blocks `< b`' — here, nodes are laid out
+    /// block by block (`block_sizes[0]` nodes first, etc.), nodes in block
+    /// `b > 0` recycle from the union of earlier blocks with probability
+    /// `1 - fresh_prob`, and the partition complexity is exactly the
+    /// number of nonempty recycling blocks (at most `block_sizes.len() - 1`).
+    ///
+    /// `ps` supplies the per-node success probabilities, concatenated in
+    /// block order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameter`] if `block_sizes` does not
+    /// sum to `ps.len()` or the first block is empty; propagates
+    /// probability validation errors.
+    pub fn blocked(block_sizes: &[usize], ps: &[f64], fresh_prob: f64) -> Result<Self> {
+        let total: usize = block_sizes.iter().sum();
+        if total != ps.len() {
+            return Err(ProbError::InvalidParameter {
+                reason: format!("block sizes sum to {total} but {} probabilities given", ps.len()),
+            });
+        }
+        if block_sizes.first().copied().unwrap_or(0) == 0 {
+            return Err(ProbError::InvalidParameter {
+                reason: "first block must be nonempty (someone has to be fresh)".to_string(),
+            });
+        }
+        let mut nodes = Vec::with_capacity(total);
+        let mut prefix = 0usize;
+        for (b, &size) in block_sizes.iter().enumerate() {
+            for k in 0..size {
+                let idx = prefix + k;
+                if b == 0 {
+                    nodes.push(RecycleNode::fresh(ps[idx]));
+                } else {
+                    nodes.push(RecycleNode::recycling(fresh_prob, ps[idx], prefix));
+                }
+            }
+            prefix += size;
+        }
+        RecycleGraph::new(nodes)
+    }
+
+    /// Number of variables `n`.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index of the first vertex that can recycle (the paper's `j`); equals
+    /// `n` if no vertex recycles.
+    pub fn j(&self) -> usize {
+        self.j
+    }
+
+    /// The partition complexity `c`: the longest chain of potential
+    /// recycling steps (Definition 6's longest path).
+    pub fn partition_complexity(&self) -> usize {
+        self.complexity
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[RecycleNode] {
+        &self.nodes
+    }
+
+    /// Exact per-variable expectations `E[x_i]`.
+    pub fn expectations(&self) -> &[f64] {
+        &self.expectations
+    }
+
+    /// Exact expectation `μ(X_n) = Σ E[x_i]`.
+    pub fn expected_sum(&self) -> f64 {
+        self.expectations.iter().sum()
+    }
+
+    /// Exact expectations of prefix sums: element `i` is `μ(X_i)` for the
+    /// first `i` variables (`i` from 0 to `n`).
+    pub fn expected_prefix_sums(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n() + 1);
+        let mut acc = 0.0;
+        out.push(0.0);
+        for &e in &self.expectations {
+            acc += e;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Exact variance of `X_n = Σ x_i`, accounting for all recycling
+    /// correlations, by an `O(n²)` pairwise second-moment DP.
+    ///
+    /// The recursion: for `i > k`,
+    /// `E[x_i x_k] = z_i p_i E[x_k] + (1-z_i)/t_i · Σ_{m<t_i} E[x_m x_k]`
+    /// (the copy index and fresh coin of `i` are independent of everything
+    /// realized before `i`). The paper only *bounds* this dependence
+    /// (Lemma 2); having the exact value lets experiments report how loose
+    /// the bound is.
+    ///
+    /// Returns `None` for `n > 2048` (the DP stores Θ(n²) doubles).
+    pub fn exact_variance(&self) -> Option<f64> {
+        const LIMIT: usize = 2048;
+        let n = self.n();
+        if n > LIMIT {
+            return None;
+        }
+        if n == 0 {
+            return Some(0.0);
+        }
+        let e = &self.expectations;
+        // m2[i] holds E[x_i x_k] for k ≤ i (row-triangular).
+        let mut m2: Vec<Vec<f64>> = Vec::with_capacity(n);
+        // cum[k][t] = Σ_{m<t} E[x_m x_k]. Column k is seeded from row k
+        // itself (the terms with m < k live in row k by symmetry) and then
+        // extended by one term per completed later row.
+        let mut cum: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let node = self.nodes[i];
+            let mut row = Vec::with_capacity(i + 1);
+            for k in 0..i {
+                let val = if node.prefix == 0 {
+                    // Fresh: x_i independent of x_k.
+                    node.success_prob * e[k]
+                } else {
+                    let t = node.prefix;
+                    let avg = cum[k][t] / t as f64;
+                    node.fresh_prob * node.success_prob * e[k]
+                        + (1.0 - node.fresh_prob) * avg
+                };
+                row.push(val);
+            }
+            // E[x_i²] = E[x_i] for Bernoulli-valued x_i.
+            row.push(e[i]);
+            // Seed column i: entries for t = 0..=i+1 come from row i
+            // (E[x_m x_i] = m2[i][m] for m < i, and the diagonal at m = i).
+            let mut col = Vec::with_capacity(n - i + 2);
+            col.push(0.0);
+            let mut acc = 0.0;
+            for &v in &row {
+                acc += v;
+                col.push(acc);
+            }
+            cum.push(col);
+            // Extend earlier columns with this row's term E[x_i x_k].
+            for (k, col) in cum.iter_mut().enumerate().take(i) {
+                let last = *col.last().expect("columns are non-empty");
+                col.push(last + row[k]);
+            }
+            m2.push(row);
+        }
+        let sum_e: f64 = e.iter().sum();
+        let mut total = 0.0;
+        for (i, row) in m2.iter().enumerate() {
+            total += row[i];
+            for &v in row.iter().take(i) {
+                total += 2.0 * v;
+            }
+        }
+        Some(total - sum_e * sum_e)
+    }
+
+    /// Realizes the process once, in index order.
+    pub fn realize<R: Rng + ?Sized>(&self, rng: &mut R) -> RecycleRealization {
+        let mut values = Vec::with_capacity(self.n());
+        for node in &self.nodes {
+            let fresh = node.prefix == 0 || rng.gen_bool(node.fresh_prob);
+            let value = if fresh {
+                rng.gen_bool(node.success_prob)
+            } else {
+                values[rng.gen_range(0..node.prefix)]
+            };
+            values.push(value);
+        }
+        RecycleRealization { values }
+    }
+
+    /// Lemma 2's deviation statistic for one realization: the worst
+    /// normalized shortfall of any prefix sum beyond `j`, i.e.
+    /// `max_{i > j} (μ(X_i) - X_i) · j^{1/3} / (c · i)` — Lemma 2 predicts
+    /// this rarely exceeds `ε`.
+    ///
+    /// Returns 0 when nothing recycles (`j = n`) or all prefixes are above
+    /// their mean.
+    pub fn deviation_statistic(&self, realization: &RecycleRealization) -> f64 {
+        let mu = self.expected_prefix_sums();
+        let c = self.partition_complexity().max(1) as f64;
+        let j13 = (self.j.max(1) as f64).powf(1.0 / 3.0);
+        let mut worst: f64 = 0.0;
+        let mut sum = 0usize;
+        for (i, &v) in realization.values.iter().enumerate() {
+            sum += v as usize;
+            let idx = i + 1;
+            if idx <= self.j {
+                continue;
+            }
+            let shortfall = mu[idx] - sum as f64;
+            if shortfall > 0.0 {
+                worst = worst.max(shortfall * j13 / (c * idx as f64));
+            }
+        }
+        worst
+    }
+}
+
+/// The outcome of realizing a [`RecycleGraph`] once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecycleRealization {
+    values: Vec<bool>,
+}
+
+impl RecycleRealization {
+    /// The realized values `x_1 … x_n`.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// The realized sum `X_n`.
+    pub fn sum(&self) -> usize {
+        self.values.iter().filter(|&&v| v).count()
+    }
+
+    /// Realized prefix sums `X_0 = 0, X_1, …, X_n`.
+    pub fn prefix_sums(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.values.len() + 1);
+        let mut acc = 0usize;
+        out.push(0);
+        for &v in &self.values {
+            acc += v as usize;
+            out.push(acc);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Welford;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_fresh_graph_is_independent_bernoullis() {
+        let g = RecycleGraph::new(vec![RecycleNode::fresh(0.3); 10]).unwrap();
+        assert_eq!(g.j(), 10);
+        assert_eq!(g.partition_complexity(), 0);
+        assert!((g.expected_sum() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let nodes = vec![RecycleNode::recycling(0.5, 0.5, 1)];
+        assert!(RecycleGraph::new(nodes).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        assert!(RecycleGraph::new(vec![RecycleNode::fresh(1.5)]).is_err());
+        assert!(RecycleGraph::new(vec![RecycleNode::recycling(-0.1, 0.5, 0)]).is_err());
+    }
+
+    #[test]
+    fn expectation_dp_matches_hand_computation() {
+        // Node 0: fresh p=0.8. Node 1: fresh p=0.2.
+        // Node 2: z=0.5, p=0.4, prefix=2 → E = 0.5·0.4 + 0.5·(0.8+0.2)/2 = 0.45.
+        let g = RecycleGraph::new(vec![
+            RecycleNode::fresh(0.8),
+            RecycleNode::fresh(0.2),
+            RecycleNode::recycling(0.5, 0.4, 2),
+        ])
+        .unwrap();
+        assert!((g.expectations()[2] - 0.45).abs() < 1e-12);
+        assert!((g.expected_sum() - 1.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_mean_matches_exact_expectation() {
+        let ps: Vec<f64> = (0..20).map(|i| 0.3 + 0.02 * i as f64).collect();
+        let g = RecycleGraph::delegation_shaped(&ps, 5, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            w.push(g.realize(&mut rng).sum() as f64);
+        }
+        let mu = g.expected_sum();
+        assert!(
+            (w.mean() - mu).abs() < 4.0 * w.std_error().max(0.02),
+            "empirical {} vs exact {mu}",
+            w.mean()
+        );
+    }
+
+    #[test]
+    fn recycling_preserves_expectation_but_inflates_variance() {
+        // All parameters 0.5: recycling cannot change the mean, but copies
+        // are positively correlated so the sum's variance grows.
+        let n = 40;
+        let indep = RecycleGraph::new(vec![RecycleNode::fresh(0.5); n]).unwrap();
+        let mut nodes = vec![RecycleNode::fresh(0.5); 5];
+        nodes.extend((5..n).map(|i| RecycleNode::recycling(0.1, 0.5, i)));
+        let dep = RecycleGraph::new(nodes).unwrap();
+        assert!((indep.expected_sum() - dep.expected_sum()).abs() < 1e-9);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut wi = Welford::new();
+        let mut wd = Welford::new();
+        for _ in 0..5000 {
+            wi.push(indep.realize(&mut rng).sum() as f64);
+            wd.push(dep.realize(&mut rng).sum() as f64);
+        }
+        assert!(
+            wd.sample_variance() > 1.5 * wi.sample_variance(),
+            "dependent variance {} should exceed independent {}",
+            wd.sample_variance(),
+            wi.sample_variance()
+        );
+    }
+
+    #[test]
+    fn delegation_shaped_structure() {
+        let ps = vec![0.5; 10];
+        let g = RecycleGraph::delegation_shaped(&ps, 3, 0.2).unwrap();
+        assert_eq!(g.j(), 3);
+        assert!(g.partition_complexity() >= 1);
+        assert_eq!(g.n(), 10);
+        assert!(RecycleGraph::delegation_shaped(&ps, 0, 0.2).is_err());
+        assert!(RecycleGraph::delegation_shaped(&ps, 11, 0.2).is_err());
+    }
+
+    #[test]
+    fn partition_complexity_of_chain() {
+        // Each node recycles only from the immediately preceding node:
+        // prefix = i means uniform over 0..i; build a strict chain by
+        // alternating fresh nodes to keep depth growing.
+        let nodes = vec![
+            RecycleNode::fresh(0.5),
+            RecycleNode::recycling(0.0, 0.5, 1),
+            RecycleNode::recycling(0.0, 0.5, 2),
+            RecycleNode::recycling(0.0, 0.5, 3),
+        ];
+        let g = RecycleGraph::new(nodes).unwrap();
+        assert_eq!(g.partition_complexity(), 3);
+    }
+
+    #[test]
+    fn pure_copy_node_tracks_source_exactly() {
+        // Node 1 always copies node 0: the two values are always equal.
+        let g = RecycleGraph::new(vec![
+            RecycleNode::fresh(0.5),
+            RecycleNode::recycling(0.0, 0.99, 1),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let r = g.realize(&mut rng);
+            assert_eq!(r.values()[0], r.values()[1]);
+        }
+    }
+
+    #[test]
+    fn prefix_sums_are_consistent() {
+        let g = RecycleGraph::new(vec![RecycleNode::fresh(1.0); 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = g.realize(&mut rng);
+        assert_eq!(r.prefix_sums(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.sum(), 4);
+    }
+
+    #[test]
+    fn deviation_statistic_small_for_typical_realizations() {
+        // Lemma 2: the normalized shortfall rarely exceeds a small ε.
+        let ps: Vec<f64> = (0..200).map(|i| 0.4 + 0.001 * i as f64).collect();
+        let g = RecycleGraph::delegation_shaped(&ps, 27, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut exceed = 0usize;
+        let trials = 400;
+        for _ in 0..trials {
+            let r = g.realize(&mut rng);
+            if g.deviation_statistic(&r) > 1.0 {
+                exceed += 1;
+            }
+        }
+        assert!(
+            exceed < trials / 10,
+            "deviation exceeded ε = 1.0 in {exceed}/{trials} trials"
+        );
+    }
+
+    #[test]
+    fn exact_variance_matches_independent_case() {
+        let ps = [0.2, 0.5, 0.8, 0.4];
+        let nodes: Vec<RecycleNode> = ps.iter().map(|&p| RecycleNode::fresh(p)).collect();
+        let g = RecycleGraph::new(nodes).unwrap();
+        let want: f64 = ps.iter().map(|p| p * (1.0 - p)).sum();
+        assert!((g.exact_variance().unwrap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_variance_of_pure_copy_pair() {
+        // x_1 always copies x_0 ~ Bernoulli(1/2): X_2 = 2 x_0, Var = 1.
+        let g = RecycleGraph::new(vec![
+            RecycleNode::fresh(0.5),
+            RecycleNode::recycling(0.0, 0.9, 1),
+        ])
+        .unwrap();
+        assert!((g.exact_variance().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_variance_matches_monte_carlo() {
+        let ps: Vec<f64> = (0..60).map(|i| 0.3 + 0.005 * i as f64).collect();
+        let g = RecycleGraph::delegation_shaped(&ps, 10, 0.3).unwrap();
+        let exact = g.exact_variance().unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut w = Welford::new();
+        for _ in 0..40_000 {
+            w.push(g.realize(&mut rng).sum() as f64);
+        }
+        let rel = (w.sample_variance() - exact).abs() / exact;
+        assert!(rel < 0.05, "MC variance {} vs exact {exact}", w.sample_variance());
+    }
+
+    #[test]
+    fn exact_variance_size_limit_and_empty() {
+        let g = RecycleGraph::new(vec![]).unwrap();
+        assert_eq!(g.exact_variance(), Some(0.0));
+        let big = RecycleGraph::new(vec![RecycleNode::fresh(0.5); 2049]).unwrap();
+        assert_eq!(big.exact_variance(), None);
+    }
+
+    #[test]
+    fn blocked_graph_has_block_count_complexity() {
+        let ps = vec![0.5; 12];
+        let g = RecycleGraph::blocked(&[4, 4, 4], &ps, 0.2).unwrap();
+        assert_eq!(g.partition_complexity(), 2);
+        assert_eq!(g.j(), 4);
+        let g2 = RecycleGraph::blocked(&[6, 6], &ps, 0.2).unwrap();
+        assert_eq!(g2.partition_complexity(), 1);
+    }
+
+    #[test]
+    fn blocked_validates_shape() {
+        assert!(RecycleGraph::blocked(&[2, 2], &[0.5; 5], 0.2).is_err());
+        assert!(RecycleGraph::blocked(&[0, 4], &[0.5; 4], 0.2).is_err());
+    }
+
+    #[test]
+    fn blocked_expectations_respect_block_structure() {
+        // Block 0 at p = 1.0, block 1 always recycles: E[x] = 1 for all.
+        let mut ps = vec![1.0; 3];
+        ps.extend([0.0; 3]);
+        let g = RecycleGraph::blocked(&[3, 3], &ps, 0.0).unwrap();
+        assert!((g.expected_sum() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_statistic_zero_when_no_recycling() {
+        let g = RecycleGraph::new(vec![RecycleNode::fresh(0.5); 6]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = g.realize(&mut rng);
+        assert_eq!(g.deviation_statistic(&r), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based invariants for the probability substrate.
+
+use ld_prob::normal::{erf, std_normal_cdf, NormalApprox};
+use ld_prob::poisson_binomial::{brute_force_majority, PoissonBinomial, WeightedBernoulliSum};
+use ld_prob::recycle::{RecycleGraph, RecycleNode};
+use ld_prob::stats::{linear_fit, Welford};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn prob() -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|k| k as f64 / 1000.0)
+}
+
+proptest! {
+    /// The Poisson-binomial PMF is a probability distribution and its
+    /// moments match the closed forms.
+    #[test]
+    fn poisson_binomial_is_a_distribution(ps in vec(prob(), 0..40)) {
+        let pb = PoissonBinomial::new(&ps).unwrap();
+        let total: f64 = pb.pmf_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(pb.pmf_slice().iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+        let mean_pmf: f64 = pb.pmf_slice().iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        prop_assert!((mean_pmf - pb.mean()).abs() < 1e-8);
+    }
+
+    /// The weighted DP agrees with exponential brute force on small inputs.
+    #[test]
+    fn weighted_dp_matches_brute_force(
+        terms in vec((1usize..5, prob()), 1..10)
+    ) {
+        let total: usize = terms.iter().map(|t| t.0).sum();
+        let wb = WeightedBernoulliSum::new(&terms).unwrap();
+        let brute = brute_force_majority(&terms, total).unwrap();
+        prop_assert!((wb.strict_majority(total) - brute).abs() < 1e-9);
+    }
+
+    /// Weights of 1 reduce the weighted sum to the Poisson-binomial.
+    #[test]
+    fn unit_weights_reduce_to_poisson_binomial(ps in vec(prob(), 1..30)) {
+        let terms: Vec<(usize, f64)> = ps.iter().map(|&p| (1, p)).collect();
+        let wb = WeightedBernoulliSum::new(&terms).unwrap();
+        let pb = PoissonBinomial::new(&ps).unwrap();
+        for t in 0..=ps.len() {
+            prop_assert!((wb.pmf(t) - pb.pmf(t)).abs() < 1e-9, "t = {}", t);
+        }
+    }
+
+    /// Majority probability is monotone in every competency: raising any
+    /// single p_i cannot decrease the probability of a correct majority.
+    #[test]
+    fn majority_is_monotone_in_competencies(
+        ps in vec(prob(), 1..15),
+        idx in 0usize..15,
+        bump in prob()
+    ) {
+        let idx = idx % ps.len();
+        let mut raised = ps.clone();
+        raised[idx] = (raised[idx] + bump).min(1.0);
+        let before = PoissonBinomial::new(&ps).unwrap().strict_majority();
+        let after = PoissonBinomial::new(&raised).unwrap().strict_majority();
+        prop_assert!(after + 1e-9 >= before, "raising p[{}] decreased majority", idx);
+    }
+
+    /// erf stays in [-1, 1] and the normal CDF is monotone in its argument.
+    #[test]
+    fn erf_and_cdf_ranges(x in -50.0f64..50.0, y in -50.0f64..50.0) {
+        prop_assert!((-1.0..=1.0).contains(&erf(x)));
+        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+        prop_assert!(std_normal_cdf(lo) <= std_normal_cdf(hi) + 1e-12);
+    }
+
+    /// The normal approximation of a Bernoulli sum has the exact mean and
+    /// variance of the Poisson binomial.
+    #[test]
+    fn normal_approx_moments_match_exact(ps in vec(prob(), 1..40)) {
+        let pb = PoissonBinomial::new(&ps).unwrap();
+        let na = NormalApprox::of_bernoulli_sum(&ps);
+        prop_assert!((pb.mean() - na.mean).abs() < 1e-9);
+        prop_assert!((pb.variance() - na.variance).abs() < 1e-9);
+    }
+
+    /// Welford merge is associative-enough: merging any split equals the
+    /// sequential computation.
+    #[test]
+    fn welford_merge_any_split(xs in vec(-100.0f64..100.0, 2..80), cut in 0usize..80) {
+        let cut = cut % xs.len();
+        let (a, b) = xs.split_at(cut);
+        let mut wa: Welford = a.iter().copied().collect();
+        let wb: Welford = b.iter().copied().collect();
+        wa.merge(&wb);
+        let whole: Welford = xs.iter().copied().collect();
+        prop_assert_eq!(wa.count(), whole.count());
+        prop_assert!((wa.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((wa.sample_variance() - whole.sample_variance()).abs() < 1e-6);
+    }
+
+    /// Linear fit is exact on exactly-linear data.
+    #[test]
+    fn linear_fit_exact_on_lines(slope in -5.0f64..5.0, icept in -5.0f64..5.0) {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, slope * i as f64 + icept)).collect();
+        let (s, c) = linear_fit(&pts).unwrap();
+        prop_assert!((s - slope).abs() < 1e-6);
+        prop_assert!((c - icept).abs() < 1e-6);
+    }
+
+    /// Recycle graphs with fresh_prob = 1 everywhere degenerate to
+    /// independent Bernoullis: expectation equals Σ p_i and partition
+    /// complexity is 0.
+    #[test]
+    fn recycle_degenerates_to_independent(ps in vec(prob(), 1..30)) {
+        let nodes: Vec<RecycleNode> = ps.iter().map(|&p| RecycleNode::fresh(p)).collect();
+        let g = RecycleGraph::new(nodes).unwrap();
+        prop_assert_eq!(g.partition_complexity(), 0);
+        prop_assert!((g.expected_sum() - ps.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    /// Exact expectations of a recycle graph are always within [0, 1] per
+    /// node and prefix sums are nondecreasing.
+    #[test]
+    fn recycle_expectations_are_probabilities(
+        ps in vec(prob(), 2..40),
+        fresh in prob(),
+        j in 1usize..39
+    ) {
+        let j = j.min(ps.len() - 1).max(1);
+        let g = RecycleGraph::delegation_shaped(&ps, j, fresh).unwrap();
+        for &e in g.expectations() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&e));
+        }
+        let prefix = g.expected_prefix_sums();
+        prop_assert!(prefix.windows(2).all(|w| w[1] + 1e-12 >= w[0]));
+        prop_assert!((g.expected_sum() - prefix.last().unwrap()).abs() < 1e-9);
+    }
+
+    /// Realized sums never exceed n and match the values vector.
+    #[test]
+    fn recycle_realization_consistency(seed in 0u64..500, n in 2usize..60) {
+        use rand::SeedableRng;
+        let ps: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) / (n as f64 + 1.0)).collect();
+        let g = RecycleGraph::delegation_shaped(&ps, (n / 3).max(1), 0.3).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = g.realize(&mut rng);
+        prop_assert_eq!(r.values().len(), n);
+        prop_assert!(r.sum() <= n);
+        prop_assert_eq!(*r.prefix_sums().last().unwrap(), r.sum());
+    }
+}

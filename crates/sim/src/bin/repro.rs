@@ -1,0 +1,247 @@
+//! `repro` — regenerate the paper's figures, lemmas and theorems.
+//!
+//! ```text
+//! repro --list                 # show all experiment ids
+//! repro all                    # run everything at full scale
+//! repro fig1 thm2              # run a subset
+//! repro all --quick            # smaller sizes / fewer trials
+//! repro all --seed 7 --json results.json
+//! ```
+
+use ld_sim::experiments::{self, ExperimentConfig};
+use ld_sim::report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    ids: Vec<String>,
+    list: bool,
+    quick: bool,
+    seed: u64,
+    workers: Option<usize>,
+    json: Option<PathBuf>,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        list: false,
+        quick: false,
+        seed: ExperimentConfig::default().seed,
+        workers: None,
+        json: None,
+        csv_dir: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" | "-l" => args.list = true,
+            "--quick" | "-q" => args.quick = true,
+            "--seed" | "-s" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--workers" | "-w" => {
+                let v = iter.next().ok_or("--workers needs a value")?;
+                args.workers = Some(v.parse().map_err(|_| format!("bad worker count {v:?}"))?);
+            }
+            "--json" | "-j" => {
+                let v = iter.next().ok_or("--json needs a path")?;
+                args.json = Some(PathBuf::from(v));
+            }
+            "--csv-dir" => {
+                let v = iter.next().ok_or("--csv-dir needs a directory")?;
+                args.csv_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--list] [--quick] [--seed N] [--workers N] [--json PATH] [--csv-dir DIR] \
+                     <id>... | all | verify | sweep ..."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => args.ids.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Handles `repro sweep --topology T --mechanism M --profile P --sizes S
+/// [--alpha A] [--trials N]`. Flags are re-read from the raw argv because
+/// the sweep flags are subcommand-specific.
+fn run_sweep_command(cfg: &ld_sim::experiments::ExperimentConfig) -> ExitCode {
+    use ld_sim::sweep::{run_sweep, MechanismSpec, SweepSpec, TopologySpec};
+    let mut topology = None;
+    let mut mechanism = None;
+    let mut profile = None;
+    let mut sizes = None;
+    let mut alpha = 0.05f64;
+    let mut trials = 48u64;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let next = |i: usize| -> Option<&String> { argv.get(i + 1) };
+        match argv[i].as_str() {
+            "--topology" => topology = next(i).cloned(),
+            "--mechanism" => mechanism = next(i).cloned(),
+            "--profile" => profile = next(i).cloned(),
+            "--sizes" => sizes = next(i).cloned(),
+            "--alpha" => alpha = next(i).and_then(|v| v.parse().ok()).unwrap_or(alpha),
+            "--trials" => trials = next(i).and_then(|v| v.parse().ok()).unwrap_or(trials),
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    let usage = "usage: repro sweep --topology <complete|star|cycle|regular:d|bounded:k|\
+                 mindegree:k|ba:m|ws:k,beta|er:p> --mechanism <direct|algorithm1:j|\
+                 algorithm2:d,j|quarter|greedy|probabilistic:q|abstain:q|weighted:k|capped:w> \
+                 --profile <uniform:lo,hi|aroundhalf:a,spread|twopoint:lo,hi,frac|normal:m,sd> \
+                 --sizes n1,n2,... [--alpha A] [--trials N]";
+    let (Some(t), Some(m), Some(p), Some(s)) = (topology, mechanism, profile, sizes) else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let spec = (|| -> ld_sim::Result<SweepSpec> {
+        Ok(SweepSpec {
+            topology: TopologySpec::parse(&t)?,
+            mechanism: MechanismSpec::parse(&m)?,
+            profile: SweepSpec::parse_profile(&p)?,
+            alpha,
+            sizes: SweepSpec::parse_sizes(&s)?,
+            trials,
+        })
+    })();
+    match spec.and_then(|spec| run_sweep(&spec, &cfg.engine(777))) {
+        Ok(table) => {
+            print!("{}", table.to_text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{usage}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    // The sweep subcommand has its own flag set; dispatch before the
+    // strict global parser.
+    if std::env::args().nth(1).is_some_and(|a| a == "sweep") {
+        let mut cfg = ExperimentConfig::default();
+        let argv: Vec<String> = std::env::args().collect();
+        for (i, arg) in argv.iter().enumerate() {
+            match arg.as_str() {
+                "--seed" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                        cfg.seed = v;
+                    }
+                }
+                "--workers" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                        cfg.workers = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        return run_sweep_command(&cfg);
+    }
+
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list || args.ids.is_empty() {
+        println!("available experiments:");
+        for info in experiments::all() {
+            println!("  {:<14} {:<36} {}", info.id, info.paper_ref, info.description);
+        }
+        if args.ids.is_empty() && !args.list {
+            println!("\nrun with: repro all  (or a list of ids)");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = ExperimentConfig { seed: args.seed, quick: args.quick, ..Default::default() };
+    if let Some(w) = args.workers {
+        cfg.workers = w;
+    }
+
+    if args.ids.iter().any(|id| id == "verify") {
+        eprintln!("verifying every paper claim ({} mode) ...", if cfg.quick { "quick" } else { "full" });
+        match ld_sim::verify::verify_all(&cfg) {
+            Ok(verdicts) => {
+                print!("{}", ld_sim::verify::to_table(&verdicts).to_text());
+                let failed = verdicts.iter().filter(|v| !v.pass).count();
+                if failed > 0 {
+                    eprintln!("{failed} claim(s) FAILED");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("all {} claims PASS", verdicts.len());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error during verification: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let infos: Vec<_> = if args.ids.iter().any(|id| id == "all") {
+        experiments::all()
+    } else {
+        let mut selected = Vec::new();
+        for id in &args.ids {
+            match experiments::find(id) {
+                Ok(info) => selected.push(info),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        selected
+    };
+
+    let mut results = Vec::new();
+    for info in &infos {
+        eprintln!("running {} ({}) ...", info.id, info.paper_ref);
+        match report::run_experiment(info, &cfg) {
+            Ok(result) => {
+                print!("{}", report::to_markdown(std::slice::from_ref(&result)));
+                results.push(result);
+            }
+            Err(e) => {
+                eprintln!("error in {}: {e}", info.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = report::write_csv_dir(&results, dir) {
+            eprintln!("error writing CSVs to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote CSVs to {}", dir.display());
+    }
+
+    if let Some(path) = &args.json {
+        if let Err(e) = report::write_json(&results, path) {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,274 @@
+//! A deterministic parallel Monte Carlo engine.
+//!
+//! Trials fan out over crossbeam scoped threads; each worker draws from its
+//! own seed-split RNG stream ([`ld_prob::rng::split_seed`]) so results are
+//! **independent of scheduling**: the same `(seed, trials, workers)` triple
+//! always produces the same estimate.
+
+use crate::error::Result;
+use ld_core::gain::{accumulate_draw, empty_estimate, GainEstimate};
+use ld_core::mechanisms::Mechanism;
+use ld_core::tally::TieBreak;
+use ld_core::ProblemInstance;
+use ld_prob::rng::stream_rng;
+use parking_lot::Mutex;
+
+/// The parallel trial engine.
+///
+/// # Examples
+///
+/// ```
+/// use ld_sim::engine::Engine;
+/// use ld_core::{CompetencyProfile, ProblemInstance};
+/// use ld_core::mechanisms::ApprovalThreshold;
+/// use ld_graph::generators;
+///
+/// let inst = ProblemInstance::new(
+///     generators::complete(32),
+///     CompetencyProfile::linear(32, 0.35, 0.62)?,
+///     0.05,
+/// )?;
+/// let engine = Engine::new(42).with_workers(2);
+/// let est = engine.estimate_gain(&inst, &ApprovalThreshold::new(2), 64)?;
+/// assert_eq!(est.trials(), 64);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    seed: u64,
+    workers: usize,
+    tie: TieBreak,
+}
+
+impl Engine {
+    /// Creates an engine with the given master seed and as many workers as
+    /// the machine has available cores.
+    pub fn new(seed: u64) -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Engine { seed, workers, tie: TieBreak::Incorrect }
+    }
+
+    /// Overrides the worker count (1 = sequential).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the tie-break rule (default: the paper's strict rule).
+    pub fn with_tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Derives a new engine with a different master seed (for sweeps where
+    /// each parameter point should use an unrelated stream).
+    pub fn reseeded(&self, salt: u64) -> Engine {
+        Engine { seed: ld_prob::rng::split_seed(self.seed, salt), ..*self }
+    }
+
+    /// Estimates `gain(M, G)` with `trials` mechanism draws distributed
+    /// over the workers. Deterministic for fixed `(seed, trials, workers)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tallying errors from any worker.
+    pub fn estimate_gain(
+        &self,
+        instance: &ProblemInstance,
+        mechanism: &(dyn Mechanism + Sync),
+        trials: u64,
+    ) -> Result<GainEstimate> {
+        let workers = self.workers.min(trials.max(1) as usize).max(1);
+        if workers == 1 {
+            let mut est = empty_estimate(instance, self.tie)?;
+            let mut rng = stream_rng(self.seed, 0);
+            for _ in 0..trials {
+                let dg = mechanism.run(instance, &mut rng);
+                accumulate_draw(instance, &dg, self.tie, &mut rng, &mut est)?;
+            }
+            return Ok(est);
+        }
+        let combined = Mutex::new(empty_estimate(instance, self.tie)?);
+        let failure: Mutex<Option<ld_core::CoreError>> = Mutex::new(None);
+        crossbeam::thread::scope(|scope| {
+            for w in 0..workers {
+                let share =
+                    trials / workers as u64 + u64::from((trials % workers as u64) > w as u64);
+                let combined = &combined;
+                let failure = &failure;
+                let tie = self.tie;
+                let seed = self.seed;
+                scope.spawn(move |_| {
+                    let mut rng = stream_rng(seed, w as u64);
+                    let mut local = match empty_estimate(instance, tie) {
+                        Ok(e) => e,
+                        Err(e) => {
+                            *failure.lock() = Some(e);
+                            return;
+                        }
+                    };
+                    for _ in 0..share {
+                        let dg = mechanism.run(instance, &mut rng);
+                        if let Err(e) = accumulate_draw(instance, &dg, tie, &mut rng, &mut local)
+                        {
+                            *failure.lock() = Some(e);
+                            return;
+                        }
+                    }
+                    combined.lock().merge(&local);
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+        if let Some(err) = failure.into_inner() {
+            return Err(err.into());
+        }
+        Ok(combined.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::mechanisms::{ApprovalThreshold, DirectVoting};
+    use ld_core::CompetencyProfile;
+    use ld_graph::generators;
+
+    fn instance(n: usize) -> ProblemInstance {
+        ProblemInstance::new(
+            generators::complete(n),
+            CompetencyProfile::linear(n, 0.3, 0.7).unwrap(),
+            0.05,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sequential_and_trial_counts() {
+        let inst = instance(16);
+        let engine = Engine::new(1).with_workers(1);
+        let est = engine.estimate_gain(&inst, &DirectVoting, 10).unwrap();
+        assert_eq!(est.trials(), 10);
+        assert!(est.gain().abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_trial_count_is_exact() {
+        let inst = instance(16);
+        let engine = Engine::new(1).with_workers(4);
+        // 10 trials over 4 workers: shares 3,3,2,2.
+        let est = engine.estimate_gain(&inst, &ApprovalThreshold::new(1), 10).unwrap();
+        assert_eq!(est.trials(), 10);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_configuration() {
+        let inst = instance(24);
+        let engine = Engine::new(7).with_workers(3);
+        let a = engine.estimate_gain(&inst, &ApprovalThreshold::new(1), 30).unwrap();
+        let b = engine.estimate_gain(&inst, &ApprovalThreshold::new(1), 30).unwrap();
+        assert_eq!(a.p_mechanism(), b.p_mechanism());
+        assert_eq!(a.mean_max_weight(), b.mean_max_weight());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let inst = instance(24);
+        let a = Engine::new(1)
+            .with_workers(2)
+            .estimate_gain(&inst, &ApprovalThreshold::new(1), 16)
+            .unwrap();
+        let b = Engine::new(2)
+            .with_workers(2)
+            .estimate_gain(&inst, &ApprovalThreshold::new(1), 16)
+            .unwrap();
+        assert_ne!(a.p_mechanism(), b.p_mechanism());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_statistically() {
+        let inst = instance(32);
+        let mech = ApprovalThreshold::new(2);
+        let seq = Engine::new(5).with_workers(1).estimate_gain(&inst, &mech, 200).unwrap();
+        let par = Engine::new(5).with_workers(4).estimate_gain(&inst, &mech, 200).unwrap();
+        assert!(
+            (seq.p_mechanism() - par.p_mechanism()).abs() < 0.05,
+            "seq {} vs par {}",
+            seq.p_mechanism(),
+            par.p_mechanism()
+        );
+    }
+
+    #[test]
+    fn reseeded_engines_are_independent() {
+        let e = Engine::new(9);
+        assert_ne!(e.reseeded(1).seed(), e.reseeded(2).seed());
+        assert_ne!(e.reseeded(1).seed(), e.seed());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_rejected() {
+        let _ = Engine::new(1).with_workers(0);
+    }
+
+    #[test]
+    fn cyclic_mechanism_errors_are_propagated_not_panicked() {
+        // Failure injection: a (non-approval) mechanism that wires voters
+        // into a ring. The engine must surface CyclicDelegation as an
+        // error from both the sequential and parallel paths.
+        struct Ring;
+        impl ld_core::mechanisms::Mechanism for Ring {
+            fn act(
+                &self,
+                instance: &ProblemInstance,
+                voter: usize,
+                _rng: &mut dyn rand::RngCore,
+            ) -> ld_core::delegation::Action {
+                ld_core::delegation::Action::Delegate((voter + 1) % instance.n())
+            }
+            fn name(&self) -> String {
+                "ring".to_string()
+            }
+        }
+        let inst = instance(8);
+        for workers in [1usize, 4] {
+            let engine = Engine::new(1).with_workers(workers);
+            let err = engine.estimate_gain(&inst, &Ring, 4).unwrap_err();
+            assert!(err.to_string().contains("cycle"), "workers={workers}: {err}");
+        }
+    }
+
+    #[test]
+    fn zero_trials_yields_empty_estimate() {
+        let inst = instance(8);
+        let est = Engine::new(1).with_workers(2).estimate_gain(&inst, &DirectVoting, 0).unwrap();
+        assert_eq!(est.trials(), 0);
+        assert!(est.p_direct() > 0.0);
+    }
+
+    #[test]
+    fn more_workers_than_trials_is_fine() {
+        let inst = instance(8);
+        let est = Engine::new(3)
+            .with_workers(16)
+            .estimate_gain(&inst, &DirectVoting, 2)
+            .unwrap();
+        assert_eq!(est.trials(), 2);
+    }
+}

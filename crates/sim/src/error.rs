@@ -1,0 +1,101 @@
+//! Error type for the simulation layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// A specialized result type for simulation operations.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors produced by the experiment engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An error from the core model.
+    Core(ld_core::CoreError),
+    /// An error from the graph substrate.
+    Graph(ld_graph::GraphError),
+    /// An error from the probability substrate.
+    Prob(ld_prob::ProbError),
+    /// An unknown experiment id was requested.
+    UnknownExperiment {
+        /// The requested id.
+        id: String,
+    },
+    /// An I/O error while writing results.
+    Io(std::io::Error),
+    /// A configuration error.
+    Config {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::Graph(e) => write!(f, "graph error: {e}"),
+            SimError::Prob(e) => write!(f, "probability error: {e}"),
+            SimError::UnknownExperiment { id } => write!(f, "unknown experiment id {id:?}"),
+            SimError::Io(e) => write!(f, "io error: {e}"),
+            SimError::Config { reason } => write!(f, "configuration error: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            SimError::Graph(e) => Some(e),
+            SimError::Prob(e) => Some(e),
+            SimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ld_core::CoreError> for SimError {
+    fn from(e: ld_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<ld_graph::GraphError> for SimError {
+    fn from(e: ld_graph::GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}
+
+impl From<ld_prob::ProbError> for SimError {
+    fn from(e: ld_prob::ProbError) -> Self {
+        SimError::Prob(e)
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: SimError = ld_core::CoreError::CyclicDelegation.into();
+        assert!(e.to_string().contains("cycle"));
+        assert!(e.source().is_some());
+        let u = SimError::UnknownExperiment { id: "nope".into() };
+        assert!(u.to_string().contains("nope"));
+        assert!(u.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<SimError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! **X4 — §6 structural symmetry**: gain as a function of degree
+//! asymmetry.
+//!
+//! The paper's closing diagnosis is that "the types of graphs that yield
+//! the best results for delegation over direct voting are graphs that do
+//! not have too much structural asymmetry in terms of degrees among
+//! nodes". This experiment turns that sentence into a dose–response
+//! curve: two-tier *elite/crowd* degree sequences interpolate from a
+//! regular graph (asymmetry 1) toward a star-like hub structure, with
+//! electorate and mechanism held fixed; the measured gain should fall —
+//! and eventually go negative — as asymmetry rises.
+
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::mechanisms::GreedyMax;
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::{generators, properties};
+use ld_prob::rng::stream_rng;
+
+/// Builds a two-tier instance: `elite` voters with high degree, the crowd
+/// with degree `crowd_degree`; elites take the top competencies. Total
+/// stub count is balanced so the sequence is graphical.
+fn two_tier(n: usize, elite: usize, crowd_degree: usize, seed: u64) -> Result<ProblemInstance> {
+    let mut rng = stream_rng(seed, 70);
+    let crowd = n - elite;
+    // Every crowd stub attaches somewhere; give elites equal shares of a
+    // stub budget. Cap at n/2: near-complete degrees (n-1) make the
+    // rejection-sampled configuration model intractably constrained while
+    // adding nothing to the asymmetry story.
+    let elite_degree = ((crowd * crowd_degree) / elite.max(1)).min(n / 2);
+    let mut degrees = vec![crowd_degree; crowd];
+    degrees.extend(std::iter::repeat_n(elite_degree, elite));
+    if degrees.iter().sum::<usize>() % 2 == 1 {
+        degrees[0] += 1;
+    }
+    let graph = generators::from_degree_sequence(&degrees, &mut rng)?;
+    // Competencies ascend with index, so the high-degree elite is also the
+    // most competent — the configuration that invites delegation inward.
+    let profile = CompetencyProfile::linear(n, 0.52, 0.70)?;
+    Ok(ProblemInstance::new(graph, profile, 0.02)?)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates generator and engine errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let engine = cfg.engine(15);
+    let n = cfg.pick(400usize, 120);
+    let trials = cfg.pick(48u64, 16);
+    let mut table = Table::new(
+        "§6 asymmetry: gain of greedy delegation vs structural asymmetry (fixed n, profile)",
+        &["elite size", "asymmetry Δ/δ", "P[direct]", "gain", "max weight", "weight gini"],
+    );
+    // Shrinking elite = growing asymmetry: from n/4 elites (mild) to 1
+    // (a star-like single hub).
+    let elites = [n / 4, n / 8, n / 16, n / 64, 2, 1];
+    for (i, &elite) in elites.iter().enumerate() {
+        let elite = elite.max(1);
+        let inst = two_tier(n, elite, 4, engine.seed().wrapping_add(i as u64))?;
+        let asym = properties::structural_asymmetry(inst.graph());
+        let est = engine.reseeded(i as u64).estimate_gain(&inst, &GreedyMax, trials)?;
+        table.push([
+            elite.into(),
+            asym.into(),
+            est.p_direct().into(),
+            est.gain().into(),
+            est.mean_max_weight().into(),
+            est.mean_weight_gini().into(),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymmetry_rises_as_the_elite_shrinks() {
+        let cfg = ExperimentConfig::quick(28);
+        let t = &run(&cfg).unwrap()[0];
+        let first = t.value(0, 1).unwrap();
+        let last = t.value(t.rows().len() - 1, 1).unwrap();
+        assert!(last > 3.0 * first, "asymmetry should grow: {first} → {last}");
+    }
+
+    #[test]
+    fn gain_degrades_with_asymmetry() {
+        let cfg = ExperimentConfig::quick(29);
+        let t = &run(&cfg).unwrap()[0];
+        let rows = t.rows().len();
+        let mild = t.value(0, 3).unwrap();
+        let extreme = t.value(rows - 1, 3).unwrap();
+        assert!(
+            extreme < mild - 0.05,
+            "extreme asymmetry (gain {extreme}) should underperform mild (gain {mild})"
+        );
+        // The single-hub row concentrates a large share of all votes.
+        let n = 120.0;
+        assert!(t.value(rows - 1, 4).unwrap() > 0.3 * n);
+    }
+}

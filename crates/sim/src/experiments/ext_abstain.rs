@@ -1,0 +1,74 @@
+//! **X2 — §6 vote abstaining**: decision-agnostic voters drop out instead
+//! of delegating.
+//!
+//! The paper argues abstention (restricted to voters who *could*
+//! delegate) preserves DNH and keeps — though shrinks — the strong
+//! positive gain. We sweep the abstention probability `q` on the T2
+//! complete-graph family and check that the gain degrades gracefully and
+//! stays nonnegative.
+
+use super::thm2_complete::spg_family;
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::mechanisms::{Abstaining, ApprovalThreshold};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let engine = cfg.engine(12);
+    let n = cfg.pick(512usize, 128);
+    let trials = cfg.pick(128u64, 32);
+    let mut table = Table::new(
+        "§6 abstention: gain vs abstention probability q (K_n, PC = alpha/2)",
+        &["q", "P[mech]", "gain", "abstained/n", "delegators/n"],
+    );
+    let inst = spg_family(n, engine.seed())?;
+    for (i, q) in [0.0, 0.25, 0.5, 0.75, 0.95].into_iter().enumerate() {
+        let mech = Abstaining::new(ApprovalThreshold::new(1), q);
+        let est = engine.reseeded(i as u64).estimate_gain(&inst, &mech, trials)?;
+        table.push([
+            q.into(),
+            est.p_mechanism().into(),
+            est.gain().into(),
+            (est.mean_abstained() / n as f64).into(),
+            (est.mean_delegators() / n as f64).into(),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_shrinks_with_abstention_but_stays_nonnegative() {
+        let cfg = ExperimentConfig::quick(22);
+        let t = &run(&cfg).unwrap()[0];
+        let g0 = t.value(0, 2).unwrap();
+        let g_mid = t.value(2, 2).unwrap();
+        assert!(g0 > 0.05, "baseline gain {g0}");
+        // Gain at q=0.5 should not exceed the q=0 gain by more than noise,
+        // and should remain nonnegative (abstention does no harm).
+        assert!(g_mid <= g0 + 0.05, "abstention should not increase gain");
+        for r in 0..t.rows().len() {
+            assert!(t.value(r, 2).unwrap() > -0.05, "row {r} harmed");
+        }
+    }
+
+    #[test]
+    fn abstention_rate_tracks_q() {
+        let cfg = ExperimentConfig::quick(23);
+        let t = &run(&cfg).unwrap()[0];
+        // Abstained fraction grows with q; delegator fraction falls.
+        let abst: Vec<f64> = t.column_values(3);
+        let dels: Vec<f64> = t.column_values(4);
+        assert!(abst.windows(2).all(|w| w[1] >= w[0] - 0.02), "abstention not increasing");
+        assert!(dels.windows(2).all(|w| w[1] <= w[0] + 0.02), "delegation not decreasing");
+        assert!(abst[0] == 0.0);
+    }
+}

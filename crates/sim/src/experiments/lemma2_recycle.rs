@@ -1,0 +1,159 @@
+//! **L2 — Lemmas 1–2**: concentration of recycle-sampled sums.
+//!
+//! Lemma 2: for a `(j, c, n)`-recycle-sampled variable `X_n`,
+//! `X_n ≥ μ(X_n) − c·ε·n / j^{1/3}` with probability
+//! `1 − e^{−Ω(j^{1/3})}`. We build block-structured recycle graphs (the
+//! shape delegation induces: partition complexity `c = 1/α` blocks) and
+//! measure how often the shortfall `μ(X_n) − X_n` exceeds the Lemma 2
+//! allowance, sweeping the number of fresh variables `j` (the frequency
+//! must fall with `j`) and the partition complexity `c` (the allowance
+//! must absorb deeper dependency).
+
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_prob::recycle::RecycleGraph;
+use ld_prob::rng::stream_rng;
+use ld_prob::stats::Welford;
+
+/// The ε used in the Lemma 2 allowance `c·ε·n / j^{1/3}`.
+pub const EPSILON: f64 = 0.5;
+
+fn build_graph(n: usize, j: usize, blocks: usize, fresh_prob: f64) -> Result<RecycleGraph> {
+    // Block 0 holds the j fresh variables; the rest split evenly.
+    let rest = n - j;
+    let mut sizes = vec![j];
+    let per = (rest / blocks.max(1)).max(1);
+    let mut placed = 0usize;
+    for b in 0..blocks {
+        let take = if b + 1 == blocks { rest - placed } else { per.min(rest - placed) };
+        if take > 0 {
+            sizes.push(take);
+            placed += take;
+        }
+    }
+    // Success probabilities rise with the block index, mimicking
+    // delegation toward more competent voters.
+    let total: usize = sizes.iter().sum();
+    let ps: Vec<f64> = (0..total).map(|i| 0.40 + 0.2 * i as f64 / total as f64).collect();
+    Ok(RecycleGraph::blocked(&sizes, &ps, fresh_prob)?)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates recycle-graph construction errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let n = cfg.pick(4000usize, 600);
+    let trials = cfg.pick(400u64, 60);
+    let mut rng = stream_rng(cfg.seed, 3);
+
+    // Sweep j at fixed c.
+    let mut by_j = Table::new(
+        "Lemma 2: shortfall of X_n below mu(X_n), sweeping j (c = 5 blocks)",
+        &["j", "c", "mu(X_n)", "mean X_n", "allowance", "P[shortfall > allowance]"],
+    );
+    for &j in cfg.sizes(&[8, 27, 64, 125, 343, 1000], &[8, 27, 64]) {
+        let g = build_graph(n, j, 5, 0.2)?;
+        let mu = g.expected_sum();
+        let allowance = g.partition_complexity().max(1) as f64 * EPSILON * n as f64
+            / (j as f64).powf(1.0 / 3.0);
+        let mut sums = Welford::new();
+        let mut exceed = 0u64;
+        for _ in 0..trials {
+            let x = g.realize(&mut rng).sum() as f64;
+            sums.push(x);
+            if mu - x > allowance {
+                exceed += 1;
+            }
+        }
+        by_j.push([
+            j.into(),
+            g.partition_complexity().into(),
+            mu.into(),
+            sums.mean().into(),
+            allowance.into(),
+            (exceed as f64 / trials as f64).into(),
+        ]);
+    }
+
+    // Sweep c at fixed j: more blocks = deeper dependency; the raw
+    // standard deviation of X_n grows with c, while the Lemma 2 allowance
+    // grows linearly in c and stays ahead of it.
+    let mut by_c = Table::new(
+        "Lemma 2: dependency depth, sweeping partition complexity c (j = 64)",
+        &["blocks", "c", "mu(X_n)", "std dev X_n", "allowance", "P[shortfall > allowance]"],
+    );
+    for &blocks in cfg.sizes(&[1, 2, 5, 10, 20], &[1, 5]) {
+        let g = build_graph(n, 64, blocks, 0.2)?;
+        let mu = g.expected_sum();
+        let allowance =
+            g.partition_complexity().max(1) as f64 * EPSILON * n as f64 / 64f64.powf(1.0 / 3.0);
+        let mut sums = Welford::new();
+        let mut exceed = 0u64;
+        for _ in 0..trials {
+            let x = g.realize(&mut rng).sum() as f64;
+            sums.push(x);
+            if mu - x > allowance {
+                exceed += 1;
+            }
+        }
+        by_c.push([
+            blocks.into(),
+            g.partition_complexity().into(),
+            mu.into(),
+            sums.sample_std_dev().into(),
+            allowance.into(),
+            (exceed as f64 / trials as f64).into(),
+        ]);
+    }
+
+    Ok(vec![by_j, by_c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortfall_frequency_is_small_and_mean_tracks_mu() {
+        let cfg = ExperimentConfig::quick(5);
+        let tables = run(&cfg).unwrap();
+        let by_j = &tables[0];
+        for r in 0..by_j.rows().len() {
+            let freq = by_j.value(r, 5).unwrap();
+            assert!(freq <= 0.05, "row {r}: exceedance {freq} too common");
+            let mu = by_j.value(r, 2).unwrap();
+            let mean = by_j.value(r, 3).unwrap();
+            // Empirical mean within 5% of the exact expectation.
+            assert!((mean - mu).abs() < 0.05 * mu, "mean {mean} vs mu {mu}");
+        }
+    }
+
+    #[test]
+    fn deeper_dependency_increases_variance() {
+        let cfg = ExperimentConfig::quick(6);
+        let tables = run(&cfg).unwrap();
+        let by_c = &tables[1];
+        let first_sd = by_c.value(0, 3).unwrap();
+        let last = by_c.rows().len() - 1;
+        let last_sd = by_c.value(last, 3).unwrap();
+        assert!(
+            last_sd > first_sd,
+            "variance should grow with dependency depth: {first_sd} vs {last_sd}"
+        );
+        // The allowance still dominates: exceedance stays rare everywhere.
+        for r in 0..by_c.rows().len() {
+            assert!(by_c.value(r, 5).unwrap() <= 0.05);
+        }
+    }
+
+    #[test]
+    fn graph_builder_respects_block_count() {
+        let g = build_graph(100, 10, 5, 0.2).unwrap();
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.j(), 10);
+        assert_eq!(g.partition_complexity(), 5);
+    }
+}

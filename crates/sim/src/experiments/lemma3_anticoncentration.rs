@@ -1,0 +1,131 @@
+//! **L3 — Lemma 3**: anti-concentration makes sublinear delegation
+//! harmless.
+//!
+//! With all competencies in `(β, 1−β)` the direct-voting tally has
+//! standard deviation `Ω(√n)`; delegating `k ≤ n^{1/2−ε}` votes can swing
+//! the tally by at most `2k = o(√n)`, so the probability the outcome
+//! flips — bounded by `erf(2k/(σ√2))` — vanishes. We build the
+//! **adversarially worst** delegation of exactly `k` votes (everything
+//! dumped on the least competent voter) and measure the realized loss and
+//! flip probability as `n` grows, in the lemma's regime
+//! (`k = n^{1/2−ε}`) and in a violating regime (`k = n/4`) where the loss
+//! must *not* vanish.
+
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_core::tally::{direct_probability, exact_correct_probability, TieBreak};
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::generators;
+use ld_prob::bounds::anti_concentration_flip_bound;
+
+/// The bounded-competency margin `β`.
+pub const BETA: f64 = 0.3;
+
+/// Builds a bounded-competency instance with mean slightly below 1/2 (so
+/// the contest is live) and the adversarial delegation of `k` votes: the
+/// `k` most competent *non-sink* voters delegate to the least competent
+/// voter.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn adversarial_pair(n: usize, k: usize) -> Result<(ProblemInstance, DelegationGraph)> {
+    // Symmetric around 1/2 so the contest stays live at every n: direct
+    // voting sits near probability 1/2 and the loss isolates the effect of
+    // the k delegations rather than drift of the mean.
+    let profile = CompetencyProfile::linear(n, BETA + 0.01, 1.0 - BETA - 0.01)?;
+    let inst = ProblemInstance::new(generators::complete(n), profile, 0.005)?;
+    // Worst case: the k best-informed delegating voters (indices n-k..n-1,
+    // excluding nobody else) hand their votes to voter 0.
+    let mut actions = vec![Action::Vote; n];
+    for item in actions.iter_mut().take(n.saturating_sub(1)).skip(n.saturating_sub(1 + k)) {
+        *item = Action::Delegate(0);
+    }
+    Ok((inst, DelegationGraph::new(actions)))
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates tallying errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let sizes = cfg.sizes(&[256, 1024, 4096, 16384], &[256, 1024]);
+    let mut table = Table::new(
+        "Lemma 3: worst-case loss from k adversarial delegations, p in (0.3, 0.7)",
+        &["n", "regime", "k", "loss", "erf bound"],
+    );
+    for &n in sizes {
+        for (regime, k) in [
+            ("k = n^0.25 (lemma)", (n as f64).powf(0.25).round() as usize),
+            ("k = n^0.4  (lemma)", (n as f64).powf(0.4).round() as usize),
+            ("k = n/4 (violating)", n / 4),
+        ] {
+            let (inst, dg) = adversarial_pair(n, k)?;
+            let res = dg.resolve()?;
+            let p_direct = direct_probability(&inst, TieBreak::Incorrect)?;
+            let p_deleg = exact_correct_probability(&inst, &res, TieBreak::Incorrect)?;
+            let loss = (p_direct - p_deleg).max(0.0);
+            let bound = anti_concentration_flip_bound(n, k, BETA)?;
+            table.push([
+                n.into(),
+                regime.into(),
+                k.into(),
+                loss.into(),
+                bound.into(),
+            ]);
+        }
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_regime_loss_vanishes_and_is_bounded() {
+        let cfg = ExperimentConfig::quick(7);
+        let tables = run(&cfg).unwrap();
+        let t = &tables[0];
+        // Rows come in triples (two lemma regimes + violating) per size.
+        let rows = t.rows().len();
+        assert_eq!(rows % 3, 0);
+        // Lemma-regime rows: loss below the erf bound, and shrinking in n.
+        let mut last_loss = f64::INFINITY;
+        for r in (0..rows).step_by(3) {
+            let loss = t.value(r, 3).unwrap();
+            let bound = t.value(r, 4).unwrap();
+            assert!(loss <= bound + 0.02, "row {r}: loss {loss} above bound {bound}");
+            assert!(loss <= last_loss + 0.02, "loss should shrink with n");
+            last_loss = loss;
+        }
+    }
+
+    #[test]
+    fn violating_regime_keeps_a_constant_loss() {
+        let cfg = ExperimentConfig::quick(8);
+        let tables = run(&cfg).unwrap();
+        let t = &tables[0];
+        let rows = t.rows().len();
+        // The violating rows are every third row starting at 2; the last
+        // one should still lose noticeably.
+        let final_violating = t.value(rows - 1, 3).unwrap();
+        assert!(
+            final_violating > 0.05,
+            "linear delegation should keep hurting, loss = {final_violating}"
+        );
+    }
+
+    #[test]
+    fn adversarial_pair_shape() {
+        let (inst, dg) = adversarial_pair(100, 10).unwrap();
+        assert_eq!(inst.n(), 100);
+        assert_eq!(dg.delegator_count(), 10);
+        let res = dg.resolve().unwrap();
+        assert_eq!(res.weight_of(0), 11); // ten delegated + own vote
+        assert!(inst.profile().bounded_away(BETA));
+    }
+}

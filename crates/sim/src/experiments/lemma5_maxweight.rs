@@ -1,0 +1,129 @@
+//! **L5 — Lemmas 5–6**: bounded max weight keeps the tally concentrated.
+//!
+//! If every sink of a delegation graph carries at most `w` votes, there
+//! are at least `n/w` sinks, and Hoeffding gives
+//! `|X − μ(X)| ≤ √(n^{1+ε}·w)/c` with probability `1 − e^{−Ω(n^ε)}`.
+//! We build balanced delegation graphs with max weight exactly `w`,
+//! sample the weighted tally, and measure the mean absolute deviation and
+//! the frequency of exceeding the Lemma 5/6 radius as `w` sweeps from 1
+//! (direct voting) to `n` (dictatorship).
+
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::generators;
+use ld_prob::bounds::max_weight_radius;
+use ld_prob::rng::stream_rng;
+use ld_prob::stats::Welford;
+use rand::Rng;
+
+/// The ε in the deviation radius `√(n^{1+ε} w)`.
+pub const EPSILON: f64 = 0.1;
+
+/// Builds a balanced sink structure: `⌈n/w⌉` sinks, each carrying `w`
+/// votes (the last possibly fewer), with competencies spread in
+/// `(0.35, 0.65)`. Returns the instance and the `(weight, p)` terms.
+fn balanced_sinks(n: usize, w: usize) -> Result<(ProblemInstance, Vec<(usize, f64)>)> {
+    let profile = CompetencyProfile::linear(n, 0.35, 0.65)?;
+    let inst = ProblemInstance::new(generators::complete(n), profile, 0.001)?;
+    let mut terms = Vec::new();
+    let mut remaining = n;
+    let mut sink = 0usize;
+    while remaining > 0 {
+        let take = w.min(remaining);
+        terms.push((take, inst.competency(sink % n)));
+        remaining -= take;
+        sink += 1;
+    }
+    Ok((inst, terms))
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let n = cfg.pick(4096usize, 512);
+    let trials = cfg.pick(600u64, 100);
+    let mut rng = stream_rng(cfg.seed, 5);
+    let mut table = Table::new(
+        "Lemma 5: tally deviation vs maximum sink weight w",
+        &["w", "sinks", "mean |X - mu|", "radius sqrt(n^(1+eps) w)", "P[dev > radius]", "hoeffding bound"],
+    );
+    let mut w = 1usize;
+    let mut ws = Vec::new();
+    while w < n {
+        ws.push(w);
+        w *= 4;
+    }
+    ws.push(n);
+    for &w in &ws {
+        let (_inst, terms) = balanced_sinks(n, w)?;
+        let mu: f64 = terms.iter().map(|&(wt, p)| wt as f64 * p).sum();
+        let (radius, bound) = max_weight_radius(n, w, EPSILON)?;
+        let mut devs = Welford::new();
+        let mut exceed = 0u64;
+        for _ in 0..trials {
+            let x: f64 = terms
+                .iter()
+                .map(|&(wt, p)| if rng.gen_bool(p) { wt as f64 } else { 0.0 })
+                .sum();
+            let dev = (x - mu).abs();
+            devs.push(dev);
+            if dev > radius {
+                exceed += 1;
+            }
+        }
+        table.push([
+            w.into(),
+            terms.len().into(),
+            devs.mean().into(),
+            radius.into(),
+            (exceed as f64 / trials as f64).into(),
+            bound.into(),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_grows_with_w_but_stays_inside_radius() {
+        let cfg = ExperimentConfig::quick(9);
+        let tables = run(&cfg).unwrap();
+        let t = &tables[0];
+        let rows = t.rows().len();
+        // Mean deviation grows with w (roughly like sqrt(w)).
+        let first_dev = t.value(0, 2).unwrap();
+        let last_dev = t.value(rows - 1, 2).unwrap();
+        assert!(last_dev > 3.0 * first_dev, "dev {first_dev} → {last_dev} should grow");
+        // Exceedance is rare at every w.
+        for r in 0..rows {
+            assert!(t.value(r, 4).unwrap() <= 0.05, "row {r} exceeds too often");
+        }
+    }
+
+    #[test]
+    fn dictatorship_row_has_one_sink() {
+        let cfg = ExperimentConfig::quick(10);
+        let tables = run(&cfg).unwrap();
+        let t = &tables[0];
+        let rows = t.rows().len();
+        assert_eq!(t.value(rows - 1, 1).unwrap(), 1.0);
+        assert_eq!(t.value(0, 1).unwrap(), 512.0); // w = 1: all sinks
+    }
+
+    #[test]
+    fn balanced_sinks_conserve_votes() {
+        let (_, terms) = balanced_sinks(100, 7).unwrap();
+        let total: usize = terms.iter().map(|t| t.0).sum();
+        assert_eq!(total, 100);
+        assert!(terms.iter().all(|t| t.0 <= 7));
+        assert_eq!(terms.len(), 15);
+    }
+}

@@ -1,0 +1,250 @@
+//! The experiment suite: one module per paper artifact.
+//!
+//! Each experiment regenerates one figure, lemma, or theorem of the paper
+//! as a [`Table`] (or several), at sizes that run in seconds on a laptop.
+//! `EXPERIMENTS.md` at the repository root records paper-predicted vs
+//! measured values for every entry of [`all`].
+
+use crate::engine::Engine;
+use crate::error::{Result, SimError};
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+pub mod asymmetry;
+pub mod ext_abstain;
+pub mod ext_networks;
+pub mod ext_probabilistic;
+pub mod ext_weighted;
+pub mod fig1_star;
+pub mod fig2_example;
+pub mod impossibility;
+pub mod lemma2_recycle;
+pub mod lemma4_normal;
+pub mod lemma7_expectation;
+pub mod support;
+pub mod lemma3_anticoncentration;
+pub mod lemma5_maxweight;
+pub mod thm2_complete;
+pub mod thm3_regular;
+pub mod thm4_bounded_degree;
+pub mod thm5_min_degree;
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master seed; every experiment derives its own streams from it.
+    pub seed: u64,
+    /// Worker threads for the Monte Carlo engine.
+    pub workers: usize,
+    /// Quick mode: smaller sizes and fewer trials (used by tests and CI);
+    /// full mode reproduces the numbers recorded in `EXPERIMENTS.md`.
+    pub quick: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 0x1DDE_C0DE,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            quick: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A quick-mode configuration for tests.
+    pub fn quick(seed: u64) -> Self {
+        ExperimentConfig { seed, workers: 2, quick: true }
+    }
+
+    /// The engine for this configuration, salted so that each experiment
+    /// gets an unrelated stream.
+    pub fn engine(&self, salt: u64) -> Engine {
+        Engine::new(ld_prob::rng::split_seed(self.seed, salt)).with_workers(self.workers)
+    }
+
+    /// Picks the full or quick variant of a parameter.
+    pub fn pick<T: Copy>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Picks the full or quick size list.
+    pub fn sizes<'a>(&self, full: &'a [usize], quick: &'a [usize]) -> &'a [usize] {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Metadata and runner for one experiment.
+pub struct ExperimentInfo {
+    /// Stable id used on the `repro` command line.
+    pub id: &'static str,
+    /// Which paper artifact this regenerates.
+    pub paper_ref: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The runner.
+    pub run: fn(&ExperimentConfig) -> Result<Vec<Table>>,
+}
+
+/// All experiments, in paper order.
+pub fn all() -> Vec<ExperimentInfo> {
+    vec![
+        ExperimentInfo {
+            id: "fig1",
+            paper_ref: "Figure 1",
+            description: "star counterexample: greedy delegation loses 1/3 vs direct voting",
+            run: fig1_star::run,
+        },
+        ExperimentInfo {
+            id: "fig2",
+            paper_ref: "Figure 2",
+            description: "the 9-voter worked example: approval sets and delegation outcomes",
+            run: fig2_example::run,
+        },
+        ExperimentInfo {
+            id: "lemma2",
+            paper_ref: "Lemmas 1-2 (recycle sampling)",
+            description: "concentration of recycle-sampled sums: shortfall vs j and c",
+            run: lemma2_recycle::run,
+        },
+        ExperimentInfo {
+            id: "lemma4",
+            paper_ref: "Lemma 4 (normal convergence)",
+            description: "KS distance of the direct tally from its normal approximation",
+            run: lemma4_normal::run,
+        },
+        ExperimentInfo {
+            id: "lemma3",
+            paper_ref: "Lemma 3",
+            description: "anti-concentration: sublinear delegation cannot flip the outcome",
+            run: lemma3_anticoncentration::run,
+        },
+        ExperimentInfo {
+            id: "lemma5",
+            paper_ref: "Lemmas 5-6",
+            description: "max-weight concentration: deviation scales with sqrt(n^(1+eps) w)",
+            run: lemma5_maxweight::run,
+        },
+        ExperimentInfo {
+            id: "lemma7",
+            paper_ref: "Lemma 7 (increase in expectation)",
+            description: "Algorithm 1 lifts E[correct votes] by alpha per delegation, above mu(X) + (n-k)alpha",
+            run: lemma7_expectation::run,
+        },
+        ExperimentInfo {
+            id: "thm2",
+            paper_ref: "Theorem 2 (Algorithm 1, K_n)",
+            description: "SPG and DNH for threshold delegation on complete graphs",
+            run: thm2_complete::run,
+        },
+        ExperimentInfo {
+            id: "thm3",
+            paper_ref: "Theorem 3 (Algorithm 2, Rand(n, d))",
+            description: "SPG and DNH for sampled-threshold delegation on random regular graphs",
+            run: thm3_regular::run,
+        },
+        ExperimentInfo {
+            id: "thm4",
+            paper_ref: "Theorem 4 (Δ ≤ n^{1/(1+ε)})",
+            description: "SPG and DNH on bounded-maximum-degree graphs",
+            run: thm4_bounded_degree::run,
+        },
+        ExperimentInfo {
+            id: "thm5",
+            paper_ref: "Theorem 5 (δ ≥ n^ε)",
+            description: "SPG and DNH for the quarter rule on bounded-minimum-degree graphs",
+            run: thm5_min_degree::run,
+        },
+        ExperimentInfo {
+            id: "impossibility",
+            paper_ref: "Kahng et al. impossibility (§1)",
+            description: "the PG/DNH tension on stars vs complete graphs, per mechanism",
+            run: impossibility::run,
+        },
+        ExperimentInfo {
+            id: "ext-weighted",
+            paper_ref: "§6 weighted majority vote",
+            description: "multi-delegate weighted majority matches or beats single delegation",
+            run: ext_weighted::run,
+        },
+        ExperimentInfo {
+            id: "ext-abstain",
+            paper_ref: "§6 vote abstaining",
+            description: "abstention shrinks gain but preserves DNH",
+            run: ext_abstain::run,
+        },
+        ExperimentInfo {
+            id: "ext-probabilistic",
+            paper_ref: "§6 probabilistic competencies",
+            description: "Halpern-style probabilistic PG/DNH verdicts per (topology, distribution)",
+            run: ext_probabilistic::run,
+        },
+        ExperimentInfo {
+            id: "asymmetry",
+            paper_ref: "§6 structural symmetry",
+            description: "gain vs degree asymmetry on elite/crowd graphs: the paper's thesis as a curve",
+            run: asymmetry::run,
+        },
+        ExperimentInfo {
+            id: "ext-networks",
+            paper_ref: "§6 practical considerations",
+            description: "Lemma 5's max-weight condition on Barabási-Albert and Watts-Strogatz graphs",
+            run: ext_networks::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownExperiment`] for an unknown id.
+pub fn find(id: &str) -> Result<ExperimentInfo> {
+    all()
+        .into_iter()
+        .find(|e| e.id == id)
+        .ok_or_else(|| SimError::UnknownExperiment { id: id.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_findable() {
+        let infos = all();
+        let mut ids = std::collections::HashSet::new();
+        for info in &infos {
+            assert!(ids.insert(info.id), "duplicate id {}", info.id);
+            assert!(find(info.id).is_ok());
+            assert!(!info.description.is_empty());
+            assert!(!info.paper_ref.is_empty());
+        }
+        assert_eq!(infos.len(), 17);
+        assert!(find("nope").is_err());
+    }
+
+    #[test]
+    fn config_pick_and_sizes() {
+        let quick = ExperimentConfig::quick(1);
+        let full = ExperimentConfig { quick: false, ..quick };
+        assert_eq!(quick.pick(100, 10), 10);
+        assert_eq!(full.pick(100, 10), 100);
+        assert_eq!(quick.sizes(&[1, 2, 3], &[1]), &[1]);
+        assert_eq!(full.sizes(&[1, 2, 3], &[1]), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn engines_are_salted() {
+        let cfg = ExperimentConfig::quick(7);
+        assert_ne!(cfg.engine(1).seed(), cfg.engine(2).seed());
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared helpers for the theorem experiments (T2–T5).
+
+use crate::engine::Engine;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::mechanisms::Mechanism;
+use ld_core::ProblemInstance;
+
+/// A size-indexed instance generator (seeded per size for reproducibility).
+pub type Family<'a> = &'a dyn Fn(usize, u64) -> Result<ProblemInstance>;
+
+/// Sweeps instance sizes and tabulates gain plus the structural statistics
+/// of the paper's lemmas. Columns:
+/// `n, P[direct], P[mech], gain, delegators/n, sinks, max weight, chain`.
+///
+/// # Errors
+///
+/// Propagates instance-generation and engine errors.
+pub fn gain_sweep(
+    title: &str,
+    engine: &Engine,
+    family: Family<'_>,
+    mechanism: &(dyn Mechanism + Sync),
+    sizes: &[usize],
+    trials: u64,
+) -> Result<Table> {
+    let mut table = Table::new(
+        title,
+        &["n", "P[direct]", "P[mech]", "gain", "delegators/n", "sinks", "max weight", "chain"],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let instance = family(n, engine.seed().wrapping_add(i as u64))?;
+        let est = engine.reseeded(i as u64).estimate_gain(&instance, mechanism, trials)?;
+        table.push([
+            n.into(),
+            est.p_direct().into(),
+            est.p_mechanism().into(),
+            est.gain().into(),
+            (est.mean_delegators() / n as f64).into(),
+            est.mean_sinks().into(),
+            est.mean_max_weight().into(),
+            est.mean_longest_chain().into(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Asserts the SPG footprint on a gain-sweep table: every row's gain is at
+/// least `gamma`. Returns the minimum gain.
+pub fn min_gain(table: &Table) -> f64 {
+    table.column_values(3).into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// The worst loss (most negative gain clamped at 0) in a gain-sweep table.
+pub fn worst_loss(table: &Table) -> f64 {
+    table.column_values(3).into_iter().fold(0.0f64, |acc, g| acc.max(-g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::mechanisms::DirectVoting;
+    use ld_core::CompetencyProfile;
+    use ld_graph::generators;
+
+    #[test]
+    fn sweep_produces_one_row_per_size() {
+        let engine = Engine::new(1).with_workers(1);
+        let family: Family<'_> = &|n, _seed| {
+            Ok(ProblemInstance::new(
+                generators::complete(n),
+                CompetencyProfile::constant(n, 0.5)?,
+                0.1,
+            )?)
+        };
+        let t =
+            gain_sweep("test", &engine, family, &DirectVoting, &[4, 8, 16], 2).unwrap();
+        assert_eq!(t.rows().len(), 3);
+        assert_eq!(min_gain(&t), 0.0);
+        assert_eq!(worst_loss(&t), 0.0);
+    }
+}

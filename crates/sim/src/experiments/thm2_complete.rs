@@ -1,0 +1,176 @@
+//! **T2 — Theorem 2**: Algorithm 1 on complete graphs.
+//!
+//! Claims reproduced:
+//!
+//! * **SPG** on `P = {K_n, PC = α/2}` with `Delegate(n) ≥ n/k`: for every
+//!   instance in the class the gain is bounded below by a positive
+//!   constant (and in fact grows — delegation pushes the decision
+//!   probability toward 1 while direct voting stalls at ≈ 1/2 or below).
+//! * **DNH** on `P = {K_n}`: even on adversarial complete-graph profiles
+//!   (the DNH table uses bounded competencies with mean pinned at 1/2,
+//!   the hardest live contest) the loss vanishes as `n` grows.
+
+use super::support::{gain_sweep, Family};
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::distributions::CompetencyDistribution;
+use ld_core::mechanisms::{ApprovalThreshold, ThresholdRule};
+use ld_core::{ProblemInstance, Restriction};
+use ld_graph::generators;
+use ld_prob::rng::stream_rng;
+
+/// The approval margin `α` used throughout T2.
+pub const ALPHA: f64 = 0.1;
+
+/// The SPG family: `K_n` with `PC = α/2` profiles (mean competency in
+/// `[1/2 − α/2, 1/2]`, spread ±0.15 so approval sets are rich).
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn spg_family(n: usize, seed: u64) -> Result<ProblemInstance> {
+    let mut rng = stream_rng(seed, 20);
+    let dist = CompetencyDistribution::AroundHalf { a: ALPHA / 2.0, spread: 0.15 };
+    let profile = dist.sample(n, &mut rng)?;
+    let instance = ProblemInstance::new(generators::complete(n), profile, ALPHA)?;
+    debug_assert!(Restriction::Complete.check(&instance));
+    Ok(instance)
+}
+
+/// The DNH stress family: `K_n` with bounded competencies pinned
+/// symmetrically around 1/2 (the contest never resolves on its own).
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn dnh_family(n: usize, seed: u64) -> Result<ProblemInstance> {
+    let mut rng = stream_rng(seed, 21);
+    let dist = CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 };
+    let profile = dist.sample(n, &mut rng)?;
+    Ok(ProblemInstance::new(generators::complete(n), profile, ALPHA)?)
+}
+
+/// The *polarized* adversarial family from the DNH case analysis in the
+/// proof of Theorem 2: a constant fraction of voters sits **outside**
+/// `(β, 1-β)` — hordes of near-hopeless voters at 0.05 plus a block of
+/// near-perfect voters at 0.95 — violating the bounded-competency premise
+/// of Lemma 3. The proof handles this case by showing the outcome is then
+/// already decided (with or without delegation) with high probability, so
+/// delegation still cannot harm.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn polarized_family(n: usize, _seed: u64) -> Result<ProblemInstance> {
+    // 60% hopeless, 10% mid, 30% near-perfect: expected correct votes
+    // 0.6·0.05 + 0.1·0.5 + 0.3·0.95 = 0.365·n — a decided (incorrect)
+    // contest that delegation must not be blamed for.
+    let lows = (6 * n) / 10;
+    let highs = (3 * n) / 10;
+    let mids = n - lows - highs;
+    let mut ps = vec![0.05; lows];
+    ps.extend(std::iter::repeat_n(0.5, mids));
+    ps.extend(std::iter::repeat_n(0.95, highs));
+    let profile = ld_core::CompetencyProfile::new(ps)?;
+    Ok(ProblemInstance::new(generators::complete(n), profile, ALPHA)?)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let engine = cfg.engine(6);
+    let sizes = cfg.sizes(&[64, 128, 256, 512, 1024, 2048], &[32, 64, 128]);
+    let trials = cfg.pick(96u64, 24);
+    let mechanism = ApprovalThreshold::with_rule(ThresholdRule::Power { exponent: 1.0 / 3.0 });
+
+    let spg = gain_sweep(
+        "Theorem 2 (SPG): Algorithm 1 on K_n, PC = alpha/2, j(n) = n^(1/3)",
+        &engine,
+        &spg_family as Family<'_>,
+        &mechanism,
+        sizes,
+        trials,
+    )?;
+    let dnh = gain_sweep(
+        "Theorem 2 (DNH): Algorithm 1 on K_n, adversarial bounded competencies",
+        &engine.reseeded(99),
+        &dnh_family as Family<'_>,
+        &mechanism,
+        sizes,
+        trials,
+    )?;
+    let polarized = gain_sweep(
+        "Theorem 2 (DNH, extremal case): K_n with 70% of voters outside (beta, 1-beta)",
+        &engine.reseeded(100),
+        &polarized_family as Family<'_>,
+        &mechanism,
+        sizes,
+        trials,
+    )?;
+    Ok(vec![spg, polarized, dnh])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::support::{min_gain, worst_loss};
+
+    #[test]
+    fn spg_gain_is_uniformly_positive_and_large() {
+        let cfg = ExperimentConfig::quick(11);
+        let tables = run(&cfg).unwrap();
+        let g = min_gain(&tables[0]);
+        assert!(g > 0.05, "SPG minimum gain {g} too small");
+        // Most voters delegate (Delegate(n) ≥ n/k with small k).
+        for r in 0..tables[0].rows().len() {
+            assert!(tables[0].value(r, 4).unwrap() > 0.5, "too few delegators");
+        }
+    }
+
+    #[test]
+    fn dnh_loss_is_negligible() {
+        let cfg = ExperimentConfig::quick(12);
+        let tables = run(&cfg).unwrap();
+        let loss = worst_loss(&tables[2]);
+        assert!(loss < 0.1, "DNH worst loss {loss} too large");
+    }
+
+    #[test]
+    fn polarized_extremal_case_does_no_harm() {
+        // 70% of voters outside (β, 1-β): Lemma 3 does not apply, but the
+        // proof's case analysis says the outcome is already decided, so
+        // delegation cannot make it worse.
+        let cfg = ExperimentConfig::quick(13);
+        let tables = run(&cfg).unwrap();
+        let loss = worst_loss(&tables[1]);
+        assert!(loss < 0.05, "polarized worst loss {loss}");
+    }
+
+    #[test]
+    fn polarized_family_violates_bounded_competency() {
+        let inst = polarized_family(40, 1).unwrap();
+        assert!(!inst.profile().bounded_away(0.3));
+        let outside = inst
+            .profile()
+            .as_slice()
+            .iter()
+            .filter(|&&p| !(0.3..=0.7).contains(&p))
+            .count();
+        assert!(outside as f64 >= 0.7 * 40.0 - 1.0, "only {outside} voters outside");
+    }
+
+    #[test]
+    fn spg_family_is_in_the_restriction_class() {
+        let inst = spg_family(64, 3).unwrap();
+        assert!(Restriction::Complete.check(&inst));
+        assert!(
+            Restriction::PlausibleChangeability { a: ALPHA / 2.0 + 0.05 }.check(&inst),
+            "mean {} outside PC window",
+            inst.profile().mean()
+        );
+    }
+}

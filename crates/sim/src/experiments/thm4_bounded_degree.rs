@@ -1,0 +1,128 @@
+//! **T4 — Theorem 4**: bounded-maximum-degree graphs.
+//!
+//! Claims reproduced: with `Δ ≤ n^{1/(1+ε)}` the longest delegation chain
+//! and the weight of any sink are bounded, so *any* (approval-based local)
+//! delegation mechanism achieves SPG under `PC = α/2` with enough
+//! delegations, and DNH under bounded competencies. We sweep `n` with
+//! `Δ = ⌈n^{2/3}⌉` (ε = 1/2) and report the max-weight statistic Lemma 6
+//! uses next to the gain.
+
+use super::support::{gain_sweep, Family};
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::distributions::CompetencyDistribution;
+use ld_core::mechanisms::ApprovalThreshold;
+use ld_core::{ProblemInstance, Restriction};
+use ld_graph::generators;
+use ld_prob::rng::stream_rng;
+
+/// The approval margin `α`.
+pub const ALPHA: f64 = 0.1;
+
+/// Degree cap for `n` voters: `Δ = ⌈n^{2/3}⌉` (i.e. `n^{1/(1+ε)}` with
+/// `ε = 1/2`).
+pub fn degree_cap(n: usize) -> usize {
+    (n as f64).powf(2.0 / 3.0).ceil() as usize
+}
+
+/// The SPG family: a random `Δ ≤ n^{2/3}` graph, dense enough that most
+/// voters see approved neighbours, with a `PC = α/2` profile.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn spg_family(n: usize, seed: u64) -> Result<ProblemInstance> {
+    let mut rng = stream_rng(seed, 40);
+    let cap = degree_cap(n);
+    let m = n * cap / 4;
+    let graph = generators::random_bounded_degree(n, cap, m, &mut rng)?;
+    let dist = CompetencyDistribution::AroundHalf { a: ALPHA / 2.0, spread: 0.15 };
+    let profile = dist.sample(n, &mut rng)?;
+    let instance = ProblemInstance::new(graph, profile, ALPHA)?;
+    debug_assert!(Restriction::MaxDegree { k: cap }.check(&instance));
+    Ok(instance)
+}
+
+/// The DNH stress family: same graphs with bounded competencies around
+/// 1/2.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn dnh_family(n: usize, seed: u64) -> Result<ProblemInstance> {
+    let mut rng = stream_rng(seed, 41);
+    let cap = degree_cap(n);
+    let graph = generators::random_bounded_degree(n, cap, n * cap / 4, &mut rng)?;
+    let dist = CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 };
+    let profile = dist.sample(n, &mut rng)?;
+    Ok(ProblemInstance::new(graph, profile, ALPHA)?)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let engine = cfg.engine(8);
+    let sizes = cfg.sizes(&[64, 128, 256, 512, 1024], &[48, 96]);
+    let trials = cfg.pick(96u64, 24);
+    let mechanism = ApprovalThreshold::new(1);
+
+    let spg = gain_sweep(
+        "Theorem 4 (SPG): threshold delegation on Δ ≤ n^(2/3) graphs, PC = alpha/2",
+        &engine,
+        &spg_family as Family<'_>,
+        &mechanism,
+        sizes,
+        trials,
+    )?;
+    let dnh = gain_sweep(
+        "Theorem 4 (DNH): Δ ≤ n^(2/3) graphs, adversarial bounded competencies",
+        &engine.reseeded(1),
+        &dnh_family as Family<'_>,
+        &mechanism,
+        sizes,
+        trials,
+    )?;
+    Ok(vec![spg, dnh])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::support::{min_gain, worst_loss};
+    use ld_graph::properties;
+
+    #[test]
+    fn families_respect_the_degree_cap() {
+        for n in [64usize, 128] {
+            let inst = spg_family(n, 1).unwrap();
+            let cap = degree_cap(n);
+            assert!(properties::max_degree(inst.graph()).unwrap() <= cap);
+            // The cap is genuinely sublinear.
+            assert!(cap < n);
+        }
+    }
+
+    #[test]
+    fn spg_gain_positive() {
+        let cfg = ExperimentConfig::quick(16);
+        let tables = run(&cfg).unwrap();
+        assert!(min_gain(&tables[0]) > 0.02, "min gain {}", min_gain(&tables[0]));
+    }
+
+    #[test]
+    fn dnh_loss_negligible_and_weights_bounded() {
+        let cfg = ExperimentConfig::quick(17);
+        let tables = run(&cfg).unwrap();
+        assert!(worst_loss(&tables[1]) < 0.1);
+        // Max sink weight stays well below n (no dictatorship emerges).
+        for r in 0..tables[1].rows().len() {
+            let n = tables[1].value(r, 0).unwrap();
+            let w = tables[1].value(r, 6).unwrap();
+            assert!(w < 0.5 * n, "max weight {w} vs n {n}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! **T5 — Theorem 5**: bounded-minimum-degree graphs with the quarter
+//! rule.
+//!
+//! Claims reproduced: with `δ ≥ n^ε` and the mechanism that delegates iff
+//! at least `1/4` of a voter's neighbours are approved, SPG holds under
+//! `PC = α/4` (with `Delegate(n) ≥ h` for `h ≥ √n`) and DNH holds under
+//! bounded competencies. We sweep `n` with `δ = ⌈√n⌉` (ε = 1/2).
+
+use super::support::{gain_sweep, Family};
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::table::Table;
+use ld_core::distributions::CompetencyDistribution;
+use ld_core::mechanisms::MinDegreeFraction;
+use ld_core::{ProblemInstance, Restriction};
+use ld_graph::generators;
+use ld_prob::rng::stream_rng;
+
+/// The approval margin `α`.
+pub const ALPHA: f64 = 0.1;
+
+/// Minimum degree for `n` voters: `δ = ⌈√n⌉`.
+pub fn degree_floor(n: usize) -> usize {
+    (n as f64).sqrt().ceil() as usize
+}
+
+/// The SPG family: a `δ ≥ √n` k-out graph with a `PC = α/4` profile.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn spg_family(n: usize, seed: u64) -> Result<ProblemInstance> {
+    let mut rng = stream_rng(seed, 50);
+    let graph = generators::random_min_degree(n, degree_floor(n), &mut rng)?;
+    let dist = CompetencyDistribution::AroundHalf { a: ALPHA / 4.0, spread: 0.15 };
+    let profile = dist.sample(n, &mut rng)?;
+    let instance = ProblemInstance::new(graph, profile, ALPHA)?;
+    debug_assert!(Restriction::MinDegree { k: degree_floor(n) }.check(&instance));
+    Ok(instance)
+}
+
+/// The DNH stress family: same graphs with bounded competencies around
+/// 1/2.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn dnh_family(n: usize, seed: u64) -> Result<ProblemInstance> {
+    let mut rng = stream_rng(seed, 51);
+    let graph = generators::random_min_degree(n, degree_floor(n), &mut rng)?;
+    let dist = CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 };
+    let profile = dist.sample(n, &mut rng)?;
+    Ok(ProblemInstance::new(graph, profile, ALPHA)?)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let engine = cfg.engine(9);
+    let sizes = cfg.sizes(&[64, 128, 256, 512, 1024], &[48, 96]);
+    let trials = cfg.pick(96u64, 24);
+    let mechanism = MinDegreeFraction::quarter();
+
+    let spg = gain_sweep(
+        "Theorem 5 (SPG): quarter rule on δ ≥ √n graphs, PC = alpha/4",
+        &engine,
+        &spg_family as Family<'_>,
+        &mechanism,
+        sizes,
+        trials,
+    )?;
+    let dnh = gain_sweep(
+        "Theorem 5 (DNH): δ ≥ √n graphs, adversarial bounded competencies",
+        &engine.reseeded(1),
+        &dnh_family as Family<'_>,
+        &mechanism,
+        sizes,
+        trials,
+    )?;
+    Ok(vec![spg, dnh])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::support::{min_gain, worst_loss};
+    use ld_graph::properties;
+
+    #[test]
+    fn families_respect_the_degree_floor() {
+        for n in [64usize, 144] {
+            let inst = spg_family(n, 1).unwrap();
+            assert!(properties::min_degree(inst.graph()).unwrap() >= degree_floor(n));
+        }
+    }
+
+    #[test]
+    fn spg_gain_positive_with_enough_delegations() {
+        let cfg = ExperimentConfig::quick(18);
+        let tables = run(&cfg).unwrap();
+        assert!(min_gain(&tables[0]) > 0.02, "min gain {}", min_gain(&tables[0]));
+        // Delegate restriction: at least √n voters delegate (fraction
+        // column is delegators/n ≥ 1/√n).
+        for r in 0..tables[0].rows().len() {
+            let n = tables[0].value(r, 0).unwrap();
+            let frac = tables[0].value(r, 4).unwrap();
+            assert!(frac * n >= n.sqrt(), "too few delegators at n = {n}");
+        }
+    }
+
+    #[test]
+    fn dnh_loss_negligible() {
+        let cfg = ExperimentConfig::quick(19);
+        let tables = run(&cfg).unwrap();
+        assert!(worst_loss(&tables[1]) < 0.1, "loss {}", worst_loss(&tables[1]));
+    }
+}

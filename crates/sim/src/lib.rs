@@ -1,0 +1,44 @@
+//! # `ld-sim` — the experiment engine and reproduction suite
+//!
+//! This crate turns the model in `ld-core` into the paper's evidence:
+//!
+//! * [`engine`] — a deterministic parallel Monte Carlo engine (crossbeam
+//!   scoped threads, seed-split RNG streams: identical results for
+//!   identical `(seed, trials, workers)`).
+//! * [`table`] — typed result tables rendering to text, CSV and JSON.
+//! * [`experiments`] — one module per paper artifact (Figures 1–2,
+//!   Lemmas 2/3/5, Theorems 2–5, the Kahng et al. impossibility, and the
+//!   three §6 extensions), each returning tables whose *shape* reproduces
+//!   the corresponding claim. `EXPERIMENTS.md` records paper-predicted vs
+//!   measured values.
+//! * [`report`] — renders a full run into a markdown report and JSON
+//!   artifacts.
+//!
+//! * [`verify`] — the acceptance suite: every claim as a PASS/FAIL
+//!   verdict (`repro verify`).
+//! * [`sweep`] — user-configurable topology × mechanism × distribution
+//!   sweeps (`repro sweep --topology regular:16 --mechanism algorithm1:2
+//!   --profile uniform:0.35,0.65 --sizes 64,128,256`).
+//!
+//! Run everything from the command line:
+//!
+//! ```text
+//! cargo run -p ld-sim --release --bin repro -- --list
+//! cargo run -p ld-sim --release --bin repro -- all
+//! cargo run -p ld-sim --release --bin repro -- fig1 thm2 --quick
+//! cargo run -p ld-sim --release --bin repro -- verify
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod engine;
+pub mod experiments;
+pub mod report;
+pub mod sweep;
+pub mod table;
+pub mod verify;
+
+pub use error::{Result, SimError};

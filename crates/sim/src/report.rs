@@ -1,0 +1,127 @@
+//! Rendering experiment runs into human- and machine-readable reports.
+
+use crate::error::Result;
+use crate::experiments::{ExperimentConfig, ExperimentInfo};
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The outcome of running one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The experiment id.
+    pub id: String,
+    /// The paper artifact it regenerates.
+    pub paper_ref: String,
+    /// The produced tables.
+    pub tables: Vec<Table>,
+    /// Wall-clock runtime in milliseconds.
+    pub runtime_ms: u128,
+}
+
+/// Runs one experiment and captures its result.
+///
+/// # Errors
+///
+/// Propagates the experiment's errors.
+pub fn run_experiment(info: &ExperimentInfo, cfg: &ExperimentConfig) -> Result<ExperimentResult> {
+    let start = std::time::Instant::now();
+    let tables = (info.run)(cfg)?;
+    Ok(ExperimentResult {
+        id: info.id.to_string(),
+        paper_ref: info.paper_ref.to_string(),
+        tables,
+        runtime_ms: start.elapsed().as_millis(),
+    })
+}
+
+/// Renders results as a markdown report.
+pub fn to_markdown(results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    out.push_str("# Reproduction report\n\n");
+    for r in results {
+        out.push_str(&format!("# {} — {} ({} ms)\n\n", r.id, r.paper_ref, r.runtime_ms));
+        for t in &r.tables {
+            out.push_str(&t.to_text());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes results as pretty JSON to `path`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be written.
+pub fn write_json(results: &[ExperimentResult], path: &Path) -> Result<()> {
+    let json = serde_json::to_string_pretty(results)
+        .expect("experiment results serialize without error");
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Writes every table of every result as a CSV file under `dir`
+/// (created if absent). Files are named `<experiment id>_<table index>.csv`
+/// — ready for gnuplot/pandas.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory or a file cannot be written.
+pub fn write_csv_dir(results: &[ExperimentResult], dir: &Path) -> Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for r in results {
+        for (i, t) in r.tables.iter().enumerate() {
+            let path = dir.join(format!("{}_{i}.csv", r.id.replace('-', "_")));
+            std::fs::write(path, t.to_csv())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn run_and_render_one_experiment() {
+        let info = experiments::find("fig1").unwrap();
+        let cfg = ExperimentConfig::quick(1);
+        let result = run_experiment(&info, &cfg).unwrap();
+        assert_eq!(result.id, "fig1");
+        assert!(!result.tables.is_empty());
+        let md = to_markdown(std::slice::from_ref(&result));
+        assert!(md.contains("fig1"));
+        assert!(md.contains("Figure 1"));
+    }
+
+    #[test]
+    fn csv_dir_written_to_disk() {
+        let info = experiments::find("fig1").unwrap();
+        let cfg = ExperimentConfig::quick(3);
+        let result = run_experiment(&info, &cfg).unwrap();
+        let dir = std::env::temp_dir().join("ld-sim-test-csv");
+        write_csv_dir(std::slice::from_ref(&result), &dir).unwrap();
+        let path = dir.join("fig1_0.csv");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("n,"), "header missing: {content:?}");
+        assert!(content.lines().count() > 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn json_written_to_disk() {
+        let info = experiments::find("fig2").unwrap();
+        let cfg = ExperimentConfig::quick(2);
+        let result = run_experiment(&info, &cfg).unwrap();
+        let dir = std::env::temp_dir().join("ld-sim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.json");
+        write_json(&[result], &path).unwrap();
+        let back: Vec<ExperimentResult> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(path).ok();
+    }
+}

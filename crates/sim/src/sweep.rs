@@ -1,0 +1,434 @@
+//! User-configurable parameter sweeps: the experiment machinery exposed as
+//! a composable spec, for research questions beyond the paper's fixed
+//! experiment set.
+//!
+//! A [`SweepSpec`] names a topology family, a competency distribution, a
+//! mechanism, and a size range; [`run_sweep`] produces the same
+//! gain-and-structure table the theorem experiments use. The `repro sweep`
+//! subcommand parses specs from the command line:
+//!
+//! ```text
+//! repro sweep --topology regular:16 --mechanism algorithm1:2 \
+//!             --profile uniform:0.35,0.65 --sizes 64,128,256
+//! ```
+
+use crate::engine::Engine;
+use crate::error::{Result, SimError};
+use crate::experiments::support::{gain_sweep, Family};
+use crate::table::Table;
+use ld_core::distributions::CompetencyDistribution;
+use ld_core::mechanisms::{
+    Abstaining, ApprovalThreshold, DirectVoting, GreedyMax, Mechanism, MinDegreeFraction,
+    ProbabilisticDelegation, SampledThreshold, WeightCapped, WeightedMajorityDelegation,
+};
+use ld_core::ProblemInstance;
+use ld_graph::{generators, Graph};
+use ld_prob::rng::stream_rng;
+use serde::{Deserialize, Serialize};
+
+/// A topology family, parsed from `name[:params]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TopologySpec {
+    /// `complete`
+    Complete,
+    /// `star`
+    Star,
+    /// `cycle`
+    Cycle,
+    /// `regular:d`
+    Regular {
+        /// Degree.
+        d: usize,
+    },
+    /// `bounded:k` (Δ ≤ k, with m = n·k/4 edges)
+    BoundedDegree {
+        /// Degree cap.
+        k: usize,
+    },
+    /// `mindegree:k` (δ ≥ k)
+    MinDegree {
+        /// Degree floor.
+        k: usize,
+    },
+    /// `ba:m` (Barabási–Albert)
+    BarabasiAlbert {
+        /// Attachment count.
+        m: usize,
+    },
+    /// `ws:k,beta` (Watts–Strogatz)
+    WattsStrogatz {
+        /// Lattice degree.
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// `er:p` (Erdős–Rényi `G(n, p)`)
+    ErdosRenyi {
+        /// Edge probability.
+        p: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Parses `name[:params]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for unknown names or malformed
+    /// parameters.
+    pub fn parse(text: &str) -> Result<Self> {
+        let (name, params) = text.split_once(':').unwrap_or((text, ""));
+        let bad = |why: &str| -> SimError {
+            SimError::Config { reason: format!("topology {text:?}: {why}") }
+        };
+        let int = |s: &str| s.parse::<usize>().map_err(|_| bad("expected an integer"));
+        let float = |s: &str| s.parse::<f64>().map_err(|_| bad("expected a number"));
+        Ok(match name {
+            "complete" => TopologySpec::Complete,
+            "star" => TopologySpec::Star,
+            "cycle" => TopologySpec::Cycle,
+            "regular" => TopologySpec::Regular { d: int(params)? },
+            "bounded" => TopologySpec::BoundedDegree { k: int(params)? },
+            "mindegree" => TopologySpec::MinDegree { k: int(params)? },
+            "ba" => TopologySpec::BarabasiAlbert { m: int(params)? },
+            "ws" => {
+                let (k, beta) = params.split_once(',').ok_or_else(|| bad("need k,beta"))?;
+                TopologySpec::WattsStrogatz { k: int(k)?, beta: float(beta)? }
+            }
+            "er" => TopologySpec::ErdosRenyi { p: float(params)? },
+            _ => return Err(bad("unknown topology (see repro sweep --help)")),
+        })
+    }
+
+    /// Generates a graph of this family with `n` vertices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors.
+    pub fn generate(&self, n: usize, rng: &mut rand::rngs::StdRng) -> Result<Graph> {
+        Ok(match *self {
+            TopologySpec::Complete => generators::complete(n),
+            TopologySpec::Star => generators::star(n),
+            TopologySpec::Cycle => generators::cycle(n),
+            TopologySpec::Regular { d } => generators::random_regular(n, d, rng)?,
+            TopologySpec::BoundedDegree { k } => {
+                generators::random_bounded_degree(n, k, n * k / 4, rng)?
+            }
+            TopologySpec::MinDegree { k } => generators::random_min_degree(n, k, rng)?,
+            TopologySpec::BarabasiAlbert { m } => generators::barabasi_albert(n, m, rng)?,
+            TopologySpec::WattsStrogatz { k, beta } => {
+                generators::watts_strogatz(n, k, beta, rng)?
+            }
+            TopologySpec::ErdosRenyi { p } => generators::erdos_renyi_gnp(n, p, rng)?,
+        })
+    }
+}
+
+/// A mechanism, parsed from `name[:params]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MechanismSpec {
+    /// `direct`
+    Direct,
+    /// `algorithm1:j`
+    Algorithm1 {
+        /// Constant threshold.
+        j: usize,
+    },
+    /// `algorithm2:d,j`
+    Algorithm2 {
+        /// Sample size.
+        d: usize,
+        /// Threshold.
+        j: usize,
+    },
+    /// `quarter`
+    Quarter,
+    /// `greedy`
+    Greedy,
+    /// `probabilistic:q`
+    Probabilistic {
+        /// Delegation probability.
+        q: f64,
+    },
+    /// `abstain:q` (wrapping algorithm1:1)
+    Abstain {
+        /// Abstention probability.
+        q: f64,
+    },
+    /// `weighted:k` (weighted majority with k delegates)
+    Weighted {
+        /// Delegate count.
+        k: usize,
+    },
+    /// `capped:w` (weight-capped algorithm1:1)
+    Capped {
+        /// Weight cap.
+        w: usize,
+    },
+}
+
+impl MechanismSpec {
+    /// Parses `name[:params]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for unknown names or malformed
+    /// parameters.
+    pub fn parse(text: &str) -> Result<Self> {
+        let (name, params) = text.split_once(':').unwrap_or((text, ""));
+        let bad = |why: &str| -> SimError {
+            SimError::Config { reason: format!("mechanism {text:?}: {why}") }
+        };
+        let int = |s: &str| s.parse::<usize>().map_err(|_| bad("expected an integer"));
+        let float = |s: &str| s.parse::<f64>().map_err(|_| bad("expected a number"));
+        Ok(match name {
+            "direct" => MechanismSpec::Direct,
+            "algorithm1" => MechanismSpec::Algorithm1 { j: int(params)? },
+            "algorithm2" => {
+                let (d, j) = params.split_once(',').ok_or_else(|| bad("need d,j"))?;
+                MechanismSpec::Algorithm2 { d: int(d)?, j: int(j)? }
+            }
+            "quarter" => MechanismSpec::Quarter,
+            "greedy" => MechanismSpec::Greedy,
+            "probabilistic" => MechanismSpec::Probabilistic { q: float(params)? },
+            "abstain" => MechanismSpec::Abstain { q: float(params)? },
+            "weighted" => MechanismSpec::Weighted { k: int(params)? },
+            "capped" => MechanismSpec::Capped { w: int(params)? },
+            _ => return Err(bad("unknown mechanism (see repro sweep --help)")),
+        })
+    }
+
+    /// Builds the mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for out-of-range parameters.
+    pub fn build(&self) -> Result<Box<dyn Mechanism + Sync>> {
+        let guard = |ok: bool, why: &str| -> Result<()> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SimError::Config { reason: why.to_string() })
+            }
+        };
+        Ok(match *self {
+            MechanismSpec::Direct => Box::new(DirectVoting),
+            MechanismSpec::Algorithm1 { j } => Box::new(ApprovalThreshold::new(j)),
+            MechanismSpec::Algorithm2 { d, j } => Box::new(SampledThreshold::fresh(d, j)),
+            MechanismSpec::Quarter => Box::new(MinDegreeFraction::quarter()),
+            MechanismSpec::Greedy => Box::new(GreedyMax),
+            MechanismSpec::Probabilistic { q } => {
+                guard((0.0..=1.0).contains(&q), "probabilistic q must be in [0, 1]")?;
+                Box::new(ProbabilisticDelegation::new(q))
+            }
+            MechanismSpec::Abstain { q } => {
+                guard((0.0..=1.0).contains(&q), "abstain q must be in [0, 1]")?;
+                Box::new(Abstaining::new(ApprovalThreshold::new(1), q))
+            }
+            MechanismSpec::Weighted { k } => {
+                guard(k > 0, "weighted k must be positive")?;
+                Box::new(WeightedMajorityDelegation::new(k, 1))
+            }
+            MechanismSpec::Capped { w } => {
+                guard(w > 0, "cap must be positive")?;
+                Box::new(WeightCapped::new(ApprovalThreshold::new(1), w))
+            }
+        })
+    }
+}
+
+/// A full sweep specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Topology family.
+    pub topology: TopologySpec,
+    /// Mechanism.
+    pub mechanism: MechanismSpec,
+    /// Competency distribution.
+    pub profile: CompetencyDistribution,
+    /// Approval margin `α`.
+    pub alpha: f64,
+    /// Instance sizes.
+    pub sizes: Vec<usize>,
+    /// Mechanism draws per size.
+    pub trials: u64,
+}
+
+impl SweepSpec {
+    /// Parses a `lo,hi` or comma-separated size list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on malformed input.
+    pub fn parse_sizes(text: &str) -> Result<Vec<usize>> {
+        let sizes: std::result::Result<Vec<usize>, _> =
+            text.split(',').map(|s| s.trim().parse::<usize>()).collect();
+        let sizes = sizes.map_err(|_| SimError::Config {
+            reason: format!("sizes {text:?}: expected comma-separated integers"),
+        })?;
+        if sizes.is_empty() || sizes.contains(&0) {
+            return Err(SimError::Config {
+                reason: "sizes must be a nonempty list of positive integers".to_string(),
+            });
+        }
+        Ok(sizes)
+    }
+
+    /// Parses a profile spec `uniform:lo,hi` | `aroundhalf:a,spread` |
+    /// `twopoint:lo,hi,frac` | `normal:mean,sd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on malformed input.
+    pub fn parse_profile(text: &str) -> Result<CompetencyDistribution> {
+        let (name, params) = text.split_once(':').unwrap_or((text, ""));
+        let bad = |why: &str| -> SimError {
+            SimError::Config { reason: format!("profile {text:?}: {why}") }
+        };
+        let nums: std::result::Result<Vec<f64>, _> =
+            params.split(',').map(|s| s.trim().parse::<f64>()).collect();
+        let nums = nums.map_err(|_| bad("expected comma-separated numbers"))?;
+        let dist = match (name, nums.as_slice()) {
+            ("uniform", [lo, hi]) => CompetencyDistribution::Uniform { lo: *lo, hi: *hi },
+            ("aroundhalf", [a, spread]) => {
+                CompetencyDistribution::AroundHalf { a: *a, spread: *spread }
+            }
+            ("twopoint", [lo, hi, frac]) => {
+                CompetencyDistribution::TwoPoint { low: *lo, high: *hi, frac_high: *frac }
+            }
+            ("normal", [mean, sd]) => CompetencyDistribution::TruncatedNormal {
+                mean: *mean,
+                sd: *sd,
+                lo: 0.0,
+                hi: 1.0,
+            },
+            _ => return Err(bad("unknown profile or wrong arity")),
+        };
+        dist.validate().map_err(SimError::Core)?;
+        Ok(dist)
+    }
+}
+
+/// Runs a sweep, producing the standard gain-and-structure table.
+///
+/// # Errors
+///
+/// Propagates generation and engine errors.
+pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> Result<Table> {
+    let mechanism = spec.mechanism.build()?;
+    let topology = spec.topology.clone();
+    let profile = spec.profile;
+    let alpha = spec.alpha;
+    let family = move |n: usize, seed: u64| -> Result<ProblemInstance> {
+        let mut rng = stream_rng(seed, 80);
+        let graph = topology.generate(n, &mut rng)?;
+        let prof = profile.sample(n, &mut rng)?;
+        Ok(ProblemInstance::new(graph, prof, alpha)?)
+    };
+    gain_sweep(
+        &format!(
+            "sweep: {:?} × {:?} × {:?}, alpha = {}",
+            spec.topology, spec.mechanism, spec.profile, spec.alpha
+        ),
+        engine,
+        &family as Family<'_>,
+        mechanism.as_ref(),
+        &spec.sizes,
+        spec.trials,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_parsing() {
+        assert_eq!(TopologySpec::parse("complete").unwrap(), TopologySpec::Complete);
+        assert_eq!(TopologySpec::parse("regular:8").unwrap(), TopologySpec::Regular { d: 8 });
+        assert_eq!(
+            TopologySpec::parse("ws:6,0.1").unwrap(),
+            TopologySpec::WattsStrogatz { k: 6, beta: 0.1 }
+        );
+        assert!(TopologySpec::parse("nope").is_err());
+        assert!(TopologySpec::parse("regular:x").is_err());
+        assert!(TopologySpec::parse("ws:6").is_err());
+    }
+
+    #[test]
+    fn mechanism_parsing() {
+        assert_eq!(MechanismSpec::parse("direct").unwrap(), MechanismSpec::Direct);
+        assert_eq!(
+            MechanismSpec::parse("algorithm1:3").unwrap(),
+            MechanismSpec::Algorithm1 { j: 3 }
+        );
+        assert_eq!(
+            MechanismSpec::parse("algorithm2:16,4").unwrap(),
+            MechanismSpec::Algorithm2 { d: 16, j: 4 }
+        );
+        assert!(MechanismSpec::parse("nope").is_err());
+        assert!(MechanismSpec::parse("probabilistic:abc").is_err());
+        assert!(MechanismSpec::Probabilistic { q: 1.5 }.build().is_err());
+        assert!(MechanismSpec::Weighted { k: 0 }.build().is_err());
+    }
+
+    #[test]
+    fn profile_and_size_parsing() {
+        assert!(SweepSpec::parse_profile("uniform:0.3,0.7").is_ok());
+        assert!(SweepSpec::parse_profile("aroundhalf:0.05,0.15").is_ok());
+        assert!(SweepSpec::parse_profile("twopoint:0.4,0.7,0.2").is_ok());
+        assert!(SweepSpec::parse_profile("normal:0.5,0.1").is_ok());
+        assert!(SweepSpec::parse_profile("uniform:0.9,0.1").is_err()); // lo > hi
+        assert!(SweepSpec::parse_profile("uniform:0.3").is_err()); // arity
+        assert_eq!(SweepSpec::parse_sizes("64, 128,256").unwrap(), vec![64, 128, 256]);
+        assert!(SweepSpec::parse_sizes("").is_err());
+        assert!(SweepSpec::parse_sizes("64,0").is_err());
+    }
+
+    #[test]
+    fn end_to_end_sweep_runs() {
+        let spec = SweepSpec {
+            topology: TopologySpec::Regular { d: 8 },
+            mechanism: MechanismSpec::Algorithm1 { j: 1 },
+            profile: CompetencyDistribution::Uniform { lo: 0.35, hi: 0.6 },
+            alpha: 0.05,
+            sizes: vec![32, 64],
+            trials: 8,
+        };
+        let engine = Engine::new(3).with_workers(2);
+        let table = run_sweep(&spec, &engine).unwrap();
+        assert_eq!(table.rows().len(), 2);
+        // Below-half profile on a regular graph: delegation should gain.
+        assert!(table.value(1, 3).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn every_mechanism_spec_builds_and_runs() {
+        let specs = [
+            "direct",
+            "algorithm1:1",
+            "algorithm2:8,2",
+            "quarter",
+            "greedy",
+            "probabilistic:0.5",
+            "abstain:0.3",
+            "weighted:3",
+            "capped:5",
+        ];
+        let engine = Engine::new(5).with_workers(1);
+        for text in specs {
+            let spec = SweepSpec {
+                topology: TopologySpec::Complete,
+                mechanism: MechanismSpec::parse(text).unwrap(),
+                profile: CompetencyDistribution::Uniform { lo: 0.3, hi: 0.7 },
+                alpha: 0.05,
+                sizes: vec![24],
+                trials: 4,
+            };
+            let table = run_sweep(&spec, &engine).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(table.rows().len(), 1, "{text}");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Typed result tables: the unit of experiment output.
+//!
+//! Every experiment produces one or more [`Table`]s — the analogue of the
+//! paper's figures. Tables render as fixed-width text (for the terminal),
+//! CSV and JSON (for downstream analysis).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cell of a result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum Cell {
+    /// An integer quantity (sizes, counts).
+    Int(i64),
+    /// A real quantity (probabilities, gains).
+    Float(f64),
+    /// A label.
+    Text(String),
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Int(v) => write!(f, "{v}"),
+            Cell::Float(v) => write!(f, "{v:.4}"),
+            Cell::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Text(v.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::Text(v)
+    }
+}
+
+/// A titled table of experiment results.
+///
+/// # Examples
+///
+/// ```
+/// use ld_sim::table::Table;
+///
+/// let mut t = Table::new("gain vs n", &["n", "gain"]);
+/// t.push([64usize.into(), 0.1234.into()]);
+/// t.push([128usize.into(), 0.2345.into()]);
+/// assert_eq!(t.rows().len(), 2);
+/// let text = t.to_text();
+/// assert!(text.contains("gain vs n"));
+/// assert!(text.contains("0.1234"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the number of columns.
+    pub fn push<const K: usize>(&mut self, row: [Cell; K]) {
+        assert_eq!(K, self.columns.len(), "row width {K} != {} columns", self.columns.len());
+        self.rows.push(row.into_iter().collect());
+    }
+
+    /// Appends a row from a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the number of columns.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// A cell as `f64` (integers are widened); `None` for text cells or
+    /// out-of-range indices.
+    pub fn value(&self, row: usize, col: usize) -> Option<f64> {
+        match self.rows.get(row)?.get(col)? {
+            Cell::Int(v) => Some(*v as f64),
+            Cell::Float(v) => Some(*v),
+            Cell::Text(_) => None,
+        }
+    }
+
+    /// A whole column as `f64` values (text cells skipped).
+    pub fn column_values(&self, col: usize) -> Vec<f64> {
+        (0..self.rows.len()).filter_map(|r| self.value(r, col)).collect()
+    }
+
+    /// Fixed-width text rendering.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|c| c.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (header row + data rows).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|c| escape(&c.to_string())).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON rendering via serde.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which cannot happen for this type
+    /// (no non-string map keys, no non-finite float rejection is done by
+    /// `serde_json` for values produced here — non-finite floats render as
+    /// `null`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "gain", "who"]);
+        t.push([16usize.into(), 0.25.into(), "algo1".into()]);
+        t.push([32usize.into(), (-0.5).into(), "greedy".into()]);
+        t
+    }
+
+    #[test]
+    fn cell_display() {
+        assert_eq!(Cell::Int(7).to_string(), "7");
+        assert_eq!(Cell::Float(0.5).to_string(), "0.5000");
+        assert_eq!(Cell::Text("x".into()).to_string(), "x");
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = sample();
+        assert_eq!(t.title(), "demo");
+        assert_eq!(t.columns().len(), 3);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.value(0, 0), Some(16.0));
+        assert_eq!(t.value(0, 1), Some(0.25));
+        assert_eq!(t.value(0, 2), None); // text
+        assert_eq!(t.value(9, 0), None); // out of range
+        assert_eq!(t.column_values(1), vec![0.25, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn push_checks_width() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push([Cell::Int(1)]);
+    }
+
+    #[test]
+    fn text_rendering_aligns() {
+        let text = sample().to_text();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("n"));
+        assert!(text.contains("-0.5000"));
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new("t", &["label"]);
+        t.push([Cell::Text("a,b".into())]);
+        t.push([Cell::Text("say \"hi\"".into())]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let json = t.to_json();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

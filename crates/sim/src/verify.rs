@@ -1,0 +1,284 @@
+//! The acceptance suite: every paper claim as a machine-checkable verdict.
+//!
+//! `repro verify` runs each experiment and evaluates the *shape predicate*
+//! of the corresponding claim (the same predicates the test suite
+//! enforces), printing PASS/FAIL per claim. This is the artifact-evaluation
+//! entry point: a green `verify` run means the reproduction holds on this
+//! machine with this seed.
+
+use crate::error::Result;
+use crate::experiments::{self, ExperimentConfig};
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// The verdict for one claim.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimVerdict {
+    /// Experiment id.
+    pub id: String,
+    /// The claim, in one sentence.
+    pub claim: String,
+    /// Whether the measured tables satisfy the claim's shape predicate.
+    pub pass: bool,
+    /// Human-readable detail (the measured quantity).
+    pub detail: String,
+}
+
+fn verdict(id: &str, claim: &str, pass: bool, detail: String) -> ClaimVerdict {
+    ClaimVerdict { id: id.to_string(), claim: claim.to_string(), pass, detail }
+}
+
+fn last_row(t: &Table, col: usize) -> f64 {
+    t.value(t.rows().len() - 1, col).unwrap_or(f64::NAN)
+}
+
+fn min_col(t: &Table, col: usize) -> f64 {
+    t.column_values(col).into_iter().fold(f64::INFINITY, f64::min)
+}
+
+fn max_col(t: &Table, col: usize) -> f64 {
+    t.column_values(col).into_iter().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Runs every experiment and evaluates its claim predicate.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn verify_all(cfg: &ExperimentConfig) -> Result<Vec<ClaimVerdict>> {
+    let mut out = Vec::new();
+    for info in experiments::all() {
+        let tables = (info.run)(cfg)?;
+        out.push(check(info.id, &tables));
+    }
+    Ok(out)
+}
+
+/// Evaluates the shape predicate for one experiment's tables.
+pub fn check(id: &str, tables: &[Table]) -> ClaimVerdict {
+    match id {
+        "fig1" => {
+            // Size-independent predicate: at every n the measured gain
+            // equals the analytic prediction 2/3 − P[direct] (so the loss
+            // converges to exactly 1/3 with P[direct] → 1), and the
+            // terminal loss is already most of the way there.
+            let t = &tables[0];
+            let prediction_error = (0..t.rows().len())
+                .map(|r| (t.value(r, 3).unwrap_or(f64::NAN) - t.value(r, 4).unwrap_or(0.0)).abs())
+                .fold(0.0f64, f64::max);
+            let loss = -last_row(t, 3);
+            verdict(
+                id,
+                "star delegation loss converges to 1/3 (gain = 2/3 - P[direct] exactly)",
+                prediction_error < 1e-6 && loss > 0.3,
+                format!("terminal loss {loss:.4}, max |gain - prediction| {prediction_error:.2e}"),
+            )
+        }
+        "fig2" => {
+            let gain = last_row(&tables[2], 1);
+            verdict(
+                id,
+                "the 9-voter example gains from delegation",
+                gain > 0.0,
+                format!("gain {gain:.4}"),
+            )
+        }
+        "lemma2" => {
+            let worst = max_col(&tables[0], 5).max(max_col(&tables[1], 5));
+            verdict(
+                id,
+                "recycle-sampled sums stay above mu - c*eps*n/j^(1/3) w.h.p.",
+                worst <= 0.05,
+                format!("worst exceedance frequency {worst:.4}"),
+            )
+        }
+        "lemma4" => {
+            let first = tables[0].value(0, 1).unwrap_or(f64::NAN);
+            let last = last_row(&tables[0], 1);
+            verdict(
+                id,
+                "exact KS distance from the normal vanishes with n",
+                last < first && last < 0.01,
+                format!("KS {first:.4} → {last:.4}"),
+            )
+        }
+        "lemma3" => {
+            // Lemma-regime rows are indices ≡ 0 (mod 3); compare first vs
+            // last; violating rows are ≡ 2 (mod 3) and must not vanish.
+            let t = &tables[0];
+            let rows = t.rows().len();
+            let lemma_first = t.value(0, 3).unwrap_or(f64::NAN);
+            let lemma_last = t.value(rows - 3, 3).unwrap_or(f64::NAN);
+            let violating_last = last_row(t, 3);
+            verdict(
+                id,
+                "sublinear delegation loss vanishes; linear delegation loss persists",
+                lemma_last < lemma_first && violating_last > 0.05,
+                format!(
+                    "lemma-regime loss {lemma_first:.4} → {lemma_last:.4}, violating {violating_last:.4}"
+                ),
+            )
+        }
+        "lemma5" => {
+            let worst = max_col(&tables[0], 4);
+            verdict(
+                id,
+                "tally deviation stays inside sqrt(n^(1+eps) w) at every max weight",
+                worst <= 0.05,
+                format!("worst exceedance frequency {worst:.4}"),
+            )
+        }
+        "lemma7" => {
+            let margin = min_col(&tables[0], 4);
+            let below = max_col(&tables[0], 5);
+            verdict(
+                id,
+                "E[correct votes] clears mu(X) + (n-k)*alpha at every n",
+                margin > -1e-9 && below <= 0.05,
+                format!("min margin {margin:.2} votes, worst below-floor rate {below:.4}"),
+            )
+        }
+        "thm2" | "thm3" | "thm4" | "thm5" => {
+            let spg = min_col(&tables[0], 3);
+            let dnh_loss = (-min_col(tables.last().expect("dnh table"), 3)).max(0.0);
+            verdict(
+                id,
+                "SPG: gain uniformly positive; DNH: no asymptotic loss",
+                spg > 0.02 && dnh_loss < 0.1,
+                format!("min SPG gain {spg:.4}, worst DNH loss {dnh_loss:.4}"),
+            )
+        }
+        "impossibility" => {
+            let t = &tables[0];
+            let local_gain = t.value(2, 1).unwrap_or(f64::NAN);
+            let local_star = t.value(2, 2).unwrap_or(f64::NAN);
+            let capped_star = t.value(3, 2).unwrap_or(f64::NAN);
+            verdict(
+                id,
+                "local mechanisms that gain on K_n harm the star; a non-local cap does not",
+                local_gain > 0.02 && local_star < -0.1 && capped_star > -0.05,
+                format!(
+                    "algorithm1: K_n {local_gain:+.3}, star {local_star:+.3}; capped star {capped_star:+.3}"
+                ),
+            )
+        }
+        "ext-weighted" => {
+            // Within each size triple (k = 1, 3, 5), k = 5 must not fall
+            // behind k = 1 by more than noise.
+            let t = &tables[0];
+            let mut ok = true;
+            let mut worst: f64 = 0.0;
+            for base in (0..t.rows().len()).step_by(3) {
+                let diff = t.value(base + 2, 3).unwrap_or(f64::NAN)
+                    - t.value(base, 3).unwrap_or(f64::NAN);
+                worst = worst.min(diff);
+                ok &= diff > -0.08;
+            }
+            verdict(
+                id,
+                "k-delegate weighted majority never falls behind single delegation",
+                ok,
+                format!("worst k=5 minus k=1 gain difference {worst:+.4}"),
+            )
+        }
+        "ext-abstain" => {
+            let worst = min_col(&tables[0], 2);
+            verdict(
+                id,
+                "abstention preserves DNH (gain never meaningfully negative)",
+                worst > -0.05,
+                format!("worst gain across abstention rates {worst:+.4}"),
+            )
+        }
+        "ext-probabilistic" => {
+            let t = &tables[0];
+            // Blocks of 5 distributions: K_n rows 0..5, Rand rows 5..10,
+            // star rows 10..15; the 5th distribution of each block is
+            // above-half (harm-only check).
+            let mut min_pg = f64::INFINITY;
+            let mut worst_good_gain = f64::INFINITY;
+            for block in [0usize, 5] {
+                for d in 0..4 {
+                    min_pg = min_pg.min(t.value(block + d, 3).unwrap_or(f64::NAN));
+                }
+                worst_good_gain = worst_good_gain.min(t.value(block + 4, 2).unwrap_or(f64::NAN));
+            }
+            let star_gain = t.value(14, 2).unwrap_or(f64::NAN);
+            let star_harm = t.value(14, 4).unwrap_or(f64::NAN);
+            verdict(
+                id,
+                "probabilistic PG on symmetric topologies; only the star harms (above-half)",
+                min_pg >= 0.75 && worst_good_gain >= star_gain + 0.1 && star_harm >= 0.5,
+                format!(
+                    "min P[gain>0] good {min_pg:.3}; above-half E[gain]: good {worst_good_gain:+.3} vs star {star_gain:+.3}"
+                ),
+            )
+        }
+        "asymmetry" => {
+            let t = &tables[0];
+            let mild = t.value(0, 3).unwrap_or(f64::NAN);
+            let extreme = last_row(t, 3);
+            verdict(
+                id,
+                "gain degrades monotonically as structural asymmetry grows",
+                extreme < mild - 0.05,
+                format!("gain {mild:+.4} (mild) → {extreme:+.4} (extreme)"),
+            )
+        }
+        "ext-networks" => {
+            let t = &tables[0];
+            let mut ok = true;
+            let mut worst_ratio: f64 = 0.0;
+            for r in 0..t.rows().len() {
+                let ratio = t.value(r, 4).unwrap_or(f64::NAN) / t.value(r, 5).unwrap_or(1.0);
+                worst_ratio = worst_ratio.max(ratio);
+                ok &= ratio <= 6.0;
+            }
+            verdict(
+                id,
+                "BA/WS max sink weights satisfy Lemma 5's condition (≲ sqrt(n))",
+                ok,
+                format!("worst max-weight / sqrt(n) ratio {worst_ratio:.2}"),
+            )
+        }
+        other => verdict(other, "unknown claim", false, "no predicate registered".to_string()),
+    }
+}
+
+/// Renders verdicts as a table.
+pub fn to_table(verdicts: &[ClaimVerdict]) -> Table {
+    let mut t = Table::new("Claim verification", &["id", "verdict", "claim", "measured"]);
+    for v in verdicts {
+        t.push([
+            v.id.clone().into(),
+            if v.pass { "PASS" } else { "FAIL" }.into(),
+            v.claim.clone().into(),
+            v.detail.clone().into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_all_passes_in_quick_mode() {
+        let cfg = ExperimentConfig::quick(123_456);
+        let verdicts = verify_all(&cfg).unwrap();
+        assert_eq!(verdicts.len(), experiments::all().len());
+        for v in &verdicts {
+            assert!(v.pass, "claim {} failed: {}", v.id, v.detail);
+        }
+        let table = to_table(&verdicts);
+        assert_eq!(table.rows().len(), verdicts.len());
+        assert!(table.to_text().contains("PASS"));
+    }
+
+    #[test]
+    fn unknown_claim_fails_closed() {
+        let v = check("not-a-claim", &[]);
+        assert!(!v.pass);
+    }
+}

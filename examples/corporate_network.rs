@@ -1,0 +1,70 @@
+//! Corporate voting: liquid democracy under bounded connectivity.
+//!
+//! The paper motivates local mechanisms with "corporate or social network
+//! settings where voters might be unwilling to delegate to users that are
+//! unfamiliar to them a priori" (§1.1). This example models an
+//! organisation where each employee knows only a bounded number of
+//! colleagues (Δ ≤ k — Theorem 4's class) and where everyone knows at
+//! least a working group (δ ≥ k — Theorem 5's class), and shows both
+//! theorems' mechanisms earning their strong positive gain.
+//!
+//! ```text
+//! cargo run --release --example corporate_network
+//! ```
+
+use liquid_democracy::core::distributions::CompetencyDistribution;
+use liquid_democracy::core::gain::estimate_gain;
+use liquid_democracy::core::mechanisms::{ApprovalThreshold, MinDegreeFraction};
+use liquid_democracy::core::{ProblemInstance, Restriction};
+use liquid_democracy::graph::{generators, properties};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 600;
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Competencies hover just below a coin flip: the org gets hard
+    // questions wrong slightly more often than right (PC = a).
+    let dist = CompetencyDistribution::AroundHalf { a: 0.05, spread: 0.15 };
+
+    // --- Theorem 4's world: bounded maximum degree -----------------------
+    let cap = 20;
+    let bounded = generators::random_bounded_degree(n, cap, n * cap / 4, &mut rng)?;
+    let inst_bounded = ProblemInstance::new(bounded, dist.sample(n, &mut rng)?, 0.1)?;
+    assert!(Restriction::MaxDegree { k: cap }.check(&inst_bounded));
+    let est = estimate_gain(&inst_bounded, &ApprovalThreshold::new(1), 64, &mut rng)?;
+    println!("Δ ≤ {cap} org chart ({} employees):", n);
+    println!("  P[direct] = {:.4}", est.p_direct());
+    println!("  P[delegation] = {:.4}  → gain {:+.4}", est.p_mechanism(), est.gain());
+    println!(
+        "  max weight {:.1} (Δ bounds any sink's reach), longest chain {:.1}\n",
+        est.mean_max_weight(),
+        est.mean_longest_chain()
+    );
+
+    // --- Theorem 5's world: bounded minimum degree -----------------------
+    let floor = (n as f64).sqrt() as usize;
+    let min_deg = generators::random_min_degree(n, floor, &mut rng)?;
+    println!(
+        "δ ≥ {floor} working-group graph (average degree {:.1}):",
+        properties::average_degree(&min_deg)
+    );
+    let inst_min = ProblemInstance::new(min_deg, dist.sample(n, &mut rng)?, 0.1)?;
+    assert!(Restriction::MinDegree { k: floor }.check(&inst_min));
+    let est = estimate_gain(&inst_min, &MinDegreeFraction::quarter(), 64, &mut rng)?;
+    println!("  P[direct] = {:.4}", est.p_direct());
+    println!("  P[delegation] = {:.4}  → gain {:+.4}", est.p_mechanism(), est.gain());
+    println!(
+        "  quarter rule: delegate iff ≥ 1/4 of colleagues are approved \
+         ({:.0} of {} employees delegated)",
+        est.mean_delegators(),
+        n
+    );
+
+    println!(
+        "\nBoth topologies avoid structural degree asymmetry, which is exactly \
+         the paper's criterion for liquid democracy being possible."
+    );
+    Ok(())
+}

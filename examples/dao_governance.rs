@@ -1,0 +1,74 @@
+//! DAO governance: liquid democracy on a scale-free delegation network.
+//!
+//! Blockchain DAOs are one of the paper's motivating deployments (§1),
+//! and its discussion (§6) singles out Barabási–Albert graphs as the
+//! model for checking whether real networks satisfy Lemma 5's max-weight
+//! condition. This example simulates a token-holder community on a BA
+//! network, compares a healthy uniform-delegation rule against the
+//! power-concentrating greedy rule, and applies the weight cap that
+//! on-chain governance systems can enforce mechanically.
+//!
+//! ```text
+//! cargo run --release --example dao_governance
+//! ```
+
+use liquid_democracy::core::distributions::CompetencyDistribution;
+use liquid_democracy::core::gain::estimate_gain;
+use liquid_democracy::core::mechanisms::{
+    ApprovalThreshold, GreedyMax, Mechanism, WeightCapped,
+};
+use liquid_democracy::core::ProblemInstance;
+use liquid_democracy::graph::{generators, properties};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1000;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // A preferential-attachment "who follows whom" graph: a few
+    // high-degree whales, a long tail of small holders.
+    let graph = generators::barabasi_albert(n, 3, &mut rng)?;
+    println!(
+        "DAO network: {} members, {} edges, structural asymmetry Δ/δ = {:.1}",
+        graph.n(),
+        graph.m(),
+        properties::structural_asymmetry(&graph)
+    );
+
+    // Members are informed to varying degrees about the proposal; nobody
+    // is clueless or omniscient (bounded competency — Lemma 3's regime).
+    let profile =
+        CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 }.sample(n, &mut rng)?;
+    let instance = ProblemInstance::new(graph, profile, 0.05)?;
+    println!("P[direct vote passes correctly] = {:.4}\n", instance.direct_voting_probability()?);
+
+    let cap = (n as f64).sqrt() as usize;
+    let mechanisms: Vec<Box<dyn Mechanism + Sync>> = vec![
+        Box::new(ApprovalThreshold::new(1)),
+        Box::new(GreedyMax),
+        Box::new(WeightCapped::new(GreedyMax, cap)),
+    ];
+
+    println!(
+        "{:<42} {:>9} {:>12} {:>13}",
+        "mechanism", "gain", "max weight", "delegators"
+    );
+    for mech in &mechanisms {
+        let est = estimate_gain(&instance, mech.as_ref(), 64, &mut rng)?;
+        println!(
+            "{:<42} {:>+9.4} {:>12.1} {:>13.1}",
+            mech.name(),
+            est.gain(),
+            est.mean_max_weight(),
+            est.mean_delegators()
+        );
+    }
+
+    println!(
+        "\nLemma 5 comfort zone: max sink weight ≲ √n = {cap}. Mechanisms that keep \
+         weights below it cannot asymptotically harm the DAO; unbounded \
+         concentration (the greedy whale-following rule) risks the Figure 1 failure."
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Topology tour: the same electorate and mechanism on every graph family
+//! the paper studies — and on the one it warns about.
+//!
+//! The punchline of the paper is that *graph topology decides* whether
+//! liquid democracy is possible. The tour runs two regimes:
+//!
+//! * a **contested** electorate (mean competency below 1/2): direct voting
+//!   fails, and delegation rescues the decision on every topology — even a
+//!   dictatorship beats a coin-flipping crowd;
+//! * a **competent** electorate (everyone above 1/2): direct voting is
+//!   already near-perfect, so the only question is *harm* — and only the
+//!   structurally asymmetric star harms, by collapsing the outcome onto
+//!   one hub (Figure 1's lesson).
+//!
+//! ```text
+//! cargo run --release --example topology_tour
+//! ```
+
+use liquid_democracy::core::gain::estimate_gain;
+use liquid_democracy::core::mechanisms::ApprovalThreshold;
+use liquid_democracy::core::{CompetencyProfile, ProblemInstance};
+use liquid_democracy::graph::{generators, properties, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn topologies(n: usize, rng: &mut StdRng) -> Result<Vec<(&'static str, Graph)>, Box<dyn std::error::Error>> {
+    Ok(vec![
+        ("complete K_n", generators::complete(n)),
+        ("random 16-regular", generators::random_regular(n, 16, rng)?),
+        ("bounded degree Δ ≤ 12", generators::random_bounded_degree(n, 12, n * 3, rng)?),
+        ("min degree δ ≥ 20", generators::random_min_degree(n, 20, rng)?),
+        ("Watts-Strogatz small world", generators::watts_strogatz(n, 16, 0.1, rng)?),
+        ("Barabási-Albert scale-free", generators::barabasi_albert(n, 3, rng)?),
+        ("star (Figure 1)", generators::star(n)),
+    ])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 400;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mechanism = ApprovalThreshold::new(1);
+
+    let regimes: [(&str, CompetencyProfile); 2] = [
+        ("contested electorate (mean < 1/2): delegation rescues every topology",
+         CompetencyProfile::linear(n, 0.30, 0.66)?),
+        ("competent electorate (all > 1/2): only the star harms",
+         CompetencyProfile::linear(n, 0.52, 0.70)?),
+    ];
+
+    for (title, profile) in regimes {
+        println!("— {title}\n");
+        println!(
+            "{:<28} {:>8} {:>10} {:>9} {:>12} {:>8}",
+            "topology", "Δ/δ", "P[direct]", "gain", "max weight", "gini"
+        );
+        for (name, graph) in topologies(n, &mut rng)? {
+            let asym = properties::structural_asymmetry(&graph);
+            let instance = ProblemInstance::new(graph, profile.clone(), 0.05)?;
+            let est = estimate_gain(&instance, &mechanism, 48, &mut rng)?;
+            println!(
+                "{:<28} {:>8.1} {:>10.4} {:>+9.4} {:>12.1} {:>8.3}",
+                name,
+                asym,
+                est.p_direct(),
+                est.gain(),
+                est.mean_max_weight(),
+                est.mean_weight_gini()
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Reading guide: in the contested regime delegation gains everywhere — the\n\
+         theorems' SPG. In the competent regime the symmetric topologies do no harm\n\
+         (gain ≈ 0) while the star's concentrated weight (gini → 1) drags the gain\n\
+         negative: exactly the variance story the paper's title refers to."
+    );
+    Ok(())
+}

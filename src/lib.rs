@@ -1,0 +1,63 @@
+//! # `liquid-democracy` — when is liquid democracy possible?
+//!
+//! A production-quality Rust implementation and experimental reproduction of
+//! Chatterjee, Gilbert, Schmid, Svoboda and Yeo, *When is Liquid Democracy
+//! Possible? On the Manipulation of Variance* (PODC 2025).
+//!
+//! Liquid democracy lets each voter either cast their ballot directly or
+//! delegate it — transitively — to a neighbour in a social graph. The paper
+//! asks when *local* delegation mechanisms beat direct voting, and answers:
+//! on graph families without much structural degree asymmetry (complete,
+//! random `d`-regular, bounded-degree, bounded-min-degree graphs), simple
+//! local mechanisms achieve **strong positive gain** while **doing no
+//! harm**, because those topologies preserve enough *variance* in the
+//! voting outcome to avoid dictatorships.
+//!
+//! This facade crate re-exports the four workspace layers:
+//!
+//! * [`graph`] (`ld-graph`) — voter-network substrate: graph types,
+//!   generators for every topology in the paper, structural properties.
+//! * [`prob`] (`ld-prob`) — probability substrate: exact weighted
+//!   Poisson-binomial tallies, `erf`/normal machinery, Chernoff/Hoeffding
+//!   bounds, and the paper's novel *recycle sampling* model.
+//! * [`core`] (`ld-core`) — the model itself: problem instances, graph
+//!   restrictions, local delegation mechanisms (Algorithms 1 and 2, the
+//!   min-degree rule, abstention and weighted-majority extensions),
+//!   delegation-graph resolution, exact gain computation, and empirical
+//!   verdicts for the paper's desiderata (DNH / PG / SPG).
+//! * [`sim`] (`ld-sim`) — a deterministic parallel Monte Carlo engine plus
+//!   one experiment per figure/lemma/theorem of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use liquid_democracy::core::{
+//!     CompetencyProfile, ProblemInstance,
+//!     mechanisms::{ApprovalThreshold, DirectVoting},
+//!     gain::estimate_gain,
+//! };
+//! use liquid_democracy::graph::generators;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 64 voters on a complete graph, competencies spread around 1/2.
+//! let graph = generators::complete(64);
+//! let profile = CompetencyProfile::linear(64, 0.35, 0.65)?;
+//! let instance = ProblemInstance::new(graph, profile, 0.05)?;
+//!
+//! // Algorithm 1 with threshold j(n) = 8, against direct voting.
+//! let mechanism = ApprovalThreshold::new(8);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let gain = estimate_gain(&instance, &mechanism, 256, &mut rng)?;
+//! println!("gain over direct voting: {:+.4}", gain.gain());
+//! # let _ = DirectVoting;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ld_core as core;
+pub use ld_graph as graph;
+pub use ld_prob as prob;
+pub use ld_sim as sim;

@@ -1,0 +1,45 @@
+//! Integration test: every registered experiment runs end to end in quick
+//! mode, produces non-empty tables, and serializes.
+
+use liquid_democracy::sim::experiments::{self, ExperimentConfig};
+use liquid_democracy::sim::report;
+
+#[test]
+fn all_experiments_run_in_quick_mode() {
+    let cfg = ExperimentConfig::quick(424242);
+    let mut results = Vec::new();
+    for info in experiments::all() {
+        let result = report::run_experiment(&info, &cfg)
+            .unwrap_or_else(|e| panic!("experiment {} failed: {e}", info.id));
+        assert!(!result.tables.is_empty(), "{} produced no tables", info.id);
+        for t in &result.tables {
+            assert!(!t.rows().is_empty(), "{}: table {:?} empty", info.id, t.title());
+            assert!(!t.to_text().is_empty());
+            assert!(!t.to_csv().is_empty());
+        }
+        results.push(result);
+    }
+    // The whole run renders to markdown and JSON.
+    let md = report::to_markdown(&results);
+    assert!(md.contains("fig1") && md.contains("ext-networks"));
+    let json = serde_json::to_string(&results).unwrap();
+    assert!(json.len() > 1000);
+}
+
+#[test]
+fn experiments_are_deterministic_under_fixed_seed() {
+    let cfg = ExperimentConfig::quick(7);
+    let info = experiments::find("fig1").unwrap();
+    let a = report::run_experiment(&info, &cfg).unwrap();
+    let b = report::run_experiment(&info, &cfg).unwrap();
+    assert_eq!(a.tables, b.tables);
+}
+
+#[test]
+fn seeds_change_randomized_experiments() {
+    // thm2 uses sampled profiles: different seeds, different tables.
+    let info = experiments::find("thm2").unwrap();
+    let a = report::run_experiment(&info, &ExperimentConfig::quick(1)).unwrap();
+    let b = report::run_experiment(&info, &ExperimentConfig::quick(2)).unwrap();
+    assert_ne!(a.tables, b.tables);
+}
