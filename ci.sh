@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# The tier-1 gate: build, test, lint. CI and pre-merge both run exactly this.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> ci.sh: all green"

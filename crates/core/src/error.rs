@@ -44,6 +44,20 @@ pub enum CoreError {
     Prob(ld_prob::ProbError),
     /// An error propagated from the graph substrate.
     Graph(ld_graph::GraphError),
+    /// A computation was stopped before completing (wall-clock or trial
+    /// budget expired, or an external cancellation request).
+    Interrupted {
+        /// What ran out or who asked to stop.
+        reason: String,
+    },
+    /// A computation was quarantined by a fault-tolerant harness after
+    /// repeated panics or errors at the same parameter point.
+    Quarantined {
+        /// The parameter point (experiment id, size, seed) that failed.
+        point: String,
+        /// The recorded panic/error message.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -67,6 +81,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::Prob(e) => write!(f, "probability error: {e}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Interrupted { reason } => write!(f, "interrupted: {reason}"),
+            CoreError::Quarantined { point, reason } => {
+                write!(f, "quarantined {point}: {reason}")
+            }
         }
     }
 }
@@ -105,6 +123,11 @@ mod tests {
             (CoreError::UnsortedCompetencies { index: 4 }, "index 4"),
             (CoreError::SizeMismatch { graph_n: 5, profile_n: 6 }, "5 vertices"),
             (CoreError::CyclicDelegation, "cycle"),
+            (CoreError::Interrupted { reason: "wall budget".into() }, "wall budget"),
+            (
+                CoreError::Quarantined { point: "thm2/n=64".into(), reason: "panic".into() },
+                "thm2/n=64",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err} missing {needle}");

@@ -6,21 +6,38 @@
 //! repro fig1 thm2              # run a subset
 //! repro all --quick            # smaller sizes / fewer trials
 //! repro all --seed 7 --json results.json
+//! repro all --max-wall 3600    # budget: degrade gracefully after 1 h
+//! repro --resume results/checkpoints/repro-seed<seed>-full.json
 //! ```
+//!
+//! Runs are fault tolerant: each experiment executes under panic
+//! isolation with seeded retries, failures are quarantined rather than
+//! aborting the run, and a versioned checkpoint is written after every
+//! completed experiment so `--resume` continues a killed run
+//! bit-identically.
 
+use ld_sim::checkpoint::{self, RunCheckpoint};
 use ld_sim::experiments::{self, ExperimentConfig};
-use ld_sim::report;
+use ld_sim::harness::{Harness, PointStatus, QuarantineEntry, RunBudget};
+use ld_sim::report::{self, ExperimentResult};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     ids: Vec<String>,
     list: bool,
     quick: bool,
-    seed: u64,
+    seed: Option<u64>,
     workers: Option<usize>,
     json: Option<PathBuf>,
     csv_dir: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    no_checkpoint: bool,
+    max_wall: Option<f64>,
+    max_retries: u32,
+    fail_fast: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,10 +45,16 @@ fn parse_args() -> Result<Args, String> {
         ids: Vec::new(),
         list: false,
         quick: false,
-        seed: ExperimentConfig::default().seed,
+        seed: None,
         workers: None,
         json: None,
         csv_dir: None,
+        resume: None,
+        checkpoint_dir: None,
+        no_checkpoint: false,
+        max_wall: None,
+        max_retries: 2,
+        fail_fast: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -40,7 +63,7 @@ fn parse_args() -> Result<Args, String> {
             "--quick" | "-q" => args.quick = true,
             "--seed" | "-s" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
-                args.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
             }
             "--workers" | "-w" => {
                 let v = iter.next().ok_or("--workers needs a value")?;
@@ -54,9 +77,30 @@ fn parse_args() -> Result<Args, String> {
                 let v = iter.next().ok_or("--csv-dir needs a directory")?;
                 args.csv_dir = Some(PathBuf::from(v));
             }
+            "--resume" => {
+                let v = iter.next().ok_or("--resume needs a checkpoint path")?;
+                args.resume = Some(PathBuf::from(v));
+            }
+            "--checkpoint-dir" => {
+                let v = iter.next().ok_or("--checkpoint-dir needs a directory")?;
+                args.checkpoint_dir = Some(PathBuf::from(v));
+            }
+            "--no-checkpoint" => args.no_checkpoint = true,
+            "--max-wall" => {
+                let v = iter.next().ok_or("--max-wall needs seconds")?;
+                args.max_wall =
+                    Some(v.parse().map_err(|_| format!("bad wall budget {v:?}"))?);
+            }
+            "--max-retries" => {
+                let v = iter.next().ok_or("--max-retries needs a count")?;
+                args.max_retries = v.parse().map_err(|_| format!("bad retry count {v:?}"))?;
+            }
+            "--fail-fast" => args.fail_fast = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--list] [--quick] [--seed N] [--workers N] [--json PATH] [--csv-dir DIR] \
+                    "usage: repro [--list] [--quick] [--seed N] [--workers N] [--json PATH] \
+                     [--csv-dir DIR] [--resume CKPT] [--checkpoint-dir DIR] [--no-checkpoint] \
+                     [--max-wall SECS] [--max-retries N] [--fail-fast] \
                      <id>... | all | verify | sweep ..."
                 );
                 std::process::exit(0);
@@ -69,16 +113,27 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// Handles `repro sweep --topology T --mechanism M --profile P --sizes S
-/// [--alpha A] [--trials N]`. Flags are re-read from the raw argv because
-/// the sweep flags are subcommand-specific.
-fn run_sweep_command(cfg: &ld_sim::experiments::ExperimentConfig) -> ExitCode {
-    use ld_sim::sweep::{run_sweep, MechanismSpec, SweepSpec, TopologySpec};
+/// [--alpha A] [--trials N] [--checkpoint PATH] [--resume PATH]
+/// [--max-wall SECS] [--max-trials-per-point N] [--min-trials N]
+/// [--max-retries N] [--inject-panic N]`. Flags are re-read from the raw
+/// argv because the sweep flags are subcommand-specific.
+fn run_sweep_command(cfg: &ExperimentConfig) -> ExitCode {
+    use ld_sim::sweep::{
+        run_sweep_resumable, run_sweep_resumable_with, MechanismSpec, SweepSpec, TopologySpec,
+    };
     let mut topology = None;
     let mut mechanism = None;
     let mut profile = None;
     let mut sizes = None;
     let mut alpha = 0.05f64;
     let mut trials = 48u64;
+    let mut checkpoint_path: Option<PathBuf> = None;
+    let mut resume_path: Option<PathBuf> = None;
+    let mut max_wall: Option<f64> = None;
+    let mut max_trials_per_point: Option<u64> = None;
+    let mut min_trials = 1u64;
+    let mut max_retries = 2u32;
+    let mut inject_panic: Option<usize> = None;
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 0;
     while i < argv.len() {
@@ -90,6 +145,19 @@ fn run_sweep_command(cfg: &ld_sim::experiments::ExperimentConfig) -> ExitCode {
             "--sizes" => sizes = next(i).cloned(),
             "--alpha" => alpha = next(i).and_then(|v| v.parse().ok()).unwrap_or(alpha),
             "--trials" => trials = next(i).and_then(|v| v.parse().ok()).unwrap_or(trials),
+            "--checkpoint" => checkpoint_path = next(i).map(PathBuf::from),
+            "--resume" => resume_path = next(i).map(PathBuf::from),
+            "--max-wall" => max_wall = next(i).and_then(|v| v.parse().ok()),
+            "--max-trials-per-point" => {
+                max_trials_per_point = next(i).and_then(|v| v.parse().ok());
+            }
+            "--min-trials" => {
+                min_trials = next(i).and_then(|v| v.parse().ok()).unwrap_or(min_trials);
+            }
+            "--max-retries" => {
+                max_retries = next(i).and_then(|v| v.parse().ok()).unwrap_or(max_retries);
+            }
+            "--inject-panic" => inject_panic = next(i).and_then(|v| v.parse().ok()),
             _ => {
                 i += 1;
                 continue;
@@ -101,7 +169,9 @@ fn run_sweep_command(cfg: &ld_sim::experiments::ExperimentConfig) -> ExitCode {
                  mindegree:k|ba:m|ws:k,beta|er:p> --mechanism <direct|algorithm1:j|\
                  algorithm2:d,j|quarter|greedy|probabilistic:q|abstain:q|weighted:k|capped:w> \
                  --profile <uniform:lo,hi|aroundhalf:a,spread|twopoint:lo,hi,frac|normal:m,sd> \
-                 --sizes n1,n2,... [--alpha A] [--trials N]";
+                 --sizes n1,n2,... [--alpha A] [--trials N] [--checkpoint PATH] [--resume PATH] \
+                 [--max-wall SECS] [--max-trials-per-point N] [--min-trials N] [--max-retries N] \
+                 [--inject-panic N]";
     let (Some(t), Some(m), Some(p), Some(s)) = (topology, mechanism, profile, sizes) else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -116,9 +186,59 @@ fn run_sweep_command(cfg: &ld_sim::experiments::ExperimentConfig) -> ExitCode {
             trials,
         })
     })();
-    match spec.and_then(|spec| run_sweep(&spec, &cfg.engine(777))) {
-        Ok(table) => {
-            print!("{}", table.to_text());
+    // Resuming writes back to the same file unless --checkpoint overrides.
+    if checkpoint_path.is_none() {
+        checkpoint_path.clone_from(&resume_path);
+    }
+    let budget = RunBudget {
+        max_wall_secs: max_wall,
+        max_trials_per_point,
+        min_trials_for_report: min_trials,
+    };
+    let mut harness = Harness::new().with_budget(budget).with_max_retries(max_retries);
+    let engine = cfg.engine(777);
+    let outcome = spec.and_then(|spec| {
+        let resume = match &resume_path {
+            Some(path) => Some(checkpoint::load(path)?),
+            None => None,
+        };
+        match inject_panic {
+            Some(n) => {
+                let faulty =
+                    PanicInjection { inner: spec.mechanism.build()?, panic_at: n };
+                run_sweep_resumable_with(
+                    &spec,
+                    &faulty,
+                    &engine,
+                    &mut harness,
+                    checkpoint_path.as_deref(),
+                    resume,
+                )
+            }
+            None => run_sweep_resumable(
+                &spec,
+                &engine,
+                &mut harness,
+                checkpoint_path.as_deref(),
+                resume,
+            ),
+        }
+    });
+    match outcome {
+        Ok(outcome) => {
+            print!("{}", outcome.to_table().to_text());
+            report_quarantine(&outcome.quarantine);
+            if !outcome.fully_complete() {
+                let degraded = outcome
+                    .points
+                    .iter()
+                    .filter(|p| !p.outcome.status.is_complete())
+                    .count();
+                eprintln!(
+                    "warning: {degraded}/{} point(s) truncated or degraded (see status column)",
+                    outcome.points.len()
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -126,6 +246,49 @@ fn run_sweep_command(cfg: &ld_sim::experiments::ExperimentConfig) -> ExitCode {
             eprintln!("{usage}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// A maintenance aid (`repro sweep --inject-panic N`): wraps the real
+/// mechanism and panics at instance size `N`, for demonstrating and
+/// testing the harness's quarantine path end to end.
+struct PanicInjection {
+    inner: Box<dyn ld_core::mechanisms::Mechanism + Sync>,
+    panic_at: usize,
+}
+
+impl ld_core::mechanisms::Mechanism for PanicInjection {
+    fn act(
+        &self,
+        instance: &ld_core::ProblemInstance,
+        voter: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> ld_core::delegation::Action {
+        assert_ne!(instance.n(), self.panic_at, "injected panic at n = {}", self.panic_at);
+        self.inner.act(instance, voter, rng)
+    }
+
+    fn run(
+        &self,
+        instance: &ld_core::ProblemInstance,
+        rng: &mut dyn rand::RngCore,
+    ) -> ld_core::delegation::DelegationGraph {
+        assert_ne!(instance.n(), self.panic_at, "injected panic at n = {}", self.panic_at);
+        self.inner.run(instance, rng)
+    }
+
+    fn name(&self) -> String {
+        format!("inject-panic-{}({})", self.panic_at, self.inner.name())
+    }
+}
+
+fn report_quarantine(entries: &[QuarantineEntry]) {
+    if entries.is_empty() {
+        return;
+    }
+    eprintln!("quarantine log ({} failure(s)):", entries.len());
+    for q in entries {
+        eprintln!("  {q}");
     }
 }
 
@@ -161,24 +324,67 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.list || args.ids.is_empty() {
+    if args.list || (args.ids.is_empty() && args.resume.is_none()) {
         println!("available experiments:");
         for info in experiments::all() {
             println!("  {:<14} {:<36} {}", info.id, info.paper_ref, info.description);
         }
-        if args.ids.is_empty() && !args.list {
+        if args.ids.is_empty() && args.resume.is_none() && !args.list {
             println!("\nrun with: repro all  (or a list of ids)");
         }
         return ExitCode::SUCCESS;
     }
 
-    let mut cfg = ExperimentConfig { seed: args.seed, quick: args.quick, ..Default::default() };
-    if let Some(w) = args.workers {
-        cfg.workers = w;
-    }
+    // Resolve the run plan: either fresh from the command line, or from a
+    // checkpoint whose configuration the command line must not contradict
+    // (resume promises bit-identical estimates).
+    let (cfg, planned_ids, completed, mut quarantine) = if let Some(path) = &args.resume {
+        if !args.ids.is_empty() {
+            eprintln!("error: --resume takes its experiment list from the checkpoint; \
+                       drop the ids from the command line");
+            return ExitCode::FAILURE;
+        }
+        let ck: RunCheckpoint = match checkpoint::load(path) {
+            Ok(ck) => ck,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.seed.is_some_and(|s| s != ck.seed)
+            || args.workers.is_some_and(|w| w != ck.workers)
+            || (args.quick && !ck.quick)
+        {
+            eprintln!(
+                "error: --seed/--workers/--quick contradict the checkpoint \
+                 (it was recorded with seed {}, {} workers, quick = {}); \
+                 resume adopts the checkpointed configuration",
+                ck.seed, ck.workers, ck.quick
+            );
+            return ExitCode::FAILURE;
+        }
+        (ck.config(), ck.ids.clone(), ck.completed, ck.quarantine)
+    } else {
+        let mut cfg = ExperimentConfig { quick: args.quick, ..Default::default() };
+        if let Some(seed) = args.seed {
+            cfg.seed = seed;
+        }
+        if let Some(w) = args.workers {
+            cfg.workers = w;
+        }
+        let ids: Vec<String> = if args.ids.iter().any(|id| id == "all") {
+            experiments::ids().into_iter().map(str::to_string).collect()
+        } else {
+            args.ids.clone()
+        };
+        (cfg, ids, Vec::new(), Vec::new())
+    };
 
-    if args.ids.iter().any(|id| id == "verify") {
-        eprintln!("verifying every paper claim ({} mode) ...", if cfg.quick { "quick" } else { "full" });
+    if planned_ids.iter().any(|id| id == "verify") {
+        eprintln!(
+            "verifying every paper claim ({} mode) ...",
+            if cfg.quick { "quick" } else { "full" }
+        );
         match ld_sim::verify::verify_all(&cfg) {
             Ok(verdicts) => {
                 print!("{}", ld_sim::verify::to_table(&verdicts).to_text());
@@ -197,11 +403,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let infos: Vec<_> = if args.ids.iter().any(|id| id == "all") {
-        experiments::all()
-    } else {
+    let infos = {
         let mut selected = Vec::new();
-        for id in &args.ids {
+        for id in &planned_ids {
             match experiments::find(id) {
                 Ok(info) => selected.push(info),
                 Err(e) => {
@@ -213,17 +417,66 @@ fn main() -> ExitCode {
         selected
     };
 
-    let mut results = Vec::new();
+    let checkpoint_path: Option<PathBuf> = if args.no_checkpoint {
+        None
+    } else if let Some(path) = &args.resume {
+        Some(path.clone())
+    } else {
+        let dir =
+            args.checkpoint_dir.clone().unwrap_or_else(|| PathBuf::from(checkpoint::DEFAULT_DIR));
+        Some(RunCheckpoint::default_path(&dir, &cfg))
+    };
+
+    let start = Instant::now();
+    let wall_expired =
+        |start: &Instant| args.max_wall.is_some_and(|max| start.elapsed().as_secs_f64() >= max);
+
+    let mut results: Vec<ExperimentResult> = Vec::new();
     for info in &infos {
+        if let Some(done) = completed.iter().find(|r| r.id == info.id) {
+            eprintln!("skipping {} (already completed in checkpoint) ...", info.id);
+            print!("{}", report::to_markdown(std::slice::from_ref(done)));
+            results.push(done.clone());
+            continue;
+        }
+        if wall_expired(&start) {
+            eprintln!("wall budget expired; truncating {} ({})", info.id, info.paper_ref);
+            results.push(ExperimentResult {
+                id: info.id.to_string(),
+                paper_ref: info.paper_ref.to_string(),
+                tables: Vec::new(),
+                runtime_ms: 0,
+                status: PointStatus::Truncated { trials_done: 0 },
+            });
+            continue;
+        }
         eprintln!("running {} ({}) ...", info.id, info.paper_ref);
-        match report::run_experiment(info, &cfg) {
-            Ok(result) => {
-                print!("{}", report::to_markdown(std::slice::from_ref(&result)));
-                results.push(result);
-            }
-            Err(e) => {
-                eprintln!("error in {}: {e}", info.id);
+        let (result, mut new_quarantine) =
+            report::run_experiment_isolated(info, &cfg, args.max_retries);
+        quarantine.append(&mut new_quarantine);
+        if !result.status.is_complete() {
+            eprintln!("warning: {} did not complete: {}", info.id, result.status.tag());
+            if args.fail_fast {
+                report_quarantine(&quarantine);
                 return ExitCode::FAILURE;
+            }
+        }
+        print!("{}", report::to_markdown(std::slice::from_ref(&result)));
+        results.push(result);
+        if let Some(path) = &checkpoint_path {
+            // Wall-truncated experiments are deliberately NOT recorded as
+            // completed, so a later --resume reruns them.
+            let mut ck = RunCheckpoint::new(&cfg, &planned_ids);
+            ck.completed = results
+                .iter()
+                .filter(|r| !matches!(r.status, PointStatus::Truncated { .. }))
+                .cloned()
+                .collect();
+            ck.quarantine.clone_from(&quarantine);
+            if let Err(e) = checkpoint::save(&ck, path) {
+                eprintln!("warning: could not write checkpoint {}: {e}", path.display());
+            } else {
+                eprintln!("checkpoint: {}", path.display());
             }
         }
     }
@@ -242,6 +495,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
+    }
+
+    report_quarantine(&quarantine);
+    let incomplete = results.iter().filter(|r| !r.status.is_complete()).count();
+    if incomplete > 0 {
+        eprintln!(
+            "warning: {incomplete}/{} experiment(s) degraded or truncated; \
+             the report above tags them honestly",
+            results.len()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,305 @@
+//! Versioned JSON checkpoints: kill a long run, resume it bit-identically.
+//!
+//! Two checkpoint shapes exist, both carrying a `version` field that is
+//! checked on load:
+//!
+//! * [`RunCheckpoint`] — written by `repro` after each completed
+//!   experiment; `repro --resume <path>` skips completed experiment ids.
+//!   Experiments derive unrelated seed streams from the master seed, so
+//!   skipping completed ones cannot perturb the rest: the resumed run's
+//!   estimates are bit-identical to an uninterrupted run with the same
+//!   `(seed, trials, workers)`.
+//! * [`SweepCheckpoint`] — written by `repro sweep --checkpoint <path>`
+//!   after each completed parameter point, carrying the point's
+//!   [`GainEstimate`](ld_core::gain::GainEstimate) and status plus the
+//!   quarantine log.
+//!
+//! Files are written atomically (temp file + rename), so a run killed
+//! mid-write never leaves a torn checkpoint behind.
+
+use crate::error::{Result, SimError};
+use crate::experiments::ExperimentConfig;
+use crate::harness::{PointResult, QuarantineEntry};
+use crate::report::ExperimentResult;
+use crate::sweep::SweepSpec;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The current checkpoint format version; bumped on incompatible changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The default checkpoint directory, relative to the working directory.
+pub const DEFAULT_DIR: &str = "results/checkpoints";
+
+/// A checkpoint of a multi-experiment `repro` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunCheckpoint {
+    /// Format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Quick mode flag.
+    pub quick: bool,
+    /// The full planned experiment id list, in order.
+    pub ids: Vec<String>,
+    /// Results of experiments completed so far (including degraded ones).
+    pub completed: Vec<ExperimentResult>,
+    /// Every failure recorded so far.
+    pub quarantine: Vec<QuarantineEntry>,
+}
+
+impl RunCheckpoint {
+    /// An empty checkpoint for a fresh run.
+    pub fn new(cfg: &ExperimentConfig, ids: &[String]) -> Self {
+        RunCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seed: cfg.seed,
+            workers: cfg.workers,
+            quick: cfg.quick,
+            ids: ids.to_vec(),
+            completed: Vec::new(),
+            quarantine: Vec::new(),
+        }
+    }
+
+    /// The experiment configuration this checkpoint was produced under.
+    pub fn config(&self) -> ExperimentConfig {
+        ExperimentConfig { seed: self.seed, workers: self.workers, quick: self.quick }
+    }
+
+    /// True if `id` already has a recorded result.
+    pub fn is_done(&self, id: &str) -> bool {
+        self.completed.iter().any(|r| r.id == id)
+    }
+
+    /// Planned ids without a recorded result yet, in plan order.
+    pub fn remaining(&self) -> Vec<String> {
+        self.ids.iter().filter(|id| !self.is_done(id)).cloned().collect()
+    }
+
+    /// The default checkpoint file name for a run configuration.
+    pub fn default_path(dir: &Path, cfg: &ExperimentConfig) -> PathBuf {
+        let mode = if cfg.quick { "quick" } else { "full" };
+        dir.join(format!("repro-seed{}-{mode}.json", cfg.seed))
+    }
+}
+
+/// A checkpoint of a single parameter sweep (`repro sweep`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Engine master seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// The sweep specification (must match exactly on resume).
+    pub spec: SweepSpec,
+    /// Points completed so far, with their estimates and statuses.
+    pub completed: Vec<PointResult>,
+    /// Every failure recorded so far.
+    pub quarantine: Vec<QuarantineEntry>,
+}
+
+impl SweepCheckpoint {
+    /// An empty checkpoint for a fresh sweep.
+    pub fn new(spec: &SweepSpec, seed: u64, workers: usize) -> Self {
+        SweepCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seed,
+            workers,
+            spec: spec.clone(),
+            completed: Vec::new(),
+            quarantine: Vec::new(),
+        }
+    }
+
+    /// Verifies that resuming under `(spec, seed, workers)` reproduces the
+    /// run this checkpoint belongs to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] naming the first mismatching field.
+    pub fn check_matches(&self, spec: &SweepSpec, seed: u64, workers: usize) -> Result<()> {
+        let mismatch = |what: &str| -> SimError {
+            SimError::Checkpoint {
+                reason: format!(
+                    "cannot resume: {what} differs from the checkpointed run \
+                     (resume must reproduce the original run bit-identically)"
+                ),
+            }
+        };
+        if self.spec != *spec {
+            return Err(mismatch("sweep specification"));
+        }
+        if self.seed != seed {
+            return Err(mismatch("seed"));
+        }
+        if self.workers != workers {
+            return Err(mismatch("worker count"));
+        }
+        Ok(())
+    }
+}
+
+/// Serializes `value` to `path` atomically (temp file + rename), creating
+/// parent directories as needed.
+///
+/// # Errors
+///
+/// Returns [`SimError::Checkpoint`] on serialization failure and
+/// [`SimError::Io`] on filesystem failure.
+pub fn save<T: Serialize>(value: &T, path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| SimError::Checkpoint { reason: format!("serialize: {e}") })?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a checkpoint from `path`, verifying the `version` field before
+/// deserializing the full structure.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] if the file cannot be read and
+/// [`SimError::Checkpoint`] for malformed JSON or a version mismatch.
+pub fn load<T: DeserializeOwned>(path: &Path) -> Result<T> {
+    let text = std::fs::read_to_string(path)?;
+    let value: serde_json::Value = serde_json::from_str(&text).map_err(|e| {
+        SimError::Checkpoint { reason: format!("{}: not valid JSON: {e}", path.display()) }
+    })?;
+    let version = value.get("version").and_then(serde_json::Value::as_u64).unwrap_or(0);
+    if version != u64::from(CHECKPOINT_VERSION) {
+        return Err(SimError::Checkpoint {
+            reason: format!(
+                "{}: unsupported checkpoint version {version} (this build reads version {})",
+                path.display(),
+                CHECKPOINT_VERSION
+            ),
+        });
+    }
+    serde_json::from_value(value).map_err(|e| SimError::Checkpoint {
+        reason: format!("{}: malformed checkpoint: {e}", path.display()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{PointOutcome, PointStatus};
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            topology: crate::sweep::TopologySpec::Complete,
+            mechanism: crate::sweep::MechanismSpec::Algorithm1 { j: 1 },
+            profile: ld_core::distributions::CompetencyDistribution::Uniform {
+                lo: 0.35,
+                hi: 0.65,
+            },
+            alpha: 0.05,
+            sizes: vec![16, 24],
+            trials: 8,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ld-sim-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn sweep_checkpoint_roundtrip() {
+        let mut ck = SweepCheckpoint::new(&spec(), 42, 2);
+        ck.completed.push(PointResult {
+            index: 0,
+            n: 16,
+            seed: 7,
+            trials: 8,
+            outcome: PointOutcome { estimate: None, status: PointStatus::Complete },
+        });
+        ck.quarantine.push(QuarantineEntry {
+            run_id: "sweep".into(),
+            point: "n=16".into(),
+            seed: 7,
+            attempt: 0,
+            message: "boom".into(),
+        });
+        let path = tmp("roundtrip.json");
+        save(&ck, &path).unwrap();
+        let back: SweepCheckpoint = load(&path).unwrap();
+        assert_eq!(back, ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut ck = SweepCheckpoint::new(&spec(), 1, 1);
+        ck.version = CHECKPOINT_VERSION + 1;
+        let path = tmp("badversion.json");
+        save(&ck, &path).unwrap();
+        let err = load::<SweepCheckpoint>(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_is_a_checkpoint_error_not_a_panic() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(
+            load::<SweepCheckpoint>(&path),
+            Err(SimError::Checkpoint { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(load::<SweepCheckpoint>(&path), Err(SimError::Io(_))));
+    }
+
+    #[test]
+    fn resume_mismatches_are_named() {
+        let ck = SweepCheckpoint::new(&spec(), 42, 2);
+        assert!(ck.check_matches(&spec(), 42, 2).is_ok());
+        assert!(ck.check_matches(&spec(), 43, 2).unwrap_err().to_string().contains("seed"));
+        assert!(ck
+            .check_matches(&spec(), 42, 4)
+            .unwrap_err()
+            .to_string()
+            .contains("worker"));
+        let mut other = spec();
+        other.trials = 99;
+        assert!(ck
+            .check_matches(&other, 42, 2)
+            .unwrap_err()
+            .to_string()
+            .contains("specification"));
+    }
+
+    #[test]
+    fn run_checkpoint_tracks_remaining() {
+        let cfg = ExperimentConfig::quick(5);
+        let ids: Vec<String> = vec!["fig1".into(), "thm2".into()];
+        let mut ck = RunCheckpoint::new(&cfg, &ids);
+        assert_eq!(ck.remaining(), ids);
+        assert_eq!(ck.config(), cfg);
+        ck.completed.push(ExperimentResult {
+            id: "fig1".into(),
+            paper_ref: "Figure 1".into(),
+            tables: vec![],
+            runtime_ms: 1,
+            status: PointStatus::Complete,
+        });
+        assert!(ck.is_done("fig1"));
+        assert_eq!(ck.remaining(), vec!["thm2".to_string()]);
+        let path = RunCheckpoint::default_path(Path::new("results/checkpoints"), &cfg);
+        assert!(path.to_string_lossy().contains("seed5"));
+        assert!(path.to_string_lossy().contains("quick"));
+    }
+}

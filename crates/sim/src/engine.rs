@@ -50,12 +50,14 @@ impl Engine {
 
     /// Overrides the worker count (1 = sequential).
     ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
+    /// A worker count of 0 is meaningless; rather than panicking (which
+    /// would abort a long sweep over a config typo) it is clamped to 1 and
+    /// a warning is logged to stderr.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        assert!(workers > 0, "worker count must be positive");
-        self.workers = workers;
+        if workers == 0 {
+            eprintln!("ld-sim: engine: worker count 0 clamped to 1 (sequential)");
+        }
+        self.workers = workers.max(1);
         self
     }
 
@@ -86,7 +88,9 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates tallying errors from any worker.
+    /// Propagates tallying errors from any worker. A panic inside a worker
+    /// thread (e.g. from a buggy [`Mechanism`]) is captured and surfaced as
+    /// [`crate::SimError::WorkerPanic`] instead of aborting the process.
     pub fn estimate_gain(
         &self,
         instance: &ProblemInstance,
@@ -105,7 +109,7 @@ impl Engine {
         }
         let combined = Mutex::new(empty_estimate(instance, self.tie)?);
         let failure: Mutex<Option<ld_core::CoreError>> = Mutex::new(None);
-        crossbeam::thread::scope(|scope| {
+        let scope_result = crossbeam::thread::scope(|scope| {
             for w in 0..workers {
                 let share =
                     trials / workers as u64 + u64::from((trials % workers as u64) > w as u64);
@@ -133,8 +137,15 @@ impl Engine {
                     combined.lock().merge(&local);
                 });
             }
-        })
-        .expect("worker threads do not panic");
+        });
+        // `parking_lot` mutexes do not poison, so a panicking worker leaves
+        // the accumulators readable; the scope's Err carries the payload of
+        // the first panic, which we surface as a typed error value.
+        if let Err(payload) = scope_result {
+            return Err(crate::SimError::WorkerPanic {
+                message: crate::error::panic_message(&*payload),
+            });
+        }
         if let Some(err) = failure.into_inner() {
             return Err(err.into());
         }
@@ -222,9 +233,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_workers_rejected() {
-        let _ = Engine::new(1).with_workers(0);
+    fn zero_workers_clamped_to_one() {
+        let engine = Engine::new(1).with_workers(0);
+        assert_eq!(engine.workers(), 1);
+        let inst = instance(8);
+        let est = engine.estimate_gain(&inst, &DirectVoting, 4).unwrap();
+        assert_eq!(est.trials(), 4);
+    }
+
+    #[test]
+    fn panicking_mechanism_surfaces_as_error_in_parallel_path() {
+        struct Bomb;
+        impl ld_core::mechanisms::Mechanism for Bomb {
+            fn act(
+                &self,
+                _instance: &ProblemInstance,
+                _voter: usize,
+                _rng: &mut dyn rand::RngCore,
+            ) -> ld_core::delegation::Action {
+                panic!("bomb went off")
+            }
+            fn name(&self) -> String {
+                "bomb".to_string()
+            }
+        }
+        let inst = instance(8);
+        let err = Engine::new(1).with_workers(4).estimate_gain(&inst, &Bomb, 8).unwrap_err();
+        assert!(
+            matches!(err, crate::SimError::WorkerPanic { ref message } if message.contains("bomb")),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -28,6 +28,18 @@ pub enum SimError {
         /// Human-readable description.
         reason: String,
     },
+    /// A Monte Carlo worker thread panicked; the panic payload is captured
+    /// so the caller sees an error value instead of a process abort.
+    WorkerPanic {
+        /// The panic message (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// A checkpoint file could not be read, was produced by an
+    /// incompatible version, or does not match the requested run.
+    Checkpoint {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +51,10 @@ impl fmt::Display for SimError {
             SimError::UnknownExperiment { id } => write!(f, "unknown experiment id {id:?}"),
             SimError::Io(e) => write!(f, "io error: {e}"),
             SimError::Config { reason } => write!(f, "configuration error: {reason}"),
+            SimError::WorkerPanic { message } => {
+                write!(f, "worker thread panicked: {message}")
+            }
+            SimError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
         }
     }
 }
@@ -79,6 +95,21 @@ impl From<std::io::Error> for SimError {
     }
 }
 
+/// Extracts a human-readable message from a panic payload (as returned by
+/// `std::panic::catch_unwind` or a crossbeam scope join).
+///
+/// Panics raised with `panic!("...")` carry `&str` or `String` payloads;
+/// anything else is reported as an opaque payload rather than lost.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +122,21 @@ mod tests {
         let u = SimError::UnknownExperiment { id: "nope".into() };
         assert!(u.to_string().contains("nope"));
         assert!(u.source().is_none());
+        let w = SimError::WorkerPanic { message: "boom".into() };
+        assert!(w.to_string().contains("boom"));
+        assert!(w.source().is_none());
+        let c = SimError::Checkpoint { reason: "version 99".into() };
+        assert!(c.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let caught = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(&*caught), "plain str");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(&*caught), "formatted 7");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42_i32)).unwrap_err();
+        assert_eq!(panic_message(&*caught), "non-string panic payload");
     }
 
     #[test]

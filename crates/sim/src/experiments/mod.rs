@@ -83,8 +83,15 @@ impl ExperimentConfig {
 }
 
 /// Metadata and runner for one experiment.
+///
+/// Experiments are the *resumable units* of a `repro` run: each derives
+/// all of its RNG streams from the master seed (never from run order), so
+/// a checkpointed run may skip any completed subset and still reproduce
+/// the remaining experiments bit-identically. The `id` doubles as the
+/// stable checkpoint key — renaming one invalidates old checkpoints.
 pub struct ExperimentInfo {
-    /// Stable id used on the `repro` command line.
+    /// Stable id used on the `repro` command line and as the checkpoint
+    /// key for resumable runs.
     pub id: &'static str,
     /// Which paper artifact this regenerates.
     pub paper_ref: &'static str,
@@ -202,6 +209,12 @@ pub fn all() -> Vec<ExperimentInfo> {
     ]
 }
 
+/// The stable ids of all experiments, in paper order (the checkpoint keys
+/// used by `repro --resume`).
+pub fn ids() -> Vec<&'static str> {
+    all().into_iter().map(|e| e.id).collect()
+}
+
 /// Looks up an experiment by id.
 ///
 /// # Errors
@@ -230,6 +243,8 @@ mod tests {
         }
         assert_eq!(infos.len(), 17);
         assert!(find("nope").is_err());
+        assert_eq!(ids().len(), infos.len());
+        assert_eq!(ids()[0], "fig1");
     }
 
     #[test]

@@ -1,0 +1,714 @@
+//! The fault-tolerant run harness: trial-level panic isolation, seeded
+//! retries, quarantine, and budgeted graceful degradation.
+//!
+//! Long Monte Carlo sweeps must not lose hours of work to one panicking
+//! trial or one slow parameter point. The harness wraps the deterministic
+//! [`Engine`] so that:
+//!
+//! * every parameter point runs under [`std::panic::catch_unwind`]; a
+//!   panicking (or erroring) point is recorded into a quarantine log and
+//!   retried with a fresh derived seed, up to a configurable limit, before
+//!   being marked [`PointStatus::Degraded`];
+//! * a [`RunBudget`] bounds wall-clock time and per-point trials; when the
+//!   budget expires mid-sweep the remaining points are tagged
+//!   [`PointStatus::Truncated`] instead of silently missing;
+//! * an untroubled run is **bit-identical** to the plain
+//!   [`crate::experiments::support::gain_sweep`] path: the first attempt
+//!   at each point uses exactly the seeds the plain path would use, so
+//!   checkpoint/resume (see [`crate::checkpoint`]) reproduces the same
+//!   estimates.
+
+use crate::engine::Engine;
+use crate::error::panic_message;
+use crate::experiments::support::Family;
+use crate::table::Table;
+use ld_core::gain::GainEstimate;
+use ld_core::mechanisms::Mechanism;
+use serde::{Deserialize, Serialize};
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Salt mixed into retry seeds so retried attempts draw from streams
+/// unrelated to the first (deterministic) attempt.
+const RETRY_SALT: u64 = 0xFA17_707E;
+
+/// How completely a parameter point was measured.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PointStatus {
+    /// All requested trials ran.
+    #[default]
+    Complete,
+    /// Fewer trials than requested ran (trial cap or expired wall budget).
+    Truncated {
+        /// Trials actually accumulated into the estimate (0 = never ran).
+        trials_done: u64,
+    },
+    /// The point failed every attempt and carries no estimate.
+    Degraded {
+        /// The last recorded panic or error message.
+        reason: String,
+    },
+}
+
+impl PointStatus {
+    /// True if all requested trials ran.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, PointStatus::Complete)
+    }
+
+    /// A short tag for result tables (`ok`, `TRUNCATED(k)`, `DEGRADED: …`).
+    pub fn tag(&self) -> String {
+        match self {
+            PointStatus::Complete => "ok".to_string(),
+            PointStatus::Truncated { trials_done } => format!("TRUNCATED({trials_done})"),
+            PointStatus::Degraded { reason } => format!("DEGRADED: {reason}"),
+        }
+    }
+}
+
+impl std::fmt::Display for PointStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.tag())
+    }
+}
+
+/// One quarantined failure: enough to reproduce it in isolation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The run this failure belongs to (experiment id or sweep label).
+    pub run_id: String,
+    /// The parameter point (e.g. `n=256`).
+    pub point: String,
+    /// The engine seed of the failing attempt.
+    pub seed: u64,
+    /// Attempt number (0 = first, deterministic attempt).
+    pub attempt: u32,
+    /// The captured panic payload or error message.
+    pub message: String,
+}
+
+impl std::fmt::Display for QuarantineEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} (seed {:#x}, attempt {}): {}",
+            self.run_id, self.point, self.seed, self.attempt, self.message
+        )
+    }
+}
+
+/// Wall-clock and trial budgets for a run.
+///
+/// `None` means unbounded. `min_trials_for_report` is the honesty floor:
+/// a point that cannot be afforded at least this many trials is reported
+/// as [`PointStatus::Degraded`] rather than as a noise-dominated estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunBudget {
+    /// Maximum wall-clock seconds for the whole run.
+    pub max_wall_secs: Option<f64>,
+    /// Cap on trials per parameter point.
+    pub max_trials_per_point: Option<u64>,
+    /// Minimum trials below which an estimate is not worth reporting.
+    pub min_trials_for_report: u64,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget { max_wall_secs: None, max_trials_per_point: None, min_trials_for_report: 1 }
+    }
+}
+
+/// The estimate (if any) and status of one harnessed computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointOutcome {
+    /// The estimate; `None` when the point never completed an attempt.
+    pub estimate: Option<GainEstimate>,
+    /// How completely the point was measured.
+    pub status: PointStatus,
+}
+
+/// One parameter point of a fault-tolerant sweep, keyed by its index so a
+/// resumed run can skip it without perturbing later points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Position in the size list (determines all derived seeds).
+    pub index: usize,
+    /// Instance size at this point.
+    pub n: usize,
+    /// The engine seed of the first attempt at this point.
+    pub seed: u64,
+    /// Requested trials.
+    pub trials: u64,
+    /// Estimate and status.
+    pub outcome: PointOutcome,
+}
+
+/// A complete fault-tolerant sweep: per-point results plus the quarantine
+/// log of every failure encountered along the way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Human-readable sweep title.
+    pub title: String,
+    /// One entry per size, in order.
+    pub points: Vec<PointResult>,
+    /// Every recorded failure (also present for points that later
+    /// succeeded on retry).
+    pub quarantine: Vec<QuarantineEntry>,
+}
+
+impl SweepOutcome {
+    /// True if every point completed all requested trials.
+    pub fn fully_complete(&self) -> bool {
+        self.points.iter().all(|p| p.outcome.status.is_complete())
+    }
+
+    /// Renders the sweep as the standard gain-and-structure table with a
+    /// trailing `status` column; partial runs carry an explanatory note so
+    /// they are never mistaken for full data.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            &self.title,
+            &[
+                "n",
+                "P[direct]",
+                "P[mech]",
+                "gain",
+                "delegators/n",
+                "sinks",
+                "max weight",
+                "chain",
+                "status",
+            ],
+        );
+        for p in &self.points {
+            match &p.outcome.estimate {
+                Some(est) => table.push([
+                    p.n.into(),
+                    est.p_direct().into(),
+                    est.p_mechanism().into(),
+                    est.gain().into(),
+                    (est.mean_delegators() / p.n as f64).into(),
+                    est.mean_sinks().into(),
+                    est.mean_max_weight().into(),
+                    est.mean_longest_chain().into(),
+                    p.outcome.status.tag().into(),
+                ]),
+                None => table.push([
+                    p.n.into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    p.outcome.status.tag().into(),
+                ]),
+            }
+        }
+        if !self.fully_complete() {
+            let degraded =
+                self.points.iter().filter(|p| !p.outcome.status.is_complete()).count();
+            table.set_note(format!(
+                "PARTIAL: {degraded}/{} point(s) truncated or degraded; {} quarantined failure(s)",
+                self.points.len(),
+                self.quarantine.len()
+            ));
+        }
+        table
+    }
+}
+
+/// The fault-tolerant run harness. See the module docs for the contract.
+#[derive(Debug)]
+pub struct Harness {
+    budget: RunBudget,
+    max_retries: u32,
+    start: Instant,
+    quarantine: Vec<QuarantineEntry>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// A harness with no budget and the default retry limit (2 retries,
+    /// i.e. up to 3 attempts per point).
+    pub fn new() -> Self {
+        Harness {
+            budget: RunBudget::default(),
+            max_retries: 2,
+            start: Instant::now(),
+            quarantine: Vec::new(),
+        }
+    }
+
+    /// Sets the run budget. The wall clock starts at harness creation.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the retry limit (retries beyond the first attempt).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+
+    /// Seconds elapsed since the harness was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// True if the wall-clock budget has expired.
+    pub fn wall_expired(&self) -> bool {
+        self.budget.max_wall_secs.is_some_and(|max| self.elapsed_secs() >= max)
+    }
+
+    /// Every failure recorded so far.
+    pub fn quarantine(&self) -> &[QuarantineEntry] {
+        &self.quarantine
+    }
+
+    /// Pre-loads quarantine entries from a resumed checkpoint so the final
+    /// log covers the whole logical run.
+    pub fn preload_quarantine(&mut self, entries: Vec<QuarantineEntry>) {
+        let mut entries = entries;
+        entries.append(&mut self.quarantine);
+        self.quarantine = entries;
+    }
+
+    /// Runs one computation under panic isolation with seeded retries.
+    ///
+    /// Attempt 0 uses `engine` exactly as given, so an untroubled harnessed
+    /// run is bit-identical to an unharnessed one; retries derive fresh
+    /// seeds via [`Engine::reseeded`]. Trials are clamped to the budget's
+    /// per-point cap (status [`PointStatus::Truncated`]); a point that
+    /// cannot afford `min_trials_for_report` trials, or that fails every
+    /// attempt, is [`PointStatus::Degraded`].
+    pub fn run_point(
+        &mut self,
+        run_id: &str,
+        point: &str,
+        engine: &Engine,
+        instance: &ld_core::ProblemInstance,
+        mechanism: &(dyn Mechanism + Sync),
+        trials: u64,
+    ) -> PointOutcome {
+        if self.wall_expired() {
+            return PointOutcome {
+                estimate: None,
+                status: PointStatus::Truncated { trials_done: 0 },
+            };
+        }
+        let mut requested = trials;
+        let mut truncated = false;
+        if let Some(cap) = self.budget.max_trials_per_point {
+            if cap < trials {
+                requested = cap;
+                truncated = true;
+            }
+        }
+        if requested < self.budget.min_trials_for_report {
+            return PointOutcome {
+                estimate: None,
+                status: PointStatus::Degraded {
+                    reason: format!(
+                        "trial cap {requested} below min_trials_for_report {}",
+                        self.budget.min_trials_for_report
+                    ),
+                },
+            };
+        }
+        let mut last_message = String::new();
+        for attempt in 0..=self.max_retries {
+            let e = if attempt == 0 {
+                *engine
+            } else {
+                engine.reseeded(RETRY_SALT.wrapping_add(u64::from(attempt)))
+            };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                e.estimate_gain(instance, mechanism, requested)
+            }));
+            match result {
+                Ok(Ok(est)) => {
+                    let status = if truncated {
+                        PointStatus::Truncated { trials_done: requested }
+                    } else {
+                        PointStatus::Complete
+                    };
+                    return PointOutcome { estimate: Some(est), status };
+                }
+                Ok(Err(err)) => last_message = err.to_string(),
+                Err(payload) => last_message = panic_message(&*payload),
+            }
+            self.quarantine.push(QuarantineEntry {
+                run_id: run_id.to_string(),
+                point: point.to_string(),
+                seed: e.seed(),
+                attempt,
+                message: last_message.clone(),
+            });
+            if self.wall_expired() {
+                break;
+            }
+        }
+        PointOutcome {
+            estimate: None,
+            status: PointStatus::Degraded {
+                reason: format!("all attempts failed; last: {last_message}"),
+            },
+        }
+    }
+
+    /// Runs one indexed point of a sweep: generates the instance (itself
+    /// under panic isolation, with seeded retries) and estimates the gain.
+    ///
+    /// The first attempt reproduces [`gain_sweep`]'s seeding exactly:
+    /// instance seed `engine.seed() + index` and point engine
+    /// `engine.reseeded(index)`.
+    ///
+    /// [`gain_sweep`]: crate::experiments::support::gain_sweep
+    pub fn run_indexed_point(
+        &mut self,
+        run_id: &str,
+        engine: &Engine,
+        family: Family<'_>,
+        mechanism: &(dyn Mechanism + Sync),
+        index: usize,
+        n: usize,
+        trials: u64,
+    ) -> PointResult {
+        let point_label = format!("n={n}");
+        let instance_seed = engine.seed().wrapping_add(index as u64);
+        let point_engine = engine.reseeded(index as u64);
+        let result = |outcome: PointOutcome| PointResult {
+            index,
+            n,
+            seed: point_engine.seed(),
+            trials,
+            outcome,
+        };
+        if self.wall_expired() {
+            return result(PointOutcome {
+                estimate: None,
+                status: PointStatus::Truncated { trials_done: 0 },
+            });
+        }
+        // Instance generation can panic or error too (degenerate profiles,
+        // infeasible graph parameters); isolate and retry it the same way.
+        let mut instance = None;
+        let mut last_message = String::new();
+        for attempt in 0..=self.max_retries {
+            let seed = if attempt == 0 {
+                instance_seed
+            } else {
+                ld_prob::rng::split_seed(
+                    instance_seed,
+                    RETRY_SALT.wrapping_add(u64::from(attempt)),
+                )
+            };
+            match panic::catch_unwind(AssertUnwindSafe(|| family(n, seed))) {
+                Ok(Ok(inst)) => {
+                    instance = Some(inst);
+                    break;
+                }
+                Ok(Err(err)) => last_message = err.to_string(),
+                Err(payload) => last_message = panic_message(&*payload),
+            }
+            self.quarantine.push(QuarantineEntry {
+                run_id: run_id.to_string(),
+                point: point_label.clone(),
+                seed,
+                attempt,
+                message: format!("instance generation: {last_message}"),
+            });
+        }
+        let Some(instance) = instance else {
+            return result(PointOutcome {
+                estimate: None,
+                status: PointStatus::Degraded {
+                    reason: format!("instance generation failed: {last_message}"),
+                },
+            });
+        };
+        let outcome =
+            self.run_point(run_id, &point_label, &point_engine, &instance, mechanism, trials);
+        result(outcome)
+    }
+}
+
+/// Runs a fault-tolerant sweep over `sizes`.
+///
+/// `prior` holds points already computed by an earlier (interrupted) run —
+/// typically loaded from a [`crate::checkpoint::SweepCheckpoint`] — keyed
+/// by index; they are reused verbatim. `on_point` is invoked after each
+/// *newly computed* point with the results and quarantine log so far (the
+/// checkpoint hook); an error from it aborts the sweep.
+///
+/// # Errors
+///
+/// Propagates only `on_point` (checkpoint I/O) errors: simulation failures
+/// are captured as [`PointStatus::Degraded`] entries, not errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_fault_tolerant(
+    harness: &mut Harness,
+    run_id: &str,
+    title: &str,
+    engine: &Engine,
+    family: Family<'_>,
+    mechanism: &(dyn Mechanism + Sync),
+    sizes: &[usize],
+    trials: u64,
+    prior: Vec<PointResult>,
+    mut on_point: impl FnMut(&[PointResult], &[QuarantineEntry]) -> crate::error::Result<()>,
+) -> crate::error::Result<SweepOutcome> {
+    let mut points: Vec<PointResult> = Vec::with_capacity(sizes.len());
+    for (index, &n) in sizes.iter().enumerate() {
+        if let Some(done) = prior.iter().find(|p| p.index == index && p.n == n) {
+            points.push(done.clone());
+            continue;
+        }
+        let point = harness.run_indexed_point(run_id, engine, family, mechanism, index, n, trials);
+        points.push(point);
+        on_point(&points, harness.quarantine())?;
+    }
+    Ok(SweepOutcome {
+        title: title.to_string(),
+        points,
+        quarantine: harness.quarantine().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::delegation::Action;
+    use ld_core::mechanisms::{ApprovalThreshold, DirectVoting};
+    use ld_core::ProblemInstance;
+    use ld_graph::generators;
+
+    fn family(n: usize, seed: u64) -> crate::error::Result<ProblemInstance> {
+        let mut rng = ld_prob::rng::stream_rng(seed, 0);
+        let profile = ld_core::distributions::CompetencyDistribution::Uniform {
+            lo: 0.35,
+            hi: 0.65,
+        }
+        .sample(n, &mut rng)?;
+        Ok(ProblemInstance::new(generators::complete(n), profile, 0.05)?)
+    }
+
+    /// Panics whenever the instance has exactly `n` voters.
+    struct PanicAt {
+        n: usize,
+    }
+
+    impl Mechanism for PanicAt {
+        fn act(
+            &self,
+            instance: &ProblemInstance,
+            voter: usize,
+            rng: &mut dyn rand::RngCore,
+        ) -> Action {
+            assert_ne!(instance.n(), self.n, "injected panic at n = {}", self.n);
+            ApprovalThreshold::new(1).act(instance, voter, rng)
+        }
+        fn name(&self) -> String {
+            format!("panic-at-{}", self.n)
+        }
+    }
+
+    #[test]
+    fn untroubled_harnessed_sweep_matches_plain_gain_sweep() {
+        let engine = Engine::new(11).with_workers(2);
+        let mech = ApprovalThreshold::new(1);
+        let sizes = [16usize, 24];
+        let plain = crate::experiments::support::gain_sweep(
+            "plain",
+            &engine,
+            &family as Family<'_>,
+            &mech,
+            &sizes,
+            12,
+        )
+        .unwrap();
+        let mut harness = Harness::new();
+        let out = run_sweep_fault_tolerant(
+            &mut harness,
+            "test",
+            "harnessed",
+            &engine,
+            &family as Family<'_>,
+            &mech,
+            &sizes,
+            12,
+            Vec::new(),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        assert!(out.fully_complete());
+        assert!(out.quarantine.is_empty());
+        for (r, p) in out.points.iter().enumerate() {
+            let est = p.outcome.estimate.as_ref().unwrap();
+            assert_eq!(plain.value(r, 2), Some(est.p_mechanism()), "row {r}");
+            assert_eq!(plain.value(r, 3), Some(est.gain()), "row {r}");
+        }
+    }
+
+    #[test]
+    fn panicking_point_is_quarantined_and_sweep_continues() {
+        let engine = Engine::new(3).with_workers(1);
+        let mech = PanicAt { n: 24 };
+        let mut harness = Harness::new().with_max_retries(1);
+        let out = run_sweep_fault_tolerant(
+            &mut harness,
+            "test",
+            "poisoned",
+            &engine,
+            &family as Family<'_>,
+            &mech,
+            &[16, 24, 32],
+            8,
+            Vec::new(),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(out.points.len(), 3);
+        assert!(out.points[0].outcome.status.is_complete());
+        assert!(out.points[2].outcome.status.is_complete());
+        assert!(
+            matches!(out.points[1].outcome.status, PointStatus::Degraded { .. }),
+            "status: {:?}",
+            out.points[1].outcome.status
+        );
+        assert!(out.points[1].outcome.estimate.is_none());
+        // 2 attempts (1 retry), each quarantined, naming the point.
+        assert_eq!(out.quarantine.len(), 2);
+        assert!(out.quarantine.iter().all(|q| q.point == "n=24"));
+        assert!(out.quarantine[0].message.contains("injected panic"));
+        // Seeds of the two attempts differ (fresh derived seed on retry).
+        assert_ne!(out.quarantine[0].seed, out.quarantine[1].seed);
+        // The table renders a status column and a PARTIAL note.
+        let table = out.to_table();
+        let text = table.to_text();
+        assert!(text.contains("DEGRADED"));
+        assert!(text.contains("PARTIAL"));
+    }
+
+    #[test]
+    fn trial_cap_truncates_and_tags() {
+        let engine = Engine::new(5).with_workers(1);
+        let budget = RunBudget { max_trials_per_point: Some(4), ..RunBudget::default() };
+        let mut harness = Harness::new().with_budget(budget);
+        let inst = family(16, 1).unwrap();
+        let out = harness.run_point("t", "n=16", &engine, &inst, &DirectVoting, 100);
+        assert_eq!(out.status, PointStatus::Truncated { trials_done: 4 });
+        assert_eq!(out.estimate.unwrap().trials(), 4);
+    }
+
+    #[test]
+    fn sub_minimum_budget_degrades_instead_of_reporting_noise() {
+        let engine = Engine::new(5).with_workers(1);
+        let budget = RunBudget {
+            max_trials_per_point: Some(2),
+            min_trials_for_report: 8,
+            ..RunBudget::default()
+        };
+        let mut harness = Harness::new().with_budget(budget);
+        let inst = family(16, 1).unwrap();
+        let out = harness.run_point("t", "n=16", &engine, &inst, &DirectVoting, 100);
+        assert!(matches!(out.status, PointStatus::Degraded { .. }));
+        assert!(out.estimate.is_none());
+    }
+
+    #[test]
+    fn expired_wall_budget_truncates_remaining_points() {
+        let engine = Engine::new(5).with_workers(1);
+        let budget = RunBudget { max_wall_secs: Some(0.0), ..RunBudget::default() };
+        let mut harness = Harness::new().with_budget(budget);
+        let out = run_sweep_fault_tolerant(
+            &mut harness,
+            "t",
+            "expired",
+            &engine,
+            &family as Family<'_>,
+            &DirectVoting,
+            &[16, 24],
+            8,
+            Vec::new(),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        assert!(out
+            .points
+            .iter()
+            .all(|p| p.outcome.status == PointStatus::Truncated { trials_done: 0 }));
+        let text = out.to_table().to_text();
+        assert!(text.contains("TRUNCATED(0)"));
+    }
+
+    #[test]
+    fn prior_points_are_reused_verbatim() {
+        let engine = Engine::new(9).with_workers(2);
+        let mech = ApprovalThreshold::new(1);
+        let mut full_harness = Harness::new();
+        let full = run_sweep_fault_tolerant(
+            &mut full_harness,
+            "t",
+            "full",
+            &engine,
+            &family as Family<'_>,
+            &mech,
+            &[16, 24, 32],
+            8,
+            Vec::new(),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        // Resume with the first two points as prior: only index 2 reruns.
+        let prior = full.points[..2].to_vec();
+        let mut computed = 0;
+        let mut resumed_harness = Harness::new();
+        let resumed = run_sweep_fault_tolerant(
+            &mut resumed_harness,
+            "t",
+            "resumed",
+            &engine,
+            &family as Family<'_>,
+            &mech,
+            &[16, 24, 32],
+            8,
+            prior,
+            |_, _| {
+                computed += 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(computed, 1);
+        assert_eq!(resumed.points, full.points);
+    }
+
+    #[test]
+    fn status_serde_roundtrip() {
+        for status in [
+            PointStatus::Complete,
+            PointStatus::Truncated { trials_done: 7 },
+            PointStatus::Degraded { reason: "boom".into() },
+        ] {
+            let json = serde_json::to_string(&status).unwrap();
+            let back: PointStatus = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, status);
+        }
+        assert_eq!(PointStatus::default(), PointStatus::Complete);
+    }
+}

@@ -14,6 +14,13 @@
 //! * [`report`] — renders a full run into a markdown report and JSON
 //!   artifacts.
 //!
+//! * [`harness`] — the fault-tolerant run harness: trial-level panic
+//!   isolation (`catch_unwind` + quarantine + seeded retries), wall-clock
+//!   and trial budgets, and honest `Complete`/`Truncated`/`Degraded`
+//!   status tags on every estimate.
+//! * [`checkpoint`] — versioned JSON checkpoints written after every
+//!   completed parameter point; `repro --resume <path>` skips completed
+//!   work and reproduces bit-identical estimates.
 //! * [`verify`] — the acceptance suite: every claim as a PASS/FAIL
 //!   verdict (`repro verify`).
 //! * [`sweep`] — user-configurable topology × mechanism × distribution
@@ -34,11 +41,13 @@
 
 mod error;
 
+pub mod checkpoint;
 pub mod engine;
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod sweep;
 pub mod table;
 pub mod verify;
 
-pub use error::{Result, SimError};
+pub use error::{panic_message, Result, SimError};

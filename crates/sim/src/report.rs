@@ -1,9 +1,11 @@
 //! Rendering experiment runs into human- and machine-readable reports.
 
-use crate::error::Result;
+use crate::error::{panic_message, Result};
 use crate::experiments::{ExperimentConfig, ExperimentInfo};
+use crate::harness::{PointStatus, QuarantineEntry};
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
+use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
 
 /// The outcome of running one experiment.
@@ -17,6 +19,11 @@ pub struct ExperimentResult {
     pub tables: Vec<Table>,
     /// Wall-clock runtime in milliseconds.
     pub runtime_ms: u128,
+    /// How completely the experiment ran (`Complete` unless the
+    /// fault-tolerant path degraded or truncated it). Defaults to
+    /// `Complete` when reading pre-harness JSON.
+    #[serde(default)]
+    pub status: PointStatus,
 }
 
 /// Runs one experiment and captures its result.
@@ -32,7 +39,58 @@ pub fn run_experiment(info: &ExperimentInfo, cfg: &ExperimentConfig) -> Result<E
         paper_ref: info.paper_ref.to_string(),
         tables,
         runtime_ms: start.elapsed().as_millis(),
+        status: PointStatus::Complete,
     })
+}
+
+/// Runs one experiment under panic isolation with seeded retries.
+///
+/// A panicking or erroring experiment is recorded into the returned
+/// quarantine entries and retried with a fresh derived master seed (up to
+/// `max_retries` retries); if every attempt fails the result carries empty
+/// tables and [`PointStatus::Degraded`], and the run can continue with the
+/// remaining experiments. Attempt 0 uses `cfg` exactly as given, so an
+/// untroubled isolated run is bit-identical to [`run_experiment`].
+pub fn run_experiment_isolated(
+    info: &ExperimentInfo,
+    cfg: &ExperimentConfig,
+    max_retries: u32,
+) -> (ExperimentResult, Vec<QuarantineEntry>) {
+    let start = std::time::Instant::now();
+    let mut quarantine = Vec::new();
+    let mut last_message = String::new();
+    for attempt in 0..=max_retries {
+        let attempt_cfg = if attempt == 0 {
+            *cfg
+        } else {
+            ExperimentConfig {
+                seed: ld_prob::rng::split_seed(cfg.seed, 0xFA17_707E + u64::from(attempt)),
+                ..*cfg
+            }
+        };
+        match panic::catch_unwind(AssertUnwindSafe(|| run_experiment(info, &attempt_cfg))) {
+            Ok(Ok(result)) => return (result, quarantine),
+            Ok(Err(err)) => last_message = err.to_string(),
+            Err(payload) => last_message = panic_message(&*payload),
+        }
+        quarantine.push(QuarantineEntry {
+            run_id: info.id.to_string(),
+            point: info.paper_ref.to_string(),
+            seed: attempt_cfg.seed,
+            attempt,
+            message: last_message.clone(),
+        });
+    }
+    let degraded = ExperimentResult {
+        id: info.id.to_string(),
+        paper_ref: info.paper_ref.to_string(),
+        tables: Vec::new(),
+        runtime_ms: start.elapsed().as_millis(),
+        status: PointStatus::Degraded {
+            reason: format!("all attempts failed; last: {last_message}"),
+        },
+    };
+    (degraded, quarantine)
 }
 
 /// Renders results as a markdown report.
@@ -41,6 +99,9 @@ pub fn to_markdown(results: &[ExperimentResult]) -> String {
     out.push_str("# Reproduction report\n\n");
     for r in results {
         out.push_str(&format!("# {} — {} ({} ms)\n\n", r.id, r.paper_ref, r.runtime_ms));
+        if !r.status.is_complete() {
+            out.push_str(&format!("**[{}]**\n\n", r.status.tag()));
+        }
         for t in &r.tables {
             out.push_str(&t.to_text());
             out.push('\n');
@@ -55,8 +116,7 @@ pub fn to_markdown(results: &[ExperimentResult]) -> String {
 ///
 /// Returns an I/O error if the file cannot be written.
 pub fn write_json(results: &[ExperimentResult], path: &Path) -> Result<()> {
-    let json = serde_json::to_string_pretty(results)
-        .expect("experiment results serialize without error");
+    let json = serde_json::to_string_pretty(results).map_err(|e| crate::SimError::Io(e.into()))?;
     std::fs::write(path, json)?;
     Ok(())
 }
@@ -94,6 +154,39 @@ mod tests {
         let md = to_markdown(std::slice::from_ref(&result));
         assert!(md.contains("fig1"));
         assert!(md.contains("Figure 1"));
+    }
+
+    #[test]
+    fn isolated_run_matches_plain_run_when_untroubled() {
+        let info = experiments::find("fig1").unwrap();
+        let cfg = ExperimentConfig::quick(1);
+        let plain = run_experiment(&info, &cfg).unwrap();
+        let (isolated, quarantine) = run_experiment_isolated(&info, &cfg, 2);
+        assert!(quarantine.is_empty());
+        assert_eq!(isolated.status, PointStatus::Complete);
+        assert_eq!(isolated.tables, plain.tables);
+    }
+
+    #[test]
+    fn isolated_run_degrades_a_panicking_experiment() {
+        let info = ExperimentInfo {
+            id: "boom",
+            paper_ref: "none",
+            description: "always panics",
+            run: |_| panic!("kaboom"),
+        };
+        let cfg = ExperimentConfig::quick(1);
+        let (result, quarantine) = run_experiment_isolated(&info, &cfg, 1);
+        assert!(result.tables.is_empty());
+        assert!(
+            matches!(result.status, PointStatus::Degraded { ref reason } if reason.contains("kaboom"))
+        );
+        assert_eq!(quarantine.len(), 2);
+        assert_eq!(quarantine[0].run_id, "boom");
+        assert_eq!(quarantine[0].seed, cfg.seed);
+        assert_ne!(quarantine[1].seed, cfg.seed, "retry must use a fresh derived seed");
+        let md = to_markdown(std::slice::from_ref(&result));
+        assert!(md.contains("DEGRADED"), "markdown must tag degraded runs: {md}");
     }
 
     #[test]

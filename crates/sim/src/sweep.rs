@@ -12,10 +12,13 @@
 //!             --profile uniform:0.35,0.65 --sizes 64,128,256
 //! ```
 
+use crate::checkpoint::SweepCheckpoint;
 use crate::engine::Engine;
 use crate::error::{Result, SimError};
 use crate::experiments::support::{gain_sweep, Family};
+use crate::harness::{Harness, SweepOutcome};
 use crate::table::Table;
+use std::path::Path;
 use ld_core::distributions::CompetencyDistribution;
 use ld_core::mechanisms::{
     Abstaining, ApprovalThreshold, DirectVoting, GreedyMax, Mechanism, MinDegreeFraction,
@@ -276,6 +279,28 @@ impl SweepSpec {
         Ok(sizes)
     }
 
+    /// Generates the problem instance this spec induces at size `n` from
+    /// `seed` (shared by the plain and fault-tolerant sweep paths, so both
+    /// see bit-identical instances).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator and model-construction errors.
+    pub fn instance(&self, n: usize, seed: u64) -> Result<ProblemInstance> {
+        let mut rng = stream_rng(seed, 80);
+        let graph = self.topology.generate(n, &mut rng)?;
+        let prof = self.profile.sample(n, &mut rng)?;
+        Ok(ProblemInstance::new(graph, prof, self.alpha)?)
+    }
+
+    /// The human-readable sweep title used by both sweep paths.
+    pub fn title(&self) -> String {
+        format!(
+            "sweep: {:?} × {:?} × {:?}, alpha = {}",
+            self.topology, self.mechanism, self.profile, self.alpha
+        )
+    }
+
     /// Parses a profile spec `uniform:lo,hi` | `aroundhalf:a,spread` |
     /// `twopoint:lo,hi,frac` | `normal:mean,sd`.
     ///
@@ -318,25 +343,85 @@ impl SweepSpec {
 /// Propagates generation and engine errors.
 pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> Result<Table> {
     let mechanism = spec.mechanism.build()?;
-    let topology = spec.topology.clone();
-    let profile = spec.profile;
-    let alpha = spec.alpha;
-    let family = move |n: usize, seed: u64| -> Result<ProblemInstance> {
-        let mut rng = stream_rng(seed, 80);
-        let graph = topology.generate(n, &mut rng)?;
-        let prof = profile.sample(n, &mut rng)?;
-        Ok(ProblemInstance::new(graph, prof, alpha)?)
-    };
+    let family = |n: usize, seed: u64| spec.instance(n, seed);
     gain_sweep(
-        &format!(
-            "sweep: {:?} × {:?} × {:?}, alpha = {}",
-            spec.topology, spec.mechanism, spec.profile, spec.alpha
-        ),
+        &spec.title(),
         engine,
         &family as Family<'_>,
         mechanism.as_ref(),
         &spec.sizes,
         spec.trials,
+    )
+}
+
+/// Runs a sweep under the fault-tolerant [`Harness`]: panicking or
+/// erroring points are quarantined and retried rather than aborting the
+/// sweep, budgets truncate honestly, and (when `checkpoint_path` is set) a
+/// [`SweepCheckpoint`] is written atomically after every newly computed
+/// point so a killed run resumes where it left off.
+///
+/// Pass the previous run's checkpoint as `resume` to skip its completed
+/// points; the checkpoint must match `(spec, seed, workers)` exactly so
+/// the combined run is bit-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// Returns configuration, checkpoint-mismatch, and checkpoint-I/O errors.
+/// Simulation failures do *not* error: they surface as
+/// [`PointStatus::Degraded`](crate::harness::PointStatus) entries in the
+/// outcome.
+pub fn run_sweep_resumable(
+    spec: &SweepSpec,
+    engine: &Engine,
+    harness: &mut Harness,
+    checkpoint_path: Option<&Path>,
+    resume: Option<SweepCheckpoint>,
+) -> Result<SweepOutcome> {
+    let mechanism = spec.mechanism.build()?;
+    run_sweep_resumable_with(spec, mechanism.as_ref(), engine, harness, checkpoint_path, resume)
+}
+
+/// [`run_sweep_resumable`] with an explicit mechanism, so tests and the
+/// `--inject-panic` maintenance flag can substitute a faulty one while
+/// keeping the spec (and therefore the checkpoint identity) unchanged.
+///
+/// # Errors
+///
+/// See [`run_sweep_resumable`].
+pub fn run_sweep_resumable_with(
+    spec: &SweepSpec,
+    mechanism: &(dyn Mechanism + Sync),
+    engine: &Engine,
+    harness: &mut Harness,
+    checkpoint_path: Option<&Path>,
+    resume: Option<SweepCheckpoint>,
+) -> Result<SweepOutcome> {
+    let prior = match resume {
+        Some(ck) => {
+            ck.check_matches(spec, engine.seed(), engine.workers())?;
+            harness.preload_quarantine(ck.quarantine);
+            ck.completed
+        }
+        None => Vec::new(),
+    };
+    let family = |n: usize, seed: u64| spec.instance(n, seed);
+    crate::harness::run_sweep_fault_tolerant(
+        harness,
+        "sweep",
+        &spec.title(),
+        engine,
+        &family as Family<'_>,
+        mechanism,
+        &spec.sizes,
+        spec.trials,
+        prior,
+        |points, quarantine| {
+            let Some(path) = checkpoint_path else { return Ok(()) };
+            let mut ck = SweepCheckpoint::new(spec, engine.seed(), engine.workers());
+            ck.completed = points.to_vec();
+            ck.quarantine = quarantine.to_vec();
+            crate::checkpoint::save(&ck, path)
+        },
     )
 }
 
@@ -402,6 +487,53 @@ mod tests {
         assert_eq!(table.rows().len(), 2);
         // Below-half profile on a regular graph: delegation should gain.
         assert!(table.value(1, 3).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn resumable_sweep_matches_plain_and_resumes_bit_identically() {
+        let spec = SweepSpec {
+            topology: TopologySpec::Complete,
+            mechanism: MechanismSpec::Algorithm1 { j: 1 },
+            profile: CompetencyDistribution::Uniform { lo: 0.35, hi: 0.6 },
+            alpha: 0.05,
+            sizes: vec![16, 24, 32],
+            trials: 8,
+        };
+        let engine = Engine::new(7).with_workers(2);
+        let plain = run_sweep(&spec, &engine).unwrap();
+        let path = std::env::temp_dir()
+            .join(format!("ld-sim-sweep-ckpt-{}.json", std::process::id()));
+        let mut harness = Harness::new();
+        let full =
+            run_sweep_resumable(&spec, &engine, &mut harness, Some(&path), None).unwrap();
+        assert!(full.fully_complete());
+        for (r, p) in full.points.iter().enumerate() {
+            let est = p.outcome.estimate.as_ref().unwrap();
+            assert_eq!(plain.value(r, 2), Some(est.p_mechanism()), "row {r}");
+        }
+        // Simulate a kill after the first point: rewind the checkpoint.
+        let mut ck: SweepCheckpoint = crate::checkpoint::load(&path).unwrap();
+        ck.completed.truncate(1);
+        crate::checkpoint::save(&ck, &path).unwrap();
+        let resume: SweepCheckpoint = crate::checkpoint::load(&path).unwrap();
+        let mut harness2 = Harness::new();
+        let resumed =
+            run_sweep_resumable(&spec, &engine, &mut harness2, Some(&path), Some(resume))
+                .unwrap();
+        assert_eq!(resumed.points, full.points, "resume must be bit-identical");
+        // A mismatching resume is rejected.
+        let stale: SweepCheckpoint = crate::checkpoint::load(&path).unwrap();
+        let other_engine = Engine::new(8).with_workers(2);
+        let err = run_sweep_resumable(
+            &spec,
+            &other_engine,
+            &mut Harness::new(),
+            None,
+            Some(stale),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("resume"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub struct Table {
     title: String,
     columns: Vec<String>,
     rows: Vec<Vec<Cell>>,
+    /// An honesty annotation (e.g. "PARTIAL: budget expired"), rendered
+    /// under the title so degraded data is never mistaken for full data.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    note: Option<String>,
 }
 
 impl Table {
@@ -88,7 +92,20 @@ impl Table {
             title: title.to_string(),
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            note: None,
         }
+    }
+
+    /// Attaches an annotation rendered under the title (see
+    /// [`Table::note`]); used by the fault-tolerant harness to mark
+    /// partial results.
+    pub fn set_note(&mut self, note: String) {
+        self.note = Some(note);
+    }
+
+    /// The annotation, if any.
+    pub fn note(&self) -> Option<&str> {
+        self.note.as_deref()
     }
 
     /// Appends a row.
@@ -162,6 +179,9 @@ impl Table {
         }
         let mut out = String::new();
         out.push_str(&format!("## {}\n", self.title));
+        if let Some(note) = &self.note {
+            out.push_str(&format!("[{note}]\n"));
+        }
         let header: Vec<String> = self
             .columns
             .iter()
@@ -281,5 +301,19 @@ mod tests {
         let json = t.to_json();
         let back: Table = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn note_renders_and_roundtrips() {
+        let mut t = sample();
+        assert_eq!(t.note(), None);
+        t.set_note("PARTIAL: wall budget expired".to_string());
+        assert!(t.to_text().contains("[PARTIAL: wall budget expired]"));
+        let back: Table = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(back.note(), Some("PARTIAL: wall budget expired"));
+        // Old JSON without the field still deserializes (serde default).
+        let legacy: Table =
+            serde_json::from_str(r#"{"title":"t","columns":["a"],"rows":[]}"#).unwrap();
+        assert_eq!(legacy.note(), None);
     }
 }

@@ -1,0 +1,185 @@
+//! End-to-end fault-tolerance acceptance tests: a panicking mechanism
+//! must be quarantined and retried without taking down the sweep, and a
+//! killed-and-resumed run must reproduce the uninterrupted run
+//! bit-identically — all through the crate's public API, the way the
+//! `repro` binary drives it.
+
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_core::distributions::CompetencyDistribution;
+use ld_core::mechanisms::{ApprovalThreshold, Mechanism};
+use ld_core::ProblemInstance;
+use ld_sim::checkpoint::{self, SweepCheckpoint};
+use ld_sim::engine::Engine;
+use ld_sim::harness::{Harness, PointStatus, RunBudget};
+use ld_sim::sweep::{
+    run_sweep_resumable, run_sweep_resumable_with, MechanismSpec, SweepSpec, TopologySpec,
+};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// A mock mechanism that panics whenever the instance has exactly
+/// `panic_at` voters — the "one bad parameter point" failure mode the
+/// harness exists to survive.
+struct PanicAt {
+    inner: ApprovalThreshold,
+    panic_at: usize,
+}
+
+impl Mechanism for PanicAt {
+    fn act(&self, instance: &ProblemInstance, voter: usize, rng: &mut dyn rand::RngCore) -> Action {
+        assert_ne!(instance.n(), self.panic_at, "injected panic at n = {}", self.panic_at);
+        self.inner.act(instance, voter, rng)
+    }
+
+    fn run(&self, instance: &ProblemInstance, rng: &mut dyn rand::RngCore) -> DelegationGraph {
+        assert_ne!(instance.n(), self.panic_at, "injected panic at n = {}", self.panic_at);
+        self.inner.run(instance, rng)
+    }
+
+    fn name(&self) -> String {
+        format!("panic-at-{}", self.panic_at)
+    }
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        topology: TopologySpec::Complete,
+        mechanism: MechanismSpec::Algorithm1 { j: 1 },
+        profile: CompetencyDistribution::Uniform { lo: 0.35, hi: 0.6 },
+        alpha: 0.05,
+        sizes: vec![16, 24, 32],
+        trials: 8,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ld-sim-ft-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn injected_panic_is_quarantined_retried_and_sweep_completes() {
+    let spec = spec();
+    let engine = Engine::new(7).with_workers(2);
+    let faulty = PanicAt { inner: ApprovalThreshold::new(1), panic_at: 24 };
+    let mut harness = Harness::new().with_max_retries(2);
+    let out = run_sweep_resumable_with(&spec, &faulty, &engine, &mut harness, None, None)
+        .expect("a panicking point must not abort the sweep");
+
+    // Every point is present; only the injected one is degraded.
+    assert_eq!(out.points.len(), 3);
+    for (i, p) in out.points.iter().enumerate() {
+        if p.n == 24 {
+            assert!(
+                matches!(p.outcome.status, PointStatus::Degraded { ref reason }
+                    if reason.contains("injected panic")),
+                "point {i}: {:?}",
+                p.outcome.status
+            );
+            assert!(p.outcome.estimate.is_none());
+        } else {
+            assert_eq!(p.outcome.status, PointStatus::Complete, "point {i}");
+            assert!(p.outcome.estimate.is_some(), "point {i}");
+        }
+    }
+
+    // The quarantine log names the failing point and the exact seed of
+    // each attempt (3 attempts: first + 2 retries), every seed distinct,
+    // the first being the deterministic seed the plain path would use.
+    assert_eq!(out.quarantine.len(), 3);
+    assert!(out.quarantine.iter().all(|q| q.point == "n=24"));
+    assert!(out.quarantine.iter().all(|q| q.message.contains("injected panic")));
+    assert_eq!(out.quarantine[0].seed, engine.reseeded(1).seed());
+    let seeds: HashSet<u64> = out.quarantine.iter().map(|q| q.seed).collect();
+    assert_eq!(seeds.len(), 3, "each retry must use a fresh derived seed");
+
+    // The rendered table is honest about the hole in the data.
+    let text = out.to_table().to_text();
+    assert!(text.contains("DEGRADED"), "{text}");
+    assert!(text.contains("PARTIAL: 1/3"), "{text}");
+    assert!(text.contains("ok"), "{text}");
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_run_bit_identically() {
+    let spec = spec();
+    let engine = Engine::new(11).with_workers(2);
+    let path = tmp("resume.json");
+
+    // The uninterrupted reference run, checkpointing along the way.
+    let full = run_sweep_resumable(&spec, &engine, &mut Harness::new(), Some(&path), None)
+        .expect("reference run");
+    assert!(full.fully_complete());
+
+    // Simulate a kill after the first point by rewinding the checkpoint
+    // file, then resume from disk.
+    let mut ck: SweepCheckpoint = checkpoint::load(&path).expect("checkpoint readable");
+    assert_eq!(ck.completed.len(), 3);
+    ck.completed.truncate(1);
+    checkpoint::save(&ck, &path).expect("rewind checkpoint");
+    let loaded: SweepCheckpoint = checkpoint::load(&path).expect("reload");
+    let resumed =
+        run_sweep_resumable(&spec, &engine, &mut Harness::new(), Some(&path), Some(loaded))
+            .expect("resumed run");
+    assert_eq!(resumed.points, full.points, "resume must be bit-identical");
+
+    // The final checkpoint on disk holds the complete run again.
+    let final_ck: SweepCheckpoint = checkpoint::load(&path).expect("final checkpoint");
+    assert_eq!(final_ck.completed, full.points);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_also_skips_degraded_points_and_keeps_their_quarantine() {
+    let spec = spec();
+    let engine = Engine::new(3).with_workers(1);
+    let faulty = PanicAt { inner: ApprovalThreshold::new(1), panic_at: 24 };
+    let path = tmp("resume-degraded.json");
+
+    let first = run_sweep_resumable_with(
+        &spec,
+        &faulty,
+        &engine,
+        &mut Harness::new().with_max_retries(1),
+        Some(&path),
+        None,
+    )
+    .expect("first run");
+    assert!(!first.fully_complete());
+
+    // Resume the whole (already finished) run: nothing reruns — the
+    // degraded point is carried over, not retried from scratch — and the
+    // quarantine log survives the round-trip through disk.
+    let loaded: SweepCheckpoint = checkpoint::load(&path).expect("reload");
+    let resumed = run_sweep_resumable_with(
+        &spec,
+        &faulty,
+        &engine,
+        &mut Harness::new().with_max_retries(1),
+        None,
+        Some(loaded),
+    )
+    .expect("resumed run");
+    assert_eq!(resumed.points, first.points);
+    assert_eq!(resumed.quarantine, first.quarantine);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trial_budget_truncates_honestly_through_the_public_api() {
+    let spec = spec();
+    let engine = Engine::new(5).with_workers(1);
+    let budget = RunBudget {
+        max_wall_secs: None,
+        max_trials_per_point: Some(4),
+        min_trials_for_report: 1,
+    };
+    let mut harness = Harness::new().with_budget(budget);
+    let out = run_sweep_resumable(&spec, &engine, &mut harness, None, None).expect("budgeted run");
+    for p in &out.points {
+        assert_eq!(p.outcome.status, PointStatus::Truncated { trials_done: 4 });
+        assert_eq!(p.outcome.estimate.as_ref().map(ld_core::gain::GainEstimate::trials), Some(4));
+    }
+    let text = out.to_table().to_text();
+    assert!(text.contains("TRUNCATED(4)"), "{text}");
+    assert!(text.contains("PARTIAL"), "{text}");
+}

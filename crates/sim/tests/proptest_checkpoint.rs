@@ -1,0 +1,82 @@
+//! Property: for any (seed, worker count, interrupt point), a checkpoint
+//! serialized to disk, deserialized, and resumed produces estimates
+//! bit-identical to the uninterrupted run. This is the contract that makes
+//! `repro --resume` trustworthy.
+
+use ld_core::distributions::CompetencyDistribution;
+use ld_sim::checkpoint::{self, SweepCheckpoint};
+use ld_sim::engine::Engine;
+use ld_sim::harness::Harness;
+use ld_sim::sweep::{run_sweep_resumable, MechanismSpec, SweepSpec, TopologySpec};
+use proptest::prelude::*;
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        topology: TopologySpec::Complete,
+        mechanism: MechanismSpec::Algorithm1 { j: 1 },
+        profile: CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 },
+        alpha: 0.05,
+        sizes: vec![12, 16, 20, 24],
+        trials: 6,
+    }
+}
+
+proptest! {
+    // Each case runs two small sweeps; keep the count modest so the suite
+    // stays fast while still covering the (seed, workers, cut) space.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn checkpoint_roundtrip_resume_is_bit_identical(
+        seed in 0u64..10_000,
+        workers in 1usize..4,
+        cut in 0usize..4,
+    ) {
+        let spec = spec();
+        let engine = Engine::new(seed).with_workers(workers);
+
+        // The uninterrupted reference run.
+        let full = run_sweep_resumable(&spec, &engine, &mut Harness::new(), None, None)
+            .expect("reference run");
+        prop_assert!(full.fully_complete());
+        prop_assert_eq!(full.points.len(), spec.sizes.len());
+
+        // Interrupt after `cut` points: build the checkpoint the on-point
+        // hook would have written, round-trip it through disk, resume.
+        let mut ck = SweepCheckpoint::new(&spec, engine.seed(), engine.workers());
+        ck.completed = full.points[..cut].to_vec();
+        let path = std::env::temp_dir().join(format!(
+            "ld-sim-prop-ckpt-{}-{seed}-{workers}-{cut}.json",
+            std::process::id()
+        ));
+        checkpoint::save(&ck, &path).expect("save");
+        let loaded: SweepCheckpoint = checkpoint::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&loaded, &ck, "serialize/deserialize must round-trip");
+
+        let resumed =
+            run_sweep_resumable(&spec, &engine, &mut Harness::new(), None, Some(loaded))
+                .expect("resumed run");
+        prop_assert_eq!(
+            resumed.points,
+            full.points,
+            "resume from cut {} must be bit-identical",
+            cut
+        );
+    }
+
+    /// Determinism across worker counts is what lets a resume use the
+    /// checkpointed worker count: same (seed, trials, workers) — same
+    /// estimates, independent of when the run was interrupted.
+    #[test]
+    fn harnessed_runs_are_deterministic(seed in 0u64..10_000, workers in 1usize..4) {
+        let spec = spec();
+        let engine = Engine::new(seed).with_workers(workers);
+        let a = run_sweep_resumable(&spec, &engine, &mut Harness::new(), None, None)
+            .expect("run a");
+        let b = run_sweep_resumable(&spec, &engine, &mut Harness::new(), None, None)
+            .expect("run b");
+        prop_assert_eq!(a.points, b.points);
+        prop_assert!(a.quarantine.is_empty());
+    }
+}
