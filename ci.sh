@@ -4,6 +4,9 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -12,5 +15,8 @@ cargo test -q
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> repro stress smoke (incremental == from-scratch, stream == batch)"
+./target/release/repro stress --n 512 --updates 2000
 
 echo "==> ci.sh: all green"

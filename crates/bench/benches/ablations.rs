@@ -31,8 +31,8 @@ fn bench_tally_ablation(c: &mut Criterion) {
             b.iter(|| {
                 let mut correct = 0u32;
                 for _ in 0..1000 {
-                    correct += sample_decision(&inst, &dg, TieBreak::Incorrect, &mut rng)
-                        .unwrap() as u32;
+                    correct +=
+                        sample_decision(&inst, &dg, TieBreak::Incorrect, &mut rng).unwrap() as u32;
                 }
                 black_box(correct)
             })
@@ -112,9 +112,7 @@ fn bench_pm_estimation_routes(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(11);
         b.iter(|| {
             let res = mech.run(&inst, &mut rng).resolve().unwrap();
-            black_box(
-                exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap(),
-            )
+            black_box(exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap())
         })
     });
     group.bench_function("recycle_realization", |b| {

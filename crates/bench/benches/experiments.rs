@@ -18,7 +18,10 @@ fn bench_experiments(c: &mut Criterion) {
     for info in experiments::all() {
         // Distinct seeds per experiment; quick scale keeps each iteration
         // in the tens-of-milliseconds range.
-        let cfg = ExperimentConfig { workers: 2, ..ExperimentConfig::quick(99) };
+        let cfg = ExperimentConfig {
+            workers: 2,
+            ..ExperimentConfig::quick(99)
+        };
         group.bench_function(info.id, |b| {
             b.iter(|| {
                 let tables = (info.run)(black_box(&cfg)).expect("experiment runs");

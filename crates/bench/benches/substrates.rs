@@ -43,7 +43,13 @@ fn bench_tallies(c: &mut Criterion) {
         // Weighted: n/8 sinks of weight 8.
         let terms: Vec<(usize, f64)> = ps.iter().step_by(8).map(|&p| (8usize, p)).collect();
         group.bench_with_input(BenchmarkId::new("weighted_sum_dp", n), &n, |b, _| {
-            b.iter(|| black_box(WeightedBernoulliSum::new(&terms).unwrap().strict_majority(n)))
+            b.iter(|| {
+                black_box(
+                    WeightedBernoulliSum::new(&terms)
+                        .unwrap()
+                        .strict_majority(n),
+                )
+            })
         });
     }
     group.finish();
@@ -112,6 +118,52 @@ fn bench_resolution(c: &mut Criterion) {
     group.finish();
 }
 
+/// The economics of the live engine: one incremental update vs resolving
+/// the whole graph from scratch (what a snapshot-only codebase would do
+/// after every churn event). The engine is warmed with `n` churn updates
+/// first so it benches a realistic Zipf-skewed delegation forest, not the
+/// all-direct initial state.
+fn bench_live_updates(c: &mut Criterion) {
+    use ld_core::delegation::{Action, DelegationGraph};
+    use ld_live::workload::{Trace, TraceConfig};
+    use ld_live::LiveEngine;
+
+    let mut group = c.benchmark_group("live_updates");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let config = TraceConfig::balanced(n);
+        let mut engine =
+            LiveEngine::new(vec![Action::Vote; n], config.initial_competences(9)).unwrap();
+        let mut trace = Trace::new(config, 9).unwrap();
+        for u in trace.by_ref().take(n) {
+            let _ = engine.apply(u);
+        }
+        // A fixed pool of further updates, cycled through per iteration.
+        let pool: Vec<_> = trace.take(4096).collect();
+        let mut at = 0usize;
+        group.bench_with_input(BenchmarkId::new("incremental_apply", n), &n, |b, _| {
+            b.iter(|| {
+                let u = pool[at];
+                at = (at + 1) % pool.len();
+                black_box(engine.apply(u).ok())
+            })
+        });
+        let mut at = 0usize;
+        group.bench_with_input(BenchmarkId::new("batch64_apply", n), &n, |b, _| {
+            b.iter(|| {
+                let block: Vec<_> = (0..64).map(|k| pool[(at + k) % pool.len()]).collect();
+                at = (at + 64) % pool.len();
+                black_box(engine.apply_batch(&block).applied)
+            })
+        });
+        let dg = DelegationGraph::new(engine.actions().to_vec());
+        group.bench_with_input(BenchmarkId::new("full_reresolve", n), &n, |b, _| {
+            b.iter(|| black_box(dg.resolve().unwrap()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_generators,
@@ -119,6 +171,7 @@ criterion_group!(
     bench_recycle,
     bench_exact_variance,
     bench_edge_list_io,
-    bench_resolution
+    bench_resolution,
+    bench_live_updates
 );
 criterion_main!(benches);

@@ -34,7 +34,10 @@ impl Competency {
         if p.is_finite() && (0.0..=1.0).contains(&p) {
             Ok(Competency(p))
         } else {
-            Err(CoreError::InvalidCompetency { value: p, index: None })
+            Err(CoreError::InvalidCompetency {
+                value: p,
+                index: None,
+            })
         }
     }
 
@@ -96,7 +99,10 @@ impl CompetencyProfile {
     pub fn new(ps: Vec<f64>) -> Result<Self> {
         for (i, &p) in ps.iter().enumerate() {
             if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
-                return Err(CoreError::InvalidCompetency { value: p, index: Some(i) });
+                return Err(CoreError::InvalidCompetency {
+                    value: p,
+                    index: Some(i),
+                });
             }
         }
         if let Some(i) = ps.windows(2).position(|w| w[0] > w[1]) {
@@ -114,7 +120,10 @@ impl CompetencyProfile {
     pub fn from_unsorted(mut ps: Vec<f64>) -> Result<Self> {
         for (i, &p) in ps.iter().enumerate() {
             if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
-                return Err(CoreError::InvalidCompetency { value: p, index: Some(i) });
+                return Err(CoreError::InvalidCompetency {
+                    value: p,
+                    index: Some(i),
+                });
             }
         }
         ps.sort_by(|a, b| a.partial_cmp(b).expect("validated values are comparable"));
@@ -151,7 +160,9 @@ impl CompetencyProfile {
             return Ok(CompetencyProfile { ps: vec![lo] });
         }
         let step = (hi - lo) / (n - 1) as f64;
-        let ps = (0..n).map(|i| (lo + step * i as f64).clamp(0.0, 1.0)).collect();
+        let ps = (0..n)
+            .map(|i| (lo + step * i as f64).clamp(0.0, 1.0))
+            .collect();
         Ok(CompetencyProfile { ps })
     }
 
@@ -258,7 +269,13 @@ mod tests {
     #[test]
     fn profile_rejects_invalid_values() {
         let err = CompetencyProfile::new(vec![0.1, 2.0]).unwrap_err();
-        assert_eq!(err, CoreError::InvalidCompetency { value: 2.0, index: Some(1) });
+        assert_eq!(
+            err,
+            CoreError::InvalidCompetency {
+                value: 2.0,
+                index: Some(1)
+            }
+        );
         assert!(CompetencyProfile::from_unsorted(vec![f64::NAN]).is_err());
     }
 
@@ -275,7 +292,10 @@ mod tests {
     #[test]
     fn linear_profile_degenerate_sizes() {
         assert_eq!(CompetencyProfile::linear(0, 0.1, 0.9).unwrap().n(), 0);
-        assert_eq!(CompetencyProfile::linear(1, 0.1, 0.9).unwrap().as_slice(), &[0.1]);
+        assert_eq!(
+            CompetencyProfile::linear(1, 0.1, 0.9).unwrap().as_slice(),
+            &[0.1]
+        );
     }
 
     #[test]

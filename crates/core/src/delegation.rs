@@ -55,8 +55,60 @@ pub struct DelegationGraph {
 
 impl DelegationGraph {
     /// Wraps a vector of per-voter actions.
+    ///
+    /// Targets are *not* validated here (mechanisms only emit in-bounds
+    /// neighbours); [`DelegationGraph::resolve`] and
+    /// [`DelegationGraph::try_new`] both report out-of-range targets as
+    /// [`CoreError::DelegationTargetOutOfRange`].
     pub fn new(actions: Vec<Action>) -> Self {
         DelegationGraph { actions }
+    }
+
+    /// Wraps a vector of per-voter actions, validating every delegation
+    /// target against the voter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DelegationTargetOutOfRange`] for the first
+    /// voter whose target (single or multi) is `>= actions.len()`.
+    pub fn try_new(actions: Vec<Action>) -> Result<Self> {
+        let dg = DelegationGraph { actions };
+        dg.validate_targets()?;
+        Ok(dg)
+    }
+
+    /// Checks that every delegation target names a voter in `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DelegationTargetOutOfRange`] at the first
+    /// violation, in voter order.
+    pub fn validate_targets(&self) -> Result<()> {
+        let n = self.n();
+        for (i, a) in self.actions.iter().enumerate() {
+            match a {
+                Action::Vote | Action::Abstain => {}
+                Action::Delegate(t) => {
+                    if *t >= n {
+                        return Err(CoreError::DelegationTargetOutOfRange {
+                            voter: i,
+                            target: *t,
+                            n,
+                        });
+                    }
+                }
+                Action::DelegateMany(ts) => {
+                    if let Some(&t) = ts.iter().find(|&&t| t >= n) {
+                        return Err(CoreError::DelegationTargetOutOfRange {
+                            voter: i,
+                            target: t,
+                            n,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of voters.
@@ -88,14 +140,20 @@ impl DelegationGraph {
 
     /// Number of abstaining voters.
     pub fn abstainer_count(&self) -> usize {
-        self.actions.iter().filter(|a| matches!(a, Action::Abstain)).count()
+        self.actions
+            .iter()
+            .filter(|a| matches!(a, Action::Abstain))
+            .count()
     }
 
     /// Whether every delegation is to a single target (no
     /// [`Action::DelegateMany`]); only such graphs admit the exact
     /// sink-weight tally.
     pub fn is_single_target(&self) -> bool {
-        !self.actions.iter().any(|a| matches!(a, Action::DelegateMany(_)))
+        !self
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::DelegateMany(_)))
     }
 
     /// The induced directed graph (one edge per delegation target).
@@ -133,8 +191,22 @@ impl DelegationGraph {
     ///
     /// * [`CoreError::InvalidParameter`] if the graph contains
     ///   [`Action::DelegateMany`] (use the sampling tally for those).
+    /// * [`CoreError::DelegationTargetOutOfRange`] if a delegation names a
+    ///   voter outside `0..n`.
     /// * [`CoreError::CyclicDelegation`] if delegations form a cycle.
     pub fn resolve(&self) -> Result<Resolution> {
+        self.resolve_with(&mut Resolver::new())
+    }
+
+    /// Like [`DelegationGraph::resolve`], but reuses the scratch buffers of
+    /// an existing [`Resolver`] — the allocation-lean path for callers that
+    /// resolve many graphs of similar size (Monte Carlo loops, the live
+    /// engine's cross-checks).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DelegationGraph::resolve`].
+    pub fn resolve_with(&self, scratch: &mut Resolver) -> Result<Resolution> {
         if !self.is_single_target() {
             return Err(CoreError::InvalidParameter {
                 reason: "resolve requires single-target delegations; \
@@ -142,61 +214,97 @@ impl DelegationGraph {
                     .to_string(),
             });
         }
+        self.validate_targets()?;
         let n = self.n();
-        // sink_cache[i]: Some(Some(s)) resolved to sink s, Some(None)
-        // resolved to an abstainer (vote discarded), None = not yet known.
-        let mut cache: Vec<Option<Option<usize>>> = vec![None; n];
-        let mut stack = Vec::new();
+        // sink_of[i]: Some(Some(s)) resolved to sink s, Some(None) resolved
+        // to an abstainer (vote discarded), None = not yet known. Moves into
+        // the Resolution, so it is allocated fresh; depth and the chase
+        // stack are reused across calls.
+        let mut sink_of: Vec<Option<Option<usize>>> = vec![None; n];
+        scratch.depth.clear();
+        scratch.depth.resize(n, 0);
         for start in 0..n {
-            if cache[start].is_some() {
+            if sink_of[start].is_some() {
                 continue;
             }
-            stack.clear();
+            scratch.stack.clear();
             let mut cur = start;
-            let terminal = loop {
-                match cache[cur] {
-                    Some(t) => break t,
+            // Iterative chase to the first already-resolved voter or
+            // terminal action; (terminal, base) is the chain end and its
+            // chain depth (in edges).
+            let (terminal, base) = loop {
+                match sink_of[cur] {
+                    Some(t) => break (t, scratch.depth[cur]),
                     None => match &self.actions[cur] {
-                        Action::Vote => break Some(cur),
-                        Action::Abstain => break None,
+                        Action::Vote => break (Some(cur), 0),
+                        Action::Abstain => break (None, 0),
                         Action::Delegate(t) => {
-                            if stack.len() > n {
+                            if scratch.stack.len() > n {
                                 return Err(CoreError::CyclicDelegation);
                             }
                             // Self-delegation counts as voting directly.
                             if *t == cur {
-                                break Some(cur);
+                                break (Some(cur), 0);
                             }
-                            stack.push(cur);
+                            scratch.stack.push(cur);
                             cur = *t;
                         }
                         Action::DelegateMany(_) => unreachable!("checked above"),
                     },
                 }
             };
-            cache[cur].get_or_insert(terminal);
-            for &v in &stack {
-                cache[v] = Some(terminal);
+            if sink_of[cur].is_none() {
+                sink_of[cur] = Some(terminal);
+                scratch.depth[cur] = base;
+            }
+            for (back, &v) in scratch.stack.iter().rev().enumerate() {
+                sink_of[v] = Some(terminal);
+                scratch.depth[v] = base + back as u32 + 1;
             }
         }
         let mut weight = vec![0usize; n];
         let mut discarded = 0usize;
-        for entry in cache.iter().take(n) {
+        for entry in sink_of.iter() {
             match entry.expect("all voters resolved") {
                 Some(s) => weight[s] += 1,
                 None => discarded += 1,
             }
         }
         let sinks: Vec<usize> = (0..n).filter(|&v| weight[v] > 0).collect();
-        let longest_chain = self.digraph().longest_path().ok_or(CoreError::CyclicDelegation)?;
+        let longest_chain = scratch.depth.iter().copied().max().unwrap_or(0) as usize;
         Ok(Resolution {
-            sink_of: cache.into_iter().map(|c| c.expect("resolved")).collect(),
+            sink_of: sink_of.into_iter().map(|c| c.expect("resolved")).collect(),
             weight,
             sinks,
             discarded,
             delegators: self.delegator_count(),
             longest_chain,
         })
+    }
+}
+
+/// Reusable scratch buffers for [`DelegationGraph::resolve_with`]: the
+/// chase stack and per-voter chain depths survive between resolutions, so
+/// a hot loop resolving graphs of the same size allocates only what the
+/// returned [`Resolution`] itself owns.
+#[derive(Debug, Default)]
+pub struct Resolver {
+    stack: Vec<usize>,
+    depth: Vec<u32>,
+}
+
+impl Resolver {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Resolver::default()
+    }
+
+    /// Scratch with buffers pre-sized for `n`-voter graphs.
+    pub fn with_capacity(n: usize) -> Self {
+        Resolver {
+            stack: Vec::with_capacity(n),
+            depth: Vec::with_capacity(n),
+        }
     }
 }
 
@@ -228,6 +336,41 @@ pub struct Resolution {
 }
 
 impl Resolution {
+    /// Assembles a `Resolution` from delta-maintained internals — the
+    /// export path of incremental engines (`ld-live`) that track
+    /// `sink_of`, weights, and counts under streaming updates and
+    /// periodically materialize a full resolution for cross-checking
+    /// against [`DelegationGraph::resolve`].
+    ///
+    /// The sorted sink list is derived from `weight` here so callers
+    /// cannot hand in an inconsistent one.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the invariants (`sink_of.len() == weight.len()`,
+    /// weights sum to `n - discarded`, discarded matches the `None`
+    /// entries); release builds trust the caller.
+    pub fn from_parts(
+        sink_of: Vec<Option<usize>>,
+        weight: Vec<usize>,
+        discarded: usize,
+        delegators: usize,
+        longest_chain: usize,
+    ) -> Self {
+        debug_assert_eq!(sink_of.len(), weight.len());
+        debug_assert_eq!(sink_of.iter().filter(|s| s.is_none()).count(), discarded);
+        debug_assert_eq!(weight.iter().sum::<usize>() + discarded, sink_of.len());
+        let sinks: Vec<usize> = (0..weight.len()).filter(|&v| weight[v] > 0).collect();
+        Resolution {
+            sink_of,
+            weight,
+            sinks,
+            discarded,
+            delegators,
+            longest_chain,
+        }
+    }
+
     /// Number of voters.
     pub fn n(&self) -> usize {
         self.sink_of.len()
@@ -262,10 +405,25 @@ impl Resolution {
         self.sinks.iter().map(move |&s| (s, self.weight[s]))
     }
 
+    /// The full per-voter weight vector (`0` for non-sinks) — the
+    /// delta-friendly view incremental engines diff against.
+    pub fn weights(&self) -> &[usize] {
+        &self.weight
+    }
+
+    /// The full per-voter sink assignment (`None` for discarded votes).
+    pub fn sink_assignments(&self) -> &[Option<usize>] {
+        &self.sink_of
+    }
+
     /// The maximum weight of any single voter — the quantity Lemma 5
     /// bounds to guarantee DNH. Zero when everyone abstained.
     pub fn max_weight(&self) -> usize {
-        self.sinks.iter().map(|&s| self.weight[s]).max().unwrap_or(0)
+        self.sinks
+            .iter()
+            .map(|&s| self.weight[s])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total tallied votes `n - discarded`.
@@ -416,7 +574,10 @@ mod tests {
             Action::Vote,
         ]);
         assert!(!dg.is_single_target());
-        assert!(matches!(dg.resolve(), Err(CoreError::InvalidParameter { .. })));
+        assert!(matches!(
+            dg.resolve(),
+            Err(CoreError::InvalidParameter { .. })
+        ));
         assert_eq!(dg.delegator_count(), 1);
         assert!(dg.is_acyclic());
     }
@@ -446,7 +607,9 @@ mod tests {
     #[test]
     fn gini_extremes() {
         // Direct voting: perfectly equal, Gini 0.
-        let equal = DelegationGraph::new(vec![Action::Vote; 10]).resolve().unwrap();
+        let equal = DelegationGraph::new(vec![Action::Vote; 10])
+            .resolve()
+            .unwrap();
         assert!(equal.weight_gini().abs() < 1e-12);
         // Dictatorship: Gini (n-1)/n.
         let mut actions = vec![Action::Delegate(9); 9];
@@ -463,22 +626,102 @@ mod tests {
         balanced_actions.push(Action::Vote); // sink 4, weight 5
         balanced_actions.extend(std::iter::repeat_n(Action::Delegate(9), 4));
         balanced_actions.push(Action::Vote); // sink 9, weight 5
-        let g_balanced =
-            DelegationGraph::new(balanced_actions).resolve().unwrap().weight_gini();
+        let g_balanced = DelegationGraph::new(balanced_actions)
+            .resolve()
+            .unwrap()
+            .weight_gini();
 
         let mut skewed_actions = vec![Action::Delegate(9); 8];
         skewed_actions.push(Action::Vote); // sink 8, weight 1
         skewed_actions.push(Action::Vote); // sink 9, weight 9
-        let g_skewed =
-            DelegationGraph::new(skewed_actions).resolve().unwrap().weight_gini();
-        assert!(g_skewed > g_balanced, "skewed {g_skewed} vs balanced {g_balanced}");
+        let g_skewed = DelegationGraph::new(skewed_actions)
+            .resolve()
+            .unwrap()
+            .weight_gini();
+        assert!(
+            g_skewed > g_balanced,
+            "skewed {g_skewed} vs balanced {g_balanced}"
+        );
     }
 
     #[test]
     fn gini_empty_and_all_abstained() {
-        assert_eq!(DelegationGraph::new(vec![]).resolve().unwrap().weight_gini(), 0.0);
-        let all_abstain = DelegationGraph::new(vec![Action::Abstain; 4]).resolve().unwrap();
+        assert_eq!(
+            DelegationGraph::new(vec![])
+                .resolve()
+                .unwrap()
+                .weight_gini(),
+            0.0
+        );
+        let all_abstain = DelegationGraph::new(vec![Action::Abstain; 4])
+            .resolve()
+            .unwrap();
         assert_eq!(all_abstain.weight_gini(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_target_is_a_typed_error() {
+        let dg = DelegationGraph::new(vec![Action::Delegate(5), Action::Vote]);
+        assert_eq!(
+            dg.resolve().unwrap_err(),
+            CoreError::DelegationTargetOutOfRange {
+                voter: 0,
+                target: 5,
+                n: 2
+            }
+        );
+        assert_eq!(
+            DelegationGraph::try_new(vec![Action::Vote, Action::DelegateMany(vec![0, 7])])
+                .unwrap_err(),
+            CoreError::DelegationTargetOutOfRange {
+                voter: 1,
+                target: 7,
+                n: 2
+            }
+        );
+        assert!(DelegationGraph::try_new(vec![Action::Delegate(1), Action::Vote]).is_ok());
+    }
+
+    #[test]
+    fn resolver_reuse_matches_fresh_resolution() {
+        let mut scratch = Resolver::with_capacity(8);
+        let chains = [
+            vec![Action::Delegate(1), Action::Delegate(2), Action::Vote],
+            vec![Action::Vote, Action::Abstain, Action::Delegate(1)],
+            vec![
+                Action::Delegate(3),
+                Action::Delegate(3),
+                Action::Delegate(3),
+                Action::Vote,
+            ],
+        ];
+        for actions in chains {
+            let dg = DelegationGraph::new(actions);
+            assert_eq!(
+                dg.resolve_with(&mut scratch).unwrap(),
+                dg.resolve().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_resolution() {
+        let dg = DelegationGraph::new(vec![
+            Action::Delegate(2),
+            Action::Abstain,
+            Action::Vote,
+            Action::Delegate(2),
+            Action::Vote,
+        ]);
+        let res = dg.resolve().unwrap();
+        let rebuilt = Resolution::from_parts(
+            res.sink_assignments().to_vec(),
+            res.weights().to_vec(),
+            res.discarded(),
+            res.delegators(),
+            res.longest_chain(),
+        );
+        assert_eq!(rebuilt, res);
     }
 
     #[test]

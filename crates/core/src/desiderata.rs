@@ -136,8 +136,7 @@ pub fn assess(
         let mut sum_delegators = 0.0;
         for _ in 0..instances_per_size.max(1) {
             let instance = family.instance(n, rng)?;
-            let est: GainEstimate =
-                estimate_gain(&instance, mechanism, trials_per_instance, rng)?;
+            let est: GainEstimate = estimate_gain(&instance, mechanism, trials_per_instance, rng)?;
             let g = est.gain();
             min_gain = min_gain.min(g);
             max_gain = max_gain.max(g);
@@ -186,8 +185,15 @@ mod tests {
     #[test]
     fn direct_voting_trivially_satisfies_dnh_and_not_pg() {
         let mut rng = StdRng::seed_from_u64(1);
-        let report =
-            assess(&complete_family, &DirectVoting, &[8, 16, 32], 2, 4, &mut rng).unwrap();
+        let report = assess(
+            &complete_family,
+            &DirectVoting,
+            &[8, 16, 32],
+            2,
+            4,
+            &mut rng,
+        )
+        .unwrap();
         assert!(report.do_no_harm(1e-9));
         assert!(!report.positive_gain(0.01));
         assert!(report.loss_is_shrinking(1e-9));
@@ -213,8 +219,7 @@ mod tests {
     #[test]
     fn greedy_on_star_family_violates_dnh() {
         let mut rng = StdRng::seed_from_u64(3);
-        let report =
-            assess(&star_family, &GreedyMax, &[21, 51, 101], 1, 4, &mut rng).unwrap();
+        let report = assess(&star_family, &GreedyMax, &[21, 51, 101], 1, 4, &mut rng).unwrap();
         // Loss converges to 1/3 — DNH fails at any ε < 1/3.
         assert!(!report.do_no_harm(0.25));
         assert!(report.terminal_worst_loss() > 0.25);
@@ -246,8 +251,7 @@ mod tests {
         assert!(report.delegate_restriction(|n| n as f64 / 4.0));
         assert!(!report.delegate_restriction(|n| n as f64 + 1.0));
         // Direct voting never satisfies a positive restriction.
-        let direct =
-            assess(&complete_family, &DirectVoting, &[16], 1, 2, &mut rng).unwrap();
+        let direct = assess(&complete_family, &DirectVoting, &[16], 1, 2, &mut rng).unwrap();
         assert!(!direct.delegate_restriction(|_| 1.0));
         assert!(direct.delegate_restriction(|_| 0.0));
     }

@@ -84,10 +84,14 @@ impl CompetencyDistribution {
     pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<CompetencyProfile> {
         self.validate()?;
         let ps: Vec<f64> = match *self {
-            CompetencyDistribution::Uniform { lo, hi } => {
-                (0..n).map(|_| if lo == hi { lo } else { rng.gen_range(lo..=hi) }).collect()
-            }
-            CompetencyDistribution::TwoPoint { low, high, frac_high } => (0..n)
+            CompetencyDistribution::Uniform { lo, hi } => (0..n)
+                .map(|_| if lo == hi { lo } else { rng.gen_range(lo..=hi) })
+                .collect(),
+            CompetencyDistribution::TwoPoint {
+                low,
+                high,
+                frac_high,
+            } => (0..n)
                 .map(|_| if rng.gen_bool(frac_high) { high } else { low })
                 .collect(),
             CompetencyDistribution::AroundHalf { a, spread } => (0..n)
@@ -108,8 +112,7 @@ impl CompetencyDistribution {
                     for _ in 0..1000 {
                         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                         let u2: f64 = rng.gen_range(0.0..1.0);
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         let x = mean + sd * z;
                         if (lo..=hi).contains(&x) {
                             return x;
@@ -136,7 +139,11 @@ impl CompetencyDistribution {
                     return bad(format!("uniform range [{lo}, {hi}] invalid"));
                 }
             }
-            CompetencyDistribution::TwoPoint { low, high, frac_high } => {
+            CompetencyDistribution::TwoPoint {
+                low,
+                high,
+                frac_high,
+            } => {
                 if !unit(low) || !unit(high) || low > high || !unit(frac_high) {
                     return bad(format!(
                         "two-point parameters low={low} high={high} frac={frac_high} invalid"
@@ -190,13 +197,20 @@ mod tests {
     #[test]
     fn two_point_only_produces_the_two_values() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = CompetencyDistribution::TwoPoint { low: 1.0 / 3.0, high: 2.0 / 3.0, frac_high: 0.2 };
+        let d = CompetencyDistribution::TwoPoint {
+            low: 1.0 / 3.0,
+            high: 2.0 / 3.0,
+            frac_high: 0.2,
+        };
         let p = d.sample(300, &mut rng).unwrap();
         for &x in p.as_slice() {
             assert!((x - 1.0 / 3.0).abs() < 1e-12 || (x - 2.0 / 3.0).abs() < 1e-12);
         }
         let highs = p.as_slice().iter().filter(|&&x| x > 0.5).count();
-        assert!((30..=90).contains(&highs), "got {highs} high draws out of 300");
+        assert!(
+            (30..=90).contains(&highs),
+            "got {highs} high draws out of 300"
+        );
     }
 
     #[test]
@@ -212,7 +226,12 @@ mod tests {
     #[test]
     fn truncated_normal_respects_bounds() {
         let mut rng = StdRng::seed_from_u64(4);
-        let d = CompetencyDistribution::TruncatedNormal { mean: 0.5, sd: 0.2, lo: 0.3, hi: 0.7 };
+        let d = CompetencyDistribution::TruncatedNormal {
+            mean: 0.5,
+            sd: 0.2,
+            lo: 0.3,
+            hi: 0.7,
+        };
         let p = d.sample(400, &mut rng).unwrap();
         assert!(p.as_slice().iter().all(|&x| (0.3..=0.7).contains(&x)));
         assert!((p.mean() - 0.5).abs() < 0.05);
@@ -223,12 +242,36 @@ mod tests {
         let bads = [
             CompetencyDistribution::Uniform { lo: 0.8, hi: 0.2 },
             CompetencyDistribution::Uniform { lo: -0.1, hi: 0.5 },
-            CompetencyDistribution::TwoPoint { low: 0.6, high: 0.4, frac_high: 0.5 },
-            CompetencyDistribution::TwoPoint { low: 0.2, high: 0.8, frac_high: 1.5 },
-            CompetencyDistribution::AroundHalf { a: 0.7, spread: 0.0 },
-            CompetencyDistribution::AroundHalf { a: 0.1, spread: 0.9 },
-            CompetencyDistribution::TruncatedNormal { mean: 0.5, sd: 0.0, lo: 0.1, hi: 0.9 },
-            CompetencyDistribution::TruncatedNormal { mean: 0.5, sd: 0.1, lo: 0.9, hi: 0.1 },
+            CompetencyDistribution::TwoPoint {
+                low: 0.6,
+                high: 0.4,
+                frac_high: 0.5,
+            },
+            CompetencyDistribution::TwoPoint {
+                low: 0.2,
+                high: 0.8,
+                frac_high: 1.5,
+            },
+            CompetencyDistribution::AroundHalf {
+                a: 0.7,
+                spread: 0.0,
+            },
+            CompetencyDistribution::AroundHalf {
+                a: 0.1,
+                spread: 0.9,
+            },
+            CompetencyDistribution::TruncatedNormal {
+                mean: 0.5,
+                sd: 0.0,
+                lo: 0.1,
+                hi: 0.9,
+            },
+            CompetencyDistribution::TruncatedNormal {
+                mean: 0.5,
+                sd: 0.1,
+                lo: 0.9,
+                hi: 0.1,
+            },
         ];
         for d in bads {
             assert!(d.validate().is_err(), "{d:?} accepted");

@@ -40,6 +40,15 @@ pub enum CoreError {
     /// mechanisms must never produce (the approval margin `α > 0` forbids
     /// mutual approval).
     CyclicDelegation,
+    /// A delegation named a target outside the voter set.
+    DelegationTargetOutOfRange {
+        /// The delegating voter.
+        voter: usize,
+        /// The out-of-range target.
+        target: usize,
+        /// Number of voters in the graph.
+        n: usize,
+    },
     /// An error propagated from the probability substrate.
     Prob(ld_prob::ProbError),
     /// An error propagated from the graph substrate.
@@ -63,21 +72,36 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::InvalidCompetency { value, index: Some(i) } => {
+            CoreError::InvalidCompetency {
+                value,
+                index: Some(i),
+            } => {
                 write!(f, "competency {value} at voter {i} not in [0, 1]")
             }
             CoreError::InvalidCompetency { value, index: None } => {
                 write!(f, "competency {value} not in [0, 1]")
             }
             CoreError::UnsortedCompetencies { index } => {
-                write!(f, "competencies not sorted at index {index} (expected p_i ≤ p_j for i < j)")
+                write!(
+                    f,
+                    "competencies not sorted at index {index} (expected p_i ≤ p_j for i < j)"
+                )
             }
             CoreError::SizeMismatch { graph_n, profile_n } => {
-                write!(f, "graph has {graph_n} vertices but profile has {profile_n} competencies")
+                write!(
+                    f,
+                    "graph has {graph_n} vertices but profile has {profile_n} competencies"
+                )
             }
             CoreError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
             CoreError::CyclicDelegation => {
                 write!(f, "delegation graph contains a directed cycle")
+            }
+            CoreError::DelegationTargetOutOfRange { voter, target, n } => {
+                write!(
+                    f,
+                    "voter {voter} delegates to {target}, outside the {n}-voter set"
+                )
             }
             CoreError::Prob(e) => write!(f, "probability error: {e}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
@@ -118,14 +142,48 @@ mod tests {
     #[test]
     fn display_messages() {
         let cases: Vec<(CoreError, &str)> = vec![
-            (CoreError::InvalidCompetency { value: 1.2, index: Some(3) }, "voter 3"),
-            (CoreError::InvalidCompetency { value: -0.5, index: None }, "-0.5"),
-            (CoreError::UnsortedCompetencies { index: 4 }, "index 4"),
-            (CoreError::SizeMismatch { graph_n: 5, profile_n: 6 }, "5 vertices"),
-            (CoreError::CyclicDelegation, "cycle"),
-            (CoreError::Interrupted { reason: "wall budget".into() }, "wall budget"),
             (
-                CoreError::Quarantined { point: "thm2/n=64".into(), reason: "panic".into() },
+                CoreError::InvalidCompetency {
+                    value: 1.2,
+                    index: Some(3),
+                },
+                "voter 3",
+            ),
+            (
+                CoreError::InvalidCompetency {
+                    value: -0.5,
+                    index: None,
+                },
+                "-0.5",
+            ),
+            (CoreError::UnsortedCompetencies { index: 4 }, "index 4"),
+            (
+                CoreError::SizeMismatch {
+                    graph_n: 5,
+                    profile_n: 6,
+                },
+                "5 vertices",
+            ),
+            (CoreError::CyclicDelegation, "cycle"),
+            (
+                CoreError::DelegationTargetOutOfRange {
+                    voter: 2,
+                    target: 9,
+                    n: 4,
+                },
+                "outside the 4-voter set",
+            ),
+            (
+                CoreError::Interrupted {
+                    reason: "wall budget".into(),
+                },
+                "wall budget",
+            ),
+            (
+                CoreError::Quarantined {
+                    point: "thm2/n=64".into(),
+                    reason: "panic".into(),
+                },
                 "thm2/n=64",
             ),
         ];

@@ -295,9 +295,17 @@ mod tests {
         .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let est = estimate_gain(&inst, &GreedyMax, 4, &mut rng).unwrap();
-        assert!(est.p_direct() > 0.97, "direct should be near 1, got {}", est.p_direct());
+        assert!(
+            est.p_direct() > 0.97,
+            "direct should be near 1, got {}",
+            est.p_direct()
+        );
         assert!((est.p_mechanism() - 2.0 / 3.0).abs() < 1e-9);
-        assert!((est.gain() + 1.0 / 3.0).abs() < 0.03, "gain {} ≠ -1/3", est.gain());
+        assert!(
+            (est.gain() + 1.0 / 3.0).abs() < 0.03,
+            "gain {} ≠ -1/3",
+            est.gain()
+        );
         assert_eq!(est.mean_max_weight(), n as f64);
     }
 

@@ -51,14 +51,21 @@ impl ProblemInstance {
     ///   and finite.
     pub fn new(graph: Graph, profile: CompetencyProfile, alpha: f64) -> Result<Self> {
         if graph.n() != profile.n() {
-            return Err(CoreError::SizeMismatch { graph_n: graph.n(), profile_n: profile.n() });
+            return Err(CoreError::SizeMismatch {
+                graph_n: graph.n(),
+                profile_n: profile.n(),
+            });
         }
         if !(alpha.is_finite() && alpha > 0.0) {
             return Err(CoreError::InvalidParameter {
                 reason: format!("approval margin alpha = {alpha} must be positive and finite"),
             });
         }
-        Ok(ProblemInstance { graph, profile, alpha })
+        Ok(ProblemInstance {
+            graph,
+            profile,
+            alpha,
+        })
     }
 
     /// Number of voters.
@@ -214,7 +221,11 @@ mod tests {
         let profile = CompetencyProfile::linear(6, 0.1, 0.9).unwrap();
         let inst = ProblemInstance::new(graph, profile, 0.15).unwrap();
         for i in 0..6 {
-            assert_eq!(inst.approval_count(i), inst.approval_set(i).len(), "voter {i}");
+            assert_eq!(
+                inst.approval_count(i),
+                inst.approval_set(i).len(),
+                "voter {i}"
+            );
         }
     }
 

@@ -52,7 +52,10 @@ impl<M: Mechanism> Abstaining<M> {
             abstain_prob.is_finite() && (0.0..=1.0).contains(&abstain_prob),
             "abstain probability {abstain_prob} must be in [0, 1]"
         );
-        Abstaining { inner, abstain_prob }
+        Abstaining {
+            inner,
+            abstain_prob,
+        }
     }
 
     /// The wrapped mechanism.

@@ -86,7 +86,9 @@ pub struct ApprovalThreshold {
 impl ApprovalThreshold {
     /// Algorithm 1 with a constant threshold `j(n) = j`.
     pub fn new(j: usize) -> Self {
-        ApprovalThreshold { rule: ThresholdRule::Constant(j) }
+        ApprovalThreshold {
+            rule: ThresholdRule::Constant(j),
+        }
     }
 
     /// Algorithm 1 with a scaling threshold rule.
@@ -172,7 +174,10 @@ mod tests {
     fn threshold_rules_evaluate() {
         assert_eq!(ThresholdRule::Constant(5).threshold(100), 5);
         assert_eq!(ThresholdRule::Power { exponent: 0.5 }.threshold(100), 10);
-        assert_eq!(ThresholdRule::Fraction { fraction: 0.25 }.threshold(100), 25);
+        assert_eq!(
+            ThresholdRule::Fraction { fraction: 0.25 }.threshold(100),
+            25
+        );
         assert_eq!(ThresholdRule::Log.threshold(7), 3);
         assert_eq!(ThresholdRule::Log.threshold(0), 0);
     }
@@ -186,7 +191,10 @@ mod tests {
             let dg = mech.run(&inst, &mut rng);
             for (i, a) in dg.actions().iter().enumerate() {
                 if let Action::Delegate(t) = a {
-                    assert!(inst.approves(i, *t), "voter {i} delegated to unapproved {t}");
+                    assert!(
+                        inst.approves(i, *t),
+                        "voter {i} delegated to unapproved {t}"
+                    );
                 }
             }
         }
@@ -239,9 +247,16 @@ mod tests {
     fn delegation_count_grows_as_threshold_falls() {
         let inst = complete_instance(40);
         let mut rng = StdRng::seed_from_u64(7);
-        let low = ApprovalThreshold::new(1).run(&inst, &mut rng).delegator_count();
-        let high = ApprovalThreshold::new(30).run(&inst, &mut rng).delegator_count();
-        assert!(low > high, "low-threshold {low} should exceed high-threshold {high}");
+        let low = ApprovalThreshold::new(1)
+            .run(&inst, &mut rng)
+            .delegator_count();
+        let high = ApprovalThreshold::new(30)
+            .run(&inst, &mut rng)
+            .delegator_count();
+        assert!(
+            low > high,
+            "low-threshold {low} should exceed high-threshold {high}"
+        );
     }
 
     #[test]
@@ -259,6 +274,8 @@ mod tests {
     #[test]
     fn names_describe_rule() {
         assert_eq!(ApprovalThreshold::new(3).name(), "algorithm1(j=3)");
-        assert!(ApprovalThreshold::with_rule(ThresholdRule::Log).name().contains("log"));
+        assert!(ApprovalThreshold::with_rule(ThresholdRule::Log)
+            .name()
+            .contains("log"));
     }
 }

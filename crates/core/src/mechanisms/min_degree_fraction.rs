@@ -124,8 +124,12 @@ mod tests {
     fn fraction_one_requires_full_approval() {
         let inst = instance(5);
         let mut rng = StdRng::seed_from_u64(6);
-        let strict = MinDegreeFraction::new(1.0).run(&inst, &mut rng).delegator_count();
-        let lax = MinDegreeFraction::new(0.01).run(&inst, &mut rng).delegator_count();
+        let strict = MinDegreeFraction::new(1.0)
+            .run(&inst, &mut rng)
+            .delegator_count();
+        let lax = MinDegreeFraction::new(0.01)
+            .run(&inst, &mut rng)
+            .delegator_count();
         assert!(strict <= lax);
     }
 
@@ -150,6 +154,9 @@ mod tests {
 
     #[test]
     fn name_mentions_fraction() {
-        assert_eq!(MinDegreeFraction::quarter().name(), "min-degree-fraction(0.25)");
+        assert_eq!(
+            MinDegreeFraction::quarter().name(),
+            "min-degree-fraction(0.25)"
+        );
     }
 }

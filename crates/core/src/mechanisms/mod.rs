@@ -60,7 +60,9 @@ pub trait Mechanism {
 
     /// Run the mechanism on every voter, producing a delegation graph.
     fn run(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> DelegationGraph {
-        (0..instance.n()).map(|v| self.act(instance, v, rng)).collect()
+        (0..instance.n())
+            .map(|v| self.act(instance, v, rng))
+            .collect()
     }
 
     /// A short human-readable name for reports.

@@ -120,7 +120,9 @@ mod tests {
         let mut total = 0usize;
         let runs = 20;
         for _ in 0..runs {
-            total += ProbabilisticDelegation::new(0.3).run(&inst, &mut rng).delegator_count();
+            total += ProbabilisticDelegation::new(0.3)
+                .run(&inst, &mut rng)
+                .delegator_count();
         }
         let mean = total as f64 / runs as f64;
         // ≈ 0.3 · 199 eligible voters ≈ 60.
@@ -148,7 +150,10 @@ mod tests {
 
     #[test]
     fn name_mentions_q() {
-        assert_eq!(ProbabilisticDelegation::new(0.25).name(), "probabilistic(q=0.25)");
+        assert_eq!(
+            ProbabilisticDelegation::new(0.25).name(),
+            "probabilistic(q=0.25)"
+        );
         assert_eq!(ProbabilisticDelegation::new(0.25).q(), 0.25);
     }
 }

@@ -39,13 +39,21 @@ impl SampledThreshold {
     /// least `j_of_d` are approved (`j(d)` is "a fraction of d" in the
     /// paper).
     pub fn fresh(d: usize, j_of_d: usize) -> Self {
-        SampledThreshold { d, j_of_d, fresh_sampling: true }
+        SampledThreshold {
+            d,
+            j_of_d,
+            fresh_sampling: true,
+        }
     }
 
     /// Graph-based variant: sample up to `d` distinct voters from the
     /// voter's neighbourhood in the instance graph.
     pub fn from_graph(d: usize, j_of_d: usize) -> Self {
-        SampledThreshold { d, j_of_d, fresh_sampling: false }
+        SampledThreshold {
+            d,
+            j_of_d,
+            fresh_sampling: false,
+        }
     }
 
     /// The sample size `d`.
@@ -116,7 +124,11 @@ impl Mechanism for SampledThreshold {
     }
 
     fn name(&self) -> String {
-        let kind = if self.fresh_sampling { "fresh" } else { "graph" };
+        let kind = if self.fresh_sampling {
+            "fresh"
+        } else {
+            "graph"
+        };
         format!("algorithm2(d={}, j={}, {kind})", self.d, self.j_of_d)
     }
 }
@@ -164,7 +176,10 @@ mod tests {
             let dg = mech.run(&inst, &mut rng);
             for (i, a) in dg.actions().iter().enumerate() {
                 if let Action::Delegate(t) = a {
-                    assert!(inst.graph().has_edge(i, *t), "voter {i} delegated off-graph to {t}");
+                    assert!(
+                        inst.graph().has_edge(i, *t),
+                        "voter {i} delegated off-graph to {t}"
+                    );
                     assert!(inst.approves(i, *t));
                 }
             }
@@ -175,10 +190,20 @@ mod tests {
     fn larger_threshold_means_fewer_delegations() {
         let inst = regular_instance(100, 8, 5);
         let mut rng = StdRng::seed_from_u64(6);
-        let lax: usize =
-            (0..10).map(|_| SampledThreshold::fresh(8, 1).run(&inst, &mut rng).delegator_count()).sum();
-        let strict: usize =
-            (0..10).map(|_| SampledThreshold::fresh(8, 6).run(&inst, &mut rng).delegator_count()).sum();
+        let lax: usize = (0..10)
+            .map(|_| {
+                SampledThreshold::fresh(8, 1)
+                    .run(&inst, &mut rng)
+                    .delegator_count()
+            })
+            .sum();
+        let strict: usize = (0..10)
+            .map(|_| {
+                SampledThreshold::fresh(8, 6)
+                    .run(&inst, &mut rng)
+                    .delegator_count()
+            })
+            .sum();
         assert!(lax > strict, "lax {lax} vs strict {strict}");
     }
 

@@ -140,7 +140,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let dg = mech.run(&inst, &mut rng);
         let res = dg.resolve().unwrap();
-        assert!(res.max_weight() <= 5, "max weight {} exceeds cap", res.max_weight());
+        assert!(
+            res.max_weight() <= 5,
+            "max weight {} exceeds cap",
+            res.max_weight()
+        );
         // Votes are conserved: peeled voters vote themselves.
         assert_eq!(res.tallied(), 20);
     }
@@ -184,11 +188,7 @@ mod tests {
     #[test]
     fn chains_through_sinks_are_peeled() {
         // 0 -> 1 -> 2 (sink): weight(2) = 3; cap 2 must break the chain.
-        let dg = DelegationGraph::new(vec![
-            Action::Delegate(1),
-            Action::Delegate(2),
-            Action::Vote,
-        ]);
+        let dg = DelegationGraph::new(vec![Action::Delegate(1), Action::Delegate(2), Action::Vote]);
         let capped = WeightCapped::new(GreedyMax, 2).enforce(dg);
         let res = capped.resolve().unwrap();
         assert!(res.max_weight() <= 2);

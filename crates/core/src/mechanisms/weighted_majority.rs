@@ -152,6 +152,9 @@ mod tests {
 
     #[test]
     fn name_mentions_parameters() {
-        assert_eq!(WeightedMajorityDelegation::new(3, 2).name(), "weighted-majority(k=3, j=2)");
+        assert_eq!(
+            WeightedMajorityDelegation::new(3, 2).name(),
+            "weighted-majority(k=3, j=2)"
+        );
     }
 }

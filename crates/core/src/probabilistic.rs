@@ -155,8 +155,8 @@ mod tests {
         let graph = generators::complete(20);
         let dist = CompetencyDistribution::Uniform { lo: 0.3, hi: 0.7 };
         let mut rng = StdRng::seed_from_u64(1);
-        let v = assess_probabilistic(&graph, &dist, 0.05, &DirectVoting, 6, 2, 0.01, &mut rng)
-            .unwrap();
+        let v =
+            assess_probabilistic(&graph, &dist, 0.05, &DirectVoting, 6, 2, 0.01, &mut rng).unwrap();
         assert_eq!(v.prob_positive(), 0.0);
         assert_eq!(v.prob_harmed(), 0.0);
         assert!(v.mean_gain().abs() < 1e-12);
@@ -181,7 +181,11 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(v.prob_positive() >= 0.9, "P[gain>0] = {}", v.prob_positive());
+        assert!(
+            v.prob_positive() >= 0.9,
+            "P[gain>0] = {}",
+            v.prob_positive()
+        );
         assert!(v.prob_harmed() <= 0.1, "P[harm] = {}", v.prob_harmed());
         assert!(v.mean_gain() > 0.05);
         assert!(v.mean_p_mechanism() > v.mean_p_direct());
@@ -194,8 +198,8 @@ mod tests {
         let graph = generators::star(41);
         let dist = CompetencyDistribution::Uniform { lo: 0.55, hi: 0.7 };
         let mut rng = StdRng::seed_from_u64(3);
-        let v = assess_probabilistic(&graph, &dist, 0.01, &GreedyMax, 10, 4, 0.05, &mut rng)
-            .unwrap();
+        let v =
+            assess_probabilistic(&graph, &dist, 0.01, &GreedyMax, 10, 4, 0.05, &mut rng).unwrap();
         assert!(v.prob_harmed() > 0.5, "P[harm] = {}", v.prob_harmed());
         assert!(v.mean_gain() < -0.05);
     }

@@ -62,10 +62,7 @@ use ld_prob::recycle::{RecycleGraph, RecycleNode};
 /// assert!(mu > inst.profile().as_slice().iter().sum::<f64>());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn to_recycle_graph(
-    instance: &ProblemInstance,
-    rule: ThresholdRule,
-) -> Result<RecycleGraph> {
+pub fn to_recycle_graph(instance: &ProblemInstance, rule: ThresholdRule) -> Result<RecycleGraph> {
     if !properties::is_complete(instance.graph()) {
         return Err(CoreError::InvalidParameter {
             reason: "the recycle bridge is exact only on complete graphs".to_string(),
@@ -132,7 +129,10 @@ mod tests {
             let node = rg.nodes()[rank];
             if node.prefix > 0 {
                 assert_eq!(node.prefix, inst.approval_count(voter), "rank {rank}");
-                assert!(node.prefix <= rank, "prefix must reference predecessors only");
+                assert!(
+                    node.prefix <= rank,
+                    "prefix must reference predecessors only"
+                );
             }
         }
         // The most competent voter never recycles.

@@ -160,7 +160,11 @@ mod tests {
         assert_eq!(Restriction::Regular { d: 3 }.to_string(), "Rand(n, 3)");
         assert_eq!(Restriction::MaxDegree { k: 7 }.to_string(), "Δ ≤ 7");
         assert_eq!(Restriction::MinDegree { k: 2 }.to_string(), "δ ≥ 2");
-        assert!(Restriction::PlausibleChangeability { a: 0.1 }.to_string().contains("PC"));
-        assert!(Restriction::BoundedCompetency { beta: 0.2 }.to_string().contains("0.2"));
+        assert!(Restriction::PlausibleChangeability { a: 0.1 }
+            .to_string()
+            .contains("PC"));
+        assert!(Restriction::BoundedCompetency { beta: 0.2 }
+            .to_string()
+            .contains("0.2"));
     }
 }

@@ -56,8 +56,10 @@ pub fn exact_correct_probability(
     resolution: &Resolution,
     tie: TieBreak,
 ) -> Result<f64> {
-    let terms: Vec<(usize, f64)> =
-        resolution.sink_weights().map(|(s, w)| (w, instance.competency(s))).collect();
+    let terms: Vec<(usize, f64)> = resolution
+        .sink_weights()
+        .map(|(s, w)| (w, instance.competency(s)))
+        .collect();
     let sum = WeightedBernoulliSum::new(&terms)?;
     Ok(sum.majority_with_ties(resolution.tallied(), tie.credit()))
 }
@@ -69,8 +71,12 @@ pub fn exact_correct_probability(
 ///
 /// Propagates probability-layer validation errors.
 pub fn direct_probability(instance: &ProblemInstance, tie: TieBreak) -> Result<f64> {
-    let terms: Vec<(usize, f64)> =
-        instance.profile().as_slice().iter().map(|&p| (1usize, p)).collect();
+    let terms: Vec<(usize, f64)> = instance
+        .profile()
+        .as_slice()
+        .iter()
+        .map(|&p| (1usize, p))
+        .collect();
     let sum = WeightedBernoulliSum::new(&terms)?;
     Ok(sum.majority_with_ties(instance.n(), tie.credit()))
 }
@@ -98,7 +104,10 @@ pub fn sample_decision(
     tie: TieBreak,
     rng: &mut dyn RngCore,
 ) -> Result<bool> {
-    let order = dg.digraph().topological_order().ok_or(CoreError::CyclicDelegation)?;
+    let order = dg
+        .digraph()
+        .topological_order()
+        .ok_or(CoreError::CyclicDelegation)?;
     let n = dg.n();
     // outcome[i]: Some(correct?) or None for abstained/discarded.
     let mut outcome: Vec<Option<bool>> = vec![None; n];
@@ -185,7 +194,9 @@ mod tests {
     #[test]
     fn all_vote_equals_direct() {
         let inst = inst(vec![0.4, 0.5, 0.6, 0.7]);
-        let res = DelegationGraph::new(vec![Action::Vote; 4]).resolve().unwrap();
+        let res = DelegationGraph::new(vec![Action::Vote; 4])
+            .resolve()
+            .unwrap();
         let p = exact_correct_probability(&inst, &res, TieBreak::CoinFlip).unwrap();
         let d = direct_probability(&inst, TieBreak::CoinFlip).unwrap();
         assert!((p - d).abs() < 1e-12);
@@ -194,7 +205,9 @@ mod tests {
     #[test]
     fn tie_break_ordering() {
         let inst = inst(vec![0.5, 0.5]);
-        let res = DelegationGraph::new(vec![Action::Vote; 2]).resolve().unwrap();
+        let res = DelegationGraph::new(vec![Action::Vote; 2])
+            .resolve()
+            .unwrap();
         let pess = exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap();
         let coin = exact_correct_probability(&inst, &res, TieBreak::CoinFlip).unwrap();
         let opt = exact_correct_probability(&inst, &res, TieBreak::Correct).unwrap();
@@ -209,8 +222,9 @@ mod tests {
         // Voters: 0 abstains, 1 votes with p = 1. Tallied = 1, threshold
         // strict majority of 1 → correct iff voter 1 correct.
         let inst = inst(vec![0.2, 1.0]);
-        let res =
-            DelegationGraph::new(vec![Action::Abstain, Action::Vote]).resolve().unwrap();
+        let res = DelegationGraph::new(vec![Action::Abstain, Action::Vote])
+            .resolve()
+            .unwrap();
         let p = exact_correct_probability(&inst, &res, TieBreak::Incorrect).unwrap();
         assert!((p - 1.0).abs() < 1e-12);
     }

@@ -1,0 +1,53 @@
+//! Large-n smoke tests: `resolve` must stay iterative (no recursion, so
+//! no stack overflow on million-voter chains) and allocation-lean enough
+//! to finish in seconds.
+
+use ld_core::delegation::{Action, DelegationGraph, Resolver};
+use std::time::Instant;
+
+const N: usize = 1_000_000;
+
+#[test]
+fn million_voter_chain_resolves_iteratively() {
+    // A single path 0 -> 1 -> ... -> N-1 (votes): the worst case for a
+    // recursive resolver (depth N) and for naive memoization.
+    let mut actions: Vec<Action> = (1..N).map(Action::Delegate).collect();
+    actions.push(Action::Vote);
+    let dg = DelegationGraph::new(actions);
+    let start = Instant::now();
+    let res = dg.resolve().unwrap();
+    assert_eq!(res.sinks(), &[N - 1]);
+    assert_eq!(res.weight_of(N - 1), N);
+    assert_eq!(res.longest_chain(), N - 1);
+    assert!(
+        start.elapsed().as_secs() < 30,
+        "million-voter chain took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn million_voter_mixed_forest_resolves_and_conserves_votes() {
+    // Zipf-ish star forest: voter i delegates to i % 1024 when i >= 1024;
+    // the first 1024 voters vote or abstain alternately.
+    let actions: Vec<Action> = (0..N)
+        .map(|i| {
+            if i >= 1024 {
+                Action::Delegate(i % 1024)
+            } else if i % 2 == 0 {
+                Action::Vote
+            } else {
+                Action::Abstain
+            }
+        })
+        .collect();
+    let dg = DelegationGraph::try_new(actions).unwrap();
+    let mut scratch = Resolver::with_capacity(N);
+    let res = dg.resolve_with(&mut scratch).unwrap();
+    let tallied: usize = res.sink_weights().map(|(_, w)| w).sum();
+    assert_eq!(tallied + res.discarded(), N);
+    assert_eq!(res.sink_count(), 512);
+    assert_eq!(res.longest_chain(), 1);
+    // Scratch reuse: a second resolution must agree bit-identically.
+    assert_eq!(dg.resolve_with(&mut scratch).unwrap(), res);
+}

@@ -42,7 +42,10 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a directed graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        DiGraph { out: vec![Vec::new(); n], m: 0 }
+        DiGraph {
+            out: vec![Vec::new(); n],
+            m: 0,
+        }
     }
 
     /// Number of vertices.
@@ -166,7 +169,8 @@ impl DiGraph {
     ///
     /// Panics if the graph contains a directed cycle (other than self-loops).
     pub fn longest_path_len(&self) -> usize {
-        self.longest_path().expect("longest_path_len called on a cyclic graph")
+        self.longest_path()
+            .expect("longest_path_len called on a cyclic graph")
     }
 
     /// Follows out-edges from `start` until reaching a sink, using the

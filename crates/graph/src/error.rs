@@ -50,7 +50,10 @@ impl fmt::Display for GraphError {
                 write!(f, "vertex {vertex} out of range for graph on {n} vertices")
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop at vertex {vertex} not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} not allowed in a simple graph"
+                )
             }
             GraphError::DuplicateEdge { u, v } => {
                 write!(f, "duplicate edge ({u}, {v}) not allowed in a simple graph")
@@ -76,9 +79,14 @@ mod tests {
         let cases: Vec<(GraphError, &str)> = vec![
             (GraphError::VertexOutOfRange { vertex: 9, n: 4 }, "vertex 9"),
             (GraphError::SelfLoop { vertex: 3 }, "self-loop at vertex 3"),
-            (GraphError::DuplicateEdge { u: 1, v: 2 }, "duplicate edge (1, 2)"),
             (
-                GraphError::InfeasibleParameters { reason: "d >= n".into() },
+                GraphError::DuplicateEdge { u: 1, v: 2 },
+                "duplicate edge (1, 2)",
+            ),
+            (
+                GraphError::InfeasibleParameters {
+                    reason: "d >= n".into(),
+                },
                 "d >= n",
             ),
             (GraphError::GenerationFailed { attempts: 5 }, "5 attempts"),

@@ -113,7 +113,10 @@ mod tests {
         degs.sort_unstable();
         let median = degs[degs.len() / 2];
         let max = *degs.last().unwrap();
-        assert!(max >= 5 * median, "max {max} vs median {median}: not heavy-tailed");
+        assert!(
+            max >= 5 * median,
+            "max {max} vs median {median}: not heavy-tailed"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn random_bounded_degree<R: Rng + ?Sized>(
 ) -> Result<Graph> {
     if m > n.saturating_mul(max_degree) / 2 {
         return Err(GraphError::InfeasibleParameters {
-            reason: format!("m = {m} exceeds n·Δ/2 = {} for Δ ≤ {max_degree}", n * max_degree / 2),
+            reason: format!(
+                "m = {m} exceeds n·Δ/2 = {} for Δ ≤ {max_degree}",
+                n * max_degree / 2
+            ),
         });
     }
     if n < 2 || m == 0 || max_degree == 0 {
@@ -105,7 +108,11 @@ mod tests {
         let (n, k) = (100usize, 4usize);
         let g = random_bounded_degree(n, k, n * k / 2, &mut rng).unwrap();
         assert!(g.degrees().all(|d| d <= k));
-        assert!(g.m() >= n * k / 2 - n / 5, "m = {} too far below target", g.m());
+        assert!(
+            g.m() >= n * k / 2 - n / 5,
+            "m = {} too far below target",
+            g.m()
+        );
     }
 
     #[test]

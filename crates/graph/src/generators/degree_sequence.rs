@@ -86,13 +86,14 @@ pub fn from_degree_sequence<R: Rng + ?Sized>(degrees: &[usize], rng: &mut R) -> 
                 let mut repaired = false;
                 for _ in 0..500 {
                     let idx = rng.gen_range(0..edges.len().max(1));
-                    let Some(&(a, bb)) = edges.get(idx) else { break };
+                    let Some(&(a, bb)) = edges.get(idx) else {
+                        break;
+                    };
                     // Orient the spliced edge both ways at random.
                     let (a, bb) = if rng.gen_bool(0.5) { (a, bb) } else { (bb, a) };
                     let ua = (u.min(a), u.max(a));
                     let vb = (v.min(bb), v.max(bb));
-                    if u == a || v == bb || ua == vb || seen.contains(&ua) || seen.contains(&vb)
-                    {
+                    if u == a || v == bb || ua == vb || seen.contains(&ua) || seen.contains(&vb) {
                         continue;
                     }
                     seen.remove(&(a.min(bb), a.max(bb)));
@@ -126,7 +127,9 @@ pub fn from_degree_sequence<R: Rng + ?Sized>(degrees: &[usize], rng: &mut R) -> 
         }
         return Ok(b.build());
     }
-    Err(GraphError::GenerationFailed { attempts: MAX_ATTEMPTS })
+    Err(GraphError::GenerationFailed {
+        attempts: MAX_ATTEMPTS,
+    })
 }
 
 /// A deterministic *connected caveman* community graph: `communities`
@@ -161,12 +164,14 @@ pub fn connected_caveman(communities: usize, clique_size: usize) -> Result<Graph
                 if communities > 1 && a == 0 && z == 1 {
                     continue;
                 }
-                b.add_edge(base + a, base + z).expect("clique edges are valid");
+                b.add_edge(base + a, base + z)
+                    .expect("clique edges are valid");
             }
         }
         if communities > 1 {
             let next_base = (c + 1) % communities * clique_size;
-            b.add_edge(base, next_base + 1).expect("bridge edges are valid");
+            b.add_edge(base, next_base + 1)
+                .expect("bridge edges are valid");
         }
     }
     b.try_build()

@@ -84,10 +84,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge(idx(r, c), idx(r, c + 1)).expect("grid edges are valid");
+                b.add_edge(idx(r, c), idx(r, c + 1))
+                    .expect("grid edges are valid");
             }
             if r + 1 < rows {
-                b.add_edge(idx(r, c), idx(r + 1, c)).expect("grid edges are valid");
+                b.add_edge(idx(r, c), idx(r + 1, c))
+                    .expect("grid edges are valid");
             }
         }
     }

@@ -85,7 +85,12 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Resu
         let mut set = std::collections::HashSet::with_capacity(m);
         for j in (total - m)..total {
             let t = rng.gen_range(0..=j);
-            let pick = if set.insert(t) { t } else { set.insert(j); j };
+            let pick = if set.insert(t) {
+                t
+            } else {
+                set.insert(j);
+                j
+            };
             chosen.push(pick);
         }
     }

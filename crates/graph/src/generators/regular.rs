@@ -83,7 +83,9 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Resul
         }
         return Ok(b.build());
     }
-    Err(GraphError::GenerationFailed { attempts: MAX_ATTEMPTS })
+    Err(GraphError::GenerationFailed {
+        attempts: MAX_ATTEMPTS,
+    })
 }
 
 #[cfg(test)]

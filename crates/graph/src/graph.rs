@@ -48,7 +48,10 @@ impl Graph {
     /// assert_eq!(g.m(), 0);
     /// ```
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], adj: Vec::new() }
+        Graph {
+            offsets: vec![0; n + 1],
+            adj: Vec::new(),
+        }
     }
 
     /// Builds a graph on `n` vertices from an edge list.
@@ -111,7 +114,9 @@ impl Graph {
     ///
     /// Panics if `v >= self.n()`.
     pub fn neighbors(&self, v: usize) -> Neighbors<'_> {
-        Neighbors { inner: self.neighbor_slice(v).iter() }
+        Neighbors {
+            inner: self.neighbor_slice(v).iter(),
+        }
     }
 
     /// The neighbours of `v` as a sorted slice.
@@ -175,7 +180,10 @@ impl Graph {
         let mut selected = Vec::with_capacity(vertices.len());
         for &v in vertices {
             if v >= self.n() {
-                return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n() });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    n: self.n(),
+                });
             }
             if let std::collections::hash_map::Entry::Vacant(e) = index.entry(v) {
                 e.insert(selected.len());
@@ -248,12 +256,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder expecting roughly `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices of the graph under construction.
@@ -279,10 +293,16 @@ impl GraphBuilder {
     /// Returns [`GraphError::VertexOutOfRange`] or [`GraphError::SelfLoop`].
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<()> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -307,7 +327,8 @@ impl GraphBuilder {
     /// guarantee uniqueness by construction; external callers with untrusted
     /// edge lists should prefer [`GraphBuilder::try_build`].
     pub fn build(self) -> Graph {
-        self.try_build().expect("duplicate edge passed to GraphBuilder::build")
+        self.try_build()
+            .expect("duplicate edge passed to GraphBuilder::build")
     }
 
     /// Finalizes the builder, returning an error on duplicate edges.
@@ -319,7 +340,10 @@ impl GraphBuilder {
     pub fn try_build(mut self) -> Result<Graph> {
         self.edges.sort_unstable();
         if let Some(w) = self.edges.windows(2).find(|w| w[0] == w[1]) {
-            return Err(GraphError::DuplicateEdge { u: w[0].0, v: w[0].1 });
+            return Err(GraphError::DuplicateEdge {
+                u: w[0].0,
+                v: w[0].1,
+            });
         }
         let n = self.n;
         let mut deg = vec![0usize; n];
@@ -419,8 +443,8 @@ mod tests {
 
     #[test]
     fn handshake_lemma_on_manual_graph() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
         let degree_sum: usize = g.degrees().sum();
         assert_eq!(degree_sum, 2 * g.m());
     }

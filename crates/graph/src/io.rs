@@ -129,7 +129,10 @@ fn parse_field(field: Option<&str>, lineno: usize) -> Result<usize> {
         })?
         .parse()
         .map_err(|_| GraphError::InfeasibleParameters {
-            reason: format!("line {}: vertex index is not a nonnegative integer", lineno + 1),
+            reason: format!(
+                "line {}: vertex index is not a nonnegative integer",
+                lineno + 1
+            ),
         })
 }
 

@@ -105,7 +105,10 @@ pub fn average_path_length(g: &Graph) -> Option<f64> {
     }
     let mut total = 0usize;
     for v in 0..g.n() {
-        total += traversal::bfs_distances(g, v).into_iter().flatten().sum::<usize>();
+        total += traversal::bfs_distances(g, v)
+            .into_iter()
+            .flatten()
+            .sum::<usize>();
     }
     Some(total as f64 / (g.n() * (g.n() - 1)) as f64)
 }

@@ -1,0 +1,39 @@
+//! # `ld-live` — incremental liquid democracy under churn
+//!
+//! The rest of the workspace treats a delegation graph as a snapshot: a
+//! mechanism emits one [`ld_core::delegation::DelegationGraph`], it is
+//! resolved once, tallied once. Real deployments are streams: voters
+//! re-delegate, reclaim their vote, abstain, and competency estimates
+//! drift. Recomputing `resolve()` from scratch after every such event is
+//! `O(n)` per update; this crate maintains the resolved state — the
+//! reverse delegation forest, per-sink weights, discarded-vote counts,
+//! chain depths, and the weighted-majority tally — *incrementally*, in
+//! `O(affected subtree)` per update.
+//!
+//! * [`LiveEngine`] — the stateful engine. Feed it [`Update`]s one at a
+//!   time ([`LiveEngine::apply`]) or in batches
+//!   ([`LiveEngine::apply_batch`], which recomputes each touched region
+//!   once no matter how many updates land in it). Invalid updates
+//!   (out-of-range targets, cycle-creating delegations, malformed
+//!   competencies) are *rejected* with a typed [`RejectReason`] and leave
+//!   the state untouched, so the engine's graph is valid at every
+//!   instant — mirroring [`DelegationGraph::resolve`]'s contract that
+//!   cycles are an error, never silent.
+//! * [`workload`] — seeded synthetic churn traces (configurable update
+//!   mix, Zipf-skewed delegation targets) used by the `repro stress`
+//!   driver and the benchmarks.
+//!
+//! The engine's exported [`LiveEngine::resolution`] is bit-identical to
+//! resolving its current action vector from scratch — the property the
+//! `repro stress` workload cross-checks at scale after millions of
+//! updates, and `tests/proptest_replay.rs` checks on random traces.
+//!
+//! [`DelegationGraph::resolve`]: ld_core::delegation::DelegationGraph::resolve
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod workload;
+
+pub use engine::{BatchReport, LiveEngine, RejectReason, Update};

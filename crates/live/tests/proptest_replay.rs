@@ -1,0 +1,108 @@
+//! Property: replaying ANY random update trace through the live engine —
+//! streamed one update at a time or batched in arbitrary chunk sizes —
+//! leaves it in exactly the state a from-scratch
+//! `DelegationGraph::resolve` + tally of the final action vector
+//! produces.
+
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_core::tally::TieBreak;
+use ld_live::{LiveEngine, Update};
+use ld_prob::poisson_binomial::brute_force_majority;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn fresh_engine(n: usize) -> LiveEngine {
+    let competences = (0..n).map(|i| 0.3 + 0.4 * (i as f64 / n as f64)).collect();
+    LiveEngine::new(vec![Action::Vote; n], competences).expect("all-Vote engine is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streamed_replay_equals_from_scratch_resolve(
+        nk in 2usize..40,
+        updates in vec((0usize..4, 0usize..64, 0usize..64, 0u32..=1100), 0..120),
+    ) {
+        let n = nk;
+        let mut live = fresh_engine(n);
+        for &(kind, voter, target, pk) in &updates {
+            let update = match kind {
+                0 => Update::Delegate { voter: voter % (n + 2), target: target % (n + 2) },
+                1 => Update::Vote { voter: voter % (n + 2) },
+                2 => Update::Abstain { voter: voter % (n + 2) },
+                _ => Update::Competence { voter: voter % (n + 2), p: f64::from(pk) / 1000.0 },
+            };
+            let _ = live.apply(update);
+        }
+        // Bit-identical resolution...
+        let fresh = DelegationGraph::new(live.actions().to_vec())
+            .resolve()
+            .expect("engine actions always resolvable");
+        prop_assert_eq!(&fresh, &live.resolution());
+        // ...and consistent internal accumulators.
+        live.self_check().expect("self-check");
+    }
+
+    #[test]
+    fn batched_replay_equals_streamed_replay(
+        n in 2usize..32,
+        chunk in 1usize..16,
+        raw in vec((0usize..4, 0usize..40, 0usize..40, 0u32..=1100), 0..100),
+    ) {
+        let updates: Vec<Update> = raw
+            .iter()
+            .map(|&(kind, voter, target, pk)| match kind {
+                0 => Update::Delegate { voter, target },
+                1 => Update::Vote { voter },
+                2 => Update::Abstain { voter },
+                _ => Update::Competence { voter, p: f64::from(pk) / 1000.0 },
+            })
+            .collect();
+        let mut streamed = fresh_engine(n);
+        let mut rejected_streaming = 0usize;
+        for &u in &updates {
+            if streamed.apply(u).is_err() {
+                rejected_streaming += 1;
+            }
+        }
+        let mut batched = fresh_engine(n);
+        let mut rejected_batched = 0usize;
+        for block in updates.chunks(chunk) {
+            rejected_batched += batched.apply_batch(block).rejected.len();
+        }
+        prop_assert_eq!(rejected_streaming, rejected_batched);
+        prop_assert_eq!(streamed.actions(), batched.actions());
+        prop_assert_eq!(streamed.competences(), batched.competences());
+        prop_assert_eq!(streamed.resolution(), batched.resolution());
+    }
+
+    #[test]
+    fn live_tally_matches_brute_force_over_final_state(
+        n in 2usize..20,
+        raw in vec((0usize..4, 0usize..26, 0usize..26, 0u32..=1000), 0..80),
+    ) {
+        let mut live = fresh_engine(n);
+        for &(kind, voter, target, pk) in &raw {
+            let _ = live.apply(match kind {
+                0 => Update::Delegate { voter, target },
+                1 => Update::Vote { voter },
+                2 => Update::Abstain { voter },
+                _ => Update::Competence { voter, p: f64::from(pk) / 1000.0 },
+            });
+        }
+        // Independent oracle: resolve the final actions from scratch and
+        // enumerate all 2^sinks outcomes (tie counts as incorrect, the
+        // paper's strict rule — TieBreak::Incorrect).
+        let fresh = DelegationGraph::new(live.actions().to_vec())
+            .resolve()
+            .expect("engine actions always resolvable");
+        let terms: Vec<(usize, f64)> = fresh
+            .sink_weights()
+            .map(|(s, w)| (w, live.competences()[s]))
+            .collect();
+        let oracle = brute_force_majority(&terms, fresh.tallied()).expect("brute force");
+        let livep = live.decision_probability_exact(TieBreak::Incorrect).expect("tally");
+        prop_assert!((oracle - livep).abs() < 1e-9, "oracle {} vs live {}", oracle, livep);
+    }
+}

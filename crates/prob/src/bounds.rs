@@ -156,10 +156,15 @@ pub fn berry_esseen_bernoulli(ps: &[f64]) -> Result<f64> {
 pub fn anti_concentration_flip_bound(n: usize, delegations: usize, beta: f64) -> Result<f64> {
     check_probability(beta, "bounded-competency beta")?;
     if beta <= 0.0 || beta >= 0.5 {
-        return Err(ProbError::InvalidProbability { value: beta, context: "beta must be in (0, 1/2)" });
+        return Err(ProbError::InvalidProbability {
+            value: beta,
+            context: "beta must be in (0, 1/2)",
+        });
     }
     if n == 0 {
-        return Err(ProbError::InvalidParameter { reason: "n must be positive".to_string() });
+        return Err(ProbError::InvalidParameter {
+            reason: "n must be positive".to_string(),
+        });
     }
     if delegations > n {
         return Err(ProbError::InvalidParameter {

@@ -68,9 +68,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ProbError::InvalidProbability { value: 1.5, context: "weight" };
+        let e = ProbError::InvalidProbability {
+            value: 1.5,
+            context: "weight",
+        };
         assert!(e.to_string().contains("1.5"));
-        let e = ProbError::InvalidParameter { reason: "weights must be positive".into() };
+        let e = ProbError::InvalidParameter {
+            reason: "weights must be positive".into(),
+        };
         assert!(e.to_string().contains("positive"));
     }
 }

@@ -137,7 +137,11 @@ mod tests {
             (3.0, 0.9999779095),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 2e-7,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
             assert!((erf(-x) + want).abs() < 2e-7, "erf(-{x}) asymmetric");
         }
     }
@@ -196,7 +200,10 @@ mod tests {
 
     #[test]
     fn zero_variance_cdf_is_step() {
-        let a = NormalApprox { mean: 2.0, variance: 0.0 };
+        let a = NormalApprox {
+            mean: 2.0,
+            variance: 0.0,
+        };
         assert_eq!(a.cdf(1.9), 0.0);
         assert_eq!(a.cdf(2.0), 1.0);
         assert_eq!(a.prob_in(0.0, 1.0), 0.0);
@@ -205,7 +212,10 @@ mod tests {
 
     #[test]
     fn prob_in_empty_interval_is_zero() {
-        let a = NormalApprox { mean: 0.0, variance: 1.0 };
+        let a = NormalApprox {
+            mean: 0.0,
+            variance: 1.0,
+        };
         assert_eq!(a.prob_in(1.0, -1.0), 0.0);
     }
 

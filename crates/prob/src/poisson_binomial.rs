@@ -54,7 +54,11 @@ impl PoissonBinomial {
         }
         let mean = ps.iter().sum();
         let variance = ps.iter().map(|p| p * (1.0 - p)).sum();
-        Ok(PoissonBinomial { pmf, mean, variance })
+        Ok(PoissonBinomial {
+            pmf,
+            mean,
+            variance,
+        })
     }
 
     /// Number of summands `n`.
@@ -161,8 +165,15 @@ impl WeightedBernoulliSum {
             reached += w;
         }
         let mean = terms.iter().map(|&(w, p)| w as f64 * p).sum();
-        let variance = terms.iter().map(|&(w, p)| (w as f64).powi(2) * p * (1.0 - p)).sum();
-        Ok(WeightedBernoulliSum { pmf, mean, variance })
+        let variance = terms
+            .iter()
+            .map(|&(w, p)| (w as f64).powi(2) * p * (1.0 - p))
+            .sum();
+        Ok(WeightedBernoulliSum {
+            pmf,
+            mean,
+            variance,
+        })
     }
 
     /// Total weight `W = Σ w_i`.
@@ -279,8 +290,12 @@ mod tests {
         let pb = PoissonBinomial::new(&ps).unwrap();
         let total: f64 = pb.pmf_slice().iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
-        let mean_from_pmf: f64 =
-            pb.pmf_slice().iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        let mean_from_pmf: f64 = pb
+            .pmf_slice()
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| k as f64 * p)
+            .sum();
         assert!((mean_from_pmf - pb.mean()).abs() < 1e-9);
         let var_from_pmf: f64 = pb
             .pmf_slice()

@@ -39,13 +39,21 @@ pub struct RecycleNode {
 impl RecycleNode {
     /// A node that always draws a fresh `Bernoulli(p)`.
     pub fn fresh(p: f64) -> Self {
-        RecycleNode { fresh_prob: 1.0, success_prob: p, prefix: 0 }
+        RecycleNode {
+            fresh_prob: 1.0,
+            success_prob: p,
+            prefix: 0,
+        }
     }
 
     /// A node that recycles from `0..prefix` with probability
     /// `1 - fresh_prob` and otherwise draws `Bernoulli(p)`.
     pub fn recycling(fresh_prob: f64, p: f64, prefix: usize) -> Self {
-        RecycleNode { fresh_prob, success_prob: p, prefix }
+        RecycleNode {
+            fresh_prob,
+            success_prob: p,
+            prefix,
+        }
     }
 }
 
@@ -140,7 +148,12 @@ impl RecycleGraph {
             running_sum += e;
             prefix_sums.push(running_sum);
         }
-        Ok(RecycleGraph { nodes, j, complexity, expectations })
+        Ok(RecycleGraph {
+            nodes,
+            j,
+            complexity,
+            expectations,
+        })
     }
 
     /// Builds the canonical delegation-shaped instance used by the Lemma 2
@@ -196,7 +209,10 @@ impl RecycleGraph {
         let total: usize = block_sizes.iter().sum();
         if total != ps.len() {
             return Err(ProbError::InvalidParameter {
-                reason: format!("block sizes sum to {total} but {} probabilities given", ps.len()),
+                reason: format!(
+                    "block sizes sum to {total} but {} probabilities given",
+                    ps.len()
+                ),
             });
         }
         if block_sizes.first().copied().unwrap_or(0) == 0 {
@@ -302,8 +318,7 @@ impl RecycleGraph {
                 } else {
                     let t = node.prefix;
                     let avg = cum[k][t] / t as f64;
-                    node.fresh_prob * node.success_prob * e[k]
-                        + (1.0 - node.fresh_prob) * avg
+                    node.fresh_prob * node.success_prob * e[k] + (1.0 - node.fresh_prob) * avg
                 };
                 row.push(val);
             }
@@ -595,7 +610,11 @@ mod tests {
             w.push(g.realize(&mut rng).sum() as f64);
         }
         let rel = (w.sample_variance() - exact).abs() / exact;
-        assert!(rel < 0.05, "MC variance {} vs exact {exact}", w.sample_variance());
+        assert!(
+            rel < 0.05,
+            "MC variance {} vs exact {exact}",
+            w.sample_variance()
+        );
     }
 
     #[test]

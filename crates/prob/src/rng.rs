@@ -50,7 +50,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for master in 0..20u64 {
             for index in 0..20u64 {
-                assert!(seen.insert(split_seed(master, index)), "collision at ({master},{index})");
+                assert!(
+                    seen.insert(split_seed(master, index)),
+                    "collision at ({master},{index})"
+                );
             }
         }
     }

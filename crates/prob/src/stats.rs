@@ -90,7 +90,11 @@ impl Welford {
         let m2 = self.m2
             + other.m2
             + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
-        *self = Welford { count: total, mean, m2 };
+        *self = Welford {
+            count: total,
+            mean,
+            m2,
+        };
     }
 
     /// A two-sided normal-approximation confidence interval for the mean at
@@ -129,7 +133,10 @@ pub struct Proportion {
 impl Proportion {
     /// Creates an empty estimate.
     pub fn new() -> Self {
-        Proportion { successes: 0, trials: 0 }
+        Proportion {
+            successes: 0,
+            trials: 0,
+        }
     }
 
     /// Creates an estimate from counts.
@@ -138,7 +145,10 @@ impl Proportion {
     ///
     /// Panics if `successes > trials`.
     pub fn from_counts(successes: u64, trials: u64) -> Self {
-        assert!(successes <= trials, "successes {successes} exceed trials {trials}");
+        assert!(
+            successes <= trials,
+            "successes {successes} exceed trials {trials}"
+        );
         Proportion { successes, trials }
     }
 
@@ -376,7 +386,10 @@ mod tests {
         // Perfectly matched sample: quantiles of the uniform.
         let mut s: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
         let d = ks_statistic(&mut s, |x| x.clamp(0.0, 1.0));
-        assert!(d <= 0.12, "near-uniform sample should have small KS, got {d}");
+        assert!(
+            d <= 0.12,
+            "near-uniform sample should have small KS, got {d}"
+        );
         // Degenerate mismatch: all mass at 0 against uniform.
         let mut zeros = vec![0.0; 10];
         let d = ks_statistic(&mut zeros, |x| x.clamp(0.0, 1.0));
@@ -410,8 +423,10 @@ mod tests {
     #[test]
     fn power_law_exponent_recovers_rate() {
         // y = 7 x^{-0.5}
-        let pts: Vec<(f64, f64)> =
-            [10.0f64, 100.0, 1000.0, 10_000.0].iter().map(|&x| (x, 7.0 * x.powf(-0.5))).collect();
+        let pts: Vec<(f64, f64)> = [10.0f64, 100.0, 1000.0, 10_000.0]
+            .iter()
+            .map(|&x| (x, 7.0 * x.powf(-0.5)))
+            .collect();
         let a = power_law_exponent(&pts).unwrap();
         assert!((a + 0.5).abs() < 1e-9, "exponent {a}");
     }

@@ -8,6 +8,7 @@
 //! repro all --seed 7 --json results.json
 //! repro all --max-wall 3600    # budget: degrade gracefully after 1 h
 //! repro --resume results/checkpoints/repro-seed<seed>-full.json
+//! repro stress --n 100000 --updates 1000000   # live-engine churn driver
 //! ```
 //!
 //! Runs are fault tolerant: each experiment executes under panic
@@ -88,8 +89,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-checkpoint" => args.no_checkpoint = true,
             "--max-wall" => {
                 let v = iter.next().ok_or("--max-wall needs seconds")?;
-                args.max_wall =
-                    Some(v.parse().map_err(|_| format!("bad wall budget {v:?}"))?);
+                args.max_wall = Some(v.parse().map_err(|_| format!("bad wall budget {v:?}"))?);
             }
             "--max-retries" => {
                 let v = iter.next().ok_or("--max-retries needs a count")?;
@@ -101,7 +101,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--list] [--quick] [--seed N] [--workers N] [--json PATH] \
                      [--csv-dir DIR] [--resume CKPT] [--checkpoint-dir DIR] [--no-checkpoint] \
                      [--max-wall SECS] [--max-retries N] [--fail-fast] \
-                     <id>... | all | verify | sweep ..."
+                     <id>... | all | verify | sweep ... | stress ..."
                 );
                 std::process::exit(0);
             }
@@ -195,7 +195,9 @@ fn run_sweep_command(cfg: &ExperimentConfig) -> ExitCode {
         max_trials_per_point,
         min_trials_for_report: min_trials,
     };
-    let mut harness = Harness::new().with_budget(budget).with_max_retries(max_retries);
+    let mut harness = Harness::new()
+        .with_budget(budget)
+        .with_max_retries(max_retries);
     let engine = cfg.engine(777);
     let outcome = spec.and_then(|spec| {
         let resume = match &resume_path {
@@ -204,8 +206,10 @@ fn run_sweep_command(cfg: &ExperimentConfig) -> ExitCode {
         };
         match inject_panic {
             Some(n) => {
-                let faulty =
-                    PanicInjection { inner: spec.mechanism.build()?, panic_at: n };
+                let faulty = PanicInjection {
+                    inner: spec.mechanism.build()?,
+                    panic_at: n,
+                };
                 run_sweep_resumable_with(
                     &spec,
                     &faulty,
@@ -249,6 +253,135 @@ fn run_sweep_command(cfg: &ExperimentConfig) -> ExitCode {
     }
 }
 
+/// Handles `repro stress --n N --updates U [--batch K] [--seed S]
+/// [--zipf S] [--mix d,v,a]`: drives a seeded synthetic churn trace
+/// through the `ld-live` engine twice — streamed one update at a time and
+/// batched K at a time — reports throughput and latency percentiles, and
+/// cross-checks that the incremental state is bit-identical to a
+/// from-scratch `resolve()` of the final action vector (and that the two
+/// replicas agree). Any divergence is a non-zero exit.
+fn run_stress_command() -> ExitCode {
+    use ld_live::workload::TraceConfig;
+    use ld_sim::experiments::stress::{run_churn, ChurnSpec};
+    use ld_sim::table::Table;
+
+    let mut n: Option<usize> = None;
+    let mut updates: Option<usize> = None;
+    let mut batch = 64usize;
+    let mut seed = ExperimentConfig::default().seed;
+    let mut zipf: Option<f64> = None;
+    let mut mix: Option<String> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let next = |i: usize| -> Option<&String> { argv.get(i + 1) };
+        match argv[i].as_str() {
+            "--n" => n = next(i).and_then(|v| v.parse().ok()),
+            "--updates" => updates = next(i).and_then(|v| v.parse().ok()),
+            "--batch" => batch = next(i).and_then(|v| v.parse().ok()).unwrap_or(batch),
+            "--seed" => seed = next(i).and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--zipf" => zipf = next(i).and_then(|v| v.parse().ok()),
+            "--mix" => mix = next(i).cloned(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    let usage = "usage: repro stress --n <voters> --updates <count> [--batch K] [--seed S] \
+                 [--zipf S] [--mix delegate,vote,abstain]";
+    let (Some(n), Some(updates)) = (n, updates) else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let mut trace = TraceConfig::balanced(n);
+    if let Some(s) = zipf {
+        trace.zipf_s = s;
+    }
+    if let Some(mix) = mix {
+        let parts: Vec<f64> = mix
+            .split(',')
+            .filter_map(|p| p.trim().parse().ok())
+            .collect();
+        if parts.len() != 3 {
+            eprintln!("bad --mix {mix:?} (want three fractions, e.g. 0.55,0.2,0.05)");
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+        trace.delegate_frac = parts[0];
+        trace.vote_frac = parts[1];
+        trace.abstain_frac = parts[2];
+    }
+    let spec = ChurnSpec {
+        trace,
+        updates,
+        batch: 1,
+        seed,
+    };
+    let outcome = (|| -> ld_sim::Result<(Table, bool)> {
+        let streamed = run_churn(&spec)?;
+        let batched = run_churn(&ChurnSpec {
+            batch: batch.max(1),
+            ..spec.clone()
+        })?;
+        let mut table = Table::new(
+            &format!("stress: n={n}, {updates} updates, seed {seed}"),
+            &[
+                "mode",
+                "applied",
+                "rejected",
+                "upd/s",
+                "p50 us",
+                "p95 us",
+                "p99 us",
+                "touched/upd",
+                "chain",
+                "sinks",
+                "P[correct]",
+            ],
+        );
+        for (mode, r) in [
+            ("stream".to_string(), &streamed),
+            (format!("batch{}", batch.max(1)), &batched),
+        ] {
+            table.push([
+                mode.into(),
+                r.applied.into(),
+                r.rejected.into(),
+                (r.updates as f64 / r.elapsed).into(),
+                r.p50_us.into(),
+                r.p95_us.into(),
+                r.p99_us.into(),
+                (r.touched as f64 / r.applied.max(1) as f64).into(),
+                r.longest_chain.into(),
+                r.sinks.into(),
+                r.decision_probability.into(),
+            ]);
+        }
+        Ok((table, streamed.resolution == batched.resolution))
+    })();
+    match outcome {
+        Ok((table, replicas_agree)) => {
+            print!("{}", table.to_text());
+            // run_churn has already verified incremental == from-scratch
+            // for each replica; here we add the stream-vs-batch check.
+            println!("cross-check: incremental == from-scratch resolve: ok (both replicas)");
+            if replicas_agree {
+                println!("cross-check: streamed == batched final state: ok");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("cross-check FAILED: streamed and batched replicas diverged");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// A maintenance aid (`repro sweep --inject-panic N`): wraps the real
 /// mechanism and panics at instance size `N`, for demonstrating and
 /// testing the harness's quarantine path end to end.
@@ -264,7 +397,12 @@ impl ld_core::mechanisms::Mechanism for PanicInjection {
         voter: usize,
         rng: &mut dyn rand::RngCore,
     ) -> ld_core::delegation::Action {
-        assert_ne!(instance.n(), self.panic_at, "injected panic at n = {}", self.panic_at);
+        assert_ne!(
+            instance.n(),
+            self.panic_at,
+            "injected panic at n = {}",
+            self.panic_at
+        );
         self.inner.act(instance, voter, rng)
     }
 
@@ -273,7 +411,12 @@ impl ld_core::mechanisms::Mechanism for PanicInjection {
         instance: &ld_core::ProblemInstance,
         rng: &mut dyn rand::RngCore,
     ) -> ld_core::delegation::DelegationGraph {
-        assert_ne!(instance.n(), self.panic_at, "injected panic at n = {}", self.panic_at);
+        assert_ne!(
+            instance.n(),
+            self.panic_at,
+            "injected panic at n = {}",
+            self.panic_at
+        );
         self.inner.run(instance, rng)
     }
 
@@ -316,6 +459,11 @@ fn main() -> ExitCode {
         return run_sweep_command(&cfg);
     }
 
+    // Likewise the stress subcommand (churn workload for the live engine).
+    if std::env::args().nth(1).is_some_and(|a| a == "stress") {
+        return run_stress_command();
+    }
+
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -327,7 +475,10 @@ fn main() -> ExitCode {
     if args.list || (args.ids.is_empty() && args.resume.is_none()) {
         println!("available experiments:");
         for info in experiments::all() {
-            println!("  {:<14} {:<36} {}", info.id, info.paper_ref, info.description);
+            println!(
+                "  {:<14} {:<36} {}",
+                info.id, info.paper_ref, info.description
+            );
         }
         if args.ids.is_empty() && args.resume.is_none() && !args.list {
             println!("\nrun with: repro all  (or a list of ids)");
@@ -340,8 +491,10 @@ fn main() -> ExitCode {
     // (resume promises bit-identical estimates).
     let (cfg, planned_ids, completed, mut quarantine) = if let Some(path) = &args.resume {
         if !args.ids.is_empty() {
-            eprintln!("error: --resume takes its experiment list from the checkpoint; \
-                       drop the ids from the command line");
+            eprintln!(
+                "error: --resume takes its experiment list from the checkpoint; \
+                       drop the ids from the command line"
+            );
             return ExitCode::FAILURE;
         }
         let ck: RunCheckpoint = match checkpoint::load(path) {
@@ -365,7 +518,10 @@ fn main() -> ExitCode {
         }
         (ck.config(), ck.ids.clone(), ck.completed, ck.quarantine)
     } else {
-        let mut cfg = ExperimentConfig { quick: args.quick, ..Default::default() };
+        let mut cfg = ExperimentConfig {
+            quick: args.quick,
+            ..Default::default()
+        };
         if let Some(seed) = args.seed {
             cfg.seed = seed;
         }
@@ -422,14 +578,18 @@ fn main() -> ExitCode {
     } else if let Some(path) = &args.resume {
         Some(path.clone())
     } else {
-        let dir =
-            args.checkpoint_dir.clone().unwrap_or_else(|| PathBuf::from(checkpoint::DEFAULT_DIR));
+        let dir = args
+            .checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(checkpoint::DEFAULT_DIR));
         Some(RunCheckpoint::default_path(&dir, &cfg))
     };
 
     let start = Instant::now();
-    let wall_expired =
-        |start: &Instant| args.max_wall.is_some_and(|max| start.elapsed().as_secs_f64() >= max);
+    let wall_expired = |start: &Instant| {
+        args.max_wall
+            .is_some_and(|max| start.elapsed().as_secs_f64() >= max)
+    };
 
     let mut results: Vec<ExperimentResult> = Vec::new();
     for info in &infos {
@@ -440,7 +600,10 @@ fn main() -> ExitCode {
             continue;
         }
         if wall_expired(&start) {
-            eprintln!("wall budget expired; truncating {} ({})", info.id, info.paper_ref);
+            eprintln!(
+                "wall budget expired; truncating {} ({})",
+                info.id, info.paper_ref
+            );
             results.push(ExperimentResult {
                 id: info.id.to_string(),
                 paper_ref: info.paper_ref.to_string(),
@@ -455,7 +618,11 @@ fn main() -> ExitCode {
             report::run_experiment_isolated(info, &cfg, args.max_retries);
         quarantine.append(&mut new_quarantine);
         if !result.status.is_complete() {
-            eprintln!("warning: {} did not complete: {}", info.id, result.status.tag());
+            eprintln!(
+                "warning: {} did not complete: {}",
+                info.id,
+                result.status.tag()
+            );
             if args.fail_fast {
                 report_quarantine(&quarantine);
                 return ExitCode::FAILURE;
@@ -474,7 +641,10 @@ fn main() -> ExitCode {
                 .collect();
             ck.quarantine.clone_from(&quarantine);
             if let Err(e) = checkpoint::save(&ck, path) {
-                eprintln!("warning: could not write checkpoint {}: {e}", path.display());
+                eprintln!(
+                    "warning: could not write checkpoint {}: {e}",
+                    path.display()
+                );
             } else {
                 eprintln!("checkpoint: {}", path.display());
             }

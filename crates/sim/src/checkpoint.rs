@@ -67,7 +67,11 @@ impl RunCheckpoint {
 
     /// The experiment configuration this checkpoint was produced under.
     pub fn config(&self) -> ExperimentConfig {
-        ExperimentConfig { seed: self.seed, workers: self.workers, quick: self.quick }
+        ExperimentConfig {
+            seed: self.seed,
+            workers: self.workers,
+            quick: self.quick,
+        }
     }
 
     /// True if `id` already has a recorded result.
@@ -77,7 +81,11 @@ impl RunCheckpoint {
 
     /// Planned ids without a recorded result yet, in plan order.
     pub fn remaining(&self) -> Vec<String> {
-        self.ids.iter().filter(|id| !self.is_done(id)).cloned().collect()
+        self.ids
+            .iter()
+            .filter(|id| !self.is_done(id))
+            .cloned()
+            .collect()
     }
 
     /// The default checkpoint file name for a run configuration.
@@ -158,8 +166,9 @@ pub fn save<T: Serialize>(value: &T, path: &Path) -> Result<()> {
             std::fs::create_dir_all(parent)?;
         }
     }
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| SimError::Checkpoint { reason: format!("serialize: {e}") })?;
+    let json = serde_json::to_string_pretty(value).map_err(|e| SimError::Checkpoint {
+        reason: format!("serialize: {e}"),
+    })?;
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, json)?;
     std::fs::rename(&tmp, path)?;
@@ -175,10 +184,14 @@ pub fn save<T: Serialize>(value: &T, path: &Path) -> Result<()> {
 /// [`SimError::Checkpoint`] for malformed JSON or a version mismatch.
 pub fn load<T: DeserializeOwned>(path: &Path) -> Result<T> {
     let text = std::fs::read_to_string(path)?;
-    let value: serde_json::Value = serde_json::from_str(&text).map_err(|e| {
-        SimError::Checkpoint { reason: format!("{}: not valid JSON: {e}", path.display()) }
-    })?;
-    let version = value.get("version").and_then(serde_json::Value::as_u64).unwrap_or(0);
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| SimError::Checkpoint {
+            reason: format!("{}: not valid JSON: {e}", path.display()),
+        })?;
+    let version = value
+        .get("version")
+        .and_then(serde_json::Value::as_u64)
+        .unwrap_or(0);
     if version != u64::from(CHECKPOINT_VERSION) {
         return Err(SimError::Checkpoint {
             reason: format!(
@@ -202,10 +215,7 @@ mod tests {
         SweepSpec {
             topology: crate::sweep::TopologySpec::Complete,
             mechanism: crate::sweep::MechanismSpec::Algorithm1 { j: 1 },
-            profile: ld_core::distributions::CompetencyDistribution::Uniform {
-                lo: 0.35,
-                hi: 0.65,
-            },
+            profile: ld_core::distributions::CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 },
             alpha: 0.05,
             sizes: vec![16, 24],
             trials: 8,
@@ -224,7 +234,10 @@ mod tests {
             n: 16,
             seed: 7,
             trials: 8,
-            outcome: PointOutcome { estimate: None, status: PointStatus::Complete },
+            outcome: PointOutcome {
+                estimate: None,
+                status: PointStatus::Complete,
+            },
         });
         ck.quarantine.push(QuarantineEntry {
             run_id: "sweep".into(),
@@ -260,14 +273,21 @@ mod tests {
             Err(SimError::Checkpoint { .. })
         ));
         std::fs::remove_file(&path).ok();
-        assert!(matches!(load::<SweepCheckpoint>(&path), Err(SimError::Io(_))));
+        assert!(matches!(
+            load::<SweepCheckpoint>(&path),
+            Err(SimError::Io(_))
+        ));
     }
 
     #[test]
     fn resume_mismatches_are_named() {
         let ck = SweepCheckpoint::new(&spec(), 42, 2);
         assert!(ck.check_matches(&spec(), 42, 2).is_ok());
-        assert!(ck.check_matches(&spec(), 43, 2).unwrap_err().to_string().contains("seed"));
+        assert!(ck
+            .check_matches(&spec(), 43, 2)
+            .unwrap_err()
+            .to_string()
+            .contains("seed"));
         assert!(ck
             .check_matches(&spec(), 42, 4)
             .unwrap_err()

@@ -44,8 +44,14 @@ impl Engine {
     /// Creates an engine with the given master seed and as many workers as
     /// the machine has available cores.
     pub fn new(seed: u64) -> Self {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Engine { seed, workers, tie: TieBreak::Incorrect }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Engine {
+            seed,
+            workers,
+            tie: TieBreak::Incorrect,
+        }
     }
 
     /// Overrides the worker count (1 = sequential).
@@ -80,7 +86,10 @@ impl Engine {
     /// Derives a new engine with a different master seed (for sweeps where
     /// each parameter point should use an unrelated stream).
     pub fn reseeded(&self, salt: u64) -> Engine {
-        Engine { seed: ld_prob::rng::split_seed(self.seed, salt), ..*self }
+        Engine {
+            seed: ld_prob::rng::split_seed(self.seed, salt),
+            ..*self
+        }
     }
 
     /// Estimates `gain(M, G)` with `trials` mechanism draws distributed
@@ -128,8 +137,7 @@ impl Engine {
                     };
                     for _ in 0..share {
                         let dg = mechanism.run(instance, &mut rng);
-                        if let Err(e) = accumulate_draw(instance, &dg, tie, &mut rng, &mut local)
-                        {
+                        if let Err(e) = accumulate_draw(instance, &dg, tie, &mut rng, &mut local) {
                             *failure.lock() = Some(e);
                             return;
                         }
@@ -183,7 +191,9 @@ mod tests {
         let inst = instance(16);
         let engine = Engine::new(1).with_workers(4);
         // 10 trials over 4 workers: shares 3,3,2,2.
-        let est = engine.estimate_gain(&inst, &ApprovalThreshold::new(1), 10).unwrap();
+        let est = engine
+            .estimate_gain(&inst, &ApprovalThreshold::new(1), 10)
+            .unwrap();
         assert_eq!(est.trials(), 10);
     }
 
@@ -191,8 +201,12 @@ mod tests {
     fn deterministic_for_fixed_configuration() {
         let inst = instance(24);
         let engine = Engine::new(7).with_workers(3);
-        let a = engine.estimate_gain(&inst, &ApprovalThreshold::new(1), 30).unwrap();
-        let b = engine.estimate_gain(&inst, &ApprovalThreshold::new(1), 30).unwrap();
+        let a = engine
+            .estimate_gain(&inst, &ApprovalThreshold::new(1), 30)
+            .unwrap();
+        let b = engine
+            .estimate_gain(&inst, &ApprovalThreshold::new(1), 30)
+            .unwrap();
         assert_eq!(a.p_mechanism(), b.p_mechanism());
         assert_eq!(a.mean_max_weight(), b.mean_max_weight());
     }
@@ -215,8 +229,14 @@ mod tests {
     fn parallel_matches_sequential_statistically() {
         let inst = instance(32);
         let mech = ApprovalThreshold::new(2);
-        let seq = Engine::new(5).with_workers(1).estimate_gain(&inst, &mech, 200).unwrap();
-        let par = Engine::new(5).with_workers(4).estimate_gain(&inst, &mech, 200).unwrap();
+        let seq = Engine::new(5)
+            .with_workers(1)
+            .estimate_gain(&inst, &mech, 200)
+            .unwrap();
+        let par = Engine::new(5)
+            .with_workers(4)
+            .estimate_gain(&inst, &mech, 200)
+            .unwrap();
         assert!(
             (seq.p_mechanism() - par.p_mechanism()).abs() < 0.05,
             "seq {} vs par {}",
@@ -258,7 +278,10 @@ mod tests {
             }
         }
         let inst = instance(8);
-        let err = Engine::new(1).with_workers(4).estimate_gain(&inst, &Bomb, 8).unwrap_err();
+        let err = Engine::new(1)
+            .with_workers(4)
+            .estimate_gain(&inst, &Bomb, 8)
+            .unwrap_err();
         assert!(
             matches!(err, crate::SimError::WorkerPanic { ref message } if message.contains("bomb")),
             "unexpected error: {err}"
@@ -288,14 +311,20 @@ mod tests {
         for workers in [1usize, 4] {
             let engine = Engine::new(1).with_workers(workers);
             let err = engine.estimate_gain(&inst, &Ring, 4).unwrap_err();
-            assert!(err.to_string().contains("cycle"), "workers={workers}: {err}");
+            assert!(
+                err.to_string().contains("cycle"),
+                "workers={workers}: {err}"
+            );
         }
     }
 
     #[test]
     fn zero_trials_yields_empty_estimate() {
         let inst = instance(8);
-        let est = Engine::new(1).with_workers(2).estimate_gain(&inst, &DirectVoting, 0).unwrap();
+        let est = Engine::new(1)
+            .with_workers(2)
+            .estimate_gain(&inst, &DirectVoting, 0)
+            .unwrap();
         assert_eq!(est.trials(), 0);
         assert!(est.p_direct() > 0.0);
     }

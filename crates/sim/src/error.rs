@@ -122,10 +122,14 @@ mod tests {
         let u = SimError::UnknownExperiment { id: "nope".into() };
         assert!(u.to_string().contains("nope"));
         assert!(u.source().is_none());
-        let w = SimError::WorkerPanic { message: "boom".into() };
+        let w = SimError::WorkerPanic {
+            message: "boom".into(),
+        };
         assert!(w.to_string().contains("boom"));
         assert!(w.source().is_none());
-        let c = SimError::Checkpoint { reason: "version 99".into() };
+        let c = SimError::Checkpoint {
+            reason: "version 99".into(),
+        };
         assert!(c.to_string().contains("version 99"));
     }
 

@@ -52,7 +52,14 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     let trials = cfg.pick(48u64, 16);
     let mut table = Table::new(
         "§6 asymmetry: gain of greedy delegation vs structural asymmetry (fixed n, profile)",
-        &["elite size", "asymmetry Δ/δ", "P[direct]", "gain", "max weight", "weight gini"],
+        &[
+            "elite size",
+            "asymmetry Δ/δ",
+            "P[direct]",
+            "gain",
+            "max weight",
+            "weight gini",
+        ],
     );
     // Shrinking elite = growing asymmetry: from n/4 elites (mild) to 1
     // (a star-like single hub).
@@ -61,7 +68,9 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
         let elite = elite.max(1);
         let inst = two_tier(n, elite, 4, engine.seed().wrapping_add(i as u64))?;
         let asym = properties::structural_asymmetry(inst.graph());
-        let est = engine.reseeded(i as u64).estimate_gain(&inst, &GreedyMax, trials)?;
+        let est = engine
+            .reseeded(i as u64)
+            .estimate_gain(&inst, &GreedyMax, trials)?;
         table.push([
             elite.into(),
             asym.into(),
@@ -84,7 +93,10 @@ mod tests {
         let t = &run(&cfg).unwrap()[0];
         let first = t.value(0, 1).unwrap();
         let last = t.value(t.rows().len() - 1, 1).unwrap();
-        assert!(last > 3.0 * first, "asymmetry should grow: {first} → {last}");
+        assert!(
+            last > 3.0 * first,
+            "asymmetry should grow: {first} → {last}"
+        );
     }
 
     #[test]

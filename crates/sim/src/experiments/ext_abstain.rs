@@ -29,7 +29,9 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     let inst = spg_family(n, engine.seed())?;
     for (i, q) in [0.0, 0.25, 0.5, 0.75, 0.95].into_iter().enumerate() {
         let mech = Abstaining::new(ApprovalThreshold::new(1), q);
-        let est = engine.reseeded(i as u64).estimate_gain(&inst, &mech, trials)?;
+        let est = engine
+            .reseeded(i as u64)
+            .estimate_gain(&inst, &mech, trials)?;
         table.push([
             q.into(),
             est.p_mechanism().into(),
@@ -67,8 +69,14 @@ mod tests {
         // Abstained fraction grows with q; delegator fraction falls.
         let abst: Vec<f64> = t.column_values(3);
         let dels: Vec<f64> = t.column_values(4);
-        assert!(abst.windows(2).all(|w| w[1] >= w[0] - 0.02), "abstention not increasing");
-        assert!(dels.windows(2).all(|w| w[1] <= w[0] + 0.02), "delegation not decreasing");
+        assert!(
+            abst.windows(2).all(|w| w[1] >= w[0] - 0.02),
+            "abstention not increasing"
+        );
+        assert!(
+            dels.windows(2).all(|w| w[1] <= w[0] + 0.02),
+            "delegation not decreasing"
+        );
         assert!(abst[0] == 0.0);
     }
 }

@@ -41,7 +41,16 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     let trials = cfg.pick(48u64, 12);
     let mut table = Table::new(
         "§6 networks: Lemma 5's max-weight condition on BA and WS graphs",
-        &["network", "n", "asymmetry Δ/δ", "mechanism", "max weight", "sqrt(n)", "gain", "weight gini"],
+        &[
+            "network",
+            "n",
+            "asymmetry Δ/δ",
+            "mechanism",
+            "max weight",
+            "sqrt(n)",
+            "gain",
+            "weight gini",
+        ],
     );
     let mechanisms: Vec<(&str, Box<dyn Mechanism + Sync>)> = vec![
         ("uniform threshold", Box::new(ApprovalThreshold::new(1))),

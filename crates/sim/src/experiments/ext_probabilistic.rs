@@ -35,30 +35,57 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     let mut rng = stream_rng(cfg.seed, 17);
 
     let distributions: Vec<(&str, CompetencyDistribution)> = vec![
-        ("uniform(0.35, 0.58) below-half", CompetencyDistribution::Uniform { lo: 0.35, hi: 0.58 }),
-        ("uniform(0.35, 0.65) symmetric", CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 }),
+        (
+            "uniform(0.35, 0.58) below-half",
+            CompetencyDistribution::Uniform { lo: 0.35, hi: 0.58 },
+        ),
+        (
+            "uniform(0.35, 0.65) symmetric",
+            CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 },
+        ),
         (
             "trunc-normal(0.45, 0.1)",
-            CompetencyDistribution::TruncatedNormal { mean: 0.45, sd: 0.1, lo: 0.2, hi: 0.8 },
+            CompetencyDistribution::TruncatedNormal {
+                mean: 0.45,
+                sd: 0.1,
+                lo: 0.2,
+                hi: 0.8,
+            },
         ),
         (
             "two-point {0.4, 0.7} 20% experts",
-            CompetencyDistribution::TwoPoint { low: 0.4, high: 0.7, frac_high: 0.2 },
+            CompetencyDistribution::TwoPoint {
+                low: 0.4,
+                high: 0.7,
+                frac_high: 0.2,
+            },
         ),
         // Above-half: direct voting is already near-perfect, so the only
         // question is harm — which only the star should exhibit.
-        ("uniform(0.55, 0.7) above-half", CompetencyDistribution::Uniform { lo: 0.55, hi: 0.7 }),
+        (
+            "uniform(0.55, 0.7) above-half",
+            CompetencyDistribution::Uniform { lo: 0.55, hi: 0.7 },
+        ),
     ];
     let mut graph_rng = stream_rng(cfg.seed, 18);
     let graphs: Vec<(&str, Graph)> = vec![
         ("K_n", generators::complete(n)),
-        ("Rand(n, 16)", generators::random_regular(n, 16, &mut graph_rng)?),
+        (
+            "Rand(n, 16)",
+            generators::random_regular(n, 16, &mut graph_rng)?,
+        ),
         ("star", generators::star(n)),
     ];
 
     let mut table = Table::new(
         "§6 probabilistic competencies: Halpern-style verdicts per (graph, distribution)",
-        &["graph", "distribution", "E[gain]", "P[gain > 0]", "P[gain < -eps]"],
+        &[
+            "graph",
+            "distribution",
+            "E[gain]",
+            "P[gain > 0]",
+            "P[gain < -eps]",
+        ],
     );
     let mechanism = ApprovalThreshold::new(1);
     for (gname, graph) in &graphs {
@@ -140,6 +167,9 @@ mod tests {
                 worse += 1;
             }
         }
-        assert!(worse >= 1, "star should underperform K_n on some distribution");
+        assert!(
+            worse >= 1,
+            "star should underperform K_n on some distribution"
+        );
     }
 }

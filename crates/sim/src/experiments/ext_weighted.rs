@@ -35,7 +35,12 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
             let est = engine
                 .reseeded((i * 8 + ki) as u64)
                 .estimate_gain(&inst, &mech, trials)?;
-            table.push([n.into(), k.into(), est.p_mechanism().into(), est.gain().into()]);
+            table.push([
+                n.into(),
+                k.into(),
+                est.p_mechanism().into(),
+                est.gain().into(),
+            ]);
         }
     }
     Ok(vec![table])

@@ -44,12 +44,21 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     let sizes = cfg.sizes(&[9, 33, 101, 301, 1001, 3001], &[9, 33, 101]);
     let mut table = Table::new(
         "Figure 1: star topology, greedy delegation vs direct voting",
-        &["n", "P[direct]", "P[greedy]", "gain", "predicted gain", "max weight"],
+        &[
+            "n",
+            "P[direct]",
+            "P[greedy]",
+            "gain",
+            "predicted gain",
+            "max weight",
+        ],
     );
     for (i, &n) in sizes.iter().enumerate() {
         let inst = star_instance(n)?;
         // Greedy on the star is deterministic; 2 trials suffice.
-        let est = engine.reseeded(i as u64).estimate_gain(&inst, &GreedyMax, 2)?;
+        let est = engine
+            .reseeded(i as u64)
+            .estimate_gain(&inst, &GreedyMax, 2)?;
         let predicted = HUB - est.p_direct();
         table.push([
             n.into(),
@@ -79,7 +88,10 @@ mod tests {
         // Direct probability increases with n; gain decreases toward -1/3.
         let last = t.rows().len() - 1;
         assert!(t.value(last, 1).unwrap() > t.value(0, 1).unwrap());
-        assert!(t.value(last, 3).unwrap() < -0.25, "loss should approach 1/3");
+        assert!(
+            t.value(last, 3).unwrap() < -0.25,
+            "loss should approach 1/3"
+        );
         // Gain matches the prediction 2/3 - P[direct].
         for r in 0..t.rows().len() {
             assert!((t.value(r, 3).unwrap() - t.value(r, 4).unwrap()).abs() < 1e-9);

@@ -33,7 +33,11 @@ pub const FIGURE2_COMPETENCIES: [f64; 9] = [0.8, 0.6, 0.5, 0.4, 0.3, 0.3, 0.2, 0
 /// Propagates construction errors (cannot occur).
 pub fn figure2_instance() -> Result<ProblemInstance> {
     let profile = CompetencyProfile::from_unsorted(FIGURE2_COMPETENCIES.to_vec())?;
-    Ok(ProblemInstance::new(generators::complete(9), profile, 0.01)?)
+    Ok(ProblemInstance::new(
+        generators::complete(9),
+        profile,
+        0.01,
+    )?)
 }
 
 /// Runs the experiment.
@@ -61,7 +65,13 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
 
     let mut outcomes = Table::new(
         "Figure 2: sampled delegation outcomes (Example 1 mechanism, j = 0)",
-        &["draw", "delegators", "sinks", "max weight", "P[correct | draw]"],
+        &[
+            "draw",
+            "delegators",
+            "sinks",
+            "max weight",
+            "P[correct | draw]",
+        ],
     );
     let draws = cfg.pick(10u64, 5);
     let mut rng = stream_rng(cfg.seed, 2);
@@ -87,7 +97,10 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     );
     summary.push(["P[direct]".into(), inst.direct_voting_probability()?.into()]);
     summary.push(["P[delegation] (mean over draws)".into(), mean_p.into()]);
-    summary.push(["gain".into(), (mean_p - inst.direct_voting_probability()?).into()]);
+    summary.push([
+        "gain".into(),
+        (mean_p - inst.direct_voting_probability()?).into(),
+    ]);
 
     Ok(vec![approvals, outcomes, summary])
 }

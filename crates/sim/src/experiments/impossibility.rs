@@ -14,9 +14,7 @@ use super::thm2_complete::spg_family;
 use super::ExperimentConfig;
 use crate::error::Result;
 use crate::table::Table;
-use ld_core::mechanisms::{
-    ApprovalThreshold, DirectVoting, GreedyMax, Mechanism, WeightCapped,
-};
+use ld_core::mechanisms::{ApprovalThreshold, DirectVoting, GreedyMax, Mechanism, WeightCapped};
 
 /// Runs the experiment.
 ///
@@ -32,7 +30,10 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     let mechanisms: Vec<(&str, Box<dyn Mechanism + Sync>)> = vec![
         ("direct", Box::new(DirectVoting)),
         ("greedy-max (local)", Box::new(GreedyMax)),
-        ("algorithm1 j=1 (local)", Box::new(ApprovalThreshold::new(1))),
+        (
+            "algorithm1 j=1 (local)",
+            Box::new(ApprovalThreshold::new(1)),
+        ),
         (
             "weight-capped algorithm1 (non-local)",
             Box::new(WeightCapped::new(ApprovalThreshold::new(1), cap)),
@@ -41,15 +42,24 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
 
     let mut table = Table::new(
         "Impossibility: gain on K_n vs the Figure 1 star (same mechanism, same n)",
-        &["mechanism", "gain on K_n", "gain on star", "star max weight"],
+        &[
+            "mechanism",
+            "gain on K_n",
+            "gain on star",
+            "star max weight",
+        ],
     );
     let complete = spg_family(n.min(512), engine.seed())?;
     let star = star_instance(n)?;
     for (i, (label, mech)) in mechanisms.iter().enumerate() {
         let on_complete =
-            engine.reseeded(i as u64).estimate_gain(&complete, mech.as_ref(), trials)?;
+            engine
+                .reseeded(i as u64)
+                .estimate_gain(&complete, mech.as_ref(), trials)?;
         let on_star =
-            engine.reseeded(100 + i as u64).estimate_gain(&star, mech.as_ref(), trials)?;
+            engine
+                .reseeded(100 + i as u64)
+                .estimate_gain(&star, mech.as_ref(), trials)?;
         table.push([
             (*label).into(),
             on_complete.gain().into(),
@@ -74,11 +84,17 @@ mod tests {
         // Rows 1-2: local mechanisms gain on K_n but lose on the star.
         for r in [1usize, 2] {
             assert!(t.value(r, 1).unwrap() > 0.02, "row {r} should gain on K_n");
-            assert!(t.value(r, 2).unwrap() < -0.1, "row {r} should lose on the star");
+            assert!(
+                t.value(r, 2).unwrap() < -0.1,
+                "row {r} should lose on the star"
+            );
         }
         // Row 3: the non-local cap keeps the star loss near zero while
         // still gaining on K_n.
         assert!(t.value(3, 1).unwrap() > 0.02);
-        assert!(t.value(3, 2).unwrap() > -0.05, "cap should remove the star harm");
+        assert!(
+            t.value(3, 2).unwrap() > -0.05,
+            "cap should remove the star harm"
+        );
     }
 }

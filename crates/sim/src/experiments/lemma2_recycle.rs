@@ -26,7 +26,11 @@ fn build_graph(n: usize, j: usize, blocks: usize, fresh_prob: f64) -> Result<Rec
     let per = (rest / blocks.max(1)).max(1);
     let mut placed = 0usize;
     for b in 0..blocks {
-        let take = if b + 1 == blocks { rest - placed } else { per.min(rest - placed) };
+        let take = if b + 1 == blocks {
+            rest - placed
+        } else {
+            per.min(rest - placed)
+        };
         if take > 0 {
             sizes.push(take);
             placed += take;
@@ -35,7 +39,9 @@ fn build_graph(n: usize, j: usize, blocks: usize, fresh_prob: f64) -> Result<Rec
     // Success probabilities rise with the block index, mimicking
     // delegation toward more competent voters.
     let total: usize = sizes.iter().sum();
-    let ps: Vec<f64> = (0..total).map(|i| 0.40 + 0.2 * i as f64 / total as f64).collect();
+    let ps: Vec<f64> = (0..total)
+        .map(|i| 0.40 + 0.2 * i as f64 / total as f64)
+        .collect();
     Ok(RecycleGraph::blocked(&sizes, &ps, fresh_prob)?)
 }
 
@@ -52,7 +58,14 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     // Sweep j at fixed c.
     let mut by_j = Table::new(
         "Lemma 2: shortfall of X_n below mu(X_n), sweeping j (c = 5 blocks)",
-        &["j", "c", "mu(X_n)", "mean X_n", "allowance", "P[shortfall > allowance]"],
+        &[
+            "j",
+            "c",
+            "mu(X_n)",
+            "mean X_n",
+            "allowance",
+            "P[shortfall > allowance]",
+        ],
     );
     for &j in cfg.sizes(&[8, 27, 64, 125, 343, 1000], &[8, 27, 64]) {
         let g = build_graph(n, j, 5, 0.2)?;
@@ -83,7 +96,14 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     // grows linearly in c and stays ahead of it.
     let mut by_c = Table::new(
         "Lemma 2: dependency depth, sweeping partition complexity c (j = 64)",
-        &["blocks", "c", "mu(X_n)", "std dev X_n", "allowance", "P[shortfall > allowance]"],
+        &[
+            "blocks",
+            "c",
+            "mu(X_n)",
+            "std dev X_n",
+            "allowance",
+            "P[shortfall > allowance]",
+        ],
     );
     for &blocks in cfg.sizes(&[1, 2, 5, 10, 20], &[1, 5]) {
         let g = build_graph(n, 64, blocks, 0.2)?;

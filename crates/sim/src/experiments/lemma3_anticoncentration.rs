@@ -40,7 +40,11 @@ pub fn adversarial_pair(n: usize, k: usize) -> Result<(ProblemInstance, Delegati
     // Worst case: the k best-informed delegating voters (indices n-k..n-1,
     // excluding nobody else) hand their votes to voter 0.
     let mut actions = vec![Action::Vote; n];
-    for item in actions.iter_mut().take(n.saturating_sub(1)).skip(n.saturating_sub(1 + k)) {
+    for item in actions
+        .iter_mut()
+        .take(n.saturating_sub(1))
+        .skip(n.saturating_sub(1 + k))
+    {
         *item = Action::Delegate(0);
     }
     Ok((inst, DelegationGraph::new(actions)))
@@ -69,13 +73,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
             let p_deleg = exact_correct_probability(&inst, &res, TieBreak::Incorrect)?;
             let loss = (p_direct - p_deleg).max(0.0);
             let bound = anti_concentration_flip_bound(n, k, BETA)?;
-            table.push([
-                n.into(),
-                regime.into(),
-                k.into(),
-                loss.into(),
-                bound.into(),
-            ]);
+            table.push([n.into(), regime.into(), k.into(), loss.into(), bound.into()]);
         }
     }
     Ok(vec![table])
@@ -98,7 +96,10 @@ mod tests {
         for r in (0..rows).step_by(3) {
             let loss = t.value(r, 3).unwrap();
             let bound = t.value(r, 4).unwrap();
-            assert!(loss <= bound + 0.02, "row {r}: loss {loss} above bound {bound}");
+            assert!(
+                loss <= bound + 0.02,
+                "row {r}: loss {loss} above bound {bound}"
+            );
             assert!(loss <= last_loss + 0.02, "loss should shrink with n");
             last_loss = loss;
         }

@@ -50,14 +50,17 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     for &n in sizes {
         // A representative bounded profile (deterministic for the exact
         // column, reused for sampling).
-        let ps: Vec<f64> =
-            (0..n).map(|i| BETA + 0.01 + (0.4 - 0.02) * i as f64 / n as f64).collect();
+        let ps: Vec<f64> = (0..n)
+            .map(|i| BETA + 0.01 + (0.4 - 0.02) * i as f64 / n as f64)
+            .collect();
         let exact = exact_ks(&ps);
         let bound = berry_esseen_bernoulli(&ps)?;
         let normal = NormalApprox::of_bernoulli_sum(&ps);
         let mut sample: Vec<f64> = (0..samples)
             .map(|_| {
-                ps.iter().map(|&p| rng.gen_bool(p) as u32 as f64).sum::<f64>()
+                ps.iter()
+                    .map(|&p| rng.gen_bool(p) as u32 as f64)
+                    .sum::<f64>()
             })
             .collect();
         let sampled = ks_statistic(&mut sample, |x| normal.cdf(x));
@@ -77,7 +80,10 @@ mod tests {
         let rows = t.rows().len();
         let first = t.value(0, 1).unwrap();
         let last = t.value(rows - 1, 1).unwrap();
-        assert!(last < first / 2.0, "exact KS should shrink: {first} → {last}");
+        assert!(
+            last < first / 2.0,
+            "exact KS should shrink: {first} → {last}"
+        );
         for r in 0..rows {
             let ks = t.value(r, 1).unwrap();
             let bound = t.value(r, 3).unwrap();

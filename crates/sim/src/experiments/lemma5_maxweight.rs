@@ -50,7 +50,14 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     let mut rng = stream_rng(cfg.seed, 5);
     let mut table = Table::new(
         "Lemma 5: tally deviation vs maximum sink weight w",
-        &["w", "sinks", "mean |X - mu|", "radius sqrt(n^(1+eps) w)", "P[dev > radius]", "hoeffding bound"],
+        &[
+            "w",
+            "sinks",
+            "mean |X - mu|",
+            "radius sqrt(n^(1+eps) w)",
+            "P[dev > radius]",
+            "hoeffding bound",
+        ],
     );
     let mut w = 1usize;
     let mut ws = Vec::new();
@@ -101,7 +108,10 @@ mod tests {
         // Mean deviation grows with w (roughly like sqrt(w)).
         let first_dev = t.value(0, 2).unwrap();
         let last_dev = t.value(rows - 1, 2).unwrap();
-        assert!(last_dev > 3.0 * first_dev, "dev {first_dev} → {last_dev} should grow");
+        assert!(
+            last_dev > 3.0 * first_dev,
+            "dev {first_dev} → {last_dev} should grow"
+        );
         // Exceedance is rare at every w.
         for r in 0..rows {
             assert!(t.value(r, 4).unwrap() <= 0.05, "row {r} exceeds too often");

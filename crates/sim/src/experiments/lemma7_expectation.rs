@@ -49,11 +49,16 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
         ],
     );
     for &n in sizes {
-        let dist = CompetencyDistribution::AroundHalf { a: ALPHA / 2.0, spread: 0.15 };
+        let dist = CompetencyDistribution::AroundHalf {
+            a: ALPHA / 2.0,
+            spread: 0.15,
+        };
         let profile = dist.sample(n, &mut rng)?;
         let instance = ProblemInstance::new(generators::complete(n), profile, ALPHA)?;
         let mu_x: f64 = instance.profile().as_slice().iter().sum();
-        let mech = ApprovalThreshold::with_rule(ThresholdRule::Power { exponent: 1.0 / 3.0 });
+        let mech = ApprovalThreshold::with_rule(ThresholdRule::Power {
+            exponent: 1.0 / 3.0,
+        });
         let j_n = (n as f64).powf(1.0 / 3.0);
         let allowance = EPSILON * n as f64 / (ALPHA * j_n.powf(1.0 / 3.0));
 
@@ -65,8 +70,10 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
             let dg = mech.run(&instance, &mut rng);
             let res = dg.resolve()?;
             // Exact conditional expectation of the delegated sum.
-            let e_y: f64 =
-                res.sink_weights().map(|(s, w)| w as f64 * instance.competency(s)).sum();
+            let e_y: f64 = res
+                .sink_weights()
+                .map(|(s, w)| w as f64 * instance.competency(s))
+                .sum();
             let k = n - res.delegators();
             let floor = mu_x + (n - k) as f64 * ALPHA;
             expected_y.push(e_y);

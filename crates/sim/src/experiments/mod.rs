@@ -19,11 +19,12 @@ pub mod fig1_star;
 pub mod fig2_example;
 pub mod impossibility;
 pub mod lemma2_recycle;
-pub mod lemma4_normal;
-pub mod lemma7_expectation;
-pub mod support;
 pub mod lemma3_anticoncentration;
+pub mod lemma4_normal;
 pub mod lemma5_maxweight;
+pub mod lemma7_expectation;
+pub mod stress;
+pub mod support;
 pub mod thm2_complete;
 pub mod thm3_regular;
 pub mod thm4_bounded_degree;
@@ -45,7 +46,9 @@ impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig {
             seed: 0x1DDE_C0DE,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             quick: false,
         }
     }
@@ -54,7 +57,11 @@ impl Default for ExperimentConfig {
 impl ExperimentConfig {
     /// A quick-mode configuration for tests.
     pub fn quick(seed: u64) -> Self {
-        ExperimentConfig { seed, workers: 2, quick: true }
+        ExperimentConfig {
+            seed,
+            workers: 2,
+            quick: true,
+        }
     }
 
     /// The engine for this configuration, salted so that each experiment
@@ -206,6 +213,12 @@ pub fn all() -> Vec<ExperimentInfo> {
             description: "Lemma 5's max-weight condition on Barabási-Albert and Watts-Strogatz graphs",
             run: ext_networks::run,
         },
+        ExperimentInfo {
+            id: "churn",
+            paper_ref: "§6 dynamic delegation (ld-live subsystem)",
+            description: "live engine under churn: throughput, latency percentiles, incremental == from-scratch cross-check",
+            run: stress::run,
+        },
     ]
 }
 
@@ -234,14 +247,14 @@ mod tests {
     #[test]
     fn ids_are_unique_and_findable() {
         let infos = all();
-        let mut ids = std::collections::HashSet::new();
+        let mut seen = std::collections::HashSet::new();
         for info in &infos {
-            assert!(ids.insert(info.id), "duplicate id {}", info.id);
+            assert!(seen.insert(info.id), "duplicate id {}", info.id);
             assert!(find(info.id).is_ok());
             assert!(!info.description.is_empty());
             assert!(!info.paper_ref.is_empty());
         }
-        assert_eq!(infos.len(), 17);
+        assert_eq!(infos.len(), 18);
         assert!(find("nope").is_err());
         assert_eq!(ids().len(), infos.len());
         assert_eq!(ids()[0], "fig1");
@@ -250,7 +263,10 @@ mod tests {
     #[test]
     fn config_pick_and_sizes() {
         let quick = ExperimentConfig::quick(1);
-        let full = ExperimentConfig { quick: false, ..quick };
+        let full = ExperimentConfig {
+            quick: false,
+            ..quick
+        };
         assert_eq!(quick.pick(100, 10), 10);
         assert_eq!(full.pick(100, 10), 100);
         assert_eq!(quick.sizes(&[1, 2, 3], &[1]), &[1]);

@@ -1,0 +1,279 @@
+//! **Stress** — the live engine under churn.
+//!
+//! The paper analyses one-shot delegation; this experiment exercises the
+//! dynamic regime the `ld-live` crate adds: a population under a steady
+//! stream of re-delegations, vote reclamations, abstentions, and
+//! competency drift. For each population size it drives the same seeded
+//! Zipf-skewed trace through the engine streamed (one update at a time)
+//! and batched, and reports throughput, per-call latency percentiles,
+//! and the mean number of voters touched per update — the empirical
+//! `O(affected subtree)` cost.
+//!
+//! Correctness is not sampled but *checked*: after the full trace the
+//! incremental resolution must be bit-identical to a from-scratch
+//! [`DelegationGraph::resolve`] of the final action vector, the engine's
+//! internal accumulators must pass `self_check`, and the streamed and
+//! batched replicas must agree exactly. Any divergence fails the
+//! experiment (and `repro stress`, which reuses [`run_churn`]).
+
+use super::ExperimentConfig;
+use crate::error::{Result, SimError};
+use crate::table::Table;
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_core::tally::TieBreak;
+use ld_live::workload::{Trace, TraceConfig};
+use ld_live::LiveEngine;
+use std::time::Instant;
+
+/// One churn run: a trace specification plus how to feed it.
+#[derive(Debug, Clone)]
+pub struct ChurnSpec {
+    /// The synthetic trace (population size, update mix, target skew).
+    pub trace: TraceConfig,
+    /// Total updates to draw from the trace.
+    pub updates: usize,
+    /// Updates per `apply_batch` call; `1` streams via `apply`.
+    pub batch: usize,
+    /// Trace and initial-competency seed.
+    pub seed: u64,
+}
+
+impl ChurnSpec {
+    /// A balanced-mix spec over `n` voters.
+    pub fn balanced(n: usize, updates: usize, batch: usize, seed: u64) -> Self {
+        ChurnSpec {
+            trace: TraceConfig::balanced(n),
+            updates,
+            batch,
+            seed,
+        }
+    }
+}
+
+/// Measured outcome of one churn run (cross-checks already passed).
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Population size.
+    pub n: usize,
+    /// Updates drawn from the trace.
+    pub updates: usize,
+    /// Updates accepted by the engine.
+    pub applied: usize,
+    /// Updates rejected (out-of-range, would-create-cycle, bad competency).
+    pub rejected: usize,
+    /// Sum over updates of voters re-resolved.
+    pub touched: usize,
+    /// Wall-clock seconds spent inside `apply`/`apply_batch`.
+    pub elapsed: f64,
+    /// Per-call latency percentiles, microseconds (a call is one update
+    /// when streaming, one batch otherwise).
+    pub p50_us: f64,
+    /// 95th percentile per-call latency, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile per-call latency, microseconds.
+    pub p99_us: f64,
+    /// Decision probability (normal approximation, strict ties) of the
+    /// final state.
+    pub decision_probability: f64,
+    /// Longest delegation chain in the final state.
+    pub longest_chain: usize,
+    /// Sinks in the final state.
+    pub sinks: usize,
+    /// Final engine state, for cross-run comparisons.
+    pub resolution: ld_core::delegation::Resolution,
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Drives one churn run and cross-checks the final incremental state
+/// against a from-scratch resolution.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for an invalid spec, and
+/// [`SimError::Config`] with a diagnostic if the incremental state
+/// diverges from the from-scratch resolve (which would be an engine bug —
+/// the proptest suite makes this unlikely, but at stress scale we check
+/// anyway rather than assume).
+pub fn run_churn(spec: &ChurnSpec) -> Result<ChurnReport> {
+    if spec.batch == 0 {
+        return Err(SimError::Config {
+            reason: "batch size must be at least 1".to_string(),
+        });
+    }
+    if spec.updates == 0 {
+        return Err(SimError::Config {
+            reason: "need at least one update".to_string(),
+        });
+    }
+    let n = spec.trace.n;
+    let competences = spec.trace.initial_competences(spec.seed);
+    let mut live =
+        LiveEngine::new(vec![Action::Vote; n], competences).map_err(|e| SimError::Config {
+            reason: format!("initial engine: {e}"),
+        })?;
+    let trace =
+        Trace::new(spec.trace.clone(), spec.seed).map_err(|reason| SimError::Config { reason })?;
+    let updates: Vec<_> = trace.take(spec.updates).collect();
+
+    let mut latencies_ns = Vec::with_capacity(updates.len() / spec.batch + 1);
+    let mut applied = 0usize;
+    let mut rejected = 0usize;
+    let mut touched = 0usize;
+    let started = Instant::now();
+    if spec.batch == 1 {
+        for &u in &updates {
+            let t0 = Instant::now();
+            let outcome = live.apply(u);
+            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            match outcome {
+                Ok(t) => {
+                    applied += 1;
+                    touched += t;
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+    } else {
+        for block in updates.chunks(spec.batch) {
+            let t0 = Instant::now();
+            let report = live.apply_batch(block);
+            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            applied += report.applied;
+            rejected += report.rejected.len();
+            touched += report.touched;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // The cross-check: incremental state == from-scratch resolve.
+    let resolution = live.resolution();
+    let scratch = DelegationGraph::new(live.actions().to_vec())
+        .resolve()
+        .map_err(|e| SimError::Config {
+            reason: format!("final actions failed to resolve: {e}"),
+        })?;
+    if scratch != resolution {
+        return Err(SimError::Config {
+            reason: format!(
+                "incremental state diverged from from-scratch resolve after {} updates (n={n})",
+                spec.updates
+            ),
+        });
+    }
+    live.self_check().map_err(|reason| SimError::Config {
+        reason: format!("live engine self-check failed: {reason}"),
+    })?;
+
+    latencies_ns.sort_unstable();
+    Ok(ChurnReport {
+        n,
+        updates: spec.updates,
+        applied,
+        rejected,
+        touched,
+        elapsed,
+        p50_us: percentile(&latencies_ns, 0.50),
+        p95_us: percentile(&latencies_ns, 0.95),
+        p99_us: percentile(&latencies_ns, 0.99),
+        decision_probability: live.decision_probability_normal(TieBreak::Incorrect),
+        longest_chain: live.longest_chain(),
+        sinks: live.sink_count(),
+        resolution,
+    })
+}
+
+/// Runs the experiment: streamed and batched churn at increasing sizes.
+///
+/// # Errors
+///
+/// Propagates [`run_churn`] failures — in particular any
+/// incremental-vs-scratch divergence.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let sizes = cfg.sizes(&[1_000, 10_000, 100_000], &[256, 512]);
+    let updates_per_voter = cfg.pick(4, 4);
+    let mut table = Table::new(
+        "Stress: live engine under churn (incremental == from-scratch checked per row)",
+        &[
+            "n",
+            "mode",
+            "updates",
+            "rejected",
+            "upd/s",
+            "p50 us",
+            "p95 us",
+            "p99 us",
+            "touched/upd",
+            "P[correct]",
+            "check",
+        ],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let updates = n * updates_per_voter;
+        let seed = ld_prob::rng::split_seed(cfg.seed, 0x57AE_55 ^ i as u64);
+        let streamed = run_churn(&ChurnSpec::balanced(n, updates, 1, seed))?;
+        let batched = run_churn(&ChurnSpec::balanced(n, updates, 64, seed))?;
+        // Same trace, same validation semantics: the replicas must agree.
+        if streamed.resolution != batched.resolution {
+            return Err(SimError::Config {
+                reason: format!("streamed and batched replicas diverged at n={n}"),
+            });
+        }
+        for (mode, report) in [("stream", &streamed), ("batch64", &batched)] {
+            table.push([
+                n.into(),
+                mode.into(),
+                report.updates.into(),
+                report.rejected.into(),
+                (report.updates as f64 / report.elapsed).into(),
+                report.p50_us.into(),
+                report.p95_us.into(),
+                report.p99_us.into(),
+                (report.touched as f64 / report.applied.max(1) as f64).into(),
+                report.decision_probability.into(),
+                "ok".into(),
+            ]);
+        }
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_cross_checks_and_reports() {
+        let cfg = ExperimentConfig::quick(11);
+        let tables = run(&cfg).unwrap();
+        let t = &tables[0];
+        assert_eq!(t.rows().len(), 4); // 2 sizes x {stream, batch64}
+        for r in 0..t.rows().len() {
+            // Probability column is a probability; check column says ok.
+            let p = t.value(r, 9).unwrap();
+            assert!((0.0..=1.0).contains(&p), "P[correct]={p}");
+        }
+    }
+
+    #[test]
+    fn streamed_and_batched_agree_with_scratch_at_moderate_scale() {
+        let spec = ChurnSpec::balanced(2_000, 10_000, 1, 99);
+        let streamed = run_churn(&spec).unwrap();
+        let batched = run_churn(&ChurnSpec { batch: 128, ..spec }).unwrap();
+        assert_eq!(streamed.resolution, batched.resolution);
+        assert_eq!(streamed.applied, batched.applied);
+        assert_eq!(streamed.rejected, batched.rejected);
+    }
+
+    #[test]
+    fn degenerate_specs_are_refused() {
+        assert!(run_churn(&ChurnSpec::balanced(10, 100, 0, 1)).is_err());
+        assert!(run_churn(&ChurnSpec::balanced(10, 0, 1, 1)).is_err());
+    }
+}

@@ -26,11 +26,22 @@ pub fn gain_sweep(
 ) -> Result<Table> {
     let mut table = Table::new(
         title,
-        &["n", "P[direct]", "P[mech]", "gain", "delegators/n", "sinks", "max weight", "chain"],
+        &[
+            "n",
+            "P[direct]",
+            "P[mech]",
+            "gain",
+            "delegators/n",
+            "sinks",
+            "max weight",
+            "chain",
+        ],
     );
     for (i, &n) in sizes.iter().enumerate() {
         let instance = family(n, engine.seed().wrapping_add(i as u64))?;
-        let est = engine.reseeded(i as u64).estimate_gain(&instance, mechanism, trials)?;
+        let est = engine
+            .reseeded(i as u64)
+            .estimate_gain(&instance, mechanism, trials)?;
         table.push([
             n.into(),
             est.p_direct().into(),
@@ -48,12 +59,18 @@ pub fn gain_sweep(
 /// Asserts the SPG footprint on a gain-sweep table: every row's gain is at
 /// least `gamma`. Returns the minimum gain.
 pub fn min_gain(table: &Table) -> f64 {
-    table.column_values(3).into_iter().fold(f64::INFINITY, f64::min)
+    table
+        .column_values(3)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// The worst loss (most negative gain clamped at 0) in a gain-sweep table.
 pub fn worst_loss(table: &Table) -> f64 {
-    table.column_values(3).into_iter().fold(0.0f64, |acc, g| acc.max(-g))
+    table
+        .column_values(3)
+        .into_iter()
+        .fold(0.0f64, |acc, g| acc.max(-g))
 }
 
 #[cfg(test)]
@@ -73,8 +90,7 @@ mod tests {
                 0.1,
             )?)
         };
-        let t =
-            gain_sweep("test", &engine, family, &DirectVoting, &[4, 8, 16], 2).unwrap();
+        let t = gain_sweep("test", &engine, family, &DirectVoting, &[4, 8, 16], 2).unwrap();
         assert_eq!(t.rows().len(), 3);
         assert_eq!(min_gain(&t), 0.0);
         assert_eq!(worst_loss(&t), 0.0);

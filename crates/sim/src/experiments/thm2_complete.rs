@@ -31,7 +31,10 @@ pub const ALPHA: f64 = 0.1;
 /// Propagates construction errors.
 pub fn spg_family(n: usize, seed: u64) -> Result<ProblemInstance> {
     let mut rng = stream_rng(seed, 20);
-    let dist = CompetencyDistribution::AroundHalf { a: ALPHA / 2.0, spread: 0.15 };
+    let dist = CompetencyDistribution::AroundHalf {
+        a: ALPHA / 2.0,
+        spread: 0.15,
+    };
     let profile = dist.sample(n, &mut rng)?;
     let instance = ProblemInstance::new(generators::complete(n), profile, ALPHA)?;
     debug_assert!(Restriction::Complete.check(&instance));
@@ -48,7 +51,11 @@ pub fn dnh_family(n: usize, seed: u64) -> Result<ProblemInstance> {
     let mut rng = stream_rng(seed, 21);
     let dist = CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 };
     let profile = dist.sample(n, &mut rng)?;
-    Ok(ProblemInstance::new(generators::complete(n), profile, ALPHA)?)
+    Ok(ProblemInstance::new(
+        generators::complete(n),
+        profile,
+        ALPHA,
+    )?)
 }
 
 /// The *polarized* adversarial family from the DNH case analysis in the
@@ -73,7 +80,11 @@ pub fn polarized_family(n: usize, _seed: u64) -> Result<ProblemInstance> {
     ps.extend(std::iter::repeat_n(0.5, mids));
     ps.extend(std::iter::repeat_n(0.95, highs));
     let profile = ld_core::CompetencyProfile::new(ps)?;
-    Ok(ProblemInstance::new(generators::complete(n), profile, ALPHA)?)
+    Ok(ProblemInstance::new(
+        generators::complete(n),
+        profile,
+        ALPHA,
+    )?)
 }
 
 /// Runs the experiment.
@@ -85,7 +96,9 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     let engine = cfg.engine(6);
     let sizes = cfg.sizes(&[64, 128, 256, 512, 1024, 2048], &[32, 64, 128]);
     let trials = cfg.pick(96u64, 24);
-    let mechanism = ApprovalThreshold::with_rule(ThresholdRule::Power { exponent: 1.0 / 3.0 });
+    let mechanism = ApprovalThreshold::with_rule(ThresholdRule::Power {
+        exponent: 1.0 / 3.0,
+    });
 
     let spg = gain_sweep(
         "Theorem 2 (SPG): Algorithm 1 on K_n, PC = alpha/2, j(n) = n^(1/3)",
@@ -160,7 +173,10 @@ mod tests {
             .iter()
             .filter(|&&p| !(0.3..=0.7).contains(&p))
             .count();
-        assert!(outside as f64 >= 0.7 * 40.0 - 1.0, "only {outside} voters outside");
+        assert!(
+            outside as f64 >= 0.7 * 40.0 - 1.0,
+            "only {outside} voters outside"
+        );
     }
 
     #[test]
@@ -168,7 +184,10 @@ mod tests {
         let inst = spg_family(64, 3).unwrap();
         assert!(Restriction::Complete.check(&inst));
         assert!(
-            Restriction::PlausibleChangeability { a: ALPHA / 2.0 + 0.05 }.check(&inst),
+            Restriction::PlausibleChangeability {
+                a: ALPHA / 2.0 + 0.05
+            }
+            .check(&inst),
             "mean {} outside PC window",
             inst.profile().mean()
         );

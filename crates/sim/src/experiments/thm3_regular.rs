@@ -37,7 +37,10 @@ pub const J_OF_D: usize = D / 4;
 pub fn spg_family(n: usize, seed: u64) -> Result<ProblemInstance> {
     let mut rng = stream_rng(seed, 30);
     let graph = generators::random_regular(n, D, &mut rng)?;
-    let dist = CompetencyDistribution::AroundHalf { a: ALPHA / 2.0, spread: 0.15 };
+    let dist = CompetencyDistribution::AroundHalf {
+        a: ALPHA / 2.0,
+        spread: 0.15,
+    };
     let profile = dist.sample(n, &mut rng)?;
     let instance = ProblemInstance::new(graph, profile, ALPHA)?;
     debug_assert!(Restriction::Regular { d: D }.check(&instance));
@@ -107,7 +110,11 @@ mod tests {
     fn spg_holds_on_regular_graphs() {
         let cfg = ExperimentConfig::quick(13);
         let tables = run(&cfg).unwrap();
-        assert!(min_gain(&tables[0]) > 0.02, "min gain {}", min_gain(&tables[0]));
+        assert!(
+            min_gain(&tables[0]) > 0.02,
+            "min gain {}",
+            min_gain(&tables[0])
+        );
     }
 
     #[test]
@@ -128,7 +135,11 @@ mod tests {
     fn dnh_holds_on_regular_graphs() {
         let cfg = ExperimentConfig::quick(15);
         let tables = run(&cfg).unwrap();
-        assert!(worst_loss(&tables[2]) < 0.1, "loss {}", worst_loss(&tables[2]));
+        assert!(
+            worst_loss(&tables[2]) < 0.1,
+            "loss {}",
+            worst_loss(&tables[2])
+        );
     }
 
     #[test]

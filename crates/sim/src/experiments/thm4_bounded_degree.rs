@@ -37,7 +37,10 @@ pub fn spg_family(n: usize, seed: u64) -> Result<ProblemInstance> {
     let cap = degree_cap(n);
     let m = n * cap / 4;
     let graph = generators::random_bounded_degree(n, cap, m, &mut rng)?;
-    let dist = CompetencyDistribution::AroundHalf { a: ALPHA / 2.0, spread: 0.15 };
+    let dist = CompetencyDistribution::AroundHalf {
+        a: ALPHA / 2.0,
+        spread: 0.15,
+    };
     let profile = dist.sample(n, &mut rng)?;
     let instance = ProblemInstance::new(graph, profile, ALPHA)?;
     debug_assert!(Restriction::MaxDegree { k: cap }.check(&instance));
@@ -110,7 +113,11 @@ mod tests {
     fn spg_gain_positive() {
         let cfg = ExperimentConfig::quick(16);
         let tables = run(&cfg).unwrap();
-        assert!(min_gain(&tables[0]) > 0.02, "min gain {}", min_gain(&tables[0]));
+        assert!(
+            min_gain(&tables[0]) > 0.02,
+            "min gain {}",
+            min_gain(&tables[0])
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub fn degree_floor(n: usize) -> usize {
 pub fn spg_family(n: usize, seed: u64) -> Result<ProblemInstance> {
     let mut rng = stream_rng(seed, 50);
     let graph = generators::random_min_degree(n, degree_floor(n), &mut rng)?;
-    let dist = CompetencyDistribution::AroundHalf { a: ALPHA / 4.0, spread: 0.15 };
+    let dist = CompetencyDistribution::AroundHalf {
+        a: ALPHA / 4.0,
+        spread: 0.15,
+    };
     let profile = dist.sample(n, &mut rng)?;
     let instance = ProblemInstance::new(graph, profile, ALPHA)?;
     debug_assert!(Restriction::MinDegree { k: degree_floor(n) }.check(&instance));
@@ -101,7 +104,11 @@ mod tests {
     fn spg_gain_positive_with_enough_delegations() {
         let cfg = ExperimentConfig::quick(18);
         let tables = run(&cfg).unwrap();
-        assert!(min_gain(&tables[0]) > 0.02, "min gain {}", min_gain(&tables[0]));
+        assert!(
+            min_gain(&tables[0]) > 0.02,
+            "min gain {}",
+            min_gain(&tables[0])
+        );
         // Delegate restriction: at least √n voters delegate (fraction
         // column is delegators/n ≥ 1/√n).
         for r in 0..tables[0].rows().len() {
@@ -115,6 +122,10 @@ mod tests {
     fn dnh_loss_negligible() {
         let cfg = ExperimentConfig::quick(19);
         let tables = run(&cfg).unwrap();
-        assert!(worst_loss(&tables[1]) < 0.1, "loss {}", worst_loss(&tables[1]));
+        assert!(
+            worst_loss(&tables[1]) < 0.1,
+            "loss {}",
+            worst_loss(&tables[1])
+        );
     }
 }

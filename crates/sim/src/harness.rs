@@ -115,7 +115,11 @@ pub struct RunBudget {
 
 impl Default for RunBudget {
     fn default() -> Self {
-        RunBudget { max_wall_secs: None, max_trials_per_point: None, min_trials_for_report: 1 }
+        RunBudget {
+            max_wall_secs: None,
+            max_trials_per_point: None,
+            min_trials_for_report: 1,
+        }
     }
 }
 
@@ -208,8 +212,11 @@ impl SweepOutcome {
             }
         }
         if !self.fully_complete() {
-            let degraded =
-                self.points.iter().filter(|p| !p.outcome.status.is_complete()).count();
+            let degraded = self
+                .points
+                .iter()
+                .filter(|p| !p.outcome.status.is_complete())
+                .count();
             table.set_note(format!(
                 "PARTIAL: {degraded}/{} point(s) truncated or degraded; {} quarantined failure(s)",
                 self.points.len(),
@@ -271,7 +278,9 @@ impl Harness {
 
     /// True if the wall-clock budget has expired.
     pub fn wall_expired(&self) -> bool {
-        self.budget.max_wall_secs.is_some_and(|max| self.elapsed_secs() >= max)
+        self.budget
+            .max_wall_secs
+            .is_some_and(|max| self.elapsed_secs() >= max)
     }
 
     /// Every failure recorded so far.
@@ -342,11 +351,16 @@ impl Harness {
             match result {
                 Ok(Ok(est)) => {
                     let status = if truncated {
-                        PointStatus::Truncated { trials_done: requested }
+                        PointStatus::Truncated {
+                            trials_done: requested,
+                        }
                     } else {
                         PointStatus::Complete
                     };
-                    return PointOutcome { estimate: Some(est), status };
+                    return PointOutcome {
+                        estimate: Some(est),
+                        status,
+                    };
                 }
                 Ok(Err(err)) => last_message = err.to_string(),
                 Err(payload) => last_message = panic_message(&*payload),
@@ -412,10 +426,7 @@ impl Harness {
             let seed = if attempt == 0 {
                 instance_seed
             } else {
-                ld_prob::rng::split_seed(
-                    instance_seed,
-                    RETRY_SALT.wrapping_add(u64::from(attempt)),
-                )
+                ld_prob::rng::split_seed(instance_seed, RETRY_SALT.wrapping_add(u64::from(attempt)))
             };
             match panic::catch_unwind(AssertUnwindSafe(|| family(n, seed))) {
                 Ok(Ok(inst)) => {
@@ -441,8 +452,14 @@ impl Harness {
                 },
             });
         };
-        let outcome =
-            self.run_point(run_id, &point_label, &point_engine, &instance, mechanism, trials);
+        let outcome = self.run_point(
+            run_id,
+            &point_label,
+            &point_engine,
+            &instance,
+            mechanism,
+            trials,
+        );
         result(outcome)
     }
 }
@@ -499,12 +516,14 @@ mod tests {
 
     fn family(n: usize, seed: u64) -> crate::error::Result<ProblemInstance> {
         let mut rng = ld_prob::rng::stream_rng(seed, 0);
-        let profile = ld_core::distributions::CompetencyDistribution::Uniform {
-            lo: 0.35,
-            hi: 0.65,
-        }
-        .sample(n, &mut rng)?;
-        Ok(ProblemInstance::new(generators::complete(n), profile, 0.05)?)
+        let profile =
+            ld_core::distributions::CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 }
+                .sample(n, &mut rng)?;
+        Ok(ProblemInstance::new(
+            generators::complete(n),
+            profile,
+            0.05,
+        )?)
     }
 
     /// Panics whenever the instance has exactly `n` voters.
@@ -607,7 +626,10 @@ mod tests {
     #[test]
     fn trial_cap_truncates_and_tags() {
         let engine = Engine::new(5).with_workers(1);
-        let budget = RunBudget { max_trials_per_point: Some(4), ..RunBudget::default() };
+        let budget = RunBudget {
+            max_trials_per_point: Some(4),
+            ..RunBudget::default()
+        };
         let mut harness = Harness::new().with_budget(budget);
         let inst = family(16, 1).unwrap();
         let out = harness.run_point("t", "n=16", &engine, &inst, &DirectVoting, 100);
@@ -633,7 +655,10 @@ mod tests {
     #[test]
     fn expired_wall_budget_truncates_remaining_points() {
         let engine = Engine::new(5).with_workers(1);
-        let budget = RunBudget { max_wall_secs: Some(0.0), ..RunBudget::default() };
+        let budget = RunBudget {
+            max_wall_secs: Some(0.0),
+            ..RunBudget::default()
+        };
         let mut harness = Harness::new().with_budget(budget);
         let out = run_sweep_fault_tolerant(
             &mut harness,
@@ -703,7 +728,9 @@ mod tests {
         for status in [
             PointStatus::Complete,
             PointStatus::Truncated { trials_done: 7 },
-            PointStatus::Degraded { reason: "boom".into() },
+            PointStatus::Degraded {
+                reason: "boom".into(),
+            },
         ] {
             let json = serde_json::to_string(&status).unwrap();
             let back: PointStatus = serde_json::from_str(&json).unwrap();

@@ -98,7 +98,10 @@ pub fn to_markdown(results: &[ExperimentResult]) -> String {
     let mut out = String::new();
     out.push_str("# Reproduction report\n\n");
     for r in results {
-        out.push_str(&format!("# {} — {} ({} ms)\n\n", r.id, r.paper_ref, r.runtime_ms));
+        out.push_str(&format!(
+            "# {} — {} ({} ms)\n\n",
+            r.id, r.paper_ref, r.runtime_ms
+        ));
         if !r.status.is_complete() {
             out.push_str(&format!("**[{}]**\n\n", r.status.tag()));
         }
@@ -184,9 +187,15 @@ mod tests {
         assert_eq!(quarantine.len(), 2);
         assert_eq!(quarantine[0].run_id, "boom");
         assert_eq!(quarantine[0].seed, cfg.seed);
-        assert_ne!(quarantine[1].seed, cfg.seed, "retry must use a fresh derived seed");
+        assert_ne!(
+            quarantine[1].seed, cfg.seed,
+            "retry must use a fresh derived seed"
+        );
         let md = to_markdown(std::slice::from_ref(&result));
-        assert!(md.contains("DEGRADED"), "markdown must tag degraded runs: {md}");
+        assert!(
+            md.contains("DEGRADED"),
+            "markdown must tag degraded runs: {md}"
+        );
     }
 
     #[test]

@@ -18,7 +18,6 @@ use crate::error::{Result, SimError};
 use crate::experiments::support::{gain_sweep, Family};
 use crate::harness::{Harness, SweepOutcome};
 use crate::table::Table;
-use std::path::Path;
 use ld_core::distributions::CompetencyDistribution;
 use ld_core::mechanisms::{
     Abstaining, ApprovalThreshold, DirectVoting, GreedyMax, Mechanism, MinDegreeFraction,
@@ -28,6 +27,7 @@ use ld_core::ProblemInstance;
 use ld_graph::{generators, Graph};
 use ld_prob::rng::stream_rng;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// A topology family, parsed from `name[:params]`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,7 +83,9 @@ impl TopologySpec {
     pub fn parse(text: &str) -> Result<Self> {
         let (name, params) = text.split_once(':').unwrap_or((text, ""));
         let bad = |why: &str| -> SimError {
-            SimError::Config { reason: format!("topology {text:?}: {why}") }
+            SimError::Config {
+                reason: format!("topology {text:?}: {why}"),
+            }
         };
         let int = |s: &str| s.parse::<usize>().map_err(|_| bad("expected an integer"));
         let float = |s: &str| s.parse::<f64>().map_err(|_| bad("expected a number"));
@@ -97,7 +99,10 @@ impl TopologySpec {
             "ba" => TopologySpec::BarabasiAlbert { m: int(params)? },
             "ws" => {
                 let (k, beta) = params.split_once(',').ok_or_else(|| bad("need k,beta"))?;
-                TopologySpec::WattsStrogatz { k: int(k)?, beta: float(beta)? }
+                TopologySpec::WattsStrogatz {
+                    k: int(k)?,
+                    beta: float(beta)?,
+                }
             }
             "er" => TopologySpec::ErdosRenyi { p: float(params)? },
             _ => return Err(bad("unknown topology (see repro sweep --help)")),
@@ -120,9 +125,7 @@ impl TopologySpec {
             }
             TopologySpec::MinDegree { k } => generators::random_min_degree(n, k, rng)?,
             TopologySpec::BarabasiAlbert { m } => generators::barabasi_albert(n, m, rng)?,
-            TopologySpec::WattsStrogatz { k, beta } => {
-                generators::watts_strogatz(n, k, beta, rng)?
-            }
+            TopologySpec::WattsStrogatz { k, beta } => generators::watts_strogatz(n, k, beta, rng)?,
             TopologySpec::ErdosRenyi { p } => generators::erdos_renyi_gnp(n, p, rng)?,
         })
     }
@@ -182,7 +185,9 @@ impl MechanismSpec {
     pub fn parse(text: &str) -> Result<Self> {
         let (name, params) = text.split_once(':').unwrap_or((text, ""));
         let bad = |why: &str| -> SimError {
-            SimError::Config { reason: format!("mechanism {text:?}: {why}") }
+            SimError::Config {
+                reason: format!("mechanism {text:?}: {why}"),
+            }
         };
         let int = |s: &str| s.parse::<usize>().map_err(|_| bad("expected an integer"));
         let float = |s: &str| s.parse::<f64>().map_err(|_| bad("expected a number"));
@@ -191,7 +196,10 @@ impl MechanismSpec {
             "algorithm1" => MechanismSpec::Algorithm1 { j: int(params)? },
             "algorithm2" => {
                 let (d, j) = params.split_once(',').ok_or_else(|| bad("need d,j"))?;
-                MechanismSpec::Algorithm2 { d: int(d)?, j: int(j)? }
+                MechanismSpec::Algorithm2 {
+                    d: int(d)?,
+                    j: int(j)?,
+                }
             }
             "quarter" => MechanismSpec::Quarter,
             "greedy" => MechanismSpec::Greedy,
@@ -213,7 +221,9 @@ impl MechanismSpec {
             if ok {
                 Ok(())
             } else {
-                Err(SimError::Config { reason: why.to_string() })
+                Err(SimError::Config {
+                    reason: why.to_string(),
+                })
             }
         };
         Ok(match *self {
@@ -223,7 +233,10 @@ impl MechanismSpec {
             MechanismSpec::Quarter => Box::new(MinDegreeFraction::quarter()),
             MechanismSpec::Greedy => Box::new(GreedyMax),
             MechanismSpec::Probabilistic { q } => {
-                guard((0.0..=1.0).contains(&q), "probabilistic q must be in [0, 1]")?;
+                guard(
+                    (0.0..=1.0).contains(&q),
+                    "probabilistic q must be in [0, 1]",
+                )?;
                 Box::new(ProbabilisticDelegation::new(q))
             }
             MechanismSpec::Abstain { q } => {
@@ -310,19 +323,24 @@ impl SweepSpec {
     pub fn parse_profile(text: &str) -> Result<CompetencyDistribution> {
         let (name, params) = text.split_once(':').unwrap_or((text, ""));
         let bad = |why: &str| -> SimError {
-            SimError::Config { reason: format!("profile {text:?}: {why}") }
+            SimError::Config {
+                reason: format!("profile {text:?}: {why}"),
+            }
         };
         let nums: std::result::Result<Vec<f64>, _> =
             params.split(',').map(|s| s.trim().parse::<f64>()).collect();
         let nums = nums.map_err(|_| bad("expected comma-separated numbers"))?;
         let dist = match (name, nums.as_slice()) {
             ("uniform", [lo, hi]) => CompetencyDistribution::Uniform { lo: *lo, hi: *hi },
-            ("aroundhalf", [a, spread]) => {
-                CompetencyDistribution::AroundHalf { a: *a, spread: *spread }
-            }
-            ("twopoint", [lo, hi, frac]) => {
-                CompetencyDistribution::TwoPoint { low: *lo, high: *hi, frac_high: *frac }
-            }
+            ("aroundhalf", [a, spread]) => CompetencyDistribution::AroundHalf {
+                a: *a,
+                spread: *spread,
+            },
+            ("twopoint", [lo, hi, frac]) => CompetencyDistribution::TwoPoint {
+                low: *lo,
+                high: *hi,
+                frac_high: *frac,
+            },
             ("normal", [mean, sd]) => CompetencyDistribution::TruncatedNormal {
                 mean: *mean,
                 sd: *sd,
@@ -378,7 +396,14 @@ pub fn run_sweep_resumable(
     resume: Option<SweepCheckpoint>,
 ) -> Result<SweepOutcome> {
     let mechanism = spec.mechanism.build()?;
-    run_sweep_resumable_with(spec, mechanism.as_ref(), engine, harness, checkpoint_path, resume)
+    run_sweep_resumable_with(
+        spec,
+        mechanism.as_ref(),
+        engine,
+        harness,
+        checkpoint_path,
+        resume,
+    )
 }
 
 /// [`run_sweep_resumable`] with an explicit mechanism, so tests and the
@@ -416,7 +441,9 @@ pub fn run_sweep_resumable_with(
         spec.trials,
         prior,
         |points, quarantine| {
-            let Some(path) = checkpoint_path else { return Ok(()) };
+            let Some(path) = checkpoint_path else {
+                return Ok(());
+            };
             let mut ck = SweepCheckpoint::new(spec, engine.seed(), engine.workers());
             ck.completed = points.to_vec();
             ck.quarantine = quarantine.to_vec();
@@ -431,8 +458,14 @@ mod tests {
 
     #[test]
     fn topology_parsing() {
-        assert_eq!(TopologySpec::parse("complete").unwrap(), TopologySpec::Complete);
-        assert_eq!(TopologySpec::parse("regular:8").unwrap(), TopologySpec::Regular { d: 8 });
+        assert_eq!(
+            TopologySpec::parse("complete").unwrap(),
+            TopologySpec::Complete
+        );
+        assert_eq!(
+            TopologySpec::parse("regular:8").unwrap(),
+            TopologySpec::Regular { d: 8 }
+        );
         assert_eq!(
             TopologySpec::parse("ws:6,0.1").unwrap(),
             TopologySpec::WattsStrogatz { k: 6, beta: 0.1 }
@@ -444,7 +477,10 @@ mod tests {
 
     #[test]
     fn mechanism_parsing() {
-        assert_eq!(MechanismSpec::parse("direct").unwrap(), MechanismSpec::Direct);
+        assert_eq!(
+            MechanismSpec::parse("direct").unwrap(),
+            MechanismSpec::Direct
+        );
         assert_eq!(
             MechanismSpec::parse("algorithm1:3").unwrap(),
             MechanismSpec::Algorithm1 { j: 3 }
@@ -467,7 +503,10 @@ mod tests {
         assert!(SweepSpec::parse_profile("normal:0.5,0.1").is_ok());
         assert!(SweepSpec::parse_profile("uniform:0.9,0.1").is_err()); // lo > hi
         assert!(SweepSpec::parse_profile("uniform:0.3").is_err()); // arity
-        assert_eq!(SweepSpec::parse_sizes("64, 128,256").unwrap(), vec![64, 128, 256]);
+        assert_eq!(
+            SweepSpec::parse_sizes("64, 128,256").unwrap(),
+            vec![64, 128, 256]
+        );
         assert!(SweepSpec::parse_sizes("").is_err());
         assert!(SweepSpec::parse_sizes("64,0").is_err());
     }
@@ -501,11 +540,10 @@ mod tests {
         };
         let engine = Engine::new(7).with_workers(2);
         let plain = run_sweep(&spec, &engine).unwrap();
-        let path = std::env::temp_dir()
-            .join(format!("ld-sim-sweep-ckpt-{}.json", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("ld-sim-sweep-ckpt-{}.json", std::process::id()));
         let mut harness = Harness::new();
-        let full =
-            run_sweep_resumable(&spec, &engine, &mut harness, Some(&path), None).unwrap();
+        let full = run_sweep_resumable(&spec, &engine, &mut harness, Some(&path), None).unwrap();
         assert!(full.fully_complete());
         for (r, p) in full.points.iter().enumerate() {
             let est = p.outcome.estimate.as_ref().unwrap();
@@ -518,20 +556,13 @@ mod tests {
         let resume: SweepCheckpoint = crate::checkpoint::load(&path).unwrap();
         let mut harness2 = Harness::new();
         let resumed =
-            run_sweep_resumable(&spec, &engine, &mut harness2, Some(&path), Some(resume))
-                .unwrap();
+            run_sweep_resumable(&spec, &engine, &mut harness2, Some(&path), Some(resume)).unwrap();
         assert_eq!(resumed.points, full.points, "resume must be bit-identical");
         // A mismatching resume is rejected.
         let stale: SweepCheckpoint = crate::checkpoint::load(&path).unwrap();
         let other_engine = Engine::new(8).with_workers(2);
-        let err = run_sweep_resumable(
-            &spec,
-            &other_engine,
-            &mut Harness::new(),
-            None,
-            Some(stale),
-        )
-        .unwrap_err();
+        let err = run_sweep_resumable(&spec, &other_engine, &mut Harness::new(), None, Some(stale))
+            .unwrap_err();
         assert!(err.to_string().contains("resume"), "{err}");
         std::fs::remove_file(&path).ok();
     }

@@ -114,7 +114,12 @@ impl Table {
     ///
     /// Panics if the row length differs from the number of columns.
     pub fn push<const K: usize>(&mut self, row: [Cell; K]) {
-        assert_eq!(K, self.columns.len(), "row width {K} != {} columns", self.columns.len());
+        assert_eq!(
+            K,
+            self.columns.len(),
+            "row width {K} != {} columns",
+            self.columns.len()
+        );
         self.rows.push(row.into_iter().collect());
     }
 
@@ -161,7 +166,9 @@ impl Table {
 
     /// A whole column as `f64` values (text cells skipped).
     pub fn column_values(&self, col: usize) -> Vec<f64> {
-        (0..self.rows.len()).filter_map(|r| self.value(r, col)).collect()
+        (0..self.rows.len())
+            .filter_map(|r| self.value(r, col))
+            .collect()
     }
 
     /// Fixed-width text rendering.
@@ -215,7 +222,12 @@ impl Table {
         };
         let mut out = String::new();
         out.push_str(
-            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {

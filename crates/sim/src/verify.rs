@@ -25,7 +25,12 @@ pub struct ClaimVerdict {
 }
 
 fn verdict(id: &str, claim: &str, pass: bool, detail: String) -> ClaimVerdict {
-    ClaimVerdict { id: id.to_string(), claim: claim.to_string(), pass, detail }
+    ClaimVerdict {
+        id: id.to_string(),
+        claim: claim.to_string(),
+        pass,
+        detail,
+    }
 }
 
 fn last_row(t: &Table, col: usize) -> f64 {
@@ -33,11 +38,15 @@ fn last_row(t: &Table, col: usize) -> f64 {
 }
 
 fn min_col(t: &Table, col: usize) -> f64 {
-    t.column_values(col).into_iter().fold(f64::INFINITY, f64::min)
+    t.column_values(col)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn max_col(t: &Table, col: usize) -> f64 {
-    t.column_values(col).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    t.column_values(col)
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// Runs every experiment and evaluates its claim predicate.
@@ -200,8 +209,8 @@ pub fn check(id: &str, tables: &[Table]) -> ClaimVerdict {
             let mut ok = true;
             let mut worst: f64 = 0.0;
             for base in (0..t.rows().len()).step_by(3) {
-                let diff = t.value(base + 2, 3).unwrap_or(f64::NAN)
-                    - t.value(base, 3).unwrap_or(f64::NAN);
+                let diff =
+                    t.value(base + 2, 3).unwrap_or(f64::NAN) - t.value(base, 3).unwrap_or(f64::NAN);
                 worst = worst.min(diff);
                 ok &= diff > -0.08;
             }
@@ -272,13 +281,43 @@ pub fn check(id: &str, tables: &[Table]) -> ClaimVerdict {
                 format!("worst max-weight / sqrt(n) ratio {worst_ratio:.2}"),
             )
         }
-        other => verdict(other, "unknown claim", false, "no predicate registered".to_string()),
+        "churn" => {
+            // Reaching a table at all means every row's incremental state
+            // was bit-identical to a from-scratch resolve (run_churn errors
+            // otherwise); the shape predicate adds the cost claim: the mean
+            // re-resolved region per update stays far below n.
+            let t = &tables[0];
+            let mut ok = !t.rows().is_empty();
+            let mut worst_frac: f64 = 0.0;
+            for r in 0..t.rows().len() {
+                let n = t.value(r, 0).unwrap_or(f64::NAN);
+                let touched = t.value(r, 8).unwrap_or(f64::NAN);
+                let frac = touched / n;
+                worst_frac = worst_frac.max(frac);
+                ok &= frac < 0.25 && t.value(r, 4).unwrap_or(0.0) > 0.0;
+            }
+            verdict(
+                id,
+                "incremental churn matches from-scratch resolve with sublinear touched regions",
+                ok,
+                format!("worst mean touched/update = {:.4}·n", worst_frac),
+            )
+        }
+        other => verdict(
+            other,
+            "unknown claim",
+            false,
+            "no predicate registered".to_string(),
+        ),
     }
 }
 
 /// Renders verdicts as a table.
 pub fn to_table(verdicts: &[ClaimVerdict]) -> Table {
-    let mut t = Table::new("Claim verification", &["id", "verdict", "claim", "measured"]);
+    let mut t = Table::new(
+        "Claim verification",
+        &["id", "verdict", "claim", "measured"],
+    );
     for v in verdicts {
         t.push([
             v.id.clone().into(),

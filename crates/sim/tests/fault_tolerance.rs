@@ -27,12 +27,22 @@ struct PanicAt {
 
 impl Mechanism for PanicAt {
     fn act(&self, instance: &ProblemInstance, voter: usize, rng: &mut dyn rand::RngCore) -> Action {
-        assert_ne!(instance.n(), self.panic_at, "injected panic at n = {}", self.panic_at);
+        assert_ne!(
+            instance.n(),
+            self.panic_at,
+            "injected panic at n = {}",
+            self.panic_at
+        );
         self.inner.act(instance, voter, rng)
     }
 
     fn run(&self, instance: &ProblemInstance, rng: &mut dyn rand::RngCore) -> DelegationGraph {
-        assert_ne!(instance.n(), self.panic_at, "injected panic at n = {}", self.panic_at);
+        assert_ne!(
+            instance.n(),
+            self.panic_at,
+            "injected panic at n = {}",
+            self.panic_at
+        );
         self.inner.run(instance, rng)
     }
 
@@ -60,7 +70,10 @@ fn tmp(name: &str) -> PathBuf {
 fn injected_panic_is_quarantined_retried_and_sweep_completes() {
     let spec = spec();
     let engine = Engine::new(7).with_workers(2);
-    let faulty = PanicAt { inner: ApprovalThreshold::new(1), panic_at: 24 };
+    let faulty = PanicAt {
+        inner: ApprovalThreshold::new(1),
+        panic_at: 24,
+    };
     let mut harness = Harness::new().with_max_retries(2);
     let out = run_sweep_resumable_with(&spec, &faulty, &engine, &mut harness, None, None)
         .expect("a panicking point must not abort the sweep");
@@ -87,7 +100,10 @@ fn injected_panic_is_quarantined_retried_and_sweep_completes() {
     // the first being the deterministic seed the plain path would use.
     assert_eq!(out.quarantine.len(), 3);
     assert!(out.quarantine.iter().all(|q| q.point == "n=24"));
-    assert!(out.quarantine.iter().all(|q| q.message.contains("injected panic")));
+    assert!(out
+        .quarantine
+        .iter()
+        .all(|q| q.message.contains("injected panic")));
     assert_eq!(out.quarantine[0].seed, engine.reseeded(1).seed());
     let seeds: HashSet<u64> = out.quarantine.iter().map(|q| q.seed).collect();
     assert_eq!(seeds.len(), 3, "each retry must use a fresh derived seed");
@@ -117,9 +133,14 @@ fn kill_and_resume_reproduces_the_uninterrupted_run_bit_identically() {
     ck.completed.truncate(1);
     checkpoint::save(&ck, &path).expect("rewind checkpoint");
     let loaded: SweepCheckpoint = checkpoint::load(&path).expect("reload");
-    let resumed =
-        run_sweep_resumable(&spec, &engine, &mut Harness::new(), Some(&path), Some(loaded))
-            .expect("resumed run");
+    let resumed = run_sweep_resumable(
+        &spec,
+        &engine,
+        &mut Harness::new(),
+        Some(&path),
+        Some(loaded),
+    )
+    .expect("resumed run");
     assert_eq!(resumed.points, full.points, "resume must be bit-identical");
 
     // The final checkpoint on disk holds the complete run again.
@@ -132,7 +153,10 @@ fn kill_and_resume_reproduces_the_uninterrupted_run_bit_identically() {
 fn resume_also_skips_degraded_points_and_keeps_their_quarantine() {
     let spec = spec();
     let engine = Engine::new(3).with_workers(1);
-    let faulty = PanicAt { inner: ApprovalThreshold::new(1), panic_at: 24 };
+    let faulty = PanicAt {
+        inner: ApprovalThreshold::new(1),
+        panic_at: 24,
+    };
     let path = tmp("resume-degraded.json");
 
     let first = run_sweep_resumable_with(
@@ -177,7 +201,13 @@ fn trial_budget_truncates_honestly_through_the_public_api() {
     let out = run_sweep_resumable(&spec, &engine, &mut harness, None, None).expect("budgeted run");
     for p in &out.points {
         assert_eq!(p.outcome.status, PointStatus::Truncated { trials_done: 4 });
-        assert_eq!(p.outcome.estimate.as_ref().map(ld_core::gain::GainEstimate::trials), Some(4));
+        assert_eq!(
+            p.outcome
+                .estimate
+                .as_ref()
+                .map(ld_core::gain::GainEstimate::trials),
+            Some(4)
+        );
     }
     let text = out.to_table().to_text();
     assert!(text.contains("TRUNCATED(4)"), "{text}");

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Competencies hover just below a coin flip: the org gets hard
     // questions wrong slightly more often than right (PC = a).
-    let dist = CompetencyDistribution::AroundHalf { a: 0.05, spread: 0.15 };
+    let dist = CompetencyDistribution::AroundHalf {
+        a: 0.05,
+        spread: 0.15,
+    };
 
     // --- Theorem 4's world: bounded maximum degree -----------------------
     let cap = 20;
@@ -36,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let est = estimate_gain(&inst_bounded, &ApprovalThreshold::new(1), 64, &mut rng)?;
     println!("Δ ≤ {cap} org chart ({} employees):", n);
     println!("  P[direct] = {:.4}", est.p_direct());
-    println!("  P[delegation] = {:.4}  → gain {:+.4}", est.p_mechanism(), est.gain());
+    println!(
+        "  P[delegation] = {:.4}  → gain {:+.4}",
+        est.p_mechanism(),
+        est.gain()
+    );
     println!(
         "  max weight {:.1} (Δ bounds any sink's reach), longest chain {:.1}\n",
         est.mean_max_weight(),
@@ -54,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(Restriction::MinDegree { k: floor }.check(&inst_min));
     let est = estimate_gain(&inst_min, &MinDegreeFraction::quarter(), 64, &mut rng)?;
     println!("  P[direct] = {:.4}", est.p_direct());
-    println!("  P[delegation] = {:.4}  → gain {:+.4}", est.p_mechanism(), est.gain());
+    println!(
+        "  P[delegation] = {:.4}  → gain {:+.4}",
+        est.p_mechanism(),
+        est.gain()
+    );
     println!(
         "  quarter rule: delegate iff ≥ 1/4 of colleagues are approved \
          ({:.0} of {} employees delegated)",

@@ -14,9 +14,7 @@
 
 use liquid_democracy::core::distributions::CompetencyDistribution;
 use liquid_democracy::core::gain::estimate_gain;
-use liquid_democracy::core::mechanisms::{
-    ApprovalThreshold, GreedyMax, Mechanism, WeightCapped,
-};
+use liquid_democracy::core::mechanisms::{ApprovalThreshold, GreedyMax, Mechanism, WeightCapped};
 use liquid_democracy::core::ProblemInstance;
 use liquid_democracy::graph::{generators, properties};
 use rand::rngs::StdRng;
@@ -38,10 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Members are informed to varying degrees about the proposal; nobody
     // is clueless or omniscient (bounded competency — Lemma 3's regime).
-    let profile =
-        CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 }.sample(n, &mut rng)?;
+    let profile = CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 }.sample(n, &mut rng)?;
     let instance = ProblemInstance::new(graph, profile, 0.05)?;
-    println!("P[direct vote passes correctly] = {:.4}\n", instance.direct_voting_probability()?);
+    println!(
+        "P[direct vote passes correctly] = {:.4}\n",
+        instance.direct_voting_probability()?
+    );
 
     let cap = (n as f64).sqrt() as usize;
     let mechanisms: Vec<Box<dyn Mechanism + Sync>> = vec![

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instance = ProblemInstance::new(graph, profile, 0.05)?;
     assert!(Restriction::Complete.check(&instance));
     println!("mean competency: {:.3}", instance.profile().mean());
-    println!("P[direct voting correct] = {:.4}", instance.direct_voting_probability()?);
+    println!(
+        "P[direct voting correct] = {:.4}",
+        instance.direct_voting_probability()?
+    );
 
     // 3. The paper's Algorithm 1: delegate to a uniformly random approved
     //    neighbour whenever at least j(n) neighbours are approved.
@@ -58,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Direct voting is the identity baseline: gain exactly 0.
     let baseline = estimate_gain(&instance, &DirectVoting, 1, &mut rng)?;
     assert!(baseline.gain().abs() < 1e-12);
-    println!("gain(D, G) = {:+.4}  (sanity: direct voting vs itself)", baseline.gain());
+    println!(
+        "gain(D, G) = {:+.4}  (sanity: direct voting vs itself)",
+        baseline.gain()
+    );
     Ok(())
 }

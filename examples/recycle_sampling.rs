@@ -37,11 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s
     };
     let total: usize = sizes.iter().sum();
-    let ps: Vec<f64> = (0..total).map(|i| 0.40 + 0.2 * i as f64 / total as f64).collect();
+    let ps: Vec<f64> = (0..total)
+        .map(|i| 0.40 + 0.2 * i as f64 / total as f64)
+        .collect();
     let graph = RecycleGraph::blocked(&sizes, &ps, 0.2)?;
 
     println!("(j, c, n)-recycle-sampling graph:");
-    println!("  n = {}, j = {}, partition complexity c = {}", graph.n(), graph.j(), graph.partition_complexity());
+    println!(
+        "  n = {}, j = {}, partition complexity c = {}",
+        graph.n(),
+        graph.j(),
+        graph.partition_complexity()
+    );
 
     // Exact moments from the DPs — the paper only ever *bounds* these.
     let mu = graph.expected_sum();
@@ -77,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nLemma 2 check (ε = {epsilon}):");
     println!("  allowance c·ε·n/j^(1/3) = {allowance:.1}");
-    println!("  observed 3σ shortfall ≈ {:.1} — far inside the allowance", 3.0 * var.sqrt());
+    println!(
+        "  observed 3σ shortfall ≈ {:.1} — far inside the allowance",
+        3.0 * var.sqrt()
+    );
     println!("  P[X_n < μ − allowance] = {}/{trials}", exceed);
     Ok(())
 }

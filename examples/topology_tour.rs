@@ -23,14 +23,29 @@ use liquid_democracy::graph::{generators, properties, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn topologies(n: usize, rng: &mut StdRng) -> Result<Vec<(&'static str, Graph)>, Box<dyn std::error::Error>> {
+fn topologies(
+    n: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<(&'static str, Graph)>, Box<dyn std::error::Error>> {
     Ok(vec![
         ("complete K_n", generators::complete(n)),
         ("random 16-regular", generators::random_regular(n, 16, rng)?),
-        ("bounded degree Δ ≤ 12", generators::random_bounded_degree(n, 12, n * 3, rng)?),
-        ("min degree δ ≥ 20", generators::random_min_degree(n, 20, rng)?),
-        ("Watts-Strogatz small world", generators::watts_strogatz(n, 16, 0.1, rng)?),
-        ("Barabási-Albert scale-free", generators::barabasi_albert(n, 3, rng)?),
+        (
+            "bounded degree Δ ≤ 12",
+            generators::random_bounded_degree(n, 12, n * 3, rng)?,
+        ),
+        (
+            "min degree δ ≥ 20",
+            generators::random_min_degree(n, 20, rng)?,
+        ),
+        (
+            "Watts-Strogatz small world",
+            generators::watts_strogatz(n, 16, 0.1, rng)?,
+        ),
+        (
+            "Barabási-Albert scale-free",
+            generators::barabasi_albert(n, 3, rng)?,
+        ),
         ("star (Figure 1)", generators::star(n)),
     ])
 }
@@ -41,10 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mechanism = ApprovalThreshold::new(1);
 
     let regimes: [(&str, CompetencyProfile); 2] = [
-        ("contested electorate (mean < 1/2): delegation rescues every topology",
-         CompetencyProfile::linear(n, 0.30, 0.66)?),
-        ("competent electorate (all > 1/2): only the star harms",
-         CompetencyProfile::linear(n, 0.52, 0.70)?),
+        (
+            "contested electorate (mean < 1/2): delegation rescues every topology",
+            CompetencyProfile::linear(n, 0.30, 0.66)?,
+        ),
+        (
+            "competent electorate (all > 1/2): only the star harms",
+            CompetencyProfile::linear(n, 0.52, 0.70)?,
+        ),
     ];
 
     for (title, profile) in regimes {

@@ -13,7 +13,12 @@ fn all_experiments_run_in_quick_mode() {
             .unwrap_or_else(|e| panic!("experiment {} failed: {e}", info.id));
         assert!(!result.tables.is_empty(), "{} produced no tables", info.id);
         for t in &result.tables {
-            assert!(!t.rows().is_empty(), "{}: table {:?} empty", info.id, t.title());
+            assert!(
+                !t.rows().is_empty(),
+                "{}: table {:?} empty",
+                info.id,
+                t.title()
+            );
             assert!(!t.to_text().is_empty());
             assert!(!t.to_csv().is_empty());
         }

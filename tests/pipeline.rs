@@ -37,14 +37,23 @@ fn complete_graph_pipeline_reproduces_theorem2_shape() -> TestResult {
     let mut gains = Vec::new();
     for (i, n) in [32usize, 64, 128].into_iter().enumerate() {
         let mut rng = stream_rng(77, i as u64);
-        let profile =
-            CompetencyDistribution::AroundHalf { a: 0.05, spread: 0.15 }.sample(n, &mut rng)?;
+        let profile = CompetencyDistribution::AroundHalf {
+            a: 0.05,
+            spread: 0.15,
+        }
+        .sample(n, &mut rng)?;
         let inst = ProblemInstance::new(generators::complete(n), profile, 0.1)?;
         let est = estimate_gain(&inst, &ApprovalThreshold::new(2), 48, &mut rng)?;
         gains.push(est.gain());
     }
-    assert!(gains.iter().all(|&g| g > 0.0), "gains {gains:?} should all be positive");
-    assert!(gains[2] > gains[0] - 0.05, "gain should not collapse with n: {gains:?}");
+    assert!(
+        gains.iter().all(|&g| g > 0.0),
+        "gains {gains:?} should all be positive"
+    );
+    assert!(
+        gains[2] > gains[0] - 0.05,
+        "gain should not collapse with n: {gains:?}"
+    );
     Ok(())
 }
 
@@ -58,11 +67,19 @@ fn star_pipeline_reproduces_figure1_shape() -> TestResult {
     )?;
     let mut rng = StdRng::seed_from_u64(5);
     let est = estimate_gain(&inst, &GreedyMax, 4, &mut rng)?;
-    assert!(est.gain() < -0.3, "star loss {} should approach -1/3", est.gain());
+    assert!(
+        est.gain() < -0.3,
+        "star loss {} should approach -1/3",
+        est.gain()
+    );
     // And the non-local cap rescues it.
     let capped = WeightCapped::new(GreedyMax, 17);
     let est2 = estimate_gain(&inst, &capped, 4, &mut rng)?;
-    assert!(est2.gain() > -0.01, "capped star gain {} should be harmless", est2.gain());
+    assert!(
+        est2.gain() > -0.01,
+        "capped star gain {} should be harmless",
+        est2.gain()
+    );
     Ok(())
 }
 
@@ -159,7 +176,10 @@ fn structural_asymmetry_predicts_harm_direction() -> TestResult {
     let (star_asym, star_gain) = results[1];
     assert!(complete_asym <= 1.0 + 1e-9);
     assert!(star_asym > 50.0);
-    assert!(star_gain < complete_gain, "asymmetry should hurt: {results:?}");
+    assert!(
+        star_gain < complete_gain,
+        "asymmetry should hurt: {results:?}"
+    );
     assert!(star_gain < -0.05, "the star must harm, got {star_gain}");
     Ok(())
 }

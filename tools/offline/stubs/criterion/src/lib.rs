@@ -1,0 +1,122 @@
+//! Offline stand-in for `criterion` (see `tools/offline/README.md`).
+//!
+//! Runs every registered benchmark closure exactly once and prints the
+//! single-shot wall time — a smoke check that the bench code compiles
+//! and executes, not a statistics engine. `--help`/filter args are
+//! ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry root.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored in the stub (each bench runs once regardless).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored in the stub.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored in the stub.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` once, timing the `Bencher::iter` body.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("bench(offline-once) {}/{}: {:?}", self.name, id, b.elapsed);
+        self
+    }
+
+    /// Runs `f` once with `input`, timing the `Bencher::iter` body.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        f(&mut b, input);
+        println!("bench(offline-once) {}/{}: {:?}", self.name, id.label, b.elapsed);
+        self
+    }
+
+    /// No-op in the stub.
+    pub fn finish(self) {}
+}
+
+/// Identifies a bench within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` label.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Times a routine; the stub runs it exactly once.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` once and records its wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a bench entry point running all groups once.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam` (see `tools/offline/README.md`).
+//!
+//! Only `crossbeam::thread::scope` + `Scope::spawn` are provided, and
+//! spawned closures run *sequentially, inline* in the calling thread —
+//! correctness-preserving for this workspace (worker streams are
+//! seed-split, so results do not depend on interleaving), but with no
+//! actual parallel speedup. Panics are caught and surfaced through the
+//! scope's `Err`, matching crossbeam's contract.
+
+/// Scoped "threads".
+pub mod thread {
+    use std::any::Any;
+    use std::cell::RefCell;
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Panic payload type, as in `std::thread`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// The scope handed to the closure; `spawn` runs inline.
+    pub struct Scope<'env> {
+        first_panic: RefCell<Option<Box<dyn Any + Send + 'static>>>,
+        _env: PhantomData<&'env ()>,
+    }
+
+    /// Handle to an (already-finished) inline "thread".
+    pub struct ScopedJoinHandle<T> {
+        result: std::result::Result<T, ()>,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// The closure's result; `Err` if it panicked (payload is on the
+        /// scope).
+        pub fn join(self) -> Result<T> {
+            self.result.map_err(|()| Box::new("panicked (payload taken by scope)") as _)
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        /// Runs `f` immediately on the current thread, catching panics.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            match catch_unwind(AssertUnwindSafe(|| f(self))) {
+                Ok(v) => ScopedJoinHandle { result: Ok(v) },
+                Err(payload) => {
+                    let mut slot = self.first_panic.borrow_mut();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    ScopedJoinHandle { result: Err(()) }
+                }
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; returns `Err` with the first panic payload
+    /// from the closure or any spawned task.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope { first_panic: RefCell::new(None), _env: PhantomData };
+        let out = catch_unwind(AssertUnwindSafe(|| f(&scope)))?;
+        match scope.first_panic.into_inner() {
+            Some(payload) => Err(payload),
+            None => Ok(out),
+        }
+    }
+}

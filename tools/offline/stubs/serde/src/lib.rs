@@ -1,0 +1,71 @@
+//! Offline stand-in for `serde` (see `tools/offline/README.md`).
+//!
+//! The traits are empty markers and the derives are no-ops: enough for the
+//! workspace to type-check and for non-serialization code paths to run.
+//! Actual serialization through the companion `serde_json` stub returns
+//! placeholder output or a typed error — never silently wrong data.
+
+/// Serialization marker (no-op in the stub).
+pub trait Serialize {}
+
+/// Deserialization marker (no-op in the stub).
+pub trait Deserialize<'de>: Sized {}
+
+/// Serialization side, mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Deserialization side, mirroring `serde::de`.
+pub mod de {
+    pub use super::Deserialize;
+
+    /// Owned deserialization marker, blanket-implemented like the real one.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Blanket impls for the std types the workspace serializes inside derived
+// containers and at API boundaries (e.g. Vec<Table>, &[ExperimentResult]).
+macro_rules! mark {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )+};
+}
+mark!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, char, ());
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl Serialize for str {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl Serialize for std::path::PathBuf {}
+impl<'de> Deserialize<'de> for std::path::PathBuf {}
+impl Serialize for std::time::Duration {}
+impl<'de> Deserialize<'de> for std::time::Duration {}

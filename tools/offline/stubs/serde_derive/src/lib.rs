@@ -1,0 +1,62 @@
+//! Offline stand-in for `serde_derive` (see `tools/offline/README.md`).
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` emit *empty* marker
+//! impls for the companion `serde` stub — no codegen, no `syn`, std only.
+//! `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct`/`enum`/`union`, erroring on
+/// generic types (the workspace derives serde only on concrete types).
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute body group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(kw)
+                if kw.to_string() == "struct"
+                    || kw.to_string() == "enum"
+                    || kw.to_string() == "union" =>
+            {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "offline serde stub cannot derive for generic type {name}"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum/union found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, make: fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => make(&name).parse().expect("stub derive emits valid tokens"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| format!("impl ::serde::Serialize for {name} {{}}"))
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

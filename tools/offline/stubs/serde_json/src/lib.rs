@@ -1,0 +1,83 @@
+//! Offline stand-in for `serde_json` (see `tools/offline/README.md`).
+//!
+//! Serialization returns a clearly-marked placeholder string;
+//! deserialization returns [`Error`]. Code paths that round-trip JSON will
+//! fail loudly under this stub — by design, never with silently wrong
+//! data. Everything type-checks against the same signatures as the real
+//! crate's subset used by this workspace.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+
+/// The stub's error: every fallible operation yields this.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offline serde_json stub: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Minimal JSON value tree (only the accessors the workspace touches).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// JSON number (stored as f64).
+    Number(f64),
+    /// JSON string.
+    String(String),
+}
+
+impl Value {
+    /// Object field lookup — always `None` in the stub.
+    pub fn get(&self, _key: &str) -> Option<&Value> {
+        None
+    }
+
+    /// Numeric view as u64.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {}
+impl Serialize for Value {}
+
+/// Placeholder serialization (the output is not JSON).
+pub fn to_string<T: Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Ok("{\"offline-serde-json-stub\":true}".to_string())
+}
+
+/// Placeholder pretty serialization (the output is not JSON).
+pub fn to_string_pretty<T: Serialize + ?Sized>(_value: &T) -> Result<String> {
+    to_string(_value)
+}
+
+/// Always fails under the stub.
+pub fn from_str<T: DeserializeOwned>(_s: &str) -> Result<T> {
+    Err(Error { msg: "from_str unavailable offline".to_string() })
+}
+
+/// Always fails under the stub.
+pub fn from_value<T: DeserializeOwned>(_value: Value) -> Result<T> {
+    Err(Error { msg: "from_value unavailable offline".to_string() })
+}
