@@ -19,4 +19,14 @@ cargo clippy --workspace -- -D warnings
 echo "==> repro stress smoke (incremental == from-scratch, stream == batch)"
 ./target/release/repro stress --n 512 --updates 2000
 
+echo "==> repro conformance --quick (differential + metamorphic gate)"
+./target/release/repro conformance --quick
+
+echo "==> conformance mutation smoke (injected tie-flip MUST be detected)"
+if ./target/release/repro conformance --quick --no-corpus \
+    --case complete/constant50/direct --mutate tie-flip >/dev/null 2>&1; then
+  echo "ERROR: injected tie-flip mutation was not detected — the suite has no teeth" >&2
+  exit 1
+fi
+
 echo "==> ci.sh: all green"

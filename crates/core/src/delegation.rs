@@ -262,18 +262,36 @@ impl DelegationGraph {
                 scratch.depth[v] = base + back as u32 + 1;
             }
         }
+        // Every voter is visited by the chase loop above, so an unresolved
+        // entry can only mean the resolver itself is broken. Surface that as
+        // a typed error rather than unwrapping: long-running callers (the
+        // harness, the live engine's cross-checks) quarantine errors but
+        // would abort on a panic.
+        let mut resolved: Vec<Option<usize>> = Vec::with_capacity(n);
+        for (voter, entry) in sink_of.into_iter().enumerate() {
+            match entry {
+                Some(chain_end) => resolved.push(chain_end),
+                None => {
+                    return Err(CoreError::InvalidParameter {
+                        reason: format!(
+                            "internal resolver invariant violated: voter {voter} left unresolved"
+                        ),
+                    })
+                }
+            }
+        }
         let mut weight = vec![0usize; n];
         let mut discarded = 0usize;
-        for entry in sink_of.iter() {
-            match entry.expect("all voters resolved") {
-                Some(s) => weight[s] += 1,
+        for entry in &resolved {
+            match entry {
+                Some(s) => weight[*s] += 1,
                 None => discarded += 1,
             }
         }
         let sinks: Vec<usize> = (0..n).filter(|&v| weight[v] > 0).collect();
         let longest_chain = scratch.depth.iter().copied().max().unwrap_or(0) as usize;
         Ok(Resolution {
-            sink_of: sink_of.into_iter().map(|c| c.expect("resolved")).collect(),
+            sink_of: resolved,
             weight,
             sinks,
             discarded,

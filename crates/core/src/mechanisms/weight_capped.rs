@@ -32,10 +32,25 @@ impl<M: Mechanism> WeightCapped<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `cap == 0` (a sink always carries at least its own vote).
+    /// Panics if `cap == 0` (a sink always carries at least its own vote);
+    /// [`WeightCapped::try_new`] is the non-panicking variant.
     pub fn new(inner: M, cap: usize) -> Self {
-        assert!(cap > 0, "weight cap must be positive");
-        WeightCapped { inner, cap }
+        Self::try_new(inner, cap).expect("weight cap must be positive")
+    }
+
+    /// Fallible constructor: reports a zero cap as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidParameter`] if `cap == 0`.
+    pub fn try_new(inner: M, cap: usize) -> crate::Result<Self> {
+        if cap == 0 {
+            return Err(crate::CoreError::InvalidParameter {
+                reason: "weight cap must be positive (a sink carries at least its own vote)"
+                    .to_string(),
+            });
+        }
+        Ok(WeightCapped { inner, cap })
     }
 
     /// The wrapped mechanism.
@@ -210,6 +225,19 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn rejects_zero_cap() {
         let _ = WeightCapped::new(GreedyMax, 0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_cap_as_typed_error() {
+        let err = WeightCapped::try_new(GreedyMax, 0).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                crate::CoreError::InvalidParameter { reason } if reason.contains("weight cap")
+            ),
+            "unexpected error: {err}"
+        );
+        assert!(WeightCapped::try_new(GreedyMax, 1).is_ok());
     }
 
     #[test]

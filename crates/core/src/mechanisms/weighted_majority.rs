@@ -1,6 +1,7 @@
 //! The weighted-majority-vote extension (§6 of the paper).
 
 use crate::delegation::Action;
+use crate::error::{CoreError, Result};
 use crate::instance::ProblemInstance;
 use crate::mechanisms::Mechanism;
 use rand::{Rng, RngCore};
@@ -33,10 +34,29 @@ impl WeightedMajorityDelegation {
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0`.
+    /// Panics if `k == 0`; [`WeightedMajorityDelegation::try_new`] is the
+    /// non-panicking variant for parameters that arrive from a config
+    /// file or the command line.
     pub fn new(k: usize, threshold: usize) -> Self {
-        assert!(k > 0, "delegate count k must be positive");
-        WeightedMajorityDelegation { k, threshold }
+        Self::try_new(k, threshold).expect("delegate count k must be positive")
+    }
+
+    /// Fallible constructor: like [`WeightedMajorityDelegation::new`] but
+    /// reports a zero delegate count as a typed error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `k == 0` (a voter must
+    /// delegate to at least one neighbour for the majority-of-delegates
+    /// ballot to be defined).
+    pub fn try_new(k: usize, threshold: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(CoreError::InvalidParameter {
+                reason: "weighted-majority delegate count k must be positive".to_string(),
+            });
+        }
+        Ok(WeightedMajorityDelegation { k, threshold })
     }
 
     /// Number of delegates per voter.
@@ -148,6 +168,26 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn rejects_zero_k() {
         let _ = WeightedMajorityDelegation::new(0, 1);
+    }
+
+    #[test]
+    fn try_new_reports_zero_k_as_typed_error() {
+        let err = WeightedMajorityDelegation::try_new(0, 1).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CoreError::InvalidParameter { reason } if reason.contains("k must be positive")
+            ),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn try_new_accepts_positive_k_and_matches_new() {
+        let mech = WeightedMajorityDelegation::try_new(3, 2).unwrap();
+        assert_eq!(mech, WeightedMajorityDelegation::new(3, 2));
+        assert_eq!(mech.k(), 3);
+        assert_eq!(mech.threshold(), 2);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property test: `resolve()` is equivariant under voter relabeling.
+//!
+//! Voter identity carries no semantics — relabeling voters by a
+//! permutation `π`, resolving, and mapping the result back must equal
+//! resolving directly: `π(resolve(A)) == resolve(π(A))`. The same holds
+//! for the exact tally, because the sink `(weight, competency)` multiset
+//! is permutation-invariant. Cyclic inputs must fail identically on both
+//! sides.
+
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_core::CoreError;
+use ld_prob::poisson_binomial::WeightedBernoulliSum;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Turns a vector of random keys into the permutation that ranks them
+/// (ties broken by index): `pi[i]` is the new label of voter `i`.
+fn permutation_from_keys(keys: &[u64]) -> Vec<usize> {
+    let mut by_rank: Vec<usize> = (0..keys.len()).collect();
+    by_rank.sort_by_key(|&i| (keys[i], i));
+    let mut pi = vec![0usize; keys.len()];
+    for (rank, &orig) in by_rank.iter().enumerate() {
+        pi[orig] = rank;
+    }
+    pi
+}
+
+/// Relabels an action vector: voter `π(i)` performs `A[i]` with delegation
+/// targets mapped through `π`.
+fn relabel(actions: &[Action], pi: &[usize]) -> Vec<Action> {
+    let mut out = vec![Action::Vote; actions.len()];
+    for (i, a) in actions.iter().enumerate() {
+        out[pi[i]] = match a {
+            Action::Vote => Action::Vote,
+            Action::Abstain => Action::Abstain,
+            Action::Delegate(t) => Action::Delegate(pi[*t]),
+            Action::DelegateMany(ts) => Action::DelegateMany(ts.iter().map(|&t| pi[t]).collect()),
+            other => other.clone(),
+        };
+    }
+    out
+}
+
+/// Decodes `0 = Vote`, `1 = Abstain`, `c ≥ 2 = Delegate(c - 2)`, with
+/// each raw code reduced modulo `n + 2` so every target is in range.
+fn decode(codes: &[usize]) -> Vec<Action> {
+    let n = codes.len();
+    codes
+        .iter()
+        .map(|&c| match c % (n + 2) {
+            0 => Action::Vote,
+            1 => Action::Abstain,
+            c => Action::Delegate(c - 2),
+        })
+        .collect()
+}
+
+/// A distinct, sorted-free competency assignment for tally comparison.
+fn competencies(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.05 + 0.9 * (i + 1) as f64 / (n + 1) as f64)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn resolve_commutes_with_relabeling(
+        raw in vec((0usize..1024, any::<u64>()), 2..20)
+    ) {
+        let n = raw.len();
+        let codes: Vec<usize> = raw.iter().map(|&(c, _)| c).collect();
+        let keys: Vec<u64> = raw.iter().map(|&(_, k)| k).collect();
+        let actions = decode(&codes);
+        let pi = permutation_from_keys(&keys);
+        let relabeled = relabel(&actions, &pi);
+        let direct = DelegationGraph::new(actions).resolve();
+        let mapped = DelegationGraph::new(relabeled).resolve();
+        match (direct, mapped) {
+            (Ok(a), Ok(b)) => {
+                for i in 0..n {
+                    prop_assert_eq!(b.sink_of(pi[i]), a.sink_of(i).map(|s| pi[s]), "voter {}", i);
+                }
+                for (v, &pv) in pi.iter().enumerate() {
+                    prop_assert_eq!(b.weight_of(pv), a.weight_of(v), "weight of {}", v);
+                }
+                prop_assert_eq!(a.tallied(), b.tallied());
+                prop_assert_eq!(a.discarded(), b.discarded());
+                prop_assert_eq!(a.delegators(), b.delegators());
+                prop_assert_eq!(a.sink_count(), b.sink_count());
+                prop_assert_eq!(a.max_weight(), b.max_weight());
+                prop_assert_eq!(a.longest_chain(), b.longest_chain());
+
+                // Tally equivariance: the sink (weight, competency)
+                // multiset is preserved, so the exact decision probability
+                // is identical under any tie policy.
+                let ps = competencies(n);
+                let terms_a: Vec<(usize, f64)> =
+                    a.sink_weights().map(|(s, w)| (w, ps[s])).collect();
+                // Under relabeling, voter π(i) has i's competency.
+                let mut ps_b = vec![0.0; n];
+                for i in 0..n {
+                    ps_b[pi[i]] = ps[i];
+                }
+                let terms_b: Vec<(usize, f64)> =
+                    b.sink_weights().map(|(s, w)| (w, ps_b[s])).collect();
+                let sum_a = WeightedBernoulliSum::new(&terms_a).unwrap();
+                let sum_b = WeightedBernoulliSum::new(&terms_b).unwrap();
+                for credit in [0.0, 0.5, 1.0] {
+                    let pa = sum_a.majority_with_ties(a.tallied(), credit);
+                    let pb = sum_b.majority_with_ties(b.tallied(), credit);
+                    prop_assert!((pa - pb).abs() < 1e-12, "tally {} vs {}", pa, pb);
+                }
+            }
+            (Err(ea), Err(eb)) => {
+                // With in-range single targets the only possible failure is
+                // a delegation cycle, which relabeling preserves.
+                prop_assert_eq!(&ea, &CoreError::CyclicDelegation, "unexpected {}", ea);
+                prop_assert_eq!(&eb, &CoreError::CyclicDelegation, "unexpected {}", eb);
+            }
+            (a, b) => {
+                panic!("relabeling changed the outcome kind: {a:?} vs {b:?}");
+            }
+        }
+    }
+}

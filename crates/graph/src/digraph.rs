@@ -270,16 +270,35 @@ mod tests {
 
     #[test]
     fn topological_order_respects_edges() {
-        let mut g = DiGraph::new(6);
-        g.add_edge(5, 2);
-        g.add_edge(2, 1);
-        g.add_edge(4, 1);
-        g.add_edge(3, 0);
+        // A deterministic pseudo-random DAG on 500 vertices (edges only
+        // from lower to higher labels, so acyclic by construction). The
+        // order check uses an O(n) index map rather than the O(n²)
+        // `iter().position()` scan, so the test stays fast at this size.
+        let n = 500;
+        let mut g = DiGraph::new(n);
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for u in 0..n - 1 {
+            for _ in 0..3 {
+                let v = u + 1 + (next() as usize) % (n - u - 1);
+                g.add_edge(u, v);
+            }
+        }
         let order = g.topological_order().unwrap();
-        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
-        for (u, targets) in (0..6).map(|u| (u, g.successors(u))) {
+        assert_eq!(order.len(), n);
+        let mut pos = vec![usize::MAX; n];
+        for (idx, &v) in order.iter().enumerate() {
+            assert_eq!(pos[v], usize::MAX, "vertex {v} repeated in order");
+            pos[v] = idx;
+        }
+        for (u, targets) in (0..n).map(|u| (u, g.successors(u))) {
             for &v in targets {
-                assert!(pos(u) < pos(v), "edge ({u},{v}) violates order {order:?}");
+                assert!(pos[u] < pos[v], "edge ({u},{v}) violates the order");
             }
         }
     }

@@ -614,7 +614,7 @@ impl LiveEngine {
             debug_assert!(self.stack.is_empty());
             let mut cur = start;
             let (terminal, base) = loop {
-                if self.mark[cur] < epoch || self.mark[cur] > epoch {
+                if self.mark[cur] != epoch {
                     // Outside the touched set, or touched and already
                     // resolved: stored values are current.
                     break (self.sink_of[cur], self.depth[cur]);

@@ -140,6 +140,44 @@ pub fn berry_esseen_bernoulli(ps: &[f64]) -> Result<f64> {
     Ok((0.56 * rho / variance.powf(1.5)).min(1.0))
 }
 
+/// Berry–Esseen bound for a **weighted** Bernoulli sum
+/// `Σ w_i · Bernoulli(p_i)` (nonnegative integer weights):
+/// `sup_x |F(x) − Φ((x-μ)/σ)| ≤ C₀ · Σ ρ_i / (Σ σ_i²)^{3/2}` with
+/// `σ_i² = w_i² p_i (1-p_i)`, `ρ_i = E|w_i(X_i - p_i)|³ =
+/// w_i³ p_i(1-p_i)(p_i² + (1-p_i)²)`, and `C₀ = 0.56`.
+///
+/// This is the envelope within which the live engine's O(1)
+/// normal-approximation decision probability must agree with the exact
+/// weighted Poisson-binomial: both the conformance suite and the
+/// `ld-prob` property tests assert
+/// `|normal − exact| ≤ berry_esseen_weighted(terms)` at the majority
+/// threshold. Zero-weight terms are permitted and contribute nothing.
+///
+/// # Errors
+///
+/// Returns [`ProbError::InvalidProbability`] if some `p_i` is outside
+/// `[0, 1]`, or [`ProbError::InvalidParameter`] if the total variance is
+/// zero (all terms deterministic).
+pub fn berry_esseen_weighted(terms: &[(usize, f64)]) -> Result<f64> {
+    for &(_, p) in terms {
+        check_probability(p, "Berry-Esseen weighted parameter")?;
+    }
+    let variance: f64 = terms
+        .iter()
+        .map(|&(w, p)| (w as f64).powi(2) * p * (1.0 - p))
+        .sum();
+    if variance <= 0.0 {
+        return Err(ProbError::InvalidParameter {
+            reason: "Berry-Esseen requires positive total variance".to_string(),
+        });
+    }
+    let rho: f64 = terms
+        .iter()
+        .map(|&(w, p)| (w as f64).powi(3) * p * (1.0 - p) * (p * p + (1.0 - p) * (1.0 - p)))
+        .sum();
+    Ok((0.56 * rho / variance.powf(1.5)).min(1.0))
+}
+
 /// Lemma 3's anti-concentration bound: with all competencies in
 /// `(β, 1-β)`, the probability that delegating `n^{1/2-ε}` votes flips the
 /// outcome is at most `erf(2·n^{1/2-ε} / (σ√2))` where
@@ -265,6 +303,41 @@ mod tests {
             assert!((b - expected).abs() < 1e-9, "n = {n}: {b} vs {expected}");
             last = b;
         }
+    }
+
+    #[test]
+    fn berry_esseen_weighted_reduces_to_bernoulli_for_unit_weights() {
+        let ps = [0.3, 0.45, 0.5, 0.62, 0.71];
+        let terms: Vec<(usize, f64)> = ps.iter().map(|&p| (1, p)).collect();
+        let a = berry_esseen_bernoulli(&ps).unwrap();
+        let b = berry_esseen_weighted(&terms).unwrap();
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn berry_esseen_weighted_shrinks_with_more_equal_weight_terms() {
+        let mut last = f64::INFINITY;
+        for k in [8usize, 32, 128, 512] {
+            let terms: Vec<(usize, f64)> = (0..k).map(|_| (2, 0.4)).collect();
+            let b = berry_esseen_weighted(&terms).unwrap();
+            assert!(b < last, "k = {k}: {b} not below {last}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn berry_esseen_weighted_ignores_zero_weight_terms() {
+        let a = berry_esseen_weighted(&[(3, 0.4), (1, 0.6)]).unwrap();
+        let b = berry_esseen_weighted(&[(3, 0.4), (0, 0.9), (1, 0.6)]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn berry_esseen_weighted_rejects_degenerate_inputs() {
+        assert!(berry_esseen_weighted(&[(3, 0.0), (2, 1.0)]).is_err()); // zero variance
+        assert!(berry_esseen_weighted(&[(1, 1.5)]).is_err());
+        assert!(berry_esseen_weighted(&[]).is_err());
+        assert!(berry_esseen_weighted(&[(0, 0.5)]).is_err()); // zero-weight only
     }
 
     #[test]

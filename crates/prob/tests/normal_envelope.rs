@@ -1,0 +1,78 @@
+//! Property test: the normal approximation of a weighted Bernoulli sum
+//! stays within the Berry–Esseen envelope of the exact Poisson-binomial.
+//!
+//! This is the theoretical license behind the live engine's O(1)
+//! normal-approximation decision probability: Berry–Esseen bounds
+//! `sup_x |F(x) − Φ((x-μ)/σ)|`, and the strict-majority decision
+//! probability is `1 − F(⌊t/2⌋)`, so the normal estimate evaluated at the
+//! same threshold can never stray further than the bound (plus the
+//! `1.5e-7` absolute error of the rational-approximation `erf`).
+
+use ld_prob::bounds::berry_esseen_weighted;
+use ld_prob::normal::std_normal_cdf;
+use ld_prob::poisson_binomial::WeightedBernoulliSum;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Absolute error budget of the Abramowitz–Stegun `erf` plus float noise.
+const ERF_SLACK: f64 = 1e-6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `|normal_cdf − exact_cdf| ≤ BE bound` at every integer point.
+    #[test]
+    fn cdf_within_berry_esseen_at_every_point(
+        terms in vec((1usize..6, 0.05f64..0.95), 2..14)
+    ) {
+        let sum = WeightedBernoulliSum::new(&terms).unwrap();
+        let bound = berry_esseen_weighted(&terms).unwrap();
+        let mean = sum.mean();
+        let sd = sum.variance().sqrt();
+        let total = sum.total_weight();
+        let mut cdf = 0.0;
+        for x in 0..=total {
+            cdf += sum.pmf(x);
+            let normal = std_normal_cdf((x as f64 - mean) / sd);
+            prop_assert!(
+                (cdf - normal).abs() <= bound + ERF_SLACK,
+                "x = {x}: |{cdf} - {normal}| > {bound}"
+            );
+        }
+    }
+
+    /// The decision probability (strict majority of the total weight)
+    /// computed from the normal approximation stays within the envelope
+    /// of the exact value — the contract the conformance suite pins the
+    /// live engine against.
+    #[test]
+    fn decision_probability_within_berry_esseen(
+        terms in vec((1usize..8, 0.05f64..0.95), 2..14)
+    ) {
+        let sum = WeightedBernoulliSum::new(&terms).unwrap();
+        let bound = berry_esseen_weighted(&terms).unwrap();
+        let total = sum.total_weight();
+        let threshold = total / 2;
+        let exact = sum.strict_majority(total);
+        let mean = sum.mean();
+        let sd = sum.variance().sqrt();
+        let normal = 1.0 - std_normal_cdf((threshold as f64 - mean) / sd);
+        prop_assert!(
+            (exact - normal).abs() <= bound + ERF_SLACK,
+            "|{exact} - {normal}| > {bound} for terms {terms:?}"
+        );
+    }
+
+    /// The bound itself is sane: in (0, 1], and invariant under term order.
+    #[test]
+    fn bound_is_positive_and_permutation_invariant(
+        terms in vec((1usize..6, 0.1f64..0.9), 2..10)
+    ) {
+        let b = berry_esseen_weighted(&terms).unwrap();
+        prop_assert!(b > 0.0 && b <= 1.0);
+        let mut reversed = terms.clone();
+        reversed.reverse();
+        let br = berry_esseen_weighted(&reversed).unwrap();
+        prop_assert!((b - br).abs() < 1e-12);
+    }
+}

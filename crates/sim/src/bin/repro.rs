@@ -9,6 +9,7 @@
 //! repro all --max-wall 3600    # budget: degrade gracefully after 1 h
 //! repro --resume results/checkpoints/repro-seed<seed>-full.json
 //! repro stress --n 100000 --updates 1000000   # live-engine churn driver
+//! repro conformance --quick    # differential/metamorphic conformance gate
 //! ```
 //!
 //! Runs are fault tolerant: each experiment executes under panic
@@ -101,7 +102,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--list] [--quick] [--seed N] [--workers N] [--json PATH] \
                      [--csv-dir DIR] [--resume CKPT] [--checkpoint-dir DIR] [--no-checkpoint] \
                      [--max-wall SECS] [--max-retries N] [--fail-fast] \
-                     <id>... | all | verify | sweep ... | stress ..."
+                     <id>... | all | verify | sweep ... | stress ... | conformance ..."
                 );
                 std::process::exit(0);
             }
@@ -382,6 +383,139 @@ fn run_stress_command() -> ExitCode {
     }
 }
 
+/// Handles `repro conformance [--quick] [--seed N] [--json PATH]
+/// [--only CHECK] [--case SUBSTR] [--mutate tie-flip]`: runs the
+/// `ld-testkit` differential/metamorphic grid plus the simulation-layer
+/// checks, prints every mismatch with its shrunk minimal instance and a
+/// one-line reproduction command, and exits non-zero on any mismatch.
+fn run_conformance_command() -> ExitCode {
+    use ld_testkit::{ConformanceConfig, Mutation};
+
+    let usage = "usage: repro conformance [--quick] [--seed N] [--json PATH] \
+                 [--only CHECK] [--case SUBSTR] [--mutate tie-flip] [--no-corpus]";
+    let mut cfg = ConformanceConfig::default();
+    let mut json: Option<PathBuf> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        let next = |i: usize| -> Option<&String> { argv.get(i + 1) };
+        match argv[i].as_str() {
+            "--quick" | "-q" => {
+                cfg.quick = true;
+                i += 1;
+                continue;
+            }
+            "--no-corpus" => {
+                cfg.include_corpus = false;
+                i += 1;
+                continue;
+            }
+            "--seed" | "-s" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => {
+                    eprintln!("bad or missing --seed value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" | "-j" => match next(i) {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--json needs a path\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--only" => match next(i) {
+                Some(v) => cfg.only = Some(v.clone()),
+                None => {
+                    eprintln!("--only needs a check id\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--case" => match next(i) {
+                Some(v) => cfg.case_filter = Some(v.clone()),
+                None => {
+                    eprintln!("--case needs a cell-id substring\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--mutate" => match next(i).and_then(|v| Mutation::parse(v)) {
+                Some(m) => cfg.mutation = Some(m),
+                None => {
+                    eprintln!("bad or missing --mutate value (known: tie-flip)\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown conformance argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+
+    eprintln!(
+        "conformance: {} grid, seed {}{}{} ...",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.mutation
+            .map(|m| format!(", injected mutation {}", m.id()))
+            .unwrap_or_default(),
+        cfg.case_filter
+            .as_deref()
+            .map(|f| format!(", case filter {f:?}"))
+            .unwrap_or_default(),
+    );
+    let report = ld_sim::conformance::run_full_conformance(&cfg);
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {}", path.display());
+    }
+    println!(
+        "conformance: {} cell(s), {} check(s) run, {} skipped, {} corpus entr{} replayed",
+        report.cells,
+        report.checks_run,
+        report.checks_skipped,
+        report.corpus_entries,
+        if report.corpus_entries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    );
+    if report.ok() {
+        if report.mutation.is_some() {
+            // A clean run under an injected mutation means the suite has
+            // no teeth — make that loud even though ok() holds.
+            eprintln!(
+                "WARNING: injected mutation was NOT detected; the suite failed its smoke test"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("conformance: PASS (no mismatches)");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("conformance: {} MISMATCH(ES)", report.mismatches.len());
+    for m in &report.mismatches {
+        eprintln!("\n[{}] cell {} (seed {})", m.check, m.cell, m.seed);
+        eprintln!("  {}", m.detail);
+        if let Some(s) = &m.shrunk {
+            eprintln!(
+                "  shrunk to n = {}: actions {:?}, competencies {:?}",
+                s.n, s.actions, s.competencies
+            );
+            eprintln!("  shrunk failure: {}", s.detail);
+        }
+        eprintln!("  repro: {}", m.repro);
+    }
+    if report.mutation.is_some() {
+        eprintln!("\n(mutation smoke test: detection is the EXPECTED outcome)");
+    }
+    ExitCode::FAILURE
+}
+
 /// A maintenance aid (`repro sweep --inject-panic N`): wraps the real
 /// mechanism and panics at instance size `N`, for demonstrating and
 /// testing the harness's quarantine path end to end.
@@ -462,6 +596,11 @@ fn main() -> ExitCode {
     // Likewise the stress subcommand (churn workload for the live engine).
     if std::env::args().nth(1).is_some_and(|a| a == "stress") {
         return run_stress_command();
+    }
+
+    // And the conformance gate (differential/metamorphic test suite).
+    if std::env::args().nth(1).is_some_and(|a| a == "conformance") {
+        return run_conformance_command();
     }
 
     let args = match parse_args() {

@@ -1,0 +1,217 @@
+//! Simulation-layer conformance checks and the `repro conformance` gate.
+//!
+//! `ld-testkit` owns the core differential suite (resolver, tally, live
+//! engine, normal approximation); this module adds the checks that need
+//! the simulation engine itself — multi-worker determinism and
+//! resume-vs-straight-through equality of fault-tolerant sweeps — and
+//! merges everything into one [`ConformanceReport`] for the CLI gate.
+
+use crate::engine::Engine;
+use crate::harness::Harness;
+use crate::sweep::{run_sweep_resumable, MechanismSpec, SweepSpec, TopologySpec};
+use ld_core::distributions::CompetencyDistribution;
+use ld_core::mechanisms::ApprovalThreshold;
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::generators;
+use ld_testkit::report::{ConformanceReport, Mismatch};
+use ld_testkit::{run_conformance, ConformanceConfig};
+
+/// Pseudo-cell id under which engine-determinism mismatches are reported.
+const ENGINE_CELL: &str = "sim/engine-determinism";
+/// Pseudo-cell id under which resume mismatches are reported.
+const RESUME_CELL: &str = "sim/resume-straight-through";
+
+/// Runs the full conformance gate: the `ld-testkit` grid plus the
+/// simulation-layer differential checks.
+pub fn run_full_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
+    type SimCheck = (&'static str, &'static str, fn(u64) -> Result<(), String>);
+    let sim_checks: [SimCheck; 2] = [
+        ("engine-determinism", ENGINE_CELL, check_engine_determinism),
+        (
+            "resume-straight-through",
+            RESUME_CELL,
+            check_resume_straight_through,
+        ),
+    ];
+    // `--only <sim check>` names a check the testkit grid does not know;
+    // skip the grid instead of letting it reject the id.
+    let only_is_sim = cfg
+        .only
+        .as_deref()
+        .is_some_and(|o| sim_checks.iter().any(|(name, _, _)| *name == o));
+    let mut report = if only_is_sim {
+        ConformanceReport {
+            master_seed: cfg.seed,
+            quick: cfg.quick,
+            mutation: cfg.mutation.map(|m| m.id().to_string()),
+            cells: 0,
+            checks_run: 0,
+            checks_skipped: 0,
+            corpus_entries: 0,
+            mismatches: Vec::new(),
+        }
+    } else {
+        run_conformance(cfg)
+    };
+    for (check, cell, run) in sim_checks {
+        if cfg.only.as_deref().is_some_and(|o| o != check) {
+            continue;
+        }
+        if cfg
+            .case_filter
+            .as_deref()
+            .is_some_and(|f| !cell.contains(f))
+        {
+            continue;
+        }
+        match run(cfg.seed) {
+            Ok(()) => report.checks_run += 1,
+            Err(detail) => {
+                report.checks_run += 1;
+                let mut repro = format!(
+                    "repro conformance --seed {} --case {cell} --only {check}",
+                    cfg.seed
+                );
+                if let Some(m) = cfg.mutation {
+                    repro.push_str(&format!(" --mutate {}", m.id()));
+                }
+                report.mismatches.push(Mismatch {
+                    check: check.to_string(),
+                    cell: cell.to_string(),
+                    seed: cfg.seed,
+                    detail,
+                    shrunk: None,
+                    repro,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// The parallel engine must be deterministic for a fixed
+/// `(seed, trials, workers)` triple: repeated runs are bit-identical,
+/// for any worker count (worker streams are split, not shared).
+fn check_engine_determinism(seed: u64) -> Result<(), String> {
+    let profile = CompetencyProfile::linear(24, 0.25, 0.75).map_err(|e| e.to_string())?;
+    let instance =
+        ProblemInstance::new(generators::complete(24), profile, 0.05).map_err(|e| e.to_string())?;
+    let mechanism = ApprovalThreshold::new(1);
+    for workers in [1usize, 3] {
+        let engine = Engine::new(seed).with_workers(workers);
+        let first = engine
+            .estimate_gain(&instance, &mechanism, 60)
+            .map_err(|e| e.to_string())?;
+        let second = engine
+            .estimate_gain(&instance, &mechanism, 60)
+            .map_err(|e| e.to_string())?;
+        // Bit-level comparison of every observable statistic; `to_bits`
+        // distinguishes values an epsilon comparison would conflate.
+        let fingerprint = |g: &ld_core::gain::GainEstimate| {
+            let floats = [
+                g.p_direct(),
+                g.p_mechanism(),
+                g.gain(),
+                g.gain_ci(1.96).0,
+                g.gain_ci(1.96).1,
+                g.mean_delegators(),
+                g.mean_sinks(),
+                g.mean_max_weight(),
+                g.mean_longest_chain(),
+                g.mean_abstained(),
+                g.mean_weight_gini(),
+            ];
+            (g.trials(), floats.map(f64::to_bits))
+        };
+        if fingerprint(&first) != fingerprint(&second) {
+            return Err(format!(
+                "estimate_gain not bit-identical across repeated runs with {workers} \
+                 worker(s), seed {seed}: p_mechanism {} vs {}, gain {} vs {}",
+                first.p_mechanism(),
+                second.p_mechanism(),
+                first.gain(),
+                second.gain()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A sweep resumed from a truncated checkpoint must reproduce the
+/// straight-through run bit-identically — the promise `--resume` makes.
+///
+/// The checkpoint is constructed in memory (straight-through prefix
+/// marked completed) rather than written to disk: the on-disk JSON
+/// roundtrip has its own tests, and keeping this check I/O-free lets it
+/// run in offline builds whose `serde_json` stand-in cannot parse JSON.
+fn check_resume_straight_through(seed: u64) -> Result<(), String> {
+    use crate::checkpoint::SweepCheckpoint;
+
+    let spec = SweepSpec {
+        topology: TopologySpec::Complete,
+        mechanism: MechanismSpec::Algorithm1 { j: 1 },
+        profile: CompetencyDistribution::Uniform { lo: 0.35, hi: 0.6 },
+        alpha: 0.05,
+        sizes: vec![12, 16, 20],
+        trials: 10,
+    };
+    let engine = Engine::new(seed).with_workers(1);
+
+    let straight = run_sweep_resumable(&spec, &engine, &mut Harness::new(), None, None)
+        .map_err(|e| e.to_string())?;
+    if straight.points.is_empty() {
+        return Err("straight-through sweep produced no points".to_string());
+    }
+
+    // Resume from a checkpoint holding only the first completed point;
+    // the resumed run must regenerate the rest bit-identically.
+    let mut ck = SweepCheckpoint::new(&spec, seed, 1);
+    ck.completed.push(straight.points[0].clone());
+    let resumed = run_sweep_resumable(&spec, &engine, &mut Harness::new(), None, Some(ck))
+        .map_err(|e| e.to_string())?;
+
+    if resumed.points != straight.points {
+        return Err(format!(
+            "resumed sweep diverged from the straight-through run (spec: complete / \
+             algorithm1:1 / uniform(0.35,0.6), sizes 12,16,20, 10 trials, seed {seed}): \
+             {} vs {} points, first divergence at index {}",
+            resumed.points.len(),
+            straight.points.len(),
+            resumed
+                .points
+                .iter()
+                .zip(&straight.points)
+                .position(|(a, b)| a != b)
+                .map_or(usize::MAX, |i| i)
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_determinism_holds() {
+        check_engine_determinism(0x5EED).expect("engine must be deterministic");
+    }
+
+    #[test]
+    fn resume_matches_straight_through() {
+        check_resume_straight_through(0x5EED).expect("resume must be bit-identical");
+    }
+
+    #[test]
+    fn full_gate_includes_sim_checks() {
+        let cfg = ConformanceConfig {
+            quick: true,
+            only: Some("engine-determinism".to_string()),
+            include_corpus: false,
+            ..ConformanceConfig::default()
+        };
+        let report = run_full_conformance(&cfg);
+        assert!(report.ok(), "{}", report.to_json());
+        assert_eq!(report.checks_run, 1);
+    }
+}

@@ -216,7 +216,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
     );
     for (i, &n) in sizes.iter().enumerate() {
         let updates = n * updates_per_voter;
-        let seed = ld_prob::rng::split_seed(cfg.seed, 0x57AE_55 ^ i as u64);
+        let seed = ld_prob::rng::split_seed(cfg.seed, 0x0057_AE55 ^ i as u64);
         let streamed = run_churn(&ChurnSpec::balanced(n, updates, 1, seed))?;
         let batched = run_churn(&ChurnSpec::balanced(n, updates, 64, seed))?;
         // Same trace, same validation semantics: the replicas must agree.

@@ -392,6 +392,7 @@ impl Harness {
     /// `engine.reseeded(index)`.
     ///
     /// [`gain_sweep`]: crate::experiments::support::gain_sweep
+    #[allow(clippy::too_many_arguments)]
     pub fn run_indexed_point(
         &mut self,
         run_id: &str,

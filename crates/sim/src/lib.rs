@@ -42,6 +42,7 @@
 mod error;
 
 pub mod checkpoint;
+pub mod conformance;
 pub mod engine;
 pub mod experiments;
 pub mod harness;

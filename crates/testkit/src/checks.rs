@@ -1,0 +1,930 @@
+//! Differential and metamorphic conformance checks.
+//!
+//! Each check compares an optimised implementation against a naive
+//! oracle ([`crate::oracle`]) or asserts a metamorphic property the
+//! semantics guarantee (relabeling equivariance, weight conservation,
+//! monotonicity, mechanism locality). Checks are pure functions of a
+//! generated case plus a [`CheckContext`], which selects the real tally
+//! or a deliberately mutated one — the mutation is how CI proves the
+//! suite has teeth.
+
+use crate::gen::{Case, ALPHA};
+use crate::oracle::{self, OracleOutcome};
+use ld_core::delegation::{Action, DelegationGraph, Resolver};
+use ld_core::tally::{exact_correct_probability, sample_decision, TieBreak};
+use ld_core::{CompetencyProfile, CoreError, ProblemInstance};
+use ld_graph::generators;
+use ld_graph::Graph;
+use ld_live::{LiveEngine, Update};
+use ld_prob::bounds::berry_esseen_weighted;
+use ld_prob::normal::std_normal_cdf;
+use ld_prob::poisson_binomial::{PoissonBinomial, WeightedBernoulliSum};
+use ld_prob::rng::stream_rng;
+use rand::Rng;
+
+/// Which tally implementation the checks exercise.
+///
+/// `TieFlipped` is a deliberate bug — the tie-break credit is inverted —
+/// injected by `--mutate tie-flip` so CI can verify the differential
+/// suite actually detects a wrong tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TallyImpl {
+    /// The production tally.
+    Real,
+    /// Mutant: exact ties are credited `1 − credit` instead of `credit`.
+    TieFlipped,
+}
+
+/// Shared configuration threaded through every check.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckContext {
+    /// Tally implementation under test.
+    pub tally: TallyImpl,
+}
+
+/// Result of one check on one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The property held.
+    Pass,
+    /// The check does not apply to this case (reason attached).
+    Skip(&'static str),
+    /// The property failed, with a diagnostic naming both sides.
+    Fail(String),
+}
+
+/// Identifiers for every conformance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckId {
+    /// Iterative resolver vs the recursive `O(n²)` oracle.
+    ResolveOracle,
+    /// `resolve()` is deterministic and agrees with `resolve_with`.
+    ResolveDeterminism,
+    /// Σ sink weights + discarded = n, plus sink-list invariants.
+    WeightConservation,
+    /// Exact DP tally vs brute-force enumeration of outcome vectors.
+    TallyOracle,
+    /// Exact tally vs direct Monte Carlo simulation.
+    TallySimulation,
+    /// `sample_decision` vs exact coin-vector enumeration (n ≤ 12).
+    SampleOracle,
+    /// Live engine replay vs from-scratch resolution and tally.
+    LiveReplay,
+    /// Normal approximation within the Berry–Esseen envelope of the
+    /// exact Poisson-binomial.
+    NormalEnvelope,
+    /// Voter-relabeling equivariance of resolution and tally.
+    RelabelEquivariance,
+    /// P[correct] under direct voting is monotone in competency.
+    Monotonicity,
+    /// Mechanism choices are unchanged by edits outside the voter's
+    /// neighbourhood.
+    Locality,
+}
+
+impl CheckId {
+    /// All checks, in execution order.
+    pub fn all() -> [CheckId; 11] {
+        [
+            CheckId::ResolveOracle,
+            CheckId::ResolveDeterminism,
+            CheckId::WeightConservation,
+            CheckId::TallyOracle,
+            CheckId::TallySimulation,
+            CheckId::SampleOracle,
+            CheckId::LiveReplay,
+            CheckId::NormalEnvelope,
+            CheckId::RelabelEquivariance,
+            CheckId::Monotonicity,
+            CheckId::Locality,
+        ]
+    }
+
+    /// Stable kebab-case identifier, used in reports and `--only`.
+    pub fn id(self) -> &'static str {
+        match self {
+            CheckId::ResolveOracle => "resolve-oracle",
+            CheckId::ResolveDeterminism => "resolve-determinism",
+            CheckId::WeightConservation => "weight-conservation",
+            CheckId::TallyOracle => "tally-oracle",
+            CheckId::TallySimulation => "tally-simulation",
+            CheckId::SampleOracle => "sample-oracle",
+            CheckId::LiveReplay => "live-replay",
+            CheckId::NormalEnvelope => "normal-envelope",
+            CheckId::RelabelEquivariance => "relabel-equivariance",
+            CheckId::Monotonicity => "monotonicity",
+            CheckId::Locality => "locality",
+        }
+    }
+
+    /// Parses a check identifier.
+    pub fn parse(s: &str) -> Option<CheckId> {
+        CheckId::all().into_iter().find(|c| c.id() == s)
+    }
+
+    /// Whether the check is a pure function of `(actions, competencies)`
+    /// and therefore amenable to structural shrinking.
+    pub fn shrinkable(self) -> bool {
+        !matches!(self, CheckId::Locality)
+    }
+}
+
+/// Runs one check on a generated case.
+pub fn run_check(check: CheckId, case: &Case, ctx: &CheckContext) -> CheckOutcome {
+    match check {
+        CheckId::Locality => check_locality(case),
+        _ => recheck_structural(
+            check,
+            case.dg.actions(),
+            case.instance.profile().as_slice(),
+            case.seed,
+            ctx,
+        ),
+    }
+}
+
+/// Re-runs a structural check on a bare `(actions, competencies)` pair —
+/// the entry point the shrinker drives.
+pub fn recheck_structural(
+    check: CheckId,
+    actions: &[Action],
+    ps: &[f64],
+    seed: u64,
+    ctx: &CheckContext,
+) -> CheckOutcome {
+    match check {
+        CheckId::ResolveOracle => check_resolve_oracle(actions),
+        CheckId::ResolveDeterminism => check_resolve_determinism(actions),
+        CheckId::WeightConservation => check_weight_conservation(actions),
+        CheckId::TallyOracle => check_tally_oracle(actions, ps, ctx),
+        CheckId::TallySimulation => check_tally_simulation(actions, ps, seed, ctx),
+        CheckId::SampleOracle => check_sample_oracle(actions, ps, seed),
+        CheckId::LiveReplay => check_live_replay(actions, ps),
+        CheckId::NormalEnvelope => check_normal_envelope(actions, ps),
+        CheckId::RelabelEquivariance => check_relabel_equivariance(actions, ps, seed),
+        CheckId::Monotonicity => check_monotonicity(ps),
+        CheckId::Locality => CheckOutcome::Skip("locality needs the full instance and mechanism"),
+    }
+}
+
+/// Slack for comparisons of two exact `f64` computations.
+const EXACT_EPS: f64 = 1e-9;
+/// Absolute error budget of the rational-approximation `erf`.
+const ERF_SLACK: f64 = 1e-6;
+
+fn check_resolve_oracle(actions: &[Action]) -> CheckOutcome {
+    let dg = DelegationGraph::new(actions.to_vec());
+    let system = dg.resolve();
+    let reference = oracle::resolve_recursive(actions);
+    match (system, reference) {
+        (Ok(res), OracleOutcome::Resolved(orc)) => {
+            if res.sink_assignments() != orc.sink_of.as_slice() {
+                return CheckOutcome::Fail(format!(
+                    "sink assignments differ: system {:?} vs oracle {:?}",
+                    res.sink_assignments(),
+                    orc.sink_of
+                ));
+            }
+            if res.weights() != orc.weight.as_slice() {
+                return CheckOutcome::Fail(format!(
+                    "weights differ: system {:?} vs oracle {:?}",
+                    res.weights(),
+                    orc.weight
+                ));
+            }
+            if res.discarded() != orc.discarded {
+                return CheckOutcome::Fail(format!(
+                    "discarded differ: system {} vs oracle {}",
+                    res.discarded(),
+                    orc.discarded
+                ));
+            }
+            if res.longest_chain() != orc.longest_chain {
+                return CheckOutcome::Fail(format!(
+                    "longest chain differs: system {} vs oracle {}",
+                    res.longest_chain(),
+                    orc.longest_chain
+                ));
+            }
+            CheckOutcome::Pass
+        }
+        (Err(CoreError::CyclicDelegation), OracleOutcome::Cycle) => CheckOutcome::Pass,
+        (Err(CoreError::InvalidParameter { .. }), OracleOutcome::MultiTarget) => CheckOutcome::Pass,
+        (
+            Err(CoreError::DelegationTargetOutOfRange { voter, target, .. }),
+            OracleOutcome::TargetOutOfRange {
+                voter: ov,
+                target: ot,
+            },
+        ) if voter == ov && target == ot => CheckOutcome::Pass,
+        (system, reference) => CheckOutcome::Fail(format!(
+            "outcome kinds differ: system {system:?} vs oracle {reference:?}"
+        )),
+    }
+}
+
+fn check_resolve_determinism(actions: &[Action]) -> CheckOutcome {
+    let dg = DelegationGraph::new(actions.to_vec());
+    let first = dg.resolve();
+    let second = dg.resolve();
+    if first != second {
+        return CheckOutcome::Fail(format!(
+            "resolve() not deterministic: {first:?} vs {second:?}"
+        ));
+    }
+    let mut scratch = Resolver::new();
+    for pass in 0..2 {
+        let with_scratch = dg.resolve_with(&mut scratch);
+        if first != with_scratch {
+            return CheckOutcome::Fail(format!(
+                "resolve_with (pass {pass}) disagrees with resolve(): \
+                 {with_scratch:?} vs {first:?}"
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+fn check_weight_conservation(actions: &[Action]) -> CheckOutcome {
+    let dg = DelegationGraph::new(actions.to_vec());
+    let Ok(res) = dg.resolve() else {
+        return CheckOutcome::Skip("resolver rejects this graph");
+    };
+    let n = actions.len();
+    let weight_sum: usize = res.weights().iter().sum();
+    if weight_sum + res.discarded() != n {
+        return CheckOutcome::Fail(format!(
+            "weight not conserved: Σ weights {} + discarded {} != n {}",
+            weight_sum,
+            res.discarded(),
+            n
+        ));
+    }
+    if res.tallied() != n - res.discarded() {
+        return CheckOutcome::Fail(format!(
+            "tallied {} != n {} - discarded {}",
+            res.tallied(),
+            n,
+            res.discarded()
+        ));
+    }
+    if !res.sinks().windows(2).all(|w| w[0] < w[1]) {
+        return CheckOutcome::Fail(format!("sink list not strictly sorted: {:?}", res.sinks()));
+    }
+    for v in 0..n {
+        let is_sink = res.sinks().binary_search(&v).is_ok();
+        if is_sink != (res.weight_of(v) > 0) {
+            return CheckOutcome::Fail(format!(
+                "voter {v}: in sink list = {is_sink} but weight = {}",
+                res.weight_of(v)
+            ));
+        }
+        let incoming = res
+            .sink_assignments()
+            .iter()
+            .filter(|s| **s == Some(v))
+            .count();
+        if res.weight_of(v) != incoming {
+            return CheckOutcome::Fail(format!(
+                "voter {v}: weight {} != {} votes assigned to it",
+                res.weight_of(v),
+                incoming
+            ));
+        }
+    }
+    let discarded = res
+        .sink_assignments()
+        .iter()
+        .filter(|s| s.is_none())
+        .count();
+    if discarded != res.discarded() {
+        return CheckOutcome::Fail(format!(
+            "discarded {} != {} unassigned voters",
+            res.discarded(),
+            discarded
+        ));
+    }
+    if res.max_weight() != res.weights().iter().copied().max().unwrap_or(0) {
+        return CheckOutcome::Fail(format!(
+            "max_weight {} != max of weights {:?}",
+            res.max_weight(),
+            res.weights()
+        ));
+    }
+    CheckOutcome::Pass
+}
+
+/// Sink `(weight, competency)` terms of a resolved single-target graph,
+/// or a skip reason.
+fn sink_terms(actions: &[Action], ps: &[f64]) -> Result<(Vec<(usize, f64)>, usize), CheckOutcome> {
+    let dg = DelegationGraph::new(actions.to_vec());
+    if !dg.is_single_target() {
+        return Err(CheckOutcome::Skip(
+            "multi-target graphs are tallied by sampling only",
+        ));
+    }
+    let res = dg
+        .resolve()
+        .map_err(|_| CheckOutcome::Skip("resolver rejects this graph"))?;
+    let terms: Vec<(usize, f64)> = res.sink_weights().map(|(s, w)| (w, ps[s])).collect();
+    Ok((terms, res.tallied()))
+}
+
+/// The tally under test: the production DP, or the tie-flipped mutant.
+fn system_tally(
+    ctx: &CheckContext,
+    terms: &[(usize, f64)],
+    tallied: usize,
+    credit: f64,
+) -> Result<f64, String> {
+    let sum = WeightedBernoulliSum::new(terms).map_err(|e| e.to_string())?;
+    Ok(match ctx.tally {
+        TallyImpl::Real => sum.majority_with_ties(tallied, credit),
+        TallyImpl::TieFlipped => sum.majority_with_ties(tallied, 1.0 - credit),
+    })
+}
+
+/// Rebuilds a minimal instance carrying `ps` (the tally only reads the
+/// profile, so a complete graph serves any `(actions, ps)` pair).
+fn carrier_instance(ps: &[f64]) -> Result<ProblemInstance, String> {
+    let profile = CompetencyProfile::new(ps.to_vec()).map_err(|e| e.to_string())?;
+    ProblemInstance::new(generators::complete(ps.len()), profile, ALPHA).map_err(|e| e.to_string())
+}
+
+fn check_tally_oracle(actions: &[Action], ps: &[f64], ctx: &CheckContext) -> CheckOutcome {
+    if actions.is_empty() {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let (terms, tallied) = match sink_terms(actions, ps) {
+        Ok(t) => t,
+        Err(skip) => return skip,
+    };
+    if terms.len() > oracle::BRUTE_FORCE_MAX_TERMS {
+        return CheckOutcome::Skip("too many sinks for brute-force enumeration");
+    }
+    for tie in [TieBreak::Incorrect, TieBreak::CoinFlip, TieBreak::Correct] {
+        // Pin the full production path for the real tally; the mutant
+        // stands in for a bug in the tie-break credit.
+        let system = match ctx.tally {
+            TallyImpl::Real => {
+                let inst = match carrier_instance(ps) {
+                    Ok(i) => i,
+                    Err(e) => return CheckOutcome::Fail(format!("carrier instance: {e}")),
+                };
+                let dg = DelegationGraph::new(actions.to_vec());
+                let res = match dg.resolve() {
+                    Ok(r) => r,
+                    Err(e) => return CheckOutcome::Fail(format!("re-resolve failed: {e}")),
+                };
+                match exact_correct_probability(&inst, &res, tie) {
+                    Ok(p) => p,
+                    Err(e) => return CheckOutcome::Fail(format!("exact tally errored: {e}")),
+                }
+            }
+            TallyImpl::TieFlipped => match system_tally(ctx, &terms, tallied, tie.credit()) {
+                Ok(p) => p,
+                Err(e) => return CheckOutcome::Fail(format!("mutant tally errored: {e}")),
+            },
+        };
+        let Some(reference) = oracle::brute_force_majority(&terms, tallied, tie.credit()) else {
+            return CheckOutcome::Skip("too many sinks for brute-force enumeration");
+        };
+        if (system - reference).abs() > EXACT_EPS {
+            return CheckOutcome::Fail(format!(
+                "tally ({tie:?}) disagrees with brute force: system {system} vs oracle \
+                 {reference} on {} sinks, {} tallied",
+                terms.len(),
+                tallied
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+fn check_tally_simulation(
+    actions: &[Action],
+    ps: &[f64],
+    seed: u64,
+    ctx: &CheckContext,
+) -> CheckOutcome {
+    let (terms, tallied) = match sink_terms(actions, ps) {
+        Ok(t) => t,
+        Err(skip) => return skip,
+    };
+    if terms.is_empty() {
+        return CheckOutcome::Skip("everyone abstained");
+    }
+    // Incorrect ties make the mutant maximally visible (credit 0 vs 1).
+    let system = match system_tally(ctx, &terms, tallied, 0.0) {
+        Ok(p) => p,
+        Err(e) => return CheckOutcome::Fail(format!("tally errored: {e}")),
+    };
+    let mut rng = stream_rng(seed, 7);
+    let est = oracle::simulate_majority(&terms, tallied, 0.0, 2500, &mut rng);
+    let tolerance = 5.0 * est.std_error + EXACT_EPS;
+    if (system - est.estimate).abs() > tolerance {
+        return CheckOutcome::Fail(format!(
+            "tally {} is {} from the simulated {} (tolerance {}, {} trials)",
+            system,
+            (system - est.estimate).abs(),
+            est.estimate,
+            tolerance,
+            est.trials
+        ));
+    }
+    CheckOutcome::Pass
+}
+
+fn check_sample_oracle(actions: &[Action], ps: &[f64], seed: u64) -> CheckOutcome {
+    let n = actions.len();
+    if n == 0 {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    if n > oracle::COIN_BRUTE_MAX_N {
+        return CheckOutcome::Skip("electorate too large for coin-vector enumeration");
+    }
+    let dg = DelegationGraph::new(actions.to_vec());
+    if dg.validate_targets().is_err() {
+        return CheckOutcome::Skip("out-of-range targets");
+    }
+    let Some(exact) = oracle::brute_force_decision_by_coins(actions, ps) else {
+        return CheckOutcome::Skip("cyclic delegation graph");
+    };
+    let inst = match carrier_instance(ps) {
+        Ok(i) => i,
+        Err(e) => return CheckOutcome::Fail(format!("carrier instance: {e}")),
+    };
+    let trials: u64 = 1500;
+    let mut rng = stream_rng(seed, 8);
+    let mut correct = 0u64;
+    for _ in 0..trials {
+        match sample_decision(&inst, &dg, TieBreak::Incorrect, &mut rng) {
+            Ok(true) => correct += 1,
+            Ok(false) => {}
+            Err(e) => return CheckOutcome::Fail(format!("sample_decision errored: {e}")),
+        }
+    }
+    let sampled = correct as f64 / trials as f64;
+    let se = (exact * (1.0 - exact) / trials as f64).sqrt();
+    let tolerance = 5.0 * se + EXACT_EPS;
+    if (sampled - exact).abs() > tolerance {
+        return CheckOutcome::Fail(format!(
+            "sample_decision frequency {sampled} is {} from the exact {exact} \
+             (tolerance {tolerance}, {trials} trials)",
+            (sampled - exact).abs()
+        ));
+    }
+    CheckOutcome::Pass
+}
+
+/// Replays `actions` into a live engine (starting from everyone voting),
+/// one update per non-voting voter in index order.
+fn replay_updates(actions: &[Action]) -> Vec<Update> {
+    actions
+        .iter()
+        .enumerate()
+        .filter_map(|(voter, a)| match a {
+            Action::Vote => None,
+            Action::Abstain => Some(Update::Abstain { voter }),
+            Action::Delegate(target) => Some(Update::Delegate {
+                voter,
+                target: *target,
+            }),
+            // DelegateMany has no live-engine update; future `Action`
+            // variants (the enum is non_exhaustive) are left at the
+            // engine's initial Vote state, so a real semantic difference
+            // surfaces as a replay mismatch instead of a silent pass.
+            _ => None,
+        })
+        .collect()
+}
+
+fn check_live_replay(actions: &[Action], ps: &[f64]) -> CheckOutcome {
+    let n = actions.len();
+    if n == 0 {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let dg = DelegationGraph::new(actions.to_vec());
+    if !dg.is_single_target() {
+        return CheckOutcome::Skip("live engine handles single-target graphs only");
+    }
+    let Ok(res) = dg.resolve() else {
+        return CheckOutcome::Skip("resolver rejects this graph");
+    };
+    let updates = replay_updates(actions);
+    let mut live = match LiveEngine::new(vec![Action::Vote; n], ps.to_vec()) {
+        Ok(e) => e,
+        Err(e) => return CheckOutcome::Fail(format!("live engine construction: {e}")),
+    };
+    for u in &updates {
+        if let Err(reject) = live.apply(*u) {
+            return CheckOutcome::Fail(format!(
+                "replay rejected {u:?}: {reject:?} (final graph is acyclic, so every \
+                 prefix of the in-order replay must be too)"
+            ));
+        }
+    }
+    if live.resolution() != res {
+        return CheckOutcome::Fail(format!(
+            "incremental resolution differs from from-scratch: {:?} vs {:?}",
+            live.resolution(),
+            res
+        ));
+    }
+    if let Err(e) = live.self_check() {
+        return CheckOutcome::Fail(format!("live self-check failed after replay: {e}"));
+    }
+    let mut batch_engine = match LiveEngine::new(vec![Action::Vote; n], ps.to_vec()) {
+        Ok(e) => e,
+        Err(e) => return CheckOutcome::Fail(format!("live engine construction: {e}")),
+    };
+    let report = batch_engine.apply_batch(&updates);
+    if !report.rejected.is_empty() {
+        return CheckOutcome::Fail(format!("batch replay rejected {:?}", report.rejected));
+    }
+    if batch_engine.resolution() != res {
+        return CheckOutcome::Fail(
+            "batched replay resolution differs from from-scratch".to_string(),
+        );
+    }
+    let inst = match carrier_instance(ps) {
+        Ok(i) => i,
+        Err(e) => return CheckOutcome::Fail(format!("carrier instance: {e}")),
+    };
+    let from_scratch = match exact_correct_probability(&inst, &res, TieBreak::CoinFlip) {
+        Ok(p) => p,
+        Err(e) => return CheckOutcome::Fail(format!("from-scratch tally errored: {e}")),
+    };
+    let incremental = match live.decision_probability_exact(TieBreak::CoinFlip) {
+        Ok(p) => p,
+        Err(e) => return CheckOutcome::Fail(format!("live exact tally errored: {e}")),
+    };
+    if (incremental - from_scratch).abs() > EXACT_EPS {
+        return CheckOutcome::Fail(format!(
+            "live exact tally {incremental} differs from from-scratch {from_scratch}"
+        ));
+    }
+    CheckOutcome::Pass
+}
+
+fn check_normal_envelope(actions: &[Action], ps: &[f64]) -> CheckOutcome {
+    let (terms, tallied) = match sink_terms(actions, ps) {
+        Ok(t) => t,
+        Err(skip) => return skip,
+    };
+    if terms.is_empty() {
+        return CheckOutcome::Skip("everyone abstained");
+    }
+    let bound = match berry_esseen_weighted(&terms) {
+        Ok(b) => b,
+        Err(_) => return CheckOutcome::Skip("zero variance, Berry-Esseen undefined"),
+    };
+    let sum = match WeightedBernoulliSum::new(&terms) {
+        Ok(s) => s,
+        Err(e) => return CheckOutcome::Fail(format!("exact DP errored: {e}")),
+    };
+    if sum.variance() <= 1e-9 {
+        return CheckOutcome::Skip("zero variance, Berry-Esseen undefined");
+    }
+    let exact = sum.strict_majority(tallied);
+    // Berry–Esseen bounds sup_x |F(x) − Φ((x−μ)/σ)| over ALL real x, and
+    // F is flat between integer atoms, so both the engine's evaluation
+    // point (t/2, possibly half-integer) and ⌊t/2⌋ are covered.
+    let mean = sum.mean();
+    let sd = sum.variance().sqrt();
+    let normal = 1.0 - std_normal_cdf(((tallied / 2) as f64 - mean) / sd);
+    if (normal - exact).abs() > bound + ERF_SLACK {
+        return CheckOutcome::Fail(format!(
+            "normal approximation {normal} strays {} from exact {exact}, beyond the \
+             Berry-Esseen envelope {bound}",
+            (normal - exact).abs()
+        ));
+    }
+    let n = actions.len();
+    let mut live = match LiveEngine::new(vec![Action::Vote; n], ps.to_vec()) {
+        Ok(e) => e,
+        Err(e) => return CheckOutcome::Fail(format!("live engine construction: {e}")),
+    };
+    for u in replay_updates(actions) {
+        if live.apply(u).is_err() {
+            return CheckOutcome::Skip("replay rejected (covered by live-replay)");
+        }
+    }
+    let live_normal = live.decision_probability_normal(TieBreak::Incorrect);
+    if (live_normal - exact).abs() > bound + ERF_SLACK {
+        return CheckOutcome::Fail(format!(
+            "live O(1) normal approximation {live_normal} strays {} from exact {exact}, \
+             beyond the Berry-Esseen envelope {bound}",
+            (live_normal - exact).abs()
+        ));
+    }
+    CheckOutcome::Pass
+}
+
+/// A seed-derived uniformly random permutation of `0..n`.
+fn derive_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = stream_rng(seed, 11);
+    let mut pi: Vec<usize> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        pi.swap(i, j);
+    }
+    pi
+}
+
+/// Relabels actions so that voter `π(i)` performs `A[i]` with targets
+/// mapped through `π`.
+fn relabel(actions: &[Action], pi: &[usize]) -> Vec<Action> {
+    let mut out = vec![Action::Vote; actions.len()];
+    for (i, a) in actions.iter().enumerate() {
+        out[pi[i]] = match a {
+            Action::Vote => Action::Vote,
+            Action::Abstain => Action::Abstain,
+            Action::Delegate(t) => Action::Delegate(pi[*t]),
+            Action::DelegateMany(ts) => Action::DelegateMany(ts.iter().map(|&t| pi[t]).collect()),
+            // Future variants are relabeled as-is; if they carry targets
+            // the equivariance check will fail loudly rather than lie.
+            other => other.clone(),
+        };
+    }
+    out
+}
+
+fn check_relabel_equivariance(actions: &[Action], ps: &[f64], seed: u64) -> CheckOutcome {
+    let n = actions.len();
+    if n == 0 {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let dg = DelegationGraph::new(actions.to_vec());
+    if dg.validate_targets().is_err() {
+        return CheckOutcome::Skip("relabeling undefined for out-of-range targets");
+    }
+    let pi = derive_permutation(n, seed);
+    let relabeled = relabel(actions, &pi);
+    let direct = dg.resolve();
+    let mapped = DelegationGraph::new(relabeled).resolve();
+    match (direct, mapped) {
+        (Ok(a), Ok(b)) => {
+            for i in 0..n {
+                if b.sink_of(pi[i]) != a.sink_of(i).map(|s| pi[s]) {
+                    return CheckOutcome::Fail(format!(
+                        "voter {i}: sink {:?} maps to {:?}, relabeled resolves to {:?}",
+                        a.sink_of(i),
+                        a.sink_of(i).map(|s| pi[s]),
+                        b.sink_of(pi[i])
+                    ));
+                }
+                if b.weight_of(pi[i]) != a.weight_of(i) {
+                    return CheckOutcome::Fail(format!(
+                        "voter {i}: weight {} != relabeled weight {}",
+                        a.weight_of(i),
+                        b.weight_of(pi[i])
+                    ));
+                }
+            }
+            if (
+                a.tallied(),
+                a.discarded(),
+                a.sink_count(),
+                a.max_weight(),
+                a.longest_chain(),
+            ) != (
+                b.tallied(),
+                b.discarded(),
+                b.sink_count(),
+                b.max_weight(),
+                b.longest_chain(),
+            ) {
+                return CheckOutcome::Fail(
+                    "aggregate resolution statistics changed under relabeling".to_string(),
+                );
+            }
+            // Tally equivariance: the sink (weight, competency) multiset
+            // is invariant, so the decision probability must be too.
+            let mut ps_pi = vec![0.0; n];
+            for i in 0..n {
+                ps_pi[pi[i]] = ps[i];
+            }
+            let terms_a: Vec<(usize, f64)> = a.sink_weights().map(|(s, w)| (w, ps[s])).collect();
+            let terms_b: Vec<(usize, f64)> = b.sink_weights().map(|(s, w)| (w, ps_pi[s])).collect();
+            if terms_a.is_empty() {
+                return CheckOutcome::Pass;
+            }
+            let (sum_a, sum_b) = match (
+                WeightedBernoulliSum::new(&terms_a),
+                WeightedBernoulliSum::new(&terms_b),
+            ) {
+                (Ok(x), Ok(y)) => (x, y),
+                (x, y) => return CheckOutcome::Fail(format!("tally DP errored: {x:?} / {y:?}")),
+            };
+            for credit in [0.0, 0.5, 1.0] {
+                let pa = sum_a.majority_with_ties(a.tallied(), credit);
+                let pb = sum_b.majority_with_ties(b.tallied(), credit);
+                if (pa - pb).abs() > 1e-12 {
+                    return CheckOutcome::Fail(format!(
+                        "tally changed under relabeling (credit {credit}): {pa} vs {pb}"
+                    ));
+                }
+            }
+            CheckOutcome::Pass
+        }
+        (Err(ea), Err(eb)) => {
+            if std::mem::discriminant(&ea) == std::mem::discriminant(&eb) {
+                CheckOutcome::Pass
+            } else {
+                CheckOutcome::Fail(format!(
+                    "error kind changed under relabeling: {ea:?} vs {eb:?}"
+                ))
+            }
+        }
+        (a, b) => CheckOutcome::Fail(format!(
+            "relabeling changed the outcome kind: {a:?} vs {b:?}"
+        )),
+    }
+}
+
+fn check_monotonicity(ps: &[f64]) -> CheckOutcome {
+    let n = ps.len();
+    if n == 0 {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let base = match PoissonBinomial::new(ps) {
+        Ok(pb) => pb.strict_majority(),
+        Err(e) => return CheckOutcome::Fail(format!("Poisson-binomial errored: {e}")),
+    };
+    let mut probe_indices = vec![0, n / 2, n - 1];
+    probe_indices.dedup();
+    for idx in probe_indices {
+        let mut bumped = ps.to_vec();
+        bumped[idx] = (bumped[idx] + 0.1).min(1.0);
+        let improved = match PoissonBinomial::new(&bumped) {
+            Ok(pb) => pb.strict_majority(),
+            Err(e) => return CheckOutcome::Fail(format!("Poisson-binomial errored: {e}")),
+        };
+        if improved < base - 1e-12 {
+            return CheckOutcome::Fail(format!(
+                "raising voter {idx}'s competency {} -> {} LOWERED P[correct] {} -> {}",
+                ps[idx], bumped[idx], base, improved
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+fn check_locality(case: &Case) -> CheckOutcome {
+    let inst = &case.instance;
+    let n = inst.n();
+    if n < 4 {
+        return CheckOutcome::Skip("electorate too small for a remote edit");
+    }
+    let mut probes = vec![0, n / 2, n - 1];
+    probes.dedup();
+    let mut edits_found = false;
+    for v in probes {
+        let mut closed = vec![false; n];
+        closed[v] = true;
+        for &u in inst.graph().neighbor_slice(v) {
+            closed[u] = true;
+        }
+        // First vertex pair entirely outside v's closed neighbourhood;
+        // toggle that edge.
+        let mut edit = None;
+        'outer: for u in 0..n {
+            if closed[u] {
+                continue;
+            }
+            if let Some(w) = ((u + 1)..n).find(|&w| !closed[w]) {
+                edit = Some((u, w));
+                break 'outer;
+            }
+        }
+        let Some((u, w)) = edit else {
+            continue;
+        };
+        edits_found = true;
+        let had_edge = inst.graph().has_edge(u, w);
+        // Rebuild BOTH sides from the same edge list (minus/plus the
+        // toggled edge) so adjacency-list ordering — which RNG-driven
+        // mechanisms are sensitive to — is identical except for the edit.
+        let base_edges: Vec<(usize, usize)> = inst.graph().edges().collect();
+        let edited_edges: Vec<(usize, usize)> = if had_edge {
+            base_edges
+                .iter()
+                .copied()
+                .filter(|&e| e != (u, w))
+                .collect()
+        } else {
+            base_edges
+                .iter()
+                .copied()
+                .chain(std::iter::once((u, w)))
+                .collect()
+        };
+        let rebuild = |edges: Vec<(usize, usize)>| -> Result<ProblemInstance, String> {
+            let g = Graph::from_edges(n, edges).map_err(|e| e.to_string())?;
+            ProblemInstance::new(g, inst.profile().clone(), inst.alpha()).map_err(|e| e.to_string())
+        };
+        let baseline = match rebuild(base_edges) {
+            Ok(i) => i,
+            Err(e) => return CheckOutcome::Fail(format!("baseline rebuild: {e}")),
+        };
+        let edited = match rebuild(edited_edges) {
+            Ok(i) => i,
+            Err(e) => return CheckOutcome::Fail(format!("edited instance rebuild: {e}")),
+        };
+        let verb = if had_edge { "removing" } else { "adding" };
+        for salt in [21u64, 22] {
+            let mut rng_a = stream_rng(case.seed, salt);
+            let mut rng_b = stream_rng(case.seed, salt);
+            let before = case.mechanism.act(&baseline, v, &mut rng_a);
+            let after = case.mechanism.act(&edited, v, &mut rng_b);
+            if before != after {
+                return CheckOutcome::Fail(format!(
+                    "{verb} remote edge ({u},{w}) changed voter {v}'s action: \
+                     {before:?} -> {after:?}"
+                ));
+            }
+        }
+    }
+    if edits_found {
+        CheckOutcome::Pass
+    } else {
+        CheckOutcome::Skip("no vertex pair outside any probed neighbourhood")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CheckContext {
+        CheckContext {
+            tally: TallyImpl::Real,
+        }
+    }
+
+    #[test]
+    fn check_ids_round_trip() {
+        for check in CheckId::all() {
+            assert_eq!(CheckId::parse(check.id()), Some(check));
+        }
+        assert_eq!(CheckId::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn structural_checks_pass_on_a_simple_chain() {
+        let actions = vec![Action::Delegate(1), Action::Delegate(2), Action::Vote];
+        let ps = vec![0.3, 0.5, 0.7];
+        for check in CheckId::all().into_iter().filter(|c| c.shrinkable()) {
+            let outcome = recheck_structural(check, &actions, &ps, 5, &ctx());
+            assert!(
+                !matches!(outcome, CheckOutcome::Fail(_)),
+                "{} failed: {outcome:?}",
+                check.id()
+            );
+        }
+    }
+
+    #[test]
+    fn tie_flip_mutant_is_detected_on_an_even_split() {
+        // Two direct voters at p = 0.5: tie probability 0.5, so flipping
+        // the Incorrect credit from 0 to 1 shifts the tally by 0.5.
+        let actions = vec![Action::Vote, Action::Vote];
+        let ps = vec![0.5, 0.5];
+        let mutated = CheckContext {
+            tally: TallyImpl::TieFlipped,
+        };
+        let outcome = check_tally_oracle(&actions, &ps, &mutated);
+        assert!(
+            matches!(outcome, CheckOutcome::Fail(_)),
+            "mutant not detected: {outcome:?}"
+        );
+        assert_eq!(
+            check_tally_oracle(&actions, &ps, &ctx()),
+            CheckOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn relabel_check_passes_on_random_style_graph() {
+        let actions = vec![
+            Action::Delegate(4),
+            Action::Vote,
+            Action::Abstain,
+            Action::Delegate(2),
+            Action::Vote,
+        ];
+        let ps = vec![0.2, 0.3, 0.5, 0.6, 0.8];
+        assert_eq!(
+            check_relabel_equivariance(&actions, &ps, 99),
+            CheckOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn conservation_check_passes_with_abstention() {
+        let actions = vec![Action::Delegate(1), Action::Abstain, Action::Vote];
+        assert_eq!(check_weight_conservation(&actions), CheckOutcome::Pass);
+    }
+}

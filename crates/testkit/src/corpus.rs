@@ -1,0 +1,223 @@
+//! The checked-in regression-seed corpus.
+//!
+//! Every entry pins a `(seed, cell)` pair that once exposed a bug or
+//! guards a subtle code path; `repro conformance` replays all of them on
+//! every run in addition to the default grid. To add an entry, take the
+//! `--seed`/`--case` pair from a mismatch's reproduction command and
+//! append it to `corpus/regressions.json` with a note explaining what it
+//! guards.
+
+/// One pinned regression seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Master seed to run the cell under.
+    pub seed: u64,
+    /// Cell-id substring selecting which grid cells to replay (an empty
+    /// string replays the whole grid).
+    pub cell: String,
+    /// Why this entry exists.
+    pub note: String,
+}
+
+/// The corpus file, compiled into the binary so the gate cannot drift
+/// from the checkout.
+const CORPUS_JSON: &str = include_str!("../corpus/regressions.json");
+
+/// Parses the checked-in corpus.
+///
+/// The file is a JSON array of flat `{"seed": N, "cell": "...",
+/// "note": "..."}` objects; it is parsed with a small purpose-built
+/// reader rather than a JSON library so the conformance gate works even
+/// in stripped-down offline builds.
+///
+/// # Errors
+///
+/// Returns the parse error as a string; the conformance runner reports
+/// that as a mismatch rather than panicking.
+pub fn entries() -> Result<Vec<CorpusEntry>, String> {
+    parse(CORPUS_JSON).map_err(|e| format!("corpus/regressions.json: {e}"))
+}
+
+/// Parses the corpus JSON subset: an array of flat objects whose values
+/// are unsigned integers or strings (with `\"`, `\\`, `\n`, `\t`
+/// escapes). Unknown keys are rejected so typos cannot silently drop an
+/// entry's seed.
+fn parse(text: &str) -> Result<Vec<CorpusEntry>, String> {
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    p.skip_ws();
+    p.expect('[')?;
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat(']') {
+            break;
+        }
+        if !out.is_empty() {
+            p.expect(',')?;
+            p.skip_ws();
+            // Tolerate a trailing comma before the closing bracket.
+            if p.eat(']') {
+                break;
+            }
+        }
+        out.push(p.object()?);
+    }
+    p.skip_ws();
+    if let Some((i, c)) = p.chars.next() {
+        return Err(format!("trailing input {c:?} at byte {i}"));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .peek()
+            .is_some_and(|&(_, c)| c.is_ascii_whitespace())
+        {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if self.chars.peek().is_some_and(|&(_, c)| c == want) {
+            self.chars.next();
+            return true;
+        }
+        false
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
+            None => Err(format!("expected {want:?}, found end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(s),
+                Some((i, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => s.push('"'),
+                    Some((_, '\\')) => s.push('\\'),
+                    Some((_, 'n')) => s.push('\n'),
+                    Some((_, 't')) => s.push('\t'),
+                    other => {
+                        return Err(format!("unsupported escape at byte {i}: {other:?}"));
+                    }
+                },
+                Some((_, c)) => s.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = match self.chars.peek() {
+            Some(&(i, c)) if c.is_ascii_digit() => i,
+            Some(&(i, c)) => return Err(format!("expected a number at byte {i}, found {c:?}")),
+            None => return Err("expected a number, found end of input".to_string()),
+        };
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if !c.is_ascii_digit() {
+                break;
+            }
+            end = i + c.len_utf8();
+            self.chars.next();
+        }
+        self.text[start..end]
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn object(&mut self) -> Result<CorpusEntry, String> {
+        self.skip_ws();
+        self.expect('{')?;
+        let mut seed: Option<u64> = None;
+        let mut cell: Option<String> = None;
+        let mut note: Option<String> = None;
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            if !first {
+                self.expect(',')?;
+                self.skip_ws();
+                if self.eat('}') {
+                    break;
+                }
+            }
+            first = false;
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            match key.as_str() {
+                "seed" => seed = Some(self.number()?),
+                "cell" => cell = Some(self.string()?),
+                "note" => note = Some(self.string()?),
+                other => return Err(format!("unknown corpus key {other:?}")),
+            }
+        }
+        Ok(CorpusEntry {
+            seed: seed.ok_or("corpus entry missing \"seed\"")?,
+            cell: cell.ok_or("corpus entry missing \"cell\"")?,
+            note: note.ok_or("corpus entry missing \"note\"")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_has_notes() {
+        let entries = entries().expect("checked-in corpus must parse");
+        assert!(!entries.is_empty());
+        for e in &entries {
+            assert!(!e.note.is_empty(), "entry {:?} lacks a note", e.cell);
+        }
+    }
+
+    #[test]
+    fn parser_accepts_the_documented_subset() {
+        let parsed = parse(
+            r#"[
+                {"seed": 7, "cell": "complete/linear", "note": "a \"quoted\" note"},
+                {"note": "key order is free", "seed": 12345678901234567890, "cell": ""},
+            ]"#,
+        )
+        .expect("subset must parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].seed, 7);
+        assert_eq!(parsed[0].note, "a \"quoted\" note");
+        assert_eq!(parsed[1].seed, 12_345_678_901_234_567_890);
+        assert_eq!(parsed[1].cell, "");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("[{\"seed\": 1}]").is_err(), "missing keys");
+        assert!(parse("[{\"sede\": 1}]").is_err(), "typoed key");
+        assert!(parse("[{}] garbage").is_err(), "trailing input");
+        assert!(parse("[{\"seed\": -1, \"cell\": \"\", \"note\": \"x\"}]").is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Seeded structured instance generation over the conformance grid.
+//!
+//! A [`CellSpec`] names one cell of the grid: a topology family, a
+//! competency profile, a delegation mechanism, and an electorate size.
+//! Each cell derives its own seed from the master seed and its stable
+//! string id, so adding or filtering cells never perturbs the instances
+//! generated for the others.
+
+use ld_core::delegation::DelegationGraph;
+use ld_core::mechanisms::{
+    Abstaining, ApprovalThreshold, DirectVoting, GreedyMax, Mechanism, MinDegreeFraction,
+    ProbabilisticDelegation, SampledThreshold, WeightCapped, WeightedMajorityDelegation,
+};
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::{generators, Graph};
+use ld_prob::rng::{split_seed, stream_rng};
+use rand::rngs::StdRng;
+
+/// Approval margin used for every generated instance. Strictly positive,
+/// as the paper requires (it is what forbids mutual approval and hence
+/// delegation cycles).
+pub const ALPHA: f64 = 0.05;
+
+/// Topology families swept by the conformance grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// Complete graph `K_n`.
+    Complete,
+    /// Star with center `0`.
+    Star,
+    /// Cycle `C_n`.
+    Cycle,
+    /// Random `d`-regular graph.
+    Regular(usize),
+    /// Erdős–Rényi `G(n, p)`.
+    ErdosRenyi(f64),
+}
+
+impl Topology {
+    /// Stable identifier used in cell ids and seed derivation.
+    pub fn id(&self) -> String {
+        match self {
+            Topology::Complete => "complete".to_string(),
+            Topology::Star => "star".to_string(),
+            Topology::Cycle => "cycle".to_string(),
+            Topology::Regular(d) => format!("regular{d}"),
+            Topology::ErdosRenyi(p) => format!("er{:02}", (p * 100.0).round() as u32),
+        }
+    }
+
+    /// Builds the graph on `n` vertices.
+    fn build(&self, n: usize, rng: &mut StdRng) -> Result<Graph, String> {
+        match *self {
+            Topology::Complete => Ok(generators::complete(n)),
+            Topology::Star => Ok(generators::star(n)),
+            Topology::Cycle => Ok(generators::cycle(n)),
+            Topology::Regular(d) => {
+                generators::random_regular(n, d, rng).map_err(|e| e.to_string())
+            }
+            Topology::ErdosRenyi(p) => {
+                generators::erdos_renyi_gnp(n, p, rng).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// Competency profile families swept by the conformance grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Profile {
+    /// Linearly spaced competencies in `[lo, hi]`.
+    Linear(f64, f64),
+    /// Everyone shares competency `p`.
+    Constant(f64),
+    /// A low mass at `1/3` with `max(1, n/8)` experts at `2/3`.
+    TwoPoint,
+}
+
+impl Profile {
+    /// Stable identifier used in cell ids and seed derivation.
+    pub fn id(&self) -> String {
+        match self {
+            Profile::Linear(..) => "linear".to_string(),
+            Profile::Constant(p) => format!("constant{:02}", (p * 100.0).round() as u32),
+            Profile::TwoPoint => "twopoint".to_string(),
+        }
+    }
+
+    /// Builds the profile for `n` voters.
+    fn build(&self, n: usize) -> Result<CompetencyProfile, String> {
+        match *self {
+            Profile::Linear(lo, hi) => {
+                CompetencyProfile::linear(n, lo, hi).map_err(|e| e.to_string())
+            }
+            Profile::Constant(p) => CompetencyProfile::constant(n, p).map_err(|e| e.to_string()),
+            Profile::TwoPoint => {
+                let high = (n / 8).max(1).min(n);
+                CompetencyProfile::two_point(n - high, 1.0 / 3.0, high, 2.0 / 3.0)
+                    .map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// Delegation mechanisms swept by the conformance grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MechanismKind {
+    /// Everyone votes directly.
+    Direct,
+    /// Algorithm 1: delegate when `|J(i)| ≥ j`.
+    Approval(usize),
+    /// Minimum-degree-fraction threshold (`|J(i)| ≥ deg/4`).
+    Quarter,
+    /// Delegate to the most competent approved neighbour.
+    Greedy,
+    /// Algorithm 2: sample `d` voters, delegate when `≥ j` approved.
+    Sampled(usize, usize),
+    /// Delegate with probability `q` when the approval set is non-empty.
+    Probabilistic(f64),
+    /// Abstain with probability `q`, otherwise Algorithm 1 with `j = 1`.
+    Abstain(f64),
+    /// Weighted majority vote over up to `k` approved delegates
+    /// (produces [`ld_core::delegation::Action::DelegateMany`]).
+    Weighted(usize),
+    /// Algorithm 1 with sink weights capped at `w`.
+    Capped(usize),
+}
+
+impl MechanismKind {
+    /// Stable identifier used in cell ids and seed derivation.
+    pub fn id(&self) -> String {
+        match self {
+            MechanismKind::Direct => "direct".to_string(),
+            MechanismKind::Approval(j) => format!("approval{j}"),
+            MechanismKind::Quarter => "quarter".to_string(),
+            MechanismKind::Greedy => "greedy".to_string(),
+            MechanismKind::Sampled(d, j) => format!("sampled{d}-{j}"),
+            MechanismKind::Probabilistic(q) => {
+                format!("prob{:02}", (q * 100.0).round() as u32)
+            }
+            MechanismKind::Abstain(q) => format!("abstain{:02}", (q * 100.0).round() as u32),
+            MechanismKind::Weighted(k) => format!("weighted{k}"),
+            MechanismKind::Capped(w) => format!("capped{w}"),
+        }
+    }
+
+    /// Builds the boxed mechanism.
+    pub fn build(&self) -> Result<Box<dyn Mechanism>, String> {
+        Ok(match *self {
+            MechanismKind::Direct => Box::new(DirectVoting),
+            MechanismKind::Approval(j) => Box::new(ApprovalThreshold::new(j)),
+            MechanismKind::Quarter => Box::new(MinDegreeFraction::quarter()),
+            MechanismKind::Greedy => Box::new(GreedyMax),
+            MechanismKind::Sampled(d, j) => Box::new(SampledThreshold::from_graph(d, j)),
+            MechanismKind::Probabilistic(q) => Box::new(ProbabilisticDelegation::new(q)),
+            MechanismKind::Abstain(q) => Box::new(Abstaining::new(ApprovalThreshold::new(1), q)),
+            MechanismKind::Weighted(k) => {
+                Box::new(WeightedMajorityDelegation::try_new(k, 1).map_err(|e| e.to_string())?)
+            }
+            MechanismKind::Capped(w) => Box::new(
+                WeightCapped::try_new(ApprovalThreshold::new(1), w).map_err(|e| e.to_string())?,
+            ),
+        })
+    }
+}
+
+/// One cell of the conformance grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Topology family.
+    pub topology: Topology,
+    /// Competency profile family.
+    pub profile: Profile,
+    /// Delegation mechanism.
+    pub mechanism: MechanismKind,
+    /// Electorate size.
+    pub n: usize,
+}
+
+impl CellSpec {
+    /// Stable cell identifier, e.g. `complete/linear/approval1/n16`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/n{}",
+            self.topology.id(),
+            self.profile.id(),
+            self.mechanism.id(),
+            self.n
+        )
+    }
+
+    /// The cell's own seed, derived from the master seed and the cell id
+    /// so that it is independent of the grid's composition.
+    pub fn cell_seed(&self, master: u64) -> u64 {
+        split_seed(master, fnv1a(&self.id()))
+    }
+
+    /// Generates the cell's instance and runs its mechanism, fully
+    /// determined by `master`.
+    pub fn build(&self, master: u64) -> Result<Case, String> {
+        let seed = self.cell_seed(master);
+        let mut graph_rng = stream_rng(seed, 0);
+        let graph = self.topology.build(self.n, &mut graph_rng)?;
+        let profile = self.profile.build(self.n)?;
+        let instance = ProblemInstance::new(graph, profile, ALPHA).map_err(|e| e.to_string())?;
+        let mechanism = self.mechanism.build()?;
+        let mut act_rng = stream_rng(seed, 1);
+        let dg = mechanism.run(&instance, &mut act_rng);
+        Ok(Case {
+            spec: *self,
+            seed,
+            instance,
+            dg,
+            mechanism,
+        })
+    }
+}
+
+/// A fully generated conformance case: the instance, the delegation graph
+/// the mechanism produced on it, and the cell's derived seed.
+pub struct Case {
+    /// The grid cell this case instantiates.
+    pub spec: CellSpec,
+    /// Seed derived from the master seed and the cell id.
+    pub seed: u64,
+    /// The generated problem instance.
+    pub instance: ProblemInstance,
+    /// The delegation graph produced by the mechanism.
+    pub dg: DelegationGraph,
+    /// The mechanism itself (for locality probes).
+    pub mechanism: Box<dyn Mechanism>,
+}
+
+/// The default conformance grid: topology × profile × mechanism × size.
+///
+/// `quick` restricts to the two smallest sizes for the CI gate; the full
+/// grid adds an odd size (tie-free tallies) and a larger even one.
+pub fn default_grid(quick: bool) -> Vec<CellSpec> {
+    let topologies = [
+        Topology::Complete,
+        Topology::Star,
+        Topology::Cycle,
+        Topology::Regular(4),
+        Topology::ErdosRenyi(0.3),
+    ];
+    let profiles = [
+        Profile::Linear(0.2, 0.8),
+        Profile::Constant(0.5),
+        Profile::TwoPoint,
+    ];
+    let mechanisms = [
+        MechanismKind::Direct,
+        MechanismKind::Approval(1),
+        MechanismKind::Quarter,
+        MechanismKind::Greedy,
+        MechanismKind::Sampled(6, 2),
+        MechanismKind::Probabilistic(0.5),
+        MechanismKind::Abstain(0.3),
+        MechanismKind::Weighted(2),
+        MechanismKind::Capped(3),
+    ];
+    let sizes: &[usize] = if quick { &[8, 16] } else { &[8, 16, 33, 64] };
+    let mut grid = Vec::new();
+    for &topology in &topologies {
+        for &profile in &profiles {
+            for &mechanism in &mechanisms {
+                for &n in sizes {
+                    grid.push(CellSpec {
+                        topology,
+                        profile,
+                        mechanism,
+                        n,
+                    });
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// FNV-1a hash of a cell id, used to derive per-cell seed streams.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_ids_are_unique_across_the_full_grid() {
+        let grid = default_grid(false);
+        let mut ids: Vec<String> = grid.iter().map(CellSpec::id).collect();
+        let total = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), total, "duplicate cell ids in the grid");
+        assert_eq!(total, 5 * 3 * 9 * 4);
+    }
+
+    #[test]
+    fn quick_grid_is_a_subset_of_the_full_grid() {
+        let full: Vec<String> = default_grid(false).iter().map(CellSpec::id).collect();
+        for spec in default_grid(true) {
+            assert!(
+                full.contains(&spec.id()),
+                "{} missing from full grid",
+                spec.id()
+            );
+        }
+    }
+
+    #[test]
+    fn cell_seed_depends_only_on_master_and_id() {
+        let spec = CellSpec {
+            topology: Topology::Complete,
+            profile: Profile::Constant(0.5),
+            mechanism: MechanismKind::Direct,
+            n: 8,
+        };
+        assert_eq!(spec.cell_seed(1), spec.cell_seed(1));
+        assert_ne!(spec.cell_seed(1), spec.cell_seed(2));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        for spec in default_grid(true).into_iter().take(12) {
+            let a = spec.build(42).expect("build");
+            let b = spec.build(42).expect("build");
+            assert_eq!(a.dg, b.dg, "cell {} not deterministic", spec.id());
+            assert_eq!(
+                a.instance.profile().as_slice(),
+                b.instance.profile().as_slice()
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! `ld-testkit` — the conformance authority for the liquid-democracy
+//! workspace.
+//!
+//! The optimised implementations across `ld-core`, `ld-prob` and
+//! `ld-live` are validated here against deliberately naive reference
+//! oracles and metamorphic properties:
+//!
+//! * [`oracle`] — a recursive `O(n²)` resolver, brute-force exact
+//!   tallies over all outcome vectors, and a direct-simulation
+//!   estimator; slow, obvious, and trusted.
+//! * [`gen`] — a seeded structured generator sweeping the grid of
+//!   topology × competency profile × mechanism × size, with per-cell
+//!   seeds that are independent of the grid's composition.
+//! * [`checks`] — the differential and metamorphic checks themselves
+//!   (resolver vs oracle, tally vs brute force, live replay vs
+//!   from-scratch, normal approximation within the Berry–Esseen
+//!   envelope, relabeling equivariance, conservation, monotonicity,
+//!   mechanism locality).
+//! * [`shrink`] — greedy structural shrinking so every mismatch is
+//!   reported as a minimal failing instance.
+//! * [`corpus`] — a checked-in regression-seed corpus replayed on every
+//!   run.
+//!
+//! The `repro conformance` subcommand in `ld-sim` drives
+//! [`run_conformance`] and turns the resulting
+//! [`report::ConformanceReport`] into a CI gate; `--mutate tie-flip`
+//! injects a deliberate tally bug that the suite must catch, proving the
+//! gate has teeth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod report;
+pub mod shrink;
+
+use checks::{CheckContext, CheckId, CheckOutcome, TallyImpl};
+use gen::{default_grid, CellSpec};
+use report::{ConformanceReport, Mismatch, ShrunkInstance};
+
+/// A deliberate bug injected into the implementation under test, used
+/// to verify the suite detects it (mutation smoke testing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Invert the tie-break credit in the exact tally.
+    TieFlip,
+}
+
+impl Mutation {
+    /// Stable identifier, as accepted by `--mutate`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Mutation::TieFlip => "tie-flip",
+        }
+    }
+
+    /// Parses a mutation identifier.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        (s == Mutation::TieFlip.id()).then_some(Mutation::TieFlip)
+    }
+}
+
+/// Configuration for one conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformanceConfig {
+    /// Master seed; every cell derives its own stream from it.
+    pub seed: u64,
+    /// Use the reduced quick grid (the CI gate).
+    pub quick: bool,
+    /// Run only the check with this id.
+    pub only: Option<String>,
+    /// Run only cells whose id contains this substring.
+    pub case_filter: Option<String>,
+    /// Injected mutation, if any.
+    pub mutation: Option<Mutation>,
+    /// Replay the checked-in regression corpus.
+    pub include_corpus: bool,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            seed: 0x7E57_0C0D,
+            quick: false,
+            only: None,
+            case_filter: None,
+            mutation: None,
+            include_corpus: true,
+        }
+    }
+}
+
+impl ConformanceConfig {
+    /// The check filter, parsed; `Err` carries the unknown id.
+    fn only_check(&self) -> Result<Option<CheckId>, String> {
+        match &self.only {
+            None => Ok(None),
+            Some(s) => CheckId::parse(s)
+                .map(Some)
+                .ok_or_else(|| format!("unknown check id {s:?}")),
+        }
+    }
+
+    /// The reproduction command for a mismatch under this config.
+    fn repro_command(&self, cell: &str, check: CheckId, seed: u64) -> String {
+        let mut cmd = format!(
+            "repro conformance --seed {seed} --case {cell} --only {}",
+            check.id()
+        );
+        if let Some(m) = self.mutation {
+            cmd.push_str(&format!(" --mutate {}", m.id()));
+        }
+        cmd
+    }
+}
+
+/// Runs the conformance suite: the default grid under the master seed,
+/// plus every regression-corpus entry, shrinking each mismatch to a
+/// minimal failing instance.
+pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
+    let mut rep = ConformanceReport {
+        master_seed: cfg.seed,
+        quick: cfg.quick,
+        mutation: cfg.mutation.map(|m| m.id().to_string()),
+        cells: 0,
+        checks_run: 0,
+        checks_skipped: 0,
+        corpus_entries: 0,
+        mismatches: Vec::new(),
+    };
+    let only = match cfg.only_check() {
+        Ok(o) => o,
+        Err(e) => {
+            rep.mismatches.push(Mismatch {
+                check: "config".to_string(),
+                cell: String::new(),
+                seed: cfg.seed,
+                detail: e,
+                shrunk: None,
+                repro: "repro conformance --help".to_string(),
+            });
+            return rep;
+        }
+    };
+    let ctx = CheckContext {
+        tally: match cfg.mutation {
+            Some(Mutation::TieFlip) => TallyImpl::TieFlipped,
+            None => TallyImpl::Real,
+        },
+    };
+    let grid = default_grid(cfg.quick);
+    for spec in &grid {
+        run_cell(spec, cfg.seed, cfg, only, &ctx, &mut rep);
+    }
+    if cfg.include_corpus {
+        match corpus::entries() {
+            Ok(entries) => {
+                for entry in entries {
+                    let mut replayed = 0usize;
+                    for spec in grid.iter().filter(|s| s.id().contains(&entry.cell)) {
+                        run_cell(spec, entry.seed, cfg, only, &ctx, &mut rep);
+                        replayed += 1;
+                    }
+                    rep.corpus_entries += 1;
+                    if replayed == 0 {
+                        rep.mismatches.push(Mismatch {
+                            check: "corpus".to_string(),
+                            cell: entry.cell.clone(),
+                            seed: entry.seed,
+                            detail: format!(
+                                "corpus entry matches no grid cell ({}); fix the cell id",
+                                entry.note
+                            ),
+                            shrunk: None,
+                            repro: "repro conformance".to_string(),
+                        });
+                    }
+                }
+            }
+            Err(e) => rep.mismatches.push(Mismatch {
+                check: "corpus".to_string(),
+                cell: String::new(),
+                seed: cfg.seed,
+                detail: e,
+                shrunk: None,
+                repro: "repro conformance".to_string(),
+            }),
+        }
+    }
+    rep
+}
+
+/// Runs every applicable check on one grid cell under `master`.
+fn run_cell(
+    spec: &CellSpec,
+    master: u64,
+    cfg: &ConformanceConfig,
+    only: Option<CheckId>,
+    ctx: &CheckContext,
+    rep: &mut ConformanceReport,
+) {
+    let cell_id = spec.id();
+    if let Some(filter) = &cfg.case_filter {
+        if !cell_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let case = match spec.build(master) {
+        Ok(c) => c,
+        Err(e) => {
+            rep.mismatches.push(Mismatch {
+                check: "generation".to_string(),
+                cell: cell_id,
+                seed: master,
+                detail: format!("cell failed to generate: {e}"),
+                shrunk: None,
+                repro: format!("repro conformance --seed {master} --case {}", spec.id()),
+            });
+            return;
+        }
+    };
+    rep.cells += 1;
+    for check in CheckId::all() {
+        if let Some(o) = only {
+            if o != check {
+                continue;
+            }
+        }
+        match checks::run_check(check, &case, ctx) {
+            CheckOutcome::Pass => rep.checks_run += 1,
+            CheckOutcome::Skip(_) => rep.checks_skipped += 1,
+            CheckOutcome::Fail(detail) => {
+                rep.checks_run += 1;
+                let shrunk = shrink::shrink_failure(
+                    check,
+                    case.dg.actions(),
+                    case.instance.profile().as_slice(),
+                    case.seed,
+                    ctx,
+                )
+                .map(|s| ShrunkInstance::from_parts(&s.actions, &s.ps, s.detail));
+                rep.mismatches.push(Mismatch {
+                    check: check.id().to_string(),
+                    cell: cell_id.clone(),
+                    seed: master,
+                    detail,
+                    shrunk,
+                    repro: cfg.repro_command(&cell_id, check, master),
+                });
+            }
+        }
+    }
+}

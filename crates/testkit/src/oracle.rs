@@ -1,0 +1,411 @@
+//! Deliberately naive reference implementations.
+//!
+//! Everything here favours obviousness over speed: a recursive `O(n²)`
+//! delegation resolver with no memoisation, brute-force enumeration of
+//! outcome vectors for the exact tally, and a plain Monte Carlo
+//! estimator. The optimised implementations in `ld-core`, `ld-prob` and
+//! `ld-live` are checked against these, never the other way around.
+
+use ld_core::delegation::Action;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// What the reference resolver concluded about a delegation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleOutcome {
+    /// The graph resolves; the payload mirrors `Resolution`.
+    Resolved(OracleResolution),
+    /// The graph contains a delegation cycle.
+    Cycle,
+    /// A delegation target is out of range (first offender in voter order).
+    TargetOutOfRange {
+        /// The delegating voter.
+        voter: usize,
+        /// The offending target.
+        target: usize,
+    },
+    /// The graph contains a multi-target delegation, which the exact
+    /// resolver rejects.
+    MultiTarget,
+}
+
+/// The reference resolver's result, field-for-field comparable with
+/// `ld_core::delegation::Resolution`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleResolution {
+    /// `sink_of[i]`: the sink voter `i`'s vote reaches, or `None` if the
+    /// chain ends in an abstainer.
+    pub sink_of: Vec<Option<usize>>,
+    /// `weight[v]`: number of votes accumulating at voter `v`.
+    pub weight: Vec<usize>,
+    /// Votes discarded through abstention chains.
+    pub discarded: usize,
+    /// Longest delegation chain, in edges.
+    pub longest_chain: usize,
+}
+
+/// Resolves a delegation graph the obvious way: for every voter,
+/// independently chase the chain recursively until a terminal action,
+/// bailing out as cyclic after more than `n` hops. `O(n²)` worst case and
+/// proud of it.
+///
+/// Mirrors the optimised resolver's validation order: multi-target
+/// delegations are rejected first, then out-of-range targets (first
+/// offender in voter order), then cycles.
+pub fn resolve_recursive(actions: &[Action]) -> OracleOutcome {
+    let n = actions.len();
+    if actions.iter().any(|a| matches!(a, Action::DelegateMany(_))) {
+        return OracleOutcome::MultiTarget;
+    }
+    for (voter, a) in actions.iter().enumerate() {
+        if let Action::Delegate(t) = a {
+            if *t >= n {
+                return OracleOutcome::TargetOutOfRange { voter, target: *t };
+            }
+        }
+    }
+
+    /// Chases voter `v`'s chain; returns `(terminal sink, depth in edges)`
+    /// or `Err(())` once the hop count proves a cycle.
+    fn chase(actions: &[Action], v: usize, hops: usize) -> Result<(Option<usize>, usize), ()> {
+        if hops > actions.len() {
+            return Err(());
+        }
+        match &actions[v] {
+            Action::Vote => Ok((Some(v), 0)),
+            Action::Abstain => Ok((None, 0)),
+            Action::Delegate(t) if *t == v => Ok((Some(v), 0)),
+            Action::Delegate(t) => chase(actions, *t, hops + 1).map(|(s, d)| (s, d + 1)),
+            Action::DelegateMany(_) => unreachable!("rejected above"),
+            // `Action` is non_exhaustive; the oracle deliberately treats
+            // unknown future variants as a direct vote so that any real
+            // semantic difference shows up as a resolver mismatch.
+            _ => Ok((Some(v), 0)),
+        }
+    }
+
+    let mut sink_of = Vec::with_capacity(n);
+    let mut weight = vec![0usize; n];
+    let mut discarded = 0usize;
+    let mut longest_chain = 0usize;
+    for v in 0..n {
+        match chase(actions, v, 0) {
+            Err(()) => return OracleOutcome::Cycle,
+            Ok((sink, depth)) => {
+                match sink {
+                    Some(s) => weight[s] += 1,
+                    None => discarded += 1,
+                }
+                longest_chain = longest_chain.max(depth);
+                sink_of.push(sink);
+            }
+        }
+    }
+    OracleOutcome::Resolved(OracleResolution {
+        sink_of,
+        weight,
+        discarded,
+        longest_chain,
+    })
+}
+
+/// Largest sink count the exact brute-force tally will enumerate (2^k
+/// outcome vectors).
+pub const BRUTE_FORCE_MAX_TERMS: usize = 20;
+
+/// Exact probability that the correct option wins a weighted majority
+/// among independent sinks, by enumerating all `2^k` outcome vectors.
+///
+/// `terms` are `(weight, p_correct)` per sink, `total_votes` the number of
+/// tallied ballots, and `tie_credit` the probability credited to an exact
+/// tie. Returns `None` when there are more than
+/// [`BRUTE_FORCE_MAX_TERMS`] sinks.
+pub fn brute_force_majority(
+    terms: &[(usize, f64)],
+    total_votes: usize,
+    tie_credit: f64,
+) -> Option<f64> {
+    let k = terms.len();
+    if k > BRUTE_FORCE_MAX_TERMS {
+        return None;
+    }
+    let mut acc = 0.0;
+    for mask in 0u32..(1u32 << k) {
+        let mut prob = 1.0;
+        let mut correct_weight = 0usize;
+        for (i, &(w, p)) in terms.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                prob *= p;
+                correct_weight += w;
+            } else {
+                prob *= 1.0 - p;
+            }
+        }
+        if 2 * correct_weight > total_votes {
+            acc += prob;
+        } else if 2 * correct_weight == total_votes {
+            acc += tie_credit * prob;
+        }
+    }
+    Some(acc)
+}
+
+/// Largest electorate the coin-vector brute force will enumerate (2^n
+/// coin vectors).
+pub const COIN_BRUTE_MAX_N: usize = 12;
+
+/// Exact decision probability for an arbitrary delegation graph
+/// (including multi-target nodes) by enumerating every personal coin
+/// vector `b ∈ {0,1}^n` and propagating outcomes deterministically —
+/// the exact distribution `tally::sample_decision` samples from, with
+/// ties counted as incorrect.
+///
+/// Each voter `i` flips at most one personal coin `b_i ~ Bernoulli(p_i)`:
+/// direct voters and self-delegators use it as their ballot, and
+/// multi-target delegators use it to break an internal tie among their
+/// delegates. Returns `None` for `n >` [`COIN_BRUTE_MAX_N`] or cyclic
+/// graphs.
+pub fn brute_force_decision_by_coins(actions: &[Action], ps: &[f64]) -> Option<f64> {
+    let n = actions.len();
+    if n > COIN_BRUTE_MAX_N || ps.len() != n {
+        return None;
+    }
+    // Any order that evaluates delegation targets before their delegators
+    // works; build one by depth-first post-order and fail on cycles.
+    let order = eval_order(actions)?;
+    let mut acc = 0.0;
+    let mut outcome: Vec<Option<bool>> = vec![None; n];
+    for mask in 0u32..(1u32 << n) {
+        let coin = |i: usize| (mask >> i) & 1 == 1;
+        let mut prob = 1.0;
+        for (i, &p) in ps.iter().enumerate() {
+            prob *= if coin(i) { p } else { 1.0 - p };
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        for &i in &order {
+            outcome[i] = match &actions[i] {
+                Action::Vote => Some(coin(i)),
+                Action::Abstain => None,
+                Action::Delegate(t) if *t == i => Some(coin(i)),
+                Action::Delegate(t) => outcome[*t],
+                Action::DelegateMany(ts) => {
+                    let votes: Vec<bool> = ts.iter().filter_map(|&t| outcome[t]).collect();
+                    let correct = votes.iter().filter(|&&v| v).count();
+                    let incorrect = votes.len() - correct;
+                    if correct > incorrect {
+                        Some(true)
+                    } else if incorrect > correct {
+                        Some(false)
+                    } else {
+                        Some(coin(i))
+                    }
+                }
+                // Unknown future variants vote directly; see `chase`.
+                _ => Some(coin(i)),
+            };
+        }
+        let correct = outcome.iter().filter(|o| **o == Some(true)).count();
+        let tallied = outcome.iter().filter(|o| o.is_some()).count();
+        if 2 * correct > tallied {
+            acc += prob;
+        }
+    }
+    Some(acc)
+}
+
+/// An evaluation order in which every delegation target precedes its
+/// delegators, or `None` if the delegation edges form a cycle.
+fn eval_order(actions: &[Action]) -> Option<Vec<usize>> {
+    let n = actions.len();
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut order = Vec::with_capacity(n);
+    fn visit(
+        actions: &[Action],
+        v: usize,
+        state: &mut [u8],
+        order: &mut Vec<usize>,
+    ) -> Result<(), ()> {
+        match state[v] {
+            2 => return Ok(()),
+            1 => return Err(()),
+            _ => {}
+        }
+        state[v] = 1;
+        let targets: Vec<usize> = match &actions[v] {
+            Action::Delegate(t) if *t != v => vec![*t],
+            Action::DelegateMany(ts) => ts.iter().copied().filter(|&t| t != v).collect(),
+            _ => Vec::new(),
+        };
+        for t in targets {
+            if t >= actions.len() {
+                return Err(());
+            }
+            visit(actions, t, state, order)?;
+        }
+        state[v] = 2;
+        order.push(v);
+        Ok(())
+    }
+    for v in 0..n {
+        if visit(actions, v, &mut state, &mut order).is_err() {
+            return None;
+        }
+    }
+    Some(order)
+}
+
+/// A Monte Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationEstimate {
+    /// Sample mean of the per-trial credit.
+    pub estimate: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+/// Direct-simulation estimator of the weighted-majority decision
+/// probability: draw every sink's ballot, credit wins fully and exact
+/// ties at `tie_credit`, and track the running variance (Welford).
+pub fn simulate_majority(
+    terms: &[(usize, f64)],
+    total_votes: usize,
+    tie_credit: f64,
+    trials: u64,
+    rng: &mut StdRng,
+) -> SimulationEstimate {
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for t in 1..=trials {
+        let mut correct_weight = 0usize;
+        for &(w, p) in terms {
+            if rng.gen_bool(p) {
+                correct_weight += w;
+            }
+        }
+        let x = if 2 * correct_weight > total_votes {
+            1.0
+        } else if 2 * correct_weight == total_votes {
+            tie_credit
+        } else {
+            0.0
+        };
+        let delta = x - mean;
+        mean += delta / t as f64;
+        m2 += delta * (x - mean);
+    }
+    let variance = if trials > 1 {
+        m2 / (trials - 1) as f64
+    } else {
+        0.0
+    };
+    SimulationEstimate {
+        estimate: mean,
+        std_error: (variance / trials.max(1) as f64).sqrt(),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursive_resolver_handles_chains_and_abstention() {
+        // 0 -> 1 -> 2 (votes), 3 -> 4 (abstains), 5 self-delegates.
+        let actions = vec![
+            Action::Delegate(1),
+            Action::Delegate(2),
+            Action::Vote,
+            Action::Delegate(4),
+            Action::Abstain,
+            Action::Delegate(5),
+        ];
+        let OracleOutcome::Resolved(r) = resolve_recursive(&actions) else {
+            panic!("expected resolution");
+        };
+        assert_eq!(
+            r.sink_of,
+            vec![Some(2), Some(2), Some(2), None, None, Some(5)]
+        );
+        assert_eq!(r.weight, vec![0, 0, 3, 0, 0, 1]);
+        assert_eq!(r.discarded, 2);
+        assert_eq!(r.longest_chain, 2);
+    }
+
+    #[test]
+    fn recursive_resolver_rejects_in_validation_order() {
+        let cyclic = vec![Action::Delegate(1), Action::Delegate(0)];
+        assert_eq!(resolve_recursive(&cyclic), OracleOutcome::Cycle);
+        let out_of_range = vec![Action::Vote, Action::Delegate(9)];
+        assert_eq!(
+            resolve_recursive(&out_of_range),
+            OracleOutcome::TargetOutOfRange {
+                voter: 1,
+                target: 9
+            }
+        );
+        // Multi-target wins over a later range error, as in the resolver.
+        let multi = vec![Action::DelegateMany(vec![1]), Action::Delegate(9)];
+        assert_eq!(resolve_recursive(&multi), OracleOutcome::MultiTarget);
+    }
+
+    #[test]
+    fn brute_force_majority_matches_hand_computation() {
+        // Two unit sinks at p = 0.5: win 0.25, tie 0.5.
+        let terms = [(1usize, 0.5), (1usize, 0.5)];
+        let strict = brute_force_majority(&terms, 2, 0.0).unwrap();
+        assert!((strict - 0.25).abs() < 1e-12);
+        let coin = brute_force_majority(&terms, 2, 0.5).unwrap();
+        assert!((coin - 0.5).abs() < 1e-12);
+        assert!(brute_force_majority(&vec![(1, 0.5); 21], 21, 0.0).is_none());
+    }
+
+    #[test]
+    fn coin_brute_force_matches_sink_brute_force_on_single_target_graphs() {
+        // 0 -> 2, 1 votes, 2 votes, 3 abstains: sinks {1: w1, 2: w2}.
+        let actions = vec![
+            Action::Delegate(2),
+            Action::Vote,
+            Action::Vote,
+            Action::Abstain,
+        ];
+        let ps = vec![0.3, 0.6, 0.8, 0.5];
+        let by_coins = brute_force_decision_by_coins(&actions, &ps).unwrap();
+        let by_sinks = brute_force_majority(&[(1, 0.6), (2, 0.8)], 3, 0.0).unwrap();
+        assert!(
+            (by_coins - by_sinks).abs() < 1e-12,
+            "{by_coins} vs {by_sinks}"
+        );
+    }
+
+    #[test]
+    fn coin_brute_force_handles_multi_target_ties() {
+        // Voter 0 delegates to both 1 and 2; a 1-1 split falls back to 0's
+        // own coin. p1 = 1, p2 = 0 forces the split, so the electorate is
+        // (b0, correct, incorrect): majority correct iff b0 with 2-1.
+        let actions = vec![Action::DelegateMany(vec![1, 2]), Action::Vote, Action::Vote];
+        let ps = vec![0.7, 1.0, 0.0];
+        let p = brute_force_decision_by_coins(&actions, &ps).unwrap();
+        assert!((p - 0.7).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn simulation_estimator_converges_with_small_error() {
+        use rand::SeedableRng;
+        let terms = [(1usize, 0.7), (2usize, 0.6), (1usize, 0.4)];
+        let exact = brute_force_majority(&terms, 4, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = simulate_majority(&terms, 4, 0.5, 4000, &mut rng);
+        assert!(
+            (est.estimate - exact).abs() <= 5.0 * est.std_error + 1e-9,
+            "estimate {} vs exact {} (se {})",
+            est.estimate,
+            exact,
+            est.std_error
+        );
+    }
+}

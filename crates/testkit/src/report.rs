@@ -1,0 +1,128 @@
+//! Machine-readable conformance reports.
+
+use ld_core::delegation::Action;
+use serde::Serialize;
+
+/// A minimal failing instance produced by the shrinker, in a compact
+/// human-readable encoding (`V` vote, `A` abstain, `D3` delegate to 3,
+/// `M1+2` multi-delegate to 1 and 2).
+#[derive(Debug, Clone, Serialize)]
+pub struct ShrunkInstance {
+    /// Electorate size of the shrunk instance.
+    pub n: usize,
+    /// Per-voter actions in the compact encoding.
+    pub actions: Vec<String>,
+    /// Per-voter competencies.
+    pub competencies: Vec<f64>,
+    /// The check's failure detail on the shrunk instance.
+    pub detail: String,
+}
+
+impl ShrunkInstance {
+    /// Encodes a shrunk `(actions, competencies)` pair.
+    pub fn from_parts(actions: &[Action], ps: &[f64], detail: String) -> Self {
+        ShrunkInstance {
+            n: actions.len(),
+            actions: actions.iter().map(encode_action).collect(),
+            competencies: ps.to_vec(),
+            detail,
+        }
+    }
+}
+
+/// Compact single-token encoding of one action.
+pub fn encode_action(a: &Action) -> String {
+    match a {
+        Action::Vote => "V".to_string(),
+        Action::Abstain => "A".to_string(),
+        Action::Delegate(t) => format!("D{t}"),
+        Action::DelegateMany(ts) => {
+            let parts: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+            format!("M{}", parts.join("+"))
+        }
+        other => format!("{other:?}"),
+    }
+}
+
+/// One conformance mismatch: which check failed on which cell, the
+/// shrunk minimal instance when the check is shrinkable, and a one-line
+/// command that reproduces exactly this failure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Mismatch {
+    /// Check identifier (e.g. `tally-oracle`).
+    pub check: String,
+    /// Cell identifier (e.g. `complete/linear/direct/n16`).
+    pub cell: String,
+    /// The cell's derived seed.
+    pub seed: u64,
+    /// What disagreed, with both values.
+    pub detail: String,
+    /// Minimal failing instance, when the check supports shrinking.
+    pub shrunk: Option<ShrunkInstance>,
+    /// One-line reproduction command.
+    pub repro: String,
+}
+
+/// The full result of a conformance run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConformanceReport {
+    /// Master seed the run derived everything from.
+    pub master_seed: u64,
+    /// Whether the quick grid was used.
+    pub quick: bool,
+    /// Name of the injected mutation, if any.
+    pub mutation: Option<String>,
+    /// Grid cells generated.
+    pub cells: usize,
+    /// Individual checks executed.
+    pub checks_run: usize,
+    /// Checks skipped as not applicable to their cell.
+    pub checks_skipped: usize,
+    /// Regression-corpus entries replayed.
+    pub corpus_entries: usize,
+    /// All mismatches found, in discovery order.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl ConformanceReport {
+    /// Whether the run found no mismatches.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Pretty-printed JSON for `--json` output and CI artifacts.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"error\": \"failed to serialize report: {e}\"}}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_encoding_is_compact() {
+        assert_eq!(encode_action(&Action::Vote), "V");
+        assert_eq!(encode_action(&Action::Abstain), "A");
+        assert_eq!(encode_action(&Action::Delegate(7)), "D7");
+        assert_eq!(encode_action(&Action::DelegateMany(vec![1, 2])), "M1+2");
+    }
+
+    #[test]
+    fn report_serializes_and_reports_ok() {
+        let report = ConformanceReport {
+            master_seed: 1,
+            quick: true,
+            mutation: None,
+            cells: 0,
+            checks_run: 0,
+            checks_skipped: 0,
+            corpus_entries: 0,
+            mismatches: vec![],
+        };
+        assert!(report.ok());
+        let json = report.to_json();
+        assert!(json.contains("\"master_seed\": 1"));
+    }
+}
