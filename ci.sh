@@ -29,4 +29,21 @@ if ./target/release/repro conformance --quick --no-corpus \
   exit 1
 fi
 
+echo "==> golden snapshot tests (rendering stability)"
+cargo test -q -p ld-sim --test snapshot_report
+
+echo "==> cargo build --release --features obs (instrumented build + obs goldens/neutrality)"
+cargo build --release --features obs
+cargo test -q -p ld-sim --test snapshot_report --test obs_neutrality --features obs
+
+echo "==> perf-baseline gate (quick bench run vs newest committed BENCH_*.json)"
+./target/release/repro bench-baseline --quick --out target/bench-current.json
+baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -n 1 || true)
+if [ -n "${baseline:-}" ]; then
+  echo "    comparing against ${baseline}"
+  ./target/release/repro bench-compare "${baseline}" target/bench-current.json
+else
+  echo "    no committed BENCH_*.json baseline yet; skipping comparison"
+fi
+
 echo "==> ci.sh: all green"

@@ -390,10 +390,17 @@ impl LiveEngine {
     /// Returns the typed [`RejectReason`] for an invalid update; the
     /// engine state is unchanged in that case.
     pub fn apply(&mut self, update: Update) -> Result<usize, RejectReason> {
+        let _span = ld_obs::span("live.apply_ns");
         self.dirty.clear();
-        self.validate(update)?;
+        if let Err(reason) = self.validate(update) {
+            ld_obs::counter("live.rejected").incr();
+            return Err(reason);
+        }
         self.apply_structural(update);
-        Ok(self.recompute_dirty())
+        let touched = self.recompute_dirty();
+        ld_obs::counter("live.applied").incr();
+        ld_obs::histogram("live.touched").record(touched as u64);
+        Ok(touched)
     }
 
     /// Applies a batch of updates, recomputing each touched region once:
@@ -404,6 +411,7 @@ impl LiveEngine {
     /// batch accepts exactly the same updates as streaming them one at a
     /// time through [`LiveEngine::apply`].
     pub fn apply_batch(&mut self, updates: &[Update]) -> BatchReport {
+        let _span = ld_obs::span("live.apply_batch_ns");
         let mut report = BatchReport::default();
         self.dirty.clear();
         for (k, &update) in updates.iter().enumerate() {
@@ -415,7 +423,12 @@ impl LiveEngine {
                 Err(reason) => report.rejected.push((k, reason)),
             }
         }
+        ld_obs::histogram("live.batch_regions").record(self.dirty.len() as u64);
         report.touched = self.recompute_dirty();
+        ld_obs::counter("live.batches").incr();
+        ld_obs::counter("live.applied").add(report.applied as u64);
+        ld_obs::counter("live.rejected").add(report.rejected.len() as u64);
+        ld_obs::histogram("live.touched").record(report.touched as u64);
         report
     }
 

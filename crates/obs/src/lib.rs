@@ -1,0 +1,505 @@
+//! **ld-obs** — lightweight observability for the liquid-democracy
+//! workspace.
+//!
+//! The API is three primitives plus a snapshot:
+//!
+//! * [`counter`] — a named monotonic [`u64`] counter (atomic when the
+//!   feature is on).
+//! * [`span`] — an RAII guard that records its scope's wall-clock
+//!   duration (nanoseconds) into the histogram of the same name. The
+//!   guard records on `Drop`, so it survives `?` and panics.
+//! * [`histogram`] — a named fixed-bucket (power-of-two) histogram of
+//!   `u64` samples; summaries report count/sum/p50/p90/p99/max.
+//! * [`snapshot`] — a deterministic (name-sorted) copy of every metric
+//!   registered since the last [`reset`].
+//!
+//! [`TrialGuard`] composes counters into the bookkeeping pattern the
+//! Monte Carlo engine needs: `<prefix>.started` is bumped eagerly,
+//! and on `Drop` — which runs even while unwinding from a panic —
+//! the guard flushes `<prefix>.finished` and `<prefix>.lost` so that
+//! `started == finished + lost` holds unconditionally.
+//!
+//! Everything lives behind the `enabled` cargo feature. Without it the
+//! whole crate compiles to unit structs and empty `#[inline(always)]`
+//! functions: no atomics, no locks, no clock reads — the hot path is
+//! bit-identical to an uninstrumented build (the `obs_neutrality`
+//! tests in `ld-sim` check exactly this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Summary of one histogram at snapshot time.
+///
+/// Quantiles are estimated from the fixed power-of-two buckets (the
+/// midpoint of the bucket containing the quantile), so they are
+/// approximations; `max` is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+///
+/// Deterministic modulo the *values* of timing-derived fields: the set
+/// of names and every counter value depend only on the work performed,
+/// while span histograms carry wall-clock nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistSummary>,
+}
+
+impl Snapshot {
+    /// True when no metric was recorded (always true with the feature
+    /// off).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod real {
+    use super::{HistSummary, Snapshot};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    const BUCKETS: usize = 64;
+
+    pub struct Hist {
+        buckets: [AtomicU64; BUCKETS],
+        count: AtomicU64,
+        sum: AtomicU64,
+        max: AtomicU64,
+    }
+
+    impl Hist {
+        fn new() -> Self {
+            Hist {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }
+        }
+
+        pub fn record(&self, value: u64) {
+            let idx = bucket_of(value);
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+
+        fn summary(&self, name: &str) -> HistSummary {
+            let counts: Vec<u64> = self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            let count: u64 = counts.iter().sum();
+            let max = self.max.load(Ordering::Relaxed);
+            HistSummary {
+                name: name.to_string(),
+                count,
+                sum: self.sum.load(Ordering::Relaxed),
+                p50: quantile(&counts, count, max, 0.50),
+                p90: quantile(&counts, count, max, 0.90),
+                p99: quantile(&counts, count, max, 0.99),
+                max,
+            }
+        }
+    }
+
+    /// Bucket `i` holds values in `[2^(i-1), 2^i)`; bucket 0 holds 0.
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Midpoint-of-bucket quantile estimate; the top occupied bucket is
+    /// capped at the exact max.
+    fn quantile(counts: &[u64], total: u64, max: u64, q: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 - 1.0) * q).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                if i == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = (lo.saturating_mul(2)).saturating_sub(1).min(max);
+                return lo + (hi.max(lo) - lo) / 2;
+            }
+        }
+        max
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+        hists: Mutex<HashMap<String, Arc<Hist>>>,
+    }
+
+    fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(Registry::default)
+    }
+
+    /// Handle to a named atomic counter.
+    #[derive(Clone)]
+    pub struct Counter(Arc<AtomicU64>);
+
+    impl Counter {
+        /// Adds `n` (relaxed; counters are merged at snapshot time).
+        pub fn add(&self, n: u64) {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+
+        /// Adds one.
+        pub fn incr(&self) {
+            self.add(1);
+        }
+    }
+
+    /// Handle to a named histogram.
+    #[derive(Clone)]
+    pub struct Histogram(Arc<Hist>);
+
+    impl Histogram {
+        /// Records one sample.
+        pub fn record(&self, value: u64) {
+            self.0.record(value);
+        }
+    }
+
+    /// RAII scope timer; records elapsed nanoseconds on `Drop`.
+    #[must_use = "a span records on Drop; binding it to _ discards the measurement"]
+    pub struct Span {
+        hist: Arc<Hist>,
+        start: Instant,
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            self.hist.record(self.start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Looks up (registering on first use) the named counter.
+    pub fn counter(name: &str) -> Counter {
+        let mut map = registry().counters.lock().expect("obs counter registry");
+        Counter(Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        ))
+    }
+
+    /// Looks up (registering on first use) the named histogram.
+    pub fn histogram(name: &str) -> Histogram {
+        let mut map = registry().hists.lock().expect("obs histogram registry");
+        Histogram(Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Hist::new())),
+        ))
+    }
+
+    /// Starts a scope timer recording into the histogram `name`.
+    pub fn span(name: &str) -> Span {
+        Span {
+            hist: histogram(name).0,
+            start: Instant::now(),
+        }
+    }
+
+    /// Copies every registered metric, sorted by name.
+    pub fn snapshot() -> Snapshot {
+        let counters_map = registry().counters.lock().expect("obs counter registry");
+        let mut counters: Vec<(String, u64)> = counters_map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        drop(counters_map);
+        counters.sort();
+        let hists_map = registry().hists.lock().expect("obs histogram registry");
+        let mut histograms: Vec<HistSummary> =
+            hists_map.iter().map(|(k, v)| v.summary(k)).collect();
+        drop(hists_map);
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    pub fn reset() {
+        registry()
+            .counters
+            .lock()
+            .expect("obs counter registry")
+            .clear();
+        registry()
+            .hists
+            .lock()
+            .expect("obs histogram registry")
+            .clear();
+    }
+
+    /// Panic-safe trial accounting: `started` is flushed eagerly, and
+    /// `Drop` reconciles `finished`/`lost` even while unwinding.
+    pub struct TrialGuard {
+        finished: Counter,
+        lost: Counter,
+        share: u64,
+        done: u64,
+    }
+
+    impl TrialGuard {
+        /// Registers `share` trials as started under `prefix`.
+        pub fn new(prefix: &str, share: u64) -> Self {
+            counter(&format!("{prefix}.started")).add(share);
+            TrialGuard {
+                finished: counter(&format!("{prefix}.finished")),
+                lost: counter(&format!("{prefix}.lost")),
+                share,
+                done: 0,
+            }
+        }
+
+        /// Marks one trial of the share as finished.
+        pub fn note_done(&mut self) {
+            self.done += 1;
+        }
+    }
+
+    impl Drop for TrialGuard {
+        fn drop(&mut self) {
+            let done = self.done.min(self.share);
+            self.finished.add(done);
+            self.lost.add(self.share - done);
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use real::{counter, histogram, snapshot, span, Counter, Histogram, Span, TrialGuard};
+
+#[cfg(feature = "enabled")]
+/// Clears every registered metric (names and values).
+pub fn reset() {
+    real::reset();
+}
+
+#[cfg(feature = "enabled")]
+/// True when the `enabled` feature is compiled in.
+#[must_use]
+pub const fn enabled() -> bool {
+    true
+}
+
+#[cfg(not(feature = "enabled"))]
+mod noop {
+    use super::Snapshot;
+
+    /// Disabled counter: every method is an empty inline function.
+    #[derive(Clone, Copy)]
+    pub struct Counter;
+
+    impl Counter {
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn incr(&self) {}
+    }
+
+    /// Disabled histogram: every method is an empty inline function.
+    #[derive(Clone, Copy)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// No-op.
+        #[inline(always)]
+        pub fn record(&self, _value: u64) {}
+    }
+
+    /// Disabled span: a unit struct with no `Drop` impl.
+    #[must_use = "a span records on Drop; binding it to _ discards the measurement"]
+    #[derive(Clone, Copy)]
+    pub struct Span;
+
+    /// No-op counter lookup.
+    #[inline(always)]
+    pub fn counter(_name: &str) -> Counter {
+        Counter
+    }
+
+    /// No-op histogram lookup.
+    #[inline(always)]
+    pub fn histogram(_name: &str) -> Histogram {
+        Histogram
+    }
+
+    /// No-op span.
+    #[inline(always)]
+    pub fn span(_name: &str) -> Span {
+        Span
+    }
+
+    /// Always-empty snapshot.
+    #[inline(always)]
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Disabled trial guard: a unit struct, no counters, no `Drop`.
+    pub struct TrialGuard;
+
+    impl TrialGuard {
+        /// No-op.
+        #[inline(always)]
+        pub fn new(_prefix: &str, _share: u64) -> Self {
+            TrialGuard
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn note_done(&mut self) {}
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use noop::{counter, histogram, snapshot, span, Counter, Histogram, Span, TrialGuard};
+
+#[cfg(not(feature = "enabled"))]
+/// No-op with the feature off.
+#[inline(always)]
+pub fn reset() {}
+
+#[cfg(not(feature = "enabled"))]
+/// True when the `enabled` feature is compiled in.
+#[must_use]
+pub const fn enabled() -> bool {
+    false
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; serialize tests that reset it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let _g = lock();
+        reset();
+        counter("b.two").add(2);
+        counter("a.one").incr();
+        counter("b.two").add(3);
+        let snap = snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.one".to_string(), 1), ("b.two".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn histogram_summary_brackets_the_data() {
+        let _g = lock();
+        reset();
+        let h = histogram("h");
+        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let snap = snapshot();
+        let s = &snap.histograms[0];
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1_001_106);
+        assert_eq!(s.max, 1_000_000);
+        assert!(s.p50 >= 2 && s.p50 <= 3, "p50={}", s.p50);
+        assert!(s.p99 <= s.max && s.p99 >= s.p90);
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let _g = lock();
+        reset();
+        {
+            let _s = span("scope");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn trial_guard_reconciles_on_panic() {
+        let _g = lock();
+        reset();
+        let unwound = std::panic::catch_unwind(|| {
+            let mut g = TrialGuard::new("t", 10);
+            for _ in 0..4 {
+                g.note_done();
+            }
+            panic!("boom");
+        });
+        assert!(unwound.is_err());
+        let mut g = TrialGuard::new("t", 5);
+        for _ in 0..5 {
+            g.note_done();
+        }
+        drop(g);
+        let snap = snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("t.started"), 15);
+        assert_eq!(get("t.finished"), 9);
+        assert_eq!(get("t.lost"), 6);
+        assert_eq!(get("t.started"), get("t.finished") + get("t.lost"));
+    }
+
+    #[test]
+    fn reset_clears_names() {
+        let _g = lock();
+        reset();
+        counter("gone").incr();
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

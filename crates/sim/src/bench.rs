@@ -1,0 +1,450 @@
+//! The pinned perf-baseline micro-suite behind `repro bench-baseline`.
+//!
+//! Each bench runs a fixed workload (fixed seed, fixed size) for a
+//! number of timed iterations and reports mean/p50/p99 nanoseconds per
+//! iteration. `--quick` reduces only the *iteration counts*, never the
+//! workload sizes, so quick and full runs measure the same per-iteration
+//! cost and are comparable in the regression gate.
+//!
+//! Results serialize to a `BENCH_<pr>.json` file with a deliberately
+//! flat schema (`{bench, n, iters, ns_per_iter, p50, p99}`), written and
+//! parsed by hand here so the gate works even in environments where
+//! `serde_json` is stubbed out. `ci.sh` runs [`compare`] against the
+//! last committed `BENCH_*.json` and fails on a >30% `ns_per_iter`
+//! regression in any bench present in both files; benches that exist on
+//! only one side are skipped (suites may grow or shrink between PRs).
+
+use crate::engine::Engine;
+use crate::error::{Result, SimError};
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_core::mechanisms::ApprovalThreshold;
+use ld_core::tally::TieBreak;
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_live::workload::{Trace, TraceConfig};
+use ld_live::LiveEngine;
+use ld_prob::poisson_binomial::WeightedBernoulliSum;
+use ld_prob::rng::stream_rng;
+use rand::Rng;
+use std::path::Path;
+use std::time::Instant;
+
+/// The default regression tolerance: fail beyond +30% `ns_per_iter`.
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// One pinned micro-benchmark's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Bench name (stable across PRs; the comparison key).
+    pub bench: String,
+    /// Workload size (voters).
+    pub n: usize,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Median per-iteration nanoseconds.
+    pub p50: f64,
+    /// 99th-percentile per-iteration nanoseconds.
+    pub p99: f64,
+}
+
+/// One bench that got slower than the tolerance allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Bench name.
+    pub bench: String,
+    /// Baseline mean ns/iter.
+    pub old_ns: f64,
+    /// Current mean ns/iter.
+    pub new_ns: f64,
+    /// `new_ns / old_ns`.
+    pub ratio: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64
+}
+
+/// Times `iters` iterations of `work` (after one untimed warmup).
+fn time_iters(bench: &str, n: usize, iters: u64, mut work: impl FnMut()) -> BenchResult {
+    work();
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        work();
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    let total: u64 = samples.iter().sum();
+    samples.sort_unstable();
+    BenchResult {
+        bench: bench.to_string(),
+        n,
+        iters,
+        ns_per_iter: total as f64 / iters.max(1) as f64,
+        p50: percentile(&samples, 0.50),
+        p99: percentile(&samples, 0.99),
+    }
+}
+
+/// A deterministic acyclic action vector: each voter either votes or
+/// delegates to a strictly smaller index.
+fn acyclic_actions(n: usize, seed: u64) -> Vec<Action> {
+    let mut rng = stream_rng(seed, 0xBE_EC);
+    (0..n)
+        .map(|v| {
+            if v > 0 && rng.gen_bool(0.6) {
+                Action::Delegate(rng.gen_range(0..v))
+            } else {
+                Action::Vote
+            }
+        })
+        .collect()
+}
+
+fn bench_instance(n: usize, seed: u64) -> Result<ProblemInstance> {
+    let mut rng = stream_rng(seed, 0xBE_ED);
+    let mut ps: Vec<f64> = (0..n).map(|_| rng.gen_range(0.35..0.65)).collect();
+    ps.sort_by(|a, b| a.partial_cmp(b).expect("competencies are finite"));
+    Ok(ProblemInstance::new(
+        ld_graph::generators::complete(n),
+        CompetencyProfile::new(ps)?,
+        0.05,
+    )?)
+}
+
+/// Runs the pinned suite. `quick` divides iteration counts by 10
+/// (workload sizes are unchanged, so the per-iteration numbers remain
+/// comparable to a full run).
+///
+/// # Errors
+///
+/// Propagates construction errors from the workloads; a healthy build
+/// never returns them.
+pub fn run_baseline(seed: u64, quick: bool) -> Result<Vec<BenchResult>> {
+    let iters = |full: u64| if quick { (full / 10).max(5) } else { full };
+    let mut out = Vec::new();
+
+    // resolve: from-scratch delegation resolution, n = 10_000.
+    {
+        let n = 10_000;
+        let actions = acyclic_actions(n, seed);
+        out.push(time_iters("resolve", n, iters(200), || {
+            DelegationGraph::new(actions.clone())
+                .resolve()
+                .expect("acyclic by construction");
+        }));
+    }
+
+    // tally_exact: exact Poisson-binomial majority, n = 256 sinks.
+    {
+        let n = 256;
+        let mut rng = stream_rng(seed, 0xBE_EE);
+        let terms: Vec<(usize, f64)> = (0..n).map(|_| (1, rng.gen_range(0.3..0.7))).collect();
+        let credit = TieBreak::Incorrect.credit();
+        out.push(time_iters("tally_exact", n, iters(200), || {
+            let sum = WeightedBernoulliSum::new(&terms).expect("valid terms");
+            let _ = sum.majority_with_ties(n, credit);
+        }));
+    }
+
+    // estimate_gain: 32 Monte Carlo trials on a complete graph, n = 256.
+    {
+        let n = 256;
+        let instance = bench_instance(n, seed)?;
+        let mech = ApprovalThreshold::new(1);
+        for (name, workers, count) in [("estimate_gain_seq", 1, 50), ("estimate_gain_par2", 2, 50)]
+        {
+            let engine = Engine::new(seed).with_workers(workers);
+            let mut failure = None;
+            let result = time_iters(name, n, iters(count), || {
+                if let Err(e) = engine.estimate_gain(&instance, &mech, 32) {
+                    failure = Some(e);
+                }
+            });
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            out.push(result);
+        }
+    }
+
+    // live_update / live_batch64: incremental engine under churn,
+    // n = 10_000. One iteration = one apply / one 64-update batch.
+    {
+        let n = 10_000;
+        let updates: Vec<_> = Trace::new(TraceConfig::balanced(n), seed)
+            .map_err(|reason| SimError::Config { reason })?
+            .take(40_000)
+            .collect();
+        let competences = TraceConfig::balanced(n).initial_competences(seed);
+        let fresh = || {
+            LiveEngine::new(vec![Action::Vote; n], competences.clone()).map_err(|e| {
+                SimError::Config {
+                    reason: format!("bench engine: {e}"),
+                }
+            })
+        };
+        let mut live = fresh()?;
+        let count = iters(20_000) as usize;
+        let mut i = 0usize;
+        out.push(time_iters("live_update", n, count as u64, || {
+            let _ = live.apply(updates[i % updates.len()]);
+            i += 1;
+        }));
+        let mut live = fresh()?;
+        let batches = iters(300) as usize;
+        let mut b = 0usize;
+        out.push(time_iters("live_batch64", n, batches as u64, || {
+            let start = (b * 64) % (updates.len() - 64);
+            let _ = live.apply_batch(&updates[start..start + 64]);
+            b += 1;
+        }));
+    }
+
+    // graph_regular: random d-regular generation, n = 2048.
+    {
+        let n = 2048;
+        let mut rng = stream_rng(seed, 0xBE_EF);
+        out.push(time_iters("graph_regular", n, iters(50), || {
+            ld_graph::generators::random_regular(n, 8, &mut rng).expect("feasible degree");
+        }));
+    }
+
+    Ok(out)
+}
+
+/// Multiplies every timing field by `factor` — a maintenance hook
+/// (`repro bench-baseline --slowdown X`) to demonstrate that the CI
+/// gate really fails on a synthetic regression.
+pub fn apply_slowdown(results: &mut [BenchResult], factor: f64) {
+    for r in results.iter_mut() {
+        r.ns_per_iter *= factor;
+        r.p50 *= factor;
+        r.p99 *= factor;
+    }
+}
+
+/// Serializes results to the flat `BENCH_*.json` schema.
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\":\"{}\",\"n\":{},\"iters\":{},\"ns_per_iter\":{:.1},\"p50\":{:.1},\"p99\":{:.1}}}{}\n",
+            r.bench,
+            r.n,
+            r.iters,
+            r.ns_per_iter,
+            r.p50,
+            r.p99,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the flat `BENCH_*.json` schema written by [`to_json`].
+///
+/// Hand-rolled (no `serde_json`) by design: the schema is flat, one
+/// object per bench, no nesting — see the module docs.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for text that does not follow the
+/// schema.
+pub fn parse_json(text: &str) -> Result<Vec<BenchResult>> {
+    let bad = |why: &str| SimError::Config {
+        reason: format!("bench json: {why}"),
+    };
+    let (_, body) = text
+        .split_once("\"benches\"")
+        .ok_or_else(|| bad("missing \"benches\" key"))?;
+    let mut out = Vec::new();
+    for raw in body.split('{').skip(1) {
+        let obj = raw.split('}').next().unwrap_or("");
+        let mut bench = None;
+        let mut n = None;
+        let mut iters = None;
+        let mut ns_per_iter = None;
+        let mut p50 = None;
+        let mut p99 = None;
+        for pair in obj.split(',') {
+            let Some((key, value)) = pair.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            match key {
+                "bench" => bench = Some(value.trim_matches('"').to_string()),
+                "n" => n = value.parse::<usize>().ok(),
+                "iters" => iters = value.parse::<u64>().ok(),
+                "ns_per_iter" => ns_per_iter = value.parse::<f64>().ok(),
+                "p50" => p50 = value.parse::<f64>().ok(),
+                "p99" => p99 = value.parse::<f64>().ok(),
+                _ => {}
+            }
+        }
+        out.push(BenchResult {
+            bench: bench.ok_or_else(|| bad("bench entry without a name"))?,
+            n: n.ok_or_else(|| bad("bench entry without n"))?,
+            iters: iters.ok_or_else(|| bad("bench entry without iters"))?,
+            ns_per_iter: ns_per_iter.ok_or_else(|| bad("bench entry without ns_per_iter"))?,
+            p50: p50.unwrap_or(0.0),
+            p99: p99.unwrap_or(0.0),
+        });
+    }
+    if out.is_empty() {
+        return Err(bad("no bench entries"));
+    }
+    Ok(out)
+}
+
+/// Reads a `BENCH_*.json` file.
+///
+/// # Errors
+///
+/// I/O errors reading the file, [`SimError::Config`] for malformed
+/// content.
+pub fn read_file(path: &Path) -> Result<Vec<BenchResult>> {
+    parse_json(&std::fs::read_to_string(path)?)
+}
+
+/// Writes results to a `BENCH_*.json` file.
+///
+/// # Errors
+///
+/// I/O errors writing the file.
+pub fn write_file(results: &[BenchResult], path: &Path) -> Result<()> {
+    std::fs::write(path, to_json(results))?;
+    Ok(())
+}
+
+/// Compares `new` against the `old` baseline: a bench regresses when
+/// its mean ns/iter grows beyond `1 + tolerance` times the baseline.
+/// Benches present on only one side are skipped. Returns the
+/// regressions plus the number of benches actually compared.
+pub fn compare(
+    old: &[BenchResult],
+    new: &[BenchResult],
+    tolerance: f64,
+) -> (Vec<Regression>, usize) {
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for o in old {
+        let Some(n) = new.iter().find(|r| r.bench == o.bench) else {
+            continue;
+        };
+        compared += 1;
+        if o.ns_per_iter <= 0.0 {
+            continue;
+        }
+        let ratio = n.ns_per_iter / o.ns_per_iter;
+        if ratio > 1.0 + tolerance {
+            regressions.push(Regression {
+                bench: o.bench.clone(),
+                old_ns: o.ns_per_iter,
+                new_ns: n.ns_per_iter,
+                ratio,
+            });
+        }
+    }
+    (regressions, compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BenchResult> {
+        vec![
+            BenchResult {
+                bench: "resolve".to_string(),
+                n: 10_000,
+                iters: 200,
+                ns_per_iter: 1000.0,
+                p50: 950.0,
+                p99: 1200.0,
+            },
+            BenchResult {
+                bench: "live_update".to_string(),
+                n: 10_000,
+                iters: 20_000,
+                ns_per_iter: 800.0,
+                p50: 700.0,
+                p99: 2000.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip_without_serde() {
+        let results = sample();
+        let back = parse_json(&to_json(&results)).unwrap();
+        assert_eq!(back, results);
+    }
+
+    #[test]
+    fn malformed_json_is_a_config_error() {
+        assert!(parse_json("{}").is_err());
+        assert!(parse_json("{\"benches\": []}").is_err());
+        assert!(parse_json("{\"benches\": [{\"n\":3}]}").is_err());
+    }
+
+    #[test]
+    fn synthetic_two_x_slowdown_fails_the_gate() {
+        let old = sample();
+        let mut new = sample();
+        apply_slowdown(&mut new, 2.0);
+        let (regressions, compared) = compare(&old, &new, DEFAULT_TOLERANCE);
+        assert_eq!(compared, 2);
+        assert_eq!(regressions.len(), 2, "every bench doubled");
+        assert!((regressions[0].ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_missing_benches_skip() {
+        let old = sample();
+        let mut new = sample();
+        for r in new.iter_mut() {
+            r.ns_per_iter *= 1.2; // +20% < 30% tolerance
+        }
+        new.remove(1);
+        new.push(BenchResult {
+            bench: "brand_new".to_string(),
+            n: 1,
+            iters: 1,
+            ns_per_iter: 5.0,
+            p50: 5.0,
+            p99: 5.0,
+        });
+        let (regressions, compared) = compare(&old, &new, DEFAULT_TOLERANCE);
+        assert!(regressions.is_empty());
+        assert_eq!(compared, 1, "only the shared bench is compared");
+    }
+
+    #[test]
+    fn quick_baseline_produces_all_benches() {
+        let results = run_baseline(7, true).unwrap();
+        let names: Vec<&str> = results.iter().map(|r| r.bench.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "resolve",
+                "tally_exact",
+                "estimate_gain_seq",
+                "estimate_gain_par2",
+                "live_update",
+                "live_batch64",
+                "graph_regular"
+            ]
+        );
+        for r in &results {
+            assert!(r.ns_per_iter > 0.0, "{}: zero timing", r.bench);
+            assert!(r.iters > 0);
+        }
+    }
+}

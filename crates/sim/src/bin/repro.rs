@@ -10,6 +10,9 @@
 //! repro --resume results/checkpoints/repro-seed<seed>-full.json
 //! repro stress --n 100000 --updates 1000000   # live-engine churn driver
 //! repro conformance --quick    # differential/metamorphic conformance gate
+//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_4.json
+//! repro bench-compare OLD NEW  # fail on >30% ns/iter regression
+//! repro all --obs-summary      # append the ld-obs metrics table
 //! ```
 //!
 //! Runs are fault tolerant: each experiment executes under panic
@@ -40,6 +43,8 @@ struct Args {
     max_wall: Option<f64>,
     max_retries: u32,
     fail_fast: bool,
+    obs_summary: bool,
+    obs_jsonl: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         max_wall: None,
         max_retries: 2,
         fail_fast: false,
+        obs_summary: false,
+        obs_jsonl: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -97,12 +104,19 @@ fn parse_args() -> Result<Args, String> {
                 args.max_retries = v.parse().map_err(|_| format!("bad retry count {v:?}"))?;
             }
             "--fail-fast" => args.fail_fast = true,
+            "--obs-summary" => args.obs_summary = true,
+            "--obs-jsonl" => {
+                let v = iter.next().ok_or("--obs-jsonl needs a path")?;
+                args.obs_jsonl = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--list] [--quick] [--seed N] [--workers N] [--json PATH] \
                      [--csv-dir DIR] [--resume CKPT] [--checkpoint-dir DIR] [--no-checkpoint] \
                      [--max-wall SECS] [--max-retries N] [--fail-fast] \
-                     <id>... | all | verify | sweep ... | stress ... | conformance ..."
+                     [--obs-summary] [--obs-jsonl PATH] \
+                     <id>... | all | verify | sweep ... | stress ... | conformance ... \
+                     | bench-baseline ... | bench-compare OLD NEW"
                 );
                 std::process::exit(0);
             }
@@ -272,6 +286,8 @@ fn run_stress_command() -> ExitCode {
     let mut seed = ExperimentConfig::default().seed;
     let mut zipf: Option<f64> = None;
     let mut mix: Option<String> = None;
+    let mut obs_summary = false;
+    let mut obs_jsonl: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 0;
     while i < argv.len() {
@@ -283,6 +299,12 @@ fn run_stress_command() -> ExitCode {
             "--seed" => seed = next(i).and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--zipf" => zipf = next(i).and_then(|v| v.parse().ok()),
             "--mix" => mix = next(i).cloned(),
+            "--obs-summary" => {
+                obs_summary = true;
+                i += 1;
+                continue;
+            }
+            "--obs-jsonl" => obs_jsonl = next(i).map(PathBuf::from),
             _ => {
                 i += 1;
                 continue;
@@ -291,7 +313,7 @@ fn run_stress_command() -> ExitCode {
         i += 2;
     }
     let usage = "usage: repro stress --n <voters> --updates <count> [--batch K] [--seed S] \
-                 [--zipf S] [--mix delegate,vote,abstain]";
+                 [--zipf S] [--mix delegate,vote,abstain] [--obs-summary] [--obs-jsonl PATH]";
     let (Some(n), Some(updates)) = (n, updates) else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -365,6 +387,7 @@ fn run_stress_command() -> ExitCode {
     match outcome {
         Ok((table, replicas_agree)) => {
             print!("{}", table.to_text());
+            emit_obs(obs_summary, obs_jsonl.as_deref());
             // run_churn has already verified incremental == from-scratch
             // for each replica; here we add the stream-vs-batch check.
             println!("cross-check: incremental == from-scratch resolve: ok (both replicas)");
@@ -559,6 +582,200 @@ impl ld_core::mechanisms::Mechanism for PanicInjection {
     }
 }
 
+/// Emits the ld-obs sinks requested on the command line: the human
+/// summary table on stdout and/or the JSONL event stream to a file.
+/// With default features both sinks render empty (the summary carries a
+/// note saying how to enable collection).
+fn emit_obs(obs_summary: bool, obs_jsonl: Option<&std::path::Path>) {
+    if !obs_summary && obs_jsonl.is_none() {
+        return;
+    }
+    let snap = ld_obs::snapshot();
+    if obs_summary {
+        print!(
+            "{}",
+            ld_sim::obs_report::summary_table(&snap, false).to_text()
+        );
+    }
+    if let Some(path) = obs_jsonl {
+        match ld_sim::obs_report::write_jsonl(&snap, path) {
+            Ok(()) => eprintln!("obs events written to {}", path.display()),
+            Err(e) => eprintln!("error: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Handles `repro bench-baseline [--quick] [--out PATH] [--seed N]
+/// [--slowdown X]`: runs the pinned perf micro-suite and writes the
+/// `BENCH_*.json` baseline (default `BENCH_4.json`). `--slowdown X` is a
+/// maintenance hook that multiplies the recorded timings, for
+/// demonstrating that the CI comparison gate really fails.
+fn run_bench_baseline_command() -> ExitCode {
+    use ld_sim::bench;
+    use ld_sim::table::Table;
+
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_4.json");
+    let mut seed: u64 = 0x1DDE_BEAC;
+    let mut slowdown: Option<f64> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let usage = "usage: repro bench-baseline [--quick] [--out PATH] [--seed N] [--slowdown X]";
+    let mut i = 2;
+    while i < argv.len() {
+        let next = |i: usize| -> Option<&String> { argv.get(i + 1) };
+        match argv[i].as_str() {
+            "--quick" | "-q" => {
+                quick = true;
+                i += 1;
+                continue;
+            }
+            "--out" => match next(i) {
+                Some(v) => out = PathBuf::from(v),
+                None => {
+                    eprintln!("--out needs a path\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" | "-s" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("bad or missing --seed value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--slowdown" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) => slowdown = Some(v),
+                None => {
+                    eprintln!("bad or missing --slowdown value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown bench-baseline argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    eprintln!(
+        "bench-baseline: {} suite, seed {seed} ...",
+        if quick { "quick" } else { "full" }
+    );
+    let mut results = match bench::run_baseline(seed, quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(factor) = slowdown {
+        bench::apply_slowdown(&mut results, factor);
+        eprintln!("warning: timings multiplied by {factor} (--slowdown maintenance hook)");
+    }
+    let mut table = Table::new(
+        "Perf baseline (pinned micro-suite)",
+        &["bench", "n", "iters", "ns/iter", "p50 ns", "p99 ns"],
+    );
+    for r in &results {
+        table.push([
+            r.bench.as_str().into(),
+            r.n.into(),
+            (r.iters as i64).into(),
+            r.ns_per_iter.into(),
+            r.p50.into(),
+            r.p99.into(),
+        ]);
+    }
+    print!("{}", table.to_text());
+    match bench::write_file(&results, &out) {
+        Ok(()) => {
+            eprintln!("baseline written to {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Handles `repro bench-compare OLD NEW [--tolerance T]`: exits non-zero
+/// when any bench present in both files regressed beyond the tolerance
+/// (default +30% mean ns/iter).
+fn run_bench_compare_command() -> ExitCode {
+    use ld_sim::bench;
+
+    let usage = "usage: repro bench-compare OLD.json NEW.json [--tolerance T]";
+    let mut tolerance = bench::DEFAULT_TOLERANCE;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tolerance" => match argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    tolerance = v;
+                    i += 2;
+                }
+                None => {
+                    eprintln!("bad or missing --tolerance value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("unknown bench-compare argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                files.push(PathBuf::from(other));
+                i += 1;
+            }
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let loaded = (|| -> ld_sim::Result<_> {
+        Ok((bench::read_file(old_path)?, bench::read_file(new_path)?))
+    })();
+    let (old, new) = match loaded {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (regressions, compared) = bench::compare(&old, &new, tolerance);
+    if compared == 0 {
+        println!(
+            "bench-compare: no overlapping benches between {} and {}; nothing to gate",
+            old_path.display(),
+            new_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if regressions.is_empty() {
+        println!(
+            "bench-compare: PASS ({compared} bench(es) within {:.0}% of baseline)",
+            tolerance * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "bench-compare: {} REGRESSION(S) (tolerance +{:.0}%):",
+        regressions.len(),
+        tolerance * 100.0
+    );
+    for r in &regressions {
+        eprintln!(
+            "  {}: {:.0} ns/iter -> {:.0} ns/iter ({:.2}x)",
+            r.bench, r.old_ns, r.new_ns, r.ratio
+        );
+    }
+    ExitCode::FAILURE
+}
+
 fn report_quarantine(entries: &[QuarantineEntry]) {
     if entries.is_empty() {
         return;
@@ -601,6 +818,20 @@ fn main() -> ExitCode {
     // And the conformance gate (differential/metamorphic test suite).
     if std::env::args().nth(1).is_some_and(|a| a == "conformance") {
         return run_conformance_command();
+    }
+
+    // Perf-baseline recording and the CI regression gate.
+    if std::env::args()
+        .nth(1)
+        .is_some_and(|a| a == "bench-baseline")
+    {
+        return run_bench_baseline_command();
+    }
+    if std::env::args()
+        .nth(1)
+        .is_some_and(|a| a == "bench-compare")
+    {
+        return run_bench_compare_command();
     }
 
     let args = match parse_args() {
@@ -683,6 +914,7 @@ fn main() -> ExitCode {
         match ld_sim::verify::verify_all(&cfg) {
             Ok(verdicts) => {
                 print!("{}", ld_sim::verify::to_table(&verdicts).to_text());
+                emit_obs(args.obs_summary, args.obs_jsonl.as_deref());
                 let failed = verdicts.iter().filter(|v| !v.pass).count();
                 if failed > 0 {
                     eprintln!("{failed} claim(s) FAILED");
@@ -807,6 +1039,7 @@ fn main() -> ExitCode {
     }
 
     report_quarantine(&quarantine);
+    emit_obs(args.obs_summary, args.obs_jsonl.as_deref());
     let incomplete = results.iter().filter(|r| !r.status.is_complete()).count();
     if incomplete > 0 {
         eprintln!(

@@ -161,6 +161,8 @@ impl SweepCheckpoint {
 /// Returns [`SimError::Checkpoint`] on serialization failure and
 /// [`SimError::Io`] on filesystem failure.
 pub fn save<T: Serialize>(value: &T, path: &Path) -> Result<()> {
+    let _span = ld_obs::span("checkpoint.save_ns");
+    ld_obs::counter("checkpoint.saves").incr();
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -183,6 +185,8 @@ pub fn save<T: Serialize>(value: &T, path: &Path) -> Result<()> {
 /// Returns [`SimError::Io`] if the file cannot be read and
 /// [`SimError::Checkpoint`] for malformed JSON or a version mismatch.
 pub fn load<T: DeserializeOwned>(path: &Path) -> Result<T> {
+    let _span = ld_obs::span("checkpoint.load_ns");
+    ld_obs::counter("checkpoint.loads").incr();
     let text = std::fs::read_to_string(path)?;
     let value: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| SimError::Checkpoint {
@@ -244,6 +248,7 @@ mod tests {
             point: "n=16".into(),
             seed: 7,
             attempt: 0,
+            trials: 8,
             message: "boom".into(),
         });
         let path = tmp("roundtrip.json");

@@ -106,13 +106,16 @@ impl Engine {
         mechanism: &(dyn Mechanism + Sync),
         trials: u64,
     ) -> Result<GainEstimate> {
+        let _span = ld_obs::span("engine.estimate_gain_ns");
         let workers = self.workers.min(trials.max(1) as usize).max(1);
         if workers == 1 {
             let mut est = empty_estimate(instance, self.tie)?;
             let mut rng = stream_rng(self.seed, 0);
+            let mut guard = ld_obs::TrialGuard::new("engine.trials", trials);
             for _ in 0..trials {
                 let dg = mechanism.run(instance, &mut rng);
                 accumulate_draw(instance, &dg, self.tie, &mut rng, &mut est)?;
+                guard.note_done();
             }
             return Ok(est);
         }
@@ -127,6 +130,7 @@ impl Engine {
                 let tie = self.tie;
                 let seed = self.seed;
                 scope.spawn(move |_| {
+                    let _batch_span = ld_obs::span("engine.worker_batch_ns");
                     let mut rng = stream_rng(seed, w as u64);
                     let mut local = match empty_estimate(instance, tie) {
                         Ok(e) => e,
@@ -135,12 +139,18 @@ impl Engine {
                             return;
                         }
                     };
+                    // The guard's Drop flushes finished/lost counts even if
+                    // `mechanism.run` panics mid-batch, so
+                    // `engine.trials.started == finished + lost` always
+                    // reconciles.
+                    let mut guard = ld_obs::TrialGuard::new("engine.trials", share);
                     for _ in 0..share {
                         let dg = mechanism.run(instance, &mut rng);
                         if let Err(e) = accumulate_draw(instance, &dg, tie, &mut rng, &mut local) {
                             *failure.lock() = Some(e);
                             return;
                         }
+                        guard.note_done();
                     }
                     combined.lock().merge(&local);
                 });

@@ -114,4 +114,29 @@ mod tests {
         let n = 120.0;
         assert!(t.value(rows - 1, 4).unwrap() > 0.3 * n);
     }
+
+    #[test]
+    fn weight_concentration_tracks_asymmetry() {
+        // Seeded smoke test: shrinking the elite concentrates voting
+        // weight — the max sink weight ends far above its mild-elite
+        // starting point, and the (already high, greedy-driven) weight
+        // gini never falls.
+        let cfg = ExperimentConfig::quick(0xA5);
+        let t = &run(&cfg).unwrap()[0];
+        let rows = t.rows().len();
+        assert_eq!(rows, 6);
+        let max_first = t.value(0, 4).unwrap();
+        let max_last = t.value(rows - 1, 4).unwrap();
+        assert!(
+            max_last > 2.0 * max_first,
+            "hub weight should concentrate: {max_first} → {max_last}"
+        );
+        let gini_first = t.value(0, 5).unwrap();
+        let gini_last = t.value(rows - 1, 5).unwrap();
+        assert!((0.0..=1.0).contains(&gini_last));
+        assert!(
+            gini_last >= gini_first - 0.02,
+            "weight gini should not fall with asymmetry: {gini_first} → {gini_last}"
+        );
+    }
 }

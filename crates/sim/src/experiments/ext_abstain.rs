@@ -79,4 +79,24 @@ mod tests {
         );
         assert!(abst[0] == 0.0);
     }
+
+    #[test]
+    fn same_seed_reproduces_identical_tables() {
+        // Seeded smoke test: the whole experiment is a pure function of
+        // the config, so rerunning it must be bit-identical — the
+        // property `repro --resume` and the obs layer both rely on.
+        let cfg = ExperimentConfig::quick(0xAB57);
+        let a = &run(&cfg).unwrap()[0];
+        let b = &run(&cfg).unwrap()[0];
+        assert_eq!(a.rows().len(), b.rows().len());
+        for col in 0..5 {
+            let (va, vb) = (a.column_values(col), b.column_values(col));
+            for (x, y) in va.iter().zip(&vb) {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "col {col} diverged across identical runs"
+                );
+            }
+        }
+    }
 }

@@ -117,4 +117,24 @@ mod tests {
             assert!(gain > -0.1, "row {r}: harmed with gain {gain}");
         }
     }
+
+    #[test]
+    fn seeded_run_covers_both_networks_and_mechanisms() {
+        // Seeded smoke test: the quick grid is 2 networks x 2 sizes x
+        // 2 mechanisms = 8 rows, every measured column is finite, and
+        // the same seed reproduces the same gains bit-for-bit.
+        let cfg = ExperimentConfig::quick(0x2E75);
+        let t = &run(&cfg).unwrap()[0];
+        assert_eq!(t.rows().len(), 8);
+        for r in 0..t.rows().len() {
+            for c in [2usize, 4, 6, 7] {
+                let v = t.value(r, c).unwrap();
+                assert!(v.is_finite(), "row {r} col {c} not finite");
+            }
+        }
+        let again = &run(&cfg).unwrap()[0];
+        for (x, y) in t.column_values(6).iter().zip(&again.column_values(6)) {
+            assert!(x.to_bits() == y.to_bits(), "gain diverged across runs");
+        }
+    }
 }

@@ -172,4 +172,20 @@ mod tests {
             "star should underperform K_n on some distribution"
         );
     }
+
+    #[test]
+    fn verdicts_are_probabilities_on_the_full_grid() {
+        // Seeded smoke test: 3 graphs x 5 distributions = 15 rows, and
+        // the Halpern-style verdict columns are genuine probabilities.
+        let cfg = ExperimentConfig::quick(0x9B0B);
+        let t = &run(&cfg).unwrap()[0];
+        assert_eq!(t.rows().len(), 15);
+        for r in 0..t.rows().len() {
+            let p_pos = t.value(r, 3).unwrap();
+            let p_harm = t.value(r, 4).unwrap();
+            assert!((0.0..=1.0).contains(&p_pos), "row {r}: P[gain>0] {p_pos}");
+            assert!((0.0..=1.0).contains(&p_harm), "row {r}: P[harm] {p_harm}");
+            assert!(t.value(r, 2).unwrap().is_finite());
+        }
+    }
 }

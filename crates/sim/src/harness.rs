@@ -84,16 +84,34 @@ pub struct QuarantineEntry {
     pub seed: u64,
     /// Attempt number (0 = first, deterministic attempt).
     pub attempt: u32,
+    /// Trials requested from the failing attempt (0 when the failure
+    /// happened before any trial ran, e.g. in instance generation).
+    #[serde(default)]
+    pub trials: u64,
     /// The captured panic payload or error message.
     pub message: String,
+}
+
+impl QuarantineEntry {
+    /// A one-line command that re-runs the failing unit in isolation
+    /// (same shape as the testkit's conformance repro lines).
+    pub fn repro_command(&self) -> String {
+        format!("repro {} --seed {} --workers 1", self.run_id, self.seed)
+    }
 }
 
 impl std::fmt::Display for QuarantineEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} {} (seed {:#x}, attempt {}): {}",
-            self.run_id, self.point, self.seed, self.attempt, self.message
+            "{} {} (seed {:#x}, attempt {}, {} trial(s)): {} [{}]",
+            self.run_id,
+            self.point,
+            self.seed,
+            self.attempt,
+            self.trials,
+            self.message,
+            self.repro_command()
         )
     }
 }
@@ -314,6 +332,7 @@ impl Harness {
         trials: u64,
     ) -> PointOutcome {
         if self.wall_expired() {
+            ld_obs::counter("harness.budget_expired").incr();
             return PointOutcome {
                 estimate: None,
                 status: PointStatus::Truncated { trials_done: 0 },
@@ -325,9 +344,11 @@ impl Harness {
             if cap < trials {
                 requested = cap;
                 truncated = true;
+                ld_obs::counter("harness.truncated").incr();
             }
         }
         if requested < self.budget.min_trials_for_report {
+            ld_obs::counter("harness.degraded").incr();
             return PointOutcome {
                 estimate: None,
                 status: PointStatus::Degraded {
@@ -365,17 +386,23 @@ impl Harness {
                 Ok(Err(err)) => last_message = err.to_string(),
                 Err(payload) => last_message = panic_message(&*payload),
             }
+            ld_obs::counter("harness.quarantined").incr();
+            if attempt > 0 {
+                ld_obs::counter("harness.retries").incr();
+            }
             self.quarantine.push(QuarantineEntry {
                 run_id: run_id.to_string(),
                 point: point.to_string(),
                 seed: e.seed(),
                 attempt,
+                trials: requested,
                 message: last_message.clone(),
             });
             if self.wall_expired() {
                 break;
             }
         }
+        ld_obs::counter("harness.degraded").incr();
         PointOutcome {
             estimate: None,
             status: PointStatus::Degraded {
@@ -437,11 +464,16 @@ impl Harness {
                 Ok(Err(err)) => last_message = err.to_string(),
                 Err(payload) => last_message = panic_message(&*payload),
             }
+            ld_obs::counter("harness.quarantined").incr();
+            if attempt > 0 {
+                ld_obs::counter("harness.retries").incr();
+            }
             self.quarantine.push(QuarantineEntry {
                 run_id: run_id.to_string(),
                 point: point_label.clone(),
                 seed,
                 attempt,
+                trials: 0,
                 message: format!("instance generation: {last_message}"),
             });
         }
@@ -493,10 +525,15 @@ pub fn run_sweep_fault_tolerant(
     let mut points: Vec<PointResult> = Vec::with_capacity(sizes.len());
     for (index, &n) in sizes.iter().enumerate() {
         if let Some(done) = prior.iter().find(|p| p.index == index && p.n == n) {
+            ld_obs::counter("sweep.cells_resumed").incr();
             points.push(done.clone());
             continue;
         }
-        let point = harness.run_indexed_point(run_id, engine, family, mechanism, index, n, trials);
+        let point = {
+            let _cell_span = ld_obs::span("sweep.cell_ns");
+            harness.run_indexed_point(run_id, engine, family, mechanism, index, n, trials)
+        };
+        ld_obs::counter("sweep.cells").incr();
         points.push(point);
         on_point(&points, harness.quarantine())?;
     }

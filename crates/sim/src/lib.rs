@@ -41,11 +41,13 @@
 
 mod error;
 
+pub mod bench;
 pub mod checkpoint;
 pub mod conformance;
 pub mod engine;
 pub mod experiments;
 pub mod harness;
+pub mod obs_report;
 pub mod report;
 pub mod sweep;
 pub mod table;

@@ -78,6 +78,7 @@ pub fn run_experiment_isolated(
             point: info.paper_ref.to_string(),
             seed: attempt_cfg.seed,
             attempt,
+            trials: 0,
             message: last_message.clone(),
         });
     }

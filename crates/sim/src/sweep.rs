@@ -360,6 +360,7 @@ impl SweepSpec {
 ///
 /// Propagates generation and engine errors.
 pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> Result<Table> {
+    let _span = ld_obs::span("sweep.run_ns");
     let mechanism = spec.mechanism.build()?;
     let family = |n: usize, seed: u64| spec.instance(n, seed);
     gain_sweep(
@@ -421,6 +422,7 @@ pub fn run_sweep_resumable_with(
     checkpoint_path: Option<&Path>,
     resume: Option<SweepCheckpoint>,
 ) -> Result<SweepOutcome> {
+    let _span = ld_obs::span("sweep.run_ns");
     let prior = match resume {
         Some(ck) => {
             ck.check_matches(spec, engine.seed(), engine.workers())?;

@@ -223,12 +223,14 @@ fn run_cell(
         }
     };
     rep.cells += 1;
+    ld_obs::counter("testkit.instances").incr();
     for check in CheckId::all() {
         if let Some(o) = only {
             if o != check {
                 continue;
             }
         }
+        let _check_span = ld_obs::span(&format!("testkit.check.{}_ns", check.id()));
         match checks::run_check(check, &case, ctx) {
             CheckOutcome::Pass => rep.checks_run += 1,
             CheckOutcome::Skip(_) => rep.checks_skipped += 1,

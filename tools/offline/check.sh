@@ -34,4 +34,11 @@ cargo "${CFG[@]}" check --offline --workspace --all-targets
 echo "== offline: cargo test (workspace, release)"
 cargo "${CFG[@]}" test --offline --workspace --release -q -- "${SERDE_JSON_SKIPS[@]}"
 
+echo "== offline: cargo check (ld-sim, all targets, --features obs)"
+cargo "${CFG[@]}" check --offline -p ld-sim --all-targets --features obs
+
+echo "== offline: cargo test (ld-obs enabled + instrumented ld-sim, release)"
+cargo "${CFG[@]}" test --offline -p ld-obs --features enabled --release -q
+cargo "${CFG[@]}" test --offline -p ld-sim --features obs --release -q -- "${SERDE_JSON_SKIPS[@]}"
+
 echo "== offline: all checks passed ($(( ${#SERDE_JSON_SKIPS[@]} / 2 )) serde_json-dependent tests skipped)"
