@@ -29,6 +29,20 @@ if ./target/release/repro conformance --quick --no-corpus \
   exit 1
 fi
 
+echo "==> CSR kernel differential gate (csr-resolve-oracle + csr-tally-oracle vs naive oracles)"
+./target/release/repro conformance --quick --only csr-resolve-oracle
+./target/release/repro conformance --quick --only csr-tally-oracle
+
+echo "==> CSR mutation smoke (injected csr-offset skew MUST be detected)"
+if ./target/release/repro conformance --quick --no-corpus \
+    --mutate csr-offset >/dev/null 2>&1; then
+  echo "ERROR: injected csr-offset mutation was not detected — the CSR checks have no teeth" >&2
+  exit 1
+fi
+
+echo "==> scheduler determinism (bit-identity across worker counts)"
+cargo test -q -p ld-sim --test scheduler_determinism
+
 echo "==> golden snapshot tests (rendering stability)"
 cargo test -q -p ld-sim --test snapshot_report
 

@@ -1,0 +1,639 @@
+//! Flat CSR (compressed sparse row) kernels for the resolution/tally hot
+//! path.
+//!
+//! [`DelegationGraph::resolve`] returns a [`Resolution`] that owns four
+//! freshly-allocated vectors per call — fine for one-shot callers, fatal
+//! for Monte Carlo loops that resolve millions of mechanism draws. This
+//! module provides the allocation-free alternative: a [`CsrForest`] holds
+//! one reusable `u32` arena laid out as
+//!
+//! ```text
+//!         0 ────────── n ──────────── 2n+1 ─────────── 2n+1+tallied
+//! arena = [ sink_of .. | offsets .... | members ......]
+//!           n words      n+1 words      tallied words
+//! ```
+//!
+//! * `sink_of[i]` — the sink that casts voter `i`'s vote, or
+//!   [`DISCARDED`] when the chain ends at an abstainer;
+//! * `offsets[s] .. offsets[s+1]` — the half-open member range of sink
+//!   `s` in the `members` section, so `weight(s)` is just the difference
+//!   of two adjacent words (no separate weight array);
+//! * `members` — voter ids grouped by sink (a counting sort of
+//!   `sink_of`), i.e. the full subtree carried by each sink.
+//!
+//! [`CsrForest::resolve`] is an iterative chase with path memoisation —
+//! semantically identical to [`DelegationGraph::resolve`] (same error
+//! kinds in the same precedence, self-delegation counts as voting) but it
+//! writes straight into the arena and never allocates once the buffers
+//! have grown to the working size. [`CsrForest::fold_weighted_coins`] is
+//! the structure-of-arrays tally kernel: one branch-light pass over the
+//! offsets section folding a coin vector against the implied weights.
+//!
+//! The differential conformance suite (`ld-testkit`'s `csr-*-oracle`
+//! checks) pins this module against the naive recursive oracles on the
+//! full seeded grid; [`CsrForest::skew_offsets_for_tests`] exists so the
+//! suite can prove a deliberate off-by-one in the offsets section is
+//! actually caught.
+
+use crate::delegation::{Action, DelegationGraph, Resolution};
+use crate::error::{CoreError, Result};
+use crate::instance::ProblemInstance;
+use crate::tally::TieBreak;
+use ld_prob::poisson_binomial::WeightedBernoulliSum;
+
+/// Sentinel in the `sink_of` section: the voter's chain reached an
+/// abstainer and the vote is discarded.
+pub const DISCARDED: u32 = u32::MAX;
+
+/// Sentinel used only *during* a resolve: the voter has not been chased
+/// yet. Never visible after [`CsrForest::resolve`] returns.
+const UNRESOLVED: u32 = u32::MAX - 1;
+
+/// A resolved delegation forest in CSR form, plus the scratch buffers the
+/// resolve itself needs. One instance serves an unbounded stream of
+/// resolutions of any sizes; buffers only ever grow.
+///
+/// # Examples
+///
+/// ```
+/// use ld_core::csr::CsrForest;
+/// use ld_core::delegation::{Action, DelegationGraph};
+///
+/// let dg = DelegationGraph::new(vec![
+///     Action::Delegate(2),
+///     Action::Delegate(2),
+///     Action::Vote,
+/// ]);
+/// let mut forest = CsrForest::new();
+/// forest.resolve(&dg)?;
+/// assert_eq!(forest.weight_of(2), 3);
+/// assert_eq!(forest.members_of(2), &[0, 1, 2]);
+/// assert_eq!(forest.sink_of(0), Some(2));
+/// # Ok::<(), ld_core::CoreError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CsrForest {
+    /// `[sink_of: n][offsets: n+1][members: tallied]`.
+    arena: Vec<u32>,
+    /// Voters in the currently-held resolution.
+    n: usize,
+    /// Votes discarded through abstention.
+    discarded: usize,
+    /// Delegating voters (single or multi; mirrors
+    /// [`DelegationGraph::delegator_count`]).
+    delegators: usize,
+    /// Longest delegation chain in edges.
+    longest_chain: usize,
+    /// Maximum weight of any sink.
+    max_weight: usize,
+    /// Number of sinks (voters with positive weight).
+    sink_count: usize,
+    /// Largest `n` ever resolved — the scratch-reuse high-water mark.
+    cap_n: usize,
+    /// Chase stack (voters on the current delegation path).
+    stack: Vec<u32>,
+    /// Per-voter chain depth in edges.
+    depth: Vec<u32>,
+    /// Sorted-weights buffer for [`CsrForest::weight_gini`].
+    gini: Vec<usize>,
+    /// `(weight, competency)` buffer for
+    /// [`CsrForest::exact_correct_probability`].
+    terms: Vec<(usize, f64)>,
+}
+
+impl CsrForest {
+    /// An empty forest; buffers grow on first use.
+    pub fn new() -> Self {
+        CsrForest::default()
+    }
+
+    /// A forest with buffers pre-sized for `n`-voter graphs.
+    pub fn with_capacity(n: usize) -> Self {
+        CsrForest {
+            arena: Vec::with_capacity(3 * n + 1),
+            stack: Vec::with_capacity(n),
+            depth: Vec::with_capacity(n),
+            cap_n: n,
+            ..CsrForest::default()
+        }
+    }
+
+    /// Whether resolving an `n`-voter graph reuses the existing buffers
+    /// without growing them — the scheduler's scratch-reuse signal.
+    pub fn fits(&self, n: usize) -> bool {
+        n <= self.cap_n
+    }
+
+    /// Resolves `dg` into the arena, replacing any previous contents.
+    ///
+    /// Semantics match [`DelegationGraph::resolve`] exactly: the same
+    /// error kinds in the same precedence (`DelegateMany` first, then
+    /// out-of-range targets in voter order, then cycles), self-delegation
+    /// counts as voting, chains into abstainers are discarded.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if the graph contains
+    ///   [`Action::DelegateMany`] or has `u32::MAX - 1` voters or more.
+    /// * [`CoreError::DelegationTargetOutOfRange`] for the first voter
+    ///   whose target is `>= n`.
+    /// * [`CoreError::CyclicDelegation`] if delegations form a cycle.
+    pub fn resolve(&mut self, dg: &DelegationGraph) -> Result<()> {
+        if !dg.is_single_target() {
+            return Err(CoreError::InvalidParameter {
+                reason: "resolve requires single-target delegations; \
+                         use tally::sample_decision for weighted-majority graphs"
+                    .to_string(),
+            });
+        }
+        dg.validate_targets()?;
+        let actions = dg.actions();
+        let n = actions.len();
+        if n >= UNRESOLVED as usize {
+            return Err(CoreError::InvalidParameter {
+                reason: format!(
+                    "CSR resolve supports at most {} voters, got {n}",
+                    UNRESOLVED
+                ),
+            });
+        }
+        self.n = n;
+        self.cap_n = self.cap_n.max(n);
+        self.arena.clear();
+        self.arena.resize(3 * n + 1, 0);
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        let (sink_of, rest) = self.arena.split_at_mut(n);
+        sink_of.fill(UNRESOLVED);
+
+        // Phase 1: iterative chase with path memoisation, mirroring
+        // `DelegationGraph::resolve_with`.
+        let mut delegators = 0usize;
+        let mut discarded = 0usize;
+        for start in 0..n {
+            if matches!(actions[start], Action::Delegate(_)) {
+                delegators += 1;
+            }
+            if sink_of[start] != UNRESOLVED {
+                continue;
+            }
+            self.stack.clear();
+            let mut cur = start;
+            // (terminal, base): the chain's end (sink id or DISCARDED) and
+            // the chain depth at the voter that supplied it.
+            let (terminal, base) = loop {
+                if sink_of[cur] != UNRESOLVED {
+                    break (sink_of[cur], self.depth[cur]);
+                }
+                match &actions[cur] {
+                    Action::Vote => break (cur as u32, 0),
+                    Action::Abstain => break (DISCARDED, 0),
+                    Action::Delegate(t) => {
+                        if self.stack.len() > n {
+                            return Err(CoreError::CyclicDelegation);
+                        }
+                        // Self-delegation counts as voting directly.
+                        if *t == cur {
+                            break (cur as u32, 0);
+                        }
+                        self.stack.push(cur as u32);
+                        cur = *t;
+                    }
+                    Action::DelegateMany(_) => unreachable!("checked above"),
+                }
+            };
+            if sink_of[cur] == UNRESOLVED {
+                sink_of[cur] = terminal;
+                self.depth[cur] = base;
+                if terminal == DISCARDED {
+                    discarded += 1;
+                }
+            }
+            for (back, &v) in self.stack.iter().rev().enumerate() {
+                sink_of[v as usize] = terminal;
+                self.depth[v as usize] = base + back as u32 + 1;
+                if terminal == DISCARDED {
+                    discarded += 1;
+                }
+            }
+        }
+
+        // Phase 2: counting sort of voters by sink, in place in the arena.
+        // `rest` is [offsets: n+1][members: n]; offsets first accumulates
+        // counts, then the exclusive prefix sum, then (after the scatter
+        // bumps each entry to its group's end) one word-shift right
+        // restores "offsets[s] = start of group s".
+        let (offsets, members) = rest.split_at_mut(n + 1);
+        for &s in sink_of.iter() {
+            if s != DISCARDED {
+                offsets[s as usize] += 1;
+            }
+        }
+        let mut running = 0u32;
+        let mut max_weight = 0usize;
+        let mut sink_count = 0usize;
+        for off in offsets.iter_mut().take(n) {
+            let count = *off;
+            if count > 0 {
+                sink_count += 1;
+                max_weight = max_weight.max(count as usize);
+            }
+            *off = running;
+            running += count;
+        }
+        offsets[n] = running;
+        for (i, &s) in sink_of.iter().enumerate() {
+            if s != DISCARDED {
+                members[offsets[s as usize] as usize] = i as u32;
+                offsets[s as usize] += 1;
+            }
+        }
+        // The scatter bumped each offset to its group's *end*; slide one
+        // slot right and re-seat 0 to restore "offsets[s] = group start"
+        // (offsets[n] then lands on end of the last group = tallied).
+        offsets.copy_within(0..n, 1);
+        offsets[0] = 0;
+
+        self.discarded = discarded;
+        self.delegators = delegators;
+        self.longest_chain = self.depth.iter().copied().max().unwrap_or(0) as usize;
+        self.max_weight = max_weight;
+        self.sink_count = sink_count;
+        let tallied = n - discarded;
+        self.arena.truncate(2 * n + 1 + tallied);
+        Ok(())
+    }
+
+    /// Number of voters in the held resolution.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total tallied votes `n - discarded`.
+    pub fn tallied(&self) -> usize {
+        self.n - self.discarded
+    }
+
+    /// Votes discarded through abstention.
+    pub fn discarded(&self) -> usize {
+        self.discarded
+    }
+
+    /// Number of delegating voters.
+    pub fn delegators(&self) -> usize {
+        self.delegators
+    }
+
+    /// Longest delegation chain in edges.
+    pub fn longest_chain(&self) -> usize {
+        self.longest_chain
+    }
+
+    /// Maximum weight of any sink (0 when everyone abstained).
+    pub fn max_weight(&self) -> usize {
+        self.max_weight
+    }
+
+    /// Number of sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sink_count
+    }
+
+    /// The offsets section: `offsets()[s]..offsets()[s + 1]` is sink `s`'s
+    /// member range; `offsets()[n]` is the tallied total.
+    pub fn offsets(&self) -> &[u32] {
+        &self.arena[self.n..2 * self.n + 1]
+    }
+
+    /// The members section: voter ids grouped by sink.
+    pub fn members(&self) -> &[u32] {
+        &self.arena[2 * self.n + 1..]
+    }
+
+    /// The sink that casts voter `i`'s vote, or `None` if discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    pub fn sink_of(&self, i: usize) -> Option<usize> {
+        assert!(i < self.n, "voter {i} out of range (n = {})", self.n);
+        match self.arena[i] {
+            DISCARDED => None,
+            s => Some(s as usize),
+        }
+    }
+
+    /// Weight carried by voter `v` (0 unless `v` is a sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.n()`.
+    pub fn weight_of(&self, v: usize) -> usize {
+        let off = self.offsets();
+        (off[v + 1] - off[v]) as usize
+    }
+
+    /// The voters whose votes land at sink `s` (including `s` itself),
+    /// in increasing order. Empty unless `s` is a sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.n()`.
+    pub fn members_of(&self, s: usize) -> &[u32] {
+        let off = self.offsets();
+        &self.members()[off[s] as usize..off[s + 1] as usize]
+    }
+
+    /// Iterator over `(sink, weight)` pairs in increasing sink order.
+    pub fn sink_weights(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let off = self.offsets();
+        (0..self.n)
+            .map(move |s| (s, (off[s + 1] - off[s]) as usize))
+            .filter(|&(_, w)| w > 0)
+    }
+
+    /// The structure-of-arrays tally kernel: folds a per-voter coin vector
+    /// over the implied weight array in one branch-light pass, returning
+    /// the total weight behind `true` coins. Only sinks' coins matter
+    /// (a sink votes its whole subtree's weight); non-sinks contribute
+    /// weight 0 regardless of their coin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coins.len() < self.n()`.
+    pub fn fold_weighted_coins(&self, coins: &[bool]) -> u64 {
+        assert!(coins.len() >= self.n, "coin vector shorter than n");
+        let off = self.offsets();
+        let mut acc = 0u64;
+        for s in 0..self.n {
+            acc += u64::from(off[s + 1] - off[s]) * u64::from(coins[s]);
+        }
+        acc
+    }
+
+    /// Exact probability that the held resolution decides correctly on
+    /// `instance` — the CSR analogue of
+    /// [`crate::tally::exact_correct_probability`], reusing an internal
+    /// term buffer. Bit-identical to the `Resolution` path: terms are
+    /// emitted in increasing sink order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probability-layer validation errors.
+    pub fn exact_correct_probability(
+        &mut self,
+        instance: &ProblemInstance,
+        tie: TieBreak,
+    ) -> Result<f64> {
+        let ps = instance.profile().as_slice();
+        let mut terms = std::mem::take(&mut self.terms);
+        terms.clear();
+        terms.extend(self.sink_weights().map(|(s, w)| (w, ps[s])));
+        let sum = WeightedBernoulliSum::new(&terms);
+        self.terms = terms;
+        Ok(sum?.majority_with_ties(self.tallied(), tie.credit()))
+    }
+
+    /// Gini coefficient of voting power across all voters, bit-identical
+    /// to [`Resolution::weight_gini`] (same sorted-weights formula over
+    /// the same multiset). `&mut` only for the internal sort buffer.
+    pub fn weight_gini(&mut self) -> f64 {
+        let n = self.n;
+        let total = self.tallied();
+        if n == 0 || total == 0 {
+            return 0.0;
+        }
+        let (arena, gini) = (&self.arena, &mut self.gini);
+        let off = &arena[n..2 * n + 1];
+        gini.clear();
+        gini.extend((0..n).map(|s| (off[s + 1] - off[s]) as usize));
+        gini.sort_unstable();
+        let weighted_rank_sum: f64 = self
+            .gini
+            .iter()
+            .enumerate()
+            .map(|(idx, &w)| (idx as f64 + 1.0) * w as f64)
+            .sum();
+        let nf = n as f64;
+        (2.0 * weighted_rank_sum / (nf * total as f64) - (nf + 1.0) / nf).max(0.0)
+    }
+
+    /// Materializes the held resolution as an owning [`Resolution`] — the
+    /// interop/cross-check path; allocates, so keep it off hot loops.
+    pub fn to_resolution(&self) -> Resolution {
+        let sink_of: Vec<Option<usize>> = (0..self.n).map(|i| self.sink_of(i)).collect();
+        let off = self.offsets();
+        let weight: Vec<usize> = (0..self.n)
+            .map(|s| (off[s + 1] - off[s]) as usize)
+            .collect();
+        Resolution::from_parts(
+            sink_of,
+            weight,
+            self.discarded,
+            self.delegators,
+            self.longest_chain,
+        )
+    }
+
+    /// **Testing only.** Injects a deliberate off-by-one into the interior
+    /// offsets: every boundary `offsets[1..n]` is pulled down by one slot
+    /// (saturating at the previous boundary), shifting one vote from each
+    /// group into its successor. Offsets stay monotone, so all accessors
+    /// remain memory-safe — but weights and memberships are now wrong
+    /// wherever the forest has at least one tallied vote. The
+    /// differential `csr-*-oracle` checks must catch this on essentially
+    /// every grid cell; `ld-testkit` wires it up as the `csr-offset`
+    /// mutation.
+    pub fn skew_offsets_for_tests(&mut self) {
+        let n = self.n;
+        let offsets = &mut self.arena[n..2 * n + 1];
+        for i in 1..n {
+            offsets[i] = offsets[i].saturating_sub(1).max(offsets[i - 1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delegation::DelegationGraph;
+
+    fn resolved(actions: Vec<Action>) -> CsrForest {
+        let mut forest = CsrForest::new();
+        forest
+            .resolve(&DelegationGraph::new(actions))
+            .expect("resolves");
+        forest
+    }
+
+    #[test]
+    fn chain_matches_recursive_resolution() {
+        let forest = resolved(vec![
+            Action::Delegate(1),
+            Action::Delegate(2),
+            Action::Delegate(3),
+            Action::Vote,
+        ]);
+        assert_eq!(forest.weight_of(3), 4);
+        assert_eq!(forest.members_of(3), &[0, 1, 2, 3]);
+        assert_eq!(forest.sink_of(0), Some(3));
+        assert_eq!(forest.longest_chain(), 3);
+        assert_eq!(forest.delegators(), 3);
+        assert_eq!(forest.max_weight(), 4);
+        assert_eq!(forest.sink_count(), 1);
+    }
+
+    #[test]
+    fn abstention_discards_whole_chain() {
+        let forest = resolved(vec![Action::Delegate(1), Action::Abstain, Action::Vote]);
+        assert_eq!(forest.sink_of(0), None);
+        assert_eq!(forest.sink_of(1), None);
+        assert_eq!(forest.sink_of(2), Some(2));
+        assert_eq!(forest.discarded(), 2);
+        assert_eq!(forest.tallied(), 1);
+        assert_eq!(forest.members_of(2), &[2]);
+    }
+
+    #[test]
+    fn to_resolution_round_trips_against_the_reference_resolver() {
+        let cases = vec![
+            vec![Action::Vote; 5],
+            vec![
+                Action::Delegate(2),
+                Action::Vote,
+                Action::Vote,
+                Action::Delegate(1),
+                Action::Abstain,
+            ],
+            vec![Action::Delegate(0), Action::Delegate(0)],
+            vec![],
+            vec![Action::Abstain; 3],
+        ];
+        let mut forest = CsrForest::new();
+        for actions in cases {
+            let dg = DelegationGraph::new(actions);
+            forest.resolve(&dg).expect("csr resolves");
+            assert_eq!(forest.to_resolution(), dg.resolve().expect("ref resolves"));
+        }
+    }
+
+    #[test]
+    fn error_kinds_and_precedence_match_the_reference_resolver() {
+        let cases = vec![
+            vec![Action::Delegate(1), Action::Delegate(0)],
+            vec![Action::Delegate(5), Action::Vote],
+            // DelegateMany wins over the earlier out-of-range target.
+            vec![Action::Delegate(99), Action::DelegateMany(vec![0])],
+            vec![Action::DelegateMany(vec![1, 2]), Action::Vote, Action::Vote],
+        ];
+        let mut forest = CsrForest::new();
+        for actions in cases {
+            let dg = DelegationGraph::new(actions);
+            let reference = dg.resolve().expect_err("reference errors");
+            let csr = forest.resolve(&dg).expect_err("csr errors");
+            assert_eq!(
+                std::mem::discriminant(&csr),
+                std::mem::discriminant(&reference)
+            );
+            if let CoreError::DelegationTargetOutOfRange { .. } = reference {
+                assert_eq!(csr, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_weighted_coins_matches_per_voter_walk() {
+        let actions = vec![
+            Action::Delegate(2),
+            Action::Vote,
+            Action::Vote,
+            Action::Delegate(1),
+            Action::Abstain,
+            Action::Delegate(4),
+        ];
+        let forest = resolved(actions.clone());
+        let coins = [true, false, true, true, false, true];
+        let naive: u64 = (0..actions.len())
+            .filter_map(|i| forest.sink_of(i))
+            .map(|s| u64::from(coins[s]))
+            .sum();
+        assert_eq!(forest.fold_weighted_coins(&coins), naive);
+    }
+
+    #[test]
+    fn exact_probability_matches_resolution_path_bit_for_bit() {
+        use crate::competency::CompetencyProfile;
+        use crate::tally::exact_correct_probability;
+        use ld_graph::generators;
+
+        let n = 9;
+        let inst = ProblemInstance::new(
+            generators::complete(n),
+            CompetencyProfile::linear(n, 0.3, 0.7).unwrap(),
+            0.05,
+        )
+        .unwrap();
+        let mut actions = vec![Action::Delegate(8); 4];
+        actions.extend([Action::Vote, Action::Vote, Action::Abstain]);
+        actions.extend([Action::Delegate(4), Action::Vote]);
+        let dg = DelegationGraph::new(actions);
+        let res = dg.resolve().unwrap();
+        let mut forest = CsrForest::new();
+        forest.resolve(&dg).unwrap();
+        for tie in [TieBreak::Incorrect, TieBreak::CoinFlip] {
+            let reference = exact_correct_probability(&inst, &res, tie).unwrap();
+            let csr = forest.exact_correct_probability(&inst, tie).unwrap();
+            assert_eq!(csr.to_bits(), reference.to_bits());
+        }
+        assert_eq!(
+            forest.weight_gini().to_bits(),
+            res.weight_gini().to_bits(),
+            "gini must match bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes() {
+        let mut forest = CsrForest::new();
+        assert!(!forest.fits(1));
+        forest
+            .resolve(&DelegationGraph::new(vec![Action::Vote; 16]))
+            .unwrap();
+        assert!(forest.fits(16));
+        assert!(!forest.fits(17));
+        // Shrinking keeps the high-water mark.
+        forest
+            .resolve(&DelegationGraph::new(vec![Action::Vote; 4]))
+            .unwrap();
+        assert!(forest.fits(16));
+        assert_eq!(forest.n(), 4);
+        assert_eq!(forest.tallied(), 4);
+    }
+
+    #[test]
+    fn skewed_offsets_change_weights_but_stay_monotone() {
+        let mut forest = resolved(vec![Action::Vote; 4]);
+        let honest: Vec<usize> = (0..4).map(|v| forest.weight_of(v)).collect();
+        forest.skew_offsets_for_tests();
+        let skewed: Vec<usize> = (0..4).map(|v| forest.weight_of(v)).collect();
+        assert_ne!(honest, skewed, "the mutation must be observable");
+        let off = forest.offsets().to_vec();
+        assert!(
+            off.windows(2).all(|w| w[0] <= w[1]),
+            "offsets stay monotone"
+        );
+        assert_eq!(*off.last().unwrap() as usize, forest.tallied());
+    }
+
+    #[test]
+    fn empty_and_all_abstain_edge_cases() {
+        let empty = resolved(vec![]);
+        assert_eq!(empty.n(), 0);
+        assert_eq!(empty.tallied(), 0);
+        assert_eq!(empty.fold_weighted_coins(&[]), 0);
+        let mut gone = resolved(vec![Action::Abstain; 3]);
+        assert_eq!(gone.tallied(), 0);
+        assert_eq!(gone.max_weight(), 0);
+        assert_eq!(gone.weight_gini(), 0.0);
+    }
+}

@@ -221,6 +221,40 @@ pub fn accumulate_draw(
     Ok(())
 }
 
+/// [`accumulate_draw`] on the flat CSR kernels: resolves into the
+/// caller's reusable [`CsrForest`] arena instead of allocating a fresh
+/// [`crate::delegation::Resolution`] per draw — the hot path of the
+/// Monte Carlo engine. Produces bit-identical statistics to
+/// [`accumulate_draw`] (the CSR resolve, exact tally, and Gini are all
+/// pinned to the reference path bit-for-bit).
+///
+/// # Errors
+///
+/// Propagates tallying errors.
+pub fn accumulate_draw_csr(
+    instance: &ProblemInstance,
+    dg: &DelegationGraph,
+    tie: TieBreak,
+    rng: &mut dyn RngCore,
+    est: &mut GainEstimate,
+    forest: &mut crate::csr::CsrForest,
+) -> Result<()> {
+    if dg.is_single_target() {
+        forest.resolve(dg)?;
+        let p = forest.exact_correct_probability(instance, tie)?;
+        est.p_mechanism.push(p);
+        est.delegators.push(forest.delegators() as f64);
+        est.sinks.push(forest.sink_count() as f64);
+        est.max_weight.push(forest.max_weight() as f64);
+        est.longest_chain.push(forest.longest_chain() as f64);
+        est.abstained.push(forest.discarded() as f64);
+        est.weight_gini.push(forest.weight_gini());
+        Ok(())
+    } else {
+        accumulate_draw(instance, dg, tie, rng, est)
+    }
+}
+
 /// Builds an empty [`GainEstimate`] for the given instance (used by the
 /// parallel engine to merge worker results).
 ///

@@ -55,6 +55,7 @@ mod error;
 mod instance;
 mod restriction;
 
+pub mod csr;
 pub mod delegation;
 pub mod desiderata;
 pub mod distributions;

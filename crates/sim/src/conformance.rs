@@ -89,15 +89,39 @@ pub fn run_full_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     report
 }
 
-/// The parallel engine must be deterministic for a fixed
-/// `(seed, trials, workers)` triple: repeated runs are bit-identical,
-/// for any worker count (worker streams are split, not shared).
+/// The chunked trial scheduler must be scheduling-free for a fixed
+/// `(seed, trials)` pair: repeated runs are bit-identical, and so are
+/// runs across *different* worker counts — trial `t` always draws from
+/// `stream_rng(seed, t)` and chunk partials merge in canonical order, so
+/// the worker count cannot participate in the result.
 fn check_engine_determinism(seed: u64) -> Result<(), String> {
     let profile = CompetencyProfile::linear(24, 0.25, 0.75).map_err(|e| e.to_string())?;
     let instance =
         ProblemInstance::new(generators::complete(24), profile, 0.05).map_err(|e| e.to_string())?;
     let mechanism = ApprovalThreshold::new(1);
-    for workers in [1usize, 3] {
+    // Bit-level comparison of every observable statistic; `to_bits`
+    // distinguishes values an epsilon comparison would conflate.
+    let fingerprint = |g: &ld_core::gain::GainEstimate| {
+        let floats = [
+            g.p_direct(),
+            g.p_mechanism(),
+            g.gain(),
+            g.gain_ci(1.96).0,
+            g.gain_ci(1.96).1,
+            g.mean_delegators(),
+            g.mean_sinks(),
+            g.mean_max_weight(),
+            g.mean_longest_chain(),
+            g.mean_abstained(),
+            g.mean_weight_gini(),
+        ];
+        (g.trials(), floats.map(f64::to_bits))
+    };
+    let reference = Engine::new(seed)
+        .with_workers(1)
+        .estimate_gain(&instance, &mechanism, 60)
+        .map_err(|e| e.to_string())?;
+    for workers in [1usize, 2, 3, 4, 8] {
         let engine = Engine::new(seed).with_workers(workers);
         let first = engine
             .estimate_gain(&instance, &mechanism, 60)
@@ -105,24 +129,6 @@ fn check_engine_determinism(seed: u64) -> Result<(), String> {
         let second = engine
             .estimate_gain(&instance, &mechanism, 60)
             .map_err(|e| e.to_string())?;
-        // Bit-level comparison of every observable statistic; `to_bits`
-        // distinguishes values an epsilon comparison would conflate.
-        let fingerprint = |g: &ld_core::gain::GainEstimate| {
-            let floats = [
-                g.p_direct(),
-                g.p_mechanism(),
-                g.gain(),
-                g.gain_ci(1.96).0,
-                g.gain_ci(1.96).1,
-                g.mean_delegators(),
-                g.mean_sinks(),
-                g.mean_max_weight(),
-                g.mean_longest_chain(),
-                g.mean_abstained(),
-                g.mean_weight_gini(),
-            ];
-            (g.trials(), floats.map(f64::to_bits))
-        };
         if fingerprint(&first) != fingerprint(&second) {
             return Err(format!(
                 "estimate_gain not bit-identical across repeated runs with {workers} \
@@ -131,6 +137,16 @@ fn check_engine_determinism(seed: u64) -> Result<(), String> {
                 second.p_mechanism(),
                 first.gain(),
                 second.gain()
+            ));
+        }
+        if fingerprint(&first) != fingerprint(&reference) {
+            return Err(format!(
+                "estimate_gain with {workers} worker(s) diverged from the single-worker \
+                 run, seed {seed}: p_mechanism {} vs {}, gain {} vs {}",
+                first.p_mechanism(),
+                reference.p_mechanism(),
+                first.gain(),
+                reference.gain()
             ));
         }
     }

@@ -1,17 +1,40 @@
 //! A deterministic parallel Monte Carlo engine.
 //!
-//! Trials fan out over crossbeam scoped threads; each worker draws from its
-//! own seed-split RNG stream ([`ld_prob::rng::split_seed`]) so results are
-//! **independent of scheduling**: the same `(seed, trials, workers)` triple
-//! always produces the same estimate.
+//! Trials are split into fixed-size chunks claimed from a shared atomic
+//! counter (work stealing: a fast worker keeps claiming until the counter
+//! runs out, so uneven per-trial costs never leave cores idle the way the
+//! old fixed per-worker split did). Determinism is *scheduling-free* by
+//! construction:
+//!
+//! * trial `t` always draws from `stream_rng(seed, t)` — its randomness
+//!   depends only on the master seed and its own index, never on which
+//!   worker ran it;
+//! * each chunk accumulates into a private [`GainEstimate`], and the
+//!   partials are merged in canonical chunk order after all workers have
+//!   joined (Welford merging is order-sensitive, so the merge order is
+//!   pinned rather than first-come-first-served).
+//!
+//! The same `(seed, trials)` pair therefore produces bit-identical
+//! estimates for **every** worker count and every steal interleaving —
+//! including the sequential path, which runs the identical chunk loop.
+//! Per-trial resolution goes through the flat CSR kernels
+//! ([`ld_core::csr::CsrForest`]) with one thread-local arena per worker,
+//! so the hot loop does not allocate after warm-up.
 
 use crate::error::Result;
-use ld_core::gain::{accumulate_draw, empty_estimate, GainEstimate};
+use ld_core::csr::CsrForest;
+use ld_core::gain::{accumulate_draw_csr, empty_estimate, GainEstimate};
 use ld_core::mechanisms::Mechanism;
 use ld_core::tally::TieBreak;
 use ld_core::ProblemInstance;
 use ld_prob::rng::stream_rng;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Trials per scheduler chunk: small enough to balance uneven per-trial
+/// costs across workers, large enough that a claim (one atomic RMW) is
+/// noise against the per-trial tally work.
+const TRIAL_CHUNK: u64 = 16;
 
 /// The parallel trial engine.
 ///
@@ -31,6 +54,9 @@ use parking_lot::Mutex;
 /// let engine = Engine::new(42).with_workers(2);
 /// let est = engine.estimate_gain(&inst, &ApprovalThreshold::new(2), 64)?;
 /// assert_eq!(est.trials(), 64);
+/// // The worker count never changes the bits of the estimate:
+/// let seq = Engine::new(42).with_workers(1).estimate_gain(&inst, &ApprovalThreshold::new(2), 64)?;
+/// assert_eq!(est.p_mechanism().to_bits(), seq.p_mechanism().to_bits());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Copy)]
@@ -54,7 +80,9 @@ impl Engine {
         }
     }
 
-    /// Overrides the worker count (1 = sequential).
+    /// Overrides the worker count (1 = sequential). The result of
+    /// [`Engine::estimate_gain`] does not depend on this — only the
+    /// wall-clock time does.
     ///
     /// A worker count of 0 is meaningless; rather than panicking (which
     /// would abort a long sweep over a config typo) it is clamped to 1 and
@@ -92,13 +120,15 @@ impl Engine {
         }
     }
 
-    /// Estimates `gain(M, G)` with `trials` mechanism draws distributed
-    /// over the workers. Deterministic for fixed `(seed, trials, workers)`.
+    /// Estimates `gain(M, G)` with `trials` mechanism draws scheduled in
+    /// [`TRIAL_CHUNK`]-sized chunks over the workers. Deterministic for a
+    /// fixed `(seed, trials)` pair — bit-identical across worker counts
+    /// and chunk interleavings (see the module docs for why).
     ///
     /// # Errors
     ///
     /// Propagates tallying errors from any worker. A panic inside a worker
-    /// thread (e.g. from a buggy [`Mechanism`]) is captured and surfaced as
+    /// (e.g. from a buggy [`Mechanism`]) is captured and surfaced as
     /// [`crate::SimError::WorkerPanic`] instead of aborting the process.
     pub fn estimate_gain(
         &self,
@@ -107,52 +137,71 @@ impl Engine {
         trials: u64,
     ) -> Result<GainEstimate> {
         let _span = ld_obs::span("engine.estimate_gain_ns");
-        let workers = self.workers.min(trials.max(1) as usize).max(1);
-        if workers == 1 {
-            let mut est = empty_estimate(instance, self.tie)?;
-            let mut rng = stream_rng(self.seed, 0);
-            let mut guard = ld_obs::TrialGuard::new("engine.trials", trials);
-            for _ in 0..trials {
-                let dg = mechanism.run(instance, &mut rng);
-                accumulate_draw(instance, &dg, self.tie, &mut rng, &mut est)?;
-                guard.note_done();
-            }
-            return Ok(est);
+        let base = empty_estimate(instance, self.tie)?;
+        if trials == 0 {
+            return Ok(base);
         }
-        let combined = Mutex::new(empty_estimate(instance, self.tie)?);
+        let chunks = trials.div_ceil(TRIAL_CHUNK);
+        // Spawning more threads than cores (or than chunks) only adds
+        // coordination cost; the result is scheduling-free, so the clamp
+        // cannot change it.
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = self.workers.min(chunks as usize).min(hardware).max(1);
+        if threads == 1 {
+            return self.run_single_threaded(instance, mechanism, trials, chunks, &base);
+        }
+
+        let next_chunk = AtomicU64::new(0);
         let failure: Mutex<Option<ld_core::CoreError>> = Mutex::new(None);
+        let collected: Mutex<Vec<(u64, GainEstimate)>> =
+            Mutex::new(Vec::with_capacity(chunks as usize));
         let scope_result = crossbeam::thread::scope(|scope| {
-            for w in 0..workers {
-                let share =
-                    trials / workers as u64 + u64::from((trials % workers as u64) > w as u64);
-                let combined = &combined;
-                let failure = &failure;
+            for w in 0..threads {
+                let (next_chunk, failure, collected, base) =
+                    (&next_chunk, &failure, &collected, &base);
                 let tie = self.tie;
                 let seed = self.seed;
                 scope.spawn(move |_| {
                     let _batch_span = ld_obs::span("engine.worker_batch_ns");
-                    let mut rng = stream_rng(seed, w as u64);
-                    let mut local = match empty_estimate(instance, tie) {
-                        Ok(e) => e,
-                        Err(e) => {
-                            *failure.lock() = Some(e);
+                    let claimed = ld_obs::counter("engine.chunks.claimed");
+                    let steals = ld_obs::counter("engine.steals");
+                    let reuse = ld_obs::counter("engine.scratch.reuse");
+                    let mut forest = CsrForest::new();
+                    loop {
+                        if failure.lock().is_some() {
                             return;
                         }
-                    };
-                    // The guard's Drop flushes finished/lost counts even if
-                    // `mechanism.run` panics mid-batch, so
-                    // `engine.trials.started == finished + lost` always
-                    // reconciles.
-                    let mut guard = ld_obs::TrialGuard::new("engine.trials", share);
-                    for _ in 0..share {
-                        let dg = mechanism.run(instance, &mut rng);
-                        if let Err(e) = accumulate_draw(instance, &dg, tie, &mut rng, &mut local) {
-                            *failure.lock() = Some(e);
+                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
                             return;
                         }
-                        guard.note_done();
+                        claimed.incr();
+                        // A "steal": the chunk lands on a different worker
+                        // than a fixed round-robin split would have sent it
+                        // to, i.e. someone finished early and took over.
+                        if c as usize % threads != w {
+                            steals.incr();
+                        }
+                        match run_chunk(
+                            c,
+                            trials,
+                            instance,
+                            mechanism,
+                            tie,
+                            seed,
+                            base,
+                            &mut forest,
+                            &reuse,
+                        ) {
+                            Ok(partial) => collected.lock().push((c, partial)),
+                            Err(e) => {
+                                *failure.lock() = Some(e);
+                                return;
+                            }
+                        }
                     }
-                    combined.lock().merge(&local);
                 });
             }
         });
@@ -167,8 +216,102 @@ impl Engine {
         if let Some(err) = failure.into_inner() {
             return Err(err.into());
         }
-        Ok(combined.into_inner())
+        let mut partials = collected.into_inner();
+        partials.sort_unstable_by_key(|&(c, _)| c);
+        let mut est = base;
+        for (_, partial) in &partials {
+            est.merge(partial);
+        }
+        Ok(est)
     }
+
+    /// The one-thread path: the identical chunk loop run inline, in chunk
+    /// order — which *is* the canonical merge order, so the bits match the
+    /// multi-threaded path exactly. When the caller asked for more than
+    /// one worker (and the clamp collapsed it to one), panics are captured
+    /// the same way the thread scope would have captured them, so the
+    /// error surface does not depend on the machine's core count.
+    fn run_single_threaded(
+        &self,
+        instance: &ProblemInstance,
+        mechanism: &(dyn Mechanism + Sync),
+        trials: u64,
+        chunks: u64,
+        base: &GainEstimate,
+    ) -> Result<GainEstimate> {
+        let mut est = *base;
+        let run = |est: &mut GainEstimate| -> ld_core::Result<()> {
+            let claimed = ld_obs::counter("engine.chunks.claimed");
+            let steals = ld_obs::counter("engine.steals");
+            let reuse = ld_obs::counter("engine.scratch.reuse");
+            let _ = &steals; // registered for a stable obs surface; a lone worker never steals
+            let mut forest = CsrForest::new();
+            for c in 0..chunks {
+                claimed.incr();
+                let partial = run_chunk(
+                    c,
+                    trials,
+                    instance,
+                    mechanism,
+                    self.tie,
+                    self.seed,
+                    base,
+                    &mut forest,
+                    &reuse,
+                )?;
+                est.merge(&partial);
+            }
+            Ok(())
+        };
+        if self.workers == 1 {
+            run(&mut est)?;
+        } else {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&mut est))) {
+                Ok(result) => result?,
+                Err(payload) => {
+                    return Err(crate::SimError::WorkerPanic {
+                        message: crate::error::panic_message(&*payload),
+                    })
+                }
+            }
+        }
+        Ok(est)
+    }
+}
+
+/// Runs one chunk of trials into a fresh partial estimate seeded from
+/// `base` (the partial starts with zero draws; `p_direct` rides along via
+/// the copy). Trial `t` draws from `stream_rng(seed, t)` regardless of
+/// which worker runs the chunk.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    chunk: u64,
+    trials: u64,
+    instance: &ProblemInstance,
+    mechanism: &(dyn Mechanism + Sync),
+    tie: TieBreak,
+    seed: u64,
+    base: &GainEstimate,
+    forest: &mut CsrForest,
+    scratch_reuse: &ld_obs::Counter,
+) -> ld_core::Result<GainEstimate> {
+    let start = chunk * TRIAL_CHUNK;
+    let end = (start + TRIAL_CHUNK).min(trials);
+    let mut local = *base;
+    // The guard's Drop flushes finished/lost counts even if
+    // `mechanism.run` panics mid-chunk, so
+    // `engine.trials.started == finished + lost` always reconciles.
+    let mut guard = ld_obs::TrialGuard::new("engine.trials", end - start);
+    for t in start..end {
+        let mut rng = stream_rng(seed, t);
+        let dg = mechanism.run(instance, &mut rng);
+        if ld_obs::enabled() && dg.is_single_target() && forest.fits(instance.n()) {
+            scratch_reuse.incr();
+        }
+        accumulate_draw_csr(instance, &dg, tie, &mut rng, &mut local, forest)?;
+        guard.note_done();
+    }
+    Ok(local)
 }
 
 #[cfg(test)]
@@ -200,7 +343,6 @@ mod tests {
     fn parallel_trial_count_is_exact() {
         let inst = instance(16);
         let engine = Engine::new(1).with_workers(4);
-        // 10 trials over 4 workers: shares 3,3,2,2.
         let est = engine
             .estimate_gain(&inst, &ApprovalThreshold::new(1), 10)
             .unwrap();
@@ -253,6 +395,32 @@ mod tests {
             seq.p_mechanism(),
             par.p_mechanism()
         );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_a_single_bit() {
+        let inst = instance(24);
+        let mech = ApprovalThreshold::new(1);
+        let reference = Engine::new(7)
+            .with_workers(1)
+            .estimate_gain(&inst, &mech, 50)
+            .unwrap();
+        for workers in [2usize, 4, 8] {
+            let est = Engine::new(7)
+                .with_workers(workers)
+                .estimate_gain(&inst, &mech, 50)
+                .unwrap();
+            assert_eq!(
+                est.p_mechanism().to_bits(),
+                reference.p_mechanism().to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(
+                est.mean_weight_gini().to_bits(),
+                reference.mean_weight_gini().to_bits(),
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]
@@ -347,5 +515,19 @@ mod tests {
             .estimate_gain(&inst, &DirectVoting, 2)
             .unwrap();
         assert_eq!(est.trials(), 2);
+    }
+
+    #[test]
+    fn trials_spanning_many_chunks_are_all_run_exactly_once() {
+        // 50 trials = chunks of 16, 16, 16, 2: the count and the mean must
+        // both come out exact (a double-claimed or dropped chunk would show
+        // up in either).
+        let inst = instance(16);
+        let est = Engine::new(11)
+            .with_workers(3)
+            .estimate_gain(&inst, &DirectVoting, 50)
+            .unwrap();
+        assert_eq!(est.trials(), 50);
+        assert!(est.gain().abs() < 1e-12);
     }
 }

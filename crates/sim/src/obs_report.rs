@@ -123,6 +123,9 @@ mod tests {
     fn sample() -> Snapshot {
         Snapshot {
             counters: vec![
+                ("engine.chunks.claimed".to_string(), 4),
+                ("engine.scratch.reuse".to_string(), 62),
+                ("engine.steals".to_string(), 1),
                 ("engine.trials.finished".to_string(), 64),
                 ("engine.trials.started".to_string(), 64),
             ],
@@ -152,9 +155,26 @@ mod tests {
     #[test]
     fn summary_table_lists_counters_then_hists() {
         let t = summary_table(&sample(), false);
-        assert_eq!(t.rows().len(), 4);
-        assert_eq!(t.value(0, 2), Some(64.0));
-        assert_eq!(t.value(2, 3), Some(3000.0));
+        assert_eq!(t.rows().len(), 7);
+        assert_eq!(t.value(0, 2), Some(4.0));
+        assert_eq!(t.value(5, 3), Some(3000.0));
+    }
+
+    #[test]
+    fn scheduler_counters_render_as_plain_counter_rows() {
+        // The work-stealing scheduler's rows: never redacted (they are
+        // counts, not wall-clock), one row each, in name order.
+        let t = summary_table(&sample(), true);
+        let text = t.to_text();
+        for (row, name, value) in [
+            (0, "engine.chunks.claimed", 4.0),
+            (1, "engine.scratch.reuse", 62.0),
+            (2, "engine.steals", 1.0),
+        ] {
+            assert!(text.contains(name), "missing row {name}");
+            assert_eq!(t.value(row, 2), Some(value), "{name} count");
+            assert_eq!(t.value(row, 3), None, "{name} has no sum column");
+        }
     }
 
     #[test]
@@ -163,9 +183,9 @@ mod tests {
         let text = t.to_text();
         // The _ns histogram's sum is hidden; the touched histogram's is
         // not, and counts stay visible everywhere.
-        assert_eq!(t.value(2, 3), None, "timing sum must be redacted");
-        assert_eq!(t.value(2, 2), Some(2.0), "counts stay");
-        assert_eq!(t.value(3, 3), Some(12.0), "value hists stay");
+        assert_eq!(t.value(5, 3), None, "timing sum must be redacted");
+        assert_eq!(t.value(5, 2), Some(2.0), "counts stay");
+        assert_eq!(t.value(6, 3), Some(12.0), "value hists stay");
         assert!(text.contains("engine.worker_batch_ns"));
     }
 
@@ -173,9 +193,10 @@ mod tests {
     fn jsonl_is_one_event_per_line() {
         let text = to_jsonl(&sample());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 7);
         assert!(lines[0].starts_with("{\"type\":\"counter\""));
-        assert!(lines[2].contains("\"sum\":3000"));
+        assert!(lines[0].contains("engine.chunks.claimed"));
+        assert!(lines[5].contains("\"sum\":3000"));
         assert!(lines.iter().all(|l| l.ends_with('}')));
     }
 

@@ -46,11 +46,13 @@ fn maybe_print(label: &str, bits: u64) {
 }
 
 /// `estimate_gain` bits recorded from the default build (n = 96,
-/// seed 7, 48 trials; sequential and two-worker paths).
+/// seed 7, 48 trials; sequential and two-worker paths). Since the
+/// chunked trial scheduler the SEQ and PAR2 constants are *equal* —
+/// the worker count no longer participates in the result at all.
 const SEQ_P_DIRECT_BITS: u64 = 0x3fd7fc8da514cc34;
-const SEQ_P_MECH_BITS: u64 = 0x3fe9a9e28fd71787;
+const SEQ_P_MECH_BITS: u64 = 0x3fe9aeb3e865a291;
 const PAR2_P_DIRECT_BITS: u64 = 0x3fd7fc8da514cc34;
-const PAR2_P_MECH_BITS: u64 = 0x3fe9ab299c8e6baa;
+const PAR2_P_MECH_BITS: u64 = 0x3fe9aeb3e865a291;
 
 /// Live replay summary recorded from the default build (n = 128,
 /// balanced trace, seed 11, 300 updates).
@@ -161,6 +163,21 @@ fn trial_counters_reconcile_even_across_panics() {
     assert_eq!(lost, 0);
     assert_eq!(started, finished + lost);
 
+    // Scheduler counters. The chunk total is deterministic (24 trials in
+    // 16-trial chunks = 2); steals and scratch growth depend on how many
+    // OS threads actually ran, so only their invariants are pinned:
+    // nobody can steal more chunks than exist, and every trial either
+    // reused a warm arena or grew one (at most one growth per worker).
+    let claimed = counter(&snap, "engine.chunks.claimed");
+    let steals = counter(&snap, "engine.steals");
+    let reuse = counter(&snap, "engine.scratch.reuse");
+    assert_eq!(claimed, 2, "24 trials / 16-trial chunks");
+    assert!(steals <= claimed, "steals {steals} > chunks {claimed}");
+    assert!(
+        reuse < started && started - reuse <= 2,
+        "scratch reuse {reuse} inconsistent with {started} trials on ≤2 workers"
+    );
+
     // Panicking mechanism: trials are lost, but the identity holds — the
     // guard flushes from the unwinding worker.
     struct Bomb;
@@ -194,6 +211,42 @@ fn trial_counters_reconcile_even_across_panics() {
         started,
         finished + lost,
         "accounting identity broken across a panic"
+    );
+    ld_obs::reset();
+}
+
+/// On a single worker the scheduler counters are fully deterministic:
+/// every chunk is claimed in order by the one worker (so no steals), and
+/// every trial after the first reuses the warm arena.
+#[cfg(feature = "obs")]
+#[test]
+fn scheduler_counters_are_deterministic_on_one_worker() {
+    use ld_core::mechanisms::ApprovalThreshold;
+
+    let _guard = lock();
+    let counter = |snap: &ld_obs::Snapshot, name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    ld_obs::reset();
+    let inst = mc_instance(32);
+    Engine::new(3)
+        .with_workers(1)
+        .estimate_gain(&inst, &ApprovalThreshold::new(1), 40)
+        .expect("estimate runs");
+    let snap = ld_obs::snapshot();
+    assert_eq!(
+        counter(&snap, "engine.chunks.claimed"),
+        3,
+        "40 trials / 16-trial chunks = 3"
+    );
+    assert_eq!(counter(&snap, "engine.steals"), 0);
+    assert_eq!(
+        counter(&snap, "engine.scratch.reuse"),
+        39,
+        "all but the very first resolve reuse the arena"
     );
     ld_obs::reset();
 }

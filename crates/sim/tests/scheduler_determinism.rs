@@ -1,0 +1,148 @@
+//! The work-stealing trial scheduler must be scheduling-free: for a
+//! fixed `(seed, instance, mechanism, trials)` the estimate is
+//! bit-identical regardless of worker count, chunk claim order, or how
+//! unevenly the chunks happen to cost. Trial `t` always runs under
+//! `stream_rng(seed, t)` and chunk partials merge in canonical chunk
+//! order, so the schedule can only change *when* work runs, never *what*
+//! it computes.
+
+use ld_core::delegation::Action;
+use ld_core::distributions::CompetencyDistribution;
+use ld_core::mechanisms::{ApprovalThreshold, Mechanism};
+use ld_core::ProblemInstance;
+use ld_graph::generators;
+use ld_prob::rng::stream_rng;
+use ld_sim::engine::Engine;
+use proptest::prelude::*;
+use rand::{Rng, RngCore};
+
+fn mc_instance(n: usize, stream: u64) -> ProblemInstance {
+    let mut rng = stream_rng(0x5EED_5EED, stream);
+    let dist = CompetencyDistribution::Uniform { lo: 0.3, hi: 0.7 };
+    let profile = dist.sample(n, &mut rng).expect("valid profile");
+    ProblemInstance::new(generators::complete(n), profile, 0.05).expect("valid instance")
+}
+
+/// Every field the estimate exposes, as raw bits, so equality means
+/// bit-for-bit equality and failure messages name the drifting field.
+fn fingerprint(est: &ld_core::gain::GainEstimate) -> [(&'static str, u64); 8] {
+    [
+        ("p_direct", est.p_direct().to_bits()),
+        ("p_mechanism", est.p_mechanism().to_bits()),
+        ("trials", est.trials()),
+        ("mean_delegators", est.mean_delegators().to_bits()),
+        ("mean_sinks", est.mean_sinks().to_bits()),
+        ("mean_max_weight", est.mean_max_weight().to_bits()),
+        ("mean_longest_chain", est.mean_longest_chain().to_bits()),
+        ("mean_weight_gini", est.mean_weight_gini().to_bits()),
+    ]
+}
+
+fn assert_same_bits(seed: u64, inst: &ProblemInstance, mech: &(dyn Mechanism + Sync), trials: u64) {
+    let reference = Engine::new(seed)
+        .with_workers(1)
+        .estimate_gain(inst, mech, trials)
+        .expect("reference run");
+    for workers in [2usize, 4, 8] {
+        let est = Engine::new(seed)
+            .with_workers(workers)
+            .estimate_gain(inst, mech, trials)
+            .expect("parallel run");
+        for ((name, want), (_, got)) in fingerprint(&reference).iter().zip(fingerprint(&est)) {
+            assert_eq!(
+                *want, got,
+                "{name} drifted at workers={workers}, seed={seed}, trials={trials}"
+            );
+        }
+    }
+}
+
+/// A mechanism whose per-trial cost varies wildly (and deterministically
+/// per the trial's RNG stream), so chunks finish out of order and fast
+/// workers steal chunks ahead of the round-robin schedule. Wraps the
+/// real mechanism without disturbing its RNG consumption pattern beyond
+/// one extra draw per `act`.
+struct UnevenCost(ApprovalThreshold);
+
+impl Mechanism for UnevenCost {
+    fn act(&self, instance: &ProblemInstance, voter: usize, rng: &mut dyn RngCore) -> Action {
+        // Spin 0–8k iterations depending on the trial's own stream: some
+        // 16-trial chunks become ~10× more expensive than others.
+        let spin = (rng.gen_range(0u32..8) as u64) * 1024;
+        let mut acc = 0u64;
+        for i in 0..spin {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        self.0.act(instance, voter, rng)
+    }
+
+    fn name(&self) -> String {
+        "uneven-cost".to_string()
+    }
+}
+
+#[test]
+fn fixed_seed_is_bit_identical_across_worker_counts() {
+    let inst = mc_instance(48, 1);
+    // 50 trials spans four 16-trial chunks, so every multi-worker run
+    // exercises chunk claiming beyond one chunk per worker.
+    assert_same_bits(7, &inst, &ApprovalThreshold::new(1), 50);
+}
+
+#[test]
+fn uneven_chunk_costs_do_not_change_a_single_bit() {
+    let inst = mc_instance(32, 2);
+    // 90 trials = six chunks of wildly different cost: chunk completion
+    // order is effectively adversarial, and steals (claims off the
+    // round-robin schedule) are all but guaranteed on multicore hosts.
+    assert_same_bits(11, &inst, &UnevenCost(ApprovalThreshold::new(1)), 90);
+}
+
+#[test]
+fn chunk_boundary_trial_counts_are_exact() {
+    // Totals around the chunk size: partial chunks at the tail must run
+    // exactly the remaining trials, never a full chunk.
+    let inst = mc_instance(16, 3);
+    let mech = ApprovalThreshold::new(1);
+    for trials in [1u64, 15, 16, 17, 31, 32, 33] {
+        for workers in [1usize, 3, 8] {
+            let est = Engine::new(5)
+                .with_workers(workers)
+                .estimate_gain(&inst, &mech, trials)
+                .expect("run");
+            assert_eq!(est.trials(), trials, "workers={workers}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (seed, workers, trials) triple agrees bit-for-bit with the
+    /// single-worker run over the same seed and trial count.
+    #[test]
+    fn any_worker_count_matches_single_worker(
+        seed in 0u64..10_000,
+        workers in 2usize..9,
+        trials in 1u64..80,
+    ) {
+        let inst = mc_instance(20, 4);
+        let mech = ApprovalThreshold::new(1);
+        let reference = Engine::new(seed)
+            .with_workers(1)
+            .estimate_gain(&inst, &mech, trials)
+            .expect("reference run");
+        let est = Engine::new(seed)
+            .with_workers(workers)
+            .estimate_gain(&inst, &mech, trials)
+            .expect("parallel run");
+        for ((name, want), (_, got)) in fingerprint(&reference).iter().zip(fingerprint(&est)) {
+            prop_assert_eq!(
+                *want, got,
+                "{} drifted at workers={}, seed={}, trials={}",
+                name, workers, seed, trials
+            );
+        }
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::gen::{Case, ALPHA};
 use crate::oracle::{self, OracleOutcome};
+use ld_core::csr::CsrForest;
 use ld_core::delegation::{Action, DelegationGraph, Resolver};
 use ld_core::tally::{exact_correct_probability, sample_decision, TieBreak};
 use ld_core::{CompetencyProfile, CoreError, ProblemInstance};
@@ -35,11 +36,29 @@ pub enum TallyImpl {
     TieFlipped,
 }
 
+/// Which CSR kernel build the checks exercise.
+///
+/// `OffsetSkewed` is a deliberate bug — every interior group boundary in
+/// the CSR offsets section is pulled down one slot, shifting a vote
+/// between consecutive sinks — injected by `--mutate csr-offset` so CI
+/// can verify the differential kernel checks actually detect a wrong
+/// flat layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrImpl {
+    /// The production CSR kernels.
+    Real,
+    /// Mutant: interior offsets off by one
+    /// ([`CsrForest::skew_offsets_for_tests`]).
+    OffsetSkewed,
+}
+
 /// Shared configuration threaded through every check.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckContext {
     /// Tally implementation under test.
     pub tally: TallyImpl,
+    /// CSR kernel build under test.
+    pub csr: CsrImpl,
 }
 
 /// Result of one check on one case.
@@ -80,11 +99,18 @@ pub enum CheckId {
     /// Mechanism choices are unchanged by edits outside the voter's
     /// neighbourhood.
     Locality,
+    /// Flat CSR resolve (arena layout, offsets, memberships) vs the
+    /// recursive `O(n²)` oracle.
+    CsrResolveOracle,
+    /// CSR structure-of-arrays coin-fold tally vs a naive per-voter walk
+    /// over the oracle's sink assignments, plus the CSR exact tally vs
+    /// the `Resolution` path.
+    CsrTallyOracle,
 }
 
 impl CheckId {
     /// All checks, in execution order.
-    pub fn all() -> [CheckId; 11] {
+    pub fn all() -> [CheckId; 13] {
         [
             CheckId::ResolveOracle,
             CheckId::ResolveDeterminism,
@@ -97,6 +123,8 @@ impl CheckId {
             CheckId::RelabelEquivariance,
             CheckId::Monotonicity,
             CheckId::Locality,
+            CheckId::CsrResolveOracle,
+            CheckId::CsrTallyOracle,
         ]
     }
 
@@ -114,6 +142,8 @@ impl CheckId {
             CheckId::RelabelEquivariance => "relabel-equivariance",
             CheckId::Monotonicity => "monotonicity",
             CheckId::Locality => "locality",
+            CheckId::CsrResolveOracle => "csr-resolve-oracle",
+            CheckId::CsrTallyOracle => "csr-tally-oracle",
         }
     }
 
@@ -164,6 +194,8 @@ pub fn recheck_structural(
         CheckId::RelabelEquivariance => check_relabel_equivariance(actions, ps, seed),
         CheckId::Monotonicity => check_monotonicity(ps),
         CheckId::Locality => CheckOutcome::Skip("locality needs the full instance and mechanism"),
+        CheckId::CsrResolveOracle => check_csr_resolve_oracle(actions, ctx),
+        CheckId::CsrTallyOracle => check_csr_tally_oracle(actions, ps, seed, ctx),
     }
 }
 
@@ -239,6 +271,161 @@ fn check_resolve_determinism(actions: &[Action]) -> CheckOutcome {
             return CheckOutcome::Fail(format!(
                 "resolve_with (pass {pass}) disagrees with resolve(): \
                  {with_scratch:?} vs {first:?}"
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+/// Builds the CSR forest under test: the production resolve, with the
+/// offset skew applied afterwards when the context injects the mutant.
+fn resolve_csr(actions: &[Action], ctx: &CheckContext) -> Result<CsrForest, CoreError> {
+    let mut forest = CsrForest::new();
+    forest.resolve(&DelegationGraph::new(actions.to_vec()))?;
+    if ctx.csr == CsrImpl::OffsetSkewed {
+        forest.skew_offsets_for_tests();
+    }
+    Ok(forest)
+}
+
+fn check_csr_resolve_oracle(actions: &[Action], ctx: &CheckContext) -> CheckOutcome {
+    let system = resolve_csr(actions, ctx);
+    let reference = oracle::resolve_recursive(actions);
+    match (system, reference) {
+        (Ok(forest), OracleOutcome::Resolved(orc)) => {
+            let n = actions.len();
+            for v in 0..n {
+                if forest.sink_of(v) != orc.sink_of[v] {
+                    return CheckOutcome::Fail(format!(
+                        "voter {v}: CSR sink {:?} vs oracle {:?}",
+                        forest.sink_of(v),
+                        orc.sink_of[v]
+                    ));
+                }
+                if forest.weight_of(v) != orc.weight[v] {
+                    return CheckOutcome::Fail(format!(
+                        "voter {v}: CSR weight {} vs oracle {} (offsets {:?})",
+                        forest.weight_of(v),
+                        orc.weight[v],
+                        forest.offsets()
+                    ));
+                }
+                // Membership differential: every voter in sink v's member
+                // slice must actually resolve to v per the oracle.
+                for &m in forest.members_of(v) {
+                    if orc.sink_of[m as usize] != Some(v) {
+                        return CheckOutcome::Fail(format!(
+                            "sink {v}: CSR lists member {m}, but the oracle sends {m} \
+                             to {:?}",
+                            orc.sink_of[m as usize]
+                        ));
+                    }
+                }
+            }
+            if forest.discarded() != orc.discarded {
+                return CheckOutcome::Fail(format!(
+                    "discarded differ: CSR {} vs oracle {}",
+                    forest.discarded(),
+                    orc.discarded
+                ));
+            }
+            if forest.longest_chain() != orc.longest_chain {
+                return CheckOutcome::Fail(format!(
+                    "longest chain differs: CSR {} vs oracle {}",
+                    forest.longest_chain(),
+                    orc.longest_chain
+                ));
+            }
+            let oracle_max = orc.weight.iter().copied().max().unwrap_or(0);
+            if forest.max_weight() != oracle_max {
+                return CheckOutcome::Fail(format!(
+                    "max weight differs: CSR {} vs oracle {oracle_max}",
+                    forest.max_weight()
+                ));
+            }
+            CheckOutcome::Pass
+        }
+        (Err(CoreError::CyclicDelegation), OracleOutcome::Cycle) => CheckOutcome::Pass,
+        (Err(CoreError::InvalidParameter { .. }), OracleOutcome::MultiTarget) => CheckOutcome::Pass,
+        (
+            Err(CoreError::DelegationTargetOutOfRange { voter, target, .. }),
+            OracleOutcome::TargetOutOfRange {
+                voter: ov,
+                target: ot,
+            },
+        ) if voter == ov && target == ot => CheckOutcome::Pass,
+        (system, reference) => CheckOutcome::Fail(format!(
+            "outcome kinds differ: CSR {system:?} vs oracle {reference:?}"
+        )),
+    }
+}
+
+/// Coin vectors per `csr-tally-oracle` run; enough to make a skewed
+/// weight essentially always visible while staying cheap on the grid.
+const CSR_COIN_ROUNDS: usize = 8;
+
+fn check_csr_tally_oracle(
+    actions: &[Action],
+    ps: &[f64],
+    seed: u64,
+    ctx: &CheckContext,
+) -> CheckOutcome {
+    let n = actions.len();
+    if n == 0 {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let dg = DelegationGraph::new(actions.to_vec());
+    if !dg.is_single_target() {
+        return CheckOutcome::Skip("multi-target graphs are tallied by sampling only");
+    }
+    let OracleOutcome::Resolved(orc) = oracle::resolve_recursive(actions) else {
+        return CheckOutcome::Skip("resolver rejects this graph");
+    };
+    let mut forest = match resolve_csr(actions, ctx) {
+        Ok(f) => f,
+        Err(e) => return CheckOutcome::Fail(format!("CSR resolve errored: {e}")),
+    };
+    // The SoA fold vs a naive per-voter walk: draw seeded coin vectors
+    // and compare the weighted correct mass both ways.
+    let mut rng = stream_rng(seed, 13);
+    for round in 0..CSR_COIN_ROUNDS {
+        let coins: Vec<bool> = (0..n).map(|v| rng.gen_range(0.0..1.0) < ps[v]).collect();
+        let kernel = forest.fold_weighted_coins(&coins);
+        let naive: u64 = orc
+            .sink_of
+            .iter()
+            .flatten()
+            .map(|&s| u64::from(coins[s]))
+            .sum();
+        if kernel != naive {
+            return CheckOutcome::Fail(format!(
+                "coin fold (round {round}) differs: kernel {kernel} vs per-voter walk \
+                 {naive} on coins {coins:?}"
+            ));
+        }
+    }
+    // The CSR exact tally vs the Resolution-based production path.
+    let inst = match carrier_instance(ps) {
+        Ok(i) => i,
+        Err(e) => return CheckOutcome::Fail(format!("carrier instance: {e}")),
+    };
+    let res = match dg.resolve() {
+        Ok(r) => r,
+        Err(e) => return CheckOutcome::Fail(format!("re-resolve failed: {e}")),
+    };
+    for tie in [TieBreak::Incorrect, TieBreak::CoinFlip] {
+        let reference = match exact_correct_probability(&inst, &res, tie) {
+            Ok(p) => p,
+            Err(e) => return CheckOutcome::Fail(format!("reference tally errored: {e}")),
+        };
+        let system = match forest.exact_correct_probability(&inst, tie) {
+            Ok(p) => p,
+            Err(e) => return CheckOutcome::Fail(format!("CSR tally errored: {e}")),
+        };
+        if (system - reference).abs() > EXACT_EPS {
+            return CheckOutcome::Fail(format!(
+                "CSR exact tally ({tie:?}) {system} differs from the Resolution path \
+                 {reference}"
             ));
         }
     }
@@ -861,6 +1048,7 @@ mod tests {
     fn ctx() -> CheckContext {
         CheckContext {
             tally: TallyImpl::Real,
+            csr: CsrImpl::Real,
         }
     }
 
@@ -894,6 +1082,7 @@ mod tests {
         let ps = vec![0.5, 0.5];
         let mutated = CheckContext {
             tally: TallyImpl::TieFlipped,
+            csr: CsrImpl::Real,
         };
         let outcome = check_tally_oracle(&actions, &ps, &mutated);
         assert!(
@@ -904,6 +1093,47 @@ mod tests {
             check_tally_oracle(&actions, &ps, &ctx()),
             CheckOutcome::Pass
         );
+    }
+
+    #[test]
+    fn csr_offset_mutant_is_detected_on_a_delegation_chain() {
+        // Skewing the interior offsets shifts a vote between consecutive
+        // sinks, so both CSR checks must flag it while the real build
+        // passes. A chain plus a lone voter gives two sinks with unequal
+        // weights, which the skew visibly redistributes.
+        let actions = vec![Action::Delegate(1), Action::Vote, Action::Vote];
+        let ps = vec![0.4, 0.6, 0.7];
+        let mutated = CheckContext {
+            tally: TallyImpl::Real,
+            csr: CsrImpl::OffsetSkewed,
+        };
+        let resolve = check_csr_resolve_oracle(&actions, &mutated);
+        assert!(
+            matches!(resolve, CheckOutcome::Fail(_)),
+            "resolve mutant not detected: {resolve:?}"
+        );
+        let tally = check_csr_tally_oracle(&actions, &ps, 5, &mutated);
+        assert!(
+            matches!(tally, CheckOutcome::Fail(_)),
+            "tally mutant not detected: {tally:?}"
+        );
+        assert_eq!(
+            check_csr_resolve_oracle(&actions, &ctx()),
+            CheckOutcome::Pass
+        );
+        assert_eq!(
+            check_csr_tally_oracle(&actions, &ps, 5, &ctx()),
+            CheckOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn csr_mutation_round_trips_through_its_id() {
+        use crate::Mutation;
+        for m in Mutation::all() {
+            assert_eq!(Mutation::parse(m.id()), Some(m));
+        }
+        assert_eq!(Mutation::parse("nonsense"), None);
     }
 
     #[test]

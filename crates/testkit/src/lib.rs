@@ -37,7 +37,7 @@ pub mod oracle;
 pub mod report;
 pub mod shrink;
 
-use checks::{CheckContext, CheckId, CheckOutcome, TallyImpl};
+use checks::{CheckContext, CheckId, CheckOutcome, CsrImpl, TallyImpl};
 use gen::{default_grid, CellSpec};
 use report::{ConformanceReport, Mismatch, ShrunkInstance};
 
@@ -47,19 +47,29 @@ use report::{ConformanceReport, Mismatch, ShrunkInstance};
 pub enum Mutation {
     /// Invert the tie-break credit in the exact tally.
     TieFlip,
+    /// Skew the CSR forest's interior group offsets by one slot, shifting
+    /// a vote between consecutive sinks (caught by the `csr-*-oracle`
+    /// checks).
+    CsrOffset,
 }
 
 impl Mutation {
+    /// Every known mutation.
+    pub fn all() -> [Mutation; 2] {
+        [Mutation::TieFlip, Mutation::CsrOffset]
+    }
+
     /// Stable identifier, as accepted by `--mutate`.
     pub fn id(self) -> &'static str {
         match self {
             Mutation::TieFlip => "tie-flip",
+            Mutation::CsrOffset => "csr-offset",
         }
     }
 
     /// Parses a mutation identifier.
     pub fn parse(s: &str) -> Option<Mutation> {
-        (s == Mutation::TieFlip.id()).then_some(Mutation::TieFlip)
+        Mutation::all().into_iter().find(|m| m.id() == s)
     }
 }
 
@@ -148,7 +158,11 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     let ctx = CheckContext {
         tally: match cfg.mutation {
             Some(Mutation::TieFlip) => TallyImpl::TieFlipped,
-            None => TallyImpl::Real,
+            _ => TallyImpl::Real,
+        },
+        csr: match cfg.mutation {
+            Some(Mutation::CsrOffset) => CsrImpl::OffsetSkewed,
+            _ => CsrImpl::Real,
         },
     };
     let grid = default_grid(cfg.quick);

@@ -149,7 +149,7 @@ pub fn shrink_failure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checks::TallyImpl;
+    use crate::checks::{CsrImpl, TallyImpl};
 
     #[test]
     fn remove_voter_remaps_targets() {
@@ -184,6 +184,7 @@ mod tests {
         let ps = vec![0.5; 10];
         let ctx = CheckContext {
             tally: TallyImpl::TieFlipped,
+            csr: CsrImpl::Real,
         };
         let shrunk = shrink_failure(CheckId::TallyOracle, &actions, &ps, 1, &ctx)
             .expect("failure should shrink");
@@ -195,6 +196,7 @@ mod tests {
     fn passing_input_does_not_shrink() {
         let ctx = CheckContext {
             tally: TallyImpl::Real,
+            csr: CsrImpl::Real,
         };
         assert!(shrink_failure(CheckId::TallyOracle, &[Action::Vote], &[0.5], 1, &ctx).is_none());
     }

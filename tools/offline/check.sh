@@ -34,6 +34,11 @@ cargo "${CFG[@]}" check --offline --workspace --all-targets
 echo "== offline: cargo test (workspace, release)"
 cargo "${CFG[@]}" test --offline --workspace --release -q -- "${SERDE_JSON_SKIPS[@]}"
 
+echo "== offline: CSR kernel + scheduler determinism suites (release)"
+cargo "${CFG[@]}" test --offline -p ld-core --release -q csr
+cargo "${CFG[@]}" test --offline -p ld-testkit --release -q -- --skip report::tests::report_serializes_and_reports_ok
+cargo "${CFG[@]}" test --offline -p ld-sim --release -q --test scheduler_determinism
+
 echo "== offline: cargo check (ld-sim, all targets, --features obs)"
 cargo "${CFG[@]}" check --offline -p ld-sim --all-targets --features obs
 
