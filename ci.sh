@@ -40,6 +40,25 @@ if ./target/release/repro conformance --quick --no-corpus \
   exit 1
 fi
 
+echo "==> WAL crash-recovery gate (crash-at-any-offset oracle + store conformance)"
+./target/release/repro conformance --quick --only wal-crash-oracle
+./target/release/repro conformance --quick --only store-crash-recovery
+
+echo "==> crash-recovery smoke (churn through the WAL, kill at a seeded offset, recover, bit-compare)"
+rm -rf target/wal-smoke
+./target/release/repro stress --n 512 --updates 20000 --wal target/wal-smoke --crash-at seeded
+./target/release/repro recover --dir target/wal-smoke --verify-full-replay
+
+echo "==> WAL mutation smoke (skipped record CRCs MUST be detected)"
+if ./target/release/repro conformance --quick --no-corpus \
+    --mutate wal-crc >/dev/null 2>&1; then
+  echo "ERROR: injected wal-crc mutation was not detected — the crash oracle has no teeth" >&2
+  exit 1
+fi
+
+echo "==> store-bench gate (snapshot+tail recovery must beat full replay >= 10x)"
+./target/release/repro store-bench
+
 echo "==> scheduler determinism (bit-identity across worker counts)"
 cargo test -q -p ld-sim --test scheduler_determinism
 

@@ -1,0 +1,247 @@
+//! Binary encoding of [`Update`] events — the payload format of the
+//! `ld-store` write-ahead log.
+//!
+//! One update encodes to one compact little-endian payload:
+//!
+//! ```text
+//! Delegate   [0x01][voter: u32][target: u32]   9 bytes
+//! Vote       [0x02][voter: u32]                5 bytes
+//! Abstain    [0x03][voter: u32]                5 bytes
+//! Competence [0x04][voter: u32][p: f64 bits]  13 bytes
+//! ```
+//!
+//! The codec frames nothing and checksums nothing — that is the WAL's
+//! job (`ld-store` wraps each payload in a length + CRC32 frame). It
+//! does reject structurally malformed payloads with a typed
+//! [`CodecError`], so a corrupted record that slips past an integrity
+//! check still cannot decode into a phantom update of the wrong shape.
+//! Semantic validation (voter in range, competency in `[0, 1]`) stays
+//! where it always was: [`LiveEngine::apply`](crate::LiveEngine::apply).
+//!
+//! Round-tripping is exact: `decode_update(encoded(u)) == u`, including
+//! the bit pattern of competency values (encoded via
+//! [`f64::to_bits`]).
+
+use crate::engine::Update;
+use std::fmt;
+
+/// Tag byte for [`Update::Delegate`].
+const TAG_DELEGATE: u8 = 0x01;
+/// Tag byte for [`Update::Vote`].
+const TAG_VOTE: u8 = 0x02;
+/// Tag byte for [`Update::Abstain`].
+const TAG_ABSTAIN: u8 = 0x03;
+/// Tag byte for [`Update::Competence`].
+const TAG_COMPETENCE: u8 = 0x04;
+
+/// The largest encoded payload ([`Update::Competence`]: 13 bytes).
+pub const MAX_PAYLOAD: usize = 13;
+
+/// A structurally malformed update payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload was empty.
+    Empty,
+    /// The tag byte names no known update kind.
+    UnknownTag(u8),
+    /// The payload length does not match its tag's fixed size.
+    Length {
+        /// The tag byte that was read.
+        tag: u8,
+        /// The length the tag requires.
+        expected: usize,
+        /// The length that was found.
+        got: usize,
+    },
+    /// A voter id does not fit in this platform's `usize`.
+    VoterOverflow {
+        /// The encoded id.
+        id: u32,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Empty => write!(f, "empty update payload"),
+            CodecError::UnknownTag(t) => write!(f, "unknown update tag 0x{t:02x}"),
+            CodecError::Length { tag, expected, got } => write!(
+                f,
+                "update tag 0x{tag:02x} requires {expected} bytes, got {got}"
+            ),
+            CodecError::VoterOverflow { id } => {
+                write!(f, "voter id {id} does not fit in usize")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends the encoding of `update` to `out` and returns the number of
+/// bytes written.
+///
+/// Voter ids are stored as `u32` — the same bound
+/// [`LiveEngine`](crate::LiveEngine) enforces on `n` — so an id that
+/// does not fit is a caller bug and panics rather than truncating.
+pub fn encode_update(update: &Update, out: &mut Vec<u8>) -> usize {
+    let id = |v: usize| -> u32 {
+        u32::try_from(v).expect("voter id exceeds u32 (engine enforces n < u32::MAX)")
+    };
+    let before = out.len();
+    match *update {
+        Update::Delegate { voter, target } => {
+            out.push(TAG_DELEGATE);
+            out.extend_from_slice(&id(voter).to_le_bytes());
+            out.extend_from_slice(&id(target).to_le_bytes());
+        }
+        Update::Vote { voter } => {
+            out.push(TAG_VOTE);
+            out.extend_from_slice(&id(voter).to_le_bytes());
+        }
+        Update::Abstain { voter } => {
+            out.push(TAG_ABSTAIN);
+            out.extend_from_slice(&id(voter).to_le_bytes());
+        }
+        Update::Competence { voter, p } => {
+            out.push(TAG_COMPETENCE);
+            out.extend_from_slice(&id(voter).to_le_bytes());
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+    out.len() - before
+}
+
+fn read_u32(payload: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&payload[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn voter_id(payload: &[u8], at: usize) -> Result<usize, CodecError> {
+    let id = read_u32(payload, at);
+    usize::try_from(id).map_err(|_| CodecError::VoterOverflow { id })
+}
+
+/// Decodes one exact payload (as extracted from a WAL frame).
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the payload is empty, carries an unknown
+/// tag, or has the wrong length for its tag. Field *values* are not
+/// validated here — an out-of-range voter id decodes fine and is then
+/// rejected by the engine, exactly like any other invalid update.
+pub fn decode_update(payload: &[u8]) -> Result<Update, CodecError> {
+    let Some(&tag) = payload.first() else {
+        return Err(CodecError::Empty);
+    };
+    let need = |expected: usize| -> Result<(), CodecError> {
+        if payload.len() == expected {
+            Ok(())
+        } else {
+            Err(CodecError::Length {
+                tag,
+                expected,
+                got: payload.len(),
+            })
+        }
+    };
+    match tag {
+        TAG_DELEGATE => {
+            need(9)?;
+            Ok(Update::Delegate {
+                voter: voter_id(payload, 1)?,
+                target: voter_id(payload, 5)?,
+            })
+        }
+        TAG_VOTE => {
+            need(5)?;
+            Ok(Update::Vote {
+                voter: voter_id(payload, 1)?,
+            })
+        }
+        TAG_ABSTAIN => {
+            need(5)?;
+            Ok(Update::Abstain {
+                voter: voter_id(payload, 1)?,
+            })
+        }
+        TAG_COMPETENCE => {
+            need(13)?;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&payload[5..13]);
+            Ok(Update::Competence {
+                voter: voter_id(payload, 1)?,
+                p: f64::from_bits(u64::from_le_bytes(b)),
+            })
+        }
+        other => Err(CodecError::UnknownTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(u: Update) {
+        let mut buf = Vec::new();
+        let written = encode_update(&u, &mut buf);
+        assert_eq!(written, buf.len());
+        assert!(written <= MAX_PAYLOAD);
+        let back = decode_update(&buf).unwrap();
+        // Update derives PartialEq over f64; competency bit patterns are
+        // preserved exactly, so plain equality is the right check.
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        roundtrip(Update::Delegate {
+            voter: 0,
+            target: u32::MAX as usize - 2,
+        });
+        roundtrip(Update::Vote { voter: 7 });
+        roundtrip(Update::Abstain { voter: 123_456 });
+        roundtrip(Update::Competence {
+            voter: 3,
+            p: 0.123_456_789,
+        });
+        roundtrip(Update::Competence { voter: 0, p: 0.0 });
+        roundtrip(Update::Competence { voter: 0, p: 1.0 });
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert_eq!(decode_update(&[]), Err(CodecError::Empty));
+        assert_eq!(
+            decode_update(&[0x7f, 0, 0, 0, 0]),
+            Err(CodecError::UnknownTag(0x7f))
+        );
+        assert_eq!(
+            decode_update(&[TAG_VOTE, 0, 0, 0]),
+            Err(CodecError::Length {
+                tag: TAG_VOTE,
+                expected: 5,
+                got: 4
+            })
+        );
+        // A truncated Competence must not decode as anything.
+        let mut buf = Vec::new();
+        encode_update(&Update::Competence { voter: 1, p: 0.5 }, &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_update(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn errors_display_something_useful() {
+        assert!(CodecError::UnknownTag(0xaa).to_string().contains("0xaa"));
+        assert!(CodecError::Length {
+            tag: TAG_DELEGATE,
+            expected: 9,
+            got: 2
+        }
+        .to_string()
+        .contains("9"));
+    }
+}

@@ -288,6 +288,169 @@ impl LiveEngine {
         Ok(engine)
     }
 
+    /// Rehydrates an engine from previously-resolved state — the
+    /// recovery path of `ld-store` snapshots — without re-running the
+    /// resolver: no chain is chased, every pass is a flat `O(n)` scan.
+    ///
+    /// The caller supplies the resolved view (`sink_of`, `depth`)
+    /// alongside the inputs (`actions`, `competence`); consistency is
+    /// *fully validated* by local rules before anything is trusted:
+    ///
+    /// * a terminal (vote, self-delegation, abstention) has depth `0`
+    ///   and is its own sink (or `None` for abstention);
+    /// * a delegator `v → t` has `depth[v] == depth[t] + 1` and
+    ///   `sink_of[v] == sink_of[t]`.
+    ///
+    /// The depth rule makes cycles unrepresentable (depth strictly
+    /// decreases along every chain) and, by induction on depth, forces
+    /// `sink_of` to equal exactly what `resolve` would compute — so a
+    /// snapshot that passes rehydration is bit-identical to a
+    /// from-scratch resolve, without paying for one.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::SizeMismatch`] if the vectors disagree on `n`.
+    /// * [`CoreError::InvalidCompetency`] for a competency outside
+    ///   `[0, 1]`.
+    /// * [`CoreError::DelegationTargetOutOfRange`] for an out-of-range
+    ///   target.
+    /// * [`CoreError::InvalidParameter`] for a multi-target action, an
+    ///   oversized `n`, or any `sink_of`/`depth` local-rule violation
+    ///   (a corrupt or logically stale snapshot).
+    pub fn from_resolved_parts(
+        actions: Vec<Action>,
+        competence: Vec<f64>,
+        sink_of: Vec<Option<usize>>,
+        depth: Vec<u32>,
+    ) -> Result<Self, CoreError> {
+        let n = actions.len();
+        if competence.len() != n {
+            return Err(CoreError::SizeMismatch {
+                graph_n: n,
+                profile_n: competence.len(),
+            });
+        }
+        if sink_of.len() != n || depth.len() != n {
+            return Err(CoreError::InvalidParameter {
+                reason: format!(
+                    "resolved parts disagree on n: actions {n}, sink_of {}, depth {}",
+                    sink_of.len(),
+                    depth.len()
+                ),
+            });
+        }
+        if n >= NO_LINK as usize {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("live engine limited to {} voters, got {n}", NO_LINK - 1),
+            });
+        }
+        for (i, &p) in competence.iter().enumerate() {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(CoreError::InvalidCompetency {
+                    value: p,
+                    index: Some(i),
+                });
+            }
+        }
+        let inconsistent = |v: usize, what: &str| CoreError::InvalidParameter {
+            reason: format!("snapshot inconsistent at voter {v}: {what}"),
+        };
+        let mut weight = vec![0usize; n];
+        let mut discarded = 0usize;
+        let mut delegators = 0usize;
+        let mut sink_count = 0usize;
+        for v in 0..n {
+            // A self-delegation resolves as a terminal but is still a
+            // delegation action; `delegators` counts actions, not edges.
+            delegators += usize::from(actions[v].is_delegation());
+            let terminal_sink = match actions[v] {
+                Action::Vote => Some(Some(v)),
+                Action::Abstain => Some(None),
+                Action::Delegate(t) if t == v => Some(Some(v)),
+                Action::Delegate(t) => {
+                    if t >= n {
+                        return Err(CoreError::DelegationTargetOutOfRange {
+                            voter: v,
+                            target: t,
+                            n,
+                        });
+                    }
+                    None
+                }
+                _ => {
+                    return Err(CoreError::InvalidParameter {
+                        reason: format!(
+                            "voter {v}: live engine rehydrates single-target actions only"
+                        ),
+                    })
+                }
+            };
+            match terminal_sink {
+                Some(expected) => {
+                    if depth[v] != 0 {
+                        return Err(inconsistent(v, "terminal with nonzero depth"));
+                    }
+                    if sink_of[v] != expected {
+                        return Err(inconsistent(v, "terminal not its own sink"));
+                    }
+                }
+                None => {
+                    let t = match actions[v] {
+                        Action::Delegate(t) => t,
+                        _ => unreachable!("delegator by construction"),
+                    };
+                    if depth[v] != depth[t] + 1 {
+                        return Err(inconsistent(v, "depth is not target depth + 1"));
+                    }
+                    if sink_of[v] != sink_of[t] {
+                        return Err(inconsistent(v, "sink differs from target's sink"));
+                    }
+                }
+            }
+            match sink_of[v] {
+                Some(s) => {
+                    if s >= n {
+                        return Err(inconsistent(v, "sink out of range"));
+                    }
+                    weight[s] += 1;
+                    if s == v {
+                        sink_count += 1;
+                    }
+                }
+                None => discarded += 1,
+            }
+        }
+
+        let mut engine = LiveEngine {
+            actions,
+            competence,
+            first_child: vec![NO_LINK; n],
+            next_sibling: vec![NO_LINK; n],
+            prev_sibling: vec![NO_LINK; n],
+            sink_of,
+            depth,
+            weight,
+            discarded,
+            delegators,
+            sink_count,
+            depth_count: Vec::new(),
+            max_depth_bound: 0,
+            sum_wp: 0.0,
+            sum_w2pq: 0.0,
+            tally_ops: 0,
+            mark: vec![0; n],
+            epoch: 0,
+            dirty: Vec::new(),
+            touched: Vec::new(),
+            stack: Vec::new(),
+        };
+        // Recomputes depths (and the histogram) by DFS; the local rules
+        // above guarantee it reproduces the supplied array.
+        engine.rebuild_forest_and_depths();
+        engine.refresh_tally();
+        Ok(engine)
+    }
+
     /// Number of voters.
     pub fn n(&self) -> usize {
         self.actions.len()
@@ -313,6 +476,13 @@ impl LiveEngine {
     /// through abstention).
     pub fn sink_of(&self, v: usize) -> Option<usize> {
         self.sink_of[v]
+    }
+
+    /// Per-voter delegation-chain depths in edges (index = voter); what
+    /// `ld-store` snapshots persist so rehydration can validate
+    /// `sink_of` without chasing chains.
+    pub fn depths(&self) -> &[u32] {
+        &self.depth
     }
 
     /// Votes discarded through abstention.

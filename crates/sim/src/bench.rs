@@ -243,6 +243,104 @@ pub fn run_baseline(seed: u64, quick: bool) -> Result<Vec<BenchResult>> {
         }));
     }
 
+    // wal_append_1m: one WAL record append (fsync every 1024) from a
+    // prepared update stream; the full run appends 1M records — the
+    // write-path budget of an n = 10⁷-scale durable harness run.
+    {
+        use ld_store::{FaultPlan, Store, StoreOptions};
+        let n = 10_000;
+        let dir = crate::durable::scratch_dir("bench-wal-append");
+        let engine = LiveEngine::new(
+            vec![Action::Vote; n],
+            TraceConfig::balanced(n).initial_competences(seed),
+        )
+        .map_err(|e| SimError::Config {
+            reason: format!("bench engine: {e}"),
+        })?;
+        let updates: Vec<_> = Trace::new(TraceConfig::balanced(n), seed)
+            .map_err(|reason| SimError::Config { reason })?
+            .take(4_096)
+            .collect();
+        let mut store = Store::create(
+            &dir,
+            &engine,
+            StoreOptions {
+                sync_every: 1024,
+                snapshot_every: 0,
+                fault: FaultPlan::none(),
+            },
+        )?;
+        let mut i = 0usize;
+        let mut failure = None;
+        let result = time_iters("wal_append_1m", n, iters(1_000_000), || {
+            if let Err(e) = store.append(&updates[i % updates.len()]) {
+                failure = Some(e);
+            }
+            i += 1;
+        });
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+        if let Some(e) = failure {
+            return Err(e.into());
+        }
+        out.push(result);
+    }
+
+    // recover_snapshot_1m: rehydrate a 1M-voter engine from its binary
+    // snapshot plus a short WAL tail — the fast recovery path an
+    // interrupted large run takes instead of replaying the full log.
+    {
+        use ld_store::{recover, FaultPlan, Store, StoreOptions};
+        let n = 1_000_000;
+        let dir = crate::durable::scratch_dir("bench-recover");
+        let mut engine = LiveEngine::new(vec![Action::Vote; n], vec![0.55; n]).map_err(|e| {
+            SimError::Config {
+                reason: format!("bench engine: {e}"),
+            }
+        })?;
+        let mut store = Store::create(
+            &dir,
+            &engine,
+            StoreOptions {
+                sync_every: 256,
+                snapshot_every: 0,
+                fault: FaultPlan::none(),
+            },
+        )?;
+        for u in Trace::new(TraceConfig::balanced(n), seed)
+            .map_err(|reason| SimError::Config { reason })?
+            .take(2_000)
+        {
+            if engine.apply(u).is_ok() {
+                store.append(&u)?;
+            }
+        }
+        store.compact(&engine)?;
+        // A post-snapshot tail so the bench times snapshot + replay,
+        // not snapshot alone.
+        for u in Trace::new(TraceConfig::balanced(n), seed ^ 1)
+            .map_err(|reason| SimError::Config { reason })?
+            .take(256)
+        {
+            if engine.apply(u).is_ok() {
+                store.append(&u)?;
+            }
+        }
+        store.sync()?;
+        drop(store);
+        let mut failure = None;
+        let result = time_iters("recover_snapshot_1m", n, iters(10), || {
+            if let Err(e) = recover(&dir) {
+                failure = Some(e);
+            }
+        });
+        std::fs::remove_dir_all(&dir).ok();
+        if let Some(e) = failure {
+            return Err(e.into());
+        }
+        out.push(result);
+    }
+
     Ok(out)
 }
 
@@ -498,7 +596,9 @@ mod tests {
                 "estimate_gain_par2_1k",
                 "live_update",
                 "live_batch64",
-                "graph_regular"
+                "graph_regular",
+                "wal_append_1m",
+                "recover_snapshot_1m"
             ]
         );
         for r in &results {

@@ -9,8 +9,12 @@
 //! repro all --max-wall 3600    # budget: degrade gracefully after 1 h
 //! repro --resume results/checkpoints/repro-seed<seed>-full.json
 //! repro stress --n 100000 --updates 1000000   # live-engine churn driver
+//! repro stress --n 100000 --updates 1000000 --wal results/wal  # durable: tee through the WAL
+//! repro stress ... --wal DIR --crash-at seeded # simulate kill -9 at a seeded I/O op
+//! repro recover --dir results/wal --verify-full-replay  # rehydrate + bit-compare tally
+//! repro store-bench            # snapshot+tail vs full-log replay (>=10x gate)
 //! repro conformance --quick    # differential/metamorphic conformance gate
-//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_5.json
+//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_6.json
 //! repro bench-compare OLD NEW  # fail on >30% ns/iter regression
 //! repro all --obs-summary      # append the ld-obs metrics table
 //! ```
@@ -115,7 +119,8 @@ fn parse_args() -> Result<Args, String> {
                      [--csv-dir DIR] [--resume CKPT] [--checkpoint-dir DIR] [--no-checkpoint] \
                      [--max-wall SECS] [--max-retries N] [--fail-fast] \
                      [--obs-summary] [--obs-jsonl PATH] \
-                     <id>... | all | verify | sweep ... | stress ... | conformance ... \
+                     <id>... | all | verify | sweep ... | stress ... | recover ... \
+                     | store-bench ... | conformance ... \
                      | bench-baseline ... | bench-compare OLD NEW"
                 );
                 std::process::exit(0);
@@ -269,12 +274,20 @@ fn run_sweep_command(cfg: &ExperimentConfig) -> ExitCode {
 }
 
 /// Handles `repro stress --n N --updates U [--batch K] [--seed S]
-/// [--zipf S] [--mix d,v,a]`: drives a seeded synthetic churn trace
-/// through the `ld-live` engine twice — streamed one update at a time and
-/// batched K at a time — reports throughput and latency percentiles, and
-/// cross-checks that the incremental state is bit-identical to a
-/// from-scratch `resolve()` of the final action vector (and that the two
-/// replicas agree). Any divergence is a non-zero exit.
+/// [--zipf S] [--mix d,v,a] [--wal DIR] [--sync-every R]
+/// [--snapshot-every R] [--crash-at K:kind|seeded]`: drives a seeded
+/// synthetic churn trace through the `ld-live` engine twice — streamed
+/// one update at a time and batched K at a time — reports throughput and
+/// latency percentiles, and cross-checks that the incremental state is
+/// bit-identical to a from-scratch `resolve()` of the final action
+/// vector (and that the two replicas agree). Any divergence is a
+/// non-zero exit.
+///
+/// With `--wal DIR` a third replica tees every accepted update through
+/// an `ld-store` WAL (periodic binary snapshots via `--snapshot-every`),
+/// so the run survives kill -9: `repro recover --dir DIR` rehydrates it.
+/// `--crash-at` arms the deterministic fault injector and simulates the
+/// kill — the run stops at the planned I/O operation and reports where.
 fn run_stress_command() -> ExitCode {
     use ld_live::workload::TraceConfig;
     use ld_sim::experiments::stress::{run_churn, ChurnSpec};
@@ -286,6 +299,10 @@ fn run_stress_command() -> ExitCode {
     let mut seed = ExperimentConfig::default().seed;
     let mut zipf: Option<f64> = None;
     let mut mix: Option<String> = None;
+    let mut wal: Option<PathBuf> = None;
+    let mut sync_every = 1024u64;
+    let mut snapshot_every: Option<u64> = None;
+    let mut crash_at: Option<String> = None;
     let mut obs_summary = false;
     let mut obs_jsonl: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -299,6 +316,12 @@ fn run_stress_command() -> ExitCode {
             "--seed" => seed = next(i).and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--zipf" => zipf = next(i).and_then(|v| v.parse().ok()),
             "--mix" => mix = next(i).cloned(),
+            "--wal" => wal = next(i).map(PathBuf::from),
+            "--sync-every" => {
+                sync_every = next(i).and_then(|v| v.parse().ok()).unwrap_or(sync_every);
+            }
+            "--snapshot-every" => snapshot_every = next(i).and_then(|v| v.parse().ok()),
+            "--crash-at" => crash_at = next(i).cloned(),
             "--obs-summary" => {
                 obs_summary = true;
                 i += 1;
@@ -313,11 +336,17 @@ fn run_stress_command() -> ExitCode {
         i += 2;
     }
     let usage = "usage: repro stress --n <voters> --updates <count> [--batch K] [--seed S] \
-                 [--zipf S] [--mix delegate,vote,abstain] [--obs-summary] [--obs-jsonl PATH]";
+                 [--zipf S] [--mix delegate,vote,abstain] [--wal DIR] [--sync-every R] \
+                 [--snapshot-every R] [--crash-at K:fail|short-write|corrupt | seeded] \
+                 [--obs-summary] [--obs-jsonl PATH]";
     let (Some(n), Some(updates)) = (n, updates) else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
     };
+    if crash_at.is_some() && wal.is_none() {
+        eprintln!("--crash-at needs --wal DIR (the fault injector lives in the store)\n{usage}");
+        return ExitCode::FAILURE;
+    }
     let mut trace = TraceConfig::balanced(n);
     if let Some(s) = zipf {
         trace.zipf_s = s;
@@ -336,13 +365,85 @@ fn run_stress_command() -> ExitCode {
         trace.vote_frac = parts[1];
         trace.abstain_frac = parts[2];
     }
+
+    // The durable replica: tee every accepted update through the WAL
+    // before moving on, so the run is recoverable after kill -9.
+    let durable = match &wal {
+        None => None,
+        Some(dir) => {
+            let fault = match crash_at.as_deref() {
+                None => ld_store::FaultPlan::none(),
+                Some("seeded") => {
+                    // Records undercount I/O ops (fsyncs, snapshots), so
+                    // drawing from the update count keeps the planned op
+                    // inside the run.
+                    ld_store::FaultPlan::seeded(seed, 0xC2A5, updates as u64)
+                }
+                Some(raw) => {
+                    let parsed = raw.split_once(':').and_then(|(k, kind)| {
+                        Some(ld_store::FaultPlan {
+                            at: k.parse().ok()?,
+                            kind: ld_store::FaultKind::parse(kind)?,
+                        })
+                    });
+                    match parsed {
+                        Some(p) => p,
+                        None => {
+                            eprintln!(
+                                "bad --crash-at {raw:?} (want K:fail|short-write|corrupt, \
+                                 or seeded)\n{usage}"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            let opts = ld_store::StoreOptions {
+                sync_every,
+                snapshot_every: snapshot_every.unwrap_or(((updates / 8) as u64).max(1)),
+                fault,
+            };
+            let spec = ld_sim::durable::DurableSpec {
+                trace: trace.clone(),
+                updates,
+                seed,
+                opts,
+            };
+            match ld_sim::durable::run_durable(dir, &spec) {
+                Ok(run) => Some(run),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    if let Some(run) = &durable {
+        if let Some(crash) = &run.crashed {
+            let dir = wal.as_ref().expect("durable implies --wal");
+            println!(
+                "stress: simulated crash after {} accepted update(s): {crash}",
+                run.applied
+            );
+            println!(
+                "  wal: {} record(s), last snapshot at {}; recover with: \
+                 repro recover --dir {} --verify-full-replay",
+                run.records,
+                run.last_snapshot,
+                dir.display()
+            );
+            emit_obs(obs_summary, obs_jsonl.as_deref());
+            return ExitCode::SUCCESS;
+        }
+    }
+
     let spec = ChurnSpec {
         trace,
         updates,
         batch: 1,
         seed,
     };
-    let outcome = (|| -> ld_sim::Result<(Table, bool)> {
+    let outcome = (|| -> ld_sim::Result<(Table, bool, Option<bool>)> {
         let streamed = run_churn(&spec)?;
         let batched = run_churn(&ChurnSpec {
             batch: batch.max(1),
@@ -382,15 +483,39 @@ fn run_stress_command() -> ExitCode {
                 r.decision_probability.into(),
             ]);
         }
-        Ok((table, streamed.resolution == batched.resolution))
+        let durable_agrees = durable
+            .as_ref()
+            .map(|d| d.engine.resolution() == streamed.resolution);
+        Ok((
+            table,
+            streamed.resolution == batched.resolution,
+            durable_agrees,
+        ))
     })();
     match outcome {
-        Ok((table, replicas_agree)) => {
+        Ok((table, replicas_agree, durable_agrees)) => {
             print!("{}", table.to_text());
+            if let (Some(run), Some(dir)) = (&durable, &wal) {
+                println!(
+                    "wal: {} record(s), last snapshot at {}, {:.1}s durable run ({})",
+                    run.records,
+                    run.last_snapshot,
+                    run.elapsed,
+                    dir.display()
+                );
+            }
             emit_obs(obs_summary, obs_jsonl.as_deref());
             // run_churn has already verified incremental == from-scratch
             // for each replica; here we add the stream-vs-batch check.
             println!("cross-check: incremental == from-scratch resolve: ok (both replicas)");
+            if let Some(agrees) = durable_agrees {
+                if agrees {
+                    println!("cross-check: durable (WAL-teed) == streamed final state: ok");
+                } else {
+                    eprintln!("cross-check FAILED: durable replica diverged from streamed");
+                    return ExitCode::FAILURE;
+                }
+            }
             if replicas_agree {
                 println!("cross-check: streamed == batched final state: ok");
                 ExitCode::SUCCESS
@@ -407,15 +532,17 @@ fn run_stress_command() -> ExitCode {
 }
 
 /// Handles `repro conformance [--quick] [--seed N] [--json PATH]
-/// [--only CHECK] [--case SUBSTR] [--mutate tie-flip|csr-offset]`: runs the
-/// `ld-testkit` differential/metamorphic grid plus the simulation-layer
-/// checks, prints every mismatch with its shrunk minimal instance and a
-/// one-line reproduction command, and exits non-zero on any mismatch.
+/// [--only CHECK] [--case SUBSTR] [--mutate tie-flip|csr-offset|wal-crc]`:
+/// runs the `ld-testkit` differential/metamorphic grid plus the
+/// simulation-layer checks, prints every mismatch with its shrunk minimal
+/// instance and a one-line reproduction command, and exits non-zero on
+/// any mismatch.
 fn run_conformance_command() -> ExitCode {
     use ld_testkit::{ConformanceConfig, Mutation};
 
     let usage = "usage: repro conformance [--quick] [--seed N] [--json PATH] \
-                 [--only CHECK] [--case SUBSTR] [--mutate tie-flip|csr-offset] [--no-corpus]";
+                 [--only CHECK] [--case SUBSTR] [--mutate tie-flip|csr-offset|wal-crc] \
+                 [--no-corpus]";
     let mut cfg = ConformanceConfig::default();
     let mut json: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -465,7 +592,8 @@ fn run_conformance_command() -> ExitCode {
                 Some(m) => cfg.mutation = Some(m),
                 None => {
                     eprintln!(
-                        "bad or missing --mutate value (known: tie-flip, csr-offset)\n{usage}"
+                        "bad or missing --mutate value (known: tie-flip, csr-offset, \
+                         wal-crc)\n{usage}"
                     );
                     return ExitCode::FAILURE;
                 }
@@ -541,6 +669,179 @@ fn run_conformance_command() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Handles `repro recover --dir DIR [--verify-full-replay]`: rehydrates
+/// the engine from the newest valid binary snapshot plus the WAL tail,
+/// proves the recovered state against a from-scratch resolve of its own
+/// action vector (and, with `--verify-full-replay`, against a genesis +
+/// full-log replay, bit for bit), and prints the recovery summary and
+/// tally digest. Any divergence is a non-zero exit.
+fn run_recover_command() -> ExitCode {
+    use ld_sim::table::Table;
+
+    let usage = "usage: repro recover --dir DIR [--verify-full-replay]";
+    let mut dir: Option<PathBuf> = None;
+    let mut full_replay = false;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dir" => match argv.get(i + 1) {
+                Some(v) => {
+                    dir = Some(PathBuf::from(v));
+                    i += 2;
+                }
+                None => {
+                    eprintln!("--dir needs a path\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verify-full-replay" => {
+                full_replay = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown recover argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    match ld_sim::durable::verify_recovery(&dir, full_replay) {
+        Ok(v) => {
+            let mut table = Table::new(
+                &format!("recover: {}", dir.display()),
+                &[
+                    "records",
+                    "snapshot@",
+                    "replayed",
+                    "torn tail",
+                    "snaps skipped",
+                    "chain",
+                    "sinks",
+                    "P[correct]",
+                ],
+            );
+            table.push([
+                (v.records as i64).into(),
+                (v.snapshot_applied as i64).into(),
+                (v.replayed as i64).into(),
+                if v.torn { "truncated" } else { "clean" }.into(),
+                v.snapshots_skipped.into(),
+                v.engine.longest_chain().into(),
+                v.engine.sink_count().into(),
+                v.decision_probability.into(),
+            ]);
+            print!("{}", table.to_text());
+            println!("cross-check: recovered state == from-scratch resolve: ok");
+            if v.full_replay_checked {
+                println!("cross-check: snapshot+tail == genesis+full-replay (bit-identical): ok");
+            } else if full_replay {
+                println!(
+                    "cross-check: full-replay baseline inapplicable — the log lost bytes \
+                     inside the snapshot-covered prefix; the snapshot CRC vouches for \
+                     those records"
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Handles `repro store-bench [--n N] [--updates U] [--seed S]
+/// [--dir DIR] [--iters K] [--min-speedup X]`: builds a store under
+/// churn with periodic compaction, then times snapshot+tail recovery
+/// against genesis + full-log replay (bit-identity verified each
+/// iteration). Exits non-zero if the speedup falls below `--min-speedup`
+/// (default 10x) — the gate the snapshot format exists to win.
+fn run_store_bench_command() -> ExitCode {
+    use ld_sim::table::Table;
+
+    let usage = "usage: repro store-bench [--n N] [--updates U] [--seed S] [--dir DIR] \
+                 [--iters K] [--min-speedup X]";
+    let mut n = 10_000usize;
+    let mut updates = 200_000usize;
+    let mut seed: u64 = ExperimentConfig::default().seed;
+    let mut dir: Option<PathBuf> = None;
+    let mut iters = 3u32;
+    let mut min_speedup = 10.0f64;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        let value = argv.get(i + 1);
+        match argv[i].as_str() {
+            "--n" => n = value.and_then(|v| v.parse().ok()).unwrap_or(n),
+            "--updates" => updates = value.and_then(|v| v.parse().ok()).unwrap_or(updates),
+            "--seed" | "-s" => seed = value.and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--dir" => dir = value.map(PathBuf::from),
+            "--iters" => iters = value.and_then(|v| v.parse().ok()).unwrap_or(iters),
+            "--min-speedup" => {
+                min_speedup = value.and_then(|v| v.parse().ok()).unwrap_or(min_speedup);
+            }
+            other => {
+                eprintln!("unknown store-bench argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    let scratch = dir.is_none();
+    let dir = dir.unwrap_or_else(|| ld_sim::durable::scratch_dir("store-bench"));
+    eprintln!("store-bench: n={n}, {updates} updates, seed {seed}, best of {iters} ...");
+    let outcome = ld_sim::durable::store_bench(&dir, n, updates, seed, iters);
+    if scratch {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    match outcome {
+        Ok(r) => {
+            let mut table = Table::new(
+                "store-bench: snapshot+tail recovery vs genesis+full-replay",
+                &[
+                    "n",
+                    "records",
+                    "snapshot@",
+                    "snapshot+tail ms",
+                    "full replay ms",
+                    "speedup",
+                ],
+            );
+            table.push([
+                r.n.into(),
+                (r.records as i64).into(),
+                (r.snapshot_applied as i64).into(),
+                (r.latest_secs * 1e3).into(),
+                (r.full_replay_secs * 1e3).into(),
+                r.speedup.into(),
+            ]);
+            print!("{}", table.to_text());
+            if r.speedup >= min_speedup {
+                println!(
+                    "store-bench: PASS (snapshot path {:.1}x faster; gate {min_speedup:.0}x)",
+                    r.speedup
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "store-bench: FAIL — snapshot path only {:.1}x faster than full replay \
+                     (gate {min_speedup:.0}x)",
+                    r.speedup
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// A maintenance aid (`repro sweep --inject-panic N`): wraps the real
 /// mechanism and panics at instance size `N`, for demonstrating and
 /// testing the harness's quarantine path end to end.
@@ -609,7 +910,7 @@ fn emit_obs(obs_summary: bool, obs_jsonl: Option<&std::path::Path>) {
 
 /// Handles `repro bench-baseline [--quick] [--out PATH] [--seed N]
 /// [--slowdown X]`: runs the pinned perf micro-suite and writes the
-/// `BENCH_*.json` baseline (default `BENCH_5.json`). `--slowdown X` is a
+/// `BENCH_*.json` baseline (default `BENCH_6.json`). `--slowdown X` is a
 /// maintenance hook that multiplies the recorded timings, for
 /// demonstrating that the CI comparison gate really fails.
 fn run_bench_baseline_command() -> ExitCode {
@@ -617,7 +918,7 @@ fn run_bench_baseline_command() -> ExitCode {
     use ld_sim::table::Table;
 
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_5.json");
+    let mut out = PathBuf::from("BENCH_6.json");
     let mut seed: u64 = 0x1DDE_BEAC;
     let mut slowdown: Option<f64> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -815,6 +1116,14 @@ fn main() -> ExitCode {
     // Likewise the stress subcommand (churn workload for the live engine).
     if std::env::args().nth(1).is_some_and(|a| a == "stress") {
         return run_stress_command();
+    }
+
+    // Recovery of a durable (WAL + snapshot) run, and its benchmark.
+    if std::env::args().nth(1).is_some_and(|a| a == "recover") {
+        return run_recover_command();
+    }
+    if std::env::args().nth(1).is_some_and(|a| a == "store-bench") {
+        return run_store_bench_command();
     }
 
     // And the conformance gate (differential/metamorphic test suite).

@@ -153,13 +153,16 @@ impl SweepCheckpoint {
     }
 }
 
-/// Serializes `value` to `path` atomically (temp file + rename), creating
-/// parent directories as needed.
+/// Serializes `value` to `path` atomically and durably: temp file,
+/// fsync of the temp file, rename over `path`, then fsync of the parent
+/// directory so the rename itself survives a power cut. Parent
+/// directories are created as needed.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::Checkpoint`] on serialization failure and
-/// [`SimError::Io`] on filesystem failure.
+/// [`SimError::CheckpointIo`] naming the failing step (`write`,
+/// `sync`, `rename`, `sync dir`) on filesystem failure.
 pub fn save<T: Serialize>(value: &T, path: &Path) -> Result<()> {
     let _span = ld_obs::span("checkpoint.save_ns");
     ld_obs::counter("checkpoint.saves").incr();
@@ -171,9 +174,33 @@ pub fn save<T: Serialize>(value: &T, path: &Path) -> Result<()> {
     let json = serde_json::to_string_pretty(value).map_err(|e| SimError::Checkpoint {
         reason: format!("serialize: {e}"),
     })?;
+    let step = |step: &'static str| {
+        let path = path.to_path_buf();
+        move |source: std::io::Error| SimError::CheckpointIo { step, path, source }
+    };
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, json)?;
-    std::fs::rename(&tmp, path)?;
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(step("write"))?;
+        std::io::Write::write_all(&mut f, json.as_bytes()).map_err(step("write"))?;
+        // Without this fsync the rename below can land before the data
+        // blocks do, leaving a durable-looking but empty checkpoint
+        // after a crash.
+        f.sync_all().map_err(step("sync"))?;
+    }
+    std::fs::rename(&tmp, path).map_err(step("rename"))?;
+    // Make the rename durable: fsync the directory entry. Directories
+    // that refuse to open read-only degrade gracefully — the data fsync
+    // above already happened.
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = std::fs::File::open(parent) {
+            d.sync_all().map_err(step("sync dir"))?;
+        }
+    }
     Ok(())
 }
 
@@ -228,6 +255,29 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("ld-sim-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_failures_name_the_step() {
+        // A directory in place of the checkpoint path: the temp-file
+        // write step fails, and the error says so.
+        let path = tmp("as-dir.json");
+        std::fs::create_dir_all(path.with_extension("tmp")).unwrap();
+        let err = save(&42u32, &path).unwrap_err();
+        match err {
+            SimError::CheckpointIo { step, .. } => assert_eq!(step, "write"),
+            other => panic!("expected CheckpointIo, got {other}"),
+        }
+        std::fs::remove_dir_all(path.with_extension("tmp")).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let path = tmp("durable.json");
+        save(&7u32, &path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

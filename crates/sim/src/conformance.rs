@@ -20,17 +20,29 @@ use ld_testkit::{run_conformance, ConformanceConfig};
 const ENGINE_CELL: &str = "sim/engine-determinism";
 /// Pseudo-cell id under which resume mismatches are reported.
 const RESUME_CELL: &str = "sim/resume-straight-through";
+/// Pseudo-cell id under which store crash-recovery mismatches are
+/// reported.
+const STORE_CELL: &str = "sim/store-crash-recovery";
 
 /// Runs the full conformance gate: the `ld-testkit` grid plus the
 /// simulation-layer differential checks.
 pub fn run_full_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
-    type SimCheck = (&'static str, &'static str, fn(u64) -> Result<(), String>);
-    let sim_checks: [SimCheck; 2] = [
+    type SimCheck = (
+        &'static str,
+        &'static str,
+        fn(u64, bool) -> Result<(), String>,
+    );
+    let sim_checks: [SimCheck; 3] = [
         ("engine-determinism", ENGINE_CELL, check_engine_determinism),
         (
             "resume-straight-through",
             RESUME_CELL,
             check_resume_straight_through,
+        ),
+        (
+            "store-crash-recovery",
+            STORE_CELL,
+            check_store_crash_recovery,
         ),
     ];
     // `--only <sim check>` names a check the testkit grid does not know;
@@ -64,7 +76,7 @@ pub fn run_full_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
         {
             continue;
         }
-        match run(cfg.seed) {
+        match run(cfg.seed, cfg.quick) {
             Ok(()) => report.checks_run += 1,
             Err(detail) => {
                 report.checks_run += 1;
@@ -94,7 +106,7 @@ pub fn run_full_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
 /// runs across *different* worker counts — trial `t` always draws from
 /// `stream_rng(seed, t)` and chunk partials merge in canonical order, so
 /// the worker count cannot participate in the result.
-fn check_engine_determinism(seed: u64) -> Result<(), String> {
+fn check_engine_determinism(seed: u64, _quick: bool) -> Result<(), String> {
     let profile = CompetencyProfile::linear(24, 0.25, 0.75).map_err(|e| e.to_string())?;
     let instance =
         ProblemInstance::new(generators::complete(24), profile, 0.05).map_err(|e| e.to_string())?;
@@ -160,7 +172,7 @@ fn check_engine_determinism(seed: u64) -> Result<(), String> {
 /// marked completed) rather than written to disk: the on-disk JSON
 /// roundtrip has its own tests, and keeping this check I/O-free lets it
 /// run in offline builds whose `serde_json` stand-in cannot parse JSON.
-fn check_resume_straight_through(seed: u64) -> Result<(), String> {
+fn check_resume_straight_through(seed: u64, _quick: bool) -> Result<(), String> {
     use crate::checkpoint::SweepCheckpoint;
 
     let spec = SweepSpec {
@@ -204,18 +216,166 @@ fn check_resume_straight_through(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Crash the durable store at seeded I/O offsets, recover, and demand
+/// the crash contract at scale: the recovered engine is bit-identical
+/// to replaying the surviving WAL prefix, and after resuming and
+/// finishing the interrupted trace it converges bit-identically with
+/// the replica that never crashed. Quick mode runs a small population
+/// over many offsets; the full grid runs n = 10⁶ over sampled offsets
+/// (byte-level exhaustiveness lives in the `wal-crash-oracle` check and
+/// the store's own proptest suite).
+fn check_store_crash_recovery(seed: u64, quick: bool) -> Result<(), String> {
+    use crate::durable::{run_durable, scratch_dir, DurableSpec};
+    use ld_store::{recover, FaultPlan, Store, StoreError, StoreOptions};
+
+    let (n, updates, probes) = if quick {
+        (500usize, 2_500usize, 8u64)
+    } else {
+        (1_000_000, 120_000, 4)
+    };
+    let opts = StoreOptions {
+        sync_every: 64,
+        snapshot_every: (updates as u64 / 3).max(1),
+        fault: FaultPlan::none(),
+    };
+    let spec = DurableSpec::balanced(n, updates, seed, opts);
+
+    // The fault-free replica: the convergence target and the op budget
+    // that seeded crash offsets are drawn from.
+    let base_dir = scratch_dir(&format!("conformance-base-{seed}"));
+    let baseline = run_durable(&base_dir, &spec).map_err(|e| e.to_string())?;
+    // Records undercount I/O ops (fsyncs, snapshot sections), so seeded
+    // offsets skew toward the WAL body — exactly the interesting region.
+    let total_ops = baseline.records.max(1);
+    std::fs::remove_dir_all(&base_dir).ok();
+
+    for probe in 0..probes {
+        let fault = FaultPlan::seeded(seed, probe, total_ops);
+        let dir = scratch_dir(&format!("conformance-{seed}-{probe}"));
+        let cell = || format!("{} at op {} (probe {probe})", fault.kind.id(), fault.at);
+        let crashed = run_durable(
+            &dir,
+            &DurableSpec {
+                opts: StoreOptions { fault, ..opts },
+                ..spec.clone()
+            },
+        )
+        .map_err(|e| format!("{}: {e}", cell()))?;
+        if crashed.crashed.is_none() {
+            // The plan landed past the run's actual op count; nothing
+            // to recover from — a completed store is covered elsewhere.
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        }
+
+        let recovery = match recover(&dir) {
+            Ok(r) => r,
+            Err(StoreError::Corrupt { .. }) if fault.kind == ld_store::FaultKind::CorruptByte => {
+                // A corruption fault on the WAL header itself: the
+                // typed-error contract, not a recovery bug.
+                std::fs::remove_dir_all(&dir).ok();
+                continue;
+            }
+            Err(_) if crashed.applied == 0 => {
+                // Crash before any durable state existed.
+                std::fs::remove_dir_all(&dir).ok();
+                continue;
+            }
+            Err(e) => return Err(format!("{}: recovery failed: {e}", cell())),
+        };
+
+        // Prefix property: replaying the surviving records from the
+        // initial state reproduces the recovered engine exactly.
+        let records = recovery.records as usize;
+        if records > crashed.applied {
+            return Err(format!(
+                "{}: {records} records survived, only {} were appended",
+                cell(),
+                crashed.applied
+            ));
+        }
+        let mut replayed = spec.initial_engine().map_err(|e| e.to_string())?;
+        let mut accepted = 0usize;
+        let mut consumed_at_prefix = 0usize;
+        for (i, u) in spec
+            .trace_updates()
+            .map_err(|e| e.to_string())?
+            .iter()
+            .enumerate()
+        {
+            if accepted == records {
+                consumed_at_prefix = i;
+                break;
+            }
+            if replayed.apply(*u).is_ok() {
+                accepted += 1;
+            }
+            consumed_at_prefix = i + 1;
+        }
+        if accepted != records {
+            return Err(format!(
+                "{}: trace yields only {accepted} accepted updates, log holds {records}",
+                cell()
+            ));
+        }
+        let same = |a: &ld_live::LiveEngine, b: &ld_live::LiveEngine| {
+            a.resolution() == b.resolution()
+                && a.actions() == b.actions()
+                && a.competences() == b.competences()
+                && a.depths() == b.depths()
+        };
+        if !same(&recovery.engine, &replayed) {
+            return Err(format!(
+                "{}: recovered engine is not the replay of its own {records}-record prefix",
+                cell()
+            ));
+        }
+
+        // Reconvergence: resume, finish the interrupted trace, and land
+        // bit-identically on the fault-free replica.
+        let (mut store, resumed) =
+            Store::resume(&dir, opts).map_err(|e| format!("{}: resume failed: {e}", cell()))?;
+        let mut engine = resumed.engine;
+        for u in spec
+            .trace_updates()
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .skip(consumed_at_prefix)
+        {
+            if engine.apply(u).is_ok() {
+                store.append(&u).map_err(|e| format!("{}: {e}", cell()))?;
+            }
+        }
+        store.sync().map_err(|e| format!("{}: {e}", cell()))?;
+        drop(store);
+        if !same(&engine, &baseline.engine) {
+            return Err(format!(
+                "{}: resumed run diverged from the replica that never crashed",
+                cell()
+            ));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn engine_determinism_holds() {
-        check_engine_determinism(0x5EED).expect("engine must be deterministic");
+        check_engine_determinism(0x5EED, true).expect("engine must be deterministic");
     }
 
     #[test]
     fn resume_matches_straight_through() {
-        check_resume_straight_through(0x5EED).expect("resume must be bit-identical");
+        check_resume_straight_through(0x5EED, true).expect("resume must be bit-identical");
+    }
+
+    #[test]
+    fn store_crash_recovery_holds_quick() {
+        check_store_crash_recovery(0x5EED, true).expect("crash recovery must converge");
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Durable churn: the `ld-live` engine under churn with every accepted
+//! update teed through an [`ld_store::Store`] WAL, plus the recovery
+//! verification and the snapshot-vs-full-replay benchmark behind
+//! `repro stress --wal`, `repro recover`, and `repro store-bench`.
+//!
+//! The contract this module exposes to the CLI is the store's crash
+//! contract: kill the process at any I/O operation (for real, or via
+//! the deterministic [`FaultPlan`] injector), run [`verify_recovery`],
+//! and the rehydrated engine is bit-identical to replaying the
+//! surviving WAL prefix — and, once the lost suffix is re-applied, to
+//! the run that never crashed. `crates/store/tests/crash_recovery.rs`
+//! and the `wal-crash-oracle` / `store-crash-recovery` conformance
+//! checks pin that matrix; this module is the production path they
+//! guard.
+
+use crate::error::{Result, SimError};
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_core::tally::TieBreak;
+use ld_live::workload::{Trace, TraceConfig};
+use ld_live::{LiveEngine, Update};
+use ld_store::{recover, recover_with, FaultPlan, RecoverMode, Store, StoreOptions};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// A durable churn run: the synthetic trace plus the store tuning.
+#[derive(Debug, Clone)]
+pub struct DurableSpec {
+    /// The synthetic trace (population size, update mix, target skew).
+    pub trace: TraceConfig,
+    /// Total updates to draw from the trace.
+    pub updates: usize,
+    /// Trace and initial-competency seed.
+    pub seed: u64,
+    /// WAL fsync cadence, compaction cadence, and fault plan.
+    pub opts: StoreOptions,
+}
+
+impl DurableSpec {
+    /// A balanced-mix durable spec over `n` voters.
+    pub fn balanced(n: usize, updates: usize, seed: u64, opts: StoreOptions) -> Self {
+        DurableSpec {
+            trace: TraceConfig::balanced(n),
+            updates,
+            seed,
+            opts,
+        }
+    }
+
+    /// The engine every replica of this spec starts from.
+    pub fn initial_engine(&self) -> Result<LiveEngine> {
+        LiveEngine::new(
+            vec![Action::Vote; self.trace.n],
+            self.trace.initial_competences(self.seed),
+        )
+        .map_err(|e| SimError::Config {
+            reason: format!("initial engine: {e}"),
+        })
+    }
+
+    /// The full seeded update stream.
+    pub fn trace_updates(&self) -> Result<Vec<Update>> {
+        Ok(Trace::new(self.trace.clone(), self.seed)
+            .map_err(|reason| SimError::Config { reason })?
+            .take(self.updates)
+            .collect())
+    }
+}
+
+/// Outcome of one durable churn run (possibly ended by an injected
+/// crash).
+#[derive(Debug)]
+pub struct DurableRun {
+    /// Engine state at the end of the run (or at the crash point).
+    pub engine: LiveEngine,
+    /// Updates accepted and appended to the WAL.
+    pub applied: usize,
+    /// Updates rejected by the engine (never logged).
+    pub rejected: usize,
+    /// Trace items consumed before the run ended.
+    pub consumed: usize,
+    /// WAL records at the end of the run.
+    pub records: u64,
+    /// `applied` count of the newest snapshot written.
+    pub last_snapshot: u64,
+    /// The injected-fault message if the run crashed, `None` if it ran
+    /// to completion (including the final fsync).
+    pub crashed: Option<String>,
+    /// Wall-clock seconds for the whole run (applies + appends).
+    pub elapsed: f64,
+}
+
+/// Drives `spec` with the store in `dir`, appending every accepted
+/// update before moving on — the WAL is ahead of (or equal to) the
+/// engine at every instant, which is what makes recovery a *prefix*.
+///
+/// An injected fault (the plan in `spec.opts.fault`) ends the run early
+/// with `crashed` set; it is not an error, it is the simulated kill -9.
+///
+/// # Errors
+///
+/// [`SimError::Config`] for an invalid spec, [`SimError::Store`] for a
+/// *non-injected* store failure.
+pub fn run_durable(dir: &Path, spec: &DurableSpec) -> Result<DurableRun> {
+    if spec.updates == 0 {
+        return Err(SimError::Config {
+            reason: "need at least one update".to_string(),
+        });
+    }
+    let mut engine = spec.initial_engine()?;
+    let updates = spec.trace_updates()?;
+    let mut applied = 0usize;
+    let mut rejected = 0usize;
+    let mut consumed = 0usize;
+    let started = Instant::now();
+
+    // A macro-free way to share the "injected fault ends the run, real
+    // fault is an error" branch across every store call.
+    let mut crashed: Option<String> = None;
+    let mut store = match Store::create(dir, &engine, spec.opts) {
+        Ok(s) => Some(s),
+        Err(e) if e.is_injected() => {
+            crashed = Some(e.to_string());
+            None
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if let Some(store) = store.as_mut() {
+        'drive: for u in updates {
+            consumed += 1;
+            if engine.apply(u).is_err() {
+                rejected += 1;
+                continue;
+            }
+            applied += 1;
+            for outcome in [store.append(&u), store.maybe_compact(&engine).map(|_| ())] {
+                match outcome {
+                    Ok(()) => {}
+                    Err(e) if e.is_injected() => {
+                        crashed = Some(e.to_string());
+                        break 'drive;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        if crashed.is_none() {
+            match store.sync() {
+                Ok(()) => {}
+                Err(e) if e.is_injected() => crashed = Some(e.to_string()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    Ok(DurableRun {
+        engine,
+        applied,
+        rejected,
+        consumed,
+        records: store.as_ref().map_or(0, Store::records),
+        last_snapshot: store.as_ref().map_or(0, Store::last_snapshot),
+        crashed,
+        elapsed: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// What [`verify_recovery`] proved about a store directory.
+#[derive(Debug)]
+pub struct RecoveryVerdict {
+    /// The rehydrated engine.
+    pub engine: LiveEngine,
+    /// Valid WAL records.
+    pub records: u64,
+    /// Records the chosen snapshot already incorporated.
+    pub snapshot_applied: u64,
+    /// WAL tail records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Whether a torn tail was detected (and ignored).
+    pub torn: bool,
+    /// Snapshots that failed validation and were skipped.
+    pub snapshots_skipped: usize,
+    /// Whether the genesis + full-log-replay cross-check ran *and*
+    /// compared — `false` when it was not requested, or when latent
+    /// corruption inside the snapshot-covered prefix made the baseline
+    /// inapplicable (the snapshot CRC vouches for those records; a full
+    /// replay cannot re-validate them).
+    pub full_replay_checked: bool,
+    /// Decision probability (normal approximation, strict ties) of the
+    /// recovered state — the tally digest the CLI prints.
+    pub decision_probability: f64,
+}
+
+/// Recovers the store in `dir` and *proves* the result: the recovered
+/// resolution must be bit-identical to a from-scratch
+/// [`DelegationGraph::resolve`] of the recovered action vector, the
+/// engine's accumulators must pass `self_check`, and — with
+/// `check_full_replay` — the snapshot+tail fast path must be
+/// bit-identical to a genesis + full-log replay whenever the full
+/// replay reaches the same record count (see
+/// [`RecoveryVerdict::full_replay_checked`]).
+///
+/// # Errors
+///
+/// [`SimError::Store`] if recovery itself fails, [`SimError::Config`]
+/// with a diagnostic if any cross-check diverges.
+pub fn verify_recovery(dir: &Path, check_full_replay: bool) -> Result<RecoveryVerdict> {
+    let fast = recover(dir)?;
+    let scratch = DelegationGraph::new(fast.engine.actions().to_vec())
+        .resolve()
+        .map_err(|e| SimError::Config {
+            reason: format!("recovered actions failed to resolve: {e}"),
+        })?;
+    if scratch != fast.engine.resolution() {
+        return Err(SimError::Config {
+            reason: format!(
+                "recovered state diverged from a from-scratch resolve of its own \
+                 action vector ({})",
+                dir.display()
+            ),
+        });
+    }
+    fast.engine
+        .self_check()
+        .map_err(|reason| SimError::Config {
+            reason: format!("recovered engine self-check failed: {reason}"),
+        })?;
+    let mut full_replay_checked = false;
+    if check_full_replay {
+        let slow = recover_with(dir, RecoverMode::FullReplay)?;
+        if slow.records == fast.records {
+            let same = fast.engine.resolution() == slow.engine.resolution()
+                && fast.engine.actions() == slow.engine.actions()
+                && fast.engine.competences() == slow.engine.competences()
+                && fast.engine.depths() == slow.engine.depths();
+            if !same {
+                return Err(SimError::Config {
+                    reason: format!(
+                        "snapshot+tail recovery (snapshot at {}, {} replayed) diverged from \
+                         genesis + full replay of {} records",
+                        fast.snapshot_applied, fast.replayed, slow.records
+                    ),
+                });
+            }
+            full_replay_checked = true;
+        }
+        // Otherwise the log lost bytes inside the snapshot-covered
+        // prefix (latent corruption after a compaction banked those
+        // records). The full replay cannot re-validate records the
+        // snapshot CRC already vouches for, so the bit-compare is
+        // inapplicable, not failed.
+    }
+    let decision_probability = fast.engine.decision_probability_normal(TieBreak::Incorrect);
+    Ok(RecoveryVerdict {
+        records: fast.records,
+        snapshot_applied: fast.snapshot_applied,
+        replayed: fast.replayed,
+        torn: fast.torn.is_some(),
+        snapshots_skipped: fast.snapshots_skipped.len(),
+        full_replay_checked,
+        decision_probability,
+        engine: fast.engine,
+    })
+}
+
+/// Measured outcome of [`store_bench`].
+#[derive(Debug)]
+pub struct StoreBenchReport {
+    /// Population size of the benchmarked store.
+    pub n: usize,
+    /// WAL records in the benchmarked store.
+    pub records: u64,
+    /// Records the newest snapshot incorporated.
+    pub snapshot_applied: u64,
+    /// Best-of-iters wall time for snapshot + tail recovery, seconds.
+    pub latest_secs: f64,
+    /// Best-of-iters wall time for genesis + full replay, seconds.
+    pub full_replay_secs: f64,
+    /// `full_replay_secs / latest_secs`.
+    pub speedup: f64,
+}
+
+/// Builds a store under churn (periodic compaction) in `dir`, then
+/// times snapshot+tail recovery against genesis + full-log replay,
+/// best of `iters` runs each, verifying bit-identity of the two paths
+/// on every iteration.
+///
+/// # Errors
+///
+/// Propagates [`run_durable`] / recovery failures; `Config` if the two
+/// recovery paths ever disagree.
+pub fn store_bench(
+    dir: &Path,
+    n: usize,
+    updates: usize,
+    seed: u64,
+    iters: u32,
+) -> Result<StoreBenchReport> {
+    let opts = StoreOptions {
+        sync_every: 1024,
+        // Compact often enough that the surviving tail is a few percent
+        // of the log: the regime a long-running harness lives in.
+        snapshot_every: (updates as u64 / 32).max(1),
+        fault: FaultPlan::none(),
+    };
+    let run = run_durable(dir, &DurableSpec::balanced(n, updates, seed, opts))?;
+    debug_assert!(run.crashed.is_none());
+
+    let mut latest = f64::INFINITY;
+    let mut slow = f64::INFINITY;
+    let mut meta = (0u64, 0u64);
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let fast = recover(dir)?;
+        latest = latest.min(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        let full = recover_with(dir, RecoverMode::FullReplay)?;
+        slow = slow.min(t1.elapsed().as_secs_f64());
+        if fast.engine.resolution() != full.engine.resolution() {
+            return Err(SimError::Config {
+                reason: "store-bench: fast and full-replay recoveries diverged".to_string(),
+            });
+        }
+        meta = (fast.records, fast.snapshot_applied);
+    }
+    Ok(StoreBenchReport {
+        n,
+        records: meta.0,
+        snapshot_applied: meta.1,
+        latest_secs: latest,
+        full_replay_secs: slow,
+        speedup: slow / latest.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// A scratch store directory under the system temp dir, cleared first.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ld-sim-durable-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_same(a: &LiveEngine, b: &LiveEngine) {
+        assert_eq!(a.resolution(), b.resolution());
+        assert_eq!(a.actions(), b.actions());
+        assert_eq!(a.competences(), b.competences());
+        assert_eq!(a.depths(), b.depths());
+    }
+
+    #[test]
+    fn durable_run_matches_the_store_free_churn_replica() {
+        use crate::experiments::stress::{run_churn, ChurnSpec};
+        let dir = scratch_dir("parity");
+        let opts = StoreOptions {
+            sync_every: 16,
+            snapshot_every: 200,
+            fault: FaultPlan::none(),
+        };
+        let spec = DurableSpec::balanced(300, 1_500, 41, opts);
+        let run = run_durable(&dir, &spec).unwrap();
+        assert!(run.crashed.is_none());
+        assert_eq!(run.consumed, 1_500);
+        assert_eq!(run.records, run.applied as u64);
+        assert!(run.last_snapshot > 0, "compaction cadence reached");
+
+        // Teeing through the WAL must not perturb the engine: the
+        // plain churn driver over the same spec lands on the same state.
+        let plain = run_churn(&ChurnSpec {
+            trace: spec.trace.clone(),
+            updates: spec.updates,
+            batch: 1,
+            seed: spec.seed,
+        })
+        .unwrap();
+        assert_eq!(plain.resolution, run.engine.resolution());
+        assert_eq!(plain.applied, run.applied);
+        assert_eq!(plain.rejected, run.rejected);
+
+        // And recovery proves itself against both paths.
+        let verdict = verify_recovery(&dir, true).unwrap();
+        assert_eq!(verdict.records, run.records);
+        assert!(verdict.full_replay_checked);
+        assert!(!verdict.torn);
+        assert_same(&verdict.engine, &run.engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_crash_is_reported_not_propagated() {
+        let dir = scratch_dir("crash");
+        let opts = StoreOptions {
+            sync_every: 8,
+            snapshot_every: 0,
+            fault: FaultPlan::short_write_at(40),
+        };
+        let run = run_durable(&dir, &DurableSpec::balanced(64, 2_000, 9, opts)).unwrap();
+        let crash = run.crashed.expect("the plan must fire");
+        assert!(crash.contains("injected fault"), "{crash}");
+        assert!(run.consumed < 2_000, "ended early");
+
+        // The torn tail is visible to recovery and survives the checks.
+        let verdict = verify_recovery(&dir, true).unwrap();
+        assert!(verdict.torn, "short write must leave a torn tail");
+        assert!(verdict.records < run.applied as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_bench_reports_a_snapshot_speedup() {
+        let dir = scratch_dir("bench");
+        let report = store_bench(&dir, 500, 20_000, 13, 2).unwrap();
+        assert!(report.records > 0);
+        assert!(report.snapshot_applied > 0, "compactions ran");
+        assert!(
+            report.speedup > 1.0,
+            "snapshot path should beat full replay"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degenerate_spec_is_refused() {
+        let dir = scratch_dir("degenerate");
+        let opts = StoreOptions::default();
+        assert!(run_durable(&dir, &DurableSpec::balanced(10, 0, 1, opts)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -40,6 +40,21 @@ pub enum SimError {
         /// Human-readable description.
         reason: String,
     },
+    /// An error from the durable store (WAL append, snapshot,
+    /// recovery).
+    Store(ld_store::StoreError),
+    /// A checkpoint could not be durably written: the failing step
+    /// (write, fsync, or rename) is named so a crash-recovery log shows
+    /// exactly how far the save got.
+    CheckpointIo {
+        /// The step that failed (`"write"`, `"sync"`, `"sync dir"`,
+        /// `"rename"`).
+        step: &'static str,
+        /// The checkpoint path.
+        path: std::path::PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -54,7 +69,11 @@ impl fmt::Display for SimError {
             SimError::WorkerPanic { message } => {
                 write!(f, "worker thread panicked: {message}")
             }
+            SimError::Store(e) => write!(f, "store error: {e}"),
             SimError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            SimError::CheckpointIo { step, path, source } => {
+                write!(f, "checkpoint {step} failed ({}): {source}", path.display())
+            }
         }
     }
 }
@@ -66,6 +85,8 @@ impl Error for SimError {
             SimError::Graph(e) => Some(e),
             SimError::Prob(e) => Some(e),
             SimError::Io(e) => Some(e),
+            SimError::Store(e) => Some(e),
+            SimError::CheckpointIo { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -92,6 +113,12 @@ impl From<ld_prob::ProbError> for SimError {
 impl From<std::io::Error> for SimError {
     fn from(e: std::io::Error) -> Self {
         SimError::Io(e)
+    }
+}
+
+impl From<ld_store::StoreError> for SimError {
+    fn from(e: ld_store::StoreError) -> Self {
+        SimError::Store(e)
     }
 }
 
@@ -131,6 +158,20 @@ mod tests {
             reason: "version 99".into(),
         };
         assert!(c.to_string().contains("version 99"));
+        let s: SimError = ld_store::StoreError::NoSnapshot {
+            dir: std::path::PathBuf::from("/tmp/s"),
+        }
+        .into();
+        assert!(s.to_string().contains("store error"));
+        assert!(s.source().is_some());
+        let d = SimError::CheckpointIo {
+            step: "rename",
+            path: std::path::PathBuf::from("/tmp/x.json"),
+            source: std::io::Error::other("boom"),
+        };
+        assert!(d.to_string().contains("rename"));
+        assert!(d.to_string().contains("/tmp/x.json"));
+        assert!(d.source().is_some());
     }
 
     #[test]

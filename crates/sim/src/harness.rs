@@ -252,6 +252,7 @@ pub struct Harness {
     max_retries: u32,
     start: Instant,
     quarantine: Vec<QuarantineEntry>,
+    quarantine_log: Option<std::path::PathBuf>,
 }
 
 impl Default for Harness {
@@ -269,7 +270,19 @@ impl Harness {
             max_retries: 2,
             start: Instant::now(),
             quarantine: Vec::new(),
+            quarantine_log: None,
         }
+    }
+
+    /// Mirrors every quarantine entry to `path` as it is recorded, one
+    /// line per entry, via `O_APPEND` writes — a single `write(2)` per
+    /// line, so concurrent runs sharing the log interleave whole lines
+    /// and a crash never leaves a half-written record followed by
+    /// anything else. Logging failures are deliberately non-fatal: the
+    /// in-memory quarantine is authoritative.
+    pub fn with_quarantine_log(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.quarantine_log = Some(path.into());
+        self
     }
 
     /// Sets the run budget. The wall clock starts at harness creation.
@@ -304,6 +317,28 @@ impl Harness {
     /// Every failure recorded so far.
     pub fn quarantine(&self) -> &[QuarantineEntry] {
         &self.quarantine
+    }
+
+    /// Records one quarantine entry, mirroring it to the append-only
+    /// log when one is configured.
+    fn record_quarantine(&mut self, entry: QuarantineEntry) {
+        if let Some(path) = &self.quarantine_log {
+            use std::io::Write;
+            // One buffered line handed to the kernel in a single
+            // O_APPEND write: atomic with respect to other appenders.
+            // Panic payloads can be multi-line; flatten them so the log
+            // stays one whole line per entry.
+            let line = format!("{entry}").replace('\n', " ") + "\n";
+            let write = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if write.is_err() {
+                ld_obs::counter("harness.quarantine_log_errors").incr();
+            }
+        }
+        self.quarantine.push(entry);
     }
 
     /// Pre-loads quarantine entries from a resumed checkpoint so the final
@@ -390,7 +425,7 @@ impl Harness {
             if attempt > 0 {
                 ld_obs::counter("harness.retries").incr();
             }
-            self.quarantine.push(QuarantineEntry {
+            self.record_quarantine(QuarantineEntry {
                 run_id: run_id.to_string(),
                 point: point.to_string(),
                 seed: e.seed(),
@@ -468,7 +503,7 @@ impl Harness {
             if attempt > 0 {
                 ld_obs::counter("harness.retries").incr();
             }
-            self.quarantine.push(QuarantineEntry {
+            self.record_quarantine(QuarantineEntry {
                 run_id: run_id.to_string(),
                 point: point_label.clone(),
                 seed,
@@ -659,6 +694,51 @@ mod tests {
         let text = table.to_text();
         assert!(text.contains("DEGRADED"));
         assert!(text.contains("PARTIAL"));
+    }
+
+    #[test]
+    fn quarantine_log_appends_one_line_per_entry() {
+        let log =
+            std::env::temp_dir().join(format!("ld-sim-harness-qlog-{}.log", std::process::id()));
+        std::fs::remove_file(&log).ok();
+        let engine = Engine::new(3).with_workers(1);
+        let mech = PanicAt { n: 24 };
+        let mut harness = Harness::new().with_max_retries(1).with_quarantine_log(&log);
+        run_sweep_fault_tolerant(
+            &mut harness,
+            "test",
+            "poisoned",
+            &engine,
+            &family as Family<'_>,
+            &mech,
+            &[24],
+            8,
+            Vec::new(),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&log).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per quarantined attempt: {text:?}");
+        assert!(lines.iter().all(|l| l.contains("n=24")));
+        assert!(text.ends_with('\n'), "file ends on a whole line");
+        // Appends accumulate across harnesses sharing the log.
+        let mut harness2 = Harness::new().with_max_retries(0).with_quarantine_log(&log);
+        run_sweep_fault_tolerant(
+            &mut harness2,
+            "test",
+            "poisoned",
+            &engine,
+            &family as Family<'_>,
+            &mech,
+            &[24],
+            8,
+            Vec::new(),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&log).unwrap().lines().count(), 3);
+        std::fs::remove_file(&log).ok();
     }
 
     #[test]

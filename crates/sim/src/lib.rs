@@ -21,6 +21,9 @@
 //! * [`checkpoint`] — versioned JSON checkpoints written after every
 //!   completed parameter point; `repro --resume <path>` skips completed
 //!   work and reproduces bit-identical estimates.
+//! * [`durable`] — churn runs teed through the `ld-store` WAL so they
+//!   survive kill -9 (`repro stress --wal`, `repro recover`,
+//!   `repro store-bench`).
 //! * [`verify`] — the acceptance suite: every claim as a PASS/FAIL
 //!   verdict (`repro verify`).
 //! * [`sweep`] — user-configurable topology × mechanism × distribution
@@ -44,6 +47,7 @@ mod error;
 pub mod bench;
 pub mod checkpoint;
 pub mod conformance;
+pub mod durable;
 pub mod engine;
 pub mod experiments;
 pub mod harness;

@@ -1,0 +1,191 @@
+//! Read-only file bytes, memory-mapped when the `mmap` feature is on.
+//!
+//! [`MappedBytes`] is the one read path for snapshots and WAL files.
+//! With the default `mmap` feature on a Unix platform it maps the file
+//! `PROT_READ`/`MAP_PRIVATE` through a minimal libc FFI (the workspace
+//! bakes in no binding crate), so a multi-gigabyte snapshot is paged in
+//! lazily instead of copied through a heap buffer. With the feature off
+//! — the offline stub build — the same API reads the file with
+//! [`std::fs::read`]: identical bytes, identical downstream validation,
+//! zero `unsafe`.
+//!
+//! All decoding above this layer is copy-based (`u32::from_le_bytes`
+//! over slices), so the two paths are bit-for-bit interchangeable; the
+//! conformance suite runs under both.
+//!
+//! Mapped snapshots are immutable by construction (written to a temp
+//! name, fsynced, renamed, never modified), which is what makes the
+//! mapping sound: nothing truncates a live mapping out from under us.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// The contents of a file, either mapped or owned.
+#[derive(Debug)]
+pub struct MappedBytes {
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Owned(Vec<u8>),
+    #[cfg(all(feature = "mmap", unix))]
+    Mapped(map::Mapping),
+}
+
+impl MappedBytes {
+    /// Opens `path` read-only, mapping it if the `mmap` feature is
+    /// active on this platform (empty files are held as empty owned
+    /// buffers — `mmap(2)` rejects zero-length mappings).
+    pub fn open(path: &Path) -> io::Result<MappedBytes> {
+        #[cfg(all(feature = "mmap", unix))]
+        {
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(MappedBytes {
+                    repr: Repr::Owned(Vec::new()),
+                });
+            }
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::other("file too large to map on this platform"))?;
+            Ok(MappedBytes {
+                repr: Repr::Mapped(map::Mapping::new(&file, len)?),
+            })
+        }
+        #[cfg(not(all(feature = "mmap", unix)))]
+        {
+            let _ = File::open(path)?; // surface a crisp NotFound error
+            Ok(MappedBytes {
+                repr: Repr::Owned(std::fs::read(path)?),
+            })
+        }
+    }
+
+    /// The file contents.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            #[cfg(all(feature = "mmap", unix))]
+            Repr::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Whether this instance went through `mmap(2)` (diagnostics only;
+    /// behaviour is identical either way).
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            Repr::Owned(_) => false,
+            #[cfg(all(feature = "mmap", unix))]
+            Repr::Mapped(_) => true,
+        }
+    }
+}
+
+#[cfg(all(feature = "mmap", unix))]
+mod map {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+    use std::os::raw::{c_int, c_void};
+
+    // The two constants we need share their values across Linux and the
+    // BSDs/macOS; this module is additionally gated on `unix`.
+    const PROT_READ: c_int = 0x1;
+    const MAP_PRIVATE: c_int = 0x2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// An owned `PROT_READ` private mapping of one whole file.
+    #[derive(Debug)]
+    pub struct Mapping {
+        addr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is read-only and exclusively owned; the pointer is
+    // never aliased mutably.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        pub fn new(file: &File, len: usize) -> io::Result<Mapping> {
+            // SAFETY: requesting a fresh read-only private mapping of a
+            // file we hold open; the kernel picks the address. The only
+            // failure mode is MAP_FAILED, checked below.
+            let addr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if addr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { addr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `addr` is a live PROT_READ mapping of exactly
+            // `len` bytes, valid until `Drop`; snapshots are immutable
+            // once renamed into place, so the contents cannot change or
+            // shrink while mapped.
+            unsafe { std::slice::from_raw_parts(self.addr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: unmapping the exact region this struct owns.
+            unsafe {
+                munmap(self.addr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ld-store-mmap-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_file_contents() {
+        let path = tmp("roundtrip.bin");
+        let data: Vec<u8> = (0..255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &data).unwrap();
+        let m = MappedBytes::open(&path).unwrap();
+        assert_eq!(m.as_slice(), &data[..]);
+        assert_eq!(m.is_mapped(), cfg!(all(feature = "mmap", unix)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_files_and_missing_files() {
+        let path = tmp("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let m = MappedBytes::open(&path).unwrap();
+        assert!(m.as_slice().is_empty());
+        std::fs::remove_file(&path).ok();
+        assert!(MappedBytes::open(&path).is_err());
+    }
+}

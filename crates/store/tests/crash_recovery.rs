@@ -1,0 +1,233 @@
+//! The crash matrix: inject a fail / short-write / corrupt fault at
+//! every I/O operation index a real run performs, then prove recovery
+//! lands on a record-aligned prefix of the accepted update sequence and
+//! that resuming + re-applying the lost suffix converges bit-identically
+//! to the engine that never crashed.
+
+use ld_core::delegation::Action;
+use ld_live::workload::{Trace, TraceConfig};
+use ld_live::{LiveEngine, Update};
+use ld_store::{recover, FaultKind, FaultPlan, RecoverMode, Store, StoreError, StoreOptions};
+use std::path::{Path, PathBuf};
+
+const N: usize = 48;
+const UPDATES: usize = 400;
+const SEED: u64 = 2025;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ld-store-crash-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn fresh_engine() -> LiveEngine {
+    LiveEngine::new(vec![Action::Vote; N], vec![0.55; N]).unwrap()
+}
+
+fn trace() -> Vec<Update> {
+    Trace::new(TraceConfig::balanced(N), SEED)
+        .unwrap()
+        .take(UPDATES)
+        .collect()
+}
+
+fn opts(fault: FaultPlan) -> StoreOptions {
+    StoreOptions {
+        sync_every: 4,
+        snapshot_every: 120,
+        fault,
+    }
+}
+
+/// Drives the workload through a store with `fault` armed. Returns the
+/// accepted updates appended (in order) and how many trace items were
+/// consumed before the crash (== the full trace when none was);
+/// panics on any non-injected error.
+fn run(dir: &Path, fault: FaultPlan) -> (Vec<Update>, usize) {
+    let mut engine = fresh_engine();
+    let mut appended = Vec::new();
+    let mut consumed = 0usize;
+    let mut store = match Store::create(dir, &engine, opts(fault)) {
+        Ok(s) => s,
+        Err(e) => {
+            assert!(e.is_injected(), "unplanned create failure: {e}");
+            return (appended, consumed);
+        }
+    };
+    for u in trace() {
+        consumed += 1;
+        if engine.apply(u).is_err() {
+            continue;
+        }
+        appended.push(u);
+        if let Err(e) = store.append(&u) {
+            assert!(e.is_injected(), "unplanned append failure: {e}");
+            return (appended, consumed);
+        }
+        if let Err(e) = store.maybe_compact(&engine) {
+            assert!(e.is_injected(), "unplanned compact failure: {e}");
+            return (appended, consumed);
+        }
+    }
+    if let Err(e) = store.sync() {
+        assert!(e.is_injected(), "unplanned sync failure: {e}");
+        return (appended, consumed);
+    }
+    (appended, consumed)
+}
+
+/// Replays `updates` on a fresh engine; every one must be accepted
+/// (each was accepted from exactly this state in the original run).
+fn replay(updates: &[Update]) -> LiveEngine {
+    let mut engine = fresh_engine();
+    for (i, u) in updates.iter().enumerate() {
+        engine
+            .apply(*u)
+            .unwrap_or_else(|r| panic!("replay rejected record {i}: {r}"));
+    }
+    engine
+}
+
+fn assert_same(a: &LiveEngine, b: &LiveEngine) {
+    assert_eq!(a.resolution(), b.resolution());
+    assert_eq!(a.actions(), b.actions());
+    assert_eq!(a.competences(), b.competences());
+    assert_eq!(a.depths(), b.depths());
+}
+
+/// One cell of the matrix: crash with `kind` at op `k`, recover,
+/// verify the prefix property, then resume + re-apply the lost suffix
+/// and verify convergence with the uncrashed engine.
+fn crash_and_recover(kind: FaultKind, k: u64, uncrashed: &LiveEngine) {
+    let dir = tmp_dir(&format!("{}-{k}", kind.id()));
+    let fault = FaultPlan { at: k, kind };
+    let (appended, consumed) = run(&dir, fault);
+
+    let recovery = match recover(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            // Legitimate only if (a) the crash predates the first
+            // durable state (genesis snapshot / WAL creation), or
+            // (b) a corruption fault hit the WAL file header itself —
+            // indistinguishable from "not our file", so the contract
+            // is a typed Corrupt error, never a wrong answer.
+            let header_hit =
+                kind == FaultKind::CorruptByte && matches!(e, StoreError::Corrupt { .. });
+            assert!(
+                appended.is_empty() || header_hit,
+                "{} at op {k}: recovery failed after {} accepted records: {e}",
+                kind.id(),
+                appended.len()
+            );
+            std::fs::remove_dir_all(&dir).ok();
+            return;
+        }
+    };
+
+    // Prefix property: the surviving records are exactly the first
+    // `records` accepted updates — never reordered, never partial.
+    let records = recovery.records as usize;
+    assert!(
+        records <= appended.len(),
+        "{} at op {k}: {} records survived, only {} were appended",
+        kind.id(),
+        records,
+        appended.len()
+    );
+    assert_same(&recovery.engine, &replay(&appended[..records]));
+    recovery.engine.self_check().unwrap();
+
+    // Resume truncates the torn tail and reopens for appends;
+    // re-applying the lost suffix and then finishing the interrupted
+    // trace converges bit-identically with the run that never crashed.
+    let (mut store, resumed) = Store::resume(&dir, opts(FaultPlan::none())).unwrap();
+    let mut engine = resumed.engine;
+    for u in &appended[records..] {
+        engine.apply(*u).unwrap();
+        store.append(u).unwrap();
+    }
+    for u in trace().into_iter().skip(consumed) {
+        if engine.apply(u).is_ok() {
+            store.append(&u).unwrap();
+        }
+    }
+    store.sync().unwrap();
+    drop(store);
+    assert_same(&engine, uncrashed);
+
+    // And the re-completed store now recovers to the full state.
+    let healed = recover(&dir).unwrap();
+    assert_same(&healed.engine, &engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_at_every_io_op_recovers_a_prefix_and_reconverges() {
+    // Fault-free baseline: the final engine and the op budget.
+    let dir = tmp_dir("baseline");
+    let (reference, consumed) = run(&dir, FaultPlan::none());
+    assert_eq!(consumed, UPDATES);
+    let uncrashed = replay(&reference);
+    let total_ops = {
+        let (store, _) = Store::resume(&dir, opts(FaultPlan::none())).unwrap();
+        drop(store);
+        // Re-run with an unarmed clock to count ops exactly.
+        let dir2 = tmp_dir("count");
+        let mut engine = fresh_engine();
+        let mut store = Store::create(&dir2, &engine, opts(FaultPlan::none())).unwrap();
+        for u in trace() {
+            if engine.apply(u).is_ok() {
+                store.append(&u).unwrap();
+                store.maybe_compact(&engine).unwrap();
+            }
+        }
+        store.sync().unwrap();
+        let ops = store.clock().ops();
+        drop(store);
+        std::fs::remove_dir_all(&dir2).ok();
+        ops
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(total_ops > 100, "matrix too small: {total_ops} ops");
+
+    // Every op index near the interesting edges, strided in the middle
+    // to keep the matrix fast; the conformance check covers byte-level
+    // offsets exhaustively.
+    let mut ks: Vec<u64> = (0..24).collect();
+    ks.extend((24..total_ops).step_by(13));
+    ks.push(total_ops - 1);
+    for kind in [
+        FaultKind::FailIo,
+        FaultKind::ShortWrite,
+        FaultKind::CorruptByte,
+    ] {
+        for &k in &ks {
+            crash_and_recover(kind, k, &uncrashed);
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_plans_are_deterministic() {
+    let a = FaultPlan::seeded(42, 7, 500);
+    let b = FaultPlan::seeded(42, 7, 500);
+    assert_eq!(a, b);
+    let c = FaultPlan::seeded(43, 7, 500);
+    let d = FaultPlan::seeded(42, 8, 500);
+    assert!(a != c || a != d, "different seeds should perturb the plan");
+}
+
+#[test]
+fn full_replay_mode_matches_fast_path_after_crash() {
+    let dir = tmp_dir("modes");
+    let fault = FaultPlan::fail_at(300);
+    let (appended, consumed) = run(&dir, fault);
+    assert!(consumed < UPDATES, "op 300 should land mid-run");
+    assert!(!appended.is_empty());
+    let fast = recover(&dir).unwrap();
+    let slow = ld_store::recover_with(&dir, RecoverMode::FullReplay).unwrap();
+    assert_eq!(slow.snapshot_applied, 0);
+    assert!(fast.snapshot_applied > 0, "a compaction should have run");
+    assert_same(&fast.engine, &slow.engine);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,106 @@
+//! Property: for ANY prefix of a valid WAL file — i.e. a crash that
+//! truncated the log at an arbitrary byte offset — recovery decodes a
+//! record-aligned prefix of the original update sequence and reports a
+//! typed [`TornTail`] for whatever ragged suffix remains. It never
+//! panics and never yields a partially-written record. Arbitrary junk
+//! appended after a valid prefix is likewise diagnosed, not applied.
+
+use ld_live::Update;
+use ld_store::wal::{encode_record, scan_records, FRAME_HEADER_LEN};
+use ld_store::{TailStatus, TornReason};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn build_updates(raw: &[(usize, usize, usize, u32)]) -> Vec<Update> {
+    raw.iter()
+        .map(|&(kind, voter, target, pk)| match kind {
+            0 => Update::Delegate { voter, target },
+            1 => Update::Vote { voter },
+            2 => Update::Abstain { voter },
+            _ => Update::Competence {
+                voter,
+                p: f64::from(pk) / 1100.0,
+            },
+        })
+        .collect()
+}
+
+fn encode_body(updates: &[Update]) -> (Vec<u8>, Vec<usize>) {
+    let mut body = Vec::new();
+    let mut boundaries = vec![0usize];
+    for u in updates {
+        encode_record(u, &mut body);
+        boundaries.push(body.len());
+    }
+    (body, boundaries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncation at EVERY byte offset of a valid body yields exactly
+    /// the records whose frames fit whole, plus a typed torn tail.
+    #[test]
+    fn every_byte_truncation_yields_an_aligned_prefix(
+        raw in vec((0usize..4, 0usize..1000, 0usize..1000, 0u32..=1100), 1..40),
+    ) {
+        let updates = build_updates(&raw);
+        let (body, boundaries) = encode_body(&updates);
+        for cut in 0..=body.len() {
+            let scan = scan_records(&body[..cut]);
+            // The valid prefix is record-aligned and maximal.
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            prop_assert_eq!(scan.updates.len(), whole, "cut at {}", cut);
+            prop_assert_eq!(&scan.updates[..], &updates[..whole]);
+            prop_assert_eq!(scan.valid_len, boundaries[whole]);
+            match &scan.tail {
+                TailStatus::Clean => prop_assert_eq!(cut, boundaries[whole]),
+                TailStatus::Torn(t) => {
+                    prop_assert_eq!(t.at, boundaries[whole]);
+                    prop_assert_eq!(t.trailing, cut - boundaries[whole]);
+                    // A truncated frame is diagnosed as truncation, not
+                    // as corruption of data that was never written.
+                    prop_assert!(matches!(
+                        t.reason,
+                        TornReason::TruncatedHeader { .. } | TornReason::TruncatedPayload { .. }
+                    ));
+                }
+            }
+        }
+    }
+
+    /// A valid prefix followed by arbitrary junk: every original record
+    /// survives, nothing from the junk is ever decoded as data that was
+    /// logged, and the scan terminates with a typed reason.
+    #[test]
+    fn junk_suffixes_are_diagnosed_not_applied(
+        raw in vec((0usize..4, 0usize..1000, 0usize..1000, 0u32..=1100), 0..20),
+        junk in vec(any::<u8>(), 1..64),
+    ) {
+        let updates = build_updates(&raw);
+        let (mut body, boundaries) = encode_body(&updates);
+        body.extend_from_slice(&junk);
+        let scan = scan_records(&body);
+        prop_assert!(scan.updates.len() >= updates.len());
+        prop_assert_eq!(&scan.updates[..updates.len()], &updates[..]);
+        prop_assert!(scan.valid_len >= *boundaries.last().unwrap());
+        // If the junk happens to parse entirely as valid frames the
+        // tail is clean; otherwise the torn offset is past the real
+        // records.
+        if let TailStatus::Torn(t) = &scan.tail {
+            prop_assert!(t.at >= *boundaries.last().unwrap());
+            prop_assert_eq!(t.at + t.trailing, body.len());
+        }
+    }
+
+    /// Pure junk never panics and never produces a record unless the
+    /// bytes genuinely frame one.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..256)) {
+        let scan = scan_records(&bytes);
+        prop_assert!(scan.valid_len <= bytes.len());
+        if !scan.updates.is_empty() {
+            prop_assert!(scan.valid_len >= FRAME_HEADER_LEN * scan.updates.len());
+        }
+    }
+}

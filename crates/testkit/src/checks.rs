@@ -52,6 +52,20 @@ pub enum CsrImpl {
     OffsetSkewed,
 }
 
+/// Which WAL scanner the crash oracle exercises.
+///
+/// `CrcSkipped` is a deliberate bug — a testkit-local reimplementation
+/// of the record scanner that trusts frame lengths and never verifies
+/// the stored CRC32 — injected by `--mutate wal-crc` so CI can verify
+/// the crash oracle actually detects silently-corrupted log records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalImpl {
+    /// The production scanner (`ld_store::wal::scan_records`).
+    Real,
+    /// Mutant: frame CRCs are never checked.
+    CrcSkipped,
+}
+
 /// Shared configuration threaded through every check.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckContext {
@@ -59,6 +73,8 @@ pub struct CheckContext {
     pub tally: TallyImpl,
     /// CSR kernel build under test.
     pub csr: CsrImpl,
+    /// WAL scanner under test.
+    pub wal: WalImpl,
 }
 
 /// Result of one check on one case.
@@ -106,11 +122,17 @@ pub enum CheckId {
     /// over the oracle's sink assignments, plus the CSR exact tally vs
     /// the `Resolution` path.
     CsrTallyOracle,
+    /// WAL crash oracle: the update stream is framed through the
+    /// `ld-store` codec, then the log is crashed at every byte offset —
+    /// the scanned prefix must replay (streamed and batched) to states
+    /// bit-identical to from-scratch resolution, and corrupted records
+    /// must be caught by the frame CRC.
+    WalCrashOracle,
 }
 
 impl CheckId {
     /// All checks, in execution order.
-    pub fn all() -> [CheckId; 13] {
+    pub fn all() -> [CheckId; 14] {
         [
             CheckId::ResolveOracle,
             CheckId::ResolveDeterminism,
@@ -125,6 +147,7 @@ impl CheckId {
             CheckId::Locality,
             CheckId::CsrResolveOracle,
             CheckId::CsrTallyOracle,
+            CheckId::WalCrashOracle,
         ]
     }
 
@@ -144,6 +167,7 @@ impl CheckId {
             CheckId::Locality => "locality",
             CheckId::CsrResolveOracle => "csr-resolve-oracle",
             CheckId::CsrTallyOracle => "csr-tally-oracle",
+            CheckId::WalCrashOracle => "wal-crash-oracle",
         }
     }
 
@@ -196,6 +220,7 @@ pub fn recheck_structural(
         CheckId::Locality => CheckOutcome::Skip("locality needs the full instance and mechanism"),
         CheckId::CsrResolveOracle => check_csr_resolve_oracle(actions, ctx),
         CheckId::CsrTallyOracle => check_csr_tally_oracle(actions, ps, seed, ctx),
+        CheckId::WalCrashOracle => check_wal_crash_oracle(actions, ps, seed, ctx),
     }
 }
 
@@ -1041,6 +1066,179 @@ fn check_locality(case: &Case) -> CheckOutcome {
     }
 }
 
+/// Deliberately buggy testkit-local WAL scanner: trusts frame lengths
+/// and never verifies the stored CRC32. `--mutate wal-crc` routes the
+/// crash oracle through it, so a corrupted record decodes "successfully"
+/// and the differential comparison below must flag the divergence.
+fn scan_records_skipping_crc(body: &[u8]) -> Vec<Update> {
+    use ld_store::wal::{FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+    let mut updates = Vec::new();
+    let mut at = 0usize;
+    while body.len() - at >= FRAME_HEADER_LEN {
+        let len = u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_PAYLOAD as usize || body.len() - at - FRAME_HEADER_LEN < len {
+            break;
+        }
+        let payload = &body[at + FRAME_HEADER_LEN..at + FRAME_HEADER_LEN + len];
+        match ld_live::codec::decode_update(payload) {
+            Ok(u) => updates.push(u),
+            Err(_) => break,
+        }
+        at += FRAME_HEADER_LEN + len;
+    }
+    updates
+}
+
+/// The crash oracle, extending [`check_live_replay`] through the
+/// durable-log codec: the accepted update stream is framed exactly as
+/// `ld-store` writes it, the resulting log is truncated at EVERY byte
+/// offset (a crash can land anywhere), and each surviving prefix must be
+/// record-aligned and replay — streamed and batched — to states
+/// bit-identical to a from-scratch resolve. Finally, single-bit
+/// corruption of early/middle/final records must leave the scanner on
+/// the exact prefix before the damage: one decoded post-corruption
+/// record is a conformance failure.
+fn check_wal_crash_oracle(
+    actions: &[Action],
+    ps: &[f64],
+    seed: u64,
+    ctx: &CheckContext,
+) -> CheckOutcome {
+    use ld_store::wal::{encode_record, scan_records, FRAME_HEADER_LEN};
+    let n = actions.len();
+    if n == 0 {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let dg = DelegationGraph::new(actions.to_vec());
+    if !dg.is_single_target() {
+        return CheckOutcome::Skip("live engine handles single-target graphs only");
+    }
+    if dg.resolve().is_err() {
+        return CheckOutcome::Skip("resolver rejects this graph");
+    }
+
+    // The logged stream: the structural replay plus seeded competence
+    // churn, so every record tag the codec defines appears in the WAL.
+    let mut updates = replay_updates(actions);
+    let mut rng = stream_rng(seed, 0x57A1_C4A5);
+    for _ in 0..4.min(n) {
+        updates.push(Update::Competence {
+            voter: rng.gen_range(0..n),
+            p: rng.gen_range(0.0..1.0),
+        });
+    }
+    let mut reference = match LiveEngine::new(vec![Action::Vote; n], ps.to_vec()) {
+        Ok(e) => e,
+        Err(e) => return CheckOutcome::Fail(format!("live engine construction: {e}")),
+    };
+    let mut accepted = Vec::new();
+    let mut body = Vec::new();
+    let mut boundaries = vec![0usize];
+    for u in updates {
+        if reference.apply(u).is_ok() {
+            accepted.push(u);
+            encode_record(&u, &mut body);
+            boundaries.push(body.len());
+        }
+    }
+    let scan = |bytes: &[u8]| -> Vec<Update> {
+        match ctx.wal {
+            WalImpl::Real => scan_records(bytes).updates,
+            WalImpl::CrcSkipped => scan_records_skipping_crc(bytes),
+        }
+    };
+
+    // Crash at every byte offset: the scan must recover exactly the
+    // records whose frames survived whole — never a partial decode.
+    for cut in 0..=body.len() {
+        let got = scan(&body[..cut]);
+        let whole = boundaries.partition_point(|&b| b <= cut) - 1;
+        if got != accepted[..whole] {
+            return CheckOutcome::Fail(format!(
+                "crash at byte {cut}: scanner recovered {} records, expected the \
+                 aligned prefix of {whole}",
+                got.len()
+            ));
+        }
+    }
+
+    // At sampled record boundaries, the recovered prefix must replay to
+    // the same state streamed, batched, and from scratch.
+    let m = accepted.len();
+    let mut sample = vec![0, m / 2, m];
+    sample.dedup();
+    for k in sample {
+        let prefix = scan(&body[..boundaries[k]]);
+        let mut streamed = match LiveEngine::new(vec![Action::Vote; n], ps.to_vec()) {
+            Ok(e) => e,
+            Err(e) => return CheckOutcome::Fail(format!("live engine construction: {e}")),
+        };
+        for u in &prefix {
+            if let Err(reject) = streamed.apply(*u) {
+                return CheckOutcome::Fail(format!(
+                    "recovered record {u:?} rejected on replay at boundary {k}: {reject:?}"
+                ));
+            }
+        }
+        let mut batched = match LiveEngine::new(vec![Action::Vote; n], ps.to_vec()) {
+            Ok(e) => e,
+            Err(e) => return CheckOutcome::Fail(format!("live engine construction: {e}")),
+        };
+        let report = batched.apply_batch(&prefix);
+        if !report.rejected.is_empty() {
+            return CheckOutcome::Fail(format!(
+                "batched replay of recovered prefix rejected {:?}",
+                report.rejected
+            ));
+        }
+        if streamed.resolution() != batched.resolution()
+            || streamed.competences() != batched.competences()
+        {
+            return CheckOutcome::Fail(format!(
+                "streamed and batched replays of the recovered prefix diverge at boundary {k}"
+            ));
+        }
+        let scratch = match DelegationGraph::new(streamed.actions().to_vec()).resolve() {
+            Ok(r) => r,
+            Err(e) => {
+                return CheckOutcome::Fail(format!(
+                    "from-scratch resolve of recovered state errored: {e}"
+                ))
+            }
+        };
+        if scratch != streamed.resolution() {
+            return CheckOutcome::Fail(format!(
+                "recovered state at boundary {k} is not bit-identical to from-scratch resolve"
+            ));
+        }
+    }
+
+    // Corruption teeth: flip one payload bit in the first, middle, and
+    // last records; the scanner must surface exactly the prefix before
+    // the damaged record and nothing decoded from or past it.
+    if m > 0 {
+        let mut probes = vec![0, m / 2, m - 1];
+        probes.dedup();
+        for idx in probes {
+            let mut corrupted = body.clone();
+            // Offset of the record's voter-id low byte: frame header,
+            // then the one-byte tag.
+            let off = boundaries[idx] + FRAME_HEADER_LEN + 1;
+            corrupted[off] ^= 0x01;
+            let got = scan(&corrupted);
+            if got != accepted[..idx] {
+                return CheckOutcome::Fail(format!(
+                    "single-bit corruption in record {idx} was not caught: scanner \
+                     returned {} records (valid prefix is {idx}) — a corrupted voter \
+                     id would be silently applied on recovery",
+                    got.len()
+                ));
+            }
+        }
+    }
+    CheckOutcome::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1049,6 +1247,7 @@ mod tests {
         CheckContext {
             tally: TallyImpl::Real,
             csr: CsrImpl::Real,
+            wal: WalImpl::Real,
         }
     }
 
@@ -1083,6 +1282,7 @@ mod tests {
         let mutated = CheckContext {
             tally: TallyImpl::TieFlipped,
             csr: CsrImpl::Real,
+            wal: WalImpl::Real,
         };
         let outcome = check_tally_oracle(&actions, &ps, &mutated);
         assert!(
@@ -1106,6 +1306,7 @@ mod tests {
         let mutated = CheckContext {
             tally: TallyImpl::Real,
             csr: CsrImpl::OffsetSkewed,
+            wal: WalImpl::Real,
         };
         let resolve = check_csr_resolve_oracle(&actions, &mutated);
         assert!(
@@ -1123,6 +1324,29 @@ mod tests {
         );
         assert_eq!(
             check_csr_tally_oracle(&actions, &ps, 5, &ctx()),
+            CheckOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn wal_crc_mutant_is_detected_on_a_delegation_chain() {
+        // Skipping the frame CRC lets a bit-flipped voter id decode
+        // "successfully", so the crash oracle's corruption probes must
+        // flag the CRC-skipping scanner while the real one passes.
+        let actions = vec![Action::Delegate(1), Action::Delegate(2), Action::Vote];
+        let ps = vec![0.3, 0.5, 0.7];
+        let mutated = CheckContext {
+            tally: TallyImpl::Real,
+            csr: CsrImpl::Real,
+            wal: WalImpl::CrcSkipped,
+        };
+        let outcome = check_wal_crash_oracle(&actions, &ps, 5, &mutated);
+        assert!(
+            matches!(outcome, CheckOutcome::Fail(_)),
+            "wal-crc mutant not detected: {outcome:?}"
+        );
+        assert_eq!(
+            check_wal_crash_oracle(&actions, &ps, 5, &ctx()),
             CheckOutcome::Pass
         );
     }

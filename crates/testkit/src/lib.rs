@@ -37,7 +37,7 @@ pub mod oracle;
 pub mod report;
 pub mod shrink;
 
-use checks::{CheckContext, CheckId, CheckOutcome, CsrImpl, TallyImpl};
+use checks::{CheckContext, CheckId, CheckOutcome, CsrImpl, TallyImpl, WalImpl};
 use gen::{default_grid, CellSpec};
 use report::{ConformanceReport, Mismatch, ShrunkInstance};
 
@@ -51,12 +51,16 @@ pub enum Mutation {
     /// a vote between consecutive sinks (caught by the `csr-*-oracle`
     /// checks).
     CsrOffset,
+    /// Skip the frame CRC32 comparison when scanning the write-ahead
+    /// log, so corrupted records decode "successfully" (caught by the
+    /// `wal-crash-oracle` check).
+    WalCrc,
 }
 
 impl Mutation {
     /// Every known mutation.
-    pub fn all() -> [Mutation; 2] {
-        [Mutation::TieFlip, Mutation::CsrOffset]
+    pub fn all() -> [Mutation; 3] {
+        [Mutation::TieFlip, Mutation::CsrOffset, Mutation::WalCrc]
     }
 
     /// Stable identifier, as accepted by `--mutate`.
@@ -64,6 +68,7 @@ impl Mutation {
         match self {
             Mutation::TieFlip => "tie-flip",
             Mutation::CsrOffset => "csr-offset",
+            Mutation::WalCrc => "wal-crc",
         }
     }
 
@@ -163,6 +168,10 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
         csr: match cfg.mutation {
             Some(Mutation::CsrOffset) => CsrImpl::OffsetSkewed,
             _ => CsrImpl::Real,
+        },
+        wal: match cfg.mutation {
+            Some(Mutation::WalCrc) => WalImpl::CrcSkipped,
+            _ => WalImpl::Real,
         },
     };
     let grid = default_grid(cfg.quick);

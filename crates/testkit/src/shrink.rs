@@ -149,7 +149,7 @@ pub fn shrink_failure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checks::{CsrImpl, TallyImpl};
+    use crate::checks::{CsrImpl, TallyImpl, WalImpl};
 
     #[test]
     fn remove_voter_remaps_targets() {
@@ -185,6 +185,7 @@ mod tests {
         let ctx = CheckContext {
             tally: TallyImpl::TieFlipped,
             csr: CsrImpl::Real,
+            wal: WalImpl::Real,
         };
         let shrunk = shrink_failure(CheckId::TallyOracle, &actions, &ps, 1, &ctx)
             .expect("failure should shrink");
@@ -197,6 +198,7 @@ mod tests {
         let ctx = CheckContext {
             tally: TallyImpl::Real,
             csr: CsrImpl::Real,
+            wal: WalImpl::Real,
         };
         assert!(shrink_failure(CheckId::TallyOracle, &[Action::Vote], &[0.5], 1, &ctx).is_none());
     }

@@ -39,6 +39,10 @@ cargo "${CFG[@]}" test --offline -p ld-core --release -q csr
 cargo "${CFG[@]}" test --offline -p ld-testkit --release -q -- --skip report::tests::report_serializes_and_reports_ok
 cargo "${CFG[@]}" test --offline -p ld-sim --release -q --test scheduler_determinism
 
+echo "== offline: ld-store durability suites (mmap + fs::read fallback, release)"
+cargo "${CFG[@]}" test --offline -p ld-store --release -q
+cargo "${CFG[@]}" test --offline -p ld-store --release --no-default-features -q
+
 echo "== offline: cargo check (ld-sim, all targets, --features obs)"
 cargo "${CFG[@]}" check --offline -p ld-sim --all-targets --features obs
 
