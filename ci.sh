@@ -59,6 +59,28 @@ fi
 echo "==> store-bench gate (snapshot+tail recovery must beat full replay >= 10x)"
 ./target/release/repro store-bench
 
+echo "==> serve-bench gate (sharded service throughput + single-engine oracle bit-identity)"
+./target/release/repro serve-bench --quick
+
+echo "==> serve-replay conformance gate (sharded == streamed == batched == from-scratch)"
+./target/release/repro conformance --quick --only serve-replay
+
+echo "==> serve mutation smoke (injected shard-route misroute MUST be detected)"
+if ./target/release/repro conformance --quick --no-corpus \
+    --mutate shard-route >/dev/null 2>&1; then
+  echo "ERROR: injected shard-route mutation was not detected — serve-replay has no teeth" >&2
+  exit 1
+fi
+
+echo "==> serve kill-and-recover smoke (commit an epoch, die abruptly, restart bit-identically)"
+rm -rf target/serve-smoke
+./target/release/repro serve-bench --quick --n 1000 --updates 6000 --shards 3 \
+    --dir target/serve-smoke --kill-at 4000
+./target/release/repro serve-recover --dir target/serve-smoke
+
+echo "==> serve selftest (wire-codec round trip through the loopback host)"
+./target/release/repro serve --selftest
+
 echo "==> scheduler determinism (bit-identity across worker counts)"
 cargo test -q -p ld-sim --test scheduler_determinism
 

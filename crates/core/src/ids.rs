@@ -1,0 +1,87 @@
+//! Stable voter-id plumbing shared across the stack.
+//!
+//! The service tier (`ld-serve`) partitions each election's voters
+//! across a set of shard engines. The partition function lives here —
+//! not in the service crate — because several layers must agree on it
+//! byte-for-byte: the router that assigns updates to shards, the merge
+//! pass that forwards cross-shard delegation chains through each
+//! voter's *canonical* owner shard, the conformance oracle that
+//! re-derives the routing, and the recovery path that rebuilds the
+//! global action vector from per-shard snapshots. A drifting partition
+//! would silently double-count or drop votes, so it is pinned as a
+//! documented pure function with its own tests.
+
+/// One round of SplitMix64 — the workspace's standard seed mixer (see
+/// `ld_prob::rng`), reproduced here so `ld-core` stays
+/// dependency-free.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The canonical hash partition of voter ids across `shards` shards.
+///
+/// Hash-based (not modulo) so that consecutive ids — which seeded
+/// workloads and Zipf traces favour — spread evenly instead of
+/// striping. The function is *stable*: changing it invalidates every
+/// on-disk shard layout, so it is part of the serve wire/storage
+/// contract and pinned by `ids::tests`.
+///
+/// `shards == 0` is treated as a single shard (everything maps to 0)
+/// rather than a panic, so degenerate configurations stay total.
+#[must_use]
+#[inline]
+pub fn shard_of(voter: u32, shards: u32) -> u32 {
+    if shards <= 1 {
+        return 0;
+    }
+    (splitmix64(u64::from(voter)) % u64::from(shards)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_total_and_in_range() {
+        for shards in [1u32, 2, 3, 8, 64] {
+            for voter in (0..4096).chain([u32::MAX - 1, u32::MAX]) {
+                assert!(shard_of(voter, shards) < shards.max(1));
+            }
+        }
+        assert_eq!(shard_of(7, 0), 0);
+    }
+
+    #[test]
+    fn shard_of_is_pinned() {
+        // The partition is an on-disk contract: these values must never
+        // change without a shard-layout migration.
+        assert_eq!(shard_of(0, 8), 7);
+        assert_eq!(
+            u64::from(shard_of(1, 8)),
+            splitmix64(1) % 8,
+            "matches the mixer"
+        );
+        let expected: Vec<u32> = (0..8).map(|v| (splitmix64(v) % 8) as u32).collect();
+        let got: Vec<u32> = (0..8u32).map(|v| shard_of(v, 8)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn shard_of_spreads_consecutive_ids() {
+        let shards = 8u32;
+        let mut counts = vec![0usize; shards as usize];
+        for v in 0..8000u32 {
+            counts[shard_of(v, shards) as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {s} holds {c} of 8000 consecutive ids"
+            );
+        }
+    }
+}

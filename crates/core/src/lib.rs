@@ -60,6 +60,7 @@ pub mod delegation;
 pub mod desiderata;
 pub mod distributions;
 pub mod gain;
+pub mod ids;
 pub mod mechanisms;
 pub mod probabilistic;
 pub mod recycle_bridge;

@@ -472,6 +472,20 @@ impl LiveEngine {
         self.weight[v]
     }
 
+    /// The full per-voter weight vector (index = voter; 0 for
+    /// non-sinks) — the flat view `ld-serve`'s shard merge iterates
+    /// instead of `n` accessor calls.
+    pub fn weights(&self) -> &[usize] {
+        &self.weight
+    }
+
+    /// The full per-voter sink-assignment vector (index = voter;
+    /// `None` = discarded through abstention), the companion flat view
+    /// to [`LiveEngine::weights`] for cross-shard chain forwarding.
+    pub fn sink_assignments(&self) -> &[Option<usize>] {
+        &self.sink_of
+    }
+
     /// The sink voter `v`'s vote currently ends at (`None` = discarded
     /// through abstention).
     pub fn sink_of(&self, v: usize) -> Option<usize> {

@@ -1,0 +1,952 @@
+//! One hosted election: batched ingest, sharded apply, epoch publish.
+//!
+//! # Threading model
+//!
+//! ```text
+//!  submit() ──mpsc──▶ router thread ──┬─▶ shard 0 thread ─▶ engine + WAL
+//!                     (validate,      ├─▶ shard 1 thread ─▶ engine + WAL
+//!                      window, route) └─▶ …
+//!                            │ barrier + merge
+//!                            ▼
+//!                    Arc<EpochSnapshot>  ◀── snapshot() (readers)
+//! ```
+//!
+//! The router is the single *sequencer*: it drains the ingest channel
+//! in ~window-sized batches, validates every update against the global
+//! action vector in arrival order (the exact rules of
+//! [`LiveEngine::apply`], so acceptance is deterministic and identical
+//! to one engine), routes accepted updates to their owner shard, and
+//! counts rejects. Validation is a cheap chain walk; the expensive work
+//! — subtree recomputation, tally deltas, WAL appends and fsyncs —
+//! happens in the shard threads, in parallel, for disjoint voter sets.
+//!
+//! Every `publish_every` windows (and on every flush) the router runs
+//! the epoch barrier: shards quiesce and fsync, the merge pass builds
+//! the exact global tally, the epoch commits to `epochs.log` (when
+//! durable), and the new [`EpochSnapshot`] is swapped in behind a
+//! briefly-held write lock. Readers clone the `Arc` under the read
+//! lock and never touch engines, so queries cost O(1) regardless of
+//! ingest pressure.
+//!
+//! # Shard-local validity
+//!
+//! A shard engine sees only its owned voters' updates, so its view is
+//! the *restriction* of the globally accepted edge set — a subgraph of
+//! an acyclic graph. Every globally accepted update therefore passes
+//! the shard's own validation too (a cycle visible to the shard would
+//! be a global cycle), which is asserted in debug builds: shards apply,
+//! they never decide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ld_core::delegation::Action;
+use ld_core::ids::shard_of;
+use ld_live::{LiveEngine, RejectReason, Update};
+use ld_store::{Store, StoreOptions};
+
+use crate::epochs::{EpochEntry, EpochLog, Meta, EPOCHS_FILE};
+use crate::identity::{IdentityError, IdentityLog, IdentityMap, IDENTITY_FILE};
+use crate::merge::{merge_shards, MergedTally};
+use crate::ServeError;
+
+/// How an [`Election`] is sized and tuned.
+#[derive(Debug, Clone)]
+pub struct ElectionConfig {
+    /// Fixed electorate size (engines are fixed-width).
+    pub n: u32,
+    /// Shard count (`>= 1`).
+    pub shards: u32,
+    /// Initial competence for every voter.
+    pub default_p: f64,
+    /// Explicit per-voter initial competences (overrides `default_p`;
+    /// must have length `n`).
+    pub competences: Option<Vec<f64>>,
+    /// Ingest batching window: the router keeps draining the channel
+    /// this long after the first update of a batch.
+    pub window: Duration,
+    /// Hard cap on updates per routed batch.
+    pub max_batch: usize,
+    /// Windows between automatic epoch publishes (`0` = publish only
+    /// on flush and shutdown).
+    pub publish_every: u32,
+    /// Durable root directory; `None` keeps the election in memory.
+    pub dir: Option<PathBuf>,
+    /// Store tuning for the per-shard WALs (durable elections only).
+    pub store: StoreOptions,
+    /// Conformance hook: route this voter's updates to the *wrong*
+    /// shard. Exists so the `shard-route` mutation can prove the
+    /// merge/digest machinery detects routing bugs; never set in
+    /// production paths.
+    pub misroute: Option<u32>,
+}
+
+impl ElectionConfig {
+    /// Defaults tuned for tests and moderate loads: 4 shards, 1 ms
+    /// windows, publish every 8 windows, in-memory.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        ElectionConfig {
+            n,
+            shards: 4,
+            default_p: 0.5,
+            competences: None,
+            window: Duration::from_millis(1),
+            max_batch: 4096,
+            publish_every: 8,
+            dir: None,
+            store: StoreOptions::default(),
+            misroute: None,
+        }
+    }
+}
+
+/// One published, immutable view of the election at an epoch barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSnapshot {
+    /// Monotonic epoch counter (0 = initial state, pre-ingest).
+    pub epoch: u64,
+    /// Cumulative accepted updates.
+    pub applied: u64,
+    /// Cumulative rejected updates.
+    pub rejected: u64,
+    /// Accepted updates routed to each shard (WAL replay caps).
+    pub shard_records: Vec<u64>,
+    /// The exact merged tally.
+    pub tally: MergedTally,
+}
+
+/// Cumulative service counters, cheap to sample at any time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Updates accepted into the ingest queue.
+    pub enqueued: u64,
+    /// Updates accepted by the sequencer (as of the latest epoch).
+    pub applied: u64,
+    /// Updates rejected by the sequencer (as of the latest epoch).
+    pub rejected: u64,
+    /// Latest published epoch.
+    pub epoch: u64,
+    /// Per-shard accepted-record counts (as of the latest epoch).
+    pub shard_records: Vec<u64>,
+}
+
+/// What a durable restart reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRecovery {
+    /// The epoch the service resumed at.
+    pub epoch: u64,
+    /// Digest of the recovered merged tally (verified against the
+    /// epoch log when an epoch was committed).
+    pub digest: u64,
+    /// Per-shard record counts replayed.
+    pub shard_records: Vec<u64>,
+    /// Cumulative accepted updates restored.
+    pub applied: u64,
+    /// Cumulative rejected updates restored.
+    pub rejected: u64,
+}
+
+/// State shared between ingest handles, the router, and readers.
+struct Published {
+    epoch: AtomicU64,
+    snap: RwLock<Arc<EpochSnapshot>>,
+    enqueued: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+    failure: Mutex<Option<(u32, String)>>,
+}
+
+/// A shard's mutable state: the engine plus its optional store. The
+/// shard thread holds the lock while applying; the router takes it only
+/// at barriers, when the shard is provably idle (it acked the barrier).
+struct ShardState {
+    engine: LiveEngine,
+    store: Option<Store>,
+    failure: Option<String>,
+}
+
+enum Msg {
+    Update(Update, Instant),
+    Flush(Sender<Result<Arc<EpochSnapshot>, (u32, String)>>),
+    Kill,
+}
+
+enum ShardMsg {
+    Batch(Vec<Update>),
+    Barrier { sync: bool },
+    Stop,
+}
+
+/// A live, hosted election. Dropping it shuts down gracefully: pending
+/// ingest drains, shard WALs fsync, and a final epoch publishes.
+pub struct Election {
+    n: u32,
+    shards: u32,
+    ingest: Option<Sender<Msg>>,
+    router: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    published: Arc<Published>,
+    identity: Mutex<IdentityBackend>,
+}
+
+enum IdentityBackend {
+    Mem(IdentityMap),
+    Durable(IdentityLog),
+}
+
+impl Election {
+    /// Creates a fresh election per `cfg` — durable (per-shard stores,
+    /// meta, epoch and identity logs under `cfg.dir`) when a directory
+    /// is configured, in-memory otherwise — and starts its threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for unusable configurations, durable-layer
+    /// errors when store files cannot be created.
+    pub fn create(cfg: &ElectionConfig) -> Result<Election, ServeError> {
+        if cfg.shards == 0 {
+            return Err(ServeError::Config("shard count must be >= 1".to_string()));
+        }
+        let n = cfg.n as usize;
+        let competences = match &cfg.competences {
+            Some(ps) if ps.len() != n => {
+                return Err(ServeError::Config(format!(
+                    "{} competences for {n} voters",
+                    ps.len()
+                )));
+            }
+            Some(ps) => ps.clone(),
+            None => vec![cfg.default_p; n],
+        };
+        let mut engines = Vec::with_capacity(cfg.shards as usize);
+        for _ in 0..cfg.shards {
+            let engine = LiveEngine::new(vec![Action::Vote; n], competences.clone())
+                .map_err(|e| ServeError::Config(e.to_string()))?;
+            engines.push(engine);
+        }
+        let (stores, epoch_log, identity) = if let Some(dir) = &cfg.dir {
+            std::fs::create_dir_all(dir).map_err(ServeError::io("create election dir", dir))?;
+            Meta {
+                n: cfg.n,
+                shards: cfg.shards,
+                default_p: cfg.default_p,
+            }
+            .write(dir)?;
+            let mut stores = Vec::with_capacity(engines.len());
+            for (s, engine) in engines.iter().enumerate() {
+                let shard_dir = dir.join(format!("shard-{s}"));
+                stores.push(Some(Store::create(&shard_dir, engine, cfg.store)?));
+            }
+            let epoch_log = Some(EpochLog::open(&dir.join(EPOCHS_FILE), cfg.shards as usize)?);
+            let identity =
+                IdentityBackend::Durable(IdentityLog::open(&dir.join(IDENTITY_FILE), cfg.n)?);
+            (stores, epoch_log, identity)
+        } else {
+            (
+                (0..cfg.shards).map(|_| None).collect(),
+                None,
+                IdentityBackend::Mem(IdentityMap::with_capacity(cfg.n)),
+            )
+        };
+        let refs: Vec<&LiveEngine> = engines.iter().collect();
+        let initial = EpochSnapshot {
+            epoch: 0,
+            applied: 0,
+            rejected: 0,
+            shard_records: vec![0; cfg.shards as usize],
+            tally: merge_shards(&refs),
+        };
+        Self::start(
+            cfg,
+            engines,
+            stores,
+            epoch_log,
+            identity,
+            initial,
+            vec![Action::Vote; n],
+        )
+    }
+
+    /// Reopens the durable election under `dir` at its last committed
+    /// epoch: per-shard WAL replay is *capped* at the epoch's recorded
+    /// counts, the merged tally is recomputed, and its digest must
+    /// match the one logged at publish time — recovery is bit-identical
+    /// or it is an error.
+    ///
+    /// Only the runtime tuning of `tuning` is used (`window`,
+    /// `max_batch`, `publish_every`, `store`); the election's facts
+    /// (`n`, shard count, competences) come from its own files.
+    ///
+    /// # Errors
+    ///
+    /// Durable-layer errors, [`ServeError::Meta`] for invalid service
+    /// files, and [`ServeError::DigestMismatch`] when the recovered
+    /// state does not reproduce the committed epoch.
+    pub fn recover(
+        dir: &Path,
+        tuning: &ElectionConfig,
+    ) -> Result<(Election, ServeRecovery), ServeError> {
+        let meta = Meta::read(dir)?;
+        let epoch_log = EpochLog::open(&dir.join(EPOCHS_FILE), meta.shards as usize)?;
+        let committed = epoch_log.last().cloned();
+        let caps: Vec<u64> = committed
+            .as_ref()
+            .map_or_else(|| vec![0; meta.shards as usize], |e| e.counts.clone());
+        let mut engines = Vec::with_capacity(meta.shards as usize);
+        let mut stores = Vec::with_capacity(meta.shards as usize);
+        for (s, &cap) in caps.iter().enumerate() {
+            let shard_dir = dir.join(format!("shard-{s}"));
+            let (store, recovery) = Store::resume_capped(&shard_dir, tuning.store, cap)?;
+            engines.push(recovery.engine);
+            stores.push(Some(store));
+        }
+        let refs: Vec<&LiveEngine> = engines.iter().collect();
+        let tally = merge_shards(&refs);
+        if let Some(entry) = &committed {
+            if tally.digest != entry.digest {
+                return Err(ServeError::DigestMismatch {
+                    epoch: entry.epoch,
+                    expected: entry.digest,
+                    actual: tally.digest,
+                });
+            }
+        }
+        let n = meta.n as usize;
+        let mut actions = vec![Action::Vote; n];
+        for (v, slot) in actions.iter_mut().enumerate() {
+            let owner = shard_of(v as u32, meta.shards) as usize;
+            *slot = engines[owner].actions()[v].clone();
+        }
+        let identity =
+            IdentityBackend::Durable(IdentityLog::open(&dir.join(IDENTITY_FILE), meta.n)?);
+        let (epoch, applied, rejected) = committed
+            .as_ref()
+            .map_or((0, 0, 0), |e| (e.epoch, e.applied, e.rejected));
+        let report = ServeRecovery {
+            epoch,
+            digest: tally.digest,
+            shard_records: caps.clone(),
+            applied,
+            rejected,
+        };
+        let initial = EpochSnapshot {
+            epoch,
+            applied,
+            rejected,
+            shard_records: caps,
+            tally,
+        };
+        let cfg = ElectionConfig {
+            n: meta.n,
+            shards: meta.shards,
+            default_p: meta.default_p,
+            competences: None,
+            dir: Some(dir.to_path_buf()),
+            misroute: None,
+            ..tuning.clone()
+        };
+        let election = Self::start(
+            &cfg,
+            engines,
+            stores,
+            Some(epoch_log),
+            identity,
+            initial,
+            actions,
+        )?;
+        Ok((election, report))
+    }
+
+    /// Spawns the shard and router threads around prepared state.
+    fn start(
+        cfg: &ElectionConfig,
+        engines: Vec<LiveEngine>,
+        stores: Vec<Option<Store>>,
+        epoch_log: Option<EpochLog>,
+        identity: IdentityBackend,
+        initial: EpochSnapshot,
+        actions: Vec<Action>,
+    ) -> Result<Election, ServeError> {
+        let durable = epoch_log.is_some();
+        let sent = initial.shard_records.clone();
+        let (applied, rejected, epoch) = (initial.applied, initial.rejected, initial.epoch);
+        let published = Arc::new(Published {
+            epoch: AtomicU64::new(epoch),
+            snap: RwLock::new(Arc::new(initial)),
+            enqueued: AtomicU64::new(0),
+            latencies_ns: Mutex::new(Vec::new()),
+            failure: Mutex::new(None),
+        });
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let mut shard_txs = Vec::with_capacity(engines.len());
+        let mut shard_handles = Vec::with_capacity(engines.len());
+        let mut states = Vec::with_capacity(engines.len());
+        for (s, (engine, store)) in engines.into_iter().zip(stores).enumerate() {
+            let state = Arc::new(Mutex::new(ShardState {
+                engine,
+                store,
+                failure: None,
+            }));
+            let (tx, rx) = mpsc::channel();
+            let thread_state = Arc::clone(&state);
+            let thread_ack = ack_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("ld-serve-shard-{s}"))
+                .spawn(move || shard_main(s as u32, &thread_state, &rx, &thread_ack))
+                .map_err(|e| ServeError::Config(format!("spawn shard thread: {e}")))?;
+            shard_txs.push(tx);
+            shard_handles.push(handle);
+            states.push(state);
+        }
+        drop(ack_tx);
+        let (ingest_tx, ingest_rx) = mpsc::channel();
+        let router = RouterCtx {
+            shards: cfg.shards,
+            misroute: cfg.misroute,
+            window: cfg.window,
+            max_batch: cfg.max_batch.max(1),
+            publish_every: cfg.publish_every,
+            durable,
+            actions,
+            rx: ingest_rx,
+            shard_txs,
+            ack_rx,
+            states,
+            published: Arc::clone(&published),
+            epoch_log,
+            sent,
+            applied,
+            rejected,
+            stamps: Vec::new(),
+            windows: 0,
+        };
+        let router_handle = std::thread::Builder::new()
+            .name("ld-serve-router".to_string())
+            .spawn(move || router_main(router))
+            .map_err(|e| ServeError::Config(format!("spawn router thread: {e}")))?;
+        Ok(Election {
+            n: cfg.n,
+            shards: cfg.shards,
+            ingest: Some(ingest_tx),
+            router: Some(router_handle),
+            shard_handles,
+            published,
+            identity: Mutex::new(identity),
+        })
+    }
+
+    /// Electorate size.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Registers an identity key, minting the next dense voter id
+    /// (durably logged for durable elections).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`IdentityError`]s (duplicate, full, bad key, log I/O).
+    pub fn register(&self, key: &[u8]) -> Result<u32, IdentityError> {
+        match &mut *self.identity.lock().expect("identity lock") {
+            IdentityBackend::Mem(map) => map.register(key),
+            IdentityBackend::Durable(log) => log.register(key),
+        }
+    }
+
+    /// The id a key maps to, if registered.
+    #[must_use]
+    pub fn lookup(&self, key: &[u8]) -> Option<u32> {
+        match &*self.identity.lock().expect("identity lock") {
+            IdentityBackend::Mem(map) => map.lookup(key),
+            IdentityBackend::Durable(log) => log.map().lookup(key),
+        }
+    }
+
+    /// Fire-and-forget ingest: enqueues the update for the router.
+    /// Acceptance is decided (and counted) at sequencing time; the
+    /// effect is visible in the next published epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] once the service has shut down.
+    pub fn submit(&self, update: Update) -> Result<(), ServeError> {
+        let tx = self.ingest.as_ref().ok_or(ServeError::Closed)?;
+        tx.send(Msg::Update(update, Instant::now()))
+            .map_err(|_| ServeError::Closed)?;
+        self.published.enqueued.fetch_add(1, Ordering::Relaxed);
+        ld_obs::counter("serve.enqueued").incr();
+        Ok(())
+    }
+
+    /// The latest published epoch snapshot — an `Arc` clone under a
+    /// briefly-held read lock; never blocks on ingest or merging.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.published.snap.read().expect("snapshot lock"))
+    }
+
+    /// The latest published epoch number.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.published.epoch.load(Ordering::Acquire)
+    }
+
+    /// Drains everything enqueued so far through the shards, runs the
+    /// epoch barrier, and returns the freshly published snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] after shutdown, [`ServeError::Shard`] if
+    /// a shard reported a durable-layer failure.
+    pub fn flush(&self) -> Result<Arc<EpochSnapshot>, ServeError> {
+        let tx = self.ingest.as_ref().ok_or(ServeError::Closed)?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.send(Msg::Flush(reply_tx))
+            .map_err(|_| ServeError::Closed)?;
+        match reply_rx.recv() {
+            Ok(Ok(snap)) => Ok(snap),
+            Ok(Err((shard, message))) => Err(ServeError::Shard { shard, message }),
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Cumulative counters (epoch-granular for sequencer counts).
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        let snap = self.snapshot();
+        ServeStats {
+            enqueued: self.published.enqueued.load(Ordering::Relaxed),
+            applied: snap.applied,
+            rejected: snap.rejected,
+            epoch: snap.epoch,
+            shard_records: snap.shard_records.clone(),
+        }
+    }
+
+    /// Ingest-to-publish latencies recorded so far, in nanoseconds
+    /// (one sample per enqueued update, stamped at `submit` and closed
+    /// at the publish that covered it).
+    #[must_use]
+    pub fn latencies_ns(&self) -> Vec<u64> {
+        self.published
+            .latencies_ns
+            .lock()
+            .expect("latency lock")
+            .clone()
+    }
+
+    /// Graceful shutdown: drains pending ingest, fsyncs every shard
+    /// WAL, publishes (and commits) a final epoch, joins all threads,
+    /// and returns the final snapshot. Also runs on drop; calling it
+    /// explicitly surfaces errors instead of swallowing them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shard`] if a shard failed at any point.
+    pub fn shutdown(mut self) -> Result<Arc<EpochSnapshot>, ServeError> {
+        self.shutdown_inner();
+        if let Some((shard, message)) = self.published.failure.lock().expect("failure lock").take()
+        {
+            return Err(ServeError::Shard { shard, message });
+        }
+        Ok(self.snapshot())
+    }
+
+    /// Abrupt stop: pending ingest is dropped, no final barrier runs,
+    /// no epoch commits — the crash path, for recovery testing. The
+    /// durable state is whatever the last committed epoch covers.
+    pub fn kill(mut self) {
+        if let Some(tx) = self.ingest.take() {
+            let _ = tx.send(Msg::Kill);
+        }
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Dropping the sender is the shutdown signal: the router drains
+        // what is already queued, publishes a final epoch, and stops
+        // the shards.
+        drop(self.ingest.take());
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Election {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Election {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Election")
+            .field("n", &self.n)
+            .field("shards", &self.shards)
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Mirror of the engine's validation rules over the global action
+/// vector — kept byte-identical in effect so the sequencer accepts
+/// exactly what a single engine streaming the same updates would (the
+/// `serve-replay` conformance check pins this equivalence end to end).
+fn validate(actions: &[Action], update: Update) -> Result<(), RejectReason> {
+    let n = actions.len();
+    let voter = update.voter();
+    if voter >= n {
+        return Err(RejectReason::VoterOutOfRange { voter, n });
+    }
+    match update {
+        Update::Delegate { target, .. } if target >= n => {
+            Err(RejectReason::TargetOutOfRange { voter, target, n })
+        }
+        // A self-delegation is a terminal (counts as voting), never a
+        // cycle — matching `resolve`.
+        Update::Delegate { target, .. } if target == voter => Ok(()),
+        Update::Delegate { target, .. } => {
+            let mut cur = target;
+            loop {
+                if cur == voter {
+                    return Err(RejectReason::WouldCreateCycle { voter, target });
+                }
+                match actions[cur] {
+                    Action::Delegate(t) if t != cur => cur = t,
+                    _ => return Ok(()),
+                }
+            }
+        }
+        Update::Competence { p, .. } if !p.is_finite() || !(0.0..=1.0).contains(&p) => {
+            Err(RejectReason::InvalidCompetence { voter, value: p })
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Applies an accepted update to the sequencer's action vector.
+fn apply_action(actions: &mut [Action], update: Update) {
+    match update {
+        Update::Delegate { voter, target } => actions[voter] = Action::Delegate(target),
+        Update::Vote { voter } => actions[voter] = Action::Vote,
+        Update::Abstain { voter } => actions[voter] = Action::Abstain,
+        Update::Competence { .. } => {}
+    }
+}
+
+fn shard_main(
+    shard: u32,
+    state: &Arc<Mutex<ShardState>>,
+    rx: &Receiver<ShardMsg>,
+    ack: &Sender<u32>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(updates) => {
+                let mut st = state.lock().expect("shard state");
+                if st.failure.is_some() {
+                    continue;
+                }
+                // Write-ahead: the record hits the log before the
+                // engine, so the WAL always covers the applied state.
+                if let Some(store) = st.store.as_mut() {
+                    if let Err(e) = store.append_batch(&updates) {
+                        st.failure = Some(format!("wal append: {e}"));
+                        continue;
+                    }
+                }
+                let report = st.engine.apply_batch(&updates);
+                debug_assert!(
+                    report.rejected.is_empty(),
+                    "globally accepted update rejected by shard {shard}: {:?}",
+                    report.rejected
+                );
+            }
+            ShardMsg::Barrier { sync } => {
+                {
+                    let mut st = state.lock().expect("shard state");
+                    let ShardState {
+                        engine,
+                        store,
+                        failure,
+                    } = &mut *st;
+                    if sync && failure.is_none() {
+                        if let Some(store) = store.as_mut() {
+                            if let Err(e) = store.sync() {
+                                *failure = Some(format!("wal sync: {e}"));
+                            } else if let Err(e) = store.maybe_compact(engine) {
+                                *failure = Some(format!("compact: {e}"));
+                            }
+                        }
+                    }
+                }
+                let _ = ack.send(shard);
+            }
+            ShardMsg::Stop => break,
+        }
+    }
+}
+
+/// Everything the router thread owns.
+struct RouterCtx {
+    shards: u32,
+    misroute: Option<u32>,
+    window: Duration,
+    max_batch: usize,
+    publish_every: u32,
+    durable: bool,
+    actions: Vec<Action>,
+    rx: Receiver<Msg>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    ack_rx: Receiver<u32>,
+    states: Vec<Arc<Mutex<ShardState>>>,
+    published: Arc<Published>,
+    epoch_log: Option<EpochLog>,
+    sent: Vec<u64>,
+    applied: u64,
+    rejected: u64,
+    stamps: Vec<Instant>,
+    windows: u32,
+}
+
+fn router_main(mut ctx: RouterCtx) {
+    loop {
+        match ctx.rx.recv() {
+            Ok(Msg::Update(update, at)) => {
+                let mut buf = vec![(update, at)];
+                let deadline = Instant::now() + ctx.window;
+                let mut flush_reply = None;
+                let mut killed = false;
+                while buf.len() < ctx.max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match ctx.rx.recv_timeout(deadline - now) {
+                        Ok(Msg::Update(u, t)) => buf.push((u, t)),
+                        Ok(Msg::Flush(reply)) => {
+                            flush_reply = Some(reply);
+                            break;
+                        }
+                        Ok(Msg::Kill) => {
+                            killed = true;
+                            break;
+                        }
+                        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                if killed {
+                    // Crash semantics: the window in flight is lost.
+                    ctx.stop_shards();
+                    return;
+                }
+                ctx.dispatch(buf);
+                ctx.windows += 1;
+                if let Some(reply) = flush_reply {
+                    let _ = reply.send(ctx.barrier_and_publish());
+                } else if ctx.publish_every > 0 && ctx.windows >= ctx.publish_every {
+                    let _ = ctx.barrier_and_publish();
+                }
+            }
+            Ok(Msg::Flush(reply)) => {
+                let _ = reply.send(ctx.barrier_and_publish());
+            }
+            Ok(Msg::Kill) => {
+                ctx.stop_shards();
+                return;
+            }
+            Err(_) => {
+                // All senders gone: graceful shutdown. Everything
+                // enqueued was already drained (recv returns queued
+                // messages before reporting disconnection), so one
+                // final barrier makes it durable and visible.
+                let _ = ctx.barrier_and_publish();
+                ctx.stop_shards();
+                return;
+            }
+        }
+    }
+}
+
+impl RouterCtx {
+    /// Validates, sequences, and routes one ingest window.
+    fn dispatch(&mut self, buf: Vec<(Update, Instant)>) {
+        ld_obs::histogram("serve.window_updates").record(buf.len() as u64);
+        let mut per_shard: Vec<Vec<Update>> = vec![Vec::new(); self.shards as usize];
+        for (update, at) in buf {
+            self.stamps.push(at);
+            match validate(&self.actions, update) {
+                Ok(()) => {
+                    apply_action(&mut self.actions, update);
+                    let voter = update.voter() as u32;
+                    let mut s = shard_of(voter, self.shards);
+                    if self.misroute == Some(voter) {
+                        s = (s + 1) % self.shards;
+                    }
+                    per_shard[s as usize].push(update);
+                    self.applied += 1;
+                }
+                Err(_) => {
+                    self.rejected += 1;
+                    ld_obs::counter("serve.rejected").incr();
+                }
+            }
+        }
+        for (s, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.sent[s] += batch.len() as u64;
+                let _ = self.shard_txs[s].send(ShardMsg::Batch(batch));
+            }
+        }
+    }
+
+    /// The epoch barrier: quiesce + fsync shards, merge, commit, swap.
+    fn barrier_and_publish(&mut self) -> Result<Arc<EpochSnapshot>, (u32, String)> {
+        let _span = ld_obs::span("serve.publish_ns");
+        self.windows = 0;
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardMsg::Barrier { sync: self.durable });
+        }
+        for _ in 0..self.shard_txs.len() {
+            if self.ack_rx.recv().is_err() {
+                let failure = (u32::MAX, "shard thread died".to_string());
+                *self.published.failure.lock().expect("failure lock") = Some(failure.clone());
+                return Err(failure);
+            }
+        }
+        // Shards acked and now idle on their channels; take the locks
+        // to read a coherent cross-shard cut.
+        let guards: Vec<_> = self
+            .states
+            .iter()
+            .map(|s| s.lock().expect("shard state"))
+            .collect();
+        for (s, guard) in guards.iter().enumerate() {
+            if let Some(message) = &guard.failure {
+                let failure = (s as u32, message.clone());
+                *self.published.failure.lock().expect("failure lock") = Some(failure.clone());
+                return Err(failure);
+            }
+        }
+        let engines: Vec<&LiveEngine> = guards.iter().map(|g| &g.engine).collect();
+        let tally = merge_shards(&engines);
+        drop(guards);
+        let epoch = self.published.epoch.load(Ordering::Acquire) + 1;
+        if let Some(log) = self.epoch_log.as_mut() {
+            let entry = EpochEntry {
+                epoch,
+                counts: self.sent.clone(),
+                digest: tally.digest,
+                applied: self.applied,
+                rejected: self.rejected,
+            };
+            if let Err(e) = log.append(&entry) {
+                let failure = (u32::MAX, format!("epoch commit: {e}"));
+                *self.published.failure.lock().expect("failure lock") = Some(failure.clone());
+                return Err(failure);
+            }
+        }
+        let snap = Arc::new(EpochSnapshot {
+            epoch,
+            applied: self.applied,
+            rejected: self.rejected,
+            shard_records: self.sent.clone(),
+            tally,
+        });
+        *self.published.snap.write().expect("snapshot lock") = Arc::clone(&snap);
+        self.published.epoch.store(epoch, Ordering::Release);
+        let now = Instant::now();
+        {
+            let mut lat = self.published.latencies_ns.lock().expect("latency lock");
+            for at in self.stamps.drain(..) {
+                let ns = now.saturating_duration_since(at).as_nanos() as u64;
+                lat.push(ns);
+                ld_obs::histogram("serve.ingest_to_publish_ns").record(ns);
+            }
+        }
+        ld_obs::counter("serve.epochs").incr();
+        ld_obs::counter("serve.applied").add(snap.applied);
+        Ok(snap)
+    }
+
+    fn stop_shards(&self) {
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardMsg::Stop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_mirror_matches_the_engine() {
+        let n = 8;
+        let stream = [
+            Update::Delegate {
+                voter: 1,
+                target: 0,
+            },
+            Update::Delegate {
+                voter: 2,
+                target: 1,
+            },
+            Update::Delegate {
+                voter: 0,
+                target: 2,
+            }, // cycle
+            Update::Delegate {
+                voter: 0,
+                target: 0,
+            }, // self: fine
+            Update::Abstain { voter: 5 },
+            Update::Delegate {
+                voter: 9,
+                target: 0,
+            }, // out of range
+            Update::Delegate {
+                voter: 3,
+                target: 11,
+            }, // target oor
+            Update::Competence { voter: 3, p: 1.5 }, // invalid
+            Update::Competence { voter: 3, p: 0.25 },
+            Update::Vote { voter: 1 },
+            Update::Delegate {
+                voter: 0,
+                target: 1,
+            }, // now fine (1 votes)
+        ];
+        let mut engine = LiveEngine::new(vec![Action::Vote; n], vec![0.5; n]).expect("engine");
+        let mut actions = vec![Action::Vote; n];
+        for &u in &stream {
+            let mirror = validate(&actions, u);
+            let real = engine.apply(u).map(|_| ());
+            assert_eq!(mirror, real, "diverged on {u:?}");
+            if mirror.is_ok() {
+                apply_action(&mut actions, u);
+            }
+        }
+        assert_eq!(&actions, engine.actions(), "action vectors track");
+    }
+}

@@ -1,0 +1,351 @@
+//! The epoch barrier log and election meta file.
+//!
+//! Per-shard WALs fsync independently, so after a crash the shards'
+//! durable prefixes generally differ — and *mixed* prefixes can compose
+//! into a global state no single engine ever accepted (two half-applied
+//! delegation swaps can even form a cycle). The epoch log is the
+//! cross-shard commit point: at every publish, all shard WALs are
+//! fsynced first, then one `epochs.log` record captures the per-shard
+//! accepted-record counts plus the merged-tally digest. Recovery reads
+//! the last whole record and *caps* each shard's replay at its recorded
+//! count ([`ld_store::Store::resume_capped`]), reconstructing exactly
+//! the engine states behind the last published epoch — and the digest
+//! proves it, bit for bit.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ld_store::crc::crc32;
+
+use crate::ServeError;
+
+/// File name of the epoch barrier log inside an election directory.
+pub const EPOCHS_FILE: &str = "epochs.log";
+
+/// File name of the election meta file inside an election directory.
+pub const META_FILE: &str = "serve.meta";
+
+const EPOCHS_MAGIC: [u8; 8] = *b"LDEPO\x1a\x00\x01";
+const META_MAGIC: [u8; 8] = *b"LDSRV\x1a\x00\x01";
+const FRAME_HEADER_LEN: usize = 8;
+
+/// One committed epoch: the cross-shard cut the service published.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochEntry {
+    /// Monotonic epoch counter (first published epoch is 1).
+    pub epoch: u64,
+    /// Accepted-record count per shard at the barrier (replay caps).
+    pub counts: Vec<u64>,
+    /// [`crate::merge::tally_digest`] of the published merged tally.
+    pub digest: u64,
+    /// Cumulative accepted updates at the barrier.
+    pub applied: u64,
+    /// Cumulative rejected updates at the barrier.
+    pub rejected: u64,
+}
+
+impl EpochEntry {
+    fn payload_len(shards: usize) -> usize {
+        8 + 4 + 8 * shards + 8 + 8 + 8
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.counts.len() as u32).to_le_bytes());
+        for &c in &self.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.digest.to_le_bytes());
+        out.extend_from_slice(&self.applied.to_le_bytes());
+        out.extend_from_slice(&self.rejected.to_le_bytes());
+    }
+
+    fn decode(payload: &[u8], shards: usize) -> Result<EpochEntry, String> {
+        if payload.len() != Self::payload_len(shards) {
+            return Err(format!(
+                "epoch record of {} bytes, expected {}",
+                payload.len(),
+                Self::payload_len(shards)
+            ));
+        }
+        let u64_at =
+            |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
+        let epoch = u64_at(0);
+        let k = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+        if k != shards {
+            return Err(format!(
+                "epoch record for {k} shards, election has {shards}"
+            ));
+        }
+        let counts: Vec<u64> = (0..shards).map(|s| u64_at(12 + 8 * s)).collect();
+        let tail = 12 + 8 * shards;
+        Ok(EpochEntry {
+            epoch,
+            counts,
+            digest: u64_at(tail),
+            applied: u64_at(tail + 8),
+            rejected: u64_at(tail + 16),
+        })
+    }
+}
+
+/// The append-only epoch log, opened for a fixed shard count.
+#[derive(Debug)]
+pub struct EpochLog {
+    file: File,
+    path: PathBuf,
+    shards: usize,
+    last: Option<EpochEntry>,
+}
+
+impl EpochLog {
+    /// Opens (or creates) `epochs.log` at `path`, replaying committed
+    /// entries. A torn final record (crash mid-append) is truncated;
+    /// interior corruption and shard-count mismatches are errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Meta`] on structural violations, [`ServeError::Io`]
+    /// on filesystem failure.
+    pub fn open(path: &Path, shards: usize) -> Result<EpochLog, ServeError> {
+        let io = |op: &'static str| ServeError::io(op, path);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io("open epoch log"))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io("read epoch log"))?;
+        let mut last = None;
+        let valid_len = if bytes.is_empty() {
+            file.write_all(&EPOCHS_MAGIC)
+                .map_err(io("write epoch header"))?;
+            file.sync_data().map_err(io("sync epoch header"))?;
+            EPOCHS_MAGIC.len() as u64
+        } else {
+            if bytes.len() < EPOCHS_MAGIC.len() || bytes[..EPOCHS_MAGIC.len()] != EPOCHS_MAGIC {
+                return Err(ServeError::Meta {
+                    path: path.to_path_buf(),
+                    reason: "bad epoch log magic".to_string(),
+                });
+            }
+            let record_len = FRAME_HEADER_LEN + EpochEntry::payload_len(shards);
+            let mut at = EPOCHS_MAGIC.len();
+            loop {
+                let rest = &bytes[at..];
+                if rest.is_empty() {
+                    break;
+                }
+                if rest.len() < record_len {
+                    break; // torn tail
+                }
+                let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+                let stored = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+                if len != EpochEntry::payload_len(shards) {
+                    return Err(ServeError::Meta {
+                        path: path.to_path_buf(),
+                        reason: format!("epoch record at byte {at} claims {len} bytes"),
+                    });
+                }
+                let payload = &rest[FRAME_HEADER_LEN..record_len];
+                if crc32(payload) != stored {
+                    if rest.len() == record_len {
+                        break; // torn final record
+                    }
+                    return Err(ServeError::Meta {
+                        path: path.to_path_buf(),
+                        reason: format!("CRC mismatch in epoch record at byte {at}"),
+                    });
+                }
+                let entry =
+                    EpochEntry::decode(payload, shards).map_err(|reason| ServeError::Meta {
+                        path: path.to_path_buf(),
+                        reason,
+                    })?;
+                last = Some(entry);
+                at += record_len;
+            }
+            let valid = at as u64;
+            if valid < bytes.len() as u64 {
+                file.set_len(valid)
+                    .map_err(io("truncate torn epoch tail"))?;
+                file.sync_data().map_err(io("sync truncated epoch log"))?;
+            }
+            valid
+        };
+        file.seek(SeekFrom::Start(valid_len))
+            .map_err(io("seek epoch log"))?;
+        Ok(EpochLog {
+            file,
+            path: path.to_path_buf(),
+            shards,
+            last,
+        })
+    }
+
+    /// The last committed epoch, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&EpochEntry> {
+        self.last.as_ref()
+    }
+
+    /// Appends and fsyncs one epoch commit record.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on append failure (the entry is then *not*
+    /// committed; recovery falls back to the previous epoch).
+    pub fn append(&mut self, entry: &EpochEntry) -> Result<(), ServeError> {
+        debug_assert_eq!(entry.counts.len(), self.shards);
+        let mut payload = Vec::with_capacity(EpochEntry::payload_len(self.shards));
+        entry.encode(&mut payload);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let path = self.path.clone();
+        self.file
+            .write_all(&frame)
+            .map_err(ServeError::io("append epoch record", &path))?;
+        self.file
+            .sync_data()
+            .map_err(ServeError::io("sync epoch record", &path))?;
+        self.last = Some(entry.clone());
+        Ok(())
+    }
+}
+
+/// The immutable facts of a durable election, persisted at creation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Meta {
+    /// Electorate size.
+    pub n: u32,
+    /// Shard count.
+    pub shards: u32,
+    /// Initial competence assigned to every voter at creation.
+    pub default_p: f64,
+}
+
+impl Meta {
+    /// Writes `serve.meta` into `dir` (magic, fields, CRC), fsynced.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failure.
+    pub fn write(&self, dir: &Path) -> Result<(), ServeError> {
+        let path = dir.join(META_FILE);
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&self.n.to_le_bytes());
+        payload.extend_from_slice(&self.shards.to_le_bytes());
+        payload.extend_from_slice(&self.default_p.to_bits().to_le_bytes());
+        let mut bytes = Vec::with_capacity(28);
+        bytes.extend_from_slice(&META_MAGIC);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let mut file = File::create(&path).map_err(ServeError::io("create meta", &path))?;
+        file.write_all(&bytes)
+            .map_err(ServeError::io("write meta", &path))?;
+        file.sync_data()
+            .map_err(ServeError::io("sync meta", &path))?;
+        Ok(())
+    }
+
+    /// Reads and validates `serve.meta` from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Meta`] when missing or structurally invalid.
+    pub fn read(dir: &Path) -> Result<Meta, ServeError> {
+        let path = dir.join(META_FILE);
+        let bytes = std::fs::read(&path).map_err(ServeError::io("read meta", &path))?;
+        if bytes.len() != 28 || bytes[..8] != META_MAGIC {
+            return Err(ServeError::Meta {
+                path,
+                reason: "bad magic or length".to_string(),
+            });
+        }
+        let payload = &bytes[8..24];
+        let stored = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+        if crc32(payload) != stored {
+            return Err(ServeError::Meta {
+                path,
+                reason: "CRC mismatch".to_string(),
+            });
+        }
+        Ok(Meta {
+            n: u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")),
+            shards: u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")),
+            default_p: f64::from_bits(u64::from_le_bytes(
+                payload[8..16].try_into().expect("8 bytes"),
+            )),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ld-serve-epochs-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn entry(epoch: u64) -> EpochEntry {
+        EpochEntry {
+            epoch,
+            counts: vec![epoch * 10, epoch * 10 + 1, epoch * 10 + 2],
+            digest: 0x1234_5678_9ABC_DEF0 ^ epoch,
+            applied: epoch * 31,
+            rejected: epoch,
+        }
+    }
+
+    #[test]
+    fn epoch_log_replays_the_last_committed_entry() {
+        let dir = scratch("replay");
+        let path = dir.join(EPOCHS_FILE);
+        {
+            let mut log = EpochLog::open(&path, 3).expect("open");
+            assert!(log.last().is_none());
+            for e in 1..=5u64 {
+                log.append(&entry(e)).expect("append");
+            }
+        }
+        let log = EpochLog::open(&path, 3).expect("reopen");
+        assert_eq!(log.last(), Some(&entry(5)));
+        // Torn tail: drop two bytes, the last whole entry wins.
+        let whole = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &whole[..whole.len() - 2]).expect("tear");
+        let log = EpochLog::open(&path, 3).expect("reopen torn");
+        assert_eq!(log.last(), Some(&entry(4)));
+        // Wrong shard count: typed error, not silent misparse.
+        assert!(matches!(
+            EpochLog::open(&path, 4),
+            Err(ServeError::Meta { .. })
+        ));
+    }
+
+    #[test]
+    fn meta_round_trips_and_validates() {
+        let dir = scratch("meta");
+        let meta = Meta {
+            n: 10_000,
+            shards: 8,
+            default_p: 0.55,
+        };
+        meta.write(&dir).expect("write");
+        assert_eq!(Meta::read(&dir).expect("read"), meta);
+        let path = dir.join(META_FILE);
+        let mut bytes = std::fs::read(&path).expect("read bytes");
+        bytes[9] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        assert!(matches!(Meta::read(&dir), Err(ServeError::Meta { .. })));
+    }
+}

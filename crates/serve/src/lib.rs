@@ -1,0 +1,187 @@
+//! # `ld-serve` — the sharded election service
+//!
+//! Everything below this crate computes; this crate *serves*. It hosts
+//! long-running elections behind a batching ingest front-end and keeps
+//! a coherent global tally continuously publishable while updates
+//! stream in:
+//!
+//! * [`identity`] — opaque byte keys interned to the dense `u32` voter
+//!   ids the engines speak, with a CRC-framed durable log so restarts
+//!   preserve the assignment.
+//! * [`election`] — the tentpole: one election hash-partitioned across
+//!   a set of full-width [`LiveEngine`](ld_live::LiveEngine) shards
+//!   (per [`ld_core::ids::shard_of`]). A single router thread validates
+//!   the stream globally in arrival order — acceptance is deterministic
+//!   and identical to a single engine — then fans batches out to shard
+//!   threads that carry the heavy per-update work (subtree recompute,
+//!   WAL appends) in parallel for the voters they own.
+//! * [`merge`] — the exact cross-shard tally: phantom self-votes are
+//!   stripped and pooled ghost weight forwarded along canonical owner
+//!   chains, reproducing a single engine's weights bit for bit.
+//! * [`epochs`] — the cross-shard commit point: every publish fsyncs
+//!   all shard WALs and logs per-shard replay caps plus a tally digest,
+//!   so a killed service recovers *exactly* the last published epoch
+//!   ([`ld_store::Store::resume_capped`]) and can prove it.
+//! * [`wire`] / [`server`] — a compact length-prefixed CRC-framed
+//!   protocol (reusing the WAL codec for updates) with a Unix-socket
+//!   host and an in-process loopback that exercises the same bytes.
+//!
+//! Readers never wait on ingest: the latest [`EpochSnapshot`] is an
+//! `Arc` swapped behind a briefly-held lock, so `snapshot()` is a
+//! clone, not a tally. Driven from the CLI as `repro serve`,
+//! `repro serve-bench`, and `repro serve-recover`, and pinned by the
+//! `serve-replay` conformance check (sharded == streamed == batched ==
+//! from-scratch, including after a mid-run kill).
+
+#![warn(missing_docs)]
+
+pub mod election;
+pub mod epochs;
+pub mod identity;
+pub mod merge;
+pub mod server;
+pub mod wire;
+
+pub use election::{Election, ElectionConfig, EpochSnapshot, ServeRecovery, ServeStats};
+pub use identity::{IdentityError, IdentityLog, IdentityMap, MAX_KEY_LEN};
+pub use merge::{merge_shards, tally_digest, MergedTally};
+#[cfg(unix)]
+pub use server::serve_unix;
+pub use server::{install_sigterm_flag, Host, LoopbackClient};
+pub use wire::{Request, Response, WireError, WireTally};
+
+use std::path::{Path, PathBuf};
+
+use ld_store::StoreError;
+
+/// Errors from the service layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The configuration is unusable (zero shards, bad competences…).
+    Config(String),
+    /// The service has already shut down; the ingest channel is gone.
+    Closed,
+    /// A shard thread reported a failure (store append, sync, panic).
+    Shard {
+        /// The failing shard.
+        shard: u32,
+        /// What it reported.
+        message: String,
+    },
+    /// The durable layer failed underneath a shard or recovery.
+    Store(StoreError),
+    /// The identity layer failed.
+    Identity(IdentityError),
+    /// A service-level file (meta, epoch log) is missing or invalid.
+    Meta {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A filesystem operation outside the store failed.
+    Io {
+        /// What was being attempted.
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Recovery reproduced a state whose digest does not match the
+    /// epoch log — the shard WALs and epoch log disagree.
+    DigestMismatch {
+        /// The epoch being recovered.
+        epoch: u64,
+        /// Digest recorded at publish time.
+        expected: u64,
+        /// Digest of the recovered merge.
+        actual: u64,
+    },
+}
+
+impl ServeError {
+    /// Adapter: `map_err(ServeError::io("write meta", &path))`.
+    pub(crate) fn io<'a>(
+        op: &'static str,
+        path: &'a Path,
+    ) -> impl Fn(std::io::Error) -> ServeError + 'a {
+        move |source| ServeError::Io {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(reason) => write!(f, "bad service configuration: {reason}"),
+            ServeError::Closed => write!(f, "election service already shut down"),
+            ServeError::Shard { shard, message } => {
+                write!(f, "shard {shard} failed: {message}")
+            }
+            ServeError::Store(e) => write!(f, "durable layer: {e}"),
+            ServeError::Identity(e) => write!(f, "identity layer: {e}"),
+            ServeError::Meta { path, reason } => {
+                write!(f, "service file {}: {reason}", path.display())
+            }
+            ServeError::Io { op, path, source } => {
+                write!(f, "{op} ({}): {source}", path.display())
+            }
+            ServeError::DigestMismatch {
+                epoch,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "epoch {epoch} recovery digest {actual:#018x} != logged {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Store(e) => Some(e),
+            ServeError::Identity(e) => Some(e),
+            ServeError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+impl From<IdentityError> for ServeError {
+    fn from(e: IdentityError) -> Self {
+        ServeError::Identity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = ServeError::from(IdentityError::EmptyKey);
+        assert!(e.to_string().contains("identity"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ServeError::DigestMismatch {
+            epoch: 3,
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("epoch 3"));
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<ServeError>();
+    }
+}

@@ -1,0 +1,310 @@
+//! Merging per-shard engine views into one exact global tally.
+//!
+//! Each shard holds a *full-width* [`LiveEngine`] over all `n` voters
+//! but applies only the updates of the voters it owns (per
+//! [`ld_core::ids::shard_of`]). A voter that is not owned by a shard
+//! therefore sits at its initial `Vote` action there — a *phantom*
+//! self-vote of weight 1 — and any weight delegated to it inside that
+//! shard pools on the phantom. The merge strips the phantoms and
+//! forwards the pooled weight along each voter's *canonical* chain (the
+//! view of its owner shard) until it lands on an owned, voting terminal
+//! or is discarded by an abstainer:
+//!
+//! * owned sink `v` in shard `s`: its action is canonical, so its whole
+//!   weight transfers to the global tally at `v`;
+//! * ghost sink `v` (owned elsewhere): `weight − 1` units (the phantom
+//!   vote subtracted) forward to `sink_of(v)` in `v`'s owner — itself
+//!   owned (terminal), discarded (`None`), or another ghost (hop on).
+//!
+//! Every voter's unit is counted exactly once — in its owner shard it
+//! either reaches an owned terminal, pools on a ghost (then forwarded
+//! here), or is discarded — and the hop sequence walks the acyclic
+//! composite canonical graph, so the pass is `O(n·S + hops)` and exact:
+//! the result equals a single engine that applied the whole accepted
+//! stream. The conformance suite pins that equality, and the
+//! `shard-route` mutation demonstrates the merge *fails loudly* when
+//! the routing invariant is broken.
+
+use ld_core::ids::shard_of;
+use ld_core::tally::TieBreak;
+use ld_live::LiveEngine;
+use ld_prob::normal::std_normal_cdf;
+
+/// One merged, published tally over all shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedTally {
+    /// Electorate size.
+    pub n: u32,
+    /// Global per-voter vote weight (index = voter; 0 for non-sinks).
+    pub weights: Vec<u64>,
+    /// Votes discarded through abstention.
+    pub discarded: u64,
+    /// Votes reaching a ballot (`n − discarded`).
+    pub tallied: u64,
+    /// Number of distinct sinks.
+    pub sink_count: u64,
+    /// Heaviest single sink.
+    pub max_weight: u64,
+    /// Mean correct-vote weight `Σ w·p`.
+    pub mean: f64,
+    /// Correct-vote weight variance `Σ w²·p(1-p)`.
+    pub variance: f64,
+    /// Normal-approximation probability that the correct option wins a
+    /// strict weighted majority (coin-flip tie credit), mirroring
+    /// [`LiveEngine::decision_probability_normal`].
+    pub p_correct: f64,
+    /// FNV-1a digest of the integer outcome (weights, discarded,
+    /// tallied) — the bit-identity token for restart conformance.
+    pub digest: u64,
+}
+
+/// FNV-1a over the integer tally outcome. Floats are deliberately
+/// excluded: the digest certifies the *exact* combinatorial result and
+/// must not depend on accumulated floating-point drift.
+#[must_use]
+pub fn tally_digest(weights: &[u64], discarded: u64, tallied: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(weights.len() as u64);
+    for &w in weights {
+        eat(w);
+    }
+    eat(discarded);
+    eat(tallied);
+    h
+}
+
+/// Merges the shard engines (index = shard id) into the exact global
+/// tally. All engines must share the same `n`; `engines.len()` is the
+/// shard count the router partitioned by.
+///
+/// The hop walk is capped at `n + 1` steps per forwarded sink; the cap
+/// is unreachable for any correctly routed state (the composite
+/// canonical graph is acyclic) and turns a routing bug into discarded
+/// weight — which the digest/oracle comparison then flags — instead of
+/// a hang.
+#[must_use]
+pub fn merge_shards(engines: &[&LiveEngine]) -> MergedTally {
+    let shards = engines.len() as u32;
+    let n = engines.first().map_or(0, |e| e.n());
+    debug_assert!(engines.iter().all(|e| e.n() == n), "shard width mismatch");
+    let mut weights = vec![0u64; n];
+    let mut discarded = 0u64;
+    for (s, engine) in engines.iter().enumerate() {
+        let local = engine.weights();
+        for (v, &w) in local.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            if shard_of(v as u32, shards) == s as u32 {
+                // Owned sink: canonical terminal, weight is final.
+                weights[v] += w as u64;
+            } else {
+                // Ghost sink: strip the phantom self-vote and forward
+                // the pooled delegated weight along canonical chains.
+                let fw = (w - 1) as u64;
+                if fw > 0 {
+                    forward(engines, shards, n, v, fw, &mut weights, &mut discarded);
+                }
+            }
+        }
+        discarded += engine.discarded() as u64;
+    }
+    let tallied = (n as u64).saturating_sub(discarded);
+    let (mut sink_count, mut max_weight) = (0u64, 0u64);
+    let (mut mean, mut variance) = (0.0f64, 0.0f64);
+    for (v, &w) in weights.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        sink_count += 1;
+        max_weight = max_weight.max(w);
+        let p = engines[shard_of(v as u32, shards) as usize].competences()[v];
+        mean += w as f64 * p;
+        variance += (w * w) as f64 * p * (1.0 - p);
+    }
+    let p_correct = decision_probability_normal(tallied, mean, variance);
+    let digest = tally_digest(&weights, discarded, tallied);
+    MergedTally {
+        n: n as u32,
+        weights,
+        discarded,
+        tallied,
+        sink_count,
+        max_weight,
+        mean,
+        variance,
+        p_correct,
+        digest,
+    }
+}
+
+/// Forwards `fw` units pooled on ghost sink `v` along canonical chains.
+fn forward(
+    engines: &[&LiveEngine],
+    shards: u32,
+    n: usize,
+    mut v: usize,
+    fw: u64,
+    weights: &mut [u64],
+    discarded: &mut u64,
+) {
+    let mut hops = 0usize;
+    loop {
+        let owner = shard_of(v as u32, shards) as usize;
+        match engines[owner].sink_of(v) {
+            // Canonical chain ends at an abstainer: units discarded.
+            None => {
+                *discarded += fw;
+                return;
+            }
+            Some(u) if shard_of(u as u32, shards) as usize == owner => {
+                // Owned terminal: its action is canonical `Vote`.
+                weights[u] += fw;
+                return;
+            }
+            Some(u) => {
+                // Another ghost: hop to its owner's view.
+                v = u;
+                hops += 1;
+                if hops > n {
+                    // Unreachable when routing holds (acyclic composite
+                    // graph); misrouting turns into detectable loss.
+                    *discarded += fw;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Mirror of [`LiveEngine::decision_probability_normal`] with
+/// [`TieBreak::CoinFlip`] credit, over merged accumulators.
+#[must_use]
+pub fn decision_probability_normal(tallied: u64, mean: f64, variance: f64) -> f64 {
+    let threshold = tallied as f64 / 2.0;
+    let var = variance.max(0.0);
+    if var <= f64::EPSILON * tallied.max(1) as f64 {
+        return if mean > threshold + 1e-12 {
+            1.0
+        } else if (mean - threshold).abs() <= 1e-12 {
+            TieBreak::CoinFlip.credit()
+        } else {
+            0.0
+        };
+    }
+    1.0 - std_normal_cdf((threshold - mean) / var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::delegation::Action;
+    use ld_live::Update;
+
+    /// Builds shard engines the way the router does: full-width, each
+    /// applying only its owned voters' updates.
+    fn sharded(n: usize, shards: u32, updates: &[Update]) -> Vec<LiveEngine> {
+        let mut engines: Vec<LiveEngine> = (0..shards)
+            .map(|_| LiveEngine::new(vec![Action::Vote; n], vec![0.6; n]).expect("engine"))
+            .collect();
+        for &u in updates {
+            let s = shard_of(u.voter() as u32, shards) as usize;
+            engines[s].apply(u).expect("shard apply");
+        }
+        engines
+    }
+
+    #[test]
+    fn merge_matches_a_single_engine_across_shard_boundaries() {
+        let n = 64;
+        // A long chain crosses many shard boundaries, plus an abstain
+        // pocket and a competence change.
+        let mut updates = Vec::new();
+        for v in 1..24 {
+            updates.push(Update::Delegate {
+                voter: v,
+                target: v - 1,
+            });
+        }
+        updates.push(Update::Abstain { voter: 40 });
+        for v in 41..45 {
+            updates.push(Update::Delegate {
+                voter: v,
+                target: 40,
+            });
+        }
+        updates.push(Update::Competence { voter: 0, p: 0.93 });
+        updates.push(Update::Vote { voter: 12 }); // splits the chain
+        let mut oracle = LiveEngine::new(vec![Action::Vote; n], vec![0.6; n]).expect("oracle");
+        for &u in &updates {
+            oracle.apply(u).expect("oracle apply");
+        }
+        for shards in [1u32, 2, 3, 8] {
+            let engines = sharded(n, shards, &updates);
+            let refs: Vec<&LiveEngine> = engines.iter().collect();
+            let merged = merge_shards(&refs);
+            let want: Vec<u64> = oracle.weights().iter().map(|&w| w as u64).collect();
+            assert_eq!(merged.weights, want, "{shards} shards");
+            assert_eq!(merged.discarded, oracle.discarded() as u64);
+            assert_eq!(merged.tallied, oracle.tallied() as u64);
+            assert_eq!(merged.sink_count, oracle.sink_count() as u64);
+            assert!(
+                (merged.p_correct - oracle.decision_probability_normal(TieBreak::CoinFlip)).abs()
+                    < 1e-9,
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_pinned_to_content() {
+        let a = tally_digest(&[1, 2, 3], 0, 3);
+        let b = tally_digest(&[3, 2, 1], 0, 3);
+        let c = tally_digest(&[1, 2, 3], 1, 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, tally_digest(&[1, 2, 3], 0, 3));
+    }
+
+    #[test]
+    fn misrouted_updates_are_visible_in_the_merge() {
+        let n = 16;
+        let shards = 4u32;
+        let updates = [
+            Update::Delegate {
+                voter: 3,
+                target: 7,
+            },
+            Update::Delegate {
+                voter: 7,
+                target: 1,
+            },
+        ];
+        let mut oracle = LiveEngine::new(vec![Action::Vote; n], vec![0.6; n]).expect("oracle");
+        for &u in &updates {
+            oracle.apply(u).expect("oracle apply");
+        }
+        let mut engines: Vec<LiveEngine> = (0..shards)
+            .map(|_| LiveEngine::new(vec![Action::Vote; n], vec![0.6; n]).expect("engine"))
+            .collect();
+        for &u in &updates {
+            let mut s = shard_of(u.voter() as u32, shards);
+            if u.voter() == 7 {
+                s = (s + 1) % shards; // misroute voter 7
+            }
+            engines[s as usize].apply(u).expect("apply");
+        }
+        let refs: Vec<&LiveEngine> = engines.iter().collect();
+        let merged = merge_shards(&refs);
+        let want: Vec<u64> = oracle.weights().iter().map(|&w| w as u64).collect();
+        assert_ne!(merged.weights, want, "misrouting must corrupt the merge");
+    }
+}

@@ -1,0 +1,724 @@
+//! The compact binary wire protocol of the election service.
+//!
+//! Every message travels as one frame — `[len: u32][crc32: u32]` then
+//! `len` payload bytes, little-endian, the same framing discipline as
+//! the `ld-store` WAL (and reusing its CRC32). Payloads open with a tag
+//! byte; request tags sit below `0x80`, response tags at or above it,
+//! so a stream desynchronisation is caught by the tag check even when
+//! the CRC happens to collide. [`Update`] payloads reuse
+//! [`ld_live::codec`] verbatim — the service logs the exact bytes it
+//! receives, so wire format and WAL format can never drift apart.
+
+use ld_live::codec::{decode_update, encode_update};
+use ld_live::Update;
+use ld_store::crc::crc32;
+use std::io::{Read, Write};
+
+use crate::identity::MAX_KEY_LEN;
+
+/// Hard cap on a frame payload: a tag plus a few fixed fields plus a
+/// bounded identity key or error string never legitimately exceeds it.
+pub const MAX_WIRE_PAYLOAD: u32 = 512;
+
+/// Frame header length: payload length + CRC32, both `u32` LE.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+const TAG_CREATE: u8 = 0x01;
+const TAG_REGISTER: u8 = 0x02;
+const TAG_LOOKUP: u8 = 0x03;
+const TAG_SUBMIT: u8 = 0x04;
+const TAG_QUERY: u8 = 0x05;
+const TAG_FLUSH: u8 = 0x06;
+const TAG_SHUTDOWN: u8 = 0x07;
+
+const TAG_CREATED: u8 = 0x81;
+const TAG_REGISTERED: u8 = 0x82;
+const TAG_FOUND: u8 = 0x83;
+const TAG_ENQUEUED: u8 = 0x84;
+const TAG_TALLY: u8 = 0x85;
+const TAG_BYE: u8 = 0x86;
+const TAG_ERROR: u8 = 0xFF;
+
+/// Wire-level failures (framing, checksum, or payload shape).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The stream ended inside a frame.
+    Truncated,
+    /// A frame header claims more than [`MAX_WIRE_PAYLOAD`] bytes.
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The payload checksum does not match its header.
+    Crc {
+        /// CRC stored in the frame header.
+        stored: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+    /// The payload carries an unknown message tag.
+    BadTag(u8),
+    /// The payload is structurally wrong for its tag.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O: {e}"),
+            WireError::Truncated => write!(f, "stream ended inside a frame"),
+            WireError::Oversized { len } => {
+                write!(f, "frame claims {len} bytes (cap {MAX_WIRE_PAYLOAD})")
+            }
+            WireError::Crc { stored, computed } => {
+                write!(f, "frame CRC {stored:#010x} != computed {computed:#010x}")
+            }
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A client request to the election host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create an in-memory election `election` with a fixed electorate.
+    Create {
+        /// Host-scoped election id.
+        election: u32,
+        /// Electorate size.
+        n: u32,
+        /// Shard count.
+        shards: u32,
+        /// Initial competence for every voter.
+        default_p: f64,
+    },
+    /// Register an identity key, minting the next dense voter id.
+    Register {
+        /// Target election.
+        election: u32,
+        /// Opaque identity key (`1..=MAX_KEY_LEN` bytes).
+        key: Vec<u8>,
+    },
+    /// Look up the id a key was registered under.
+    Lookup {
+        /// Target election.
+        election: u32,
+        /// The key to resolve.
+        key: Vec<u8>,
+    },
+    /// Enqueue one delegation-stream update (fire-and-forget).
+    Submit {
+        /// Target election.
+        election: u32,
+        /// The update, by dense voter id.
+        update: Update,
+    },
+    /// Read the latest published epoch snapshot.
+    Query {
+        /// Target election.
+        election: u32,
+    },
+    /// Drain pending ingest and publish a fresh epoch, then report it.
+    Flush {
+        /// Target election.
+        election: u32,
+    },
+    /// Ask the host to shut down gracefully.
+    Shutdown,
+}
+
+/// The tally fields of a published epoch, as sent on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireTally {
+    /// Epoch counter of the snapshot.
+    pub epoch: u64,
+    /// Electorate size.
+    pub n: u32,
+    /// Votes reaching a ballot.
+    pub tallied: u64,
+    /// Votes discarded through abstention.
+    pub discarded: u64,
+    /// Number of distinct sinks.
+    pub sink_count: u64,
+    /// Heaviest single sink.
+    pub max_weight: u64,
+    /// Mean correct-vote weight `Σ w·p`.
+    pub mean: f64,
+    /// Variance `Σ w²·p(1-p)`.
+    pub variance: f64,
+    /// Normal-approximation probability the correct option wins.
+    pub p_correct: f64,
+    /// Integer digest of the full weight vector (restart conformance).
+    pub digest: u64,
+}
+
+/// A host response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The election was created.
+    Created {
+        /// Its host-scoped id.
+        election: u32,
+    },
+    /// A key was registered.
+    Registered {
+        /// The minted dense voter id.
+        id: u32,
+    },
+    /// Lookup result (`None` when the key is unknown).
+    Found {
+        /// The id, if registered.
+        id: Option<u32>,
+    },
+    /// The update was accepted into the ingest queue.
+    Enqueued,
+    /// A published tally snapshot.
+    Tally(WireTally),
+    /// Acknowledges shutdown; the connection closes after this.
+    Bye,
+    /// The request failed.
+    Error {
+        /// Machine-readable error class (stable across releases).
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Error codes carried by [`Response::Error`].
+pub mod error_code {
+    /// The addressed election does not exist.
+    pub const NO_SUCH_ELECTION: u8 = 1;
+    /// The election id is already taken.
+    pub const ELECTION_EXISTS: u8 = 2;
+    /// Identity registration or lookup failed.
+    pub const IDENTITY: u8 = 3;
+    /// The service rejected or could not accept the update.
+    pub const REJECTED: u8 = 4;
+    /// Internal service failure.
+    pub const INTERNAL: u8 = 5;
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, k: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(k)
+            .ok_or(WireError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(WireError::Malformed("payload shorter than its tag implies"));
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn rest(self) -> &'a [u8] {
+        &self.buf[self.at..]
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+fn check_key(key: &[u8]) -> Result<(), WireError> {
+    if key.is_empty() || key.len() > MAX_KEY_LEN {
+        return Err(WireError::Malformed("identity key length out of bounds"));
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Appends this request's payload (tag + fields) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Request::Create {
+                election,
+                n,
+                shards,
+                default_p,
+            } => {
+                out.push(TAG_CREATE);
+                put_u32(out, election);
+                put_u32(out, n);
+                put_u32(out, shards);
+                put_f64(out, default_p);
+            }
+            Request::Register { election, ref key } => {
+                out.push(TAG_REGISTER);
+                put_u32(out, election);
+                out.extend_from_slice(key);
+            }
+            Request::Lookup { election, ref key } => {
+                out.push(TAG_LOOKUP);
+                put_u32(out, election);
+                out.extend_from_slice(key);
+            }
+            Request::Submit {
+                election,
+                ref update,
+            } => {
+                out.push(TAG_SUBMIT);
+                put_u32(out, election);
+                encode_update(update, out);
+            }
+            Request::Query { election } => {
+                out.push(TAG_QUERY);
+                put_u32(out, election);
+            }
+            Request::Flush { election } => {
+                out.push(TAG_FLUSH);
+                put_u32(out, election);
+            }
+            Request::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+    }
+
+    /// Decodes one request payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on unknown tags, short or oversized fields, and
+    /// invalid embedded update encodings.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let (&tag, body) = payload
+            .split_first()
+            .ok_or(WireError::Malformed("empty payload"))?;
+        let mut c = Cursor::new(body);
+        match tag {
+            TAG_CREATE => {
+                let req = Request::Create {
+                    election: c.u32()?,
+                    n: c.u32()?,
+                    shards: c.u32()?,
+                    default_p: c.f64()?,
+                };
+                c.done()?;
+                Ok(req)
+            }
+            TAG_REGISTER => {
+                let election = c.u32()?;
+                let key = c.rest();
+                check_key(key)?;
+                Ok(Request::Register {
+                    election,
+                    key: key.to_vec(),
+                })
+            }
+            TAG_LOOKUP => {
+                let election = c.u32()?;
+                let key = c.rest();
+                check_key(key)?;
+                Ok(Request::Lookup {
+                    election,
+                    key: key.to_vec(),
+                })
+            }
+            TAG_SUBMIT => {
+                let election = c.u32()?;
+                let update = decode_update(c.rest())
+                    .map_err(|_| WireError::Malformed("embedded update encoding"))?;
+                Ok(Request::Submit { election, update })
+            }
+            TAG_QUERY => {
+                let req = Request::Query { election: c.u32()? };
+                c.done()?;
+                Ok(req)
+            }
+            TAG_FLUSH => {
+                let req = Request::Flush { election: c.u32()? };
+                c.done()?;
+                Ok(req)
+            }
+            TAG_SHUTDOWN => {
+                c.done()?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+}
+
+impl Response {
+    /// Appends this response's payload (tag + fields) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Response::Created { election } => {
+                out.push(TAG_CREATED);
+                put_u32(out, election);
+            }
+            Response::Registered { id } => {
+                out.push(TAG_REGISTERED);
+                put_u32(out, id);
+            }
+            Response::Found { id } => {
+                out.push(TAG_FOUND);
+                out.push(u8::from(id.is_some()));
+                put_u32(out, id.unwrap_or(0));
+            }
+            Response::Enqueued => out.push(TAG_ENQUEUED),
+            Response::Tally(t) => {
+                out.push(TAG_TALLY);
+                put_u64(out, t.epoch);
+                put_u32(out, t.n);
+                put_u64(out, t.tallied);
+                put_u64(out, t.discarded);
+                put_u64(out, t.sink_count);
+                put_u64(out, t.max_weight);
+                put_f64(out, t.mean);
+                put_f64(out, t.variance);
+                put_f64(out, t.p_correct);
+                put_u64(out, t.digest);
+            }
+            Response::Bye => out.push(TAG_BYE),
+            Response::Error { code, ref message } => {
+                out.push(TAG_ERROR);
+                out.push(code);
+                let cap = MAX_WIRE_PAYLOAD as usize - FRAME_HEADER_LEN - 2;
+                let msg = message.as_bytes();
+                out.extend_from_slice(&msg[..msg.len().min(cap)]);
+            }
+        }
+    }
+
+    /// Decodes one response payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on unknown tags or malformed fields.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let (&tag, body) = payload
+            .split_first()
+            .ok_or(WireError::Malformed("empty payload"))?;
+        let mut c = Cursor::new(body);
+        match tag {
+            TAG_CREATED => {
+                let r = Response::Created { election: c.u32()? };
+                c.done()?;
+                Ok(r)
+            }
+            TAG_REGISTERED => {
+                let r = Response::Registered { id: c.u32()? };
+                c.done()?;
+                Ok(r)
+            }
+            TAG_FOUND => {
+                let some = match c.take(1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("found flag")),
+                };
+                let id = c.u32()?;
+                c.done()?;
+                Ok(Response::Found {
+                    id: some.then_some(id),
+                })
+            }
+            TAG_ENQUEUED => {
+                c.done()?;
+                Ok(Response::Enqueued)
+            }
+            TAG_TALLY => {
+                let t = WireTally {
+                    epoch: c.u64()?,
+                    n: c.u32()?,
+                    tallied: c.u64()?,
+                    discarded: c.u64()?,
+                    sink_count: c.u64()?,
+                    max_weight: c.u64()?,
+                    mean: c.f64()?,
+                    variance: c.f64()?,
+                    p_correct: c.f64()?,
+                    digest: c.u64()?,
+                };
+                c.done()?;
+                Ok(Response::Tally(t))
+            }
+            TAG_BYE => {
+                c.done()?;
+                Ok(Response::Bye)
+            }
+            TAG_ERROR => {
+                let code = c.take(1)?[0];
+                let message = String::from_utf8_lossy(c.rest()).into_owned();
+                Ok(Response::Error { code, message })
+            }
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+}
+
+/// Writes one `[len][crc][payload]` frame.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if the payload exceeds the cap, otherwise
+/// stream I/O errors.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized { len: u32::MAX })?;
+    if len > MAX_WIRE_PAYLOAD {
+        return Err(WireError::Oversized { len });
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, validating length and checksum.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (no header byte read) —
+/// a peer hanging up between frames is normal connection teardown.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the stream dies inside a frame, plus
+/// checksum/length violations and I/O errors.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(k) => got += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_WIRE_PAYLOAD {
+        return Err(WireError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let computed = crc32(&payload);
+    if computed != stored {
+        return Err(WireError::Crc { stored, computed });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Create {
+                election: 1,
+                n: 100,
+                shards: 8,
+                default_p: 0.625,
+            },
+            Request::Register {
+                election: 1,
+                key: b"alice".to_vec(),
+            },
+            Request::Lookup {
+                election: 1,
+                key: vec![0xAB; MAX_KEY_LEN],
+            },
+            Request::Submit {
+                election: 2,
+                update: Update::Delegate {
+                    voter: 3,
+                    target: 9,
+                },
+            },
+            Request::Submit {
+                election: 2,
+                update: Update::Competence { voter: 7, p: 0.75 },
+            },
+            Request::Query { election: 9 },
+            Request::Flush { election: 0 },
+            Request::Shutdown,
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Created { election: 4 },
+            Response::Registered { id: 17 },
+            Response::Found { id: Some(3) },
+            Response::Found { id: None },
+            Response::Enqueued,
+            Response::Tally(WireTally {
+                epoch: 12,
+                n: 1000,
+                tallied: 990,
+                discarded: 10,
+                sink_count: 402,
+                max_weight: 31,
+                mean: 512.25,
+                variance: 199.5,
+                p_correct: 0.875,
+                digest: 0xDEAD_BEEF_CAFE_F00D,
+            }),
+            Response::Bye,
+            Response::Error {
+                code: error_code::REJECTED,
+                message: "voter 9 outside the 4-voter set".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_through_frames() {
+        for req in requests() {
+            let mut payload = Vec::new();
+            req.encode(&mut payload);
+            let mut stream = Vec::new();
+            write_frame(&mut stream, &payload).expect("write");
+            let got = read_frame(&mut stream.as_slice())
+                .expect("read")
+                .expect("one frame");
+            assert_eq!(Request::decode(&got).expect("decode"), req);
+        }
+        for resp in responses() {
+            let mut payload = Vec::new();
+            resp.encode(&mut payload);
+            assert_eq!(Response::decode(&payload).expect("decode"), resp);
+        }
+    }
+
+    #[test]
+    fn several_frames_stream_back_to_back() {
+        let mut stream = Vec::new();
+        for req in requests() {
+            let mut payload = Vec::new();
+            req.encode(&mut payload);
+            write_frame(&mut stream, &payload).expect("write");
+        }
+        let mut r = stream.as_slice();
+        for req in requests() {
+            let got = read_frame(&mut r).expect("read").expect("frame");
+            assert_eq!(Request::decode(&got).expect("decode"), req);
+        }
+        assert!(read_frame(&mut r).expect("eof").is_none(), "clean end");
+    }
+
+    #[test]
+    fn framing_violations_are_typed() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[TAG_SHUTDOWN]).expect("write");
+        // Flip a payload byte: CRC catches it.
+        let mut evil = stream.clone();
+        let last = evil.len() - 1;
+        evil[last] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut evil.as_slice()),
+            Err(WireError::Crc { .. })
+        ));
+        // Chop inside the payload: truncated.
+        assert!(matches!(
+            read_frame(&mut &stream[..stream.len() - 1]),
+            Err(WireError::Truncated)
+        ));
+        // Chop inside the header: truncated.
+        assert!(matches!(
+            read_frame(&mut &stream[..3]),
+            Err(WireError::Truncated)
+        ));
+        // Oversized claim.
+        let mut huge = (MAX_WIRE_PAYLOAD + 1).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0; 4]);
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(WireError::Oversized { .. })
+        ));
+        // Unknown tag and malformed bodies.
+        assert!(matches!(
+            Request::decode(&[0x6F]),
+            Err(WireError::BadTag(0x6F))
+        ));
+        assert!(matches!(
+            Request::decode(&[TAG_QUERY, 1, 2]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Request::decode(&[TAG_REGISTER, 1, 0, 0, 0]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Response::decode(&[]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the identity layer: arbitrary interleavings of
+//! registrations, duplicate attempts, and lookups must keep the
+//! in-memory map, the durable log, and a model `HashMap` in exact
+//! agreement — and a reopen of the log must reproduce the assignment
+//! byte for byte. Failures shrink to the minimal operation sequence.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ld_serve::identity::{IdentityLog, IDENTITY_FILE};
+use ld_serve::{IdentityError, IdentityMap, MAX_KEY_LEN};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ld-serve-idprop-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Op encoding: key index into a small universe (forcing duplicate
+/// collisions), key length, and whether this step registers or only
+/// looks up.
+fn key(idx: u64, len: usize) -> Vec<u8> {
+    let mut k = format!("key-{idx}-").into_bytes();
+    while k.len() < len.clamp(1, MAX_KEY_LEN) {
+        k.push(b'a' + (idx % 26) as u8);
+    }
+    k.truncate(len.clamp(1, MAX_KEY_LEN));
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The durable log agrees with the in-memory map and a model map
+    /// under any interleaving, and replay reproduces the assignment.
+    #[test]
+    fn log_map_and_model_agree_under_interleavings(
+        ops in vec((0u64..24, 1usize..=MAX_KEY_LEN, 0u8..4), 1..60),
+        capacity in 1u32..40,
+    ) {
+        let dir = scratch();
+        let path = dir.join(IDENTITY_FILE);
+        let mut log = IdentityLog::open(&path, capacity).expect("open log");
+        let mut map = IdentityMap::with_capacity(capacity);
+        let mut model: HashMap<Vec<u8>, u32> = HashMap::new();
+        for &(idx, len, action) in &ops {
+            let k = key(idx, len);
+            if action == 0 {
+                // Lookup-only step: all three views agree.
+                prop_assert_eq!(log.map().lookup(&k), map.lookup(&k));
+                prop_assert_eq!(map.lookup(&k), model.get(&k).copied());
+                continue;
+            }
+            let from_log = log.register(&k);
+            let from_map = map.register(&k);
+            prop_assert_eq!(&from_log, &from_map, "log and map disagree");
+            match from_log {
+                Ok(id) => {
+                    prop_assert_eq!(id as usize, model.len(), "ids are dense");
+                    prop_assert!(model.insert(k.clone(), id).is_none());
+                    prop_assert_eq!(log.map().key_of(id), Some(&k[..]));
+                }
+                Err(IdentityError::Duplicate { id }) => {
+                    prop_assert_eq!(model.get(&k).copied(), Some(id));
+                }
+                Err(IdentityError::Full { capacity: c }) => {
+                    prop_assert_eq!(c, capacity);
+                    prop_assert_eq!(model.len() as u32, capacity);
+                }
+                Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+            }
+        }
+        // A reopen replays to the identical assignment.
+        drop(log);
+        let reopened = IdentityLog::open(&path, capacity).expect("reopen log");
+        prop_assert_eq!(reopened.map().len() as usize, model.len());
+        for (k, &id) in &model {
+            prop_assert_eq!(reopened.map().lookup(k), Some(id), "key {:?}", k);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Round-trip: any batch of distinct keys registers to ids
+    /// `0..k` in order, and every id resolves back to its exact key.
+    #[test]
+    fn distinct_keys_round_trip_in_registration_order(
+        lens in vec(1usize..=MAX_KEY_LEN, 1..50),
+    ) {
+        let mut map = IdentityMap::with_capacity(lens.len() as u32);
+        // First byte is unique, so truncation to any length keeps the
+        // keys distinct.
+        let keys: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let mut k = vec![i as u8];
+                k.extend_from_slice(&key(1000 + i as u64, len));
+                k.truncate(len);
+                k
+            })
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(map.register(k), Ok(i as u32));
+        }
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(map.lookup(k), Some(i as u32));
+            prop_assert_eq!(map.key_of(i as u32), Some(&k[..]));
+        }
+        prop_assert_eq!(
+            map.register(&keys[0]),
+            Err(IdentityError::Duplicate { id: 0 })
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! End-to-end service conformance: the sharded, batched, epoch-published
+//! service must be observationally identical to one `LiveEngine`
+//! applying the same stream — including across graceful shutdowns and
+//! abrupt kills with WAL-backed recovery.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ld_core::delegation::Action;
+use ld_core::tally::TieBreak;
+use ld_live::{LiveEngine, Update};
+use ld_serve::{Election, ElectionConfig};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ld-serve-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic mixed-op stream: delegations (some forming chains
+/// and attempted cycles), direct votes, abstentions, competence churn,
+/// and a sprinkle of invalid updates the sequencer must reject.
+fn stream(n: usize, ops: usize, seed: u64) -> Vec<Update> {
+    (0..ops)
+        .map(|k| {
+            let r = splitmix64(seed ^ (k as u64).wrapping_mul(0x9E37_79B9));
+            let voter = (r >> 8) as usize % n;
+            match r % 100 {
+                0..=54 => Update::Delegate {
+                    voter,
+                    // Mostly near neighbours, so chains and cycle
+                    // attempts actually happen; occasionally out of
+                    // range to exercise rejection.
+                    target: if r.is_multiple_of(97) {
+                        n + 3
+                    } else {
+                        (voter + 1 + (r >> 32) as usize % 7) % n
+                    },
+                },
+                55..=69 => Update::Vote { voter },
+                70..=79 => Update::Abstain { voter },
+                80..=97 => Update::Competence {
+                    voter,
+                    p: ((r >> 16) % 1000) as f64 / 1000.0,
+                },
+                _ => Update::Competence {
+                    voter,
+                    p: 1.5, // invalid: must be rejected
+                },
+            }
+        })
+        .collect()
+}
+
+/// Streams through a single reference engine, returning the engine and
+/// the accepted updates in acceptance order.
+fn oracle(n: usize, updates: &[Update]) -> (LiveEngine, Vec<Update>) {
+    let mut engine = LiveEngine::new(vec![Action::Vote; n], vec![0.5; n]).expect("oracle engine");
+    let mut accepted = Vec::new();
+    for &u in updates {
+        if engine.apply(u).is_ok() {
+            accepted.push(u);
+        }
+    }
+    (engine, accepted)
+}
+
+fn assert_matches_engine(snap: &ld_serve::EpochSnapshot, engine: &LiveEngine, what: &str) {
+    let want: Vec<u64> = engine.weights().iter().map(|&w| w as u64).collect();
+    assert_eq!(snap.tally.weights, want, "{what}: weights");
+    assert_eq!(
+        snap.tally.discarded,
+        engine.discarded() as u64,
+        "{what}: discarded"
+    );
+    assert_eq!(
+        snap.tally.tallied,
+        engine.tallied() as u64,
+        "{what}: tallied"
+    );
+    assert_eq!(
+        snap.tally.sink_count,
+        engine.sink_count() as u64,
+        "{what}: sinks"
+    );
+    let p = engine.decision_probability_normal(TieBreak::CoinFlip);
+    assert!(
+        (snap.tally.p_correct - p).abs() < 1e-9,
+        "{what}: p_correct {} vs {p}",
+        snap.tally.p_correct
+    );
+}
+
+#[test]
+fn sharded_service_matches_the_single_engine_oracle() {
+    let n = 97;
+    let updates = stream(n, 1500, 0xC0FFEE);
+    let (engine, accepted) = oracle(n, &updates);
+    for shards in [1u32, 2, 8] {
+        let mut cfg = ElectionConfig::new(n as u32);
+        cfg.shards = shards;
+        cfg.window = Duration::from_micros(200);
+        cfg.publish_every = 4;
+        let election = Election::create(&cfg).expect("create");
+        for &u in &updates {
+            election.submit(u).expect("submit");
+        }
+        let snap = election.flush().expect("flush");
+        assert_eq!(
+            snap.applied,
+            accepted.len() as u64,
+            "{shards} shards: applied"
+        );
+        assert_eq!(
+            snap.rejected,
+            (updates.len() - accepted.len()) as u64,
+            "{shards} shards: rejected"
+        );
+        assert_matches_engine(&snap, &engine, &format!("{shards} shards"));
+        // A second flush republishes the same combinatorial state.
+        let again = election.flush().expect("reflush");
+        assert_eq!(
+            again.tally.digest, snap.tally.digest,
+            "{shards} shards: digest"
+        );
+        // Every enqueued op got a latency sample by now.
+        assert_eq!(
+            election.latencies_ns().len(),
+            updates.len(),
+            "{shards} shards: latency samples"
+        );
+        election.shutdown().expect("shutdown");
+    }
+}
+
+#[test]
+fn graceful_shutdown_loses_no_accepted_op() {
+    let n = 64;
+    let updates = stream(n, 700, 0xBEEF);
+    let (engine, accepted) = oracle(n, &updates);
+    let mut cfg = ElectionConfig::new(n as u32);
+    cfg.shards = 4;
+    cfg.publish_every = 0; // publish only at shutdown: the drain must carry everything
+    let election = Election::create(&cfg).expect("create");
+    for &u in &updates {
+        election.submit(u).expect("submit");
+    }
+    // No flush: shutdown itself must drain the queue, sync, publish.
+    let snap = election.shutdown().expect("shutdown");
+    assert_eq!(
+        snap.applied + snap.rejected,
+        updates.len() as u64,
+        "every enqueued op was sequenced"
+    );
+    assert_eq!(snap.applied, accepted.len() as u64);
+    assert_matches_engine(&snap, &engine, "graceful shutdown");
+}
+
+#[test]
+fn killed_service_recovers_the_committed_epoch_bit_identically() {
+    let n = 80;
+    let dir = scratch("kill-recover");
+    let phase1 = stream(n, 400, 0xA11CE);
+    let lost = stream(n, 200, 0xDEAD); // submitted after the commit, then killed
+    let phase2 = stream(n, 150, 0xF00D);
+
+    let mut cfg = ElectionConfig::new(n as u32);
+    cfg.shards = 4;
+    cfg.publish_every = 0; // epochs commit only on flush: the cut is exact
+    cfg.dir = Some(dir.clone());
+    let election = Election::create(&cfg).expect("create durable");
+    assert_eq!(election.register(b"auditor"), Ok(0));
+    for &u in &phase1 {
+        election.submit(u).expect("submit");
+    }
+    let committed = election.flush().expect("flush");
+    for &u in &lost {
+        election.submit(u).expect("submit lost");
+    }
+    election.kill(); // no barrier, no commit: crash semantics
+
+    let (revived, report) = Election::recover(&dir, &cfg).expect("recover");
+    assert_eq!(
+        report.epoch, committed.epoch,
+        "resumes at the committed epoch"
+    );
+    assert_eq!(
+        report.digest, committed.tally.digest,
+        "digest proves bit-identity"
+    );
+    assert_eq!(report.applied, committed.applied);
+    assert_eq!(report.shard_records, committed.shard_records);
+    let resnap = revived.snapshot();
+    assert_eq!(
+        resnap.tally, committed.tally,
+        "full tally survives the crash"
+    );
+    assert_eq!(revived.lookup(b"auditor"), Some(0), "identity survives");
+    assert_eq!(
+        revived.register(b"auditor"),
+        Err(ld_serve::IdentityError::Duplicate { id: 0 })
+    );
+
+    // The revived service keeps serving: phase 2 lands on the recovered
+    // state exactly as it would have on a never-crashed service that
+    // had only seen phase 1.
+    for &u in &phase2 {
+        revived.submit(u).expect("submit phase2");
+    }
+    let fin = revived.flush().expect("flush phase2");
+    let mut replay: Vec<Update> = phase1.clone();
+    replay.extend_from_slice(&phase2);
+    let (engine, _) = oracle(n, &replay);
+    assert_matches_engine(&fin, &engine, "post-recovery");
+    revived.shutdown().expect("shutdown");
+}
+
+#[test]
+fn midrun_kill_recovers_some_accepted_prefix_exactly() {
+    let n = 50;
+    let dir = scratch("midrun-kill");
+    let updates = stream(n, 600, 0x5EED);
+    let (_, accepted) = oracle(n, &updates);
+
+    let mut cfg = ElectionConfig::new(n as u32);
+    cfg.shards = 3;
+    cfg.window = Duration::from_micros(100);
+    cfg.publish_every = 2; // commit often so the kill lands mid-history
+    cfg.dir = Some(dir.clone());
+    let election = Election::create(&cfg).expect("create durable");
+    for &u in &updates {
+        election.submit(u).expect("submit");
+    }
+    election.kill();
+
+    // Whatever epoch the kill left committed, it must be an exact
+    // prefix of the deterministic acceptance order.
+    let (revived, report) = Election::recover(&dir, &cfg).expect("recover");
+    let k = usize::try_from(report.applied).expect("fits");
+    assert!(
+        k <= accepted.len(),
+        "committed prefix within accepted stream"
+    );
+    let mut prefix_engine =
+        LiveEngine::new(vec![Action::Vote; n], vec![0.5; n]).expect("prefix engine");
+    let report2 = prefix_engine.apply_batch(&accepted[..k]);
+    assert!(
+        report2.rejected.is_empty(),
+        "accepted prefix replays cleanly"
+    );
+    assert_matches_engine(&revived.snapshot(), &prefix_engine, "mid-run recovery");
+    revived.shutdown().expect("shutdown");
+}
+
+#[test]
+fn misrouting_one_voter_is_detected_by_the_oracle_comparison() {
+    let n = 40;
+    let updates = stream(n, 500, 0x0DDBA11);
+    let (engine, _) = oracle(n, &updates);
+    // Pick a voter whose final action is a real delegation — the case
+    // where routing matters.
+    let delegator = engine
+        .actions()
+        .iter()
+        .enumerate()
+        .find_map(|(v, a)| match a {
+            Action::Delegate(t) if *t != v => Some(v as u32),
+            _ => None,
+        })
+        .expect("stream produces a delegation");
+    let mut cfg = ElectionConfig::new(n as u32);
+    cfg.shards = 4;
+    cfg.misroute = Some(delegator);
+    let election = Election::create(&cfg).expect("create");
+    for &u in &updates {
+        election.submit(u).expect("submit");
+    }
+    let snap = election.flush().expect("flush");
+    let want: Vec<u64> = engine.weights().iter().map(|&w| w as u64).collect();
+    assert_ne!(
+        snap.tally.weights, want,
+        "a misrouted delegator must corrupt the merged tally"
+    );
+    election.shutdown().expect("shutdown");
+}

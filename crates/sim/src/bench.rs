@@ -341,6 +341,53 @@ pub fn run_baseline(seed: u64, quick: bool) -> Result<Vec<BenchResult>> {
         out.push(result);
     }
 
+    // serve_ingest / serve_publish: the sharded service hot paths at
+    // n = 10_000 across 8 shards, in-memory. One serve_ingest iteration
+    // is one submit through the MPSC front-end and hash router
+    // (publish_every = 0, so no epoch work rides on the measurement);
+    // one serve_publish iteration is one flush — the ingest barrier,
+    // the cross-shard merge, and the epoch publish.
+    {
+        use ld_serve::{Election, ElectionConfig};
+        let n = 10_000;
+        let mut cfg = ElectionConfig::new(n as u32);
+        cfg.shards = 8;
+        cfg.publish_every = 0;
+        cfg.window = std::time::Duration::ZERO;
+        cfg.competences = Some(TraceConfig::balanced(n).initial_competences(seed));
+        let updates: Vec<_> = Trace::new(TraceConfig::balanced(n), seed)
+            .map_err(|reason| SimError::Config { reason })?
+            .take(8_192)
+            .collect();
+        let election = Election::create(&cfg).map_err(|e| SimError::Config {
+            reason: format!("bench election: {e}"),
+        })?;
+        let mut i = 0usize;
+        let mut failure = None;
+        let ingest = time_iters("serve_ingest", n, iters(20_000), || {
+            if let Err(e) = election.submit(updates[i % updates.len()]) {
+                failure = Some(e);
+            }
+            i += 1;
+        });
+        let mut publish_failure = None;
+        let publish = time_iters("serve_publish", n, iters(100), || {
+            if let Err(e) = election.flush() {
+                publish_failure = Some(e);
+            }
+        });
+        election.shutdown().map_err(|e| SimError::Config {
+            reason: format!("bench election shutdown: {e}"),
+        })?;
+        if let Some(e) = failure.or(publish_failure) {
+            return Err(SimError::Config {
+                reason: format!("serve bench: {e}"),
+            });
+        }
+        out.push(ingest);
+        out.push(publish);
+    }
+
     Ok(out)
 }
 
@@ -598,7 +645,9 @@ mod tests {
                 "live_batch64",
                 "graph_regular",
                 "wal_append_1m",
-                "recover_snapshot_1m"
+                "recover_snapshot_1m",
+                "serve_ingest",
+                "serve_publish"
             ]
         );
         for r in &results {

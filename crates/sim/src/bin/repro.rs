@@ -14,7 +14,12 @@
 //! repro recover --dir results/wal --verify-full-replay  # rehydrate + bit-compare tally
 //! repro store-bench            # snapshot+tail vs full-log replay (>=10x gate)
 //! repro conformance --quick    # differential/metamorphic conformance gate
-//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_6.json
+//! repro serve-bench --quick    # sharded service: throughput + p50/p99 + oracle check
+//! repro serve-bench --dir D --kill-at K  # commit an epoch, then die abruptly
+//! repro serve-recover --dir D  # restart the killed service, verify the digest
+//! repro serve --selftest       # host an election over the loopback wire codec
+//! repro serve --socket PATH    # ... or over a Unix domain socket (SIGTERM drains)
+//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_7.json
 //! repro bench-compare OLD NEW  # fail on >30% ns/iter regression
 //! repro all --obs-summary      # append the ld-obs metrics table
 //! ```
@@ -121,6 +126,7 @@ fn parse_args() -> Result<Args, String> {
                      [--obs-summary] [--obs-jsonl PATH] \
                      <id>... | all | verify | sweep ... | stress ... | recover ... \
                      | store-bench ... | conformance ... \
+                     | serve-bench ... | serve-recover ... | serve ... \
                      | bench-baseline ... | bench-compare OLD NEW"
                 );
                 std::process::exit(0);
@@ -288,6 +294,11 @@ fn run_sweep_command(cfg: &ExperimentConfig) -> ExitCode {
 /// so the run survives kill -9: `repro recover --dir DIR` rehydrates it.
 /// `--crash-at` arms the deterministic fault injector and simulates the
 /// kill — the run stops at the planned I/O operation and reports where.
+///
+/// With `--shards N` the identical trace also rides through the
+/// `ld-serve` front-end (hash-routed across N shard engines, batched
+/// ingest, epoch publish) and the merged service tally must match the
+/// single-engine oracle bit for bit.
 fn run_stress_command() -> ExitCode {
     use ld_live::workload::TraceConfig;
     use ld_sim::experiments::stress::{run_churn, ChurnSpec};
@@ -303,6 +314,7 @@ fn run_stress_command() -> ExitCode {
     let mut sync_every = 1024u64;
     let mut snapshot_every: Option<u64> = None;
     let mut crash_at: Option<String> = None;
+    let mut shards: Option<u32> = None;
     let mut obs_summary = false;
     let mut obs_jsonl: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -322,6 +334,7 @@ fn run_stress_command() -> ExitCode {
             }
             "--snapshot-every" => snapshot_every = next(i).and_then(|v| v.parse().ok()),
             "--crash-at" => crash_at = next(i).cloned(),
+            "--shards" => shards = next(i).and_then(|v| v.parse().ok()),
             "--obs-summary" => {
                 obs_summary = true;
                 i += 1;
@@ -338,7 +351,7 @@ fn run_stress_command() -> ExitCode {
     let usage = "usage: repro stress --n <voters> --updates <count> [--batch K] [--seed S] \
                  [--zipf S] [--mix delegate,vote,abstain] [--wal DIR] [--sync-every R] \
                  [--snapshot-every R] [--crash-at K:fail|short-write|corrupt | seeded] \
-                 [--obs-summary] [--obs-jsonl PATH]";
+                 [--shards N] [--obs-summary] [--obs-jsonl PATH]";
     let (Some(n), Some(updates)) = (n, updates) else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -516,6 +529,31 @@ fn run_stress_command() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            // The service replica: same trace through the sharded
+            // front-end; run_serve_bench fails on any divergence from
+            // its own single-engine oracle.
+            if let Some(shards) = shards {
+                let sspec = ld_sim::serve::ServeBenchSpec {
+                    trace: spec.trace.clone(),
+                    updates,
+                    shards: shards.max(1),
+                    ..ld_sim::serve::ServeBenchSpec::full(seed)
+                };
+                match ld_sim::serve::run_serve_bench(&sspec) {
+                    Ok(out) => {
+                        println!(
+                            "serve: {} shard(s): {:.0} upd/s, ingest->publish p50 {:.1} us, \
+                             p99 {:.1} us, epoch {}",
+                            out.shards, out.ops_per_sec, out.p50_us, out.p99_us, out.epoch
+                        );
+                        println!("cross-check: sharded service == single-engine oracle: ok");
+                    }
+                    Err(e) => {
+                        eprintln!("cross-check FAILED: sharded service diverged: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             if replicas_agree {
                 println!("cross-check: streamed == batched final state: ok");
                 ExitCode::SUCCESS
@@ -532,7 +570,8 @@ fn run_stress_command() -> ExitCode {
 }
 
 /// Handles `repro conformance [--quick] [--seed N] [--json PATH]
-/// [--only CHECK] [--case SUBSTR] [--mutate tie-flip|csr-offset|wal-crc]`:
+/// [--only CHECK] [--case SUBSTR]
+/// [--mutate tie-flip|csr-offset|wal-crc|shard-route]`:
 /// runs the `ld-testkit` differential/metamorphic grid plus the
 /// simulation-layer checks, prints every mismatch with its shrunk minimal
 /// instance and a one-line reproduction command, and exits non-zero on
@@ -541,8 +580,8 @@ fn run_conformance_command() -> ExitCode {
     use ld_testkit::{ConformanceConfig, Mutation};
 
     let usage = "usage: repro conformance [--quick] [--seed N] [--json PATH] \
-                 [--only CHECK] [--case SUBSTR] [--mutate tie-flip|csr-offset|wal-crc] \
-                 [--no-corpus]";
+                 [--only CHECK] [--case SUBSTR] \
+                 [--mutate tie-flip|csr-offset|wal-crc|shard-route] [--no-corpus]";
     let mut cfg = ConformanceConfig::default();
     let mut json: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -593,7 +632,7 @@ fn run_conformance_command() -> ExitCode {
                 None => {
                     eprintln!(
                         "bad or missing --mutate value (known: tie-flip, csr-offset, \
-                         wal-crc)\n{usage}"
+                         wal-crc, shard-route)\n{usage}"
                     );
                     return ExitCode::FAILURE;
                 }
@@ -842,6 +881,373 @@ fn run_store_bench_command() -> ExitCode {
     }
 }
 
+/// Handles `repro serve-bench [--quick] [--n N] [--shards K]
+/// [--updates U] [--seed S] [--window-us W] [--publish-every E]
+/// [--dir DIR] [--kill-at K] [--obs-summary] [--obs-jsonl PATH]`:
+/// streams a seeded churn trace through the sharded `ld-serve` election
+/// (identity-keyed, batched ingest, epoch-published tallies), reports
+/// throughput and ingest→publish latency percentiles, and fails unless
+/// the merged service tally is bit-identical to a single-engine oracle
+/// streaming the same updates. With `--dir` the shards run on `ld-store`
+/// WALs; with `--kill-at K` the run commits an epoch after K updates,
+/// streams the rest uncommitted, and dies abruptly — `repro
+/// serve-recover --dir DIR` must then restore the committed epoch.
+fn run_serve_bench_command() -> ExitCode {
+    use ld_sim::serve::{run_serve_bench, ServeBenchSpec};
+    use ld_sim::table::Table;
+    use std::time::Duration;
+
+    let usage = "usage: repro serve-bench [--quick] [--n N] [--shards K] [--updates U] \
+                 [--seed S] [--window-us W] [--publish-every E] [--dir DIR] [--kill-at K] \
+                 [--obs-summary] [--obs-jsonl PATH]";
+    let mut quick = false;
+    let mut n: Option<usize> = None;
+    let mut shards: Option<u32> = None;
+    let mut updates: Option<usize> = None;
+    let mut seed: u64 = ExperimentConfig::default().seed;
+    let mut window_us: Option<u64> = None;
+    let mut publish_every: Option<u32> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut kill_at: Option<usize> = None;
+    let mut obs_summary = false;
+    let mut obs_jsonl: Option<PathBuf> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        let next = |i: usize| -> Option<&String> { argv.get(i + 1) };
+        match argv[i].as_str() {
+            "--quick" | "-q" => {
+                quick = true;
+                i += 1;
+                continue;
+            }
+            "--obs-summary" => {
+                obs_summary = true;
+                i += 1;
+                continue;
+            }
+            "--n" => n = next(i).and_then(|v| v.parse().ok()),
+            "--shards" => shards = next(i).and_then(|v| v.parse().ok()),
+            "--updates" => updates = next(i).and_then(|v| v.parse().ok()),
+            "--seed" | "-s" => seed = next(i).and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--window-us" => window_us = next(i).and_then(|v| v.parse().ok()),
+            "--publish-every" => publish_every = next(i).and_then(|v| v.parse().ok()),
+            "--dir" => dir = next(i).map(PathBuf::from),
+            "--kill-at" => kill_at = next(i).and_then(|v| v.parse().ok()),
+            "--obs-jsonl" => obs_jsonl = next(i).map(PathBuf::from),
+            other => {
+                eprintln!("unknown serve-bench argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    let mut spec = if quick {
+        ServeBenchSpec::quick(seed)
+    } else {
+        ServeBenchSpec::full(seed)
+    };
+    if let Some(n) = n {
+        spec.trace = ld_live::workload::TraceConfig::balanced(n);
+    }
+    if let Some(s) = shards {
+        spec.shards = s.max(1);
+    }
+    if let Some(u) = updates {
+        spec.updates = u;
+    }
+    if let Some(w) = window_us {
+        spec.window = Duration::from_micros(w);
+    }
+    if let Some(e) = publish_every {
+        spec.publish_every = e;
+    }
+    spec.dir = dir;
+    spec.kill_at = kill_at;
+    eprintln!(
+        "serve-bench: n={}, {} shard(s), {} update(s), seed {seed}{} ...",
+        spec.trace.n,
+        spec.shards,
+        spec.updates,
+        if spec.dir.is_some() { ", durable" } else { "" }
+    );
+    let out = match run_serve_bench(&spec) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut table = Table::new(
+        "serve-bench: sharded ingest -> epoch publish",
+        &[
+            "n",
+            "shards",
+            "applied",
+            "rejected",
+            "upd/s",
+            "p50 us",
+            "p99 us",
+            "epoch",
+            "sinks",
+            "P[correct]",
+        ],
+    );
+    table.push([
+        out.n.into(),
+        (out.shards as i64).into(),
+        (out.applied as i64).into(),
+        (out.rejected as i64).into(),
+        out.ops_per_sec.into(),
+        out.p50_us.into(),
+        out.p99_us.into(),
+        (out.epoch as i64).into(),
+        (out.sinks as i64).into(),
+        out.p_correct.into(),
+    ]);
+    print!("{}", table.to_text());
+    println!("tally digest: {:#018x}", out.digest);
+    emit_obs(obs_summary, obs_jsonl.as_deref());
+    if out.killed {
+        let dir = spec.dir.as_ref().expect("kill_at requires dir");
+        println!(
+            "serve-bench: killed abruptly after committing epoch {} \
+             ({} update(s) streamed uncommitted); recover with: \
+             repro serve-recover --dir {}",
+            out.committed_epoch.unwrap_or(0),
+            spec.updates.saturating_sub(spec.kill_at.unwrap_or(0)),
+            dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("cross-check: merged shard tally == single-engine oracle (bit-identical): ok");
+    println!("serve-bench: PASS");
+    ExitCode::SUCCESS
+}
+
+/// Handles `repro serve-recover --dir DIR [--expect-digest HEX]`:
+/// restarts a durable election from its meta + identity log + per-shard
+/// snapshot/WAL files, replays each shard to the last committed epoch,
+/// and verifies the merged tally digest against the epoch log (a
+/// mismatch is a typed error and a non-zero exit).
+fn run_serve_recover_command() -> ExitCode {
+    use ld_sim::table::Table;
+
+    let usage = "usage: repro serve-recover --dir DIR [--expect-digest HEX]";
+    let mut dir: Option<PathBuf> = None;
+    let mut expect_digest: Option<u64> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dir" => dir = argv.get(i + 1).map(PathBuf::from),
+            "--expect-digest" => {
+                expect_digest = argv.get(i + 1).and_then(|v| {
+                    let v = v.trim_start_matches("0x");
+                    u64::from_str_radix(v, 16).ok()
+                });
+                if expect_digest.is_none() {
+                    eprintln!("bad or missing --expect-digest value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => {
+                eprintln!("unknown serve-recover argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    let Some(dir) = dir else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    match ld_sim::serve::run_serve_recover(&dir) {
+        Ok((report, snap)) => {
+            let mut table = Table::new(
+                &format!("serve-recover: {}", dir.display()),
+                &["epoch", "applied", "rejected", "shards", "records", "sinks"],
+            );
+            table.push([
+                (report.epoch as i64).into(),
+                (report.applied as i64).into(),
+                (report.rejected as i64).into(),
+                report.shard_records.len().into(),
+                (report.shard_records.iter().sum::<u64>() as i64).into(),
+                (snap.tally.sink_count as i64).into(),
+            ]);
+            print!("{}", table.to_text());
+            println!("tally digest: {:#018x}", report.digest);
+            println!("cross-check: merged replay digest == committed epoch-log digest: ok");
+            if let Some(want) = expect_digest {
+                if report.digest != want {
+                    eprintln!(
+                        "serve-recover: FAIL — digest {:#018x} != expected {want:#018x}",
+                        report.digest
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("cross-check: digest matches --expect-digest: ok");
+            }
+            println!("serve-recover: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Handles `repro serve (--selftest | --socket PATH) [--n N]
+/// [--shards K] [--default-p P]`: hosts one election behind the binary
+/// wire protocol. `--selftest` drives a register/submit/flush/query
+/// session through the in-process loopback (which still round-trips
+/// every frame through the codec) and exits. `--socket PATH` serves a
+/// Unix domain socket until SIGTERM or a client `Shutdown` request,
+/// then drains ingest, fsyncs, and publishes a final epoch.
+fn run_serve_command() -> ExitCode {
+    use ld_serve::{Host, LoopbackClient, Request, Response};
+
+    let usage =
+        "usage: repro serve (--selftest | --socket PATH) [--n N] [--shards K] [--default-p P]";
+    let mut selftest = false;
+    let mut socket: Option<PathBuf> = None;
+    let mut n = 1_000u32;
+    let mut shards = 4u32;
+    let mut default_p = 0.55f64;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        let next = |i: usize| -> Option<&String> { argv.get(i + 1) };
+        match argv[i].as_str() {
+            "--selftest" => {
+                selftest = true;
+                i += 1;
+                continue;
+            }
+            "--socket" => socket = next(i).map(PathBuf::from),
+            "--n" => n = next(i).and_then(|v| v.parse().ok()).unwrap_or(n),
+            "--shards" => shards = next(i).and_then(|v| v.parse().ok()).unwrap_or(shards),
+            "--default-p" => {
+                default_p = next(i).and_then(|v| v.parse().ok()).unwrap_or(default_p);
+            }
+            other => {
+                eprintln!("unknown serve argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    if selftest == socket.is_some() {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    }
+
+    let host = Host::new();
+    let created = host.handle(&Request::Create {
+        election: 1,
+        n,
+        shards: shards.max(1),
+        default_p,
+    });
+    if created != (Response::Created { election: 1 }) {
+        eprintln!("error: could not create election: {created:?}");
+        return ExitCode::FAILURE;
+    }
+
+    if selftest {
+        let client = LoopbackClient::new(&host);
+        let script: Vec<Request> = vec![
+            Request::Register {
+                election: 1,
+                key: b"selftest-alice".to_vec(),
+            },
+            Request::Register {
+                election: 1,
+                key: b"selftest-bob".to_vec(),
+            },
+            Request::Lookup {
+                election: 1,
+                key: b"selftest-bob".to_vec(),
+            },
+            Request::Submit {
+                election: 1,
+                update: ld_live::Update::Delegate {
+                    voter: 1,
+                    target: 0,
+                },
+            },
+            Request::Submit {
+                election: 1,
+                update: ld_live::Update::Abstain { voter: 2 },
+            },
+            Request::Flush { election: 1 },
+            Request::Query { election: 1 },
+        ];
+        let mut last_tally = None;
+        for request in &script {
+            match client.call(request) {
+                Ok(Response::Error { code, message }) => {
+                    eprintln!("serve selftest: FAIL — error {code} on {request:?}: {message}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(Response::Tally(t)) => last_tally = Some(t),
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("serve selftest: FAIL — wire error on {request:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let Some(t) = last_tally else {
+            eprintln!("serve selftest: FAIL — no tally came back");
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "serve selftest: epoch {}, n {}, tallied {}, discarded {}, sinks {}, \
+             max weight {}, P[correct] {:.6}, digest {:#018x}",
+            t.epoch, t.n, t.tallied, t.discarded, t.sink_count, t.max_weight, t.p_correct, t.digest
+        );
+        if let Err(e) = host.shutdown_all() {
+            eprintln!("serve selftest: FAIL — shutdown: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("serve selftest: PASS (register/submit/flush/query round-tripped the codec)");
+        return ExitCode::SUCCESS;
+    }
+
+    #[cfg(unix)]
+    {
+        let path = socket.expect("socket mode");
+        let stop = ld_serve::install_sigterm_flag();
+        eprintln!(
+            "serve: election 1 (n {n}, {shards} shard(s)) on {} — SIGTERM or a \
+             Shutdown request drains and exits",
+            path.display()
+        );
+        if let Err(e) = ld_serve::serve_unix(&host, &path, stop) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        match host.shutdown_all() {
+            Ok(()) => {
+                eprintln!("serve: drained, fsynced, final epoch published");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error during shutdown: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        eprintln!("repro serve --socket needs a Unix target (use --selftest here)");
+        ExitCode::FAILURE
+    }
+}
+
 /// A maintenance aid (`repro sweep --inject-panic N`): wraps the real
 /// mechanism and panics at instance size `N`, for demonstrating and
 /// testing the harness's quarantine path end to end.
@@ -910,7 +1316,7 @@ fn emit_obs(obs_summary: bool, obs_jsonl: Option<&std::path::Path>) {
 
 /// Handles `repro bench-baseline [--quick] [--out PATH] [--seed N]
 /// [--slowdown X]`: runs the pinned perf micro-suite and writes the
-/// `BENCH_*.json` baseline (default `BENCH_6.json`). `--slowdown X` is a
+/// `BENCH_*.json` baseline (default `BENCH_7.json`). `--slowdown X` is a
 /// maintenance hook that multiplies the recorded timings, for
 /// demonstrating that the CI comparison gate really fails.
 fn run_bench_baseline_command() -> ExitCode {
@@ -918,7 +1324,7 @@ fn run_bench_baseline_command() -> ExitCode {
     use ld_sim::table::Table;
 
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_6.json");
+    let mut out = PathBuf::from("BENCH_7.json");
     let mut seed: u64 = 0x1DDE_BEAC;
     let mut slowdown: Option<f64> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -1129,6 +1535,20 @@ fn main() -> ExitCode {
     // And the conformance gate (differential/metamorphic test suite).
     if std::env::args().nth(1).is_some_and(|a| a == "conformance") {
         return run_conformance_command();
+    }
+
+    // The sharded election service: bench gate, restart check, host.
+    if std::env::args().nth(1).is_some_and(|a| a == "serve-bench") {
+        return run_serve_bench_command();
+    }
+    if std::env::args()
+        .nth(1)
+        .is_some_and(|a| a == "serve-recover")
+    {
+        return run_serve_recover_command();
+    }
+    if std::env::args().nth(1).is_some_and(|a| a == "serve") {
+        return run_serve_command();
     }
 
     // Perf-baseline recording and the CI regression gate.

@@ -24,6 +24,10 @@
 //! * [`durable`] — churn runs teed through the `ld-store` WAL so they
 //!   survive kill -9 (`repro stress --wal`, `repro recover`,
 //!   `repro store-bench`).
+//! * [`serve`] — drivers for the `ld-serve` sharded election service:
+//!   the oracle-checked throughput/latency gate (`repro serve-bench`),
+//!   the crash-recovery check (`repro serve-recover`), and the socket
+//!   host (`repro serve`).
 //! * [`verify`] — the acceptance suite: every claim as a PASS/FAIL
 //!   verdict (`repro verify`).
 //! * [`sweep`] — user-configurable topology × mechanism × distribution
@@ -53,6 +57,7 @@ pub mod experiments;
 pub mod harness;
 pub mod obs_report;
 pub mod report;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 pub mod verify;

@@ -46,7 +46,9 @@ pub mod wal;
 
 pub use fault::{FaultClock, FaultKind, FaultPlan};
 pub use snapshot::Snapshot;
-pub use store::{recover, recover_with, RecoverMode, Recovery, Store, StoreOptions, WAL_FILE};
+pub use store::{
+    recover, recover_capped, recover_with, RecoverMode, Recovery, Store, StoreOptions, WAL_FILE,
+};
 pub use wal::{TailStatus, TornReason, TornTail, WalScan};
 
 use std::io;

@@ -245,6 +245,62 @@ impl Store {
             Ok(None)
         }
     }
+
+    /// Recovers the store in `dir` truncated to exactly `cap` records
+    /// and reopens it for appending: the WAL is cut at the `cap`-record
+    /// boundary (dropping any durable-but-uncovered suffix along with
+    /// the torn tail) and the engine is rebuilt from the newest valid
+    /// snapshot at or before the cut.
+    ///
+    /// This is the cross-shard consistency primitive `ld-serve` builds
+    /// on: each shard logs independently, so after a kill the shards'
+    /// durable prefixes can disagree about how far the *global*
+    /// accepted sequence got — and mixed prefixes can even compose into
+    /// a delegation cycle no single engine ever accepted. The service's
+    /// epoch barrier records a consistent per-shard cut; resuming every
+    /// shard capped at its cut restores a state the live service
+    /// actually passed through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`recover_capped`] and WAL-reopen failures.
+    pub fn resume_capped(
+        dir: &Path,
+        opts: StoreOptions,
+        cap: u64,
+    ) -> Result<(Store, Recovery), StoreError> {
+        let (recovery, cut) = recover_capped(dir, cap)?;
+        let wal_path = dir.join(WAL_FILE);
+        // Physically drop everything past the cut, then reopen trusting
+        // the capped prefix; the subsequent scan starts at the cut and
+        // finds a clean, empty tail.
+        let ioerr = StoreError::io("truncate wal at cap", &wal_path);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .map_err(&ioerr)?;
+        file.set_len(cut).map_err(&ioerr)?;
+        file.sync_data().map_err(&ioerr)?;
+        drop(file);
+        let clock = FaultClock::new(opts.fault);
+        let (wal, _) = WalWriter::open_for_append_trusting(
+            &wal_path,
+            Arc::clone(&clock),
+            opts.sync_every,
+            cut,
+            cap,
+        )?;
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                wal,
+                clock,
+                last_snapshot: recovery.snapshot_applied,
+                opts,
+            },
+            recovery,
+        ))
+    }
 }
 
 /// The outcome of a recovery.
@@ -364,6 +420,97 @@ pub fn recover_with(dir: &Path, mode: RecoverMode) -> Result<Recovery, StoreErro
         torn,
         snapshots_skipped: skipped,
     })
+}
+
+/// Recovers the engine from `dir` as of exactly `cap` records: newest
+/// valid snapshot with `applied ≤ cap`, plus the WAL tail up to the
+/// cut. Returns the recovery and the WAL byte offset of the
+/// `cap`-record boundary (the truncation point
+/// [`Store::resume_capped`] uses). Read-only, like [`recover`].
+///
+/// Snapshots past the cut are skipped silently — compaction may have
+/// outrun the caller's consistency point, and genesis is always kept,
+/// so a usable snapshot always exists in an intact store.
+///
+/// # Errors
+///
+/// As for [`recover`], plus [`StoreError::Corrupt`] if the log's valid
+/// prefix holds fewer than `cap` records — the caller's cut came from
+/// a barrier that fsynced first, so a shorter log is a damaged store.
+pub fn recover_capped(dir: &Path, cap: u64) -> Result<(Recovery, u64), StoreError> {
+    let _span = ld_obs::span("recover.capped_ns");
+    let wal_path = dir.join(WAL_FILE);
+    let mut skipped = Vec::new();
+    let mut chosen = None;
+    for (applied, path) in snapshots_desc(dir)? {
+        if applied > cap {
+            continue;
+        }
+        let opened =
+            Snapshot::open(&path).and_then(|s| Ok((s.applied(), s.wal_len(), s.to_engine()?)));
+        let (snap_applied, wal_len, engine) = match opened {
+            Ok((snap_applied, wal_len, engine)) if snap_applied == applied => {
+                (snap_applied, wal_len, engine)
+            }
+            _ => {
+                skipped.push(path);
+                continue;
+            }
+        };
+        let found = read_wal_tail(&wal_path, wal_len, snap_applied)?;
+        if found.covered < snap_applied {
+            skipped.push(path);
+            continue;
+        }
+        chosen = Some((snap_applied, wal_len, engine, path, found));
+        break;
+    }
+    let Some((snapshot_applied, tail_offset, mut engine, snapshot_path, found)) = chosen else {
+        return Err(StoreError::NoSnapshot {
+            dir: dir.to_path_buf(),
+        });
+    };
+    let records = found.covered + found.scan.records();
+    if records < cap {
+        return Err(StoreError::Corrupt {
+            path: wal_path,
+            reason: format!(
+                "capped recovery needs {cap} records but the valid prefix holds {records}"
+            ),
+        });
+    }
+    let torn = match &found.scan.tail {
+        TailStatus::Clean => None,
+        TailStatus::Torn(t) => Some(t.clone()),
+    };
+    let take = (cap - snapshot_applied) as usize;
+    let tail = &found.scan.updates[..take];
+    // The cut's byte offset: the tail start plus the exact framed size
+    // of every replayed record (framing is deterministic per update).
+    let mut cut = tail_offset;
+    let mut scratch = Vec::with_capacity(32);
+    for (i, u) in tail.iter().enumerate() {
+        engine.apply(*u).map_err(|r| StoreError::Replay {
+            record: snapshot_applied + i as u64,
+            reason: r.to_string(),
+        })?;
+        scratch.clear();
+        cut += crate::wal::encode_record(u, &mut scratch) as u64;
+    }
+    ld_obs::counter("recover.replayed").add(tail.len() as u64);
+    Ok((
+        Recovery {
+            engine,
+            snapshot_path,
+            snapshot_applied,
+            tail_offset,
+            replayed: tail.len() as u64,
+            records,
+            torn,
+            snapshots_skipped: skipped,
+        },
+        cut,
+    ))
 }
 
 #[cfg(test)]
@@ -503,6 +650,64 @@ mod tests {
         drop(store);
         let back = recover(&dir).unwrap();
         assert_same(&back.engine, &engine2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capped_recovery_cuts_at_the_record_boundary_and_resumes() {
+        let dir = tmp_dir("capped");
+        let n = 30;
+        let mut engine = fresh_engine(n);
+        let mut store = Store::create(&dir, &engine, StoreOptions::default()).unwrap();
+        let us = drive(n, 400, 11);
+        let mut accepted = Vec::new();
+        let mut snapshot_at_200_done = false;
+        for u in &us {
+            if engine.apply(*u).is_ok() {
+                store.append(u).unwrap();
+                accepted.push(*u);
+            }
+            // Compact once past 200 accepted records, so the newest
+            // snapshot lies BEYOND the cap below and capped recovery
+            // must fall back to an older snapshot.
+            if !snapshot_at_200_done && accepted.len() >= 200 {
+                store.compact(&engine).unwrap();
+                snapshot_at_200_done = true;
+            }
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        let cap = 120u64;
+        let (rec, _cut) = recover_capped(&dir, cap).unwrap();
+        assert_eq!(rec.snapshot_applied, 0, "fell back to genesis");
+        assert_eq!(rec.replayed, cap);
+        // Bit-identical to replaying exactly the first `cap` accepted
+        // updates from scratch.
+        let mut prefix = fresh_engine(n);
+        for u in &accepted[..cap as usize] {
+            prefix.apply(*u).unwrap();
+        }
+        assert_same(&rec.engine, &prefix);
+
+        // Resuming capped truncates the log: a plain recover now sees
+        // exactly `cap` records, and appends continue from there.
+        let (mut store, rec2) = Store::resume_capped(&dir, StoreOptions::default(), cap).unwrap();
+        assert_same(&rec2.engine, &prefix);
+        let extra = Update::Competence { voter: 0, p: 0.5 };
+        prefix.apply(extra).unwrap();
+        store.append(&extra).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let back = recover(&dir).unwrap();
+        assert_eq!(back.records, cap + 1);
+        assert_same(&back.engine, &prefix);
+
+        // A cap beyond the valid log is a typed corruption error.
+        assert!(matches!(
+            recover_capped(&dir, 10_000),
+            Err(StoreError::Corrupt { .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -66,6 +66,21 @@ pub enum WalImpl {
     CrcSkipped,
 }
 
+/// Which service routing the serve-replay check exercises.
+///
+/// `Misrouted` is a deliberate bug — one delegating voter is hashed to
+/// the wrong shard, so the canonical owner never learns of the
+/// delegation — injected by `--mutate shard-route` so CI can verify the
+/// sharded-vs-oracle differential actually detects a routing fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeImpl {
+    /// The production `shard_of` routing.
+    Real,
+    /// Mutant: the first finally-delegating voter lands on the wrong
+    /// shard (`ElectionConfig::misroute`).
+    Misrouted,
+}
+
 /// Shared configuration threaded through every check.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckContext {
@@ -75,6 +90,8 @@ pub struct CheckContext {
     pub csr: CsrImpl,
     /// WAL scanner under test.
     pub wal: WalImpl,
+    /// Service shard routing under test.
+    pub serve: ServeImpl,
 }
 
 /// Result of one check on one case.
@@ -128,11 +145,16 @@ pub enum CheckId {
     /// bit-identical to from-scratch resolution, and corrupted records
     /// must be caught by the frame CRC.
     WalCrashOracle,
+    /// Service conformance: the same update stream driven through the
+    /// sharded `ld-serve` election (batched ingest, cross-shard merge,
+    /// epoch publish) must reproduce the streamed replay, the batched
+    /// replay, and from-scratch resolution exactly.
+    ServeReplay,
 }
 
 impl CheckId {
     /// All checks, in execution order.
-    pub fn all() -> [CheckId; 14] {
+    pub fn all() -> [CheckId; 15] {
         [
             CheckId::ResolveOracle,
             CheckId::ResolveDeterminism,
@@ -148,6 +170,7 @@ impl CheckId {
             CheckId::CsrResolveOracle,
             CheckId::CsrTallyOracle,
             CheckId::WalCrashOracle,
+            CheckId::ServeReplay,
         ]
     }
 
@@ -168,6 +191,7 @@ impl CheckId {
             CheckId::CsrResolveOracle => "csr-resolve-oracle",
             CheckId::CsrTallyOracle => "csr-tally-oracle",
             CheckId::WalCrashOracle => "wal-crash-oracle",
+            CheckId::ServeReplay => "serve-replay",
         }
     }
 
@@ -221,6 +245,7 @@ pub fn recheck_structural(
         CheckId::CsrResolveOracle => check_csr_resolve_oracle(actions, ctx),
         CheckId::CsrTallyOracle => check_csr_tally_oracle(actions, ps, seed, ctx),
         CheckId::WalCrashOracle => check_wal_crash_oracle(actions, ps, seed, ctx),
+        CheckId::ServeReplay => check_serve_replay(actions, ps, seed, ctx),
     }
 }
 
@@ -1239,6 +1264,149 @@ fn check_wal_crash_oracle(
     CheckOutcome::Pass
 }
 
+/// Service conformance, extending [`check_live_replay`] through the
+/// sharded `ld-serve` front-end: the accepted update stream (structural
+/// replay plus seeded competence churn) is driven through a 4-shard
+/// election with a zero batching window and an epoch barrier after every
+/// batch, and the published merged tally must be bit-identical to the
+/// streamed replay, the batched replay, and from-scratch resolution.
+/// Under `--mutate shard-route` one delegating voter is deliberately
+/// hashed to the wrong shard; the differential below must flag it.
+fn check_serve_replay(
+    actions: &[Action],
+    ps: &[f64],
+    seed: u64,
+    ctx: &CheckContext,
+) -> CheckOutcome {
+    use ld_serve::{Election, ElectionConfig};
+    let n = actions.len();
+    if n == 0 {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let dg = DelegationGraph::new(actions.to_vec());
+    if !dg.is_single_target() {
+        return CheckOutcome::Skip("live engine handles single-target graphs only");
+    }
+    if dg.resolve().is_err() {
+        return CheckOutcome::Skip("resolver rejects this graph");
+    }
+    let mut updates = replay_updates(actions);
+    let mut rng = stream_rng(seed, 0x5E12_7E55);
+    for _ in 0..4.min(n) {
+        updates.push(Update::Competence {
+            voter: rng.gen_range(0..n),
+            p: rng.gen_range(0.0..1.0),
+        });
+    }
+    // The three single-engine views the service must reproduce.
+    let mut streamed = match LiveEngine::new(vec![Action::Vote; n], ps.to_vec()) {
+        Ok(e) => e,
+        Err(e) => return CheckOutcome::Fail(format!("live engine construction: {e}")),
+    };
+    for u in &updates {
+        if let Err(reject) = streamed.apply(*u) {
+            return CheckOutcome::Fail(format!("streamed replay rejected {u:?}: {reject:?}"));
+        }
+    }
+    let mut batched = match LiveEngine::new(vec![Action::Vote; n], ps.to_vec()) {
+        Ok(e) => e,
+        Err(e) => return CheckOutcome::Fail(format!("live engine construction: {e}")),
+    };
+    let report = batched.apply_batch(&updates);
+    if !report.rejected.is_empty() {
+        return CheckOutcome::Fail(format!("batched replay rejected {:?}", report.rejected));
+    }
+    if batched.resolution() != streamed.resolution() {
+        return CheckOutcome::Fail("streamed and batched replays diverge".to_string());
+    }
+    let scratch = match DelegationGraph::new(streamed.actions().to_vec()).resolve() {
+        Ok(r) => r,
+        Err(e) => return CheckOutcome::Fail(format!("from-scratch resolve errored: {e}")),
+    };
+    if scratch != streamed.resolution() {
+        return CheckOutcome::Fail(
+            "replayed state is not bit-identical to from-scratch resolve".to_string(),
+        );
+    }
+    // The sharded service: zero window so every submit dispatches, an
+    // epoch barrier after every batch so the merge path is exercised
+    // throughout the stream, not just at the end.
+    let mut cfg = ElectionConfig::new(n as u32);
+    cfg.shards = 4;
+    cfg.window = std::time::Duration::ZERO;
+    cfg.publish_every = 1;
+    cfg.competences = Some(ps.to_vec());
+    if ctx.serve == ServeImpl::Misrouted {
+        cfg.misroute = streamed
+            .actions()
+            .iter()
+            .enumerate()
+            .find_map(|(v, a)| match a {
+                Action::Delegate(t) if *t != v => Some(v as u32),
+                _ => None,
+            });
+    }
+    let election = match Election::create(&cfg) {
+        Ok(e) => e,
+        Err(e) => return CheckOutcome::Fail(format!("service construction: {e}")),
+    };
+    for &u in &updates {
+        if let Err(e) = election.submit(u) {
+            return CheckOutcome::Fail(format!("service refused {u:?}: {e}"));
+        }
+    }
+    let snap = match election.flush() {
+        Ok(s) => s,
+        Err(e) => return CheckOutcome::Fail(format!("service flush errored: {e}")),
+    };
+    if snap.applied != updates.len() as u64 || snap.rejected != 0 {
+        return CheckOutcome::Fail(format!(
+            "service sequenced {} applied / {} rejected, the engine accepted all {}",
+            snap.applied,
+            snap.rejected,
+            updates.len()
+        ));
+    }
+    let want: Vec<u64> = streamed.weights().iter().map(|&w| w as u64).collect();
+    if snap.tally.weights != want {
+        return CheckOutcome::Fail(format!(
+            "merged shard weights {:?} differ from the single-engine weights {:?}",
+            snap.tally.weights, want
+        ));
+    }
+    if (
+        snap.tally.discarded,
+        snap.tally.tallied,
+        snap.tally.sink_count,
+    ) != (
+        streamed.discarded() as u64,
+        streamed.tallied() as u64,
+        streamed.sink_count() as u64,
+    ) {
+        return CheckOutcome::Fail(format!(
+            "merged aggregates (discarded {}, tallied {}, sinks {}) differ from the \
+             engine ({}, {}, {})",
+            snap.tally.discarded,
+            snap.tally.tallied,
+            snap.tally.sink_count,
+            streamed.discarded(),
+            streamed.tallied(),
+            streamed.sink_count()
+        ));
+    }
+    let p = streamed.decision_probability_normal(TieBreak::CoinFlip);
+    if (snap.tally.p_correct - p).abs() > EXACT_EPS {
+        return CheckOutcome::Fail(format!(
+            "published P[correct] {} differs from the engine's {p}",
+            snap.tally.p_correct
+        ));
+    }
+    if let Err(e) = election.shutdown() {
+        return CheckOutcome::Fail(format!("graceful shutdown failed: {e}"));
+    }
+    CheckOutcome::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1248,6 +1416,7 @@ mod tests {
             tally: TallyImpl::Real,
             csr: CsrImpl::Real,
             wal: WalImpl::Real,
+            serve: ServeImpl::Real,
         }
     }
 
@@ -1283,6 +1452,7 @@ mod tests {
             tally: TallyImpl::TieFlipped,
             csr: CsrImpl::Real,
             wal: WalImpl::Real,
+            serve: ServeImpl::Real,
         };
         let outcome = check_tally_oracle(&actions, &ps, &mutated);
         assert!(
@@ -1307,6 +1477,7 @@ mod tests {
             tally: TallyImpl::Real,
             csr: CsrImpl::OffsetSkewed,
             wal: WalImpl::Real,
+            serve: ServeImpl::Real,
         };
         let resolve = check_csr_resolve_oracle(&actions, &mutated);
         assert!(
@@ -1339,6 +1510,7 @@ mod tests {
             tally: TallyImpl::Real,
             csr: CsrImpl::Real,
             wal: WalImpl::CrcSkipped,
+            serve: ServeImpl::Real,
         };
         let outcome = check_wal_crash_oracle(&actions, &ps, 5, &mutated);
         assert!(
@@ -1347,6 +1519,31 @@ mod tests {
         );
         assert_eq!(
             check_wal_crash_oracle(&actions, &ps, 5, &ctx()),
+            CheckOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn shard_route_mutant_is_detected_on_a_delegation_chain() {
+        // Misrouting the delegator leaves its phantom self-vote alive on
+        // the canonical owner shard, so the merged weights must visibly
+        // diverge from the single-engine oracle while the correctly
+        // routed service passes.
+        let actions = vec![Action::Delegate(1), Action::Delegate(2), Action::Vote];
+        let ps = vec![0.3, 0.5, 0.7];
+        let mutated = CheckContext {
+            tally: TallyImpl::Real,
+            csr: CsrImpl::Real,
+            wal: WalImpl::Real,
+            serve: ServeImpl::Misrouted,
+        };
+        let outcome = check_serve_replay(&actions, &ps, 5, &mutated);
+        assert!(
+            matches!(outcome, CheckOutcome::Fail(_)),
+            "shard-route mutant not detected: {outcome:?}"
+        );
+        assert_eq!(
+            check_serve_replay(&actions, &ps, 5, &ctx()),
             CheckOutcome::Pass
         );
     }

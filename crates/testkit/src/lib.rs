@@ -37,7 +37,7 @@ pub mod oracle;
 pub mod report;
 pub mod shrink;
 
-use checks::{CheckContext, CheckId, CheckOutcome, CsrImpl, TallyImpl, WalImpl};
+use checks::{CheckContext, CheckId, CheckOutcome, CsrImpl, ServeImpl, TallyImpl, WalImpl};
 use gen::{default_grid, CellSpec};
 use report::{ConformanceReport, Mismatch, ShrunkInstance};
 
@@ -55,12 +55,21 @@ pub enum Mutation {
     /// log, so corrupted records decode "successfully" (caught by the
     /// `wal-crash-oracle` check).
     WalCrc,
+    /// Route one delegating voter to the wrong shard of the `ld-serve`
+    /// election, so the canonical owner never sees the delegation
+    /// (caught by the `serve-replay` check).
+    ShardRoute,
 }
 
 impl Mutation {
     /// Every known mutation.
-    pub fn all() -> [Mutation; 3] {
-        [Mutation::TieFlip, Mutation::CsrOffset, Mutation::WalCrc]
+    pub fn all() -> [Mutation; 4] {
+        [
+            Mutation::TieFlip,
+            Mutation::CsrOffset,
+            Mutation::WalCrc,
+            Mutation::ShardRoute,
+        ]
     }
 
     /// Stable identifier, as accepted by `--mutate`.
@@ -69,6 +78,7 @@ impl Mutation {
             Mutation::TieFlip => "tie-flip",
             Mutation::CsrOffset => "csr-offset",
             Mutation::WalCrc => "wal-crc",
+            Mutation::ShardRoute => "shard-route",
         }
     }
 
@@ -172,6 +182,10 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
         wal: match cfg.mutation {
             Some(Mutation::WalCrc) => WalImpl::CrcSkipped,
             _ => WalImpl::Real,
+        },
+        serve: match cfg.mutation {
+            Some(Mutation::ShardRoute) => ServeImpl::Misrouted,
+            _ => ServeImpl::Real,
         },
     };
     let grid = default_grid(cfg.quick);

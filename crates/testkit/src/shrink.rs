@@ -149,7 +149,7 @@ pub fn shrink_failure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checks::{CsrImpl, TallyImpl, WalImpl};
+    use crate::checks::{CsrImpl, ServeImpl, TallyImpl, WalImpl};
 
     #[test]
     fn remove_voter_remaps_targets() {
@@ -186,6 +186,7 @@ mod tests {
             tally: TallyImpl::TieFlipped,
             csr: CsrImpl::Real,
             wal: WalImpl::Real,
+            serve: ServeImpl::Real,
         };
         let shrunk = shrink_failure(CheckId::TallyOracle, &actions, &ps, 1, &ctx)
             .expect("failure should shrink");
@@ -199,6 +200,7 @@ mod tests {
             tally: TallyImpl::Real,
             csr: CsrImpl::Real,
             wal: WalImpl::Real,
+            serve: ServeImpl::Real,
         };
         assert!(shrink_failure(CheckId::TallyOracle, &[Action::Vote], &[0.5], 1, &ctx).is_none());
     }

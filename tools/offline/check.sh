@@ -24,8 +24,6 @@ SERDE_JSON_SKIPS=(
   --skip kill_and_resume_reproduces_the_uninterrupted_run_bit_identically
   --skip resume_also_skips_degraded_points_and_keeps_their_quarantine
   --skip checkpoint_roundtrip_resume_is_bit_identical
-  --skip all_experiments_run_in_quick_mode
-  --skip report::tests::report_serializes_and_reports_ok
 )
 
 echo "== offline: cargo check (workspace, all targets)"
@@ -36,8 +34,11 @@ cargo "${CFG[@]}" test --offline --workspace --release -q -- "${SERDE_JSON_SKIPS
 
 echo "== offline: CSR kernel + scheduler determinism suites (release)"
 cargo "${CFG[@]}" test --offline -p ld-core --release -q csr
-cargo "${CFG[@]}" test --offline -p ld-testkit --release -q -- --skip report::tests::report_serializes_and_reports_ok
+cargo "${CFG[@]}" test --offline -p ld-testkit --release -q
 cargo "${CFG[@]}" test --offline -p ld-sim --release -q --test scheduler_determinism
+
+echo "== offline: ld-serve service suites (sharded elections, identity, wire, release)"
+cargo "${CFG[@]}" test --offline -p ld-serve --release -q
 
 echo "== offline: ld-store durability suites (mmap + fs::read fallback, release)"
 cargo "${CFG[@]}" test --offline -p ld-store --release -q
