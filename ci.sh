@@ -40,6 +40,16 @@ if ./target/release/repro conformance --quick --no-corpus \
   exit 1
 fi
 
+echo "==> packed tally differential gate (packed fold vs scalar fold vs brute-force oracle)"
+./target/release/repro conformance --quick --only packed-tally-oracle
+
+echo "==> packed mutation smoke (injected packed-threshold skew MUST be detected)"
+if ./target/release/repro conformance --quick --no-corpus \
+    --mutate packed-threshold >/dev/null 2>&1; then
+  echo "ERROR: injected packed-threshold mutation was not detected — the packed oracle has no teeth" >&2
+  exit 1
+fi
+
 echo "==> WAL crash-recovery gate (crash-at-any-offset oracle + store conformance)"
 ./target/release/repro conformance --quick --only wal-crash-oracle
 ./target/release/repro conformance --quick --only store-crash-recovery

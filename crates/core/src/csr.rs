@@ -29,6 +29,14 @@
 //! the structure-of-arrays tally kernel: one branch-light pass over the
 //! offsets section folding a coin vector against the implied weights.
 //!
+//! For bit-packed coin vectors (64 voters per `u64` word, as drawn by
+//! `ld_prob::coins`), [`CsrForest::pack_sink_weights`] transposes the
+//! implied weight array into [`PackedSinkWeights`] bit-planes — plane `b`
+//! holds bit `b` of every sink's weight, voter `i` at bit `i % 64` of
+//! word `i / 64` — and [`CsrForest::fold_weighted_coins_packed`] reduces
+//! a whole word per plane with `popcount(coins & plane) << b`, summing
+//! 64 weighted coins per AND+POPCNT instead of one per multiply.
+//!
 //! The differential conformance suite (`ld-testkit`'s `csr-*-oracle`
 //! checks) pins this module against the naive recursive oracles on the
 //! full seeded grid; [`CsrForest::skew_offsets_for_tests`] exists so the
@@ -48,6 +56,65 @@ pub const DISCARDED: u32 = u32::MAX;
 /// Sentinel used only *during* a resolve: the voter has not been chased
 /// yet. Never visible after [`CsrForest::resolve`] returns.
 const UNRESOLVED: u32 = u32::MAX - 1;
+
+/// Bit-plane transpose of a resolution's sink-weight array, sized for
+/// 64-wide packed coin words: plane `b`, word `w` holds bit `b` of the
+/// weight of each sink `s` with `s / 64 == w`, at bit position `s % 64`.
+/// Non-sinks (weight 0) contribute zero bits to every plane, so a packed
+/// fold never needs a sink mask. Built by
+/// [`CsrForest::pack_sink_weights`]; one instance is reusable scratch
+/// across resolutions of any size (buffers only grow).
+#[derive(Debug, Default, Clone)]
+pub struct PackedSinkWeights {
+    /// Coin words the planes are sized for (`ceil(n / 64)`).
+    words: usize,
+    /// Plane-major bit matrix: `planes[b * words + w]`.
+    planes: Vec<u64>,
+}
+
+impl PackedSinkWeights {
+    /// Empty scratch; sized on first [`CsrForest::pack_sink_weights`].
+    pub fn new() -> Self {
+        PackedSinkWeights::default()
+    }
+
+    /// Coin words per plane (`ceil(n / 64)` of the packed resolution).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of bit-planes (`bit_length(max_weight)`; 0 when every vote
+    /// was discarded).
+    pub fn plane_count(&self) -> usize {
+        self.planes.len().checked_div(self.words).unwrap_or(0)
+    }
+
+    /// Folds packed coins against the planes: the total weight behind
+    /// `true` coins, `Σ_b popcount(coins[w] & plane_b[w]) << b`. Spare
+    /// tail bits in `coins` beyond the packed `n` are harmless — the
+    /// planes are zero there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coins` holds fewer than [`Self::words`] words.
+    pub fn fold(&self, coins: &[u64]) -> u64 {
+        assert!(
+            coins.len() >= self.words,
+            "coin vector holds {} words, planes need {}",
+            coins.len(),
+            self.words
+        );
+        let mut acc = 0u64;
+        for (b, plane) in self.planes.chunks_exact(self.words.max(1)).enumerate() {
+            let mut ones = 0u64;
+            for (&p, &c) in plane.iter().zip(coins.iter()) {
+                ones += u64::from((p & c).count_ones());
+            }
+            acc += ones << b;
+        }
+        acc
+    }
+}
 
 /// A resolved delegation forest in CSR form, plus the scratch buffers the
 /// resolve itself needs. One instance serves an unbounded stream of
@@ -506,6 +573,51 @@ impl CsrForest {
         acc
     }
 
+    /// Transposes the held resolution's sink weights into `out`'s
+    /// bit-planes for [`CsrForest::fold_weighted_coins_packed`]. Weights
+    /// are bounded by `n`, so the plane count is `bit_length(max_weight)`
+    /// — at most `ceil(log2(n + 1))` word-passes per fold. The pack is
+    /// per-resolution scratch: rebuild it after every [`Self::resolve`],
+    /// never inside the tally loop.
+    pub fn pack_sink_weights(&self, out: &mut PackedSinkWeights) {
+        let words = self.n.div_ceil(64);
+        let bits = usize::BITS as usize - self.max_weight.leading_zeros() as usize;
+        out.words = words;
+        out.planes.clear();
+        out.planes.resize(bits * words, 0);
+        let off = self.offsets();
+        for s in 0..self.n {
+            let w = u64::from(off[s + 1] - off[s]);
+            if w == 0 {
+                continue;
+            }
+            let lane = 1u64 << (s % 64);
+            for b in 0..bits {
+                if (w >> b) & 1 == 1 {
+                    out.planes[b * words + s / 64] |= lane;
+                }
+            }
+        }
+    }
+
+    /// The 64-wide tally kernel: folds a bit-packed coin vector (voter
+    /// `i` at bit `i % 64` of `coins[i / 64]`, per the `ld_prob::coins`
+    /// contract) against pre-transposed weight planes, returning the same
+    /// total as [`CsrForest::fold_weighted_coins`] on the expanded coins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` was packed for a different `n` than the held
+    /// resolution, or if `coins` is shorter than the packed word count.
+    pub fn fold_weighted_coins_packed(&self, weights: &PackedSinkWeights, coins: &[u64]) -> u64 {
+        assert_eq!(
+            weights.words,
+            self.n.div_ceil(64),
+            "weight planes packed for a different resolution size"
+        );
+        weights.fold(coins)
+    }
+
     /// Exact probability that the held resolution decides correctly on
     /// `instance` — the CSR analogue of
     /// [`crate::tally::exact_correct_probability`], reusing an internal
@@ -540,14 +652,23 @@ impl CsrForest {
         }
         let (arena, gini) = (&self.arena, &mut self.gini);
         let off = &arena[n..2 * n + 1];
+        // Zero weights contribute nothing to the rank sum (a `0.0` term
+        // leaves an f64 sum bit-identical), and sorted ascending they all
+        // precede the sinks — so only sink weights need sorting, with
+        // their ranks offset past the implicit zero block.
         gini.clear();
-        gini.extend((0..n).map(|s| (off[s + 1] - off[s]) as usize));
+        gini.extend(
+            (0..n)
+                .map(|s| (off[s + 1] - off[s]) as usize)
+                .filter(|&w| w > 0),
+        );
         gini.sort_unstable();
+        let rank_offset = n - gini.len();
         let weighted_rank_sum: f64 = self
             .gini
             .iter()
             .enumerate()
-            .map(|(idx, &w)| (idx as f64 + 1.0) * w as f64)
+            .map(|(idx, &w)| ((rank_offset + idx) as f64 + 1.0) * w as f64)
             .sum();
         let nf = n as f64;
         (2.0 * weighted_rank_sum / (nf * total as f64) - (nf + 1.0) / nf).max(0.0)
@@ -693,6 +814,93 @@ mod tests {
             .map(|s| u64::from(coins[s]))
             .sum();
         assert_eq!(forest.fold_weighted_coins(&coins), naive);
+    }
+
+    /// Packs a bool coin vector into the 64-wide word layout.
+    fn pack_coins(coins: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; coins.len().div_ceil(64)];
+        for (i, &c) in coins.iter().enumerate() {
+            words[i / 64] |= u64::from(c) << (i % 64);
+        }
+        words
+    }
+
+    #[test]
+    fn packed_fold_matches_scalar_fold_and_per_voter_walk() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(0xC01_F01D);
+        let mut forest = CsrForest::new();
+        let mut packed = PackedSinkWeights::new();
+        // Sizes straddle word boundaries: ragged tails, one exact word,
+        // and multi-word arenas.
+        for n in [1usize, 2, 63, 64, 65, 127, 130, 200] {
+            for _ in 0..8 {
+                let actions: Vec<Action> = (0..n)
+                    .map(|_| match rng.gen_range(0u8..10) {
+                        0 => Action::Abstain,
+                        1..=6 => Action::Delegate(rng.gen_range(0..n)),
+                        _ => Action::Vote,
+                    })
+                    .collect();
+                let dg = DelegationGraph::new(actions);
+                if forest.resolve(&dg).is_err() {
+                    continue; // cyclic draw; irrelevant here
+                }
+                forest.pack_sink_weights(&mut packed);
+                assert_eq!(packed.words(), n.div_ceil(64));
+                let coins: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+                let words = pack_coins(&coins);
+                let scalar = forest.fold_weighted_coins(&coins);
+                let fast = forest.fold_weighted_coins_packed(&packed, &words);
+                assert_eq!(fast, scalar, "n={n}");
+                let naive: u64 = (0..n)
+                    .filter_map(|i| forest.sink_of(i))
+                    .map(|s| u64::from(coins[s]))
+                    .sum();
+                assert_eq!(fast, naive, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_fold_ignores_dirty_tail_bits() {
+        let forest = resolved(vec![Action::Vote, Action::Delegate(0), Action::Vote]);
+        let mut packed = PackedSinkWeights::new();
+        forest.pack_sink_weights(&mut packed);
+        let clean = forest.fold_weighted_coins_packed(&packed, &[0b101]);
+        // Bits ≥ n never intersect a weight plane, whatever their value.
+        let dirty = forest.fold_weighted_coins_packed(&packed, &[0b101 | !0b111]);
+        assert_eq!(clean, dirty);
+        assert_eq!(clean, 3); // sink 0 carries 2, sink 2 carries 1
+    }
+
+    #[test]
+    fn packed_fold_on_empty_and_all_abstain_forests() {
+        let empty = resolved(vec![]);
+        let mut packed = PackedSinkWeights::new();
+        empty.pack_sink_weights(&mut packed);
+        assert_eq!(packed.words(), 0);
+        assert_eq!(packed.plane_count(), 0);
+        assert_eq!(empty.fold_weighted_coins_packed(&packed, &[]), 0);
+        let gone = resolved(vec![Action::Abstain; 70]);
+        gone.pack_sink_weights(&mut packed);
+        assert_eq!(packed.words(), 2);
+        assert_eq!(packed.plane_count(), 0);
+        assert_eq!(gone.fold_weighted_coins_packed(&packed, &[!0u64; 2]), 0);
+    }
+
+    #[test]
+    fn skewed_offsets_are_visible_through_the_packed_fold() {
+        let mut forest = resolved(vec![Action::Vote; 4]);
+        let mut packed = PackedSinkWeights::new();
+        forest.pack_sink_weights(&mut packed);
+        let honest = forest.fold_weighted_coins_packed(&packed, &[0b0101]);
+        forest.skew_offsets_for_tests();
+        forest.pack_sink_weights(&mut packed);
+        let skewed = forest.fold_weighted_coins_packed(&packed, &[0b0101]);
+        assert_ne!(honest, skewed, "the csr-offset mutation must be observable");
     }
 
     #[test]

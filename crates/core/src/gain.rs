@@ -5,11 +5,13 @@
 //! of the mechanism's randomness (and falls back to outcome sampling for
 //! weighted-majority graphs, which admit no exact DP).
 
+use crate::csr::{CsrForest, PackedSinkWeights};
 use crate::delegation::DelegationGraph;
 use crate::error::Result;
 use crate::instance::ProblemInstance;
 use crate::mechanisms::Mechanism;
 use crate::tally::{direct_probability, exact_correct_probability, sample_decision, TieBreak};
+use ld_prob::coins::PackedCompetence;
 use ld_prob::stats::Welford;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -237,7 +239,7 @@ pub fn accumulate_draw_csr(
     tie: TieBreak,
     rng: &mut dyn RngCore,
     est: &mut GainEstimate,
-    forest: &mut crate::csr::CsrForest,
+    forest: &mut CsrForest,
 ) -> Result<()> {
     if dg.is_single_target() {
         forest.resolve(dg)?;
@@ -253,6 +255,88 @@ pub fn accumulate_draw_csr(
     } else {
         accumulate_draw(instance, dg, tie, rng, est)
     }
+}
+
+/// Reusable per-worker scratch for [`accumulate_draw_packed`]: one
+/// bit-packed coin buffer plus the sink-weight bit-plane transpose. Both
+/// only ever grow, so one instance serves an unbounded trial stream
+/// without allocating after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct PackedTallyScratch {
+    coins: Vec<u64>,
+    weights: PackedSinkWeights,
+}
+
+impl PackedTallyScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        PackedTallyScratch::default()
+    }
+}
+
+/// The 64-wide sampled variant of [`accumulate_draw_csr`]: instead of
+/// the exact weighted Poisson-binomial tally per draw, it estimates the
+/// conditional correctness probability with `samples` bit-packed coin
+/// vectors drawn from `competence` (built once per run from the
+/// instance's profile) and folded against the resolution's weight
+/// planes. `p̂ = (wins + tie_credit · ties) / samples`, where a win is
+/// `2·weight(true) > tallied` and a tie is equality — the same majority
+/// rule the exact kernel integrates.
+///
+/// The structural statistics (delegators, sinks, max weight, chain,
+/// abstentions, Gini) are identical to the exact path; only the
+/// correctness probability is sampled, adding `O(1/√samples)` noise *on
+/// top of* the Monte Carlo noise over mechanism draws. All randomness
+/// comes from `rng` — with the engine's per-trial streams the result is
+/// deterministic for a fixed `(seed, trial, samples)` triple regardless
+/// of scheduling.
+///
+/// Weighted-majority graphs fall back to [`accumulate_draw`], exactly as
+/// the CSR path does.
+///
+/// # Errors
+///
+/// Propagates resolution errors.
+#[allow(clippy::too_many_arguments)]
+pub fn accumulate_draw_packed(
+    instance: &ProblemInstance,
+    dg: &DelegationGraph,
+    tie: TieBreak,
+    rng: &mut dyn RngCore,
+    est: &mut GainEstimate,
+    forest: &mut CsrForest,
+    competence: &PackedCompetence,
+    scratch: &mut PackedTallyScratch,
+    samples: u32,
+) -> Result<()> {
+    debug_assert_eq!(
+        competence.n(),
+        instance.n(),
+        "packed competence built for a different instance"
+    );
+    if !dg.is_single_target() {
+        return accumulate_draw(instance, dg, tie, rng, est);
+    }
+    forest.resolve(dg)?;
+    forest.pack_sink_weights(&mut scratch.weights);
+    let total = forest.tallied() as u64;
+    let samples = samples.max(1);
+    let (mut wins, mut ties) = (0u64, 0u64);
+    for _ in 0..samples {
+        competence.draw_packed(rng, &mut scratch.coins);
+        let w = forest.fold_weighted_coins_packed(&scratch.weights, &scratch.coins);
+        wins += u64::from(2 * w > total);
+        ties += u64::from(2 * w == total);
+    }
+    let p = (wins as f64 + tie.credit() * ties as f64) / f64::from(samples);
+    est.p_mechanism.push(p);
+    est.delegators.push(forest.delegators() as f64);
+    est.sinks.push(forest.sink_count() as f64);
+    est.max_weight.push(forest.max_weight() as f64);
+    est.longest_chain.push(forest.longest_chain() as f64);
+    est.abstained.push(forest.discarded() as f64);
+    est.weight_gini.push(forest.weight_gini());
+    Ok(())
 }
 
 /// Builds an empty [`GainEstimate`] for the given instance (used by the
@@ -375,6 +459,71 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.trials(), 50);
         assert!((0.0..=1.0).contains(&a.p_mechanism()));
+    }
+
+    #[test]
+    fn packed_accumulate_matches_exact_within_sampling_noise() {
+        let inst = complete_instance(48, 0.35, 0.65);
+        let mech = ApprovalThreshold::new(2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let dg = mech.run(&inst, &mut rng);
+        let tie = TieBreak::Incorrect;
+        let mut forest = CsrForest::new();
+        let mut exact = empty_estimate(&inst, tie).unwrap();
+        accumulate_draw_csr(&inst, &dg, tie, &mut rng, &mut exact, &mut forest).unwrap();
+        let competence = PackedCompetence::new(inst.profile().as_slice()).unwrap();
+        let mut scratch = PackedTallyScratch::new();
+        let mut sampled = empty_estimate(&inst, tie).unwrap();
+        accumulate_draw_packed(
+            &inst,
+            &dg,
+            tie,
+            &mut rng,
+            &mut sampled,
+            &mut forest,
+            &competence,
+            &mut scratch,
+            4096,
+        )
+        .unwrap();
+        assert!(
+            (exact.p_mechanism() - sampled.p_mechanism()).abs() < 0.05,
+            "exact {} vs sampled {}",
+            exact.p_mechanism(),
+            sampled.p_mechanism()
+        );
+        // Structural statistics bypass the sampler entirely.
+        assert_eq!(exact.mean_delegators(), sampled.mean_delegators());
+        assert_eq!(exact.mean_sinks(), sampled.mean_sinks());
+        assert_eq!(exact.mean_max_weight(), sampled.mean_max_weight());
+        assert_eq!(exact.mean_weight_gini(), sampled.mean_weight_gini());
+    }
+
+    #[test]
+    fn packed_accumulate_is_exact_on_degenerate_profiles() {
+        // Every voter has competence 1: each packed sample is a certain
+        // win, so the sampled probability is exactly 1 with no noise.
+        let inst = complete_instance(20, 1.0, 1.0);
+        let mech = ApprovalThreshold::new(1);
+        let mut rng = StdRng::seed_from_u64(12);
+        let dg = mech.run(&inst, &mut rng);
+        let competence = PackedCompetence::new(inst.profile().as_slice()).unwrap();
+        let mut forest = CsrForest::new();
+        let mut scratch = PackedTallyScratch::new();
+        let mut est = empty_estimate(&inst, TieBreak::Incorrect).unwrap();
+        accumulate_draw_packed(
+            &inst,
+            &dg,
+            TieBreak::Incorrect,
+            &mut rng,
+            &mut est,
+            &mut forest,
+            &competence,
+            &mut scratch,
+            8,
+        )
+        .unwrap();
+        assert_eq!(est.p_mechanism(), 1.0);
     }
 
     #[test]

@@ -107,6 +107,38 @@ impl ProblemInstance {
         self.graph.has_edge(i, j) && self.profile.get(i) + self.alpha <= self.profile.get(j)
     }
 
+    /// The approval set `J(i)` as a borrowed slice of the adjacency
+    /// arena, in increasing index order.
+    ///
+    /// Voters are indexed by nondecreasing competency (a
+    /// [`CompetencyProfile`] invariant) and adjacency lists are sorted (a
+    /// [`Graph`] invariant), so `p_j` is nondecreasing along
+    /// `neighbor_slice(i)` and the approved neighbours — those with
+    /// `p_i + α ≤ p_j` — form exactly a suffix of it. A binary search
+    /// finds the cut in `O(log deg)` with no allocation, which is what
+    /// makes per-trial mechanism runs cheap on dense graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    pub fn approval_suffix(&self, i: usize) -> &[usize] {
+        let threshold = self.profile.get(i) + self.alpha;
+        let neighbors = self.graph.neighbor_slice(i);
+        let cut = if neighbors.len() + 1 == self.n() {
+            // Full row: the neighbours are every other voter in index
+            // order, so the cut can be found in the contiguous profile
+            // array (one cache-resident binary search) instead of probing
+            // profile values through the adjacency arena. Row position =
+            // voters below the cut, minus the self slot when it precedes
+            // the cut.
+            let v_cut = self.profile.as_slice().partition_point(|&p| p < threshold);
+            v_cut - usize::from(v_cut > i)
+        } else {
+            neighbors.partition_point(|&j| self.profile.get(j) < threshold)
+        };
+        &neighbors[cut..]
+    }
+
     /// The approval set `J(i)`: the approved neighbours of voter `i`, in
     /// increasing index order.
     ///
@@ -114,30 +146,21 @@ impl ProblemInstance {
     ///
     /// Panics if `i >= self.n()`.
     pub fn approval_set(&self, i: usize) -> Vec<usize> {
-        let pi = self.profile.get(i);
-        self.graph
-            .neighbors(i)
-            .filter(|&j| pi + self.alpha <= self.profile.get(j))
-            .collect()
+        self.approval_suffix(i).to_vec()
     }
 
     /// Fills `buf` with the approval set `J(i)`, reusing its allocation.
     ///
-    /// Mechanisms call this once per voter per draw; on dense graphs the
-    /// allocation in [`ProblemInstance::approval_set`] dominates the run
-    /// cost, so the hot paths use this variant.
+    /// Prefer [`ProblemInstance::approval_suffix`] where a borrow
+    /// suffices; this variant exists for callers that need an owned,
+    /// mutable set.
     ///
     /// # Panics
     ///
     /// Panics if `i >= self.n()`.
     pub fn approval_set_into(&self, i: usize, buf: &mut Vec<usize>) {
         buf.clear();
-        let pi = self.profile.get(i);
-        buf.extend(
-            self.graph
-                .neighbors(i)
-                .filter(|&j| pi + self.alpha <= self.profile.get(j)),
-        );
+        buf.extend_from_slice(self.approval_suffix(i));
     }
 
     /// Size of the approval set `|J(i)|` without materializing it.
@@ -146,11 +169,7 @@ impl ProblemInstance {
     ///
     /// Panics if `i >= self.n()`.
     pub fn approval_count(&self, i: usize) -> usize {
-        let pi = self.profile.get(i);
-        self.graph
-            .neighbors(i)
-            .filter(|&j| pi + self.alpha <= self.profile.get(j))
-            .count()
+        self.approval_suffix(i).len()
     }
 
     /// The exact probability that **direct voting** decides correctly on
@@ -213,6 +232,43 @@ mod tests {
         let inst = ProblemInstance::new(graph, profile, 0.1).unwrap();
         assert!(inst.approves(0, 1));
         assert!(!inst.approves(1, 0));
+    }
+
+    #[test]
+    fn approval_suffix_matches_filter_scan_on_random_instances() {
+        // The binary-searched suffix must equal the naive adjacency scan
+        // element for element — same contents, same order — on every
+        // voter of a mix of topologies, including ties at the margin.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11CE);
+        for trial in 0..40 {
+            let n = 2 + (trial % 13);
+            let graph = if trial % 3 == 0 {
+                generators::complete(n)
+            } else if trial % 3 == 1 {
+                generators::cycle(n)
+            } else {
+                generators::erdos_renyi_gnp(n, 0.4, &mut rng).unwrap()
+            };
+            let mut ps: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..0.9)).collect();
+            // Inject exact-margin ties: p_j == p_i + alpha for some pairs.
+            let alpha = 0.05;
+            if n > 2 {
+                ps[n - 1] = ps[0] + alpha;
+            }
+            ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let profile = CompetencyProfile::new(ps).unwrap();
+            let inst = ProblemInstance::new(graph, profile, alpha).unwrap();
+            for i in 0..n {
+                let pi = inst.competency(i);
+                let naive: Vec<usize> = inst
+                    .graph()
+                    .neighbors(i)
+                    .filter(|&j| pi + alpha <= inst.competency(j))
+                    .collect();
+                assert_eq!(inst.approval_suffix(i), naive.as_slice(), "voter {i}");
+            }
+        }
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl ApprovalThreshold {
 
 impl Mechanism for ApprovalThreshold {
     fn act(&self, instance: &ProblemInstance, voter: usize, rng: &mut dyn RngCore) -> Action {
-        self.decide(instance, voter, &instance.approval_set(voter), rng)
+        self.decide(instance, voter, instance.approval_suffix(voter), rng)
     }
 
     fn run(
@@ -132,14 +132,11 @@ impl Mechanism for ApprovalThreshold {
         instance: &ProblemInstance,
         rng: &mut dyn RngCore,
     ) -> crate::delegation::DelegationGraph {
-        // Identical decisions to the default per-voter loop, but with one
-        // reused approval-set buffer (the allocation dominates on K_n).
-        let mut buf = Vec::new();
+        // Identical decisions to the default per-voter loop; the approval
+        // suffix is a borrow of the adjacency arena, so the whole run is
+        // allocation-free apart from the output vector.
         (0..instance.n())
-            .map(|v| {
-                instance.approval_set_into(v, &mut buf);
-                self.decide(instance, v, &buf, rng)
-            })
+            .map(|v| self.decide(instance, v, instance.approval_suffix(v), rng))
             .collect()
     }
 

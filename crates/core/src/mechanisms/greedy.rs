@@ -29,7 +29,7 @@ impl Mechanism for GreedyMax {
     fn act(&self, instance: &ProblemInstance, voter: usize, _rng: &mut dyn RngCore) -> Action {
         // Voters are sorted by competency, so the approved neighbour with
         // the largest index is the most competent.
-        match instance.approval_set(voter).last() {
+        match instance.approval_suffix(voter).last() {
             Some(&target) => Action::Delegate(target),
             None => Action::Vote,
         }

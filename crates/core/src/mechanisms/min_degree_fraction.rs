@@ -66,10 +66,10 @@ impl Mechanism for MinDegreeFraction {
         if degree == 0 {
             return Action::Vote;
         }
-        let approved = instance.approval_set(voter);
+        let approved = instance.approval_suffix(voter);
         let needed = (self.fraction * degree as f64).ceil().max(1.0) as usize;
         if approved.len() >= needed {
-            match choose_uniform(&approved, rng) {
+            match choose_uniform(approved, rng) {
                 Some(target) => Action::Delegate(target),
                 None => Action::Vote,
             }

@@ -66,8 +66,8 @@ impl Mechanism for ProbabilisticDelegation {
         if self.q == 0.0 || !rng.gen_bool(self.q) {
             return Action::Vote;
         }
-        let approved = instance.approval_set(voter);
-        match choose_uniform(&approved, rng) {
+        let approved = instance.approval_suffix(voter);
+        match choose_uniform(approved, rng) {
             Some(target) => Action::Delegate(target),
             None => Action::Vote,
         }

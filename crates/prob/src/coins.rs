@@ -1,0 +1,460 @@
+//! Bit-packed Bernoulli coin kernels: 64 voters per `u64` word.
+//!
+//! The Monte-Carlo gain estimator flips one competence coin per voter per
+//! trial. Drawn scalar-wise that is one RNG call and one branch per
+//! voter; packed, a whole 64-lane word of coins costs a handful of RNG
+//! words. This module defines the **packed coin contract** — the exact
+//! mapping from an RNG word stream to coin bits — and provides two
+//! independent implementations of it:
+//!
+//! * [`PackedCompetence::draw_packed`] — the fast path: per-lane
+//!   thresholds pre-transposed into 32 bit-planes, compared against RNG
+//!   words most-significant-plane first with an undecided mask and early
+//!   exit (a 64-lane word is fully decided after ~`log2(64) + 2` planes
+//!   in expectation), plus a batched geometric-skip path for words whose
+//!   lanes share one small probability.
+//! * [`draw_scalar_coins`] — the oracle: a scalar per-lane walk over the
+//!   same word stream, kept deliberately naive so the packed kernel can
+//!   be re-pinned against it bit for bit (see the `packed-tally-oracle`
+//!   conformance check and the `packed_coins` proptest suite).
+//!
+//! ## The contract
+//!
+//! Voter `i` maps to bit `i % 64` of word `i / 64`; a final *ragged tail
+//! word* carries `n % 64` valid lanes and its spare high bits are always
+//! zero. Each lane's probability is quantized to `q = round(p · 2³²)`
+//! and the coin is `1` iff `U < q` for a 32-bit uniform `U` (so `p = 0`
+//! and `p = 1` are exact). Words are processed in increasing order and
+//! each consumes RNG words as follows:
+//!
+//! 1. **Pre-decided** (every valid lane has `q ∈ {0, 2³²}`): zero RNG
+//!    words.
+//! 2. **Geometric skip** (every valid lane shares one `q` with
+//!    `0 < q ≤` [`GEO_MAX_Q`]): one RNG word per *success plus one*,
+//!    jumping `⌊ln u / ln(1 − q·2⁻³²)⌋` lanes between set bits.
+//! 3. **Threshold planes** (otherwise): one RNG word per plane,
+//!    most-significant first, stopping after the plane that decides the
+//!    last undecided lane (at most 32). Bit `i` of the plane-`j` RNG
+//!    word is bit `31 − j` of lane `i`'s uniform `U`; a lane still
+//!    undecided after all 32 planes has `U = q` and the coin is `0`.
+//!
+//! Seeding is unchanged from the scalar engine: trial `t` draws from
+//! `stream_rng(seed, t)`, so packed results are reproducible across any
+//! worker count and chunk schedule.
+
+use crate::error::{check_probability, Result};
+use rand::RngCore;
+
+/// Number of threshold bit-planes: coin probabilities are quantized to
+/// 32 bits (`q = round(p · 2³²)`).
+pub const PLANES: usize = 32;
+
+/// Largest shared quantized probability routed to the geometric-skip
+/// path: `2²⁸`, i.e. `p ≤ 1/16`. Above this, expected successes per word
+/// make plane comparison cheaper than per-success jumps.
+pub const GEO_MAX_Q: u64 = 1 << 28;
+
+const Q_ONE: u64 = 1 << 32;
+
+/// Quantizes a probability to the 32-bit threshold used by both the
+/// packed kernel and the scalar oracle: `q = round(p · 2³²)`, clamped to
+/// `[0, 2³²]`. This rounding is part of the coin contract.
+pub fn quantize(p: f64) -> u64 {
+    ((p * Q_ONE as f64).round() as u64).min(Q_ONE)
+}
+
+/// Converts an RNG word to the uniform `u ∈ (0, 1]` used by the
+/// geometric-skip jump. Part of the coin contract: the top 53 bits form
+/// the mantissa and the `+1` excludes zero so `ln u` is finite.
+fn geo_uniform(r: u64) -> f64 {
+    ((r >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// How one 64-lane word of the competence vector is drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WordKind {
+    /// Every valid lane is `p ∈ {0, 1}`: no RNG words consumed.
+    PreDecided,
+    /// All valid lanes share one small `q`: per-success geometric jumps.
+    Geometric {
+        /// The shared quantized probability.
+        q: u64,
+        /// Number of valid lanes (the tail word has fewer than 64).
+        lanes: u32,
+    },
+    /// General case: most-significant-first bit-plane thresholding.
+    Planes,
+}
+
+/// A competency profile transposed into packed per-word coin layouts,
+/// built once per instance and reused across every trial and sample.
+#[derive(Debug, Clone)]
+pub struct PackedCompetence {
+    n: usize,
+    /// Lanes whose coin is always 1 (`q = 2³²`), per word.
+    ones: Vec<u64>,
+    /// Lanes decided by threshold comparison (`0 < q < 2³²`), per word.
+    active: Vec<u64>,
+    /// Word-major threshold planes: `planes[w * 32 + j]` holds bit
+    /// `31 − j` of each active lane's quantizer.
+    planes: Vec<u64>,
+    kinds: Vec<WordKind>,
+    /// Test-only mutation hook: start the plane comparison at plane 1,
+    /// skipping the most-significant plane (an off-by-one in the
+    /// threshold comparison the conformance suite must catch).
+    skew: bool,
+}
+
+impl PackedCompetence {
+    /// Packs a competency vector. Probabilities must be finite and in
+    /// `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ProbError::InvalidProbability`] on any out-of-range
+    /// entry.
+    pub fn new(ps: &[f64]) -> Result<Self> {
+        for &p in ps {
+            check_probability(p, "packed competence")?;
+        }
+        let n = ps.len();
+        let words = n.div_ceil(64);
+        let mut ones = vec![0u64; words];
+        let mut active = vec![0u64; words];
+        let mut planes = vec![0u64; words * PLANES];
+        let mut kinds = Vec::with_capacity(words);
+        for w in 0..words {
+            let base = w * 64;
+            let lanes = (n - base).min(64);
+            let qs: Vec<u64> = (0..lanes).map(|l| quantize(ps[base + l])).collect();
+            for (l, &q) in qs.iter().enumerate() {
+                if q == Q_ONE {
+                    ones[w] |= 1u64 << l;
+                } else if q > 0 {
+                    active[w] |= 1u64 << l;
+                    for j in 0..PLANES {
+                        planes[w * PLANES + j] |= ((q >> (31 - j)) & 1) << l;
+                    }
+                }
+            }
+            let kind = if active[w] == 0 {
+                WordKind::PreDecided
+            } else if qs.iter().all(|&q| q == qs[0]) && qs[0] <= GEO_MAX_Q {
+                // All valid lanes share one small q (so none is a
+                // pre-decided 0/1 lane and the active mask is the full
+                // valid-lane prefix).
+                WordKind::Geometric {
+                    q: qs[0],
+                    lanes: lanes as u32,
+                }
+            } else {
+                WordKind::Planes
+            };
+            kinds.push(kind);
+        }
+        Ok(PackedCompetence {
+            n,
+            ones,
+            active,
+            planes,
+            kinds,
+            skew: false,
+        })
+    }
+
+    /// Number of voters (valid lanes).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of 64-lane words, including the ragged tail word.
+    pub fn words(&self) -> usize {
+        self.ones.len()
+    }
+
+    /// Arms the `packed-threshold` mutation: the plane comparison starts
+    /// at plane 1 instead of plane 0, dropping the most-significant
+    /// threshold bit. Deliberately wrong — exists so the conformance
+    /// suite can prove the scalar-oracle identity check has teeth.
+    pub fn skew_threshold_for_tests(&mut self) {
+        self.skew = true;
+    }
+
+    /// Draws one packed competence vector: bit `i % 64` of
+    /// `out[i / 64]` is voter `i`'s coin. Tail bits above `n` are zero.
+    /// `out` is resized to [`PackedCompetence::words`].
+    pub fn draw_packed(&self, rng: &mut dyn RngCore, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.words(), 0);
+        let start = usize::from(self.skew);
+        for (w, kind) in self.kinds.iter().enumerate() {
+            out[w] = match *kind {
+                WordKind::PreDecided => self.ones[w],
+                WordKind::Geometric { q, lanes } => draw_geometric_word(q, lanes, rng),
+                WordKind::Planes => {
+                    let mut x = self.ones[w];
+                    let mut m = self.active[w];
+                    let base = w * PLANES;
+                    for j in start..PLANES {
+                        let r = rng.next_u64();
+                        let b = self.planes[base + j];
+                        // Lane decided 1 where the quantizer bit exceeds
+                        // the uniform bit; decided either way wherever
+                        // the bits differ.
+                        x |= m & b & !r;
+                        m &= !(b ^ r);
+                        if m == 0 {
+                            break;
+                        }
+                    }
+                    // Survivors have U = q: strictly-less fails, coin 0.
+                    x
+                }
+            };
+        }
+    }
+}
+
+/// Draws one geometric-skip word: each of the `lanes` low bits is an
+/// independent Bernoulli(`q · 2⁻³²`), materialized success-by-success.
+fn draw_geometric_word(q: u64, lanes: u32, rng: &mut dyn RngCore) -> u64 {
+    let p = q as f64 / Q_ONE as f64;
+    let ln_fail = (1.0 - p).ln();
+    let mut x = 0u64;
+    let mut idx = 0u64;
+    loop {
+        let u = geo_uniform(rng.next_u64());
+        // Failures before the next success; saturate on tiny u / tiny p.
+        let jump = (u.ln() / ln_fail).floor();
+        idx = if jump >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            idx.saturating_add(jump as u64)
+        };
+        if idx >= u64::from(lanes) {
+            return x;
+        }
+        x |= 1u64 << idx;
+        idx += 1;
+    }
+}
+
+/// The scalar oracle: draws the same coins as
+/// [`PackedCompetence::draw_packed`] from the same RNG stream, one lane
+/// at a time, sharing nothing with the packed kernel but the contract
+/// constants. `out` is resized to `ps.len()`.
+///
+/// # Errors
+///
+/// [`crate::ProbError::InvalidProbability`] on any out-of-range entry.
+pub fn draw_scalar_coins(ps: &[f64], rng: &mut dyn RngCore, out: &mut Vec<bool>) -> Result<()> {
+    for &p in ps {
+        check_probability(p, "scalar coin oracle")?;
+    }
+    let n = ps.len();
+    out.clear();
+    out.resize(n, false);
+    let mut w = 0usize;
+    while w * 64 < n {
+        let base = w * 64;
+        let lanes = (n - base).min(64);
+        let qs: Vec<u64> = (0..lanes).map(|l| quantize(ps[base + l])).collect();
+        let any_active = qs.iter().any(|&q| q > 0 && q < Q_ONE);
+        if !any_active {
+            for (l, &q) in qs.iter().enumerate() {
+                out[base + l] = q == Q_ONE;
+            }
+        } else if qs.iter().all(|&q| q == qs[0]) && qs[0] <= GEO_MAX_Q {
+            // Geometric path: walk successes exactly as the packed
+            // kernel does, lane indices instead of bit positions.
+            let p = qs[0] as f64 / Q_ONE as f64;
+            let ln_fail = (1.0 - p).ln();
+            let mut idx = 0u64;
+            loop {
+                let u = geo_uniform(rng.next_u64());
+                let jump = (u.ln() / ln_fail).floor();
+                idx = if jump >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    idx.saturating_add(jump as u64)
+                };
+                if idx >= lanes as u64 {
+                    break;
+                }
+                out[base + idx as usize] = true;
+                idx += 1;
+            }
+        } else {
+            // Plane path: assemble each lane's uniform bit by bit,
+            // most-significant first, until it differs from the
+            // quantizer or the planes run out.
+            let mut decided = vec![false; lanes];
+            for (l, &q) in qs.iter().enumerate() {
+                if q == 0 || q == Q_ONE {
+                    decided[l] = true;
+                    out[base + l] = q == Q_ONE;
+                }
+            }
+            for j in 0..PLANES {
+                if decided.iter().all(|&d| d) {
+                    break;
+                }
+                let r = rng.next_u64();
+                for (l, &q) in qs.iter().enumerate() {
+                    if decided[l] {
+                        continue;
+                    }
+                    let q_bit = (q >> (31 - j)) & 1;
+                    let u_bit = (r >> l) & 1;
+                    if u_bit != q_bit {
+                        // u_bit < q_bit means U < q at the first
+                        // differing (most significant) bit: coin is 1.
+                        out[base + l] = u_bit < q_bit;
+                        decided[l] = true;
+                    }
+                }
+            }
+            // Undecided lanes have U = q: the strict comparison fails.
+        }
+        w += 1;
+    }
+    Ok(())
+}
+
+/// Reads voter `i`'s coin out of a packed word vector.
+pub fn packed_bit(coins: &[u64], i: usize) -> bool {
+    (coins[i / 64] >> (i % 64)) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+    use rand::Rng;
+
+    fn packed_vs_scalar(ps: &[f64], seed: u64) {
+        let packed = PackedCompetence::new(ps).unwrap();
+        for t in 0..6u64 {
+            let mut rng_a = stream_rng(seed, t);
+            let mut rng_b = stream_rng(seed, t);
+            let mut words = Vec::new();
+            let mut bools = Vec::new();
+            packed.draw_packed(&mut rng_a, &mut words);
+            draw_scalar_coins(ps, &mut rng_b, &mut bools).unwrap();
+            for (i, &b) in bools.iter().enumerate() {
+                assert_eq!(packed_bit(&words, i), b, "voter {i}, trial {t}");
+            }
+            for i in ps.len()..words.len() * 64 {
+                assert!(!packed_bit(&words, i), "tail bit {i} set");
+            }
+            // Both paths must consume the same number of RNG words.
+            assert_eq!(
+                rng_a.next_u64(),
+                rng_b.next_u64(),
+                "stream desync, trial {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_pins_the_endpoints() {
+        assert_eq!(quantize(0.0), 0);
+        assert_eq!(quantize(1.0), Q_ONE);
+        assert_eq!(quantize(0.5), 1 << 31);
+        assert!(quantize(0.3) > 0 && quantize(0.3) < Q_ONE);
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_mixed_profiles() {
+        let mut rng = stream_rng(0xC015, 0);
+        for n in [1usize, 7, 63, 64, 65, 128, 130, 257] {
+            let ps: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..=1.0)).collect();
+            packed_vs_scalar(&ps, 0xFEED ^ n as u64);
+        }
+    }
+
+    #[test]
+    fn packed_matches_scalar_with_exact_zero_one_lanes() {
+        let mut ps = vec![0.5; 100];
+        for i in (0..100).step_by(3) {
+            ps[i] = if i % 2 == 0 { 1.0 } else { 0.0 };
+        }
+        packed_vs_scalar(&ps, 42);
+    }
+
+    #[test]
+    fn pre_decided_words_consume_no_entropy() {
+        let ps = [1.0, 0.0, 1.0, 1.0, 0.0];
+        let packed = PackedCompetence::new(&ps).unwrap();
+        let mut rng_a = stream_rng(9, 0);
+        let mut rng_b = stream_rng(9, 0);
+        let mut words = Vec::new();
+        packed.draw_packed(&mut rng_a, &mut words);
+        assert_eq!(words, vec![0b01101]);
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "consumed entropy");
+    }
+
+    #[test]
+    fn geometric_path_is_taken_and_matches_scalar() {
+        // Uniform small p routes every word through the skip path.
+        let ps = vec![0.01; 150];
+        let packed = PackedCompetence::new(&ps).unwrap();
+        assert!(packed
+            .kinds
+            .iter()
+            .all(|k| matches!(k, WordKind::Geometric { .. })));
+        packed_vs_scalar(&ps, 7);
+        // Mixed q (one lane differs) falls back to planes.
+        let mut mixed = vec![0.01; 70];
+        mixed[3] = 0.02;
+        let packed = PackedCompetence::new(&mixed).unwrap();
+        assert_eq!(packed.kinds[0], WordKind::Planes);
+        packed_vs_scalar(&mixed, 8);
+    }
+
+    #[test]
+    fn coin_frequencies_track_probabilities() {
+        let ps = [0.05, 0.3, 0.5, 0.8, 0.97];
+        let packed = PackedCompetence::new(&ps).unwrap();
+        let mut rng = stream_rng(1234, 0);
+        let mut counts = [0u32; 5];
+        let mut words = Vec::new();
+        let draws = 20_000;
+        for _ in 0..draws {
+            packed.draw_packed(&mut rng, &mut words);
+            for (i, c) in counts.iter_mut().enumerate() {
+                *c += u32::from(packed_bit(&words, i));
+            }
+        }
+        for (i, &p) in ps.iter().enumerate() {
+            let freq = f64::from(counts[i]) / f64::from(draws);
+            assert!((freq - p).abs() < 0.02, "voter {i}: freq {freq} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn skewed_threshold_diverges_from_the_oracle() {
+        let ps = vec![0.5; 64];
+        let mut packed = PackedCompetence::new(&ps).unwrap();
+        packed.skew_threshold_for_tests();
+        let mut rng_a = stream_rng(3, 0);
+        let mut rng_b = stream_rng(3, 0);
+        let mut words = Vec::new();
+        let mut bools = Vec::new();
+        packed.draw_packed(&mut rng_a, &mut words);
+        draw_scalar_coins(&ps, &mut rng_b, &mut bools).unwrap();
+        let mismatches = (0..64)
+            .filter(|&i| packed_bit(&words, i) != bools[i])
+            .count();
+        assert!(mismatches > 0, "the skew mutation must be observable");
+    }
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        assert!(PackedCompetence::new(&[0.5, 1.2]).is_err());
+        assert!(PackedCompetence::new(&[f64::NAN]).is_err());
+        let mut out = Vec::new();
+        let mut rng = stream_rng(1, 0);
+        assert!(draw_scalar_coins(&[-0.1], &mut rng, &mut out).is_err());
+    }
+}

@@ -24,6 +24,9 @@
 //!   convergence rates from finite-size sweeps.
 //! * [`rng`] — deterministic seed-splitting so that parallel Monte Carlo
 //!   runs are exactly reproducible.
+//! * [`coins`] — bit-packed Bernoulli coin kernels (64 voters per `u64`
+//!   word, bit-plane thresholding with geometric skips for skewed `p`)
+//!   plus the scalar oracle they are pinned against.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@
 mod error;
 
 pub mod bounds;
+pub mod coins;
 pub mod normal;
 pub mod poisson_binomial;
 pub mod recycle;

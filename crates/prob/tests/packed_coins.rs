@@ -1,0 +1,103 @@
+//! Property pin for the packed coin contract: for arbitrary seeds and
+//! p-vectors — sizes up to 4096, deliberately including ragged tails
+//! where `n % 64 != 0` — the packed kernel's words, expanded bit by bit,
+//! equal the scalar oracle's per-trial `stream_rng(seed, t)` draws, the
+//! tail word's spare bits stay zero, and both implementations consume
+//! the same number of RNG words (checked with a sentinel draw).
+
+use ld_prob::coins::{draw_scalar_coins, packed_bit, PackedCompetence};
+use ld_prob::rng::stream_rng;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A competency vector mixing smooth values with exact 0/1 lanes and
+/// repeated small probabilities (exercising the pre-decided, geometric,
+/// and bit-plane word kinds in one draw).
+fn mixed_ps(n: usize, mix_seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(mix_seed);
+    (0..n)
+        .map(|_| match rng.gen_range(0u8..8) {
+            0 => 0.0,
+            1 => 1.0,
+            2 => 0.01,
+            _ => rng.gen_range(0.0f64..=1.0),
+        })
+        .collect()
+}
+
+/// Nudge `n` off multiples of 64 so the ragged tail word is the common
+/// case, per the contract's tail-handling pin.
+fn ragged(n: usize) -> usize {
+    if n.is_multiple_of(64) {
+        n - 1
+    } else {
+        n
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_words_equal_scalar_draws_bit_for_bit(
+        n in 1usize..=4096,
+        mix_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ps = mixed_ps(ragged(n), mix_seed);
+        let packed = PackedCompetence::new(&ps).expect("valid probabilities");
+        prop_assert_eq!(packed.n(), ps.len());
+        prop_assert_eq!(packed.words(), ps.len().div_ceil(64));
+        let mut words = Vec::new();
+        let mut bools = Vec::new();
+        for t in 0..3u64 {
+            let mut packed_rng = stream_rng(seed, t);
+            let mut scalar_rng = stream_rng(seed, t);
+            packed.draw_packed(&mut packed_rng, &mut words);
+            draw_scalar_coins(&ps, &mut scalar_rng, &mut bools).expect("valid probabilities");
+            for (i, &coin) in bools.iter().enumerate() {
+                prop_assert_eq!(
+                    packed_bit(&words, i),
+                    coin,
+                    "voter {} of {}, trial {}",
+                    i,
+                    ps.len(),
+                    t
+                );
+            }
+            for i in ps.len()..words.len() * 64 {
+                prop_assert!(!packed_bit(&words, i), "ragged tail bit {} set", i);
+            }
+            // Same word consumption: the next draw from each stream
+            // must agree, or one path read more entropy than the other.
+            prop_assert_eq!(
+                packed_rng.next_u64(),
+                scalar_rng.next_u64(),
+                "RNG stream desync on trial {}",
+                t
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_small_p_profiles_stay_pinned_through_the_geometric_path(
+        n in 1usize..=4096,
+        p_kind in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let p = [0.001f64, 0.01, 0.05][p_kind as usize];
+        let ps = vec![p; ragged(n).max(1)];
+        let packed = PackedCompetence::new(&ps).expect("valid probabilities");
+        let mut packed_rng = stream_rng(seed, 0);
+        let mut scalar_rng = stream_rng(seed, 0);
+        let mut words = Vec::new();
+        let mut bools = Vec::new();
+        packed.draw_packed(&mut packed_rng, &mut words);
+        draw_scalar_coins(&ps, &mut scalar_rng, &mut bools).expect("valid probabilities");
+        for (i, &coin) in bools.iter().enumerate() {
+            prop_assert_eq!(packed_bit(&words, i), coin, "voter {}", i);
+        }
+        prop_assert_eq!(packed_rng.next_u64(), scalar_rng.next_u64());
+    }
+}

@@ -19,7 +19,7 @@
 //! repro serve-recover --dir D  # restart the killed service, verify the digest
 //! repro serve --selftest       # host an election over the loopback wire codec
 //! repro serve --socket PATH    # ... or over a Unix domain socket (SIGTERM drains)
-//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_7.json
+//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_8.json
 //! repro bench-compare OLD NEW  # fail on >30% ns/iter regression
 //! repro all --obs-summary      # append the ld-obs metrics table
 //! ```
@@ -571,7 +571,7 @@ fn run_stress_command() -> ExitCode {
 
 /// Handles `repro conformance [--quick] [--seed N] [--json PATH]
 /// [--only CHECK] [--case SUBSTR]
-/// [--mutate tie-flip|csr-offset|wal-crc|shard-route]`:
+/// [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold]`:
 /// runs the `ld-testkit` differential/metamorphic grid plus the
 /// simulation-layer checks, prints every mismatch with its shrunk minimal
 /// instance and a one-line reproduction command, and exits non-zero on
@@ -581,7 +581,8 @@ fn run_conformance_command() -> ExitCode {
 
     let usage = "usage: repro conformance [--quick] [--seed N] [--json PATH] \
                  [--only CHECK] [--case SUBSTR] \
-                 [--mutate tie-flip|csr-offset|wal-crc|shard-route] [--no-corpus]";
+                 [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold] \
+                 [--no-corpus]";
     let mut cfg = ConformanceConfig::default();
     let mut json: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -632,7 +633,7 @@ fn run_conformance_command() -> ExitCode {
                 None => {
                     eprintln!(
                         "bad or missing --mutate value (known: tie-flip, csr-offset, \
-                         wal-crc, shard-route)\n{usage}"
+                         wal-crc, shard-route, packed-threshold)\n{usage}"
                     );
                     return ExitCode::FAILURE;
                 }
@@ -1316,7 +1317,7 @@ fn emit_obs(obs_summary: bool, obs_jsonl: Option<&std::path::Path>) {
 
 /// Handles `repro bench-baseline [--quick] [--out PATH] [--seed N]
 /// [--slowdown X]`: runs the pinned perf micro-suite and writes the
-/// `BENCH_*.json` baseline (default `BENCH_7.json`). `--slowdown X` is a
+/// `BENCH_*.json` baseline (default `BENCH_8.json`). `--slowdown X` is a
 /// maintenance hook that multiplies the recorded timings, for
 /// demonstrating that the CI comparison gate really fails.
 fn run_bench_baseline_command() -> ExitCode {
@@ -1324,7 +1325,7 @@ fn run_bench_baseline_command() -> ExitCode {
     use ld_sim::table::Table;
 
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_7.json");
+    let mut out = PathBuf::from("BENCH_8.json");
     let mut seed: u64 = 0x1DDE_BEAC;
     let mut slowdown: Option<f64> = None;
     let argv: Vec<String> = std::env::args().collect();

@@ -20,13 +20,28 @@
 //! Per-trial resolution goes through the flat CSR kernels
 //! ([`ld_core::csr::CsrForest`]) with one thread-local arena per worker,
 //! so the hot loop does not allocate after warm-up.
+//!
+//! Two tally kernels share that scheduler ([`TallyKernel`]): the default
+//! exact weighted Poisson-binomial per draw, and an opt-in 64-wide
+//! bit-packed sampler ([`Engine::with_packed_tally`]) that estimates the
+//! conditional correctness probability by folding packed Bernoulli coin
+//! words (`ld_prob::coins`) against the resolution's weight bit-planes.
+//! The packed path keeps the same per-trial stream discipline — every
+//! coin word for trial `t` comes from `stream_rng(seed, t)` after the
+//! mechanism's own draws — so it is equally scheduling-free; packed
+//! words never cross chunk boundaries because each chunk's trials own
+//! their streams outright. A [`PackedCompetence`] is built once per run
+//! and shared read-only; each worker folds into its own scratch arena.
 
 use crate::error::Result;
 use ld_core::csr::CsrForest;
-use ld_core::gain::{accumulate_draw_csr, empty_estimate, GainEstimate};
+use ld_core::gain::{
+    accumulate_draw_csr, accumulate_draw_packed, empty_estimate, GainEstimate, PackedTallyScratch,
+};
 use ld_core::mechanisms::Mechanism;
 use ld_core::tally::TieBreak;
 use ld_core::ProblemInstance;
+use ld_prob::coins::PackedCompetence;
 use ld_prob::rng::stream_rng;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +50,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// costs across workers, large enough that a claim (one atomic RMW) is
 /// noise against the per-trial tally work.
 const TRIAL_CHUNK: u64 = 16;
+
+/// Which per-draw tally the engine runs inside the chunk loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TallyKernel {
+    /// Exact conditional correctness per draw (weighted
+    /// Poisson-binomial) — the default; the only Monte Carlo noise is
+    /// over the mechanism's randomness.
+    Exact,
+    /// Sampled conditional correctness: `samples` bit-packed 64-wide
+    /// coin draws folded against weight bit-planes per mechanism draw.
+    /// Much faster per trial at large `n`; adds `O(1/√samples)` noise to
+    /// `p_mechanism`. Still bit-deterministic for fixed
+    /// `(seed, trials, samples)` across worker counts.
+    Packed {
+        /// Packed coin vectors per mechanism draw (clamped to ≥ 1).
+        samples: u32,
+    },
+}
 
 /// The parallel trial engine.
 ///
@@ -64,6 +97,7 @@ pub struct Engine {
     seed: u64,
     workers: usize,
     tie: TieBreak,
+    kernel: TallyKernel,
 }
 
 impl Engine {
@@ -77,6 +111,7 @@ impl Engine {
             seed,
             workers,
             tie: TieBreak::Incorrect,
+            kernel: TallyKernel::Exact,
         }
     }
 
@@ -99,6 +134,27 @@ impl Engine {
     pub fn with_tie_break(mut self, tie: TieBreak) -> Self {
         self.tie = tie;
         self
+    }
+
+    /// Switches to the 64-wide bit-packed sampled tally with `samples`
+    /// packed coin vectors per mechanism draw (clamped to ≥ 1). The
+    /// default exact kernel is untouched by this opt-in: estimates from
+    /// the two kernels agree within the sampler's `O(1/√samples)` noise
+    /// but are not bit-identical to each other — the packed estimate is
+    /// bit-identical only to *itself* across worker counts.
+    pub fn with_packed_tally(mut self, samples: u32) -> Self {
+        if samples == 0 {
+            eprintln!("ld-sim: engine: packed sample count 0 clamped to 1");
+        }
+        self.kernel = TallyKernel::Packed {
+            samples: samples.max(1),
+        };
+        self
+    }
+
+    /// The tally kernel the chunk loop runs.
+    pub fn tally_kernel(&self) -> TallyKernel {
+        self.kernel
     }
 
     /// The master seed.
@@ -141,16 +197,26 @@ impl Engine {
         if trials == 0 {
             return Ok(base);
         }
+        // Built once per run for the packed kernel, shared read-only by
+        // every worker; `None` on the exact path.
+        let competence = match self.kernel {
+            TallyKernel::Exact => None,
+            TallyKernel::Packed { samples } => Some((
+                PackedCompetence::new(instance.profile().as_slice())
+                    .map_err(ld_core::CoreError::from)?,
+                samples,
+            )),
+        };
+        let packed = competence.as_ref().map(|(c, s)| (c, *s));
         let chunks = trials.div_ceil(TRIAL_CHUNK);
-        // Spawning more threads than cores (or than chunks) only adds
-        // coordination cost; the result is scheduling-free, so the clamp
-        // cannot change it.
-        let hardware = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let threads = self.workers.min(chunks as usize).min(hardware).max(1);
+        // More threads than chunks is pure coordination waste, but the
+        // requested worker count is otherwise honoured even beyond the
+        // core count: the result is scheduling-free, so oversubscription
+        // cannot change it, and the determinism suite deliberately runs
+        // 8–16 workers on small hosts to prove exactly that.
+        let threads = self.workers.min(chunks as usize).max(1);
         if threads == 1 {
-            return self.run_single_threaded(instance, mechanism, trials, chunks, &base);
+            return self.run_single_threaded(instance, mechanism, trials, chunks, &base, packed);
         }
 
         let next_chunk = AtomicU64::new(0);
@@ -169,6 +235,7 @@ impl Engine {
                     let steals = ld_obs::counter("engine.steals");
                     let reuse = ld_obs::counter("engine.scratch.reuse");
                     let mut forest = CsrForest::new();
+                    let mut scratch = PackedTallyScratch::new();
                     loop {
                         if failure.lock().is_some() {
                             return;
@@ -193,6 +260,8 @@ impl Engine {
                             seed,
                             base,
                             &mut forest,
+                            packed,
+                            &mut scratch,
                             &reuse,
                         ) {
                             Ok(partial) => collected.lock().push((c, partial)),
@@ -238,6 +307,7 @@ impl Engine {
         trials: u64,
         chunks: u64,
         base: &GainEstimate,
+        packed: Option<(&PackedCompetence, u32)>,
     ) -> Result<GainEstimate> {
         let mut est = *base;
         let run = |est: &mut GainEstimate| -> ld_core::Result<()> {
@@ -246,6 +316,7 @@ impl Engine {
             let reuse = ld_obs::counter("engine.scratch.reuse");
             let _ = &steals; // registered for a stable obs surface; a lone worker never steals
             let mut forest = CsrForest::new();
+            let mut scratch = PackedTallyScratch::new();
             for c in 0..chunks {
                 claimed.incr();
                 let partial = run_chunk(
@@ -257,6 +328,8 @@ impl Engine {
                     self.seed,
                     base,
                     &mut forest,
+                    packed,
+                    &mut scratch,
                     &reuse,
                 )?;
                 est.merge(&partial);
@@ -293,6 +366,8 @@ fn run_chunk(
     seed: u64,
     base: &GainEstimate,
     forest: &mut CsrForest,
+    packed: Option<(&PackedCompetence, u32)>,
+    scratch: &mut PackedTallyScratch,
     scratch_reuse: &ld_obs::Counter,
 ) -> ld_core::Result<GainEstimate> {
     let start = chunk * TRIAL_CHUNK;
@@ -308,7 +383,12 @@ fn run_chunk(
         if ld_obs::enabled() && dg.is_single_target() && forest.fits(instance.n()) {
             scratch_reuse.incr();
         }
-        accumulate_draw_csr(instance, &dg, tie, &mut rng, &mut local, forest)?;
+        match packed {
+            None => accumulate_draw_csr(instance, &dg, tie, &mut rng, &mut local, forest)?,
+            Some((competence, samples)) => accumulate_draw_packed(
+                instance, &dg, tie, &mut rng, &mut local, forest, competence, scratch, samples,
+            )?,
+        }
         guard.note_done();
     }
     Ok(local)
@@ -421,6 +501,81 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn packed_tally_is_bit_identical_across_worker_counts() {
+        let inst = instance(48);
+        let mech = ApprovalThreshold::new(1);
+        let reference = Engine::new(7)
+            .with_workers(1)
+            .with_packed_tally(32)
+            .estimate_gain(&inst, &mech, 50)
+            .unwrap();
+        for workers in [2usize, 4, 8, 16] {
+            let est = Engine::new(7)
+                .with_workers(workers)
+                .with_packed_tally(32)
+                .estimate_gain(&inst, &mech, 50)
+                .unwrap();
+            assert_eq!(
+                est.p_mechanism().to_bits(),
+                reference.p_mechanism().to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(
+                est.mean_weight_gini().to_bits(),
+                reference.mean_weight_gini().to_bits(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_tally_agrees_with_exact_within_sampling_noise() {
+        let inst = instance(48);
+        let mech = ApprovalThreshold::new(2);
+        let exact = Engine::new(5)
+            .with_workers(2)
+            .estimate_gain(&inst, &mech, 64)
+            .unwrap();
+        let sampled = Engine::new(5)
+            .with_workers(2)
+            .with_packed_tally(256)
+            .estimate_gain(&inst, &mech, 64)
+            .unwrap();
+        assert!(
+            (exact.p_mechanism() - sampled.p_mechanism()).abs() < 0.05,
+            "exact {} vs packed {}",
+            exact.p_mechanism(),
+            sampled.p_mechanism()
+        );
+        // The structural statistics never go through the sampler: both
+        // kernels see the same mechanism draws per trial stream.
+        assert_eq!(
+            exact.mean_max_weight().to_bits(),
+            sampled.mean_max_weight().to_bits()
+        );
+        assert_eq!(
+            exact.mean_delegators().to_bits(),
+            sampled.mean_delegators().to_bits()
+        );
+    }
+
+    #[test]
+    fn packed_zero_samples_clamped_to_one() {
+        let engine = Engine::new(1).with_packed_tally(0);
+        assert_eq!(engine.tally_kernel(), TallyKernel::Packed { samples: 1 });
+        let inst = instance(8);
+        let est = engine
+            .estimate_gain(&inst, &ApprovalThreshold::new(1), 4)
+            .unwrap();
+        assert_eq!(est.trials(), 4);
+    }
+
+    #[test]
+    fn default_kernel_is_exact() {
+        assert_eq!(Engine::new(1).tally_kernel(), TallyKernel::Exact);
     }
 
     #[test]

@@ -39,13 +39,26 @@ fn fingerprint(est: &ld_core::gain::GainEstimate) -> [(&'static str, u64); 8] {
 }
 
 fn assert_same_bits(seed: u64, inst: &ProblemInstance, mech: &(dyn Mechanism + Sync), trials: u64) {
-    let reference = Engine::new(seed)
-        .with_workers(1)
+    assert_same_bits_in(seed, inst, mech, trials, |e| e);
+}
+
+/// Like [`assert_same_bits`] but with an engine transformer, so the
+/// packed-kernel engine reuses the same worker sweep. Workers 8 and 16
+/// exceed most CI hosts' core counts — since the scheduler dropped its
+/// hardware clamp they still spawn real threads, so oversubscription is
+/// exercised, not simulated.
+fn assert_same_bits_in(
+    seed: u64,
+    inst: &ProblemInstance,
+    mech: &(dyn Mechanism + Sync),
+    trials: u64,
+    configure: impl Fn(Engine) -> Engine,
+) {
+    let reference = configure(Engine::new(seed).with_workers(1))
         .estimate_gain(inst, mech, trials)
         .expect("reference run");
-    for workers in [2usize, 4, 8] {
-        let est = Engine::new(seed)
-            .with_workers(workers)
+    for workers in [2usize, 4, 8, 16] {
+        let est = configure(Engine::new(seed).with_workers(workers))
             .estimate_gain(inst, mech, trials)
             .expect("parallel run");
         for ((name, want), (_, got)) in fingerprint(&reference).iter().zip(fingerprint(&est)) {
@@ -100,13 +113,64 @@ fn uneven_chunk_costs_do_not_change_a_single_bit() {
 }
 
 #[test]
+fn packed_kernel_is_bit_identical_across_worker_counts() {
+    let inst = mc_instance(70, 5);
+    // n = 70 spans a ragged second coin word; 50 trials spans four
+    // chunks. Each worker draws packed words from its own trial streams,
+    // so bit-identity across 1..=16 workers pins both the scheduler and
+    // the per-chunk scratch arenas.
+    assert_same_bits_in(13, &inst, &ApprovalThreshold::new(1), 50, |e| {
+        e.with_packed_tally(24)
+    });
+}
+
+#[test]
+fn packed_kernel_survives_uneven_chunk_costs() {
+    let inst = mc_instance(40, 6);
+    assert_same_bits_in(17, &inst, &UnevenCost(ApprovalThreshold::new(1)), 90, |e| {
+        e.with_packed_tally(16)
+    });
+}
+
+/// The packed kernel is opt-in: the default engine must still reproduce
+/// the scalar constants pinned by the obs-neutrality suite (n = 96,
+/// seed 7, 48 trials — same workload, same bits), so adding the packed
+/// path cannot have perturbed the legacy exact kernel.
+#[test]
+fn default_path_still_matches_legacy_scalar_constants() {
+    const SEQ_P_DIRECT_BITS: u64 = 0x3fd7fc8da514cc34;
+    const SEQ_P_MECH_BITS: u64 = 0x3fe9aeb3e865a291;
+    let mut rng = stream_rng(0x0B5_0FF, 1);
+    let dist = CompetencyDistribution::Uniform { lo: 0.35, hi: 0.65 };
+    let profile = dist.sample(96, &mut rng).expect("valid profile");
+    let inst =
+        ProblemInstance::new(generators::complete(96), profile, 0.05).expect("valid instance");
+    for workers in [1usize, 2, 8, 16] {
+        let est = Engine::new(7)
+            .with_workers(workers)
+            .estimate_gain(&inst, &ApprovalThreshold::new(1), 48)
+            .expect("estimate runs");
+        assert_eq!(
+            est.p_direct().to_bits(),
+            SEQ_P_DIRECT_BITS,
+            "P[direct] drifted from the legacy scalar constant at workers={workers}"
+        );
+        assert_eq!(
+            est.p_mechanism().to_bits(),
+            SEQ_P_MECH_BITS,
+            "P[mechanism] drifted from the legacy scalar constant at workers={workers}"
+        );
+    }
+}
+
+#[test]
 fn chunk_boundary_trial_counts_are_exact() {
     // Totals around the chunk size: partial chunks at the tail must run
     // exactly the remaining trials, never a full chunk.
     let inst = mc_instance(16, 3);
     let mech = ApprovalThreshold::new(1);
     for trials in [1u64, 15, 16, 17, 31, 32, 33] {
-        for workers in [1usize, 3, 8] {
+        for workers in [1usize, 3, 8, 16] {
             let est = Engine::new(5)
                 .with_workers(workers)
                 .estimate_gain(&inst, &mech, trials)
@@ -124,7 +188,7 @@ proptest! {
     #[test]
     fn any_worker_count_matches_single_worker(
         seed in 0u64..10_000,
-        workers in 2usize..9,
+        workers in 2usize..17,
         trials in 1u64..80,
     ) {
         let inst = mc_instance(20, 4);

@@ -11,6 +11,7 @@
 use crate::gen::{Case, ALPHA};
 use crate::oracle::{self, OracleOutcome};
 use ld_core::csr::CsrForest;
+use ld_core::csr::PackedSinkWeights;
 use ld_core::delegation::{Action, DelegationGraph, Resolver};
 use ld_core::tally::{exact_correct_probability, sample_decision, TieBreak};
 use ld_core::{CompetencyProfile, CoreError, ProblemInstance};
@@ -18,6 +19,7 @@ use ld_graph::generators;
 use ld_graph::Graph;
 use ld_live::{LiveEngine, Update};
 use ld_prob::bounds::berry_esseen_weighted;
+use ld_prob::coins::{draw_scalar_coins, packed_bit, PackedCompetence};
 use ld_prob::normal::std_normal_cdf;
 use ld_prob::poisson_binomial::{PoissonBinomial, WeightedBernoulliSum};
 use ld_prob::rng::stream_rng;
@@ -81,6 +83,22 @@ pub enum ServeImpl {
     Misrouted,
 }
 
+/// Which packed coin kernel the packed-tally differential exercises.
+///
+/// `ThresholdSkewed` is a deliberate bug — the bit-plane threshold
+/// comparison starts one plane late, skipping the most significant
+/// quantized-probability bit — injected by `--mutate packed-threshold`
+/// so CI can verify the packed-vs-scalar differential actually detects
+/// a wrong 64-wide kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoinsImpl {
+    /// The production packed coin kernel.
+    Real,
+    /// Mutant: plane loop off by one
+    /// (`PackedCompetence::skew_threshold_for_tests`).
+    ThresholdSkewed,
+}
+
 /// Shared configuration threaded through every check.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckContext {
@@ -92,6 +110,8 @@ pub struct CheckContext {
     pub wal: WalImpl,
     /// Service shard routing under test.
     pub serve: ServeImpl,
+    /// Packed coin kernel under test.
+    pub coins: CoinsImpl,
 }
 
 /// Result of one check on one case.
@@ -139,6 +159,13 @@ pub enum CheckId {
     /// over the oracle's sink assignments, plus the CSR exact tally vs
     /// the `Resolution` path.
     CsrTallyOracle,
+    /// Bit-packed 64-wide coin kernel and weighted fold vs the scalar
+    /// oracle: packed words expanded bit by bit must equal the scalar
+    /// per-voter draws, the plane fold must equal the scalar fold and a
+    /// naive per-voter walk, and (for `n ≤ 12`) the majority probability
+    /// integrated by the packed fold over all `2^n` coin vectors must
+    /// equal the `O(2^n)` brute-force oracle.
+    PackedTallyOracle,
     /// WAL crash oracle: the update stream is framed through the
     /// `ld-store` codec, then the log is crashed at every byte offset —
     /// the scanned prefix must replay (streamed and batched) to states
@@ -154,7 +181,7 @@ pub enum CheckId {
 
 impl CheckId {
     /// All checks, in execution order.
-    pub fn all() -> [CheckId; 15] {
+    pub fn all() -> [CheckId; 16] {
         [
             CheckId::ResolveOracle,
             CheckId::ResolveDeterminism,
@@ -169,6 +196,7 @@ impl CheckId {
             CheckId::Locality,
             CheckId::CsrResolveOracle,
             CheckId::CsrTallyOracle,
+            CheckId::PackedTallyOracle,
             CheckId::WalCrashOracle,
             CheckId::ServeReplay,
         ]
@@ -190,6 +218,7 @@ impl CheckId {
             CheckId::Locality => "locality",
             CheckId::CsrResolveOracle => "csr-resolve-oracle",
             CheckId::CsrTallyOracle => "csr-tally-oracle",
+            CheckId::PackedTallyOracle => "packed-tally-oracle",
             CheckId::WalCrashOracle => "wal-crash-oracle",
             CheckId::ServeReplay => "serve-replay",
         }
@@ -244,6 +273,7 @@ pub fn recheck_structural(
         CheckId::Locality => CheckOutcome::Skip("locality needs the full instance and mechanism"),
         CheckId::CsrResolveOracle => check_csr_resolve_oracle(actions, ctx),
         CheckId::CsrTallyOracle => check_csr_tally_oracle(actions, ps, seed, ctx),
+        CheckId::PackedTallyOracle => check_packed_tally_oracle(actions, ps, seed, ctx),
         CheckId::WalCrashOracle => check_wal_crash_oracle(actions, ps, seed, ctx),
         CheckId::ServeReplay => check_serve_replay(actions, ps, seed, ctx),
     }
@@ -476,6 +506,130 @@ fn check_csr_tally_oracle(
             return CheckOutcome::Fail(format!(
                 "CSR exact tally ({tie:?}) {system} differs from the Resolution path \
                  {reference}"
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+/// Packed coin words drawn per `packed-tally-oracle` run; each word is
+/// also expanded bit by bit against the scalar oracle, so one round of
+/// divergence anywhere in the 64-wide kernel fails the check.
+const PACKED_COIN_ROUNDS: usize = 8;
+
+/// The packed coin kernel under test: the production build, with the
+/// plane-threshold skew applied when the context injects the mutant.
+fn build_packed_competence(ps: &[f64], ctx: &CheckContext) -> Result<PackedCompetence, String> {
+    let mut competence = PackedCompetence::new(ps).map_err(|e| e.to_string())?;
+    if ctx.coins == CoinsImpl::ThresholdSkewed {
+        competence.skew_threshold_for_tests();
+    }
+    Ok(competence)
+}
+
+fn check_packed_tally_oracle(
+    actions: &[Action],
+    ps: &[f64],
+    seed: u64,
+    ctx: &CheckContext,
+) -> CheckOutcome {
+    let n = actions.len();
+    if n == 0 {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let dg = DelegationGraph::new(actions.to_vec());
+    if !dg.is_single_target() {
+        return CheckOutcome::Skip("multi-target graphs are tallied by sampling only");
+    }
+    let OracleOutcome::Resolved(orc) = oracle::resolve_recursive(actions) else {
+        return CheckOutcome::Skip("resolver rejects this graph");
+    };
+    let forest = match resolve_csr(actions, ctx) {
+        Ok(f) => f,
+        Err(e) => return CheckOutcome::Fail(format!("CSR resolve errored: {e}")),
+    };
+    let competence = match build_packed_competence(ps, ctx) {
+        Ok(c) => c,
+        Err(e) => return CheckOutcome::Fail(format!("packed competence: {e}")),
+    };
+    let mut weights = PackedSinkWeights::new();
+    forest.pack_sink_weights(&mut weights);
+
+    // Leg 1: the packed kernel vs the scalar oracle, word by word and
+    // bit by bit, on seeded rounds sharing one RNG stream — any extra,
+    // missing, or misthresholded word desynchronizes a later round even
+    // if the coins of this one happen to agree.
+    let mut packed_rng = stream_rng(seed, 17);
+    let mut scalar_rng = stream_rng(seed, 17);
+    let mut words = Vec::new();
+    let mut bools = Vec::new();
+    let total = forest.tallied() as u64;
+    for round in 0..PACKED_COIN_ROUNDS {
+        competence.draw_packed(&mut packed_rng, &mut words);
+        if let Err(e) = draw_scalar_coins(ps, &mut scalar_rng, &mut bools) {
+            return CheckOutcome::Fail(format!("scalar oracle errored: {e}"));
+        }
+        for (i, &coin) in bools.iter().enumerate() {
+            if packed_bit(&words, i) != coin {
+                return CheckOutcome::Fail(format!(
+                    "round {round}: packed coin for voter {i} is {}, scalar oracle drew \
+                     {coin} (p = {})",
+                    packed_bit(&words, i),
+                    ps[i]
+                ));
+            }
+        }
+        for i in n..words.len() * 64 {
+            if packed_bit(&words, i) {
+                return CheckOutcome::Fail(format!(
+                    "round {round}: ragged tail bit {i} is set (n = {n})"
+                ));
+            }
+        }
+        // Leg 2: the plane fold vs the scalar fold vs a naive per-voter
+        // walk over the oracle's sink assignments.
+        let plane = forest.fold_weighted_coins_packed(&weights, &words);
+        let scalar = forest.fold_weighted_coins(&bools);
+        let naive: u64 = orc
+            .sink_of
+            .iter()
+            .flatten()
+            .map(|&s| u64::from(bools[s]))
+            .sum();
+        if plane != scalar || plane != naive {
+            return CheckOutcome::Fail(format!(
+                "round {round}: weighted mass differs — plane fold {plane}, scalar fold \
+                 {scalar}, per-voter walk {naive}"
+            ));
+        }
+    }
+
+    // Leg 3 (n ≤ 12): integrate the majority rule through the packed
+    // fold over ALL 2^n coin vectors and compare with the O(2^n)
+    // brute-force oracle — the fold path is pinned to the exact
+    // distribution, not just to sampled agreement.
+    if n <= oracle::COIN_BRUTE_MAX_N {
+        let Some(reference) = oracle::brute_force_decision_by_coins(actions, ps) else {
+            return CheckOutcome::Skip("cyclic delegation graph");
+        };
+        let mut integrated = 0.0f64;
+        for mask in 0u64..(1u64 << n) {
+            let mut prob = 1.0;
+            for (i, &p) in ps.iter().enumerate() {
+                prob *= if (mask >> i) & 1 == 1 { p } else { 1.0 - p };
+            }
+            if prob == 0.0 {
+                continue;
+            }
+            let w = forest.fold_weighted_coins_packed(&weights, &[mask]);
+            if 2 * w > total {
+                integrated += prob;
+            }
+        }
+        if (integrated - reference).abs() > EXACT_EPS {
+            return CheckOutcome::Fail(format!(
+                "packed-fold integration {integrated} differs from the brute-force \
+                 oracle {reference} over {n} voters"
             ));
         }
     }
@@ -1417,6 +1571,7 @@ mod tests {
             csr: CsrImpl::Real,
             wal: WalImpl::Real,
             serve: ServeImpl::Real,
+            coins: CoinsImpl::Real,
         }
     }
 
@@ -1450,9 +1605,7 @@ mod tests {
         let ps = vec![0.5, 0.5];
         let mutated = CheckContext {
             tally: TallyImpl::TieFlipped,
-            csr: CsrImpl::Real,
-            wal: WalImpl::Real,
-            serve: ServeImpl::Real,
+            ..ctx()
         };
         let outcome = check_tally_oracle(&actions, &ps, &mutated);
         assert!(
@@ -1474,10 +1627,8 @@ mod tests {
         let actions = vec![Action::Delegate(1), Action::Vote, Action::Vote];
         let ps = vec![0.4, 0.6, 0.7];
         let mutated = CheckContext {
-            tally: TallyImpl::Real,
             csr: CsrImpl::OffsetSkewed,
-            wal: WalImpl::Real,
-            serve: ServeImpl::Real,
+            ..ctx()
         };
         let resolve = check_csr_resolve_oracle(&actions, &mutated);
         assert!(
@@ -1507,10 +1658,8 @@ mod tests {
         let actions = vec![Action::Delegate(1), Action::Delegate(2), Action::Vote];
         let ps = vec![0.3, 0.5, 0.7];
         let mutated = CheckContext {
-            tally: TallyImpl::Real,
-            csr: CsrImpl::Real,
             wal: WalImpl::CrcSkipped,
-            serve: ServeImpl::Real,
+            ..ctx()
         };
         let outcome = check_wal_crash_oracle(&actions, &ps, 5, &mutated);
         assert!(
@@ -1532,10 +1681,8 @@ mod tests {
         let actions = vec![Action::Delegate(1), Action::Delegate(2), Action::Vote];
         let ps = vec![0.3, 0.5, 0.7];
         let mutated = CheckContext {
-            tally: TallyImpl::Real,
-            csr: CsrImpl::Real,
-            wal: WalImpl::Real,
             serve: ServeImpl::Misrouted,
+            ..ctx()
         };
         let outcome = check_serve_replay(&actions, &ps, 5, &mutated);
         assert!(
@@ -1545,6 +1692,47 @@ mod tests {
         assert_eq!(
             check_serve_replay(&actions, &ps, 5, &ctx()),
             CheckOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn packed_threshold_mutant_is_detected_on_a_delegation_chain() {
+        // Skipping the most significant quantizer plane flips roughly
+        // half the coins of every plane-thresholded lane, so the
+        // packed-vs-scalar differential must flag the skewed kernel on
+        // the first diverging round while the real one passes.
+        let actions = vec![Action::Delegate(1), Action::Vote, Action::Vote];
+        let ps = vec![0.4, 0.6, 0.7];
+        let mutated = CheckContext {
+            coins: CoinsImpl::ThresholdSkewed,
+            ..ctx()
+        };
+        let outcome = check_packed_tally_oracle(&actions, &ps, 5, &mutated);
+        assert!(
+            matches!(outcome, CheckOutcome::Fail(_)),
+            "packed-threshold mutant not detected: {outcome:?}"
+        );
+        assert_eq!(
+            check_packed_tally_oracle(&actions, &ps, 5, &ctx()),
+            CheckOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn packed_check_also_sees_the_csr_offset_mutant() {
+        // The fold legs go through the (possibly skewed) CSR forest, so
+        // the packed differential independently catches a wrong flat
+        // layout too.
+        let actions = vec![Action::Delegate(1), Action::Vote, Action::Vote];
+        let ps = vec![0.4, 0.6, 0.7];
+        let mutated = CheckContext {
+            csr: CsrImpl::OffsetSkewed,
+            ..ctx()
+        };
+        let outcome = check_packed_tally_oracle(&actions, &ps, 5, &mutated);
+        assert!(
+            matches!(outcome, CheckOutcome::Fail(_)),
+            "csr-offset not visible through the packed fold: {outcome:?}"
         );
     }
 

@@ -37,7 +37,9 @@ pub mod oracle;
 pub mod report;
 pub mod shrink;
 
-use checks::{CheckContext, CheckId, CheckOutcome, CsrImpl, ServeImpl, TallyImpl, WalImpl};
+use checks::{
+    CheckContext, CheckId, CheckOutcome, CoinsImpl, CsrImpl, ServeImpl, TallyImpl, WalImpl,
+};
 use gen::{default_grid, CellSpec};
 use report::{ConformanceReport, Mismatch, ShrunkInstance};
 
@@ -59,16 +61,21 @@ pub enum Mutation {
     /// election, so the canonical owner never sees the delegation
     /// (caught by the `serve-replay` check).
     ShardRoute,
+    /// Start the packed coin kernel's bit-plane threshold comparison one
+    /// plane late, skipping the most significant quantized-probability
+    /// bit (caught by the `packed-tally-oracle` check).
+    PackedThreshold,
 }
 
 impl Mutation {
     /// Every known mutation.
-    pub fn all() -> [Mutation; 4] {
+    pub fn all() -> [Mutation; 5] {
         [
             Mutation::TieFlip,
             Mutation::CsrOffset,
             Mutation::WalCrc,
             Mutation::ShardRoute,
+            Mutation::PackedThreshold,
         ]
     }
 
@@ -79,6 +86,7 @@ impl Mutation {
             Mutation::CsrOffset => "csr-offset",
             Mutation::WalCrc => "wal-crc",
             Mutation::ShardRoute => "shard-route",
+            Mutation::PackedThreshold => "packed-threshold",
         }
     }
 
@@ -186,6 +194,10 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
         serve: match cfg.mutation {
             Some(Mutation::ShardRoute) => ServeImpl::Misrouted,
             _ => ServeImpl::Real,
+        },
+        coins: match cfg.mutation {
+            Some(Mutation::PackedThreshold) => CoinsImpl::ThresholdSkewed,
+            _ => CoinsImpl::Real,
         },
     };
     let grid = default_grid(cfg.quick);

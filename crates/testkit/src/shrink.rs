@@ -149,7 +149,7 @@ pub fn shrink_failure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checks::{CsrImpl, ServeImpl, TallyImpl, WalImpl};
+    use crate::checks::{CoinsImpl, CsrImpl, ServeImpl, TallyImpl, WalImpl};
 
     #[test]
     fn remove_voter_remaps_targets() {
@@ -187,6 +187,7 @@ mod tests {
             csr: CsrImpl::Real,
             wal: WalImpl::Real,
             serve: ServeImpl::Real,
+            coins: CoinsImpl::Real,
         };
         let shrunk = shrink_failure(CheckId::TallyOracle, &actions, &ps, 1, &ctx)
             .expect("failure should shrink");
@@ -201,6 +202,7 @@ mod tests {
             csr: CsrImpl::Real,
             wal: WalImpl::Real,
             serve: ServeImpl::Real,
+            coins: CoinsImpl::Real,
         };
         assert!(shrink_failure(CheckId::TallyOracle, &[Action::Vote], &[0.5], 1, &ctx).is_none());
     }

@@ -37,6 +37,11 @@ cargo "${CFG[@]}" test --offline -p ld-core --release -q csr
 cargo "${CFG[@]}" test --offline -p ld-testkit --release -q
 cargo "${CFG[@]}" test --offline -p ld-sim --release -q --test scheduler_determinism
 
+echo "== offline: packed coin kernel suites (bit-for-bit vs scalar draws, release)"
+cargo "${CFG[@]}" test --offline -p ld-prob --release -q
+cargo "${CFG[@]}" test --offline -p ld-core --release -q packed
+cargo "${CFG[@]}" test --offline -p ld-sim --release -q packed
+
 echo "== offline: ld-serve service suites (sharded elections, identity, wire, release)"
 cargo "${CFG[@]}" test --offline -p ld-serve --release -q
 
