@@ -91,6 +91,19 @@ rm -rf target/serve-smoke
 echo "==> serve selftest (wire-codec round trip through the loopback host)"
 ./target/release/repro serve --selftest
 
+echo "==> dynamics differential gate (brute-force best-response oracle + round-boundary replay)"
+./target/release/repro conformance --quick --only dynamics-oracle,dynamics-replay
+
+echo "==> dynamics mutation smoke (injected br-tiebreak skew MUST be detected)"
+if ./target/release/repro conformance --quick --no-corpus \
+    --mutate br-tiebreak >/dev/null 2>&1; then
+  echo "ERROR: injected br-tiebreak mutation was not detected — the dynamics oracle has no teeth" >&2
+  exit 1
+fi
+
+echo "==> dynamics smoke (best-response loop over the quick topology grid, digest-pinned)"
+./target/release/repro dynamics --quick
+
 echo "==> scheduler determinism (bit-identity across worker counts)"
 cargo test -q -p ld-sim --test scheduler_determinism
 

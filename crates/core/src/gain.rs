@@ -261,16 +261,37 @@ pub fn accumulate_draw_csr(
 /// bit-packed coin buffer plus the sink-weight bit-plane transpose. Both
 /// only ever grow, so one instance serves an unbounded trial stream
 /// without allocating after warm-up.
+///
+/// The scratch also caches which delegation outcome its weight planes
+/// were packed from: consecutive draws that produce the *same* action
+/// vector (deterministic mechanisms, and dynamics rounds re-tallying one
+/// forest many times) skip the resolve + re-pack entirely. The cache
+/// assumes the paired [`CsrForest`] is not resolved behind its back
+/// between calls — pair one scratch with one forest (as the `ld-sim`
+/// workers do), or call [`PackedTallyScratch::invalidate_cache`] after
+/// using the forest elsewhere.
 #[derive(Debug, Default, Clone)]
 pub struct PackedTallyScratch {
     coins: Vec<u64>,
     weights: PackedSinkWeights,
+    /// Action vector the current `weights` planes were packed from;
+    /// compared by equality, never by hash, so a stale hit is impossible.
+    cached_actions: Vec<crate::delegation::Action>,
+    cache_valid: bool,
 }
 
 impl PackedTallyScratch {
     /// Empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         PackedTallyScratch::default()
+    }
+
+    /// Drops the delegation-outcome cache, forcing the next
+    /// [`accumulate_draw_packed`] to resolve and re-pack. Needed only if
+    /// the paired forest was resolved outside that function.
+    pub fn invalidate_cache(&mut self) {
+        self.cache_valid = false;
+        self.cached_actions.clear();
     }
 }
 
@@ -317,8 +338,19 @@ pub fn accumulate_draw_packed(
     if !dg.is_single_target() {
         return accumulate_draw(instance, dg, tie, rng, est);
     }
-    forest.resolve(dg)?;
-    forest.pack_sink_weights(&mut scratch.weights);
+    // Re-packing the same delegation outcome is pure overhead: the
+    // resolve and the plane transpose are deterministic in the action
+    // vector, so a cache hit leaves bit-identical planes in place and
+    // consumes no randomness — cached and uncached runs produce
+    // bit-identical estimates.
+    let cache_hit = scratch.cache_valid && scratch.cached_actions.as_slice() == dg.actions();
+    if !cache_hit {
+        forest.resolve(dg)?;
+        forest.pack_sink_weights(&mut scratch.weights);
+        scratch.cached_actions.clear();
+        scratch.cached_actions.extend_from_slice(dg.actions());
+        scratch.cache_valid = true;
+    }
     let total = forest.tallied() as u64;
     let samples = samples.max(1);
     let (mut wins, mut ties) = (0u64, 0u64);
@@ -524,6 +556,89 @@ mod tests {
         )
         .unwrap();
         assert_eq!(est.p_mechanism(), 1.0);
+    }
+
+    #[test]
+    fn packed_plane_cache_is_bit_identical_to_uncached() {
+        // A deterministic mechanism emits the same delegation outcome
+        // every draw, so the cached run packs the planes once; a run
+        // that invalidates the cache before every draw re-packs each
+        // time. Both must produce bit-identical estimates from the same
+        // rng stream.
+        let inst = complete_instance(40, 0.35, 0.65);
+        let dg = GreedyMax.run(&inst, &mut StdRng::seed_from_u64(13));
+        let tie = TieBreak::Incorrect;
+        let competence = PackedCompetence::new(inst.profile().as_slice()).unwrap();
+
+        let run = |bust_cache: bool| {
+            let mut rng = StdRng::seed_from_u64(14);
+            let mut forest = CsrForest::new();
+            let mut scratch = PackedTallyScratch::new();
+            let mut est = empty_estimate(&inst, tie).unwrap();
+            for _ in 0..16 {
+                if bust_cache {
+                    scratch.invalidate_cache();
+                }
+                accumulate_draw_packed(
+                    &inst,
+                    &dg,
+                    tie,
+                    &mut rng,
+                    &mut est,
+                    &mut forest,
+                    &competence,
+                    &mut scratch,
+                    32,
+                )
+                .unwrap();
+            }
+            est
+        };
+        let cached = run(false);
+        let uncached = run(true);
+        assert_eq!(
+            cached.p_mechanism().to_bits(),
+            uncached.p_mechanism().to_bits()
+        );
+        assert_eq!(cached.mean_max_weight(), uncached.mean_max_weight());
+        assert_eq!(cached.mean_weight_gini(), uncached.mean_weight_gini());
+        assert_eq!(cached.trials(), uncached.trials());
+    }
+
+    #[test]
+    fn packed_plane_cache_misses_on_a_changed_outcome() {
+        // Alternating between two different delegation outcomes must
+        // miss every draw: a false hit would leave the forest stale and
+        // corrupt the (rng-independent) structural statistics.
+        let inst = complete_instance(24, 0.35, 0.65);
+        let tie = TieBreak::Incorrect;
+        let mech = ApprovalThreshold::new(1);
+        let dg_a = mech.run(&inst, &mut StdRng::seed_from_u64(15));
+        let dg_b = GreedyMax.run(&inst, &mut StdRng::seed_from_u64(16));
+        assert_ne!(dg_a.actions(), dg_b.actions());
+        let competence = PackedCompetence::new(inst.profile().as_slice()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut forest = CsrForest::new();
+        let mut scratch = PackedTallyScratch::new();
+        let mut est = empty_estimate(&inst, tie).unwrap();
+        for draw in 0..8 {
+            let dg = if draw % 2 == 0 { &dg_a } else { &dg_b };
+            accumulate_draw_packed(
+                &inst,
+                &dg.clone(),
+                tie,
+                &mut rng,
+                &mut est,
+                &mut forest,
+                &competence,
+                &mut scratch,
+                8,
+            )
+            .unwrap();
+        }
+        let expect_max = |dg: &DelegationGraph| dg.resolve().unwrap().max_weight() as f64;
+        let want = (expect_max(&dg_a) + expect_max(&dg_b)) / 2.0;
+        assert_eq!(est.mean_max_weight(), want);
     }
 
     #[test]

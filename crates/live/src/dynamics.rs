@@ -1,0 +1,975 @@
+//! Best-response re-delegation dynamics over a [`LiveEngine`].
+//!
+//! The rest of the workspace treats a delegation graph as the output of a
+//! *one-shot* mechanism. This module iterates it: each round, every voter
+//! computes the utility-maximizing delegation move — keep the current
+//! action, switch to an approved neighbour, or reclaim the vote — against
+//! an **immutable snapshot** of the previous round, and the round is
+//! applied as one [`LiveEngine`] batch in canonical voter order. The loop
+//! runs to a fixpoint (no voter wants to move), a detected cycle (a
+//! previously-seen action state recurs), or a round cap.
+//!
+//! # Utility: one-step deviation under the voter's local view
+//!
+//! A voter's utility for a candidate move is the probability that the
+//! election decides correctly if *only that voter* deviates from the
+//! snapshot: the voter's carried subtree weight `w` is moved from its
+//! current sink to the candidate's snapshot sink, and the weighted
+//! normal-approximation tally
+//!
+//! ```text
+//! P = 1 − Φ((T/2 − μ)/σ),   μ = Σ wₛ pₛ,   σ² = Σ wₛ² pₛ(1−pₛ)
+//! ```
+//!
+//! is re-evaluated in `O(1)` from the snapshot sums (`T` = tallied
+//! ballots; `σ = 0` degenerates to `P = [μ > T/2]`). Because the utility
+//! depends on sink *weights*, simultaneous rounds can genuinely cycle:
+//! two voters piling onto the same heavy sink can overshoot and both
+//! regret the move next round — the anti-coordination pattern of
+//! iterative-delegation games (Escoffier–Gilbert–Pass-Lanneau).
+//!
+//! # Determinism contract
+//!
+//! Every round is a pure function of the previous action state: there is
+//! no RNG anywhere in the loop, candidate moves are evaluated against the
+//! immutable [`RoundSnapshot`], and the round is applied in canonical
+//! (ascending) voter order, so a trajectory is bit-for-bit replayable
+//! from its initial state. The conformance oracle in `ld-testkit`
+//! re-implements the *exact* arithmetic of [`deviation_probability`]
+//! against the naive `O(n²)` resolver, so the operation order documented
+//! there is normative — do not reassociate it.
+
+use crate::{LiveEngine, RejectReason, Update};
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_prob::normal::std_normal_cdf;
+
+/// How a voter scores candidate moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveRule {
+    /// Maximize the one-step-deviation decision probability (honest
+    /// best response).
+    BestResponse,
+    /// Coalition manipulator: minimize the one-step-deviation tally
+    /// variance `σ²` — re-delegate toward low-variance sinks, the
+    /// paper's titular manipulation.
+    VarianceSeeking,
+    /// Never move (abstainers, and voters pinned by an experiment).
+    Frozen,
+}
+
+/// How score ties between candidate moves are broken.
+///
+/// `Canonical` is the production rule; `SkewedForTests` is the deliberate
+/// bug injected by `--mutate br-tiebreak` so CI can prove the
+/// `dynamics-oracle` differential actually detects a wrong tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreakRule {
+    /// Keep the current action, else prefer voting directly, else the
+    /// lowest-index target (candidates scanned in ascending order; a
+    /// later candidate must be *strictly* better to win).
+    Canonical,
+    /// Mutant: approved targets are scanned in descending index order,
+    /// so score ties resolve to the highest-index target instead.
+    SkewedForTests,
+}
+
+/// Immutable view of one round's starting state: the action vector, its
+/// resolution, and the precomputed tally sums every candidate evaluation
+/// deltas against.
+#[derive(Debug, Clone)]
+pub struct RoundSnapshot {
+    /// Action per voter.
+    pub actions: Vec<Action>,
+    /// Sink each voter's ballot reaches (`None` = discarded).
+    pub sink_of: Vec<Option<usize>>,
+    /// Ballots carried by each voter: itself plus every voter whose
+    /// delegation chain passes through it. This is what a one-step
+    /// deviation moves; for a sink it equals the resolution's tallied
+    /// weight (discarded chains never reach a sink).
+    pub weight: Vec<usize>,
+    /// Ballots reaching a sink (`n` − discarded).
+    pub tallied: usize,
+    /// `μ = Σ wₛ pₛ` over sinks, accumulated in ascending sink order.
+    pub mu: f64,
+    /// `σ² = Σ wₛ² pₛ(1−pₛ)` over sinks, same order.
+    pub var: f64,
+}
+
+impl RoundSnapshot {
+    /// Snapshots a live engine (the engine already maintains the
+    /// resolution; the carried weights and tally sums are recomputed in
+    /// canonical order, so they are bit-identical to
+    /// [`RoundSnapshot::from_parts`] of the same action vector).
+    pub fn from_engine(engine: &LiveEngine) -> RoundSnapshot {
+        Self::from_resolution(
+            engine.actions().to_vec(),
+            engine.sink_assignments().to_vec(),
+            engine.tallied(),
+            engine.competences(),
+        )
+    }
+
+    /// Snapshots a bare action vector by resolving it from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the resolver's message for cyclic or out-of-range graphs.
+    pub fn from_parts(actions: &[Action], ps: &[f64]) -> Result<RoundSnapshot, String> {
+        let dg = DelegationGraph::new(actions.to_vec());
+        dg.validate_targets().map_err(|e| e.to_string())?;
+        let res = dg.resolve().map_err(|e| e.to_string())?;
+        Ok(Self::from_resolution(
+            actions.to_vec(),
+            res.sink_assignments().to_vec(),
+            res.tallied(),
+            ps,
+        ))
+    }
+
+    fn from_resolution(
+        actions: Vec<Action>,
+        sink_of: Vec<Option<usize>>,
+        tallied: usize,
+        ps: &[f64],
+    ) -> RoundSnapshot {
+        let n = actions.len();
+        // Carried weight per voter (subtree size in the delegation
+        // forest), by a Kahn pass over the single-target edges. The
+        // result is a sum of integers, so it is independent of the
+        // processing order.
+        let mut weight = vec![1usize; n];
+        let mut indeg = vec![0usize; n];
+        for v in 0..n {
+            if let Action::Delegate(t) = actions[v] {
+                if t != v {
+                    indeg[t] += 1;
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        while let Some(v) = ready.pop() {
+            if let Action::Delegate(t) = actions[v] {
+                if t != v {
+                    weight[t] += weight[v];
+                    indeg[t] -= 1;
+                    if indeg[t] == 0 {
+                        ready.push(t);
+                    }
+                }
+            }
+        }
+        let mut mu = 0.0f64;
+        let mut var = 0.0f64;
+        for s in 0..n {
+            if sink_of[s] == Some(s) {
+                let w = weight[s] as f64;
+                let p = ps[s];
+                mu += w * p;
+                var += w * w * p * (1.0 - p);
+            }
+        }
+        RoundSnapshot {
+            actions,
+            sink_of,
+            weight,
+            tallied,
+            mu,
+            var,
+        }
+    }
+
+    /// The snapshot's own decision probability (the "keep" utility).
+    pub fn decision_probability(&self) -> f64 {
+        normal_majority(self.mu, self.var, self.tallied)
+    }
+
+    /// Whether voter `i` sits on the snapshot chain from `j` (so `i`
+    /// delegating to `j` would be a cycle against the snapshot).
+    pub fn chain_passes_through(&self, j: usize, i: usize) -> bool {
+        let mut v = j;
+        for _ in 0..=self.actions.len() {
+            if v == i {
+                return true;
+            }
+            match self.actions[v] {
+                Action::Delegate(t) if t != v => v = t,
+                _ => return false,
+            }
+        }
+        false
+    }
+}
+
+/// `P[correct] = 1 − Φ((T/2 − μ)/σ)` with the `σ = 0` degenerate case
+/// `P = [μ > T/2]` (exact ties lose, matching `TieBreak::Incorrect`).
+///
+/// This expression is normative for the dynamics: the testkit oracle
+/// re-evaluates it with naively recomputed `μ`, `σ²`, `T`.
+pub fn normal_majority(mu: f64, var: f64, tallied: usize) -> f64 {
+    let half = tallied as f64 / 2.0;
+    if tallied == 0 {
+        return 0.0;
+    }
+    if var <= 0.0 {
+        return if mu > half { 1.0 } else { 0.0 };
+    }
+    1.0 - std_normal_cdf((half - mu) / var.sqrt())
+}
+
+/// Where voter `i`'s one-step deviation sends its carried weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deviation {
+    /// Delegate into the chain whose snapshot sink is given (`None` =
+    /// the chain ends in an abstainer and the ballots are discarded).
+    ToSink(Option<usize>),
+    /// Reclaim the vote: voter `i` becomes its own sink.
+    SelfVote,
+}
+
+/// The `(μ′, σ²′, T′)` of voter `i`'s one-step deviation from the
+/// snapshot, evaluated in `O(1)`.
+///
+/// Operation order is normative (the oracle copies it verbatim): first
+/// the voter's `w` ballots leave their current sink, if any
+/// (`μ −= w·p_old`, `σ² −= (W² − (W−w)²)·p_old(1−p_old)`, `T −= w`;
+/// ballots already discarded contribute nothing to remove), then they
+/// arrive at the destination (`μ += w·p_new`,
+/// `σ² += ((W+w)² − W²)·p_new(1−p_new)`, `T += w`; a destination chain
+/// ending in an abstainer discards them instead).
+pub fn deviation_sums(
+    snap: &RoundSnapshot,
+    ps: &[f64],
+    i: usize,
+    dest: Deviation,
+) -> (f64, f64, usize) {
+    let w = snap.weight[i];
+    let wf = w as f64;
+    let mut mu = snap.mu;
+    let mut var = snap.var;
+    let mut tallied = snap.tallied;
+
+    // Departure: remove `w` ballots from the current sink, if any.
+    if let Some(s) = snap.sink_of[i] {
+        let cap = snap.weight[s] as f64;
+        let p = ps[s];
+        mu -= wf * p;
+        var -= (cap * cap - (cap - wf) * (cap - wf)) * p * (1.0 - p);
+        tallied -= w;
+    }
+
+    // Arrival.
+    match dest {
+        Deviation::SelfVote => {
+            mu += wf * ps[i];
+            var += wf * wf * ps[i] * (1.0 - ps[i]);
+            tallied += w;
+        }
+        Deviation::ToSink(Some(s)) => {
+            // The destination sink's weight net of anything `i` was
+            // already contributing to it (the keep case: same sink).
+            let base = if snap.sink_of[i] == Some(s) {
+                (snap.weight[s] - w) as f64
+            } else {
+                snap.weight[s] as f64
+            };
+            let p = ps[s];
+            mu += wf * p;
+            var += ((base + wf) * (base + wf) - base * base) * p * (1.0 - p);
+            tallied += w;
+        }
+        Deviation::ToSink(None) => {}
+    }
+    (mu, var, tallied)
+}
+
+/// Utility of voter `i`'s one-step deviation: the decision probability
+/// of the deviated tally.
+pub fn deviation_probability(snap: &RoundSnapshot, ps: &[f64], i: usize, dest: Deviation) -> f64 {
+    let (mu, var, tallied) = deviation_sums(snap, ps, i, dest);
+    normal_majority(mu, var, tallied)
+}
+
+/// The approval structure moves are restricted to: who each voter may
+/// delegate to (`p_i + α ≤ p_j` among neighbours).
+///
+/// Kept separate from `ld_core::ProblemInstance` so adversarial (shrunk,
+/// relabeled) states with arbitrary competency order remain expressible.
+#[derive(Debug, Clone)]
+pub struct DynamicsView {
+    ps: Vec<f64>,
+    neighbors: Vec<Vec<usize>>,
+    alpha: f64,
+}
+
+impl DynamicsView {
+    /// Wraps per-voter competencies and sorted adjacency lists.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched lengths, out-of-range neighbours, and a
+    /// non-positive `alpha` (the strictness is what keeps every
+    /// approval edge ascending and the candidate graphs acyclic).
+    pub fn new(
+        ps: Vec<f64>,
+        neighbors: Vec<Vec<usize>>,
+        alpha: f64,
+    ) -> Result<DynamicsView, String> {
+        let n = ps.len();
+        if neighbors.len() != n {
+            return Err(format!("{} adjacency rows for {n} voters", neighbors.len()));
+        }
+        if !(alpha > 0.0) || !alpha.is_finite() {
+            return Err(format!("alpha {alpha} must be strictly positive"));
+        }
+        for (i, row) in neighbors.iter().enumerate() {
+            if row.iter().any(|&j| j >= n || j == i) {
+                return Err(format!("bad neighbour in row {i}"));
+            }
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("row {i} not strictly ascending"));
+            }
+        }
+        Ok(DynamicsView {
+            ps,
+            neighbors,
+            alpha,
+        })
+    }
+
+    /// The complete-graph view: every other voter is a neighbour. The
+    /// conformance checks use this as the carrier for bare
+    /// `(actions, ps)` pairs.
+    pub fn complete(ps: &[f64], alpha: f64) -> DynamicsView {
+        let n = ps.len();
+        let neighbors = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        DynamicsView {
+            ps: ps.to_vec(),
+            neighbors,
+            alpha,
+        }
+    }
+
+    /// Electorate size.
+    pub fn n(&self) -> usize {
+        self.ps.len()
+    }
+
+    /// Competencies.
+    pub fn ps(&self) -> &[f64] {
+        &self.ps
+    }
+
+    /// Approval margin.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Voter `i`'s neighbours, ascending.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.neighbors[i]
+    }
+
+    /// Whether `i` approves `j` (adjacent and `p_i + α ≤ p_j`).
+    pub fn approves(&self, i: usize, j: usize) -> bool {
+        self.neighbors[i].binary_search(&j).is_ok() && self.ps[i] + self.alpha <= self.ps[j]
+    }
+}
+
+/// The best move for voter `i` against the snapshot, or `None` if the
+/// voter stays put (frozen, non-single-target, or already optimal).
+///
+/// Candidates are scanned in canonical order — keep, vote directly,
+/// approved targets ascending (descending under
+/// [`TieBreakRule::SkewedForTests`]) — and a later candidate must be
+/// *strictly* better to displace an earlier one.
+pub fn best_move(
+    view: &DynamicsView,
+    snap: &RoundSnapshot,
+    i: usize,
+    rule: MoveRule,
+    tiebreak: TieBreakRule,
+) -> Option<Action> {
+    let current = &snap.actions[i];
+    if rule == MoveRule::Frozen || matches!(current, Action::Abstain | Action::DelegateMany(_)) {
+        return None;
+    }
+    let ps = view.ps();
+    // Higher is better for both rules: best response maximizes the
+    // deviated P[correct]; a manipulator maximizes −σ²′.
+    let score = |dest: Deviation| -> f64 {
+        match rule {
+            MoveRule::BestResponse => deviation_probability(snap, ps, i, dest),
+            MoveRule::VarianceSeeking => {
+                let (_, var, _) = deviation_sums(snap, ps, i, dest);
+                -var
+            }
+            MoveRule::Frozen => unreachable!("filtered above"),
+        }
+    };
+
+    // Keep is always the first candidate: its deviation is wherever the
+    // current action already sends the ballots.
+    let keep_dest = match *current {
+        Action::Vote => Deviation::SelfVote,
+        Action::Delegate(t) if t == i => Deviation::SelfVote,
+        Action::Delegate(t) => Deviation::ToSink(snap.sink_of[t]),
+        _ => unreachable!("filtered above"),
+    };
+    let mut best = score(keep_dest);
+    let mut chosen: Option<Action> = None;
+
+    let consider =
+        |action: Action, dest: Deviation, best: &mut f64, chosen: &mut Option<Action>| {
+            let s = score(dest);
+            if s > *best {
+                *best = s;
+                *chosen = Some(action);
+            }
+        };
+
+    if !matches!(*current, Action::Vote) {
+        consider(Action::Vote, Deviation::SelfVote, &mut best, &mut chosen);
+    }
+    let targets = view.neighbors(i);
+    let scan = |j: usize, best: &mut f64, chosen: &mut Option<Action>| {
+        if ps[i] + view.alpha() > ps[j] {
+            return;
+        }
+        if *current == Action::Delegate(j) {
+            return; // already covered by keep
+        }
+        if snap.chain_passes_through(j, i) {
+            return; // cycle against the snapshot: locally invalid
+        }
+        consider(
+            Action::Delegate(j),
+            Deviation::ToSink(snap.sink_of[j]),
+            best,
+            chosen,
+        );
+    };
+    match tiebreak {
+        TieBreakRule::Canonical => {
+            for &j in targets {
+                scan(j, &mut best, &mut chosen);
+            }
+        }
+        TieBreakRule::SkewedForTests => {
+            for &j in targets.iter().rev() {
+                scan(j, &mut best, &mut chosen);
+            }
+        }
+    }
+    chosen
+}
+
+/// All proposed moves for one round, in canonical voter order: the
+/// serial reference every parallel evaluation must reproduce exactly.
+pub fn propose_moves(
+    view: &DynamicsView,
+    snap: &RoundSnapshot,
+    rules: &[MoveRule],
+    tiebreak: TieBreakRule,
+) -> Vec<(usize, Action)> {
+    (0..view.n())
+        .filter_map(|i| best_move(view, snap, i, rules[i], tiebreak).map(|a| (i, a)))
+        .collect()
+}
+
+/// Why a trajectory ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// No voter changed state in round `round` (either nobody proposed
+    /// a move, or every proposal was rejected as a concurrent cycle).
+    Fixpoint {
+        /// The first round that was a no-op.
+        round: usize,
+    },
+    /// The action state after round `round` recurred from after round
+    /// `first_seen` (`0` = the initial state); `period ≥ 2` always — a
+    /// period-1 revisit is a fixpoint by definition and reported as one.
+    Cycle {
+        /// Earlier round whose state recurred.
+        first_seen: usize,
+        /// `round − first_seen`.
+        period: usize,
+    },
+    /// The round cap elapsed first.
+    Capped,
+}
+
+/// One executed round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based round index.
+    pub round: usize,
+    /// Voters that proposed a change.
+    pub proposed: usize,
+    /// Proposals accepted by the engine.
+    pub applied: usize,
+    /// Proposals rejected (concurrent moves closed a cycle; the voter
+    /// keeps its previous action).
+    pub rejected: usize,
+    /// FNV-1a hash of the action state after the round.
+    pub state_hash: u64,
+    /// Decision probability (normal approximation) after the round.
+    pub decision_probability: f64,
+}
+
+/// Loop configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicsSpec {
+    /// Maximum rounds to execute before reporting [`Termination::Capped`].
+    pub max_rounds: usize,
+    /// Tie-break rule (the mutation hook).
+    pub tiebreak: TieBreakRule,
+}
+
+impl Default for DynamicsSpec {
+    fn default() -> Self {
+        DynamicsSpec {
+            max_rounds: 64,
+            tiebreak: TieBreakRule::Canonical,
+        }
+    }
+}
+
+/// A completed trajectory.
+#[derive(Debug)]
+pub struct Trajectory {
+    /// Executed rounds, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Per-round proposals as `(voter, new action, accepted)`, canonical
+    /// voter order — the replay stream.
+    pub moves: Vec<Vec<(usize, Action, bool)>>,
+    /// Why the loop stopped.
+    pub termination: Termination,
+    /// FNV-1a digest over the whole trajectory (initial state, every
+    /// proposal and acceptance bit, every post-round state hash, the
+    /// termination). Bit-identical across worker counts and tally
+    /// kernels by construction: nothing stochastic feeds it.
+    pub digest: u64,
+    /// The final engine state.
+    pub engine: LiveEngine,
+}
+
+/// FNV-1a over an action state (the cycle-detection key).
+pub fn state_hash(actions: &[Action]) -> u64 {
+    let mut h = Fnv::new();
+    for a in actions {
+        match a {
+            Action::Vote => h.byte(1),
+            Action::Abstain => h.byte(2),
+            Action::Delegate(t) => {
+                h.byte(3);
+                h.u64(*t as u64);
+            }
+            Action::DelegateMany(ts) => {
+                h.byte(4);
+                h.u64(ts.len() as u64);
+                for t in ts {
+                    h.u64(*t as u64);
+                }
+            }
+            _ => h.byte(5),
+        }
+    }
+    h.finish()
+}
+
+/// Incremental FNV-1a (the digest accumulator).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Fresh accumulator at the FNV offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one byte.
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// Folds eight little-endian bytes.
+    pub fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Runs the dynamics with a custom proposal provider and a per-round
+/// hook.
+///
+/// `propose` must return exactly what [`propose_moves`] would (the
+/// parallel evaluator in `ld-sim` fans the same per-voter
+/// [`best_move`] calls across workers and merges in canonical order);
+/// `on_round` observes each executed round after it is applied — the WAL
+/// tee and the kernel stress tally hang off it. The digest is computed
+/// here, from proposals and states only, so it cannot depend on either
+/// hook's behaviour.
+///
+/// # Errors
+///
+/// Construction errors (length mismatches, unresolvable initial state,
+/// multi-target actions) and any error returned by `on_round`.
+pub fn run_dynamics_with(
+    view: &DynamicsView,
+    initial: &[Action],
+    rules: &[MoveRule],
+    spec: &DynamicsSpec,
+    mut propose: impl FnMut(
+        &DynamicsView,
+        &RoundSnapshot,
+        &[MoveRule],
+        TieBreakRule,
+    ) -> Vec<(usize, Action)>,
+    mut on_round: impl FnMut(&LiveEngine, &RoundRecord, &[(usize, Action, bool)]) -> Result<(), String>,
+) -> Result<Trajectory, String> {
+    let n = view.n();
+    if initial.len() != n || rules.len() != n {
+        return Err(format!(
+            "initial/rules lengths {}/{} for {n} voters",
+            initial.len(),
+            rules.len()
+        ));
+    }
+    if !DelegationGraph::new(initial.to_vec()).is_single_target() {
+        return Err("dynamics requires a single-target initial state".to_string());
+    }
+    let mut engine = LiveEngine::new(initial.to_vec(), view.ps().to_vec())
+        .map_err(|e| format!("initial engine: {e}"))?;
+
+    let mut digest = Fnv::new();
+    digest.u64(n as u64);
+    digest.u64(state_hash(initial));
+
+    // Cycle detection: every visited state, keyed by hash with the full
+    // action vector retained so collisions cannot fake a revisit.
+    let mut seen: std::collections::HashMap<u64, Vec<(usize, Vec<Action>)>> =
+        std::collections::HashMap::new();
+    seen.entry(state_hash(initial))
+        .or_default()
+        .push((0, initial.to_vec()));
+
+    let mut rounds: Vec<RoundRecord> = Vec::new();
+    let mut moves: Vec<Vec<(usize, Action, bool)>> = Vec::new();
+    let mut termination = Termination::Capped;
+
+    for round in 1..=spec.max_rounds {
+        let snap = RoundSnapshot::from_engine(&engine);
+        let proposals = propose(view, &snap, rules, spec.tiebreak);
+        debug_assert!(proposals.windows(2).all(|w| w[0].0 < w[1].0));
+        if proposals.is_empty() {
+            termination = Termination::Fixpoint { round };
+            break;
+        }
+        let updates: Vec<Update> = proposals
+            .iter()
+            .map(|&(voter, ref a)| match *a {
+                Action::Vote => Update::Vote { voter },
+                Action::Delegate(target) => Update::Delegate { voter, target },
+                _ => unreachable!("best_move only proposes Vote/Delegate"),
+            })
+            .collect();
+        let report = engine.apply_batch(&updates);
+        debug_assert!(report
+            .rejected
+            .iter()
+            .all(|(_, r)| matches!(r, RejectReason::WouldCreateCycle { .. })));
+        let mut applied_moves: Vec<(usize, Action, bool)> = Vec::with_capacity(proposals.len());
+        let mut rejected_ix = report.rejected.iter().map(|&(ix, _)| ix).peekable();
+        for (ix, (voter, action)) in proposals.into_iter().enumerate() {
+            let rejected = rejected_ix.peek() == Some(&ix);
+            if rejected {
+                rejected_ix.next();
+            }
+            applied_moves.push((voter, action, !rejected));
+        }
+        let applied = applied_moves.iter().filter(|m| m.2).count();
+        if applied == 0 {
+            // Every concurrent move was a cycle: the state is unchanged,
+            // which is a fixpoint, never a period-1 "cycle".
+            termination = Termination::Fixpoint { round };
+            break;
+        }
+        let h = state_hash(engine.actions());
+        digest.u64(round as u64);
+        for (voter, action, accepted) in &applied_moves {
+            digest.u64(*voter as u64);
+            match action {
+                Action::Vote => digest.byte(1),
+                Action::Delegate(t) => {
+                    digest.byte(3);
+                    digest.u64(*t as u64);
+                }
+                _ => unreachable!("best_move only proposes Vote/Delegate"),
+            }
+            digest.byte(u8::from(*accepted));
+        }
+        digest.u64(h);
+        let record = RoundRecord {
+            round,
+            proposed: applied_moves.len(),
+            applied,
+            rejected: applied_moves.len() - applied,
+            state_hash: h,
+            decision_probability: RoundSnapshot::from_engine(&engine).decision_probability(),
+        };
+        on_round(&engine, &record, &applied_moves)?;
+        rounds.push(record);
+        moves.push(applied_moves);
+
+        let entry = seen.entry(h).or_default();
+        if let Some(&(first_seen, _)) = entry
+            .iter()
+            .find(|(_, state)| state.as_slice() == engine.actions())
+        {
+            termination = Termination::Cycle {
+                first_seen,
+                period: round - first_seen,
+            };
+            break;
+        }
+        entry.push((round, engine.actions().to_vec()));
+    }
+
+    match termination {
+        Termination::Fixpoint { round } => {
+            digest.byte(0xF1);
+            digest.u64(round as u64);
+        }
+        Termination::Cycle { first_seen, period } => {
+            digest.byte(0xC1);
+            digest.u64(first_seen as u64);
+            digest.u64(period as u64);
+        }
+        Termination::Capped => digest.byte(0xCA),
+    }
+
+    Ok(Trajectory {
+        rounds,
+        moves,
+        termination,
+        digest: digest.finish(),
+        engine,
+    })
+}
+
+/// Runs the dynamics with the serial reference proposal order and no
+/// round hook.
+///
+/// # Errors
+///
+/// See [`run_dynamics_with`].
+pub fn run_dynamics(
+    view: &DynamicsView,
+    initial: &[Action],
+    rules: &[MoveRule],
+    spec: &DynamicsSpec,
+) -> Result<Trajectory, String> {
+    run_dynamics_with(view, initial, rules, spec, propose_moves, |_, _, _| Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest(n: usize) -> Vec<MoveRule> {
+        vec![MoveRule::BestResponse; n]
+    }
+
+    #[test]
+    fn small_all_vote_instance_converges() {
+        let ps = [0.3, 0.4, 0.9];
+        let view = DynamicsView::complete(&ps, 0.05);
+        let initial = vec![Action::Vote; 3];
+        let traj = run_dynamics(&view, &initial, &honest(3), &DynamicsSpec::default()).unwrap();
+        assert!(
+            matches!(traj.termination, Termination::Fixpoint { .. }),
+            "{:?}",
+            traj.termination
+        );
+        assert!(!traj.rounds.is_empty(), "someone should want to delegate");
+        // A fixpoint means one more round proposes nothing.
+        let snap = RoundSnapshot::from_engine(&traj.engine);
+        assert!(propose_moves(&view, &snap, &honest(3), TieBreakRule::Canonical).is_empty());
+    }
+
+    #[test]
+    fn linear_profile_anti_coordination_cycles() {
+        // Six voters, linear profile, everyone starts direct: the crowd
+        // piles onto the top sink, overshoots (one bloc's majority is
+        // scale-invariant, so concentrating hurts), peels off, and
+        // re-piles — a genuine period-3 limit cycle under simultaneous
+        // best responses.
+        let ps: Vec<f64> = (0..6).map(|i| 0.3 + 0.08 * i as f64).collect();
+        let view = DynamicsView::complete(&ps, 0.05);
+        let initial = vec![Action::Vote; 6];
+        let traj = run_dynamics(&view, &initial, &honest(6), &DynamicsSpec::default()).unwrap();
+        assert_eq!(
+            traj.termination,
+            Termination::Cycle {
+                first_seen: 1,
+                period: 3
+            }
+        );
+    }
+
+    #[test]
+    fn trajectory_is_deterministic() {
+        let ps: Vec<f64> = (0..9).map(|i| 0.25 + 0.07 * i as f64).collect();
+        let view = DynamicsView::complete(&ps, 0.05);
+        let mut initial = vec![Action::Vote; 9];
+        initial[0] = Action::Delegate(4);
+        initial[2] = Action::Delegate(5);
+        let a = run_dynamics(&view, &initial, &honest(9), &DynamicsSpec::default()).unwrap();
+        let b = run_dynamics(&view, &initial, &honest(9), &DynamicsSpec::default()).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.termination, b.termination);
+        assert_eq!(a.engine.actions(), b.engine.actions());
+    }
+
+    #[test]
+    fn frozen_voters_never_move() {
+        let ps = [0.3, 0.4, 0.5, 0.9];
+        let view = DynamicsView::complete(&ps, 0.05);
+        let initial = vec![Action::Vote; 4];
+        let rules = vec![MoveRule::Frozen; 4];
+        let traj = run_dynamics(&view, &initial, &rules, &DynamicsSpec::default()).unwrap();
+        assert_eq!(traj.termination, Termination::Fixpoint { round: 1 });
+        assert!(traj.rounds.is_empty());
+    }
+
+    #[test]
+    fn abstainers_are_frozen_and_discarded_ballots_get_reclaimed() {
+        // 0 delegates into an abstainer: its ballot is discarded. With
+        // two live sinks, feeding the better one strictly improves P
+        // (with a single sink it would not — the majority z-score of
+        // one bloc is scale-invariant), so 0 re-delegates to 2.
+        let ps = [0.3, 0.55, 0.6, 0.9];
+        let view = DynamicsView::complete(&ps, 0.05);
+        let initial = vec![
+            Action::Delegate(3),
+            Action::Vote,
+            Action::Vote,
+            Action::Abstain,
+        ];
+        let snap = RoundSnapshot::from_parts(&initial, &ps).unwrap();
+        assert_eq!(snap.sink_of[0], None);
+        let m = best_move(
+            &view,
+            &snap,
+            0,
+            MoveRule::BestResponse,
+            TieBreakRule::Canonical,
+        );
+        assert_eq!(m, Some(Action::Delegate(2)));
+        assert_eq!(
+            best_move(
+                &view,
+                &snap,
+                3,
+                MoveRule::BestResponse,
+                TieBreakRule::Canonical
+            ),
+            None,
+            "abstainers are frozen"
+        );
+    }
+
+    #[test]
+    fn skewed_tiebreak_diverges_on_a_shared_sink_tie() {
+        // 0 can reach the top sink 3 via 1, 2 (both delegate to 3) or
+        // directly: three candidates with bit-identical utilities. The
+        // canonical rule picks the lowest index, the skew the highest.
+        let ps = [0.3, 0.5, 0.55, 0.9];
+        let view = DynamicsView::complete(&ps, 0.05);
+        let initial = vec![
+            Action::Vote,
+            Action::Delegate(3),
+            Action::Delegate(3),
+            Action::Vote,
+        ];
+        let snap = RoundSnapshot::from_parts(&initial, &ps).unwrap();
+        let canonical = best_move(
+            &view,
+            &snap,
+            0,
+            MoveRule::BestResponse,
+            TieBreakRule::Canonical,
+        );
+        let skewed = best_move(
+            &view,
+            &snap,
+            0,
+            MoveRule::BestResponse,
+            TieBreakRule::SkewedForTests,
+        );
+        assert_eq!(canonical, Some(Action::Delegate(1)));
+        assert_eq!(skewed, Some(Action::Delegate(3)));
+    }
+
+    #[test]
+    fn variance_seeker_prefers_the_extreme_sink() {
+        // Joining a sink turns w² + W² into (W+w)², so a manipulator
+        // only moves when the destination is extreme enough: removing
+        // 0's own 1²·0.21 term and adding 3·p(1−p) at the target must
+        // shrink σ². p = 0.97 qualifies (3·0.0291 < 0.21); the
+        // middling sinks do not.
+        let ps = [0.3, 0.4, 0.5, 0.97];
+        let view = DynamicsView::complete(&ps, 0.05);
+        let initial = vec![Action::Vote, Action::Vote, Action::Vote, Action::Vote];
+        let snap = RoundSnapshot::from_parts(&initial, &ps).unwrap();
+        let m = best_move(
+            &view,
+            &snap,
+            0,
+            MoveRule::VarianceSeeking,
+            TieBreakRule::Canonical,
+        );
+        assert_eq!(m, Some(Action::Delegate(3)), "p=0.97 minimizes σ²");
+    }
+
+    #[test]
+    fn deviation_sums_match_a_recomputed_snapshot() {
+        // Moving 0's subtree and re-snapshotting from scratch must land
+        // on the same (μ, σ², T) the O(1) delta reports.
+        let ps = [0.3, 0.45, 0.6, 0.7, 0.9];
+        let initial = vec![
+            Action::Delegate(2),
+            Action::Delegate(2),
+            Action::Vote,
+            Action::Vote,
+            Action::Vote,
+        ];
+        let snap = RoundSnapshot::from_parts(&initial, &ps).unwrap();
+        let (mu, var, tallied) = deviation_sums(&snap, &ps, 0, Deviation::ToSink(Some(4)));
+        let mut moved = initial.clone();
+        moved[0] = Action::Delegate(4);
+        let re = RoundSnapshot::from_parts(&moved, &ps).unwrap();
+        assert_eq!(tallied, re.tallied);
+        assert!((mu - re.mu).abs() < 1e-12, "{mu} vs {}", re.mu);
+        assert!((var - re.var).abs() < 1e-12, "{var} vs {}", re.var);
+    }
+
+    #[test]
+    fn state_hash_distinguishes_actions() {
+        let a = vec![Action::Vote, Action::Delegate(0)];
+        let b = vec![Action::Vote, Action::Delegate(1)];
+        let c = vec![Action::Vote, Action::Abstain];
+        assert_ne!(state_hash(&a), state_hash(&b));
+        assert_ne!(state_hash(&a), state_hash(&c));
+    }
+}

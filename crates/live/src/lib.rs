@@ -22,6 +22,10 @@
 //! * [`workload`] — seeded synthetic churn traces (configurable update
 //!   mix, Zipf-skewed delegation targets) used by the `repro stress`
 //!   driver and the benchmarks.
+//! * [`dynamics`] — deterministic best-response re-delegation rounds on
+//!   top of the engine: each round scores every voter's candidate moves
+//!   against an immutable snapshot and applies the winners as one batch,
+//!   iterating to a fixpoint, a detected cycle, or a round cap.
 //!
 //! The engine's exported [`LiveEngine::resolution`] is bit-identical to
 //! resolving its current action vector from scratch — the property the
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod dynamics;
 mod engine;
 pub mod workload;
 

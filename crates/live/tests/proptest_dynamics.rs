@@ -1,0 +1,229 @@
+//! Properties of the best-response dynamics loop.
+//!
+//! * The best-response step is relabel-equivariant: permuting voter
+//!   labels permutes the proposals, up to the canonical tie-break (which
+//!   is label-ordered by design). Ties are real, not just f64 noise —
+//!   e.g. when a departure leaves a single sink, `z = (wp − w/2)/(w√pq)`
+//!   is scale-invariant in `w`, so joining that sink and parking on a
+//!   discarded chain score identically — so the label-free invariants
+//!   are the *achieved* score, the keep score, and the move/no-move
+//!   decision whenever the margin over keep is decisive.
+//! * A fixpoint is stable: restarting the loop from a fixpoint state
+//!   executes zero rounds.
+//! * Cycle detection never mislabels a fixpoint: a reported cycle has
+//!   period ≥ 2 and its final state still proposes (and applies) moves.
+
+use ld_core::delegation::Action;
+use ld_live::dynamics::{
+    best_move, deviation_probability, propose_moves, run_dynamics, Deviation, DynamicsSpec,
+    DynamicsView, MoveRule, RoundSnapshot, Termination, TieBreakRule,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const ALPHA: f64 = 0.05;
+
+/// Distinct competencies in (0.1, 0.95): ranks are shuffled by the
+/// caller-supplied permutation; the quadratic perturbation breaks the
+/// even grid's mirror symmetry (pairs summing to exactly 1.0) so no two
+/// *distinct* sinks can produce exactly tied deviation scores — the
+/// only exact score ties left are same-sink candidates, which the
+/// canonical tie-break resolves within one sink class and which are
+/// therefore invisible to the label-free move signature.
+fn distinct_ps(n: usize, order: &[usize]) -> Vec<f64> {
+    let mut ps = vec![0.0; n];
+    for (rank, &v) in order.iter().enumerate() {
+        ps[v] = 0.1 + 0.8 * (rank as f64 + 0.5) / n as f64 + (rank * rank + 1) as f64 * 7.3e-4;
+    }
+    ps
+}
+
+/// A permutation of `0..n` derived from a proptest shuffle vector.
+fn permutation(n: usize, raw: &[usize]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for (i, &r) in raw.iter().enumerate().take(n) {
+        perm.swap(i, r % n);
+    }
+    perm
+}
+
+/// Builds an acyclic single-target action vector: each voter votes,
+/// abstains, or delegates strictly forward in index order.
+fn forward_actions(n: usize, raw: &[(usize, usize)]) -> Vec<Action> {
+    (0..n)
+        .map(|i| {
+            let (kind, tgt) = raw[i];
+            match kind % 4 {
+                0 | 1 => Action::Vote,
+                2 => Action::Abstain,
+                _ if i + 1 < n => Action::Delegate(i + 1 + tgt % (n - i - 1).max(1)),
+                _ => Action::Vote,
+            }
+        })
+        .collect()
+}
+
+/// Applies a voter relabeling to an action vector: voter `v` becomes
+/// `perm[v]` and delegation targets are renamed the same way.
+fn relabel_actions(actions: &[Action], perm: &[usize]) -> Vec<Action> {
+    let mut out = vec![Action::Vote; actions.len()];
+    for (v, a) in actions.iter().enumerate() {
+        out[perm[v]] = match a {
+            Action::Vote => Action::Vote,
+            Action::Abstain => Action::Abstain,
+            Action::Delegate(t) => Action::Delegate(perm[*t]),
+            other => other.clone(),
+        };
+    }
+    out
+}
+
+/// The label-free content of one voter's best response: whether it
+/// moves, the score the chosen move achieves (the keep score when it
+/// stays put), and the keep score itself. The chosen *target* is
+/// deliberately absent — it is only defined up to exact score ties,
+/// which the canonical tie-break resolves by label.
+fn move_signature(view: &DynamicsView, snap: &RoundSnapshot, i: usize) -> (bool, f64, f64) {
+    let ps = view.ps();
+    let keep = match snap.actions[i] {
+        Action::Vote => deviation_probability(snap, ps, i, Deviation::SelfVote),
+        Action::Delegate(t) if t == i => deviation_probability(snap, ps, i, Deviation::SelfVote),
+        Action::Delegate(t) => {
+            deviation_probability(snap, ps, i, Deviation::ToSink(snap.sink_of[t]))
+        }
+        // Abstain/multi-target voters are frozen; best_move returns None
+        // and the keep score never enters a comparison.
+        _ => 0.0,
+    };
+    match best_move(
+        view,
+        snap,
+        i,
+        MoveRule::BestResponse,
+        TieBreakRule::Canonical,
+    ) {
+        None => (false, keep, keep),
+        Some(Action::Vote) => (
+            true,
+            deviation_probability(snap, ps, i, Deviation::SelfVote),
+            keep,
+        ),
+        Some(Action::Delegate(j)) => (
+            true,
+            deviation_probability(snap, ps, i, Deviation::ToSink(snap.sink_of[j])),
+            keep,
+        ),
+        Some(other) => panic!("best_move proposed {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn best_response_step_is_relabel_equivariant(
+        n in 2usize..10,
+        raw_actions in vec((0usize..4, 0usize..16), 10),
+        raw_order in vec(0usize..16, 10),
+        raw_perm in vec(0usize..16, 10),
+    ) {
+        let order = permutation(n, &raw_order);
+        let perm = permutation(n, &raw_perm);
+        let ps = distinct_ps(n, &order);
+        let actions = forward_actions(n, &raw_actions);
+
+        let view = DynamicsView::complete(&ps, ALPHA);
+        let snap = RoundSnapshot::from_parts(&actions, &ps).expect("forward graphs resolve");
+
+        let mut ps_rel = vec![0.0; n];
+        for v in 0..n {
+            ps_rel[perm[v]] = ps[v];
+        }
+        let actions_rel = relabel_actions(&actions, &perm);
+        let view_rel = DynamicsView::complete(&ps_rel, ALPHA);
+        let snap_rel =
+            RoundSnapshot::from_parts(&actions_rel, &ps_rel).expect("relabeled graphs resolve");
+
+        for i in 0..n {
+            let (moved, achieved, keep) = move_signature(&view, &snap, i);
+            let (moved_r, achieved_r, keep_r) = move_signature(&view_rel, &snap_rel, perm[i]);
+            prop_assert!(
+                (achieved - achieved_r).abs() < 1e-9,
+                "voter {} / image {}: achieved {} vs relabeled {}\n  n={} actions={:?}\n  ps={:?}\n  perm={:?}",
+                i, perm[i], achieved, achieved_r, n, &actions, &ps, &perm
+            );
+            prop_assert!(
+                (keep - keep_r).abs() < 1e-9,
+                "voter {} / image {}: keep score {} vs relabeled {}",
+                i, perm[i], keep, keep_r
+            );
+            // The move/no-move decision may only disagree inside an exact
+            // score tie with keep (where the canonical tie-break is
+            // label-ordered by design).
+            if moved != moved_r {
+                prop_assert!(
+                    (achieved - keep).abs() < 1e-9,
+                    "voter {} / image {}: moved {} vs {} with decisive margin {}\n  n={} actions={:?}\n  ps={:?}\n  perm={:?}",
+                    i, perm[i], moved, moved_r, achieved - keep, n, &actions, &ps, &perm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoints_are_stable_and_cycles_are_never_fixpoints(
+        n in 2usize..10,
+        raw_actions in vec((0usize..4, 0usize..16), 10),
+        raw_order in vec(0usize..16, 10),
+    ) {
+        let order = permutation(n, &raw_order);
+        let ps = distinct_ps(n, &order);
+        let actions = forward_actions(n, &raw_actions);
+        let view = DynamicsView::complete(&ps, ALPHA);
+        let rules = vec![MoveRule::BestResponse; n];
+        let spec = DynamicsSpec { max_rounds: 24, tiebreak: TieBreakRule::Canonical };
+        let traj = run_dynamics(&view, &actions, &rules, &spec).expect("forward graphs run");
+
+        match traj.termination {
+            Termination::Fixpoint { .. } => {
+                // One more loop from the fixpoint executes zero rounds.
+                let rerun = run_dynamics(&view, traj.engine.actions(), &rules, &spec)
+                    .expect("fixpoint state runs");
+                prop_assert_eq!(rerun.termination, Termination::Fixpoint { round: 1 });
+                prop_assert!(rerun.rounds.is_empty());
+            }
+            Termination::Cycle { first_seen, period } => {
+                // A period-1 revisit is a fixpoint by definition and must
+                // be reported as one; and a genuinely cycling state keeps
+                // proposing moves.
+                prop_assert!(period >= 2, "cycle with period {}", period);
+                prop_assert_eq!(first_seen + period, traj.rounds.len());
+                let snap = RoundSnapshot::from_engine(&traj.engine);
+                prop_assert!(
+                    !propose_moves(&view, &snap, &rules, TieBreakRule::Canonical).is_empty(),
+                    "cycling state proposes no moves — that is a fixpoint"
+                );
+            }
+            Termination::Capped => {}
+        }
+    }
+
+    #[test]
+    fn trajectory_digest_is_a_pure_function_of_the_start_state(
+        n in 2usize..10,
+        raw_actions in vec((0usize..4, 0usize..16), 10),
+        raw_order in vec(0usize..16, 10),
+    ) {
+        let order = permutation(n, &raw_order);
+        let ps = distinct_ps(n, &order);
+        let actions = forward_actions(n, &raw_actions);
+        let view = DynamicsView::complete(&ps, ALPHA);
+        let rules = vec![MoveRule::BestResponse; n];
+        let spec = DynamicsSpec { max_rounds: 24, tiebreak: TieBreakRule::Canonical };
+        let a = run_dynamics(&view, &actions, &rules, &spec).expect("runs");
+        let b = run_dynamics(&view, &actions, &rules, &spec).expect("runs");
+        prop_assert_eq!(a.digest, b.digest);
+        prop_assert_eq!(a.termination, b.termination);
+        prop_assert_eq!(a.engine.actions(), b.engine.actions());
+    }
+}

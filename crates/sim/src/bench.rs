@@ -270,6 +270,46 @@ pub fn run_baseline(seed: u64, quick: bool) -> Result<Vec<BenchResult>> {
         }));
     }
 
+    // dynamics_round_1k: one full best-response round on a
+    // Watts–Strogatz ring at n = 1024 — the proposal sweep (score every
+    // voter's keep / direct-vote / neighbour deviations against an
+    // immutable snapshot) plus the batch apply onto a fresh engine.
+    // The snapshot is fixed so every iteration prices the same round;
+    // trajectory iteration costs are this times the round count.
+    {
+        use crate::dynamics::{prepare_cell, DynCell, DynTopology};
+        use ld_live::dynamics::{propose_moves, MoveRule, RoundSnapshot, TieBreakRule};
+        use ld_live::Update;
+        let n = 1024;
+        let cell = DynCell {
+            topology: DynTopology::WattsStrogatz(6, 0.1),
+            n,
+        };
+        let prepared = prepare_cell(&cell, seed)?;
+        let engine = LiveEngine::new(
+            prepared.initial.clone(),
+            prepared.instance.profile().as_slice().to_vec(),
+        )
+        .map_err(|e| SimError::Config {
+            reason: format!("bench dynamics engine: {e}"),
+        })?;
+        let snap = RoundSnapshot::from_engine(&engine);
+        let rules = vec![MoveRule::BestResponse; n];
+        out.push(time_iters("dynamics_round_1k", n, iters(100), || {
+            let proposals = propose_moves(&prepared.view, &snap, &rules, TieBreakRule::Canonical);
+            let updates: Vec<Update> = proposals
+                .iter()
+                .map(|&(voter, ref a)| match *a {
+                    Action::Vote => Update::Vote { voter },
+                    Action::Delegate(target) => Update::Delegate { voter, target },
+                    _ => unreachable!("best_move only proposes Vote/Delegate"),
+                })
+                .collect();
+            let mut round_engine = engine.clone();
+            let _ = round_engine.apply_batch(&updates);
+        }));
+    }
+
     // wal_append_1m: one WAL record append (fsync every 1024) from a
     // prepared update stream; the full run appends 1M records — the
     // write-path budget of an n = 10⁷-scale durable harness run.
@@ -726,6 +766,7 @@ mod tests {
                 "live_update",
                 "live_batch64",
                 "graph_regular",
+                "dynamics_round_1k",
                 "wal_append_1m",
                 "recover_snapshot_1m",
                 "serve_ingest",

@@ -14,12 +14,14 @@
 //! repro recover --dir results/wal --verify-full-replay  # rehydrate + bit-compare tally
 //! repro store-bench            # snapshot+tail vs full-log replay (>=10x gate)
 //! repro conformance --quick    # differential/metamorphic conformance gate
+//! repro dynamics --quick       # best-response re-delegation to fixpoint/cycle
+//! repro dynamics --kernel packed --wal results/dynwal  # stress kernels + WAL tee
 //! repro serve-bench --quick    # sharded service: throughput + p50/p99 + oracle check
 //! repro serve-bench --dir D --kill-at K  # commit an epoch, then die abruptly
 //! repro serve-recover --dir D  # restart the killed service, verify the digest
 //! repro serve --selftest       # host an election over the loopback wire codec
 //! repro serve --socket PATH    # ... or over a Unix domain socket (SIGTERM drains)
-//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_8.json
+//! repro bench-baseline --quick # pinned perf micro-suite -> BENCH_9.json
 //! repro bench-compare OLD NEW  # fail on >30% ns/iter regression
 //! repro all --obs-summary      # append the ld-obs metrics table
 //! ```
@@ -125,7 +127,7 @@ fn parse_args() -> Result<Args, String> {
                      [--max-wall SECS] [--max-retries N] [--fail-fast] \
                      [--obs-summary] [--obs-jsonl PATH] \
                      <id>... | all | verify | sweep ... | stress ... | recover ... \
-                     | store-bench ... | conformance ... \
+                     | store-bench ... | conformance ... | dynamics ... \
                      | serve-bench ... | serve-recover ... | serve ... \
                      | bench-baseline ... | bench-compare OLD NEW"
                 );
@@ -570,8 +572,8 @@ fn run_stress_command() -> ExitCode {
 }
 
 /// Handles `repro conformance [--quick] [--seed N] [--json PATH]
-/// [--only CHECK] [--case SUBSTR]
-/// [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold]`:
+/// [--only CHECK[,CHECK...]] [--case SUBSTR]
+/// [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold|br-tiebreak]`:
 /// runs the `ld-testkit` differential/metamorphic grid plus the
 /// simulation-layer checks, prints every mismatch with its shrunk minimal
 /// instance and a one-line reproduction command, and exits non-zero on
@@ -580,8 +582,8 @@ fn run_conformance_command() -> ExitCode {
     use ld_testkit::{ConformanceConfig, Mutation};
 
     let usage = "usage: repro conformance [--quick] [--seed N] [--json PATH] \
-                 [--only CHECK] [--case SUBSTR] \
-                 [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold] \
+                 [--only CHECK[,CHECK...]] [--case SUBSTR] \
+                 [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold|br-tiebreak] \
                  [--no-corpus]";
     let mut cfg = ConformanceConfig::default();
     let mut json: Option<PathBuf> = None;
@@ -633,7 +635,7 @@ fn run_conformance_command() -> ExitCode {
                 None => {
                     eprintln!(
                         "bad or missing --mutate value (known: tie-flip, csr-offset, \
-                         wal-crc, shard-route, packed-threshold)\n{usage}"
+                         wal-crc, shard-route, packed-threshold, br-tiebreak)\n{usage}"
                     );
                     return ExitCode::FAILURE;
                 }
@@ -707,6 +709,168 @@ fn run_conformance_command() -> ExitCode {
         eprintln!("\n(mutation smoke test: detection is the EXPECTED outcome)");
     }
     ExitCode::FAILURE
+}
+
+/// Handles `repro dynamics [--quick] [--seed N] [--workers N]
+/// [--kernel exact|packed[:samples]] [--rounds N] [--coalitions K1,K2,..]
+/// [--wal DIR] [--obs-summary] [--obs-jsonl PATH]`: runs best-response
+/// re-delegation rounds over the seeded topology grid to a fixpoint, a
+/// detected limit cycle, or the round cap, then sweeps a seeded
+/// variance-seeking coalition of each requested size. Every trajectory
+/// is deterministic given `(seed, round)` — the printed grid digest is
+/// bit-identical across worker counts and Exact/Packed kernels. With
+/// `--wal DIR` every round's accepted moves are teed through an
+/// `ld-store` WAL and recovery is verified bit-for-bit; a divergence
+/// (or a grid with no converging cell) is a non-zero exit.
+fn run_dynamics_command() -> ExitCode {
+    use ld_sim::dynamics::{run_dynamics, DynamicsConfig};
+    use ld_sim::engine::TallyKernel;
+
+    let usage = "usage: repro dynamics [--quick] [--seed N] [--workers N] \
+                 [--kernel exact|packed[:samples]] [--rounds N] [--coalitions K1,K2,...] \
+                 [--wal DIR] [--obs-summary] [--obs-jsonl PATH]";
+    let mut quick = false;
+    let mut seed = ExperimentConfig::default().seed;
+    let mut workers: Option<usize> = None;
+    let mut kernel = TallyKernel::Exact;
+    let mut rounds: Option<usize> = None;
+    let mut coalitions: Option<Vec<usize>> = None;
+    let mut wal: Option<PathBuf> = None;
+    let mut obs_summary = false;
+    let mut obs_jsonl: Option<PathBuf> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        let next = |i: usize| -> Option<&String> { argv.get(i + 1) };
+        match argv[i].as_str() {
+            "--quick" | "-q" => {
+                quick = true;
+                i += 1;
+                continue;
+            }
+            "--obs-summary" => {
+                obs_summary = true;
+                i += 1;
+                continue;
+            }
+            "--seed" | "-s" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("bad or missing --seed value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" | "-w" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) => workers = Some(v),
+                None => {
+                    eprintln!("bad or missing --workers value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--kernel" => {
+                let parsed = next(i).and_then(|v| match v.split_once(':') {
+                    None if v == "exact" => Some(TallyKernel::Exact),
+                    None if v == "packed" => Some(TallyKernel::Packed { samples: 64 }),
+                    Some(("packed", s)) => Some(TallyKernel::Packed {
+                        samples: s.parse().ok()?,
+                    }),
+                    _ => None,
+                });
+                match parsed {
+                    Some(k) => kernel = k,
+                    None => {
+                        eprintln!("bad or missing --kernel (exact | packed[:samples])\n{usage}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--rounds" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) => rounds = Some(v),
+                None => {
+                    eprintln!("bad or missing --rounds value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--coalitions" => {
+                let parsed: Option<Vec<usize>> =
+                    next(i).map(|v| v.split(',').filter_map(|p| p.trim().parse().ok()).collect());
+                match parsed {
+                    Some(ks) if !ks.is_empty() => coalitions = Some(ks),
+                    _ => {
+                        eprintln!("bad or missing --coalitions list\n{usage}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--wal" => wal = next(i).map(PathBuf::from),
+            "--obs-jsonl" => obs_jsonl = next(i).map(PathBuf::from),
+            other => {
+                eprintln!("unknown dynamics argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    let mut cfg = if quick {
+        DynamicsConfig::quick(seed)
+    } else {
+        DynamicsConfig::new(seed)
+    };
+    cfg.kernel = kernel;
+    if let Some(w) = workers {
+        cfg.workers = w.max(1);
+    }
+    if let Some(r) = rounds {
+        cfg.max_rounds = r.max(1);
+    }
+    if let Some(ks) = coalitions {
+        let mut ks = ks;
+        if !ks.contains(&0) {
+            // The k=0 baseline anchors every delta column.
+            ks.insert(0, 0);
+        }
+        cfg.coalitions = ks;
+    }
+    cfg.wal = wal;
+    eprintln!(
+        "dynamics: {} grid, seed {seed}, {} worker(s), {:?} kernel, cap {} round(s){} ...",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.workers,
+        cfg.kernel,
+        cfg.max_rounds,
+        if cfg.wal.is_some() { ", WAL tee" } else { "" }
+    );
+    match run_dynamics(&cfg) {
+        Ok(report) => {
+            for table in &report.tables {
+                print!("{}", table.to_text());
+            }
+            println!("grid digest: {:#018x}", report.grid_digest);
+            if cfg.wal.is_some() {
+                println!("cross-check: WAL recovery == live trajectory (every cell): ok");
+            }
+            emit_obs(obs_summary, obs_jsonl.as_deref());
+            if report.converged == 0 {
+                eprintln!(
+                    "dynamics: FAIL — no cell reached a fixpoint ({} cycled, {} capped)",
+                    report.cycled, report.capped
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "dynamics: PASS ({} fixpoint(s), {} cycle(s), {} capped over {} cell(s))",
+                report.converged,
+                report.cycled,
+                report.capped,
+                report.outcomes.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Handles `repro recover --dir DIR [--verify-full-replay]`: rehydrates
@@ -1317,7 +1481,7 @@ fn emit_obs(obs_summary: bool, obs_jsonl: Option<&std::path::Path>) {
 
 /// Handles `repro bench-baseline [--quick] [--out PATH] [--seed N]
 /// [--slowdown X]`: runs the pinned perf micro-suite and writes the
-/// `BENCH_*.json` baseline (default `BENCH_8.json`). `--slowdown X` is a
+/// `BENCH_*.json` baseline (default `BENCH_9.json`). `--slowdown X` is a
 /// maintenance hook that multiplies the recorded timings, for
 /// demonstrating that the CI comparison gate really fails.
 fn run_bench_baseline_command() -> ExitCode {
@@ -1325,7 +1489,7 @@ fn run_bench_baseline_command() -> ExitCode {
     use ld_sim::table::Table;
 
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_8.json");
+    let mut out = PathBuf::from("BENCH_9.json");
     let mut seed: u64 = 0x1DDE_BEAC;
     let mut slowdown: Option<f64> = None;
     let argv: Vec<String> = std::env::args().collect();
@@ -1536,6 +1700,12 @@ fn main() -> ExitCode {
     // And the conformance gate (differential/metamorphic test suite).
     if std::env::args().nth(1).is_some_and(|a| a == "conformance") {
         return run_conformance_command();
+    }
+
+    // Strategic re-delegation dynamics (flags beyond the generic
+    // experiment runner: kernel, round cap, coalition sweep, WAL tee).
+    if std::env::args().nth(1).is_some_and(|a| a == "dynamics") {
+        return run_dynamics_command();
     }
 
     // The sharded election service: bench gate, restart check, host.

@@ -45,12 +45,21 @@ pub fn run_full_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
             check_store_crash_recovery,
         ),
     ];
-    // `--only <sim check>` names a check the testkit grid does not know;
-    // skip the grid instead of letting it reject the id.
-    let only_is_sim = cfg
-        .only
-        .as_deref()
-        .is_some_and(|o| sim_checks.iter().any(|(name, _, _)| *name == o));
+    // `--only` takes a comma-separated id list; when every named check
+    // is a sim-layer one the testkit grid does not know, skip the grid
+    // instead of letting it reject the ids.
+    let only_parts: Option<Vec<&str>> = cfg.only.as_deref().map(|o| {
+        o.split(',')
+            .map(str::trim)
+            .filter(|part| !part.is_empty())
+            .collect()
+    });
+    let only_is_sim = only_parts.as_ref().is_some_and(|parts| {
+        !parts.is_empty()
+            && parts
+                .iter()
+                .all(|p| sim_checks.iter().any(|(name, _, _)| name == p))
+    });
     let mut report = if only_is_sim {
         ConformanceReport {
             master_seed: cfg.seed,
@@ -66,7 +75,10 @@ pub fn run_full_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
         run_conformance(cfg)
     };
     for (check, cell, run) in sim_checks {
-        if cfg.only.as_deref().is_some_and(|o| o != check) {
+        if only_parts
+            .as_ref()
+            .is_some_and(|parts| !parts.contains(&check))
+        {
             continue;
         }
         if cfg

@@ -1,0 +1,55 @@
+//! **Dynamics** — best-response re-delegation until convergence.
+//!
+//! The paper's one-shot mechanisms produce a single delegation graph;
+//! this experiment lets voters *respond* to it: every round each voter
+//! evaluates keep / switch edge / vote directly against an immutable
+//! snapshot (utility = expected correctness under the normal
+//! approximation of the tally), and the round applies as one
+//! `LiveEngine` batch — iterating to a fixpoint, a detected limit
+//! cycle, or a round cap (Escoffier–Gilbert–Pass-Lanneau's model on
+//! this repo's topology grid). The second table sweeps a seeded
+//! coalition of `k` variance-seeking manipulators and reports how far
+//! they shift the tally variance and decision probability.
+//!
+//! The heavy lifting lives in [`crate::dynamics`]; this wrapper maps
+//! the shared [`ExperimentConfig`] onto a [`DynamicsConfig`] so
+//! `repro dynamics` and `repro all` share seeds and sizing.
+
+use super::ExperimentConfig;
+use crate::dynamics::{run_dynamics, DynamicsConfig};
+use crate::error::Result;
+use crate::table::Table;
+
+/// Runs the dynamics suite under the shared experiment configuration.
+///
+/// # Errors
+///
+/// Propagates [`crate::SimError::Config`] from cell generation, the
+/// tally kernels, or the WAL tee.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let dyn_cfg = DynamicsConfig {
+        workers: cfg.workers,
+        quick: cfg.quick,
+        coalitions: if cfg.quick {
+            vec![0, 2, 4]
+        } else {
+            vec![0, 1, 2, 4, 8]
+        },
+        ..DynamicsConfig::new(cfg.seed)
+    };
+    let report = run_dynamics(&dyn_cfg)?;
+    Ok(report.tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_tables() {
+        let tables = run(&ExperimentConfig::quick(0x1DDE_C0DE)).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title().contains("convergence"));
+        assert!(tables[1].title().contains("coalition"));
+    }
+}

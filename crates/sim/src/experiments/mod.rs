@@ -11,6 +11,7 @@ use crate::table::Table;
 use serde::{Deserialize, Serialize};
 
 pub mod asymmetry;
+pub mod dynamics;
 pub mod ext_abstain;
 pub mod ext_networks;
 pub mod ext_probabilistic;
@@ -219,6 +220,12 @@ pub fn all() -> Vec<ExperimentInfo> {
             description: "live engine under churn: throughput, latency percentiles, incremental == from-scratch cross-check",
             run: stress::run,
         },
+        ExperimentInfo {
+            id: "dynamics",
+            paper_ref: "§6 dynamic delegation (strategic re-delegation)",
+            description: "best-response re-delegation to fixpoint/cycle, plus the variance-seeking coalition sweep",
+            run: dynamics::run,
+        },
     ]
 }
 
@@ -254,7 +261,7 @@ mod tests {
             assert!(!info.description.is_empty());
             assert!(!info.paper_ref.is_empty());
         }
-        assert_eq!(infos.len(), 18);
+        assert_eq!(infos.len(), 19);
         assert!(find("nope").is_err());
         assert_eq!(ids().len(), infos.len());
         assert_eq!(ids()[0], "fig1");

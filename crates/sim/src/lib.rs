@@ -52,6 +52,7 @@ pub mod bench;
 pub mod checkpoint;
 pub mod conformance;
 pub mod durable;
+pub mod dynamics;
 pub mod engine;
 pub mod experiments;
 pub mod harness;

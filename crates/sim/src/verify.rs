@@ -303,6 +303,45 @@ pub fn check(id: &str, tables: &[Table]) -> ClaimVerdict {
                 format!("worst mean touched/update = {:.4}·n", worst_frac),
             )
         }
+        "dynamics" => {
+            // Table 0: convergence grid; table 1: coalition sweep. The
+            // determinism claims live in the proptest/conformance wall;
+            // the shape predicate checks that the seeded grid actually
+            // converges somewhere, all probabilities are proper, and the
+            // variance-seeking coalition moves the tally variance.
+            let t = &tables[0];
+            let fixpoints = t
+                .rows()
+                .iter()
+                .filter(
+                    |r| matches!(&r[2], crate::table::Cell::Text(s) if s.starts_with("fixpoint")),
+                )
+                .count();
+            let mut probs_ok = !t.rows().is_empty();
+            for r in 0..t.rows().len() {
+                for col in [3, 4, 5, 6] {
+                    let p = t.value(r, col).unwrap_or(f64::NAN);
+                    probs_ok &= (0.0..=1.0).contains(&p);
+                }
+            }
+            let coalition_shift = tables
+                .get(1)
+                .map(|c| {
+                    c.column_values(5)
+                        .into_iter()
+                        .fold(0.0f64, |a, d| a.max(d.abs()))
+                })
+                .unwrap_or(f64::NAN);
+            verdict(
+                id,
+                "best-response dynamics converges on the grid; coalitions shift variance",
+                fixpoints > 0 && probs_ok && coalition_shift > 0.0,
+                format!(
+                    "{fixpoints}/{} cells at a fixpoint, max |dSigma2| {coalition_shift:.3}",
+                    t.rows().len()
+                ),
+            )
+        }
         other => verdict(
             other,
             "unknown claim",

@@ -38,7 +38,8 @@ pub mod report;
 pub mod shrink;
 
 use checks::{
-    CheckContext, CheckId, CheckOutcome, CoinsImpl, CsrImpl, ServeImpl, TallyImpl, WalImpl,
+    CheckContext, CheckId, CheckOutcome, CoinsImpl, CsrImpl, DynamicsImpl, ServeImpl, TallyImpl,
+    WalImpl,
 };
 use gen::{default_grid, CellSpec};
 use report::{ConformanceReport, Mismatch, ShrunkInstance};
@@ -65,17 +66,22 @@ pub enum Mutation {
     /// plane late, skipping the most significant quantized-probability
     /// bit (caught by the `packed-tally-oracle` check).
     PackedThreshold,
+    /// Scan best-response candidate targets in descending index order,
+    /// so exact score ties resolve to the highest-index target instead
+    /// of the canonical lowest (caught by the `dynamics-oracle` check).
+    BrTiebreak,
 }
 
 impl Mutation {
     /// Every known mutation.
-    pub fn all() -> [Mutation; 5] {
+    pub fn all() -> [Mutation; 6] {
         [
             Mutation::TieFlip,
             Mutation::CsrOffset,
             Mutation::WalCrc,
             Mutation::ShardRoute,
             Mutation::PackedThreshold,
+            Mutation::BrTiebreak,
         ]
     }
 
@@ -87,6 +93,7 @@ impl Mutation {
             Mutation::WalCrc => "wal-crc",
             Mutation::ShardRoute => "shard-route",
             Mutation::PackedThreshold => "packed-threshold",
+            Mutation::BrTiebreak => "br-tiebreak",
         }
     }
 
@@ -103,7 +110,7 @@ pub struct ConformanceConfig {
     pub seed: u64,
     /// Use the reduced quick grid (the CI gate).
     pub quick: bool,
-    /// Run only the check with this id.
+    /// Run only the checks in this comma-separated id list.
     pub only: Option<String>,
     /// Run only cells whose id contains this substring.
     pub case_filter: Option<String>,
@@ -127,13 +134,25 @@ impl Default for ConformanceConfig {
 }
 
 impl ConformanceConfig {
-    /// The check filter, parsed; `Err` carries the unknown id.
-    fn only_check(&self) -> Result<Option<CheckId>, String> {
+    /// The check filter, parsed from a comma-separated id list; `Err`
+    /// carries the first unknown id.
+    fn only_check(&self) -> Result<Option<Vec<CheckId>>, String> {
         match &self.only {
             None => Ok(None),
-            Some(s) => CheckId::parse(s)
-                .map(Some)
-                .ok_or_else(|| format!("unknown check id {s:?}")),
+            Some(s) => {
+                let list = s
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|part| !part.is_empty())
+                    .map(|part| {
+                        CheckId::parse(part).ok_or_else(|| format!("unknown check id {part:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if list.is_empty() {
+                    return Err(format!("empty check id list {s:?}"));
+                }
+                Ok(Some(list))
+            }
         }
     }
 
@@ -199,10 +218,14 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
             Some(Mutation::PackedThreshold) => CoinsImpl::ThresholdSkewed,
             _ => CoinsImpl::Real,
         },
+        dynamics: match cfg.mutation {
+            Some(Mutation::BrTiebreak) => DynamicsImpl::TiebreakSkewed,
+            _ => DynamicsImpl::Real,
+        },
     };
     let grid = default_grid(cfg.quick);
     for spec in &grid {
-        run_cell(spec, cfg.seed, cfg, only, &ctx, &mut rep);
+        run_cell(spec, cfg.seed, cfg, only.as_deref(), &ctx, &mut rep);
     }
     if cfg.include_corpus {
         match corpus::entries() {
@@ -210,7 +233,7 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
                 for entry in entries {
                     let mut replayed = 0usize;
                     for spec in grid.iter().filter(|s| s.id().contains(&entry.cell)) {
-                        run_cell(spec, entry.seed, cfg, only, &ctx, &mut rep);
+                        run_cell(spec, entry.seed, cfg, only.as_deref(), &ctx, &mut rep);
                         replayed += 1;
                     }
                     rep.corpus_entries += 1;
@@ -247,7 +270,7 @@ fn run_cell(
     spec: &CellSpec,
     master: u64,
     cfg: &ConformanceConfig,
-    only: Option<CheckId>,
+    only: Option<&[CheckId]>,
     ctx: &CheckContext,
     rep: &mut ConformanceReport,
 ) {
@@ -274,8 +297,8 @@ fn run_cell(
     rep.cells += 1;
     ld_obs::counter("testkit.instances").incr();
     for check in CheckId::all() {
-        if let Some(o) = only {
-            if o != check {
+        if let Some(list) = only {
+            if !list.contains(&check) {
                 continue;
             }
         }

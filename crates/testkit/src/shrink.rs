@@ -149,7 +149,7 @@ pub fn shrink_failure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checks::{CoinsImpl, CsrImpl, ServeImpl, TallyImpl, WalImpl};
+    use crate::checks::{CoinsImpl, CsrImpl, DynamicsImpl, ServeImpl, TallyImpl, WalImpl};
 
     #[test]
     fn remove_voter_remaps_targets() {
@@ -188,6 +188,7 @@ mod tests {
             wal: WalImpl::Real,
             serve: ServeImpl::Real,
             coins: CoinsImpl::Real,
+            dynamics: DynamicsImpl::Real,
         };
         let shrunk = shrink_failure(CheckId::TallyOracle, &actions, &ps, 1, &ctx)
             .expect("failure should shrink");
@@ -203,6 +204,7 @@ mod tests {
             wal: WalImpl::Real,
             serve: ServeImpl::Real,
             coins: CoinsImpl::Real,
+            dynamics: DynamicsImpl::Real,
         };
         assert!(shrink_failure(CheckId::TallyOracle, &[Action::Vote], &[0.5], 1, &ctx).is_none());
     }

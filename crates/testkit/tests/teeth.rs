@@ -79,7 +79,7 @@ fn corpus_replays_cleanly() {
     // through the same filter, so this checks the corpus ids parse and
     // the runner counts them.
     let report = run_conformance(&cfg);
-    assert_eq!(report.corpus_entries, 4);
+    assert_eq!(report.corpus_entries, 7);
 }
 
 #[test]
@@ -94,6 +94,25 @@ fn only_filter_restricts_checks() {
     assert!(report.checks_run > 0);
     let bad = ConformanceConfig {
         only: Some("no-such-check".to_string()),
+        ..quick_config()
+    };
+    let report = run_conformance(&bad);
+    assert!(!report.ok());
+    assert_eq!(report.mismatches[0].check, "config");
+}
+
+#[test]
+fn only_filter_accepts_a_comma_list() {
+    let cfg = ConformanceConfig {
+        only: Some("dynamics-oracle,dynamics-replay".to_string()),
+        case_filter: Some("complete/linear".to_string()),
+        ..quick_config()
+    };
+    let report = run_conformance(&cfg);
+    assert!(report.ok(), "{}", report.to_json());
+    assert!(report.checks_run > 0);
+    let bad = ConformanceConfig {
+        only: Some("dynamics-oracle,no-such-check".to_string()),
         ..quick_config()
     };
     let report = run_conformance(&bad);

@@ -42,6 +42,12 @@ cargo "${CFG[@]}" test --offline -p ld-prob --release -q
 cargo "${CFG[@]}" test --offline -p ld-core --release -q packed
 cargo "${CFG[@]}" test --offline -p ld-sim --release -q packed
 
+echo "== offline: strategic dynamics suites (best-response loop, oracle, determinism, release)"
+cargo "${CFG[@]}" test --offline -p ld-live --release -q dynamics
+cargo "${CFG[@]}" test --offline -p ld-live --release -q --test proptest_dynamics
+cargo "${CFG[@]}" test --offline -p ld-sim --release -q dynamics
+cargo "${CFG[@]}" test --offline -p ld-sim --release -q --test proptest_dynamics
+
 echo "== offline: ld-serve service suites (sharded elections, identity, wire, release)"
 cargo "${CFG[@]}" test --offline -p ld-serve --release -q
 
