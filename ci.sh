@@ -104,6 +104,19 @@ fi
 echo "==> dynamics smoke (best-response loop over the quick topology grid, digest-pinned)"
 ./target/release/repro dynamics --quick
 
+echo "==> ranked differential gate (brute-force ranked-resolution oracle + live replay)"
+./target/release/repro conformance --quick --only ranked-resolve-oracle,ranked-live-replay
+
+echo "==> ranked mutation smoke (injected rank-order reversal MUST be detected)"
+if ./target/release/repro conformance --quick --no-corpus \
+    --mutate rank-order >/dev/null 2>&1; then
+  echo "ERROR: injected rank-order mutation was not detected — the ranked oracle has no teeth" >&2
+  exit 1
+fi
+
+echo "==> ranked smoke (MinDepth/MinSum over the quick grid, digest-pinned, DNH-gated)"
+./target/release/repro ranked --quick
+
 echo "==> scheduler determinism (bit-identity across worker counts)"
 cargo test -q -p ld-sim --test scheduler_determinism
 

@@ -63,6 +63,7 @@ pub mod gain;
 pub mod ids;
 pub mod mechanisms;
 pub mod probabilistic;
+pub mod ranked;
 pub mod recycle_bridge;
 pub mod tally;
 

@@ -1,0 +1,1093 @@
+//! Ranked delegations behind the [`ResolutionRule`] trait.
+//!
+//! The paper's model gives every voter at most one delegation edge;
+//! Brill–Delemazure–George–Lackner–Schmidt-Kraepelin ("Liquid Democracy
+//! with Ranked Delegations") generalise this to a *preference list* per
+//! voter: up to [`MAX_RANKS`] delegates in decreasing order of trust,
+//! with a *delegation rule* choosing one listed edge per voter so the
+//! chosen edges form a cycle-free forest into the ballot casters. This
+//! module implements two of their rules:
+//!
+//! * [`DelegationRule::MinDepth`] — the breadth-first rule: every voter
+//!   is assigned the smallest chain depth any valid assignment can give
+//!   it, ties broken toward the *most preferred* (first listed) edge.
+//! * [`DelegationRule::MinSum`] — minimise the *sum of ranks* of the
+//!   chosen edges over all valid maximal assignments, computed as a
+//!   minimum-cost out-branching (Chu–Liu/Edmonds with cycle
+//!   contraction).
+//!
+//! A voter whose entire list is *exhausted* — no listed edge can reach
+//! a terminal ballot under any assignment — falls back to abstaining,
+//! exactly like a legacy chain that ends at an abstainer is discarded.
+//! The one deliberate exception is the degenerate profile in which every
+//! list has a single entry: that *is* the legacy model, so a cycle is
+//! reported as [`CoreError::CyclicDelegation`] rather than silently
+//! falling back, keeping [`RankedProfile::from_actions`] +
+//! [`ResolutionRule::resolve_ranked`] bit-identical to
+//! [`DelegationGraph::resolve`] — errors included.
+//!
+//! Rule selection and sink resolution are deliberately separate layers:
+//! a rule *selects* one action per voter ([`RankedSelection`]), and any
+//! [`ResolutionRule`] backend — the reference chase resolver or the flat
+//! [`CsrForest`] kernel — resolves the selected single-edge graph. The
+//! selected forest is acyclic by construction, so the legacy resolver
+//! contract (weights, discards, chain depths) carries over unchanged.
+
+use crate::csr::CsrForest;
+use crate::delegation::{Action, DelegationGraph, Resolution, Resolver};
+use crate::error::{CoreError, Result};
+use std::collections::VecDeque;
+
+/// Maximum length of a ranked preference list.
+///
+/// Brill et al. observe that short lists already recover most of the
+/// connectivity benefit; capping the length also bounds the brute-force
+/// oracle's assignment enumeration in the testkit.
+pub const MAX_RANKS: usize = 4;
+
+/// One voter's ballot in a ranked profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankedBallot {
+    /// Cast a ballot directly (the legacy [`Action::Vote`]).
+    Cast,
+    /// Abstain; chains ending here are discarded (legacy
+    /// [`Action::Abstain`]).
+    Abstain,
+    /// Delegate along the first *usable* entry, most preferred first.
+    /// An entry equal to the voter itself means "fall back to casting
+    /// directly at this rank".
+    Ranked(Vec<usize>),
+}
+
+/// A full ranked-delegation profile: one [`RankedBallot`] per voter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedProfile {
+    ballots: Vec<RankedBallot>,
+}
+
+impl RankedProfile {
+    /// Validates and wraps a ballot vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if a list is empty, longer than
+    ///   [`MAX_RANKS`], or repeats an entry.
+    /// * [`CoreError::DelegationTargetOutOfRange`] at the first voter (in
+    ///   index order) whose list names a target outside `0..n`.
+    pub fn new(ballots: Vec<RankedBallot>) -> Result<Self> {
+        let n = ballots.len();
+        for (voter, ballot) in ballots.iter().enumerate() {
+            let RankedBallot::Ranked(list) = ballot else {
+                continue;
+            };
+            if list.is_empty() || list.len() > MAX_RANKS {
+                return Err(CoreError::InvalidParameter {
+                    reason: format!(
+                        "voter {voter} ranks {} delegates; ranked ballots take 1..={MAX_RANKS}",
+                        list.len()
+                    ),
+                });
+            }
+            for (i, &target) in list.iter().enumerate() {
+                if target >= n {
+                    return Err(CoreError::DelegationTargetOutOfRange { voter, target, n });
+                }
+                if list[..i].contains(&target) {
+                    return Err(CoreError::InvalidParameter {
+                        reason: format!("voter {voter} ranks delegate {target} twice"),
+                    });
+                }
+            }
+        }
+        Ok(RankedProfile { ballots })
+    }
+
+    /// Lifts a legacy single-target action vector into a ranked profile
+    /// with length-1 preference lists.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if any voter uses
+    ///   [`Action::DelegateMany`] — rejected before target validation,
+    ///   the same precedence [`DelegationGraph::resolve`] promises.
+    /// * [`CoreError::DelegationTargetOutOfRange`] at the first voter
+    ///   whose delegation leaves `0..n`.
+    pub fn from_actions(actions: &[Action]) -> Result<Self> {
+        if actions.iter().any(|a| matches!(a, Action::DelegateMany(_))) {
+            return Err(CoreError::InvalidParameter {
+                reason: "ranked profiles take single-target actions; expand DelegateMany \
+                         into an explicit preference list instead"
+                    .to_string(),
+            });
+        }
+        let ballots = actions
+            .iter()
+            .map(|a| match a {
+                Action::Vote => RankedBallot::Cast,
+                Action::Abstain => RankedBallot::Abstain,
+                Action::Delegate(t) => RankedBallot::Ranked(vec![*t]),
+                _ => unreachable!("DelegateMany rejected above"),
+            })
+            .collect();
+        RankedProfile::new(ballots)
+    }
+
+    /// Number of voters.
+    pub fn n(&self) -> usize {
+        self.ballots.len()
+    }
+
+    /// All ballots, indexed by voter.
+    pub fn ballots(&self) -> &[RankedBallot] {
+        &self.ballots
+    }
+
+    /// Voter `v`'s ballot.
+    pub fn ballot(&self, v: usize) -> &RankedBallot {
+        &self.ballots[v]
+    }
+
+    /// Replaces voter `voter`'s ballot, re-validating the new entry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RankedProfile::new`], plus
+    /// [`CoreError::InvalidParameter`] if `voter` is out of range.
+    pub fn set_ballot(&mut self, voter: usize, ballot: RankedBallot) -> Result<()> {
+        let n = self.n();
+        if voter >= n {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("ballot update names voter {voter}, profile has {n}"),
+            });
+        }
+        if let RankedBallot::Ranked(list) = &ballot {
+            if list.is_empty() || list.len() > MAX_RANKS {
+                return Err(CoreError::InvalidParameter {
+                    reason: format!(
+                        "voter {voter} ranks {} delegates; ranked ballots take 1..={MAX_RANKS}",
+                        list.len()
+                    ),
+                });
+            }
+            for (i, &target) in list.iter().enumerate() {
+                if target >= n {
+                    return Err(CoreError::DelegationTargetOutOfRange { voter, target, n });
+                }
+                if list[..i].contains(&target) {
+                    return Err(CoreError::InvalidParameter {
+                        reason: format!("voter {voter} ranks delegate {target} twice"),
+                    });
+                }
+            }
+        }
+        self.ballots[voter] = ballot;
+        Ok(())
+    }
+
+    /// Whether every preference list has exactly one entry — the profile
+    /// is the legacy single-edge model in disguise, and rules preserve
+    /// its strict-cycle contract instead of falling back to abstention.
+    pub fn is_single_edge(&self) -> bool {
+        self.ballots
+            .iter()
+            .all(|b| !matches!(b, RankedBallot::Ranked(list) if list.len() > 1))
+    }
+
+    /// Reverses every preference list in place.
+    ///
+    /// This is a deliberate bug — rules consult the *least* preferred
+    /// entry first — injected by `--mutate rank-order` so CI can verify
+    /// the ranked differential suite actually detects a rule that reads
+    /// preference lists in the wrong order.
+    pub fn reverse_ranks_for_tests(&mut self) {
+        for ballot in &mut self.ballots {
+            if let RankedBallot::Ranked(list) = ballot {
+                list.reverse();
+            }
+        }
+    }
+}
+
+/// A delegation rule: which valid cycle-free assignment a ranked
+/// profile resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelegationRule {
+    /// Depth-minimising breadth-first rule: every voter gets the
+    /// smallest chain depth any valid assignment allows, ties broken
+    /// toward the first-listed (most preferred) edge.
+    MinDepth,
+    /// Minimise the total rank of the chosen edges over all valid
+    /// maximal assignments (minimum-cost out-branching).
+    MinSum,
+}
+
+impl DelegationRule {
+    /// All rules, in reporting order.
+    pub fn all() -> [DelegationRule; 2] {
+        [DelegationRule::MinDepth, DelegationRule::MinSum]
+    }
+
+    /// Stable kebab-case identifier, used in reports and CLIs.
+    pub fn id(self) -> &'static str {
+        match self {
+            DelegationRule::MinDepth => "min-depth",
+            DelegationRule::MinSum => "min-sum",
+        }
+    }
+
+    /// Parses a rule identifier.
+    pub fn parse(s: &str) -> Option<DelegationRule> {
+        DelegationRule::all().into_iter().find(|r| r.id() == s)
+    }
+
+    /// Applies the rule: selects one action per voter.
+    ///
+    /// Every voter with an attainable listed edge receives a
+    /// [`Action::Delegate`] (a self-target meaning "cast directly", as
+    /// in the legacy resolver); voters whose whole list is exhausted
+    /// fall back to [`Action::Abstain`]. The selected forest is
+    /// cycle-free by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CyclicDelegation`] if the profile is single-edge
+    /// (every list has one entry) and the edges form a cycle — the
+    /// legacy contract; genuine ranked profiles fall back instead.
+    pub fn select(self, profile: &RankedProfile) -> Result<RankedSelection> {
+        let n = profile.n();
+        // Minimum attainable chain depth per voter, by breadth-first
+        // search from the terminals over reversed listed edges. A voter
+        // with itself in its list can always cast at depth 0.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut depth: Vec<Option<u32>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        for v in 0..n {
+            let seed = match profile.ballot(v) {
+                RankedBallot::Cast | RankedBallot::Abstain => true,
+                RankedBallot::Ranked(list) => {
+                    for &t in list {
+                        if t != v {
+                            rev[t].push(v);
+                        }
+                    }
+                    list.contains(&v)
+                }
+            };
+            if seed {
+                depth[v] = Some(0);
+                queue.push_back(v);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let d = depth[v].unwrap_or(0);
+            for i in 0..rev[v].len() {
+                let u = rev[v][i];
+                if depth[u].is_none() {
+                    depth[u] = Some(d + 1);
+                    queue.push_back(u);
+                }
+            }
+        }
+        let exhausted: Vec<usize> = (0..n)
+            .filter(|&v| matches!(profile.ballot(v), RankedBallot::Ranked(_)) && depth[v].is_none())
+            .collect();
+        if !exhausted.is_empty() && profile.is_single_edge() {
+            // Length-1 lists are the legacy model: an unattainable voter
+            // can only mean its unique chain loops, which `resolve`
+            // reports as an error rather than an abstention.
+            return Err(CoreError::CyclicDelegation);
+        }
+        match self {
+            DelegationRule::MinDepth => Ok(select_min_depth(profile, &depth, exhausted)),
+            DelegationRule::MinSum => select_min_sum(profile, &depth, exhausted),
+        }
+    }
+}
+
+/// The outcome of applying a [`DelegationRule`]: the selected
+/// single-edge actions plus the rank bookkeeping the differential
+/// checks and experiments report on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedSelection {
+    actions: Vec<Action>,
+    chosen_rank: Vec<Option<u8>>,
+    exhausted: Vec<usize>,
+    rank_sum: u64,
+}
+
+impl RankedSelection {
+    /// The selected single-edge action per voter.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Consumes the selection, yielding the action vector.
+    pub fn into_actions(self) -> Vec<Action> {
+        self.actions
+    }
+
+    /// The 1-based preference rank each ranked voter's selected edge
+    /// occupies in *its own list*; `None` for non-ranked ballots and
+    /// exhausted voters.
+    pub fn chosen_rank(&self) -> &[Option<u8>] {
+        &self.chosen_rank
+    }
+
+    /// Ranked voters whose whole list was exhausted (fell back to
+    /// abstaining), ascending.
+    pub fn exhausted(&self) -> &[usize] {
+        &self.exhausted
+    }
+
+    /// Sum of the chosen ranks over all assigned ranked voters — the
+    /// quantity [`DelegationRule::MinSum`] minimises.
+    pub fn rank_sum(&self) -> u64 {
+        self.rank_sum
+    }
+}
+
+/// Builds the breadth-first selection from the per-voter minimum
+/// depths: each attainable voter takes its first-listed option that
+/// achieves `depth − 1` (or itself at depth 0).
+fn select_min_depth(
+    profile: &RankedProfile,
+    depth: &[Option<u32>],
+    exhausted: Vec<usize>,
+) -> RankedSelection {
+    let n = profile.n();
+    let mut actions = Vec::with_capacity(n);
+    let mut chosen_rank = vec![None; n];
+    let mut rank_sum = 0u64;
+    for v in 0..n {
+        let action = match profile.ballot(v) {
+            RankedBallot::Cast => Action::Vote,
+            RankedBallot::Abstain => Action::Abstain,
+            RankedBallot::Ranked(list) => match depth[v] {
+                None => Action::Abstain,
+                Some(0) => {
+                    // Depth 0 is only attainable by casting directly.
+                    let idx = list
+                        .iter()
+                        .position(|&t| t == v)
+                        .expect("depth 0 implies a self entry");
+                    chosen_rank[v] = Some(idx as u8 + 1);
+                    rank_sum += idx as u64 + 1;
+                    Action::Delegate(v)
+                }
+                Some(d) => {
+                    let (idx, &t) = list
+                        .iter()
+                        .enumerate()
+                        .find(|&(_, &t)| t != v && depth[t] == Some(d - 1))
+                        .expect("BFS depth implies a witnessing edge");
+                    chosen_rank[v] = Some(idx as u8 + 1);
+                    rank_sum += idx as u64 + 1;
+                    Action::Delegate(t)
+                }
+            },
+        };
+        actions.push(action);
+    }
+    RankedSelection {
+        actions,
+        chosen_rank,
+        exhausted,
+        rank_sum,
+    }
+}
+
+/// A candidate edge of the minimum-cost out-branching: `from` selects
+/// this edge toward `to` at `cost`; `id` survives contraction and
+/// identifies the original `(voter, list index)` pair.
+#[derive(Debug, Clone, Copy)]
+struct BranchEdge {
+    from: usize,
+    to: usize,
+    cost: i64,
+    id: u32,
+}
+
+/// Builds the MinSum selection: a minimum-cost out-branching over the
+/// attainable voters with every terminal (caster, abstainer, or self
+/// entry) contracted into one root.
+fn select_min_sum(
+    profile: &RankedProfile,
+    depth: &[Option<u32>],
+    exhausted: Vec<usize>,
+) -> Result<RankedSelection> {
+    let n = profile.n();
+    let mut node_of = vec![usize::MAX; n];
+    let mut voters = Vec::new();
+    for v in 0..n {
+        if matches!(profile.ballot(v), RankedBallot::Ranked(_)) && depth[v].is_some() {
+            node_of[v] = voters.len();
+            voters.push(v);
+        }
+    }
+    let root = voters.len();
+    let mut master: Vec<(usize, usize)> = Vec::new();
+    let mut edges: Vec<BranchEdge> = Vec::new();
+    for (node, &v) in voters.iter().enumerate() {
+        let RankedBallot::Ranked(list) = profile.ballot(v) else {
+            unreachable!("only ranked voters are branching nodes");
+        };
+        for (idx, &t) in list.iter().enumerate() {
+            let to = if t == v || !matches!(profile.ballot(t), RankedBallot::Ranked(_)) {
+                root
+            } else if depth[t].is_some() {
+                node_of[t]
+            } else {
+                // An exhausted target can never carry the chain to a
+                // terminal; the edge is unusable under any assignment.
+                continue;
+            };
+            let id = master.len() as u32;
+            master.push((v, idx));
+            edges.push(BranchEdge {
+                from: node,
+                to,
+                cost: idx as i64 + 1,
+                id,
+            });
+        }
+    }
+    let chosen = min_out_branching(root + 1, root, &edges)?;
+    let mut actions: Vec<Action> = profile
+        .ballots()
+        .iter()
+        .map(|b| match b {
+            RankedBallot::Cast => Action::Vote,
+            _ => Action::Abstain,
+        })
+        .collect();
+    let mut chosen_rank = vec![None; n];
+    let mut rank_sum = 0u64;
+    let mut assigned = 0usize;
+    for id in chosen {
+        let (v, idx) = master[id as usize];
+        let RankedBallot::Ranked(list) = profile.ballot(v) else {
+            unreachable!("branching edges originate at ranked voters");
+        };
+        actions[v] = Action::Delegate(list[idx]);
+        chosen_rank[v] = Some(idx as u8 + 1);
+        rank_sum += idx as u64 + 1;
+        assigned += 1;
+    }
+    if assigned != voters.len() {
+        return Err(CoreError::InvalidParameter {
+            reason: format!(
+                "internal branching invariant violated: {assigned} of {} attainable \
+                 voters assigned",
+                voters.len()
+            ),
+        });
+    }
+    Ok(RankedSelection {
+        actions,
+        chosen_rank,
+        exhausted,
+        rank_sum,
+    })
+}
+
+/// Minimum-cost out-branching toward `root` (Chu–Liu/Edmonds): every
+/// node other than `root` picks exactly one outgoing candidate edge so
+/// the chosen edges form a forest flowing into `root` at minimum total
+/// cost. Ties break toward the lowest edge id, which enumerates voters
+/// in index order and ranks in preference order — deterministic by
+/// construction. Returns the chosen edge ids.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] if some non-root node has no
+/// candidate edge (callers guarantee attainability, so this is an
+/// internal invariant surfaced as a typed error rather than a panic).
+fn min_out_branching(num: usize, root: usize, edges: &[BranchEdge]) -> Result<Vec<u32>> {
+    // Cheapest out-edge per node; contraction may make costs negative.
+    let mut best: Vec<Option<BranchEdge>> = vec![None; num];
+    for e in edges {
+        if e.from == root || e.from == e.to {
+            continue;
+        }
+        let better = match best[e.from] {
+            None => true,
+            Some(b) => (e.cost, e.id) < (b.cost, b.id),
+        };
+        if better {
+            best[e.from] = Some(*e);
+        }
+    }
+    for (v, b) in best.iter().enumerate() {
+        if v != root && b.is_none() {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("internal branching invariant violated: node {v} has no edge"),
+            });
+        }
+    }
+    // Follow best pointers looking for a cycle; 0 = unvisited,
+    // 1 = on the current path, 2 = leads to root.
+    let mut color = vec![0u8; num];
+    color[root] = 2;
+    let mut cycle: Vec<usize> = Vec::new();
+    for start in 0..num {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut v = start;
+        while color[v] == 0 {
+            color[v] = 1;
+            path.push(v);
+            v = best[v].expect("checked above").to;
+        }
+        if color[v] == 1 {
+            let pos = path
+                .iter()
+                .position(|&x| x == v)
+                .expect("marked node is on the current path");
+            cycle = path[pos..].to_vec();
+            break;
+        }
+        for u in path {
+            color[u] = 2;
+        }
+    }
+    if cycle.is_empty() {
+        return Ok((0..num)
+            .filter(|&v| v != root)
+            .map(|v| best[v].expect("checked above").id)
+            .collect());
+    }
+    // Contract the cycle into one supernode; an edge leaving the cycle
+    // is re-priced by what its origin saves by abandoning its in-cycle
+    // choice — the classic Edmonds reduction, mirrored for out-edges.
+    let mut in_cycle = vec![false; num];
+    for &v in &cycle {
+        in_cycle[v] = true;
+    }
+    let mut map = vec![0usize; num];
+    let mut next = 0usize;
+    for (v, m) in map.iter_mut().enumerate() {
+        if !in_cycle[v] {
+            *m = next;
+            next += 1;
+        }
+    }
+    let super_node = next;
+    for &v in &cycle {
+        map[v] = super_node;
+    }
+    let mut contracted = Vec::with_capacity(edges.len());
+    for e in edges {
+        let from = map[e.from];
+        let to = map[e.to];
+        if from == to {
+            continue;
+        }
+        let cost = if in_cycle[e.from] {
+            e.cost - best[e.from].expect("cycle nodes have a best edge").cost
+        } else {
+            e.cost
+        };
+        contracted.push(BranchEdge {
+            from,
+            to,
+            cost,
+            id: e.id,
+        });
+    }
+    let sub = min_out_branching(super_node + 1, map[root], &contracted)?;
+    // Exactly one chosen edge originates inside the cycle: the
+    // supernode's out-edge. Its origin abandons its in-cycle choice;
+    // every other cycle member keeps it.
+    let origin_of = |id: u32| {
+        edges
+            .iter()
+            .find(|e| e.id == id)
+            .expect("chosen ids come from this edge list")
+            .from
+    };
+    let leave_from = sub
+        .iter()
+        .map(|&id| origin_of(id))
+        .find(|&from| in_cycle[from])
+        .expect("the supernode picks an out-edge");
+    let mut result = sub;
+    for &v in &cycle {
+        if v != leave_from {
+            result.push(best[v].expect("cycle nodes have a best edge").id);
+        }
+    }
+    Ok(result)
+}
+
+/// A resolution backend: anything that can turn a single-edge
+/// delegation graph into a [`Resolution`], and therefore — via
+/// [`DelegationRule::select`] — resolve ranked profiles too.
+///
+/// Both the reference chase resolver ([`ReferenceResolver`]) and the
+/// flat [`CsrForest`] kernel implement this; the conformance suite
+/// holds them bit-identical on every selected forest.
+pub trait ResolutionRule {
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Resolves a single-edge delegation graph.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DelegationGraph::resolve`]: `InvalidParameter` for
+    /// multi-target graphs, `DelegationTargetOutOfRange`, and
+    /// `CyclicDelegation`.
+    fn resolve_graph(&mut self, dg: &DelegationGraph) -> Result<Resolution>;
+
+    /// Applies `rule` to `profile` and resolves the selected forest.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DelegationRule::select`] and
+    /// [`ResolutionRule::resolve_graph`].
+    fn resolve_ranked(
+        &mut self,
+        profile: &RankedProfile,
+        rule: DelegationRule,
+    ) -> Result<(RankedSelection, Resolution)> {
+        let selection = rule.select(profile)?;
+        let dg = DelegationGraph::new(selection.actions().to_vec());
+        let resolution = self.resolve_graph(&dg)?;
+        Ok((selection, resolution))
+    }
+}
+
+/// The reference backend: the iterative chase resolver of
+/// [`DelegationGraph::resolve`], with reusable scratch.
+#[derive(Debug, Default)]
+pub struct ReferenceResolver {
+    scratch: Resolver,
+}
+
+impl ReferenceResolver {
+    /// Fresh scratch.
+    pub fn new() -> Self {
+        ReferenceResolver::default()
+    }
+}
+
+impl ResolutionRule for ReferenceResolver {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn resolve_graph(&mut self, dg: &DelegationGraph) -> Result<Resolution> {
+        dg.resolve_with(&mut self.scratch)
+    }
+}
+
+impl ResolutionRule for CsrForest {
+    fn name(&self) -> &'static str {
+        "csr"
+    }
+
+    fn resolve_graph(&mut self, dg: &DelegationGraph) -> Result<Resolution> {
+        self.resolve(dg)?;
+        Ok(self.to_resolution())
+    }
+}
+
+/// Convenience wrapper: applies `rule` to `profile` through the
+/// reference backend.
+///
+/// # Errors
+///
+/// As for [`ResolutionRule::resolve_ranked`].
+pub fn resolve_ranked(
+    profile: &RankedProfile,
+    rule: DelegationRule,
+) -> Result<(RankedSelection, Resolution)> {
+    ReferenceResolver::new().resolve_ranked(profile, rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ranked(list: &[usize]) -> RankedBallot {
+        RankedBallot::Ranked(list.to_vec())
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in DelegationRule::all() {
+            assert_eq!(DelegationRule::parse(rule.id()), Some(rule));
+        }
+        assert_eq!(DelegationRule::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn single_edge_profiles_match_legacy_resolve_bit_for_bit() {
+        let cases: Vec<Vec<Action>> = vec![
+            vec![Action::Delegate(1), Action::Delegate(2), Action::Vote],
+            vec![Action::Delegate(1), Action::Abstain, Action::Vote],
+            vec![Action::Delegate(0), Action::Delegate(0), Action::Vote],
+            vec![Action::Vote; 4],
+            vec![Action::Abstain, Action::Abstain],
+            vec![],
+        ];
+        for actions in cases {
+            let legacy = DelegationGraph::new(actions.clone()).resolve().unwrap();
+            let profile = RankedProfile::from_actions(&actions).unwrap();
+            for rule in DelegationRule::all() {
+                let (sel, res) = resolve_ranked(&profile, rule).unwrap();
+                assert_eq!(res, legacy, "{} diverged on {actions:?}", rule.id());
+                assert_eq!(sel.actions(), &actions[..], "{} rewrote actions", rule.id());
+                assert!(sel.exhausted().is_empty());
+                let mut csr = CsrForest::new();
+                let (_, via_csr) = csr.resolve_ranked(&profile, rule).unwrap();
+                assert_eq!(via_csr, legacy, "csr backend diverged on {actions:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge_cycle_keeps_the_legacy_error() {
+        let actions = vec![Action::Delegate(1), Action::Delegate(0), Action::Vote];
+        assert_eq!(
+            DelegationGraph::new(actions.clone()).resolve().unwrap_err(),
+            CoreError::CyclicDelegation
+        );
+        let profile = RankedProfile::from_actions(&actions).unwrap();
+        for rule in DelegationRule::all() {
+            assert_eq!(
+                resolve_ranked(&profile, rule).unwrap_err(),
+                CoreError::CyclicDelegation,
+                "{}",
+                rule.id()
+            );
+        }
+    }
+
+    #[test]
+    fn error_precedence_matches_legacy_resolve() {
+        // DelegateMany outranks out-of-range, which outranks cycles.
+        let many = vec![Action::DelegateMany(vec![1, 9]), Action::Delegate(9)];
+        assert!(matches!(
+            RankedProfile::from_actions(&many).unwrap_err(),
+            CoreError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            DelegationGraph::new(many).resolve().unwrap_err(),
+            CoreError::InvalidParameter { .. }
+        ));
+        let out = vec![Action::Vote, Action::Delegate(7), Action::Delegate(9)];
+        assert_eq!(
+            RankedProfile::from_actions(&out).unwrap_err(),
+            CoreError::DelegationTargetOutOfRange {
+                voter: 1,
+                target: 7,
+                n: 3
+            }
+        );
+        assert_eq!(
+            RankedProfile::from_actions(&out).unwrap_err(),
+            DelegationGraph::new(out).resolve().unwrap_err()
+        );
+    }
+
+    #[test]
+    fn profile_validation_rejects_bad_lists() {
+        assert!(matches!(
+            RankedProfile::new(vec![ranked(&[])]).unwrap_err(),
+            CoreError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            RankedProfile::new(vec![ranked(&[0, 1, 0]), RankedBallot::Cast]).unwrap_err(),
+            CoreError::InvalidParameter { .. }
+        ));
+        assert_eq!(
+            RankedProfile::new(vec![ranked(&[3]), RankedBallot::Cast]).unwrap_err(),
+            CoreError::DelegationTargetOutOfRange {
+                voter: 0,
+                target: 3,
+                n: 2
+            }
+        );
+        let long: Vec<usize> = (0..=MAX_RANKS).collect();
+        let ballots = vec![ranked(&long); MAX_RANKS + 2];
+        assert!(matches!(
+            RankedProfile::new(ballots).unwrap_err(),
+            CoreError::InvalidParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn exhausted_lists_fall_back_to_abstain() {
+        // Three voters ranking only each other: no list reaches a
+        // terminal, so all three abstain and the tally is empty.
+        let profile = RankedProfile::new(vec![
+            ranked(&[1, 2]),
+            ranked(&[0, 2]),
+            ranked(&[0, 1]),
+            RankedBallot::Cast,
+        ])
+        .unwrap();
+        for rule in DelegationRule::all() {
+            let (sel, res) = resolve_ranked(&profile, rule).unwrap();
+            assert_eq!(sel.exhausted(), &[0, 1, 2], "{}", rule.id());
+            assert_eq!(res.discarded(), 3);
+            assert_eq!(res.sinks(), &[3]);
+            assert_eq!(sel.rank_sum(), 0);
+        }
+    }
+
+    #[test]
+    fn cycle_forces_fallback_to_lower_ranked_edge() {
+        // 0 and 1 prefer each other (a cycle); both hold rank-2 edges to
+        // the caster. MinDepth sends both to the caster; MinSum lets one
+        // keep its rank-1 edge and routes the chain through it.
+        let profile =
+            RankedProfile::new(vec![ranked(&[1, 2]), ranked(&[0, 2]), RankedBallot::Cast]).unwrap();
+        let (sel, res) = resolve_ranked(&profile, DelegationRule::MinDepth).unwrap();
+        assert_eq!(
+            sel.actions(),
+            &[Action::Delegate(2), Action::Delegate(2), Action::Vote]
+        );
+        assert_eq!(sel.chosen_rank(), &[Some(2), Some(2), None]);
+        assert_eq!(sel.rank_sum(), 4);
+        assert_eq!(res.weight_of(2), 3);
+
+        let (sel, res) = resolve_ranked(&profile, DelegationRule::MinSum).unwrap();
+        assert_eq!(
+            sel.rank_sum(),
+            3,
+            "one rank-1 edge survives the cycle break"
+        );
+        assert_eq!(res.weight_of(2), 3);
+        assert!(sel.exhausted().is_empty());
+    }
+
+    #[test]
+    fn min_depth_prefers_the_first_listed_edge_on_ties() {
+        // Both listed targets are casters (depth 0); the rule must take
+        // the most preferred one, and the reversal hook must flip it.
+        let mut profile = RankedProfile::new(vec![
+            ranked(&[1, 2]),
+            RankedBallot::Cast,
+            RankedBallot::Cast,
+        ])
+        .unwrap();
+        let (sel, _) = resolve_ranked(&profile, DelegationRule::MinDepth).unwrap();
+        assert_eq!(sel.actions()[0], Action::Delegate(1));
+        assert_eq!(sel.chosen_rank()[0], Some(1));
+        profile.reverse_ranks_for_tests();
+        let (sel, _) = resolve_ranked(&profile, DelegationRule::MinDepth).unwrap();
+        assert_eq!(sel.actions()[0], Action::Delegate(2));
+    }
+
+    #[test]
+    fn self_entries_cast_directly_at_depth_zero() {
+        // Voter 0 ranks a delegate first and itself second; MinDepth
+        // prefers depth 0 (cast) over depth 1, MinSum prefers the
+        // cheaper rank-1 edge.
+        let profile = RankedProfile::new(vec![ranked(&[1, 0]), RankedBallot::Cast]).unwrap();
+        let (sel, res) = resolve_ranked(&profile, DelegationRule::MinDepth).unwrap();
+        assert_eq!(sel.actions()[0], Action::Delegate(0));
+        assert_eq!(res.weight_of(0), 1);
+        assert_eq!(res.longest_chain(), 0);
+        let (sel, res) = resolve_ranked(&profile, DelegationRule::MinSum).unwrap();
+        assert_eq!(sel.actions()[0], Action::Delegate(1));
+        assert_eq!(res.weight_of(1), 2);
+    }
+
+    #[test]
+    fn min_sum_breaks_greedy_cycles_optimally() {
+        // Greedy rank-1 choices form the 3-cycle 0→1→2→0; the branching
+        // must break it at minimum extra cost: exactly one voter falls
+        // to its rank-2 edge toward the caster.
+        let profile = RankedProfile::new(vec![
+            ranked(&[1, 3]),
+            ranked(&[2, 3]),
+            ranked(&[0, 3]),
+            RankedBallot::Cast,
+        ])
+        .unwrap();
+        let (sel, res) = resolve_ranked(&profile, DelegationRule::MinSum).unwrap();
+        assert_eq!(sel.rank_sum(), 1 + 1 + 2);
+        assert_eq!(res.weight_of(3), 4);
+        assert_eq!(res.discarded(), 0);
+    }
+
+    /// Naive reference for MinSum: enumerate every way each attainable
+    /// ranked voter picks a listed entry, keep the cycle-free ones that
+    /// reach terminals, and minimise the rank sum.
+    fn brute_min_rank_sum(profile: &RankedProfile) -> Option<u64> {
+        let n = profile.n();
+        let ranked_voters: Vec<usize> = (0..n)
+            .filter(|&v| matches!(profile.ballot(v), RankedBallot::Ranked(_)))
+            .collect();
+        let lists: Vec<&Vec<usize>> = ranked_voters
+            .iter()
+            .map(|&v| match profile.ballot(v) {
+                RankedBallot::Ranked(list) => list,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut choice = vec![0usize; ranked_voters.len()];
+        let mut best: Option<u64> = None;
+        loop {
+            // Chase every voter under this choice vector.
+            let action_of = |v: usize| -> Option<usize> {
+                ranked_voters
+                    .iter()
+                    .position(|&r| r == v)
+                    .map(|i| lists[i][choice[i]])
+            };
+            let mut all_ok = true;
+            for &start in &ranked_voters {
+                let mut seen = vec![false; n];
+                let mut v = start;
+                let ok = loop {
+                    match action_of(v) {
+                        None => break true, // terminal ballot
+                        Some(t) if t == v => break true,
+                        Some(t) => {
+                            if seen[v] {
+                                break false;
+                            }
+                            seen[v] = true;
+                            v = t;
+                        }
+                    }
+                };
+                if !ok {
+                    all_ok = false;
+                    break;
+                }
+            }
+            if all_ok {
+                let sum: u64 = choice.iter().map(|&c| c as u64 + 1).sum::<u64>();
+                if best.map_or(true, |b| sum < b) {
+                    best = Some(sum);
+                }
+            }
+            // Next choice vector.
+            let mut i = 0;
+            loop {
+                if i == choice.len() {
+                    return best;
+                }
+                choice[i] += 1;
+                if choice[i] < lists[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn min_sum_matches_brute_force_on_seeded_profiles() {
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut scored = 0usize;
+        for _ in 0..200 {
+            let n = rng.gen_range(2..8usize);
+            let ballots: Vec<RankedBallot> = (0..n)
+                .map(|_| match rng.gen_range(0..5u8) {
+                    0 => RankedBallot::Cast,
+                    1 => RankedBallot::Abstain,
+                    _ => {
+                        let len = rng.gen_range(1..=3usize.min(n));
+                        let mut list = Vec::new();
+                        while list.len() < len {
+                            let t = rng.gen_range(0..n);
+                            if !list.contains(&t) {
+                                list.push(t);
+                            }
+                        }
+                        RankedBallot::Ranked(list)
+                    }
+                })
+                .collect();
+            let profile = RankedProfile::new(ballots).unwrap();
+            let result = resolve_ranked(&profile, DelegationRule::MinSum);
+            match result {
+                Err(CoreError::CyclicDelegation) => {
+                    assert!(profile.is_single_edge());
+                    continue;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+                Ok((sel, res)) => {
+                    // The brute force only scores fully-attainable
+                    // profiles (it has no fallback); skip the rest.
+                    if !sel.exhausted().is_empty() {
+                        continue;
+                    }
+                    let brute = brute_min_rank_sum(&profile)
+                        .expect("attainable profile has a valid assignment");
+                    assert_eq!(
+                        sel.rank_sum(),
+                        brute,
+                        "MinSum not optimal on {:?}",
+                        profile.ballots()
+                    );
+                    assert_eq!(res.tallied() + res.discarded(), profile.n());
+                    scored += 1;
+                }
+            }
+        }
+        assert!(scored > 40, "only {scored} profiles were scored");
+    }
+
+    #[test]
+    fn backends_agree_on_seeded_profiles() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..20usize);
+            let ballots: Vec<RankedBallot> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        RankedBallot::Cast
+                    } else {
+                        let len = rng.gen_range(1..=MAX_RANKS.min(n));
+                        let mut list = Vec::new();
+                        while list.len() < len {
+                            let t = rng.gen_range(0..n);
+                            if !list.contains(&t) {
+                                list.push(t);
+                            }
+                        }
+                        RankedBallot::Ranked(list)
+                    }
+                })
+                .collect();
+            let profile = RankedProfile::new(ballots).unwrap();
+            for rule in DelegationRule::all() {
+                let reference = ReferenceResolver::new().resolve_ranked(&profile, rule);
+                let csr = CsrForest::new().resolve_ranked(&profile, rule);
+                match (reference, csr) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "{} backends diverged", rule.id()),
+                    (Err(a), Err(b)) => {
+                        assert_eq!(
+                            std::mem::discriminant(&a),
+                            std::mem::discriminant(&b),
+                            "{} backends erred differently",
+                            rule.id()
+                        );
+                    }
+                    (a, b) => panic!("{} backends split: {a:?} vs {b:?}", rule.id()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_ballot_validates_and_replaces() {
+        let mut profile = RankedProfile::new(vec![ranked(&[1]), RankedBallot::Cast]).unwrap();
+        assert!(profile.set_ballot(0, ranked(&[5])).is_err());
+        assert!(profile.set_ballot(7, RankedBallot::Cast).is_err());
+        profile.set_ballot(0, RankedBallot::Abstain).unwrap();
+        assert_eq!(profile.ballot(0), &RankedBallot::Abstain);
+    }
+}

@@ -26,6 +26,10 @@
 //!   top of the engine: each round scores every voter's candidate moves
 //!   against an immutable snapshot and applies the winners as one batch,
 //!   iterating to a fixpoint, a detected cycle, or a round cap.
+//! * [`ranked`] — ranked preference profiles mirrored onto the engine: a
+//!   [`ld_core::ranked::DelegationRule`] selects one edge per voter, and
+//!   ballot churn re-selects globally, landing as one batched forest
+//!   diff ([`ranked::RankedMirror`]).
 //!
 //! The engine's exported [`LiveEngine::resolution`] is bit-identical to
 //! resolving its current action vector from scratch — the property the
@@ -40,6 +44,7 @@
 pub mod codec;
 pub mod dynamics;
 mod engine;
+pub mod ranked;
 pub mod workload;
 
 pub use engine::{BatchReport, LiveEngine, RejectReason, Update};

@@ -1,0 +1,271 @@
+//! Ranked delegations over the live engine.
+//!
+//! A [`RankedMirror`] owns a [`ld_core::ranked::RankedProfile`] and a
+//! [`LiveEngine`] holding the forest the active [`DelegationRule`]
+//! selects from it. Ballot churn (a voter submitting a new preference
+//! list, casting, or abstaining) triggers a *global* re-selection — a
+//! ranked rule is a coordination rule, so one edit can legitimately
+//! re-route distant voters — and the mirror applies the difference
+//! between the old and new forests to the engine as one batch.
+//!
+//! The diff is applied in two phases inside a single
+//! [`LiveEngine::apply_batch`] call: first every re-routed delegator is
+//! parked on a terminal action (its final action, or a provisional
+//! `Vote` when the final action is a delegation), then the new edges
+//! land. Both phases only ever leave subgraphs of the final selected
+//! forest in place, and selected forests are cycle-free by
+//! construction, so no intermediate state can trip the engine's cycle
+//! rejection — the batch must apply with zero rejects, and
+//! [`RankedMirror::set_ballot`] treats anything else as a contract
+//! violation.
+
+use crate::engine::{LiveEngine, Update};
+use ld_core::delegation::Action;
+use ld_core::ranked::{DelegationRule, RankedBallot, RankedProfile, RankedSelection};
+use ld_core::{CoreError, Result};
+
+/// A live engine kept in lockstep with the selection a ranked
+/// delegation rule makes from a churning preference profile.
+#[derive(Debug)]
+pub struct RankedMirror {
+    profile: RankedProfile,
+    rule: DelegationRule,
+    selection: RankedSelection,
+    engine: LiveEngine,
+}
+
+impl RankedMirror {
+    /// Selects `profile` under `rule` and boots a live engine on the
+    /// selected forest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DelegationRule::select`] errors (including the
+    /// single-edge [`CoreError::CyclicDelegation`] contract) and
+    /// [`LiveEngine::new`] competence validation.
+    pub fn new(
+        profile: RankedProfile,
+        rule: DelegationRule,
+        competences: Vec<f64>,
+    ) -> Result<Self> {
+        let selection = rule.select(&profile)?;
+        let engine = LiveEngine::new(selection.actions().to_vec(), competences)?;
+        Ok(RankedMirror {
+            profile,
+            rule,
+            selection,
+            engine,
+        })
+    }
+
+    /// The current preference profile.
+    pub fn profile(&self) -> &RankedProfile {
+        &self.profile
+    }
+
+    /// The delegation rule in force.
+    pub fn rule(&self) -> DelegationRule {
+        self.rule
+    }
+
+    /// The current selection (actions, chosen ranks, exhausted voters).
+    pub fn selection(&self) -> &RankedSelection {
+        &self.selection
+    }
+
+    /// The mirrored engine; its resolution is always the resolution of
+    /// the current selection.
+    pub fn engine(&self) -> &LiveEngine {
+        &self.engine
+    }
+
+    /// Replaces `voter`'s ballot, re-selects the whole profile, and
+    /// applies the forest diff to the engine as one batched update.
+    /// Returns the number of voters whose selected action changed.
+    ///
+    /// # Errors
+    ///
+    /// * Ballot validation errors from [`RankedProfile::set_ballot`]
+    ///   (the profile and engine are left untouched).
+    /// * [`CoreError::CyclicDelegation`] if the edit turns a single-edge
+    ///   profile cyclic — the edit is rolled back before returning.
+    /// * [`CoreError::InvalidParameter`] if the engine rejects any diff
+    ///   update, which would mean the selected forest was not cycle-free
+    ///   (an internal invariant, surfaced as a typed error).
+    pub fn set_ballot(&mut self, voter: usize, ballot: RankedBallot) -> Result<usize> {
+        if voter >= self.profile.n() {
+            return Err(CoreError::InvalidParameter {
+                reason: format!(
+                    "ballot update names voter {voter}, profile has {}",
+                    self.profile.n()
+                ),
+            });
+        }
+        let previous = self.profile.ballot(voter).clone();
+        self.profile.set_ballot(voter, ballot)?;
+        let selection = match self.rule.select(&self.profile) {
+            Ok(s) => s,
+            Err(e) => {
+                self.profile
+                    .set_ballot(voter, previous)
+                    .expect("previous ballot was valid");
+                return Err(e);
+            }
+        };
+        let mut removals = Vec::new();
+        let mut additions = Vec::new();
+        let old = self.selection.actions();
+        for (v, action) in selection.actions().iter().enumerate() {
+            if old[v] == *action {
+                continue;
+            }
+            match action {
+                Action::Vote => removals.push(Update::Vote { voter: v }),
+                Action::Abstain => removals.push(Update::Abstain { voter: v }),
+                Action::Delegate(t) => {
+                    // Park the voter on a terminal first so the edge
+                    // phase only ever adds edges of the final forest.
+                    removals.push(Update::Vote { voter: v });
+                    additions.push(Update::Delegate {
+                        voter: v,
+                        target: *t,
+                    });
+                }
+                _ => {
+                    return Err(CoreError::InvalidParameter {
+                        reason: format!("rule selected a multi-target action for voter {v}"),
+                    })
+                }
+            }
+        }
+        let changed = selection
+            .actions()
+            .iter()
+            .zip(old)
+            .filter(|(a, b)| a != b)
+            .count();
+        removals.extend(additions);
+        let report = self.engine.apply_batch(&removals);
+        if let Some((index, reason)) = report.rejected.first() {
+            return Err(CoreError::InvalidParameter {
+                reason: format!(
+                    "ranked diff batch rejected at update {index}: {reason} — the selected \
+                     forest was not cycle-free"
+                ),
+            });
+        }
+        self.selection = selection;
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::ranked::{resolve_ranked, RankedBallot};
+
+    fn ranked(list: &[usize]) -> RankedBallot {
+        RankedBallot::Ranked(list.to_vec())
+    }
+
+    fn mirror(ballots: Vec<RankedBallot>, rule: DelegationRule) -> RankedMirror {
+        let n = ballots.len();
+        let profile = RankedProfile::new(ballots).unwrap();
+        let ps: Vec<f64> = (0..n).map(|i| 0.3 + 0.4 * (i as f64) / n as f64).collect();
+        RankedMirror::new(profile, rule, ps).unwrap()
+    }
+
+    fn assert_in_lockstep(m: &RankedMirror) {
+        let (sel, res) = resolve_ranked(m.profile(), m.rule()).unwrap();
+        assert_eq!(sel.actions(), m.selection().actions());
+        assert_eq!(res, m.engine().resolution());
+        m.engine().self_check().unwrap();
+    }
+
+    #[test]
+    fn boot_matches_from_scratch_resolution() {
+        for rule in DelegationRule::all() {
+            let m = mirror(
+                vec![
+                    ranked(&[1, 3]),
+                    ranked(&[0, 3]),
+                    RankedBallot::Abstain,
+                    RankedBallot::Cast,
+                ],
+                rule,
+            );
+            assert_in_lockstep(&m);
+        }
+    }
+
+    #[test]
+    fn ballot_churn_re_selects_and_stays_in_lockstep() {
+        for rule in DelegationRule::all() {
+            let mut m = mirror(
+                vec![
+                    ranked(&[1, 4]),
+                    ranked(&[2, 4]),
+                    ranked(&[4, 0]),
+                    RankedBallot::Cast,
+                    RankedBallot::Cast,
+                ],
+                rule,
+            );
+            assert_in_lockstep(&m);
+            // Re-route the middle of the chain: 2 now prefers the cycle
+            // edge back to 0, forcing a global re-selection.
+            m.set_ballot(2, ranked(&[0, 4])).unwrap();
+            assert_in_lockstep(&m);
+            // A voter casting directly shortens everyone's chain.
+            m.set_ballot(1, RankedBallot::Cast).unwrap();
+            assert_in_lockstep(&m);
+            // Exhaust a list: 0 now only ranks voters that cannot carry
+            // the chain anywhere? (ranking the abstainer still
+            // terminates, so point 0 at itself via a live cycle probe.)
+            m.set_ballot(0, ranked(&[2, 1])).unwrap();
+            assert_in_lockstep(&m);
+        }
+    }
+
+    #[test]
+    fn invalid_ballot_leaves_profile_and_engine_untouched() {
+        let mut m = mirror(
+            vec![ranked(&[1]), RankedBallot::Cast],
+            DelegationRule::MinDepth,
+        );
+        let before_profile = m.profile().clone();
+        let before_res = m.engine().resolution();
+        assert!(m.set_ballot(0, ranked(&[9])).is_err());
+        assert!(m.set_ballot(5, RankedBallot::Cast).is_err());
+        // A single-edge cycle keeps the legacy error and rolls back.
+        assert!(matches!(
+            m.set_ballot(1, ranked(&[0])),
+            Err(CoreError::CyclicDelegation)
+        ));
+        assert_eq!(m.profile(), &before_profile);
+        assert_eq!(m.engine().resolution(), before_res);
+        assert_in_lockstep(&m);
+    }
+
+    #[test]
+    fn exhaustion_churn_falls_back_to_abstain_live() {
+        // Start connected; then the caster abstains-by-proxy: voters 0–2
+        // rank only each other once 3 stops being listed… exhaust by
+        // re-pointing every list inward.
+        let mut m = mirror(
+            vec![
+                ranked(&[1, 3]),
+                ranked(&[2, 3]),
+                ranked(&[0, 3]),
+                RankedBallot::Cast,
+            ],
+            DelegationRule::MinSum,
+        );
+        m.set_ballot(0, ranked(&[1, 2])).unwrap();
+        m.set_ballot(1, ranked(&[2, 0])).unwrap();
+        m.set_ballot(2, ranked(&[0, 1])).unwrap();
+        assert_eq!(m.selection().exhausted(), &[0, 1, 2]);
+        assert_eq!(m.engine().resolution().discarded(), 3);
+        assert_in_lockstep(&m);
+    }
+}

@@ -261,6 +261,55 @@ pub fn run_baseline(seed: u64, quick: bool) -> Result<Vec<BenchResult>> {
         }));
     }
 
+    // ranked_resolve_1k: ranked selection (MinDepth + MinSum) plus the
+    // CSR resolve of both selected forests over a deterministic
+    // 1024-voter preference profile — the per-epoch cost of a ranked
+    // election at the dynamics size class. The forest scratch is reused
+    // across iterations, matching the `resolve` bench's steady-state
+    // discipline.
+    {
+        use ld_core::ranked::{
+            DelegationRule, RankedBallot, RankedProfile, ResolutionRule, MAX_RANKS,
+        };
+        let n = 1024;
+        let mut rng = stream_rng(seed, 0xBE_F0);
+        let ballots: Vec<RankedBallot> = (0..n)
+            .map(|v| {
+                if v == 0 || rng.gen_bool(0.2) {
+                    RankedBallot::Cast
+                } else {
+                    let len = rng.gen_range(1..=MAX_RANKS.min(v));
+                    let mut list = Vec::with_capacity(len);
+                    while list.len() < len {
+                        let t = rng.gen_range(0..v);
+                        if !list.contains(&t) {
+                            list.push(t);
+                        }
+                    }
+                    RankedBallot::Ranked(list)
+                }
+            })
+            .collect();
+        let profile = RankedProfile::new(ballots).map_err(|e| SimError::Config {
+            reason: format!("bench ranked profile: {e}"),
+        })?;
+        let mut forest = ld_core::csr::CsrForest::with_capacity(n);
+        let mut failure = None;
+        let result = time_iters("ranked_resolve_1k", n, iters(100), || {
+            for rule in DelegationRule::all() {
+                if let Err(e) = forest.resolve_ranked(&profile, rule) {
+                    failure = Some(e);
+                }
+            }
+        });
+        if let Some(e) = failure {
+            return Err(SimError::Config {
+                reason: format!("ranked bench resolve: {e}"),
+            });
+        }
+        out.push(result);
+    }
+
     // graph_regular: random d-regular generation, n = 2048.
     {
         let n = 2048;
@@ -765,6 +814,7 @@ mod tests {
                 "estimate_gain_packed_par8_1k",
                 "live_update",
                 "live_batch64",
+                "ranked_resolve_1k",
                 "graph_regular",
                 "dynamics_round_1k",
                 "wal_append_1m",

@@ -573,7 +573,7 @@ fn run_stress_command() -> ExitCode {
 
 /// Handles `repro conformance [--quick] [--seed N] [--json PATH]
 /// [--only CHECK[,CHECK...]] [--case SUBSTR]
-/// [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold|br-tiebreak]`:
+/// [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold|br-tiebreak|rank-order]`:
 /// runs the `ld-testkit` differential/metamorphic grid plus the
 /// simulation-layer checks, prints every mismatch with its shrunk minimal
 /// instance and a one-line reproduction command, and exits non-zero on
@@ -583,7 +583,7 @@ fn run_conformance_command() -> ExitCode {
 
     let usage = "usage: repro conformance [--quick] [--seed N] [--json PATH] \
                  [--only CHECK[,CHECK...]] [--case SUBSTR] \
-                 [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold|br-tiebreak] \
+                 [--mutate tie-flip|csr-offset|wal-crc|shard-route|packed-threshold|br-tiebreak|rank-order] \
                  [--no-corpus]";
     let mut cfg = ConformanceConfig::default();
     let mut json: Option<PathBuf> = None;
@@ -635,7 +635,7 @@ fn run_conformance_command() -> ExitCode {
                 None => {
                     eprintln!(
                         "bad or missing --mutate value (known: tie-flip, csr-offset, \
-                         wal-crc, shard-route, packed-threshold, br-tiebreak)\n{usage}"
+                         wal-crc, shard-route, packed-threshold, br-tiebreak, rank-order)\n{usage}"
                     );
                     return ExitCode::FAILURE;
                 }
@@ -863,6 +863,110 @@ fn run_dynamics_command() -> ExitCode {
                 report.cycled,
                 report.capped,
                 report.outcomes.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Handles `repro ranked [--quick] [--seed N] [--ranks R] [--trials T]`:
+/// runs the ranked-delegation suite — MinDepth and MinSum selection over
+/// per-voter preference lists on the seeded topology grid, compared
+/// against the paper's local mechanisms, plus empirical DNH / PG / SPG
+/// verdicts for both rules on the complete-graph family. The printed
+/// grid digest folds both rules' selected forests and is bit-identical
+/// for a given `(seed, ranks, trials)`.
+fn run_ranked_command() -> ExitCode {
+    use ld_sim::ranked::{run_ranked, RankedConfig};
+
+    let usage = "usage: repro ranked [--quick] [--seed N] [--ranks R] [--trials T]";
+    let mut quick = false;
+    let mut seed = ExperimentConfig::default().seed;
+    let mut ranks: Option<usize> = None;
+    let mut trials: Option<u64> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 2;
+    while i < argv.len() {
+        let next = |i: usize| -> Option<&String> { argv.get(i + 1) };
+        match argv[i].as_str() {
+            "--quick" | "-q" => {
+                quick = true;
+                i += 1;
+                continue;
+            }
+            "--seed" | "-s" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("bad or missing --seed value\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--ranks" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => ranks = Some(v),
+                _ => {
+                    eprintln!("bad or missing --ranks value (>= 1)\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trials" => match next(i).and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => trials = Some(v),
+                _ => {
+                    eprintln!("bad or missing --trials value (>= 1)\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown ranked argument {other:?}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    let mut cfg = if quick {
+        RankedConfig::quick(seed)
+    } else {
+        RankedConfig::new(seed)
+    };
+    if let Some(r) = ranks {
+        cfg.ranks = r;
+    }
+    if let Some(t) = trials {
+        cfg.trials = t;
+    }
+    eprintln!(
+        "ranked: {} grid, seed {seed}, lists up to {} entr{}, {} trial(s)/cell ...",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.ranks,
+        if cfg.ranks == 1 { "y" } else { "ies" },
+        cfg.trials,
+    );
+    match run_ranked(&cfg) {
+        Ok(report) => {
+            for table in &report.tables {
+                print!("{}", table.to_text());
+            }
+            println!("grid digest: {:#018x}", report.grid_digest);
+            let failed: Vec<&str> = report
+                .verdicts
+                .iter()
+                .filter(|v| !v.dnh)
+                .map(|v| v.mechanism.as_str())
+                .collect();
+            if !failed.is_empty() {
+                eprintln!(
+                    "ranked: FAIL — do-no-harm violated by {}",
+                    failed.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "ranked: PASS ({} outcome row(s), {} rule verdict(s), DNH holds for every rule)",
+                report.outcomes.len(),
+                report.verdicts.len()
             );
             ExitCode::SUCCESS
         }
@@ -1706,6 +1810,12 @@ fn main() -> ExitCode {
     // experiment runner: kernel, round cap, coalition sweep, WAL tee).
     if std::env::args().nth(1).is_some_and(|a| a == "dynamics") {
         return run_dynamics_command();
+    }
+
+    // Ranked delegations (flags beyond the generic experiment runner:
+    // list length and per-cell trial count).
+    if std::env::args().nth(1).is_some_and(|a| a == "ranked") {
+        return run_ranked_command();
     }
 
     // The sharded election service: bench gate, restart check, host.

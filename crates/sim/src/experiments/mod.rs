@@ -24,6 +24,7 @@ pub mod lemma3_anticoncentration;
 pub mod lemma4_normal;
 pub mod lemma5_maxweight;
 pub mod lemma7_expectation;
+pub mod ranked;
 pub mod stress;
 pub mod support;
 pub mod thm2_complete;
@@ -226,6 +227,12 @@ pub fn all() -> Vec<ExperimentInfo> {
             description: "best-response re-delegation to fixpoint/cycle, plus the variance-seeking coalition sweep",
             run: dynamics::run,
         },
+        ExperimentInfo {
+            id: "ranked",
+            paper_ref: "§6 ranked delegations (Brill et al. model)",
+            description: "MinDepth/MinSum ranked rules vs local mechanisms: gain, rank structure, DNH/PG/SPG",
+            run: ranked::run,
+        },
     ]
 }
 
@@ -261,7 +268,7 @@ mod tests {
             assert!(!info.description.is_empty());
             assert!(!info.paper_ref.is_empty());
         }
-        assert_eq!(infos.len(), 19);
+        assert_eq!(infos.len(), 20);
         assert!(find("nope").is_err());
         assert_eq!(ids().len(), infos.len());
         assert_eq!(ids()[0], "fig1");

@@ -1,0 +1,50 @@
+//! **Ranked** — ranked delegations vs the paper's local mechanisms.
+//!
+//! Voters submit preference *lists* instead of a single edge (Brill et
+//! al.'s ranked-delegation model grafted onto this repo's instances):
+//! each voter ranks its approved neighbours by descending competency,
+//! and a coordination rule — depth-minimising breadth-first (MinDepth)
+//! or rank-total-minimising (MinSum) — selects one edge per voter, with
+//! exhausted lists falling back to abstention. The first table compares
+//! both rules' gain, chain, and rank structure against
+//! `ApprovalThreshold(1)` and `GreedyMax` on the topology grid; the
+//! second reports the empirical DNH / PG / SPG verdicts of each rule on
+//! the complete-graph family.
+//!
+//! The heavy lifting lives in [`crate::ranked`]; this wrapper maps the
+//! shared [`ExperimentConfig`] onto a [`RankedConfig`] so `repro
+//! ranked` and `repro all` share seeds and sizing.
+
+use super::ExperimentConfig;
+use crate::error::Result;
+use crate::ranked::{run_ranked, RankedConfig};
+use crate::table::Table;
+
+/// Runs the ranked suite under the shared experiment configuration.
+///
+/// # Errors
+///
+/// Propagates [`crate::SimError::Config`] from cell generation or gain
+/// estimation.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Table>> {
+    let ranked_cfg = if cfg.quick {
+        RankedConfig::quick(cfg.seed)
+    } else {
+        RankedConfig::new(cfg.seed)
+    };
+    let report = run_ranked(&ranked_cfg)?;
+    Ok(report.tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_tables() {
+        let tables = run(&ExperimentConfig::quick(0x7A4E)).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title().contains("ranked delegation rules"));
+        assert!(tables[1].title().contains("desiderata"));
+    }
+}

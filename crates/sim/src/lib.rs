@@ -57,6 +57,7 @@ pub mod engine;
 pub mod experiments;
 pub mod harness;
 pub mod obs_report;
+pub mod ranked;
 pub mod report;
 pub mod serve;
 pub mod sweep;

@@ -1,0 +1,571 @@
+//! Ranked delegations over the topology grid — the `repro ranked`
+//! workload.
+//!
+//! `ld-core`'s [`DelegationRule`]s (MinDepth and MinSum, §`ranked`) are
+//! coordination rules: every voter submits a preference list and the
+//! rule selects one edge per voter globally. This module compares them
+//! against the paper's *local* mechanisms (`ApprovalThreshold(1)`,
+//! `GreedyMax`) on the same seeded instances: per-cell gain, chain and
+//! rank structure, and the empirical Do No Harm / Positive Gain /
+//! Strong Positive Gain verdicts of [`ld_core::desiderata`].
+//!
+//! Preference lists are derived from the instance itself: each voter
+//! ranks its approved neighbours by descending competency (ties to the
+//! lower id), truncated to the configured list length; voters with an
+//! empty approval set cast directly. Because approval is
+//! margin-strict, every chain strictly climbs the competency order, so
+//! these profiles never cycle or exhaust — the adversarial shapes live
+//! in the conformance suite; this grid measures *quality*.
+//!
+//! Every number is a pure function of `(config seed, cell id)`: cell
+//! seeds are FNV-split exactly like the conformance and dynamics
+//! grids', and the suite-level [`RankedReport::grid_digest`] folds the
+//! selected forests of both rules over every cell.
+
+use crate::error::{Result, SimError};
+use crate::table::Table;
+use ld_core::delegation::Action;
+use ld_core::desiderata::{assess, DesiderataReport};
+use ld_core::gain::estimate_gain;
+use ld_core::mechanisms::{ApprovalThreshold, GreedyMax, Mechanism};
+use ld_core::ranked::{DelegationRule, RankedBallot, RankedProfile, MAX_RANKS};
+use ld_core::{CompetencyProfile, ProblemInstance};
+use ld_graph::generators;
+use ld_live::dynamics::Fnv;
+use ld_prob::rng::{split_seed, stream_rng};
+use rand::RngCore;
+
+/// The approval margin used throughout the ranked grid (matches the
+/// conformance and dynamics grids').
+pub const ALPHA: f64 = 0.05;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = Fnv::new();
+    for b in s.bytes() {
+        h.byte(b);
+    }
+    h.finish()
+}
+
+/// A topology family in the ranked grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankedTopology {
+    /// Complete graph.
+    Complete,
+    /// Star (the Figure 1 dictatorship shape).
+    Star,
+    /// Random `d`-regular graph.
+    Regular(usize),
+    /// Erdős–Rényi `G(n, p)`.
+    ErdosRenyi(f64),
+}
+
+impl RankedTopology {
+    /// Stable identifier (part of the cell id, so part of the seed).
+    pub fn id(self) -> String {
+        match self {
+            RankedTopology::Complete => "complete".to_string(),
+            RankedTopology::Star => "star".to_string(),
+            RankedTopology::Regular(d) => format!("regular{d}"),
+            RankedTopology::ErdosRenyi(_) => "gnp".to_string(),
+        }
+    }
+
+    fn build(
+        self,
+        n: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> std::result::Result<ld_graph::Graph, String> {
+        match self {
+            RankedTopology::Complete => Ok(generators::complete(n)),
+            RankedTopology::Star => Ok(generators::star(n)),
+            RankedTopology::Regular(d) => {
+                generators::random_regular(n, d, rng).map_err(|e| e.to_string())
+            }
+            RankedTopology::ErdosRenyi(p) => {
+                generators::erdos_renyi_gnp(n, p, rng).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// One grid cell: a topology at a size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedCell {
+    /// The topology family.
+    pub topology: RankedTopology,
+    /// Number of voters.
+    pub n: usize,
+}
+
+impl RankedCell {
+    /// Stable cell id, e.g. `gnp/n64`.
+    pub fn id(&self) -> String {
+        format!("{}/n{}", self.topology.id(), self.n)
+    }
+}
+
+/// The seeded grid: every topology family at each size.
+pub fn grid(quick: bool) -> Vec<RankedCell> {
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let topologies = [
+        RankedTopology::Complete,
+        RankedTopology::Star,
+        RankedTopology::Regular(6),
+        RankedTopology::ErdosRenyi(0.3),
+    ];
+    let mut cells = Vec::new();
+    for &topology in &topologies {
+        for &n in sizes {
+            cells.push(RankedCell { topology, n });
+        }
+    }
+    cells
+}
+
+/// Configuration of one ranked run.
+#[derive(Debug, Clone)]
+pub struct RankedConfig {
+    /// Master seed; each cell derives its own stream via an FNV split
+    /// of its id.
+    pub seed: u64,
+    /// Reduced grid for CI.
+    pub quick: bool,
+    /// Preference-list length (clamped to `1..=MAX_RANKS`).
+    pub ranks: usize,
+    /// Gain-estimation trials per (cell, mechanism).
+    pub trials: u64,
+}
+
+impl RankedConfig {
+    /// The default full-grid configuration.
+    pub fn new(seed: u64) -> Self {
+        RankedConfig {
+            seed,
+            quick: false,
+            ranks: MAX_RANKS,
+            trials: 16,
+        }
+    }
+
+    /// The CI smoke configuration.
+    pub fn quick(seed: u64) -> Self {
+        RankedConfig {
+            quick: true,
+            trials: 8,
+            ..Self::new(seed)
+        }
+    }
+
+    fn clamped_ranks(&self) -> usize {
+        self.ranks.clamp(1, MAX_RANKS)
+    }
+}
+
+/// A [`Mechanism`] adapter for a ranked [`DelegationRule`]: voters rank
+/// their approved neighbours by descending competency and the rule
+/// selects the forest. `act` reports the voter's own top preference (the
+/// local view); `run` performs the coordinated selection.
+#[derive(Debug, Clone, Copy)]
+pub struct RankedRuleMechanism {
+    rule: DelegationRule,
+    ranks: usize,
+}
+
+impl RankedRuleMechanism {
+    /// A mechanism selecting under `rule` from lists of up to `ranks`
+    /// entries (clamped to `1..=MAX_RANKS`).
+    pub fn new(rule: DelegationRule, ranks: usize) -> Self {
+        RankedRuleMechanism {
+            rule,
+            ranks: ranks.clamp(1, MAX_RANKS),
+        }
+    }
+
+    /// Derives the instance's preference profile: approved neighbours by
+    /// descending competency (ties to the lower id), truncated; empty
+    /// approval casts.
+    pub fn ballots(&self, instance: &ProblemInstance) -> Vec<RankedBallot> {
+        (0..instance.n())
+            .map(|v| {
+                let mut list = instance.approval_set(v);
+                if list.is_empty() {
+                    return RankedBallot::Cast;
+                }
+                list.sort_by(|&a, &b| {
+                    instance
+                        .competency(b)
+                        .partial_cmp(&instance.competency(a))
+                        .expect("competencies are finite")
+                        .then(a.cmp(&b))
+                });
+                list.truncate(self.ranks);
+                RankedBallot::Ranked(list)
+            })
+            .collect()
+    }
+
+    /// The derived profile, validated.
+    ///
+    /// # Errors
+    ///
+    /// [`ld_core::CoreError`] if the derived lists are malformed (an
+    /// internal invariant — approval sets are in range and dedup'd).
+    pub fn profile(&self, instance: &ProblemInstance) -> ld_core::Result<RankedProfile> {
+        RankedProfile::new(self.ballots(instance))
+    }
+}
+
+impl Mechanism for RankedRuleMechanism {
+    fn act(&self, instance: &ProblemInstance, voter: usize, _rng: &mut dyn RngCore) -> Action {
+        match self.ballots(instance)[voter] {
+            RankedBallot::Ranked(ref list) => Action::Delegate(list[0]),
+            _ => Action::Vote,
+        }
+    }
+
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        _rng: &mut dyn RngCore,
+    ) -> ld_core::delegation::DelegationGraph {
+        let fallback = || {
+            (0..instance.n())
+                .map(|_| Action::Vote)
+                .collect::<ld_core::delegation::DelegationGraph>()
+        };
+        let Ok(profile) = self.profile(instance) else {
+            return fallback();
+        };
+        match self.rule.select(&profile) {
+            Ok(sel) => ld_core::delegation::DelegationGraph::new(sel.into_actions()),
+            // Approval margins make cycles impossible, but a defensive
+            // fallback keeps the mechanism total.
+            Err(_) => fallback(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ranked({}, r={})", self.rule.id(), self.ranks)
+    }
+}
+
+/// One (cell, mechanism) measurement.
+#[derive(Debug)]
+pub struct RankedOutcome {
+    /// Cell id.
+    pub cell: String,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Exact direct-voting probability.
+    pub p_direct: f64,
+    /// Mean mechanism decision probability.
+    pub p_mechanism: f64,
+    /// `p_mechanism − p_direct`.
+    pub gain: f64,
+    /// Mean delegating voters.
+    pub delegators: f64,
+    /// Mean longest chain.
+    pub longest_chain: f64,
+    /// Total chosen rank of the selected forest (ranked rules only).
+    pub rank_sum: Option<u64>,
+    /// Exhausted (fallback-abstaining) voters (ranked rules only).
+    pub exhausted: Option<usize>,
+}
+
+/// Desiderata verdicts for one ranked rule.
+#[derive(Debug)]
+pub struct RuleVerdict {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// The assessment across sizes.
+    pub report: DesiderataReport,
+    /// Do No Harm at ε = 0.01.
+    pub dnh: bool,
+    /// Positive Gain at γ = 0.
+    pub pg: bool,
+    /// Strong Positive Gain at γ = 0.01.
+    pub spg: bool,
+}
+
+/// The whole suite's result.
+#[derive(Debug)]
+pub struct RankedReport {
+    /// One row per (cell, mechanism), in grid order.
+    pub outcomes: Vec<RankedOutcome>,
+    /// Desiderata verdicts per ranked rule on the complete-graph family.
+    pub verdicts: Vec<RuleVerdict>,
+    /// FNV fold of both rules' selected forests over every cell.
+    pub grid_digest: u64,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+}
+
+/// Builds one cell's instance under the master seed (graph from stream
+/// 0, matching the dynamics grid's layout).
+fn prepare_instance(cell: &RankedCell, master: u64) -> Result<(String, u64, ProblemInstance)> {
+    let id = cell.id();
+    let seed = split_seed(master, fnv1a(&id));
+    let mut graph_rng = stream_rng(seed, 0);
+    let graph = cell
+        .topology
+        .build(cell.n, &mut graph_rng)
+        .map_err(|reason| SimError::Config {
+            reason: format!("cell {id}: {reason}"),
+        })?;
+    let profile = CompetencyProfile::linear(cell.n, 0.35, 0.7).map_err(|e| SimError::Config {
+        reason: format!("cell {id}: {e}"),
+    })?;
+    let instance = ProblemInstance::new(graph, profile, ALPHA).map_err(|e| SimError::Config {
+        reason: format!("cell {id}: {e}"),
+    })?;
+    Ok((id, seed, instance))
+}
+
+/// Runs the full ranked suite under `cfg`.
+///
+/// # Errors
+///
+/// [`SimError::Config`] on ungeneratable cells or estimation failures.
+pub fn run_ranked(cfg: &RankedConfig) -> Result<RankedReport> {
+    let _span = ld_obs::span("ranked.run_ns");
+    let ranks = cfg.clamped_ranks();
+    let cells = grid(cfg.quick);
+    let mut outcomes = Vec::new();
+    let mut digest = Fnv::new();
+
+    let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(RankedRuleMechanism::new(DelegationRule::MinDepth, ranks)),
+        Box::new(RankedRuleMechanism::new(DelegationRule::MinSum, ranks)),
+        Box::new(ApprovalThreshold::new(1)),
+        Box::new(GreedyMax),
+    ];
+
+    for cell in &cells {
+        let (id, seed, instance) = prepare_instance(cell, cfg.seed)?;
+        ld_obs::counter("ranked.cells").incr();
+        for b in id.bytes() {
+            digest.byte(b);
+        }
+        for (m_idx, mech) in mechanisms.iter().enumerate() {
+            let mut rng = stream_rng(seed, 1 + m_idx as u64);
+            let est = estimate_gain(&instance, mech.as_ref(), cfg.trials.max(1), &mut rng)
+                .map_err(|e| SimError::Config {
+                    reason: format!("cell {id}: {}: {e}", mech.name()),
+                })?;
+            let (rank_sum, exhausted) = match m_idx {
+                0 => selection_stats(DelegationRule::MinDepth, ranks, &instance, &id, &mut digest)?,
+                1 => selection_stats(DelegationRule::MinSum, ranks, &instance, &id, &mut digest)?,
+                _ => (None, None),
+            };
+            outcomes.push(RankedOutcome {
+                cell: id.clone(),
+                mechanism: mech.name(),
+                p_direct: est.p_direct(),
+                p_mechanism: est.p_mechanism(),
+                gain: est.gain(),
+                delegators: est.mean_delegators(),
+                longest_chain: est.mean_longest_chain(),
+                rank_sum,
+                exhausted,
+            });
+        }
+    }
+
+    // Desiderata verdicts: each ranked rule on the complete-graph family
+    // (the paper's Theorem 2 shape), sizes scaled by --quick.
+    let family = |n: usize, _rng: &mut dyn RngCore| {
+        ProblemInstance::new(
+            generators::complete(n),
+            CompetencyProfile::linear(n, 0.35, 0.7)?,
+            ALPHA,
+        )
+    };
+    let sizes: &[usize] = if cfg.quick { &[12, 24] } else { &[12, 24, 48] };
+    let mut verdicts = Vec::new();
+    for rule in DelegationRule::all() {
+        let mech = RankedRuleMechanism::new(rule, ranks);
+        let mut rng = stream_rng(split_seed(cfg.seed, fnv1a(&mech.name())), 9);
+        let report =
+            assess(&family, &mech, sizes, 2, cfg.trials.max(1), &mut rng).map_err(|e| {
+                SimError::Config {
+                    reason: format!("desiderata({}): {e}", mech.name()),
+                }
+            })?;
+        verdicts.push(RuleVerdict {
+            mechanism: mech.name(),
+            dnh: report.do_no_harm(0.01),
+            pg: report.positive_gain(0.0),
+            spg: report.strong_positive_gain(0.01),
+            report,
+        });
+    }
+
+    let mut gain_table = Table::new(
+        "ranked delegation rules vs local mechanisms: gain over the topology grid",
+        &[
+            "cell",
+            "mechanism",
+            "P_direct",
+            "P_mech",
+            "gain",
+            "delegators",
+            "chain",
+            "rank_sum",
+            "exhausted",
+        ],
+    );
+    for o in &outcomes {
+        gain_table.push([
+            o.cell.as_str().into(),
+            o.mechanism.as_str().into(),
+            o.p_direct.into(),
+            o.p_mechanism.into(),
+            o.gain.into(),
+            o.delegators.into(),
+            o.longest_chain.into(),
+            o.rank_sum
+                .map_or_else(|| "-".to_string(), |s| s.to_string())
+                .into(),
+            o.exhausted
+                .map_or_else(|| "-".to_string(), |e| e.to_string())
+                .into(),
+        ]);
+    }
+    gain_table.set_note(format!(
+        "lists rank approved neighbours by descending competency, ≤ {ranks} entries; \
+         rank_sum is the selected forest's total chosen rank (MinSum minimises it)"
+    ));
+
+    let mut verdict_table = Table::new(
+        "ranked rules: empirical desiderata on the complete-graph family",
+        &[
+            "mechanism",
+            "n",
+            "min_gain",
+            "mean_gain",
+            "DNH",
+            "PG",
+            "SPG",
+        ],
+    );
+    for v in &verdicts {
+        for p in v.report.points() {
+            verdict_table.push([
+                v.mechanism.as_str().into(),
+                p.n.into(),
+                p.min_gain.into(),
+                p.mean_gain.into(),
+                if v.dnh { "yes" } else { "no" }.into(),
+                if v.pg { "yes" } else { "no" }.into(),
+                if v.spg { "yes" } else { "no" }.into(),
+            ]);
+        }
+    }
+    verdict_table.set_note(
+        "DNH at eps=0.01, PG at gamma=0, SPG at gamma=0.01 (Definitions 3-5), \
+         verdicts per rule across all listed sizes"
+            .to_string(),
+    );
+
+    Ok(RankedReport {
+        outcomes,
+        verdicts,
+        grid_digest: digest.finish(),
+        tables: vec![gain_table, verdict_table],
+    })
+}
+
+/// Selects the cell's profile under `rule` once, folds the forest into
+/// the digest, and reports rank statistics.
+fn selection_stats(
+    rule: DelegationRule,
+    ranks: usize,
+    instance: &ProblemInstance,
+    id: &str,
+    digest: &mut Fnv,
+) -> Result<(Option<u64>, Option<usize>)> {
+    let mech = RankedRuleMechanism::new(rule, ranks);
+    let profile = mech.profile(instance).map_err(|e| SimError::Config {
+        reason: format!("cell {id}: ranked profile: {e}"),
+    })?;
+    let sel = rule.select(&profile).map_err(|e| SimError::Config {
+        reason: format!("cell {id}: {}: {e}", rule.id()),
+    })?;
+    for a in sel.actions() {
+        match *a {
+            Action::Vote => digest.u64(u64::MAX),
+            Action::Abstain => digest.u64(u64::MAX - 1),
+            Action::Delegate(t) => digest.u64(t as u64),
+            _ => digest.u64(u64::MAX - 2),
+        }
+    }
+    digest.u64(sel.rank_sum());
+    Ok((Some(sel.rank_sum()), Some(sel.exhausted().len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quick_grid_runs_and_summarises() {
+        let rep = run_ranked(&RankedConfig::quick(0x7A4E)).unwrap();
+        assert_eq!(rep.outcomes.len(), grid(true).len() * 4);
+        assert_eq!(rep.tables.len(), 2);
+        assert_eq!(rep.verdicts.len(), 2);
+        // Derived profiles climb the competency order, so nothing
+        // exhausts and ranked rows report a rank sum.
+        for o in rep.outcomes.iter().filter(|o| o.rank_sum.is_some()) {
+            assert_eq!(o.exhausted, Some(0), "{}: unexpected exhaustion", o.cell);
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run_ranked(&RankedConfig::quick(42)).unwrap();
+        let b = run_ranked(&RankedConfig::quick(42)).unwrap();
+        assert_eq!(a.grid_digest, b.grid_digest);
+        let c = run_ranked(&RankedConfig::quick(43)).unwrap();
+        assert_ne!(a.grid_digest, c.grid_digest, "seed must matter");
+    }
+
+    #[test]
+    fn min_sum_never_spends_more_rank_than_min_depth() {
+        // MinSum minimises the rank total by construction; MinDepth
+        // spends whatever depth-optimality costs.
+        let rep = run_ranked(&RankedConfig::quick(7)).unwrap();
+        for cell in grid(true) {
+            let id = cell.id();
+            let sum_of = |needle: &str| {
+                rep.outcomes
+                    .iter()
+                    .find(|o| o.cell == id && o.mechanism.contains(needle))
+                    .and_then(|o| o.rank_sum)
+                    .unwrap_or_else(|| panic!("{id}: missing {needle} row"))
+            };
+            assert!(
+                sum_of("min-sum") <= sum_of("min-depth"),
+                "{id}: min-sum spent more rank than min-depth"
+            );
+        }
+    }
+
+    #[test]
+    fn ranked_mechanism_is_total_on_empty_approval() {
+        // Star + linear profile: leaves approve no one upward from the
+        // low-competency hub, so most voters cast; the mechanism must
+        // still produce a valid graph.
+        let instance = ProblemInstance::new(
+            generators::star(9),
+            CompetencyProfile::linear(9, 0.35, 0.7).unwrap(),
+            ALPHA,
+        )
+        .unwrap();
+        let mech = RankedRuleMechanism::new(DelegationRule::MinDepth, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let dg = mech.run(&instance, &mut rng);
+        assert!(dg.resolve().is_ok());
+    }
+}

@@ -342,6 +342,62 @@ pub fn check(id: &str, tables: &[Table]) -> ClaimVerdict {
                 ),
             )
         }
+        "ranked" => {
+            // Table 0: the topology-grid comparison; table 1: desiderata.
+            // The rule-correctness claims (optimality, bit-identical
+            // backends) live in the ranked conformance wall; the shape
+            // predicate checks the optimisation targets ordered the two
+            // rules as defined — MinSum's total chosen rank never exceeds
+            // MinDepth's on the same cell — plus proper probabilities and
+            // Do No Harm for both ranked rules.
+            let t = &tables[0];
+            let rank_sum_of = |row: &[crate::table::Cell]| -> Option<u64> {
+                match row.get(7)? {
+                    crate::table::Cell::Text(s) => s.parse().ok(),
+                    _ => None,
+                }
+            };
+            let text = |c: &crate::table::Cell| match c {
+                crate::table::Cell::Text(s) => s.clone(),
+                other => other.to_string(),
+            };
+            let mut by_cell: std::collections::HashMap<String, (Option<u64>, Option<u64>)> =
+                std::collections::HashMap::new();
+            let mut probs_ok = !t.rows().is_empty();
+            for (r, row) in t.rows().iter().enumerate() {
+                for col in [2, 3] {
+                    let p = t.value(r, col).unwrap_or(f64::NAN);
+                    probs_ok &= (0.0..=1.0).contains(&p);
+                }
+                let entry = by_cell.entry(text(&row[0])).or_default();
+                let mech = text(&row[1]);
+                if mech.contains("min-depth") {
+                    entry.0 = rank_sum_of(row);
+                } else if mech.contains("min-sum") {
+                    entry.1 = rank_sum_of(row);
+                }
+            }
+            let mut pairs = 0usize;
+            let mut ordered = true;
+            for (depth, sum) in by_cell.values() {
+                if let (Some(d), Some(s)) = (depth, sum) {
+                    pairs += 1;
+                    ordered &= s <= d;
+                }
+            }
+            let dnh_ok = tables.get(1).is_some_and(|v| {
+                !v.rows().is_empty()
+                    && v.rows()
+                        .iter()
+                        .all(|row| matches!(&row[4], crate::table::Cell::Text(s) if s == "yes"))
+            });
+            verdict(
+                id,
+                "MinSum's chosen-rank total never exceeds MinDepth's; both rules do no harm",
+                pairs > 0 && ordered && probs_ok && dnh_ok,
+                format!("{pairs} cell(s) paired, ordered = {ordered}, DNH = {dnh_ok}"),
+            )
+        }
         other => verdict(
             other,
             "unknown claim",

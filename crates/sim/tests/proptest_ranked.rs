@@ -1,0 +1,121 @@
+//! The degenerate-profile contract: length-1 preference lists *are* the
+//! legacy single-edge model, so `RankedProfile::from_actions` followed
+//! by either resolution backend must reproduce `DelegationGraph::resolve`
+//! bit for bit — sinks, weights, discarded count, delegator count, chain
+//! depths, and the error taxonomy included. Any divergence here means a
+//! ranked rule quietly changed semantics the rest of the repo (live
+//! engine, experiments, stored traces) still assumes.
+
+use ld_core::csr::CsrForest;
+use ld_core::delegation::{Action, DelegationGraph};
+use ld_core::ranked::{DelegationRule, RankedProfile, ReferenceResolver, ResolutionRule};
+use proptest::prelude::*;
+
+/// Arbitrary single-target action vectors: votes, abstentions, and
+/// delegations anywhere in range — self-loops and cycles included, so
+/// both the `Ok` shape and the `CyclicDelegation` contract get
+/// exercised. Raw `(kind, target)` pairs are drawn at the maximum
+/// length and folded down so the strategy stays inside the surface the
+/// offline proptest stub shares with the real crate (no flat-map).
+fn actions_strategy() -> impl Strategy<Value = Vec<Action>> {
+    let raw = proptest::collection::vec((0u8..9, 0usize..24), 24);
+    (1usize..=24, raw).prop_map(|(n, raw)| {
+        raw.into_iter()
+            .take(n)
+            .map(|(kind, t)| match kind {
+                0 | 1 => Action::Vote,
+                2 => Action::Abstain,
+                _ => Action::Delegate(t % n),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_entry_lists_match_legacy_resolve_bit_for_bit(actions in actions_strategy()) {
+        let legacy = DelegationGraph::new(actions.clone()).resolve();
+        let profile = RankedProfile::from_actions(&actions).expect("in-range single targets");
+        prop_assert!(profile.is_single_edge());
+        let delegators = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Delegate(_)))
+            .count() as u64;
+        for rule in DelegationRule::all() {
+            let backends: [(&str, ld_core::Result<_>); 2] = [
+                (
+                    "reference",
+                    ReferenceResolver::new().resolve_ranked(&profile, rule),
+                ),
+                (
+                    "csr",
+                    CsrForest::with_capacity(actions.len()).resolve_ranked(&profile, rule),
+                ),
+            ];
+            for (backend, result) in backends {
+                match (&legacy, result) {
+                    (Ok(expect), Ok((sel, got))) => {
+                        prop_assert_eq!(
+                            expect, &got,
+                            "{}/{}: resolution diverged from legacy", rule.id(), backend
+                        );
+                        prop_assert!(sel.exhausted().is_empty());
+                        // A one-entry list can only choose rank 1, so the
+                        // rank total is exactly the delegator count.
+                        prop_assert_eq!(sel.rank_sum(), delegators);
+                        for (v, r) in sel.chosen_rank().iter().enumerate() {
+                            match actions[v] {
+                                Action::Delegate(_) => prop_assert_eq!(*r, Some(1)),
+                                _ => prop_assert_eq!(*r, None),
+                            }
+                        }
+                    }
+                    (Err(expect), Err(got)) => prop_assert_eq!(
+                        std::mem::discriminant(expect),
+                        std::mem::discriminant(&got),
+                        "{}/{}: error kind diverged (legacy {expect:?}, ranked {got:?})",
+                        rule.id(),
+                        backend
+                    ),
+                    (l, r) => prop_assert!(
+                        false,
+                        "{}/{}: Ok/Err split: legacy {l:?}, ranked {r:?}",
+                        rule.id(),
+                        backend
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Error precedence is part of the contract: `DelegateMany` is rejected
+/// as an `InvalidParameter` before target validation on both stacks, and
+/// an out-of-range target is reported before any cycle detection.
+#[test]
+fn error_precedence_matches_legacy() {
+    use std::mem::discriminant;
+    let cases: Vec<Vec<Action>> = vec![
+        vec![Action::DelegateMany(vec![7, 9]), Action::Delegate(99)],
+        vec![Action::Delegate(99), Action::Delegate(0)],
+        vec![Action::Delegate(1), Action::Delegate(0)],
+    ];
+    for actions in cases {
+        let legacy = DelegationGraph::new(actions.clone())
+            .resolve()
+            .expect_err("every case is malformed");
+        for rule in DelegationRule::all() {
+            let ranked = RankedProfile::from_actions(&actions)
+                .and_then(|p| ld_core::ranked::resolve_ranked(&p, rule))
+                .expect_err("every case is malformed");
+            assert_eq!(
+                discriminant(&legacy),
+                discriminant(&ranked),
+                "{}: legacy {legacy:?} vs ranked {ranked:?} on {actions:?}",
+                rule.id()
+            );
+        }
+    }
+}

@@ -8,11 +8,14 @@
 //! or a deliberately mutated one — the mutation is how CI proves the
 //! suite has teeth.
 
-use crate::gen::{Case, ALPHA};
+use crate::gen::{ranked_ballots, Case, ALPHA};
 use crate::oracle::{self, OracleOutcome};
 use ld_core::csr::CsrForest;
 use ld_core::csr::PackedSinkWeights;
 use ld_core::delegation::{Action, DelegationGraph, Resolver};
+use ld_core::ranked::{
+    DelegationRule, RankedBallot, RankedProfile, ReferenceResolver, ResolutionRule, MAX_RANKS,
+};
 use ld_core::tally::{exact_correct_probability, sample_decision, TieBreak};
 use ld_core::{CompetencyProfile, CoreError, ProblemInstance};
 use ld_graph::generators;
@@ -20,12 +23,13 @@ use ld_graph::Graph;
 use ld_live::dynamics::{
     run_dynamics, state_hash, DynamicsSpec, DynamicsView, MoveRule, Termination, TieBreakRule,
 };
+use ld_live::ranked::RankedMirror;
 use ld_live::{LiveEngine, Update};
 use ld_prob::bounds::berry_esseen_weighted;
 use ld_prob::coins::{draw_scalar_coins, packed_bit, PackedCompetence};
 use ld_prob::normal::std_normal_cdf;
 use ld_prob::poisson_binomial::{PoissonBinomial, WeightedBernoulliSum};
-use ld_prob::rng::stream_rng;
+use ld_prob::rng::{split_seed, stream_rng};
 use rand::Rng;
 
 /// Which tally implementation the checks exercise.
@@ -118,6 +122,22 @@ pub enum DynamicsImpl {
     TiebreakSkewed,
 }
 
+/// Which ranked preference ordering the ranked checks exercise.
+///
+/// `RankOrderReversed` is a deliberate bug — the delegation rules
+/// consult every preference list back to front
+/// ([`RankedProfile::reverse_ranks_for_tests`]) — injected by
+/// `--mutate rank-order` so CI can verify the `ranked-resolve-oracle`
+/// differential actually detects a rule that ignores the submitted
+/// rank order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankedImpl {
+    /// The production rank order.
+    Real,
+    /// Mutant: every preference list is reversed before selection.
+    RankOrderReversed,
+}
+
 /// Shared configuration threaded through every check.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckContext {
@@ -133,6 +153,8 @@ pub struct CheckContext {
     pub coins: CoinsImpl,
     /// Best-response tie-break under test.
     pub dynamics: DynamicsImpl,
+    /// Ranked preference ordering under test.
+    pub ranked: RankedImpl,
 }
 
 /// Result of one check on one case.
@@ -211,11 +233,26 @@ pub enum CheckId {
     /// (via the existing `FaultPlan`) must recover to a bit-identical
     /// continuation.
     DynamicsReplay,
+    /// Ranked resolution vs a brute-force assignment oracle: ballots are
+    /// derived deterministically from the case, both delegation rules
+    /// are selected through both `ResolutionRule` backends
+    /// (bit-identical), single-edge profiles must reproduce the legacy
+    /// `resolve` result (including error precedence) exactly, chosen
+    /// ranks must cite the *submitted* preference order, the exhausted
+    /// set must equal the unattainable fixpoint, and (for `n ≤ 10`)
+    /// MinDepth depths and the MinSum rank total must match the
+    /// enumeration of every valid cycle-free assignment.
+    RankedResolveOracle,
+    /// Ranked churn replay: a `RankedMirror` fed seeded ballot edits
+    /// must stay in lockstep with from-scratch selection and
+    /// resolution — engine state bit-identical, reported change counts
+    /// exact, internal forest invariants intact — after every edit.
+    RankedLiveReplay,
 }
 
 impl CheckId {
     /// All checks, in execution order.
-    pub fn all() -> [CheckId; 18] {
+    pub fn all() -> [CheckId; 20] {
         [
             CheckId::ResolveOracle,
             CheckId::ResolveDeterminism,
@@ -235,6 +272,8 @@ impl CheckId {
             CheckId::ServeReplay,
             CheckId::DynamicsOracle,
             CheckId::DynamicsReplay,
+            CheckId::RankedResolveOracle,
+            CheckId::RankedLiveReplay,
         ]
     }
 
@@ -259,6 +298,8 @@ impl CheckId {
             CheckId::ServeReplay => "serve-replay",
             CheckId::DynamicsOracle => "dynamics-oracle",
             CheckId::DynamicsReplay => "dynamics-replay",
+            CheckId::RankedResolveOracle => "ranked-resolve-oracle",
+            CheckId::RankedLiveReplay => "ranked-live-replay",
         }
     }
 
@@ -316,6 +357,8 @@ pub fn recheck_structural(
         CheckId::ServeReplay => check_serve_replay(actions, ps, seed, ctx),
         CheckId::DynamicsOracle => check_dynamics_oracle(actions, ps, ctx),
         CheckId::DynamicsReplay => check_dynamics_replay(actions, ps, seed),
+        CheckId::RankedResolveOracle => check_ranked_resolve_oracle(actions, seed, ctx),
+        CheckId::RankedLiveReplay => check_ranked_live_replay(actions, ps, seed, ctx),
     }
 }
 
@@ -2110,6 +2153,405 @@ fn check_dynamics_replay(actions: &[Action], ps: &[f64], seed: u64) -> CheckOutc
     outcome
 }
 
+/// Salt separating the ranked-replay churn stream from the ballot
+/// derivation stream.
+const RANKED_REPLAY_SALT: u64 = 0x7A4E_4B3D_5EED_0001;
+
+/// Derives the case's ranked preference profile and the production copy
+/// the rules actually consult (reversed under `--mutate rank-order`).
+fn ranked_profiles(
+    actions: &[Action],
+    seed: u64,
+    ctx: &CheckContext,
+) -> Result<(RankedProfile, RankedProfile), CheckOutcome> {
+    let ballots = ranked_ballots(actions, seed);
+    let truth = match RankedProfile::new(ballots) {
+        Ok(p) => p,
+        Err(_) => return Err(CheckOutcome::Skip("derived ballots are invalid")),
+    };
+    let mut production = truth.clone();
+    if ctx.ranked == RankedImpl::RankOrderReversed {
+        production.reverse_ranks_for_tests();
+    }
+    Ok((truth, production))
+}
+
+fn check_ranked_resolve_oracle(actions: &[Action], seed: u64, ctx: &CheckContext) -> CheckOutcome {
+    let (truth, production) = match ranked_profiles(actions, seed, ctx) {
+        Ok(pair) => pair,
+        Err(skip) => return skip,
+    };
+    let n = truth.n();
+    // Independent attainability fixpoint over the submitted lists: the
+    // production reverse-BFS must abstain exactly the voters this naive
+    // iteration never reaches.
+    let mut attainable: Vec<bool> = (0..n)
+        .map(|v| !matches!(truth.ballot(v), RankedBallot::Ranked(_)))
+        .collect();
+    loop {
+        let mut changed = false;
+        for v in 0..n {
+            if attainable[v] {
+                continue;
+            }
+            if let RankedBallot::Ranked(list) = truth.ballot(v) {
+                if list.iter().any(|&t| t == v || attainable[t]) {
+                    attainable[v] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let unattainable: Vec<usize> = (0..n).filter(|&v| !attainable[v]).collect();
+
+    let mut reference = ReferenceResolver::new();
+    let mut csr = CsrForest::new();
+
+    if truth.is_single_edge() {
+        // Single-entry profiles must reproduce the legacy resolver
+        // bit for bit, including the error contract.
+        let equiv: Vec<Action> = (0..n)
+            .map(|v| match truth.ballot(v) {
+                RankedBallot::Cast => Action::Vote,
+                RankedBallot::Abstain => Action::Abstain,
+                RankedBallot::Ranked(list) => Action::Delegate(list[0]),
+            })
+            .collect();
+        let legacy = DelegationGraph::new(equiv).resolve();
+        for rule in DelegationRule::all() {
+            let via_ref = reference.resolve_ranked(&production, rule);
+            let via_csr = csr.resolve_ranked(&production, rule);
+            for (backend, outcome) in [("reference", &via_ref), ("csr", &via_csr)] {
+                match (&legacy, outcome) {
+                    (Ok(expected), Ok((_, got))) => {
+                        if got != expected {
+                            return CheckOutcome::Fail(format!(
+                                "single-edge {}/{backend} resolution differs from legacy resolve",
+                                rule.id()
+                            ));
+                        }
+                    }
+                    (Err(expected), Err(got)) => {
+                        if std::mem::discriminant(got) != std::mem::discriminant(expected) {
+                            return CheckOutcome::Fail(format!(
+                                "single-edge {}/{backend} error {got:?} differs from legacy \
+                                 {expected:?}",
+                                rule.id()
+                            ));
+                        }
+                    }
+                    (expected, got) => {
+                        return CheckOutcome::Fail(format!(
+                            "single-edge {}/{backend}: legacy says {expected:?}, ranked path \
+                             says {:?}",
+                            rule.id(),
+                            got.as_ref().map(|(_, r)| r)
+                        ));
+                    }
+                }
+            }
+        }
+        return CheckOutcome::Pass;
+    }
+
+    let brute = oracle::ranked_brute_force(&truth);
+    for rule in DelegationRule::all() {
+        let (sel, res) = match reference.resolve_ranked(&production, rule) {
+            Ok(pair) => pair,
+            Err(e) => {
+                return CheckOutcome::Fail(format!(
+                    "{} errored on a multi-entry profile: {e}",
+                    rule.id()
+                ))
+            }
+        };
+        match csr.resolve_ranked(&production, rule) {
+            Ok((sel_csr, res_csr)) => {
+                if sel_csr != sel || res_csr != res {
+                    return CheckOutcome::Fail(format!(
+                        "{}: csr backend disagrees with the reference backend",
+                        rule.id()
+                    ));
+                }
+            }
+            Err(e) => {
+                return CheckOutcome::Fail(format!("{}: csr backend errored: {e}", rule.id()))
+            }
+        }
+        if sel.exhausted() != unattainable.as_slice() {
+            return CheckOutcome::Fail(format!(
+                "{}: exhausted {:?} differs from the unattainable fixpoint {:?}",
+                rule.id(),
+                sel.exhausted(),
+                unattainable
+            ));
+        }
+        // Chosen ranks must cite the *submitted* preference order — the
+        // property `--mutate rank-order` breaks at every grid size.
+        let mut true_rank_sum = 0u64;
+        for v in 0..n {
+            match &sel.actions()[v] {
+                Action::Delegate(t) => {
+                    let RankedBallot::Ranked(list) = truth.ballot(v) else {
+                        return CheckOutcome::Fail(format!(
+                            "{}: voter {v} delegated without a ranked ballot",
+                            rule.id()
+                        ));
+                    };
+                    let Some(idx) = list.iter().position(|x| x == t) else {
+                        return CheckOutcome::Fail(format!(
+                            "{}: voter {v} selected {t}, which its submitted list never ranks",
+                            rule.id()
+                        ));
+                    };
+                    let want = idx as u8 + 1;
+                    if sel.chosen_rank()[v] != Some(want) {
+                        return CheckOutcome::Fail(format!(
+                            "{}: voter {v} reports rank {:?} but target {t} sits at submitted \
+                             rank {want}",
+                            rule.id(),
+                            sel.chosen_rank()[v]
+                        ));
+                    }
+                    true_rank_sum += u64::from(want);
+                }
+                Action::Vote | Action::Abstain => {
+                    if sel.chosen_rank()[v].is_some()
+                        && !matches!(truth.ballot(v), RankedBallot::Ranked(_))
+                    {
+                        return CheckOutcome::Fail(format!(
+                            "{}: non-ranked voter {v} carries a chosen rank",
+                            rule.id()
+                        ));
+                    }
+                }
+                other => {
+                    return CheckOutcome::Fail(format!(
+                        "{}: voter {v} selected a non-single-edge action {other:?}",
+                        rule.id()
+                    ))
+                }
+            }
+        }
+        if sel.rank_sum() != true_rank_sum {
+            return CheckOutcome::Fail(format!(
+                "{}: reported rank sum {} differs from the submitted-order sum {}",
+                rule.id(),
+                sel.rank_sum(),
+                true_rank_sum
+            ));
+        }
+        // Maximality: every attainable ranked voter must be assigned.
+        for v in 0..n {
+            if attainable[v]
+                && matches!(truth.ballot(v), RankedBallot::Ranked(_))
+                && sel.chosen_rank()[v].is_none()
+            {
+                return CheckOutcome::Fail(format!(
+                    "{}: attainable voter {v} was left unassigned",
+                    rule.id()
+                ));
+            }
+        }
+        // Brute-force scoring on small electorates.
+        if let Some(report) = &brute {
+            match rule {
+                DelegationRule::MinDepth => {
+                    let depths = chase_depths(sel.actions(), &attainable, &truth);
+                    if depths != report.min_depth {
+                        return CheckOutcome::Fail(format!(
+                            "min-depth: selected depths {depths:?} differ from the brute-force \
+                             minima {:?}",
+                            report.min_depth
+                        ));
+                    }
+                    // First-listed tie-break among depth-optimal edges.
+                    for v in 0..n {
+                        let RankedBallot::Ranked(list) = truth.ballot(v) else {
+                            continue;
+                        };
+                        let Some(d) = report.min_depth[v] else {
+                            continue;
+                        };
+                        let expect = if d == 0 {
+                            v
+                        } else {
+                            match list
+                                .iter()
+                                .find(|&&t| t != v && report.min_depth[t] == Some(d - 1))
+                            {
+                                Some(&t) => t,
+                                None => {
+                                    return CheckOutcome::Fail(format!(
+                                        "min-depth: no submitted edge of voter {v} achieves \
+                                         depth {}",
+                                        d - 1
+                                    ))
+                                }
+                            }
+                        };
+                        if sel.actions()[v] != Action::Delegate(expect) {
+                            return CheckOutcome::Fail(format!(
+                                "min-depth: voter {v} should take its first depth-optimal edge \
+                                 to {expect}, selected {:?}",
+                                sel.actions()[v]
+                            ));
+                        }
+                    }
+                }
+                DelegationRule::MinSum => {
+                    if true_rank_sum != report.min_rank_sum {
+                        return CheckOutcome::Fail(format!(
+                            "min-sum: selected rank total {true_rank_sum} vs brute-force \
+                             optimum {}",
+                            report.min_rank_sum
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    CheckOutcome::Pass
+}
+
+/// Per-voter chain depths of a selected forest, chased naively; `None`
+/// for exhausted (unattainable) ranked voters.
+fn chase_depths(
+    actions: &[Action],
+    attainable: &[bool],
+    truth: &RankedProfile,
+) -> Vec<Option<usize>> {
+    let n = actions.len();
+    (0..n)
+        .map(|v| {
+            if !attainable[v] && matches!(truth.ballot(v), RankedBallot::Ranked(_)) {
+                return None;
+            }
+            let mut cur = v;
+            let mut hops = 0usize;
+            loop {
+                match actions[cur] {
+                    Action::Delegate(t) if t != cur => {
+                        hops += 1;
+                        if hops > n {
+                            return None;
+                        }
+                        cur = t;
+                    }
+                    _ => return Some(hops),
+                }
+            }
+        })
+        .collect()
+}
+
+fn check_ranked_live_replay(
+    actions: &[Action],
+    ps: &[f64],
+    seed: u64,
+    ctx: &CheckContext,
+) -> CheckOutcome {
+    if actions.is_empty() {
+        return CheckOutcome::Skip("empty electorate");
+    }
+    let (_, production) = match ranked_profiles(actions, seed, ctx) {
+        Ok(pair) => pair,
+        Err(skip) => return skip,
+    };
+    let n = production.n();
+    for rule in DelegationRule::all() {
+        let mut mirror = match RankedMirror::new(production.clone(), rule, ps.to_vec()) {
+            Ok(m) => m,
+            // A cyclic single-edge profile cannot boot by contract; the
+            // resolve-oracle check pins that contract against legacy.
+            Err(CoreError::CyclicDelegation) => continue,
+            Err(e) => {
+                return CheckOutcome::Fail(format!("{}: mirror boot errored: {e}", rule.id()))
+            }
+        };
+        if let Err(msg) = ranked_lockstep(&mirror) {
+            return CheckOutcome::Fail(format!("{}: at boot, {msg}", rule.id()));
+        }
+        let mut rng = stream_rng(split_seed(seed, RANKED_REPLAY_SALT), 0);
+        for probe in 0..8 {
+            let voter = rng.gen_range(0..n);
+            let ballot = match rng.gen_range(0..4u8) {
+                0 => RankedBallot::Cast,
+                1 => RankedBallot::Abstain,
+                _ => {
+                    let len = rng.gen_range(1..=MAX_RANKS);
+                    let mut list = Vec::new();
+                    for _ in 0..len {
+                        let t = rng.gen_range(0..n);
+                        if !list.contains(&t) {
+                            list.push(t);
+                        }
+                    }
+                    RankedBallot::Ranked(list)
+                }
+            };
+            let before = mirror.selection().actions().to_vec();
+            match mirror.set_ballot(voter, ballot) {
+                Ok(changed) => {
+                    let recount = before
+                        .iter()
+                        .zip(mirror.selection().actions())
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    if changed != recount {
+                        return CheckOutcome::Fail(format!(
+                            "{}: probe {probe} reported {changed} changed voters, diff says \
+                             {recount}",
+                            rule.id()
+                        ));
+                    }
+                    if let Err(msg) = ranked_lockstep(&mirror) {
+                        return CheckOutcome::Fail(format!(
+                            "{}: after probe {probe}, {msg}",
+                            rule.id()
+                        ));
+                    }
+                }
+                Err(CoreError::CyclicDelegation) => {
+                    // Single-edge cycle: the edit must roll back cleanly.
+                    if mirror.selection().actions() != before.as_slice() {
+                        return CheckOutcome::Fail(format!(
+                            "{}: probe {probe} was rejected but mutated the selection",
+                            rule.id()
+                        ));
+                    }
+                }
+                Err(e) => {
+                    return CheckOutcome::Fail(format!(
+                        "{}: probe {probe} rejected unexpectedly: {e}",
+                        rule.id()
+                    ))
+                }
+            }
+        }
+    }
+    CheckOutcome::Pass
+}
+
+/// Asserts a mirror's engine matches from-scratch selection and
+/// resolution of its current profile.
+fn ranked_lockstep(m: &RankedMirror) -> Result<(), String> {
+    let (sel, res) = ld_core::ranked::resolve_ranked(m.profile(), m.rule())
+        .map_err(|e| format!("from-scratch resolution errored: {e}"))?;
+    if sel.actions() != m.selection().actions() {
+        return Err("mirror selection differs from from-scratch selection".to_string());
+    }
+    if res != m.engine().resolution() {
+        return Err("engine resolution differs from from-scratch resolution".to_string());
+    }
+    m.engine()
+        .self_check()
+        .map_err(|e| format!("engine self-check failed: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2122,6 +2564,7 @@ mod tests {
             serve: ServeImpl::Real,
             coins: CoinsImpl::Real,
             dynamics: DynamicsImpl::Real,
+            ranked: RankedImpl::Real,
         }
     }
 
@@ -2425,6 +2868,85 @@ mod tests {
     }
 
     #[test]
+    fn ranked_corpus_entries_witness_fallback_split_and_exhaustion() {
+        // The three ranked regression seeds must keep witnessing the
+        // behaviours their notes claim: a forced fall-back past a dead
+        // rank-1 edge, a MinDepth/MinSum disagreement, and whole lists
+        // exhausting into abstention. The pin is by (seed, cell)
+        // through the same ballot derivation the conformance checks
+        // use, so generator or rule drift fails loudly here.
+        use crate::corpus;
+        use crate::gen::default_grid;
+        use std::collections::HashSet;
+
+        let entries = corpus::entries().unwrap();
+        let grid = default_grid(true);
+        let select_cell = |cell: &str, seed: u64| {
+            let spec = grid
+                .iter()
+                .find(|s| s.id().contains(cell))
+                .unwrap_or_else(|| panic!("corpus cell {cell} matches no quick-grid cell"));
+            let case = spec.build(seed).unwrap();
+            let ballots = ranked_ballots(case.dg.actions(), seed);
+            let profile = RankedProfile::new(ballots).unwrap();
+            assert!(
+                !profile.is_single_edge(),
+                "{cell}: witness degenerated to a single-edge profile"
+            );
+            let depth = DelegationRule::MinDepth.select(&profile).unwrap();
+            let sum = DelegationRule::MinSum.select(&profile).unwrap();
+            (profile, depth, sum)
+        };
+
+        let fallback = entries
+            .iter()
+            .find(|e| e.note.contains("(rank-fallback)"))
+            .expect("corpus lost its rank-fallback ranked entry");
+        let (profile, depth, sum) = select_cell(&fallback.cell, fallback.seed);
+        let dead: HashSet<usize> = depth.exhausted().iter().copied().collect();
+        let forced = (0..profile.n()).any(|v| match profile.ballot(v) {
+            RankedBallot::Ranked(list) => {
+                dead.contains(&list[0])
+                    && depth.chosen_rank()[v].is_some_and(|r| r >= 2)
+                    && sum.chosen_rank()[v].is_some_and(|r| r >= 2)
+            }
+            _ => false,
+        });
+        assert!(
+            forced,
+            "rank-fallback entry no longer forces a lower-ranked edge"
+        );
+
+        let split = entries
+            .iter()
+            .find(|e| e.note.contains("(rule-split)"))
+            .expect("corpus lost its rule-split ranked entry");
+        let (_, depth, sum) = select_cell(&split.cell, split.seed);
+        assert_ne!(
+            depth.actions(),
+            sum.actions(),
+            "rule-split entry: MinDepth and MinSum now agree"
+        );
+
+        let exhausted = entries
+            .iter()
+            .find(|e| e.note.contains("(rank-exhausted)"))
+            .expect("corpus lost its rank-exhausted ranked entry");
+        let (profile, depth, _) = select_cell(&exhausted.cell, exhausted.seed);
+        assert!(
+            !depth.exhausted().is_empty(),
+            "rank-exhausted entry no longer exhausts any list"
+        );
+        let (_, res) = ReferenceResolver::new()
+            .resolve_ranked(&profile, DelegationRule::MinDepth)
+            .unwrap();
+        assert!(
+            res.discarded() >= depth.exhausted().len(),
+            "exhausted voters must be discarded in the resolution"
+        );
+    }
+
+    #[test]
     fn csr_mutation_round_trips_through_its_id() {
         use crate::Mutation;
         for m in Mutation::all() {
@@ -2453,5 +2975,76 @@ mod tests {
     fn conservation_check_passes_with_abstention() {
         let actions = vec![Action::Delegate(1), Action::Abstain, Action::Vote];
         assert_eq!(check_weight_conservation(&actions), CheckOutcome::Pass);
+    }
+
+    #[test]
+    fn ranked_checks_pass_on_seeded_cases() {
+        let actions = vec![
+            Action::Delegate(1),
+            Action::Delegate(2),
+            Action::Vote,
+            Action::Delegate(2),
+            Action::Abstain,
+            Action::Vote,
+        ];
+        let ps = vec![0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        for seed in 0..32u64 {
+            let resolve = check_ranked_resolve_oracle(&actions, seed, &ctx());
+            assert_eq!(resolve, CheckOutcome::Pass, "resolve failed at seed {seed}");
+            let replay = check_ranked_live_replay(&actions, &ps, seed, &ctx());
+            assert_eq!(replay, CheckOutcome::Pass, "replay failed at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rank_order_mutant_is_detected_on_seeded_cases() {
+        // Reversing the submitted lists re-routes any voter whose
+        // selection is not the middle of its list, and the chosen-rank
+        // bookkeeping cites the wrong submitted position — some seed in
+        // this sweep must expose it while every honest run passes.
+        let actions = vec![
+            Action::Delegate(1),
+            Action::Delegate(2),
+            Action::Vote,
+            Action::Delegate(2),
+            Action::Abstain,
+            Action::Vote,
+        ];
+        let mutated = CheckContext {
+            ranked: RankedImpl::RankOrderReversed,
+            ..ctx()
+        };
+        let mut detected = 0usize;
+        for seed in 0..32u64 {
+            if matches!(
+                check_ranked_resolve_oracle(&actions, seed, &mutated),
+                CheckOutcome::Fail(_)
+            ) {
+                detected += 1;
+            }
+            assert_eq!(
+                check_ranked_resolve_oracle(&actions, seed, &ctx()),
+                CheckOutcome::Pass
+            );
+        }
+        assert!(detected > 0, "rank-order mutant never detected");
+    }
+
+    #[test]
+    fn single_edge_ranked_cells_defer_to_the_legacy_resolver() {
+        // A profile whose every list has one entry must reproduce the
+        // legacy error contract: a two-cycle under single-edge lists is
+        // CyclicDelegation, never an abstain fallback. Built directly so
+        // the test does not depend on the derivation stream.
+        let profile = RankedProfile::new(vec![
+            RankedBallot::Ranked(vec![1]),
+            RankedBallot::Ranked(vec![0]),
+            RankedBallot::Cast,
+        ])
+        .unwrap();
+        for rule in DelegationRule::all() {
+            let err = rule.select(&profile).unwrap_err();
+            assert!(matches!(err, CoreError::CyclicDelegation));
+        }
     }
 }

@@ -6,15 +6,17 @@
 //! string id, so adding or filtering cells never perturbs the instances
 //! generated for the others.
 
-use ld_core::delegation::DelegationGraph;
+use ld_core::delegation::{Action, DelegationGraph};
 use ld_core::mechanisms::{
     Abstaining, ApprovalThreshold, DirectVoting, GreedyMax, Mechanism, MinDegreeFraction,
     ProbabilisticDelegation, SampledThreshold, WeightCapped, WeightedMajorityDelegation,
 };
+use ld_core::ranked::{RankedBallot, MAX_RANKS};
 use ld_core::{CompetencyProfile, ProblemInstance};
 use ld_graph::{generators, Graph};
 use ld_prob::rng::{split_seed, stream_rng};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Approval margin used for every generated instance. Strictly positive,
 /// as the paper requires (it is what forbids mutual approval and hence
@@ -277,6 +279,71 @@ pub fn default_grid(quick: bool) -> Vec<CellSpec> {
     grid
 }
 
+/// Salt separating the ranked-ballot derivation stream from the graph
+/// (`stream 0`) and mechanism (`stream 1`) streams of a cell seed.
+const RANKED_BALLOT_SALT: u64 = 0x7A4E_4B3D_0000_0000;
+
+/// Derives a ranked ballot vector from a generated single-edge action
+/// vector — a pure function of `(actions, seed)`, so the shrinker can
+/// re-derive it after every structural shrink step.
+///
+/// Per voter: `Vote` becomes `Cast`, `Abstain` stays `Abstain`, a
+/// `Delegate` edge seeds a preference list (usually rank 1, sometimes
+/// deliberately dropped so cycles and exhaustion can arise) padded with
+/// seeded extra candidates, and `DelegateMany` reads its target list as
+/// a preference order directly. Each voter draws from its own
+/// `split_seed` stream, so one voter's ballot never depends on another
+/// voter's index.
+pub fn ranked_ballots(actions: &[Action], seed: u64) -> Vec<RankedBallot> {
+    let n = actions.len();
+    actions
+        .iter()
+        .enumerate()
+        .map(|(v, a)| {
+            let mut rng = stream_rng(split_seed(seed, RANKED_BALLOT_SALT ^ v as u64), 0);
+            match a {
+                Action::Abstain => RankedBallot::Abstain,
+                Action::Delegate(t) => {
+                    // One derived profile in eight abandons the
+                    // mechanism's edge entirely: only then can ranked
+                    // cycles, rank-2 fallbacks, and exhausted lists
+                    // arise, since mechanism graphs always terminate.
+                    let keep_original = rng.gen_range(0..8u8) != 0;
+                    let mut list = Vec::new();
+                    if keep_original {
+                        list.push(*t);
+                    }
+                    let extras = rng.gen_range(0..MAX_RANKS);
+                    for _ in 0..extras {
+                        let cand = rng.gen_range(0..n);
+                        if !list.contains(&cand) && list.len() < MAX_RANKS {
+                            list.push(cand);
+                        }
+                    }
+                    if list.is_empty() {
+                        list.push(*t);
+                    }
+                    RankedBallot::Ranked(list)
+                }
+                Action::DelegateMany(ts) => {
+                    let mut list = Vec::new();
+                    for &t in ts {
+                        if !list.contains(&t) && list.len() < MAX_RANKS {
+                            list.push(t);
+                        }
+                    }
+                    if list.is_empty() {
+                        RankedBallot::Cast
+                    } else {
+                        RankedBallot::Ranked(list)
+                    }
+                }
+                _ => RankedBallot::Cast,
+            }
+        })
+        .collect()
+}
+
 /// FNV-1a hash of a cell id, used to derive per-cell seed streams.
 fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -324,6 +391,26 @@ mod tests {
         };
         assert_eq!(spec.cell_seed(1), spec.cell_seed(1));
         assert_ne!(spec.cell_seed(1), spec.cell_seed(2));
+    }
+
+    #[test]
+    fn ranked_ballots_are_deterministic_valid_and_mixed() {
+        let mut saw_multi = false;
+        let mut saw_single = false;
+        for spec in default_grid(true).into_iter().take(24) {
+            let case = spec.build(42).expect("build");
+            let a = ranked_ballots(case.dg.actions(), case.seed);
+            let b = ranked_ballots(case.dg.actions(), case.seed);
+            assert_eq!(a, b, "derivation not deterministic on {}", spec.id());
+            for ballot in &a {
+                if let RankedBallot::Ranked(list) = ballot {
+                    saw_multi |= list.len() > 1;
+                    saw_single |= list.len() == 1;
+                }
+            }
+            ld_core::ranked::RankedProfile::new(a).expect("derived ballots must validate");
+        }
+        assert!(saw_multi && saw_single, "derivation lost its length mix");
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod report;
 pub mod shrink;
 
 use checks::{
-    CheckContext, CheckId, CheckOutcome, CoinsImpl, CsrImpl, DynamicsImpl, ServeImpl, TallyImpl,
-    WalImpl,
+    CheckContext, CheckId, CheckOutcome, CoinsImpl, CsrImpl, DynamicsImpl, RankedImpl, ServeImpl,
+    TallyImpl, WalImpl,
 };
 use gen::{default_grid, CellSpec};
 use report::{ConformanceReport, Mismatch, ShrunkInstance};
@@ -70,11 +70,15 @@ pub enum Mutation {
     /// so exact score ties resolve to the highest-index target instead
     /// of the canonical lowest (caught by the `dynamics-oracle` check).
     BrTiebreak,
+    /// Reverse every ranked preference list before the delegation rules
+    /// consult it, so selections ignore the submitted rank order (caught
+    /// by the `ranked-resolve-oracle` check).
+    RankOrder,
 }
 
 impl Mutation {
     /// Every known mutation.
-    pub fn all() -> [Mutation; 6] {
+    pub fn all() -> [Mutation; 7] {
         [
             Mutation::TieFlip,
             Mutation::CsrOffset,
@@ -82,6 +86,7 @@ impl Mutation {
             Mutation::ShardRoute,
             Mutation::PackedThreshold,
             Mutation::BrTiebreak,
+            Mutation::RankOrder,
         ]
     }
 
@@ -94,6 +99,7 @@ impl Mutation {
             Mutation::ShardRoute => "shard-route",
             Mutation::PackedThreshold => "packed-threshold",
             Mutation::BrTiebreak => "br-tiebreak",
+            Mutation::RankOrder => "rank-order",
         }
     }
 
@@ -221,6 +227,10 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
         dynamics: match cfg.mutation {
             Some(Mutation::BrTiebreak) => DynamicsImpl::TiebreakSkewed,
             _ => DynamicsImpl::Real,
+        },
+        ranked: match cfg.mutation {
+            Some(Mutation::RankOrder) => RankedImpl::RankOrderReversed,
+            _ => RankedImpl::Real,
         },
     };
     let grid = default_grid(cfg.quick);

@@ -7,6 +7,7 @@
 //! `ld-live` are checked against these, never the other way around.
 
 use ld_core::delegation::Action;
+use ld_core::ranked::{RankedBallot, RankedProfile};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -256,6 +257,164 @@ fn eval_order(actions: &[Action]) -> Option<Vec<usize>> {
     Some(order)
 }
 
+/// Largest electorate the brute-force ranked-resolution oracle will
+/// score by enumerating every cycle-free maximal assignment.
+pub const RANKED_BRUTE_MAX_N: usize = 10;
+
+/// Assignment-count cap for [`ranked_brute_force`]; profiles whose
+/// preference lists multiply out past this many combinations are skipped
+/// rather than enumerated.
+const RANKED_BRUTE_MAX_ASSIGNMENTS: u64 = 1 << 18;
+
+/// What the brute-force ranked oracle concluded about a preference
+/// profile, minimised over every *valid maximal assignment*: each
+/// attainable ranked voter picks exactly one entry from its list, and
+/// every chain of picks ends at a cast or abstain ballot (or a
+/// self-entry) without cycling or running into an exhausted voter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedOracleReport {
+    /// `attainable[v]`: whether `v` can terminate at all — terminals are
+    /// attainable, and a ranked voter is attainable iff some list entry
+    /// is itself or an attainable voter (least fixpoint). Unattainable
+    /// voters are exactly the exhausted-list fallbacks.
+    pub attainable: Vec<bool>,
+    /// `min_depth[v]`: the smallest chain depth `v` achieves in any
+    /// valid maximal assignment (`0` for terminals and self-entries),
+    /// or `None` when `v` is unattainable.
+    pub min_depth: Vec<Option<usize>>,
+    /// The smallest total 1-based rank any valid maximal assignment
+    /// spends across all assigned voters.
+    pub min_rank_sum: u64,
+    /// How many valid maximal assignments exist (at least one whenever
+    /// the profile is well-formed).
+    pub assignments: u64,
+}
+
+/// Scores a ranked preference profile the obvious way: compute the
+/// attainable set by naive fixpoint iteration, then enumerate *every*
+/// combination of list choices for the attainable ranked voters, keep
+/// the ones whose chains all terminate, and minimise depth per voter and
+/// total rank across them. Exponential and proud of it.
+///
+/// Returns `None` for electorates past [`RANKED_BRUTE_MAX_N`] voters or
+/// profiles with more combinations than the internal cap.
+pub fn ranked_brute_force(profile: &RankedProfile) -> Option<RankedOracleReport> {
+    let n = profile.n();
+    if n > RANKED_BRUTE_MAX_N {
+        return None;
+    }
+    // Attainability: repeatedly promote any ranked voter with a usable
+    // entry until nothing changes.
+    let mut attainable: Vec<bool> = (0..n)
+        .map(|v| !matches!(profile.ballot(v), RankedBallot::Ranked(_)))
+        .collect();
+    loop {
+        let mut changed = false;
+        for v in 0..n {
+            if attainable[v] {
+                continue;
+            }
+            if let RankedBallot::Ranked(list) = profile.ballot(v) {
+                if list.iter().any(|&t| t == v || attainable[t]) {
+                    attainable[v] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let choosers: Vec<usize> = (0..n)
+        .filter(|&v| attainable[v] && matches!(profile.ballot(v), RankedBallot::Ranked(_)))
+        .collect();
+    let radices: Vec<usize> = choosers
+        .iter()
+        .map(|&v| match profile.ballot(v) {
+            RankedBallot::Ranked(list) => list.len(),
+            _ => unreachable!("choosers hold ranked ballots"),
+        })
+        .collect();
+    let mut combos = 1u64;
+    for &r in &radices {
+        combos = combos.saturating_mul(r as u64);
+        if combos > RANKED_BRUTE_MAX_ASSIGNMENTS {
+            return None;
+        }
+    }
+    let mut chooser_index = vec![None; n];
+    for (i, &v) in choosers.iter().enumerate() {
+        chooser_index[v] = Some(i);
+    }
+    // Chain depth of `v` under the current choice vector: chase picks
+    // until a terminal ballot or self-entry, bailing out (`None`) on
+    // cycles or on reaching an exhausted voter.
+    let depth_of = |v: usize, choice: &[usize]| -> Option<usize> {
+        let mut cur = v;
+        let mut hops = 0usize;
+        loop {
+            match profile.ballot(cur) {
+                RankedBallot::Cast | RankedBallot::Abstain => return Some(hops),
+                RankedBallot::Ranked(list) => {
+                    let ci = chooser_index[cur]?;
+                    let t = list[choice[ci]];
+                    if t == cur {
+                        return Some(hops);
+                    }
+                    hops += 1;
+                    if hops > n {
+                        return None;
+                    }
+                    cur = t;
+                }
+            }
+        }
+    };
+    let mut min_depth: Vec<Option<usize>> = (0..n)
+        .map(|v| {
+            if attainable[v] && chooser_index[v].is_none() {
+                Some(0)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut min_rank_sum = u64::MAX;
+    let mut assignments = 0u64;
+    let mut choice = vec![0usize; choosers.len()];
+    loop {
+        let depths: Option<Vec<usize>> = choosers.iter().map(|&v| depth_of(v, &choice)).collect();
+        if let Some(depths) = depths {
+            assignments += 1;
+            let rank_sum: u64 = choice.iter().map(|&c| c as u64 + 1).sum();
+            min_rank_sum = min_rank_sum.min(rank_sum);
+            for (i, &v) in choosers.iter().enumerate() {
+                min_depth[v] = Some(match min_depth[v] {
+                    Some(d) => d.min(depths[i]),
+                    None => depths[i],
+                });
+            }
+        }
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                return Some(RankedOracleReport {
+                    attainable,
+                    min_depth,
+                    min_rank_sum: if assignments == 0 { 0 } else { min_rank_sum },
+                    assignments,
+                });
+            }
+            choice[i] += 1;
+            if choice[i] < radices[i] {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
 /// A Monte Carlo estimate with its standard error.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulationEstimate {
@@ -312,6 +471,66 @@ pub fn simulate_majority(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ranked_oracle_minimises_over_cycle_free_assignments() {
+        // 0 and 1 rank each other first; the mutual edge is a cycle, so
+        // only 3 of the 4 combinations survive.
+        let profile = RankedProfile::new(vec![
+            RankedBallot::Ranked(vec![1, 3]),
+            RankedBallot::Ranked(vec![0, 3]),
+            RankedBallot::Abstain,
+            RankedBallot::Cast,
+        ])
+        .unwrap();
+        let report = ranked_brute_force(&profile).unwrap();
+        assert_eq!(report.attainable, vec![true, true, true, true]);
+        assert_eq!(report.assignments, 3);
+        assert_eq!(report.min_rank_sum, 3);
+        assert_eq!(report.min_depth, vec![Some(1), Some(1), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn ranked_oracle_marks_exhausted_voters_unattainable() {
+        let profile = RankedProfile::new(vec![
+            RankedBallot::Ranked(vec![1, 2]),
+            RankedBallot::Ranked(vec![2, 0]),
+            RankedBallot::Ranked(vec![0, 1]),
+            RankedBallot::Cast,
+        ])
+        .unwrap();
+        let report = ranked_brute_force(&profile).unwrap();
+        assert_eq!(report.attainable, vec![false, false, false, true]);
+        assert_eq!(report.min_depth, vec![None, None, None, Some(0)]);
+        assert_eq!(report.assignments, 1);
+        assert_eq!(report.min_rank_sum, 0);
+    }
+
+    #[test]
+    fn ranked_oracle_agrees_with_the_optimised_rules() {
+        use ld_core::ranked::DelegationRule;
+        let profile = RankedProfile::new(vec![
+            RankedBallot::Ranked(vec![1, 3]),
+            RankedBallot::Ranked(vec![0, 3]),
+            RankedBallot::Ranked(vec![1]),
+            RankedBallot::Cast,
+        ])
+        .unwrap();
+        let report = ranked_brute_force(&profile).unwrap();
+        let sel = DelegationRule::MinSum.select(&profile).unwrap();
+        assert_eq!(sel.rank_sum(), report.min_rank_sum);
+        assert!(sel.exhausted().is_empty());
+        for v in 0..profile.n() {
+            assert!(report.attainable[v]);
+        }
+    }
+
+    #[test]
+    fn ranked_oracle_declines_large_electorates() {
+        let ballots = vec![RankedBallot::Cast; RANKED_BRUTE_MAX_N + 1];
+        let profile = RankedProfile::new(ballots).unwrap();
+        assert!(ranked_brute_force(&profile).is_none());
+    }
 
     #[test]
     fn recursive_resolver_handles_chains_and_abstention() {

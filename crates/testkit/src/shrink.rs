@@ -149,7 +149,9 @@ pub fn shrink_failure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checks::{CoinsImpl, CsrImpl, DynamicsImpl, ServeImpl, TallyImpl, WalImpl};
+    use crate::checks::{
+        CoinsImpl, CsrImpl, DynamicsImpl, RankedImpl, ServeImpl, TallyImpl, WalImpl,
+    };
 
     #[test]
     fn remove_voter_remaps_targets() {
@@ -189,6 +191,7 @@ mod tests {
             serve: ServeImpl::Real,
             coins: CoinsImpl::Real,
             dynamics: DynamicsImpl::Real,
+            ranked: RankedImpl::Real,
         };
         let shrunk = shrink_failure(CheckId::TallyOracle, &actions, &ps, 1, &ctx)
             .expect("failure should shrink");
@@ -205,6 +208,7 @@ mod tests {
             serve: ServeImpl::Real,
             coins: CoinsImpl::Real,
             dynamics: DynamicsImpl::Real,
+            ranked: RankedImpl::Real,
         };
         assert!(shrink_failure(CheckId::TallyOracle, &[Action::Vote], &[0.5], 1, &ctx).is_none());
     }

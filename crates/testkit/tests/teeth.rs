@@ -79,7 +79,7 @@ fn corpus_replays_cleanly() {
     // through the same filter, so this checks the corpus ids parse and
     // the runner counts them.
     let report = run_conformance(&cfg);
-    assert_eq!(report.corpus_entries, 7);
+    assert_eq!(report.corpus_entries, 10);
 }
 
 #[test]

@@ -48,6 +48,13 @@ cargo "${CFG[@]}" test --offline -p ld-live --release -q --test proptest_dynamic
 cargo "${CFG[@]}" test --offline -p ld-sim --release -q dynamics
 cargo "${CFG[@]}" test --offline -p ld-sim --release -q --test proptest_dynamics
 
+echo "== offline: ranked delegation suites (MinDepth/MinSum rules, mirror, oracle, release)"
+cargo "${CFG[@]}" test --offline -p ld-core --release -q ranked
+cargo "${CFG[@]}" test --offline -p ld-live --release -q ranked
+cargo "${CFG[@]}" test --offline -p ld-testkit --release -q ranked
+cargo "${CFG[@]}" test --offline -p ld-sim --release -q ranked
+cargo "${CFG[@]}" test --offline -p ld-sim --release -q --test proptest_ranked
+
 echo "== offline: ld-serve service suites (sharded elections, identity, wire, release)"
 cargo "${CFG[@]}" test --offline -p ld-serve --release -q
 
